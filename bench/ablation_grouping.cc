@@ -1,0 +1,124 @@
+// Ablation: the hyper-join design choices DESIGN.md calls out.
+//
+// (1) Grouping algorithm: sequential (structure-oblivious) vs the paper's
+//     Fig. 5 greedy vs the Fig. 6 bottom-up vs contiguous DP vs the exact
+//     optimum, across overlap structures (clean band = converged two-phase
+//     trees; noisy band = mid-migration; random = workload-oblivious) and
+//     buffer sizes. Shows why AdaptDB ships the bottom-up heuristic: within
+//     a few blocks of optimal on the structures its trees produce, at
+//     microsecond cost.
+// (2) Join-level selection (§7.4 extension): fixed-half vs workload-driven
+//     auto levels on a selective and an unselective join workload.
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "join/exact_grouping.h"
+#include "workload/tpch_queries.h"
+
+using namespace adaptdb;
+
+namespace {
+
+OverlapMatrix MakeMatrix(const std::string& kind, size_t n, size_t m,
+                         uint64_t seed) {
+  Rng rng(seed);
+  OverlapMatrix out;
+  for (size_t i = 0; i < n; ++i) out.r_blocks.push_back(static_cast<BlockId>(i));
+  for (size_t j = 0; j < m; ++j) out.s_blocks.push_back(static_cast<BlockId>(j));
+  out.vectors.assign(n, BitVector(m));
+  for (size_t i = 0; i < n; ++i) {
+    if (kind == "random") {
+      for (size_t j = 0; j < m; ++j) {
+        if (rng.Flip(0.2)) out.vectors[i].Set(j);
+      }
+      if (out.vectors[i].Count() == 0) out.vectors[i].Set(rng.Uniform(m));
+      continue;
+    }
+    const double lo = static_cast<double>(i) / static_cast<double>(n);
+    const double hi = static_cast<double>(i + 1) / static_cast<double>(n);
+    for (size_t j = 0; j < m; ++j) {
+      const double slo = static_cast<double>(j) / static_cast<double>(m);
+      const double shi = static_cast<double>(j + 1) / static_cast<double>(m);
+      if (hi >= slo && shi >= lo) out.vectors[i].Set(j);
+    }
+    if (kind == "noisy_band" && rng.Flip(0.3)) {
+      out.vectors[i].Set(rng.Uniform(m));
+    }
+  }
+  return out;
+}
+
+int64_t CostOf(Result<Grouping> g, const OverlapMatrix& m) {
+  ADB_CHECK_OK(g.status());
+  return GroupingCost(m, g.ValueOrDie());
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Ablation 1", "grouping algorithms x overlap structure");
+  std::printf("%-12s %-8s %10s %10s %10s %10s %10s\n", "structure", "budget",
+              "sequential", "greedy", "bottom-up", "contig-DP", "exact");
+  for (const char* kind : {"band", "noisy_band", "random"}) {
+    for (int32_t budget : {8, 16, 32}) {
+      const OverlapMatrix m = MakeMatrix(kind, 64, 32, 5);
+      const int64_t seq = CostOf(SequentialGrouping(m, budget), m);
+      const int64_t greedy = CostOf(GreedyGrouping(m, budget), m);
+      const int64_t bottom = CostOf(BottomUpGrouping(m, budget), m);
+      const int64_t dp = CostOf(ContiguousDpGrouping(m, budget), m);
+      ExactOptions opts;
+      opts.max_nodes = 5'000'000;
+      auto exact = ExactGrouping(m, budget, opts);
+      char exact_buf[16];
+      if (exact.ok()) {
+        std::snprintf(exact_buf, sizeof(exact_buf), "%lld",
+                      static_cast<long long>(exact.ValueOrDie().cost));
+      } else {
+        std::snprintf(exact_buf, sizeof(exact_buf), ">budget");
+      }
+      std::printf("%-12s %-8d %10lld %10lld %10lld %10lld %10s\n", kind,
+                  budget, static_cast<long long>(seq),
+                  static_cast<long long>(greedy),
+                  static_cast<long long>(bottom), static_cast<long long>(dp),
+                  exact_buf);
+    }
+  }
+
+  bench::PrintHeader("Ablation 2",
+                     "join levels: fixed half vs workload-driven (§7.4)");
+  tpch::TpchConfig cfg;
+  cfg.num_orders = 8000;
+  const tpch::TpchData data = tpch::GenerateTpch(cfg);
+  std::printf("%-22s %14s %14s\n", "workload", "fixed half", "auto levels");
+  // q5 is unselective on lineitem (join levels should deepen); q19 is very
+  // selective (selection levels should win).
+  for (const char* tmpl : {"q5", "q19"}) {
+    double totals[2] = {0, 0};
+    for (int mode = 0; mode < 2; ++mode) {
+      DatabaseOptions opts;
+      opts.adapt.smooth.total_levels = 8;
+      opts.adapt.smooth.join_levels = mode == 0 ? -1 : kAutoJoinLevels;
+      Database db(opts);
+      ADB_CHECK_OK(LoadTpch(&db, data, 8, 6, 4));
+      Rng rng(3);
+      for (int i = 0; i < 12; ++i) {
+        auto q = tpch::MakeQuery(tmpl, &rng);
+        ADB_CHECK_OK(q.status());
+        ADB_CHECK_OK(db.RunQuery(q.ValueOrDie()).status());
+      }
+      db.set_adapt_enabled(false);
+      for (int i = 0; i < 5; ++i) {
+        auto q = tpch::MakeQuery(tmpl, &rng);
+        ADB_CHECK_OK(q.status());
+        auto run = db.RunQuery(q.ValueOrDie());
+        ADB_CHECK_OK(run.status());
+        totals[mode] += run.ValueOrDie().seconds;
+      }
+    }
+    std::printf("%-22s %14.1f %14.1f\n", tmpl, totals[0] / 5, totals[1] / 5);
+  }
+  std::printf(
+      "expectation: auto levels <= fixed half on both extremes (Fig. 16's "
+      "two regimes)\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+/// \file bench_util.h
+/// \brief Shared helpers for the figure-reproduction harnesses: fixed-width
+/// table printing and common dataset/loading shortcuts.
+
+#ifndef ADAPTDB_BENCH_BENCH_UTIL_H_
+#define ADAPTDB_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "workload/drivers.h"
+#include "workload/tpch.h"
+
+namespace adaptdb::bench {
+
+inline void PrintHeader(const std::string& figure, const std::string& what) {
+  std::printf("\n=== %s: %s ===\n", figure.c_str(), what.c_str());
+}
+
+inline void PrintRow(const std::string& label, double value,
+                     const char* unit) {
+  std::printf("%-34s %12.1f %s\n", label.c_str(), value, unit);
+}
+
+/// Builds two-phase co-partitioned lineitem/orders Tables inside a Database
+/// by converging the adaptive loop on a q12-shaped join (used by several
+/// figures that start from a converged layout).
+inline Status ConvergeOnJoin(Database* db, const Query& q, int32_t rounds) {
+  for (int32_t i = 0; i < rounds; ++i) {
+    auto run = db->RunQuery(q);
+    if (!run.ok()) return run.status();
+  }
+  return Status::OK();
+}
+
+/// A plain lineitem ⋈ orders equi-join query with no predicates.
+inline Query LineitemOrdersJoin() {
+  Query q;
+  q.name = "lo_join";
+  q.tables = {{"lineitem", {}}, {"orders", {}}};
+  q.joins = {{"lineitem", tpch::kLOrderKey, "orders", tpch::kOOrderKey}};
+  return q;
+}
+
+}  // namespace adaptdb::bench
+
+#endif  // ADAPTDB_BENCH_BENCH_UTIL_H_

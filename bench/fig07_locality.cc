@@ -1,0 +1,59 @@
+// Figure 7: map-job response time vs data locality.
+//
+// Paper setup: a Hadoop map-only aggregation over HDFS with block locality
+// forced to 100/71/46/27%; even at 27% locality the job is only ~18% slower.
+//
+// Here: a full scan over one table with the reader of each block chosen
+// local with the target probability, on the simulated cluster whose remote
+// penalty is calibrated to that measurement.
+
+#include "bench_util.h"
+
+using namespace adaptdb;
+
+int main() {
+  tpch::TpchConfig cfg;
+  cfg.num_orders = 20000;
+  const tpch::TpchData data = tpch::GenerateTpch(cfg);
+
+  Database db;
+  ADB_CHECK_OK(LoadTpch(&db, data, 7, 6, 4));
+  Table* lineitem = db.GetTable("lineitem").ValueOrDie();
+  const std::vector<BlockId> blocks = lineitem->store()->BlockIds();
+  ClusterSim* cluster = db.cluster();
+
+  bench::PrintHeader("Figure 7", "Response time vs data locality");
+  double t100 = 0;
+  for (double locality : {1.00, 0.71, 0.46, 0.27}) {
+    Rng rng(7);
+    IoStats io;
+    for (BlockId b : blocks) {
+      const NodeId owner = cluster->Locate(b).ValueOrDie();
+      const NodeId reader =
+          rng.Flip(locality)
+              ? owner
+              : (owner + 1 + static_cast<NodeId>(
+                                 rng.Uniform(static_cast<uint64_t>(
+                                     cluster->num_nodes() - 1)))) %
+                    cluster->num_nodes();
+      cluster->ReadBlock(b, reader, &io);
+    }
+    const double seconds = cluster->SimulatedSeconds(io);
+    if (locality == 1.00) t100 = seconds;
+    char label[64];
+    std::snprintf(label, sizeof(label), "locality %3.0f%%", locality * 100);
+    bench::PrintRow(label, seconds, "sim-seconds");
+  }
+  Rng rng(7);
+  IoStats io27;
+  for (BlockId b : blocks) {
+    const NodeId owner = cluster->Locate(b).ValueOrDie();
+    const NodeId reader =
+        rng.Flip(0.27) ? owner
+                       : (owner + 1) % cluster->num_nodes();
+    cluster->ReadBlock(b, reader, &io27);
+  }
+  std::printf("slowdown at 27%% locality: %.0f%% (paper: ~18%%)\n",
+              (cluster->SimulatedSeconds(io27) / t100 - 1.0) * 100.0);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 8: shuffle-join running time vs dataset size.
+//
+// Paper setup: lineitem ⋈ orders at 175/320/453/580 GB; running time grows
+// linearly with dataset size (~3000 to ~9200 s), which is what justifies
+// the block-count cost model of §4.2.
+//
+// Here: the same join at four scales with the *block size held constant*
+// (the HDFS regime: block count grows with data). Scales are powers of two
+// so the balanced trees hit the records-per-block target exactly; the
+// harness reports simulated runtime and the R^2 of a least-squares fit.
+
+#include <cmath>
+
+#include "bench_util.h"
+
+using namespace adaptdb;
+
+int main() {
+  bench::PrintHeader("Figure 8", "Shuffle join runtime vs dataset size");
+  // orders count and the tree depths that keep ~500 lineitems and ~250
+  // orders per block at each scale.
+  const struct {
+    int64_t orders;
+    int32_t li_levels;
+    int32_t ord_levels;
+  } scales[] = {{4000, 5, 4}, {8000, 6, 5}, {16000, 7, 6}, {32000, 8, 7}};
+  std::vector<double> xs, ys;
+  for (const auto& scale : scales) {
+    tpch::TpchConfig cfg;
+    cfg.num_orders = scale.orders;
+    const tpch::TpchData data = tpch::GenerateTpch(cfg);
+    DatabaseOptions opts;
+    opts.adapt_enabled = false;
+    opts.planner.strategy = PlannerConfig::Strategy::kForceShuffle;
+    Database db(opts);
+    ADB_CHECK_OK(LoadTpch(&db, data, scale.li_levels, scale.ord_levels, 4));
+    auto run = db.RunQuery(bench::LineitemOrdersJoin());
+    ADB_CHECK_OK(run.status());
+    char label[80];
+    std::snprintf(label, sizeof(label), "%lld orders (~%lld lineitems)",
+                  static_cast<long long>(scale.orders),
+                  static_cast<long long>(data.lineitem.size()));
+    bench::PrintRow(label, run.ValueOrDie().seconds, "sim-seconds");
+    xs.push_back(static_cast<double>(data.lineitem.size()));
+    ys.push_back(run.ValueOrDie().seconds);
+  }
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  const double n = static_cast<double>(xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double r = (n * sxy - sx * sy) /
+                   std::sqrt((n * sxx - sx * sx) * (n * syy - sy * sy));
+  std::printf("linearity R^2 = %.4f (paper: visually linear)\n", r * r);
+  return 0;
+}

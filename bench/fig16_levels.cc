@@ -1,0 +1,170 @@
+// Figure 16: effect of the number of tree levels reserved for the join
+// attribute, as a (lineitem levels) x (orders levels) grid of the number of
+// orders blocks scanned while probing hyper-join hash tables.
+//
+// Paper setup: a handcrafted q10 without the customer table (selective
+// predicates on both lineitem and orders) for (a), and the predicate-free
+// join for (b); lineitem levels 0-14, orders levels 0-11, 4 GB buffer.
+// Findings: (a) the minimum sits around half the levels on both sides;
+// (b) without predicates, more join levels is always better.
+//
+// Here: lineitem depth 7 (128 blocks), orders depth 6 (64 blocks); the
+// buffer is 16 build blocks (the 4 GB analog at this scale).
+//
+// Usage: fig16_levels [--mode=predicates|nopredicates]
+
+#include <cstring>
+
+#include "bench_util.h"
+#include "join/grouping.h"
+#include "sample/reservoir.h"
+#include "tree/two_phase_partitioner.h"
+#include "tree/upfront_partitioner.h"
+#include "workload/tpch_queries.h"
+
+using namespace adaptdb;
+
+namespace {
+
+constexpr int32_t kLiLevels = 7;
+constexpr int32_t kOrdLevels = 6;
+constexpr int32_t kBudget = 16;
+
+struct Built {
+  BlockStore store;
+  PartitionTree tree;
+};
+
+/// Builds a table with `join_levels` top levels on the join attribute and
+/// the remainder on the given selection attributes.
+std::unique_ptr<Built> BuildTable(const Schema& schema,
+                                  const std::vector<Record>& records,
+                                  AttrId join_attr, int32_t join_levels,
+                                  int32_t total_levels,
+                                  std::vector<AttrId> sel_attrs,
+                                  ClusterSim* cluster, uint64_t seed) {
+  auto out = std::make_unique<Built>(Built{BlockStore(schema.num_attrs()), {}});
+  Reservoir sample(3000, seed);
+  sample.AddAll(records);
+  if (join_levels > 0) {
+    TwoPhaseOptions opts;
+    opts.join_attr = join_attr;
+    opts.join_levels = join_levels;
+    opts.total_levels = total_levels;
+    opts.selection_attrs = std::move(sel_attrs);
+    opts.seed = seed;
+    TwoPhasePartitioner p(schema, opts);
+    out->tree = std::move(p.Build(sample, &out->store)).ValueOrDie();
+  } else {
+    UpfrontOptions opts;
+    opts.num_levels = total_levels;
+    opts.attrs = std::move(sel_attrs);
+    opts.seed = seed;
+    UpfrontPartitioner p(schema, opts);
+    out->tree = std::move(p.Build(sample, &out->store)).ValueOrDie();
+  }
+  ADB_CHECK_OK(LoadRecords(records, out->tree, &out->store));
+  for (BlockId b : out->tree.Leaves()) cluster->PlaceBlock(b);
+  return out;
+}
+
+}  // namespace
+
+namespace {
+void RunGrid(bool with_preds);
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool both = true;
+  bool with_preds = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--mode=nopredicates") == 0) {
+      with_preds = false;
+      both = false;
+    }
+    if (std::strcmp(argv[i], "--mode=predicates") == 0) both = false;
+  }
+  if (both) {
+    RunGrid(true);
+    RunGrid(false);
+  } else {
+    RunGrid(with_preds);
+  }
+  return 0;
+}
+
+namespace {
+void RunGrid(bool with_preds) {
+  tpch::TpchConfig cfg;
+  cfg.num_orders = 12000;
+  const tpch::TpchData data = tpch::GenerateTpch(cfg);
+
+  // The handcrafted q10 variant: lineitem.returnflag = 2,
+  // orders.orderdate within one quarter (customer discarded).
+  PredicateSet li_preds, ord_preds;
+  if (with_preds) {
+    li_preds = {Predicate(tpch::kLReturnFlag, CompareOp::kEq, int64_t{2})};
+    ord_preds = {
+        Predicate(tpch::kOOrderDate, CompareOp::kGe, tpch::YearStart(1993)),
+        Predicate(tpch::kOOrderDate, CompareOp::kLt,
+                  tpch::YearStart(1993) + 91)};
+  }
+
+  bench::PrintHeader(
+      std::string("Figure 16") + (with_preds ? "a" : "b"),
+      std::string("orders blocks read vs join levels (") +
+          (with_preds ? "q10 w/o customer" : "no predicates") + ")");
+  std::printf("rows: orders join levels 0..%d; cols: lineitem join levels "
+              "0..%d; budget %d blocks\n      ",
+              kOrdLevels, kLiLevels, kBudget);
+  for (int32_t li = 0; li <= kLiLevels; ++li) std::printf("%7d", li);
+  std::printf("\n");
+
+  ClusterSim cluster;
+  // Pre-build lineitem variants once per column.
+  std::vector<std::unique_ptr<Built>> li_variants;
+  for (int32_t li_lvls = 0; li_lvls <= kLiLevels; ++li_lvls) {
+    li_variants.push_back(BuildTable(
+        data.lineitem_schema, data.lineitem, tpch::kLOrderKey, li_lvls,
+        kLiLevels, {tpch::kLReturnFlag, tpch::kLShipDate}, &cluster,
+        100 + static_cast<uint64_t>(li_lvls)));
+  }
+
+  for (int32_t ord_lvls = 0; ord_lvls <= kOrdLevels; ++ord_lvls) {
+    auto ord = BuildTable(data.orders_schema, data.orders, tpch::kOOrderKey,
+                          ord_lvls, kOrdLevels,
+                          {tpch::kOOrderDate, tpch::kOTotalPrice}, &cluster,
+                          200 + static_cast<uint64_t>(ord_lvls));
+    std::printf("%5d ", ord_lvls);
+    for (int32_t li_lvls = 0; li_lvls <= kLiLevels; ++li_lvls) {
+      const Built& li = *li_variants[static_cast<size_t>(li_lvls)];
+      // Relevant blocks after predicate pruning + range skipping.
+      std::vector<BlockId> li_blocks, ord_blocks;
+      for (BlockId b : li.tree.Lookup(li_preds)) {
+        auto blk = li.store.Get(b);
+        if (blk.ok() && blk.ValueOrDie()->MayMatch(li_preds)) {
+          li_blocks.push_back(b);
+        }
+      }
+      for (BlockId b : ord->tree.Lookup(ord_preds)) {
+        auto blk = ord->store.Get(b);
+        if (blk.ok() && blk.ValueOrDie()->MayMatch(ord_preds)) {
+          ord_blocks.push_back(b);
+        }
+      }
+      auto overlap =
+          ComputeOverlap(li.store, li_blocks, tpch::kLOrderKey, ord->store,
+                         ord_blocks, tpch::kOOrderKey);
+      ADB_CHECK_OK(overlap.status());
+      auto grouping = BottomUpGrouping(overlap.ValueOrDie(), kBudget);
+      ADB_CHECK_OK(grouping.status());
+      std::printf("%7lld", static_cast<long long>(GroupingCost(
+                               overlap.ValueOrDie(), grouping.ValueOrDie())));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "expectation: (a) minimum near half the levels on both axes; "
+      "(b) monotonically better with more join levels (paper Fig. 16)\n");
+}
+}  // namespace

@@ -1,0 +1,81 @@
+// google-benchmark micro-benchmarks for the hyper-join machinery:
+// overlap-matrix construction and the grouping algorithms. The paper's
+// §4.1.5/§7.5 claim is that the practical algorithms answer "in a
+// millisecond or less for reasonably sized datasets" (128 blocks).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "join/exact_grouping.h"
+#include "join/grouping.h"
+
+namespace adaptdb {
+namespace {
+
+OverlapMatrix BandMatrix(size_t n, size_t m) {
+  OverlapMatrix out;
+  for (size_t i = 0; i < n; ++i) out.r_blocks.push_back(static_cast<BlockId>(i));
+  for (size_t j = 0; j < m; ++j) out.s_blocks.push_back(static_cast<BlockId>(j));
+  out.vectors.assign(n, BitVector(m));
+  for (size_t i = 0; i < n; ++i) {
+    const double lo = static_cast<double>(i) / static_cast<double>(n);
+    const double hi = static_cast<double>(i + 1) / static_cast<double>(n);
+    for (size_t j = 0; j < m; ++j) {
+      const double slo = static_cast<double>(j) / static_cast<double>(m);
+      const double shi = static_cast<double>(j + 1) / static_cast<double>(m);
+      if (hi >= slo && shi >= lo) out.vectors[i].Set(j);
+    }
+  }
+  return out;
+}
+
+void BM_BottomUpGrouping(benchmark::State& state) {
+  const OverlapMatrix m =
+      BandMatrix(static_cast<size_t>(state.range(0)), 32);
+  for (auto _ : state) {
+    auto g = BottomUpGrouping(m, 16);
+    benchmark::DoNotOptimize(g);
+  }
+}
+BENCHMARK(BM_BottomUpGrouping)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_GreedyGrouping(benchmark::State& state) {
+  const OverlapMatrix m =
+      BandMatrix(static_cast<size_t>(state.range(0)), 32);
+  for (auto _ : state) {
+    auto g = GreedyGrouping(m, 16);
+    benchmark::DoNotOptimize(g);
+  }
+}
+BENCHMARK(BM_GreedyGrouping)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_ContiguousDpGrouping(benchmark::State& state) {
+  const OverlapMatrix m =
+      BandMatrix(static_cast<size_t>(state.range(0)), 32);
+  for (auto _ : state) {
+    auto g = ContiguousDpGrouping(m, 16);
+    benchmark::DoNotOptimize(g);
+  }
+}
+BENCHMARK(BM_ContiguousDpGrouping)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_ExactGroupingBand128(benchmark::State& state) {
+  const OverlapMatrix m = BandMatrix(128, 32);
+  for (auto _ : state) {
+    auto g = ExactGrouping(m, static_cast<int32_t>(state.range(0)));
+    benchmark::DoNotOptimize(g);
+  }
+}
+BENCHMARK(BM_ExactGroupingBand128)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+
+void BM_GroupingCost(benchmark::State& state) {
+  const OverlapMatrix m = BandMatrix(128, 32);
+  const Grouping g = BottomUpGrouping(m, 16).ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GroupingCost(m, g));
+  }
+}
+BENCHMARK(BM_GroupingCost);
+
+}  // namespace
+}  // namespace adaptdb

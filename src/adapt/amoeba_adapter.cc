@@ -1,0 +1,238 @@
+#include "adapt/amoeba_adapter.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "exec/repartition.h"
+
+namespace adaptdb {
+
+namespace {
+
+/// An inner node eligible for transformation, with its depth and pre-order
+/// position among inner nodes (used to find the twin in a cloned tree).
+struct InnerRef {
+  TreeNode* node;
+  int32_t depth;
+};
+
+void CollectInner(TreeNode* node, int32_t depth, std::vector<InnerRef>* out) {
+  if (node == nullptr || node->is_leaf) return;
+  out->push_back({node, depth});
+  CollectInner(node->left.get(), depth + 1, out);
+  CollectInner(node->right.get(), depth + 1, out);
+}
+
+Value MedianOf(const std::vector<const Record*>& recs, AttrId attr) {
+  std::vector<Value> vals;
+  vals.reserve(recs.size());
+  for (const Record* r : recs) vals.push_back((*r)[static_cast<size_t>(attr)]);
+  std::sort(vals.begin(), vals.end());
+  return vals[vals.size() / 2];
+}
+
+/// Rebuilds a subtree of the given depth over `recs`, with the root split
+/// forced to (attr, cut) and lower levels chosen among `attrs` by usage
+/// balancing. Leaves allocate fresh blocks.
+std::unique_ptr<TreeNode> RebuildSubtree(
+    std::vector<const Record*> recs, int32_t levels_left,
+    const std::vector<AttrId>& attrs,
+    std::unordered_map<AttrId, int32_t>* usage, Rng* rng, BlockStore* store,
+    AttrId forced_attr, const Value* forced_cut) {
+  if (levels_left <= 0 || recs.size() < 2) {
+    return PartitionTree::MakeLeaf(store->CreateBlock());
+  }
+  AttrId attr = -1;
+  Value cut;
+  if (forced_attr >= 0) {
+    attr = forced_attr;
+    cut = *forced_cut;
+  } else {
+    std::vector<std::pair<int64_t, AttrId>> keyed;
+    for (AttrId a : attrs) {
+      keyed.emplace_back(static_cast<int64_t>((*usage)[a]) * 1000 +
+                             static_cast<int64_t>(rng->Uniform(1000)),
+                         a);
+    }
+    std::sort(keyed.begin(), keyed.end());
+    for (const auto& [key, a] : keyed) {
+      const Value med = MedianOf(recs, a);
+      size_t left = 0;
+      for (const Record* r : recs) {
+        if ((*r)[static_cast<size_t>(a)] <= med) ++left;
+      }
+      if (left > 0 && left < recs.size()) {
+        attr = a;
+        cut = med;
+        break;
+      }
+    }
+    if (attr < 0) return PartitionTree::MakeLeaf(store->CreateBlock());
+  }
+  ++(*usage)[attr];
+  std::vector<const Record*> l, r;
+  for (const Record* rec : recs) {
+    ((*rec)[static_cast<size_t>(attr)] <= cut ? l : r).push_back(rec);
+  }
+  auto left = RebuildSubtree(std::move(l), levels_left - 1, attrs, usage, rng,
+                             store, -1, nullptr);
+  auto right = RebuildSubtree(std::move(r), levels_left - 1, attrs, usage, rng,
+                              store, -1, nullptr);
+  return PartitionTree::MakeInner(attr, cut, std::move(left), std::move(right));
+}
+
+int32_t SubtreeDepth(const TreeNode* node) {
+  if (node == nullptr || node->is_leaf) return 0;
+  return 1 + std::max(SubtreeDepth(node->left.get()),
+                      SubtreeDepth(node->right.get()));
+}
+
+void SubtreeLeaves(const TreeNode* node, std::vector<BlockId>* out) {
+  if (node == nullptr) return;
+  if (node->is_leaf) {
+    out->push_back(node->block);
+    return;
+  }
+  SubtreeLeaves(node->left.get(), out);
+  SubtreeLeaves(node->right.get(), out);
+}
+
+}  // namespace
+
+AmoebaAdapter::AmoebaAdapter(const Schema& schema, AmoebaConfig config)
+    : schema_(schema), config_(config), rng_(config.seed) {}
+
+Result<AmoebaReport> AmoebaAdapter::Step(const std::string& table,
+                                         const QueryWindow& window,
+                                         const Reservoir& sample,
+                                         PartitionTree* tree,
+                                         BlockStore* store,
+                                         ClusterSim* cluster) {
+  AmoebaReport report;
+  if (tree == nullptr || tree->empty() || store == nullptr ||
+      cluster == nullptr) {
+    return report;
+  }
+  const std::vector<AttrId> candidates = window.PredicateAttrsFor(table);
+  if (candidates.empty()) return report;
+
+  // Queries of this table in the window, with their current block counts.
+  std::vector<const PredicateSet*> preds;
+  std::vector<int64_t> old_counts;
+  for (const Query& q : window.queries()) {
+    if (!q.References(table)) continue;
+    preds.push_back(&q.PredsFor(table));
+    old_counts.push_back(static_cast<int64_t>(tree->Lookup(*preds.back()).size()));
+  }
+  if (preds.empty()) return report;
+
+  // Route the sample to gather the per-node subsamples.
+  std::vector<InnerRef> inner;
+  CollectInner(tree->mutable_root(), 0, &inner);
+  std::unordered_map<const TreeNode*, std::vector<const Record*>> subsample;
+  for (const Record& rec : sample.records()) {
+    const TreeNode* node = tree->root();
+    while (node != nullptr && !node->is_leaf) {
+      subsample[node].push_back(&rec);
+      const Value& v = rec[static_cast<size_t>(node->attr)];
+      node = (v <= node->cut) ? node->left.get() : node->right.get();
+    }
+  }
+
+  // Search for the best (node, attribute) transformation.
+  double best_net = 0;
+  size_t best_node_idx = 0;
+  AttrId best_attr = -1;
+  Value best_cut;
+  double best_benefit = 0, best_cost = 0;
+
+  PartitionTree clone = tree->Clone();
+  std::vector<InnerRef> clone_inner;
+  CollectInner(clone.mutable_root(), 0, &clone_inner);
+
+  for (size_t i = 0; i < inner.size(); ++i) {
+    // Never rewrite the join levels of a two-phase tree (§5.1).
+    if (inner[i].depth < tree->join_levels()) continue;
+    // Amoeba transformations are local: bound the rewritten subtree.
+    if (SubtreeDepth(inner[i].node) > config_.max_subtree_depth) continue;
+    auto sub_it = subsample.find(inner[i].node);
+    if (sub_it == subsample.end() || sub_it->second.size() < 2) continue;
+    std::vector<BlockId> leaves;
+    SubtreeLeaves(inner[i].node, &leaves);
+    const double cost =
+        config_.block_write_cost * static_cast<double>(leaves.size());
+
+    TreeNode* twin = clone_inner[i].node;
+    const AttrId saved_attr = twin->attr;
+    const Value saved_cut = twin->cut;
+    for (AttrId a : candidates) {
+      if (a == inner[i].node->attr) continue;
+      const Value med = MedianOf(sub_it->second, a);
+      size_t left = 0;
+      for (const Record* r : sub_it->second) {
+        if ((*r)[static_cast<size_t>(a)] <= med) ++left;
+      }
+      if (left == 0 || left == sub_it->second.size()) continue;
+      twin->attr = a;
+      twin->cut = med;
+      double benefit = 0;
+      for (size_t qi = 0; qi < preds.size(); ++qi) {
+        const int64_t now =
+            static_cast<int64_t>(clone.Lookup(*preds[qi]).size());
+        benefit += static_cast<double>(old_counts[qi] - now);
+      }
+      const double net = benefit - cost;
+      if (net > best_net) {
+        best_net = net;
+        best_node_idx = i;
+        best_attr = a;
+        best_cut = med;
+        best_benefit = benefit;
+        best_cost = cost;
+      }
+    }
+    twin->attr = saved_attr;
+    twin->cut = saved_cut;
+  }
+
+  if (best_attr < 0) return report;
+
+  // Apply: rebuild the subtree with the new root split and repartition the
+  // blocks below it.
+  TreeNode* target = inner[best_node_idx].node;
+  std::vector<BlockId> old_leaves;
+  SubtreeLeaves(target, &old_leaves);
+  std::vector<BlockId> live;
+  for (BlockId b : old_leaves) {
+    if (store->Contains(b)) live.push_back(b);
+  }
+  const int32_t depth = SubtreeDepth(target);
+  auto& recs = subsample[target];
+
+  std::unordered_map<AttrId, int32_t> usage;
+  auto rebuilt =
+      RebuildSubtree(recs, depth, candidates, &usage, &rng_, store, best_attr,
+                     &best_cut);
+  PartitionTree staging(std::move(rebuilt));
+  for (BlockId b : staging.Leaves()) cluster->PlaceBlock(b);
+
+  if (!live.empty()) {
+    auto moved = RepartitionBlocks(store, live, staging, cluster,
+                                   SourceDisposition::kDelete);
+    if (!moved.ok()) return moved.status();
+    report.io = moved.ValueOrDie().io;
+    report.blocks_rewritten = moved.ValueOrDie().sources_drained;
+  }
+  auto new_root = staging.TakeRoot();
+  *target = std::move(*new_root);
+
+  report.applied = true;
+  report.new_attr = best_attr;
+  report.node_depth = inner[best_node_idx].depth;
+  report.benefit = best_benefit;
+  report.cost = best_cost;
+  return report;
+}
+
+}  // namespace adaptdb

@@ -1,0 +1,78 @@
+/// \file amoeba_adapter.h
+/// \brief Amoeba's predicate-driven adaptive repartitioning (paper §3.2).
+///
+/// After each query, Amoeba considers alternative trees obtained by
+/// transformation rules on the current tree — replace a subtree's split
+/// attribute with a frequently filtered attribute and repartition the blocks
+/// below it — and switches to the alternative maximizing
+///     benefit(T) = sum over window queries of blocks saved
+/// when it exceeds the repartitioning cost (blocks rewritten × write cost).
+///
+/// In AdaptDB the same machinery refines only the *selection levels* of
+/// two-phase trees: nodes within the top join_levels are never touched, so
+/// join co-partitioning is preserved (§5.1).
+
+#ifndef ADAPTDB_ADAPT_AMOEBA_ADAPTER_H_
+#define ADAPTDB_ADAPT_AMOEBA_ADAPTER_H_
+
+#include <string>
+
+#include "adapt/query_window.h"
+#include "common/rng.h"
+#include "sample/reservoir.h"
+#include "storage/block_store.h"
+#include "storage/cluster.h"
+#include "tree/partition_tree.h"
+
+namespace adaptdb {
+
+/// \brief Tuning of the Amoeba adapter.
+struct AmoebaConfig {
+  /// Cost charged per block rewritten by a repartition, in units of block
+  /// reads saved per window (higher = more conservative adaptation).
+  double block_write_cost = 4.0;
+  /// Largest subtree (by depth) a single transformation may rewrite.
+  /// Amoeba's rules are local ("merge two existing blocks partitioned on A
+  /// and repartition them on B", §3.2), so the default only touches the
+  /// bottom two levels; raising it allows more aggressive restructuring.
+  int32_t max_subtree_depth = 2;
+  /// Seed for structure tie-breaking when rebuilding subtrees.
+  uint64_t seed = 5;
+};
+
+/// \brief What one adaptation step did.
+struct AmoebaReport {
+  bool applied = false;
+  /// The split attribute installed at the transformed node.
+  AttrId new_attr = -1;
+  /// Depth of the transformed node.
+  int32_t node_depth = -1;
+  int64_t blocks_rewritten = 0;
+  double benefit = 0;
+  double cost = 0;
+  IoStats io;
+};
+
+/// \brief Applies Amoeba transformation rules to one partitioning tree.
+class AmoebaAdapter {
+ public:
+  AmoebaAdapter(const Schema& schema, AmoebaConfig config);
+
+  /// Considers every (inner node below join levels) × (window predicate
+  /// attribute) transformation of `tree`, and applies the best one whose
+  /// estimated benefit over the window exceeds its repartitioning cost.
+  /// Physically rewrites the affected blocks in `store`.
+  Result<AmoebaReport> Step(const std::string& table,
+                            const QueryWindow& window,
+                            const Reservoir& sample, PartitionTree* tree,
+                            BlockStore* store, ClusterSim* cluster);
+
+ private:
+  const Schema& schema_;
+  AmoebaConfig config_;
+  Rng rng_;
+};
+
+}  // namespace adaptdb
+
+#endif  // ADAPTDB_ADAPT_AMOEBA_ADAPTER_H_

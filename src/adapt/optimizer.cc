@@ -1,0 +1,113 @@
+#include "adapt/optimizer.h"
+
+#include "exec/repartition.h"
+#include "tree/two_phase_partitioner.h"
+
+namespace adaptdb {
+
+Optimizer::Optimizer(const Schema& schema, AdaptConfig config)
+    : schema_(schema),
+      config_(config),
+      smooth_(schema, config.smooth),
+      amoeba_(schema, config.amoeba) {}
+
+Result<AdaptReport> Optimizer::OnQuery(const std::string& table,
+                                       const Query& q,
+                                       const QueryWindow& window,
+                                       const Reservoir& sample,
+                                       TreeSet* trees, BlockStore* store,
+                                       ClusterSim* cluster) {
+  AdaptReport report;
+  const AttrId join_attr = q.JoinAttrFor(table);
+
+  if (config_.full_repartitioning) {
+    auto smooth = FullRepartitionStep(table, join_attr, window, sample, trees,
+                                      store, cluster);
+    if (!smooth.ok()) return smooth.status();
+    report.smooth = std::move(smooth).ValueOrDie();
+    report.io.Merge(report.smooth.io);
+  } else if (config_.enable_smooth) {
+    auto smooth =
+        smooth_.Step(table, join_attr, window, sample, trees, store, cluster);
+    if (!smooth.ok()) return smooth.status();
+    report.smooth = std::move(smooth).ValueOrDie();
+    report.io.Merge(report.smooth.io);
+  }
+
+  if (config_.enable_amoeba) {
+    // Refine the tree this query reads from: the join-attribute tree when
+    // present, otherwise the largest tree.
+    AttrId target = join_attr;
+    if (target < 0 || !trees->Has(target)) {
+      int64_t best_records = -1;
+      target = kUpfrontTree;
+      for (AttrId a : trees->Attrs()) {
+        const int64_t n = trees->RecordsUnder(a, *store);
+        if (n > best_records) {
+          best_records = n;
+          target = a;
+        }
+      }
+    }
+    if (trees->Has(target)) {
+      auto tree = trees->Tree(target);
+      if (!tree.ok()) return tree.status();
+      auto amoeba = amoeba_.Step(table, window, sample, tree.ValueOrDie(),
+                                 store, cluster);
+      if (!amoeba.ok()) return amoeba.status();
+      report.amoeba = std::move(amoeba).ValueOrDie();
+      report.io.Merge(report.amoeba.io);
+    }
+  }
+  return report;
+}
+
+Result<SmoothReport> Optimizer::FullRepartitionStep(
+    const std::string& table, AttrId join_attr, const QueryWindow& window,
+    const Reservoir& sample, TreeSet* trees, BlockStore* store,
+    ClusterSim* cluster) {
+  SmoothReport report;
+  if (join_attr < 0 || trees->Has(join_attr)) return report;
+  const int32_t n = window.CountJoins(table, join_attr);
+  if (n * 2 < window.capacity()) return report;
+
+  TwoPhaseOptions opts;
+  opts.join_attr = join_attr;
+  opts.total_levels = config_.smooth.total_levels;
+  opts.join_levels =
+      config_.smooth.join_levels >= 0
+          ? config_.smooth.join_levels
+          : TwoPhasePartitioner::DefaultJoinLevels(config_.smooth.total_levels);
+  opts.selection_attrs = window.PredicateAttrsFor(table);
+  TwoPhasePartitioner partitioner(schema_, opts);
+  auto tree = partitioner.Build(sample, store);
+  if (!tree.ok()) return tree.status();
+  for (BlockId b : tree.ValueOrDie().Leaves()) cluster->PlaceBlock(b);
+
+  // Drain every other tree in one shot.
+  std::vector<BlockId> donors;
+  for (AttrId attr : trees->Attrs()) {
+    for (BlockId b : trees->LiveLeaves(attr, *store)) {
+      auto blk = store->Get(b);
+      if (blk.ok() && !blk.ValueOrDie()->empty()) donors.push_back(b);
+    }
+  }
+  trees->Add(join_attr, std::move(tree).ValueOrDie());
+  report.created_tree = true;
+  report.target_attr = join_attr;
+  report.fraction = 1.0;
+  if (!donors.empty()) {
+    auto target_tree = trees->Tree(join_attr);
+    if (!target_tree.ok()) return target_tree.status();
+    auto moved =
+        RepartitionBlocks(store, donors, *target_tree.ValueOrDie(), cluster);
+    if (!moved.ok()) return moved.status();
+    report.blocks_moved = moved.ValueOrDie().sources_drained;
+    report.records_moved = moved.ValueOrDie().records_moved;
+    report.io = moved.ValueOrDie().io;
+  }
+  trees->PruneEmpty(store, cluster, join_attr);
+  return report;
+}
+
+}  // namespace adaptdb

@@ -1,0 +1,78 @@
+/// \file optimizer.h
+/// \brief The per-table adaptation coordinator (paper §6, "Optimizer").
+///
+/// After every query the optimizer decides how much data to repartition:
+/// smooth repartitioning migrates blocks between join-attribute trees
+/// (Fig. 11), and the Amoeba adapter refines the selection levels of the
+/// tree the query touches. The I/O these steps incur is reported so the
+/// caller can fold it into the query's latency, exactly as the paper's
+/// Type-2 (scan + repartition) blocks inflate the triggering query.
+
+#ifndef ADAPTDB_ADAPT_OPTIMIZER_H_
+#define ADAPTDB_ADAPT_OPTIMIZER_H_
+
+#include <string>
+
+#include "adapt/amoeba_adapter.h"
+#include "adapt/query_window.h"
+#include "adapt/smooth_repartitioner.h"
+#include "adapt/tree_set.h"
+
+namespace adaptdb {
+
+/// \brief Adaptation policy knobs, combining both mechanisms.
+struct AdaptConfig {
+  /// Query window length |W| (paper default 10).
+  int32_t window_size = 10;
+  /// Enable smooth repartitioning across join trees.
+  bool enable_smooth = true;
+  /// Enable Amoeba selection-level refinement.
+  bool enable_amoeba = true;
+  /// Full-repartitioning baseline (§7.3 "Repartitioning"): instead of
+  /// smooth migration, rebuild everything at once when at least half the
+  /// window joins on an attribute lacking a tree.
+  bool full_repartitioning = false;
+  SmoothConfig smooth;
+  AmoebaConfig amoeba;
+};
+
+/// \brief What adaptation did for one table after one query.
+struct AdaptReport {
+  SmoothReport smooth;
+  AmoebaReport amoeba;
+  /// Combined I/O of all adaptation performed.
+  IoStats io;
+};
+
+/// \brief Drives both adaptation mechanisms for one table.
+class Optimizer {
+ public:
+  Optimizer(const Schema& schema, AdaptConfig config);
+
+  const AdaptConfig& config() const { return config_; }
+
+  /// Runs the adaptation step for `table` given the latest query `q`
+  /// (already appended to `window`).
+  Result<AdaptReport> OnQuery(const std::string& table, const Query& q,
+                              const QueryWindow& window,
+                              const Reservoir& sample, TreeSet* trees,
+                              BlockStore* store, ClusterSim* cluster);
+
+ private:
+  /// The §7.3 "Repartitioning" baseline: move all data at once.
+  Result<SmoothReport> FullRepartitionStep(const std::string& table,
+                                           AttrId join_attr,
+                                           const QueryWindow& window,
+                                           const Reservoir& sample,
+                                           TreeSet* trees, BlockStore* store,
+                                           ClusterSim* cluster);
+
+  const Schema& schema_;
+  AdaptConfig config_;
+  SmoothRepartitioner smooth_;
+  AmoebaAdapter amoeba_;
+};
+
+}  // namespace adaptdb
+
+#endif  // ADAPTDB_ADAPT_OPTIMIZER_H_

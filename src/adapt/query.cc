@@ -1,0 +1,59 @@
+#include "adapt/query.h"
+
+#include <algorithm>
+
+namespace adaptdb {
+
+namespace {
+const PredicateSet kEmptyPreds;
+}  // namespace
+
+const PredicateSet& Query::PredsFor(const std::string& table) const {
+  for (const TableRef& ref : tables) {
+    if (ref.table == table) return ref.preds;
+  }
+  return kEmptyPreds;
+}
+
+bool Query::References(const std::string& table) const {
+  for (const TableRef& ref : tables) {
+    if (ref.table == table) return true;
+  }
+  return false;
+}
+
+AttrId Query::JoinAttrFor(const std::string& table) const {
+  for (const JoinSpec& j : joins) {
+    if (j.left_table == table) return j.left_attr;
+    if (j.right_table == table) return j.right_attr;
+  }
+  return -1;
+}
+
+std::vector<AttrId> Query::PredicateAttrsFor(const std::string& table) const {
+  std::vector<AttrId> attrs;
+  for (const Predicate& p : PredsFor(table)) attrs.push_back(p.attr);
+  std::sort(attrs.begin(), attrs.end());
+  attrs.erase(std::unique(attrs.begin(), attrs.end()), attrs.end());
+  return attrs;
+}
+
+std::string Query::ToString() const {
+  std::string out = name.empty() ? "query" : name;
+  out += "(";
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += tables[i].table;
+    if (!tables[i].preds.empty()) {
+      out += "[" + PredicateSetToString(tables[i].preds) + "]";
+    }
+  }
+  out += ")";
+  for (const JoinSpec& j : joins) {
+    out += " " + j.left_table + ".a" + std::to_string(j.left_attr) + "=" +
+           j.right_table + ".a" + std::to_string(j.right_attr);
+  }
+  return out;
+}
+
+}  // namespace adaptdb

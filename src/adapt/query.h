@@ -1,0 +1,62 @@
+/// \file query.h
+/// \brief The query model the storage manager adapts to.
+///
+/// AdaptDB queries (paper §2, §3) are conjunctive selections over one or
+/// more tables plus equi-join edges between them. The adaptive machinery
+/// only inspects this structure — predicates drive Amoeba-style selection
+/// adaptation, join edges drive two-phase/smooth repartitioning — while the
+/// executor also evaluates it.
+
+#ifndef ADAPTDB_ADAPT_QUERY_H_
+#define ADAPTDB_ADAPT_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "schema/predicate.h"
+
+namespace adaptdb {
+
+/// \brief One table referenced by a query, with its local predicates.
+struct TableRef {
+  std::string table;
+  PredicateSet preds;
+};
+
+/// \brief An equi-join edge between two referenced tables.
+struct JoinSpec {
+  std::string left_table;
+  AttrId left_attr = -1;
+  std::string right_table;
+  AttrId right_attr = -1;
+};
+
+/// \brief A query: named template, table references, join edges.
+///
+/// Join edges are listed in the intended execution order; the planner may
+/// rewrite multi-join orders (paper §4.3).
+struct Query {
+  std::string name;
+  std::vector<TableRef> tables;
+  std::vector<JoinSpec> joins;
+
+  /// The predicates attached to `table`, or an empty set if absent.
+  const PredicateSet& PredsFor(const std::string& table) const;
+
+  /// True iff the query references `table`.
+  bool References(const std::string& table) const;
+
+  /// The join attribute this query uses on `table` (the first join edge
+  /// touching the table), or -1 when the table is not joined.
+  AttrId JoinAttrFor(const std::string& table) const;
+
+  /// Attributes appearing in `table`'s predicates (distinct, sorted).
+  std::vector<AttrId> PredicateAttrsFor(const std::string& table) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace adaptdb
+
+#endif  // ADAPTDB_ADAPT_QUERY_H_

@@ -1,0 +1,47 @@
+#include "adapt/query_window.h"
+
+#include <algorithm>
+
+namespace adaptdb {
+
+QueryWindow::QueryWindow(int32_t capacity)
+    : capacity_(capacity > 0 ? capacity : 1) {}
+
+void QueryWindow::Add(Query q) {
+  queries_.push_back(std::move(q));
+  while (queries_.size() > static_cast<size_t>(capacity_)) {
+    queries_.pop_front();
+  }
+}
+
+int32_t QueryWindow::CountJoins(const std::string& table, AttrId attr) const {
+  int32_t n = 0;
+  for (const Query& q : queries_) {
+    if (q.JoinAttrFor(table) == attr) ++n;
+  }
+  return n;
+}
+
+std::vector<AttrId> QueryWindow::JoinAttrsFor(const std::string& table) const {
+  std::vector<AttrId> attrs;
+  for (const Query& q : queries_) {
+    const AttrId a = q.JoinAttrFor(table);
+    if (a >= 0) attrs.push_back(a);
+  }
+  std::sort(attrs.begin(), attrs.end());
+  attrs.erase(std::unique(attrs.begin(), attrs.end()), attrs.end());
+  return attrs;
+}
+
+std::vector<AttrId> QueryWindow::PredicateAttrsFor(
+    const std::string& table) const {
+  std::vector<AttrId> attrs;
+  for (const Query& q : queries_) {
+    for (AttrId a : q.PredicateAttrsFor(table)) attrs.push_back(a);
+  }
+  std::sort(attrs.begin(), attrs.end());
+  attrs.erase(std::unique(attrs.begin(), attrs.end()), attrs.end());
+  return attrs;
+}
+
+}  // namespace adaptdb

@@ -1,0 +1,56 @@
+/// \file query_window.h
+/// \brief The recent query window W (paper §3.2, §5.2).
+///
+/// AdaptDB keeps the last |W| queries and derives all adaptation decisions
+/// from their composition: the fraction of queries joining a table on each
+/// attribute drives smooth repartitioning, and their selection predicates
+/// drive Amoeba-style tree refinement. Window size trades adaptation speed
+/// against stability (evaluated in the paper's Fig. 15).
+
+#ifndef ADAPTDB_ADAPT_QUERY_WINDOW_H_
+#define ADAPTDB_ADAPT_QUERY_WINDOW_H_
+
+#include <deque>
+
+#include "adapt/query.h"
+
+namespace adaptdb {
+
+/// \brief Sliding window over the most recent queries.
+class QueryWindow {
+ public:
+  /// Creates a window keeping the last `capacity` queries.
+  explicit QueryWindow(int32_t capacity);
+
+  /// Appends a query, evicting the oldest when full.
+  void Add(Query q);
+
+  /// The retained queries, oldest first.
+  const std::deque<Query>& queries() const { return queries_; }
+
+  /// Current number of retained queries.
+  size_t size() const { return queries_.size(); }
+
+  /// The configured |W|.
+  int32_t capacity() const { return capacity_; }
+
+  /// Number of window queries that join `table` on `attr`.
+  int32_t CountJoins(const std::string& table, AttrId attr) const;
+
+  /// Distinct join attributes used on `table` in the window, sorted.
+  std::vector<AttrId> JoinAttrsFor(const std::string& table) const;
+
+  /// Distinct predicate attributes used on `table` in the window, sorted.
+  std::vector<AttrId> PredicateAttrsFor(const std::string& table) const;
+
+  /// Removes all queries.
+  void Clear() { queries_.clear(); }
+
+ private:
+  int32_t capacity_;
+  std::deque<Query> queries_;
+};
+
+}  // namespace adaptdb
+
+#endif  // ADAPTDB_ADAPT_QUERY_WINDOW_H_

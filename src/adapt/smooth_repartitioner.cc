@@ -1,0 +1,147 @@
+#include "adapt/smooth_repartitioner.h"
+
+#include <algorithm>
+
+#include "exec/repartition.h"
+#include "tree/two_phase_partitioner.h"
+
+namespace adaptdb {
+
+int32_t RecommendJoinLevels(const std::string& table,
+                            const QueryWindow& window,
+                            const Reservoir& sample, int32_t total_levels) {
+  double sel_sum = 0;
+  int32_t n = 0;
+  for (const Query& q : window.queries()) {
+    if (!q.References(table)) continue;
+    if (sample.records().empty()) continue;
+    const PredicateSet& preds = q.PredsFor(table);
+    int64_t matched = 0;
+    for (const Record& rec : sample.records()) {
+      if (MatchesAll(preds, rec)) ++matched;
+    }
+    sel_sum += static_cast<double>(matched) /
+               static_cast<double>(sample.records().size());
+    ++n;
+  }
+  const int32_t half = total_levels / 2 + total_levels % 2;
+  if (n == 0) return half;
+  const double mean_sel = sel_sum / n;
+  if (mean_sel < 0.05) {
+    // Very selective windows: selection levels pay (Fig. 16a's regime);
+    // keep the join depth shallow.
+    return std::max(1, total_levels / 4);
+  }
+  if (mean_sel > 0.5) {
+    // Barely selective (q5/q8-like): Fig. 16b says go deep on the join.
+    return std::max(half, total_levels * 3 / 4);
+  }
+  return half;
+}
+
+SmoothRepartitioner::SmoothRepartitioner(const Schema& schema,
+                                         SmoothConfig config)
+    : schema_(schema), config_(config), rng_(config.seed) {}
+
+Result<SmoothReport> SmoothRepartitioner::Step(
+    const std::string& table, AttrId join_attr, const QueryWindow& window,
+    const Reservoir& sample, TreeSet* trees, BlockStore* store,
+    ClusterSim* cluster) {
+  SmoothReport report;
+  if (join_attr < 0 || trees == nullptr || store == nullptr ||
+      cluster == nullptr) {
+    return report;
+  }
+  const int32_t n = window.CountJoins(table, join_attr);
+
+  // Create the tree on first sufficient demand (f_min gate, §5.2).
+  if (!trees->Has(join_attr)) {
+    if (n < config_.min_frequency) return report;
+    TwoPhaseOptions opts;
+    opts.join_attr = join_attr;
+    opts.total_levels = config_.total_levels;
+    if (config_.join_levels >= 0) {
+      opts.join_levels = config_.join_levels;
+    } else if (config_.join_levels == kAutoJoinLevels) {
+      opts.join_levels =
+          RecommendJoinLevels(table, window, sample, config_.total_levels);
+    } else {
+      opts.join_levels =
+          TwoPhasePartitioner::DefaultJoinLevels(config_.total_levels);
+    }
+    opts.selection_attrs = window.PredicateAttrsFor(table);
+    // The join attribute owns the top levels; keep it out of the selection
+    // phase so lower levels favour filtering.
+    opts.selection_attrs.erase(
+        std::remove(opts.selection_attrs.begin(), opts.selection_attrs.end(),
+                    join_attr),
+        opts.selection_attrs.end());
+    opts.seed = rng_.Next();
+    TwoPhasePartitioner partitioner(schema_, opts);
+    auto tree = partitioner.Build(sample, store);
+    if (!tree.ok()) return tree.status();
+    for (BlockId b : tree.ValueOrDie().Leaves()) {
+      cluster->PlaceBlock(b);
+    }
+    trees->Add(join_attr, std::move(tree).ValueOrDie());
+    report.created_tree = true;
+  }
+
+  // Fig. 11: p = n/|W| - |T'|/(|T| + |T'|), generalized to many trees by
+  // measuring |T'| against the table's full size.
+  const int64_t total_records = static_cast<int64_t>(store->TotalRecords());
+  if (total_records == 0) {
+    report.target_attr = join_attr;
+    return report;
+  }
+  const int64_t under_target = trees->RecordsUnder(join_attr, *store);
+  const double frac_queries =
+      static_cast<double>(n) / static_cast<double>(window.capacity());
+  const double frac_data = static_cast<double>(under_target) /
+                           static_cast<double>(total_records);
+  const double p = frac_queries - frac_data;
+  report.target_attr = join_attr;
+  report.fraction = p;
+  if (p <= 0) return report;
+
+  // Candidate donors: random blocks from every other tree.
+  std::vector<BlockId> donors;
+  for (AttrId attr : trees->Attrs()) {
+    if (attr == join_attr) continue;
+    for (BlockId b : trees->LiveLeaves(attr, *store)) {
+      auto blk = store->Get(b);
+      if (blk.ok() && !blk.ValueOrDie()->empty()) donors.push_back(b);
+    }
+  }
+  if (donors.empty()) return report;
+  // Fisher-Yates prefix shuffle: pick random donors until the moved record
+  // count reaches p * total.
+  const int64_t target_records =
+      static_cast<int64_t>(p * static_cast<double>(total_records) + 0.5);
+  std::vector<BlockId> chosen;
+  int64_t chosen_records = 0;
+  for (size_t i = 0; i < donors.size() && chosen_records < target_records;
+       ++i) {
+    const size_t j = i + rng_.Uniform(donors.size() - i);
+    std::swap(donors[i], donors[j]);
+    auto blk = store->Get(donors[i]);
+    if (!blk.ok()) return blk.status();
+    chosen.push_back(donors[i]);
+    chosen_records += static_cast<int64_t>(blk.ValueOrDie()->num_records());
+  }
+  if (chosen.empty()) return report;
+
+  auto target_tree = trees->Tree(join_attr);
+  if (!target_tree.ok()) return target_tree.status();
+  auto moved =
+      RepartitionBlocks(store, chosen, *target_tree.ValueOrDie(), cluster);
+  if (!moved.ok()) return moved.status();
+  report.blocks_moved = moved.ValueOrDie().sources_drained;
+  report.records_moved = moved.ValueOrDie().records_moved;
+  report.io = moved.ValueOrDie().io;
+
+  trees->PruneEmpty(store, cluster, join_attr);
+  return report;
+}
+
+}  // namespace adaptdb

@@ -1,0 +1,92 @@
+/// \file smooth_repartitioner.h
+/// \brief Smooth repartitioning across join-attribute trees (paper §5.2).
+///
+/// When queries with a new join attribute appear, AdaptDB creates a new
+/// two-phase tree for that attribute and migrates blocks into it a little at
+/// a time, keeping the fraction of data under each tree tracking the
+/// fraction of its query type in the window (Fig. 11):
+///
+///     n <- |{q in W : q joins on t}|
+///     p <- n/|W| - |T'| / (|T| + |T'|)
+///     if p > 0: repartition p of the data into T'
+///
+/// Blocks to move are chosen uniformly at random from the other trees, as
+/// in the paper. Tree creation can be gated on a minimum frequency f_min to
+/// avoid reacting to rare queries.
+
+#ifndef ADAPTDB_ADAPT_SMOOTH_REPARTITIONER_H_
+#define ADAPTDB_ADAPT_SMOOTH_REPARTITIONER_H_
+
+#include <string>
+
+#include "adapt/query_window.h"
+#include "adapt/tree_set.h"
+#include "common/rng.h"
+#include "sample/reservoir.h"
+#include "storage/cluster.h"
+
+namespace adaptdb {
+
+/// Sentinel for SmoothConfig::join_levels: choose the join depth from the
+/// window's selectivity (the §7.4 future-work heuristic).
+inline constexpr int32_t kAutoJoinLevels = -2;
+
+/// \brief Tuning of the smooth repartitioner.
+struct SmoothConfig {
+  /// Minimum window queries on a new join attribute before a tree is
+  /// created (the paper's f_min; default 1 = react immediately).
+  int32_t min_frequency = 1;
+  /// Total depth of newly created two-phase trees.
+  int32_t total_levels = 6;
+  /// Levels reserved for the join attribute; -1 = half (paper default),
+  /// kAutoJoinLevels = workload-driven (§7.4's suggested extension).
+  int32_t join_levels = -1;
+  /// Seed for random block selection.
+  uint64_t seed = 99;
+};
+
+/// \brief The §7.4 extension the paper suggests as future work: pick the
+/// number of join levels from the workload. Estimates the window queries'
+/// mean predicate selectivity on `table` against the sample; unselective
+/// windows (Fig. 16b's regime) get 3/4 of the levels for the join
+/// attribute, selective ones (Fig. 16a) keep more selection levels.
+int32_t RecommendJoinLevels(const std::string& table,
+                            const QueryWindow& window,
+                            const Reservoir& sample, int32_t total_levels);
+
+/// \brief What one smooth-repartitioning step did.
+struct SmoothReport {
+  /// Join attribute targeted by this step (-1 = step was a no-op).
+  AttrId target_attr = -1;
+  bool created_tree = false;
+  /// The migration fraction p computed from the window.
+  double fraction = 0;
+  int64_t blocks_moved = 0;
+  int64_t records_moved = 0;
+  IoStats io;
+};
+
+/// \brief Executes per-query smooth repartitioning steps for one table.
+class SmoothRepartitioner {
+ public:
+  SmoothRepartitioner(const Schema& schema, SmoothConfig config);
+
+  /// Runs one step for `table` after a query joining it on `join_attr` was
+  /// appended to `window`. May create the tree for `join_attr` (two-phase,
+  /// lower levels from the window's predicate attributes) and migrate a
+  /// fraction p of the data into it. No-op when `join_attr` < 0 or the
+  /// window composition requires no movement.
+  Result<SmoothReport> Step(const std::string& table, AttrId join_attr,
+                            const QueryWindow& window,
+                            const Reservoir& sample, TreeSet* trees,
+                            BlockStore* store, ClusterSim* cluster);
+
+ private:
+  const Schema& schema_;
+  SmoothConfig config_;
+  Rng rng_;
+};
+
+}  // namespace adaptdb
+
+#endif  // ADAPTDB_ADAPT_SMOOTH_REPARTITIONER_H_

@@ -1,0 +1,103 @@
+#include "adapt/tree_set.h"
+
+#include <algorithm>
+
+namespace adaptdb {
+
+void TreeSet::Add(AttrId attr, PartitionTree tree) {
+  trees_.insert_or_assign(attr, std::move(tree));
+}
+
+Status TreeSet::Remove(AttrId attr) {
+  if (trees_.erase(attr) == 0) {
+    return Status::NotFound("no tree for attr " + std::to_string(attr));
+  }
+  return Status::OK();
+}
+
+Result<PartitionTree*> TreeSet::Tree(AttrId attr) {
+  auto it = trees_.find(attr);
+  if (it == trees_.end()) {
+    return Status::NotFound("no tree for attr " + std::to_string(attr));
+  }
+  return &it->second;
+}
+
+Result<const PartitionTree*> TreeSet::Tree(AttrId attr) const {
+  auto it = trees_.find(attr);
+  if (it == trees_.end()) {
+    return Status::NotFound("no tree for attr " + std::to_string(attr));
+  }
+  return static_cast<const PartitionTree*>(&it->second);
+}
+
+std::vector<AttrId> TreeSet::Attrs() const {
+  std::vector<AttrId> out;
+  out.reserve(trees_.size());
+  for (const auto& [attr, _] : trees_) out.push_back(attr);
+  return out;
+}
+
+std::vector<BlockId> TreeSet::LiveLeaves(AttrId attr,
+                                         const BlockStore& store) const {
+  std::vector<BlockId> out;
+  auto it = trees_.find(attr);
+  if (it == trees_.end()) return out;
+  for (BlockId b : it->second.Leaves()) {
+    if (store.Contains(b)) out.push_back(b);
+  }
+  return out;
+}
+
+std::vector<BlockId> TreeSet::Lookup(AttrId attr, const PredicateSet& preds,
+                                     const BlockStore& store) const {
+  std::vector<BlockId> out;
+  auto it = trees_.find(attr);
+  if (it == trees_.end()) return out;
+  for (BlockId b : it->second.Lookup(preds)) {
+    if (store.Contains(b)) out.push_back(b);
+  }
+  return out;
+}
+
+std::vector<BlockId> TreeSet::LookupAll(const PredicateSet& preds,
+                                        const BlockStore& store) const {
+  std::vector<BlockId> out;
+  for (const auto& [attr, tree] : trees_) {
+    for (BlockId b : tree.Lookup(preds)) {
+      if (store.Contains(b)) out.push_back(b);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+int64_t TreeSet::RecordsUnder(AttrId attr, const BlockStore& store) const {
+  int64_t n = 0;
+  for (BlockId b : LiveLeaves(attr, store)) {
+    auto blk = store.Get(b);
+    if (blk.ok()) n += static_cast<int64_t>(blk.ValueOrDie()->num_records());
+  }
+  return n;
+}
+
+std::vector<AttrId> TreeSet::PruneEmpty(BlockStore* store, ClusterSim* cluster,
+                                        AttrId keep) {
+  std::vector<AttrId> removed;
+  for (auto it = trees_.begin(); it != trees_.end();) {
+    if (it->first != keep && RecordsUnder(it->first, *store) == 0) {
+      for (BlockId b : LiveLeaves(it->first, *store)) {
+        (void)store->Delete(b);
+        if (cluster != nullptr) cluster->Evict(b);
+      }
+      removed.push_back(it->first);
+      it = trees_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+}  // namespace adaptdb

@@ -1,0 +1,79 @@
+/// \file tree_set.h
+/// \brief The per-table collection of partitioning trees (paper §5.2).
+///
+/// During smooth repartitioning a table is covered by several partitioning
+/// trees — one per popular join attribute, plus possibly the original
+/// upfront tree (keyed as kUpfrontTree). Every block belongs to exactly one
+/// tree; lookups union over trees, filtering out leaves whose blocks have
+/// already migrated away.
+
+#ifndef ADAPTDB_ADAPT_TREE_SET_H_
+#define ADAPTDB_ADAPT_TREE_SET_H_
+
+#include <map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/block_store.h"
+#include "storage/cluster.h"
+#include "tree/partition_tree.h"
+
+namespace adaptdb {
+
+/// Key of the initial workload-oblivious tree in a TreeSet.
+inline constexpr AttrId kUpfrontTree = -1;
+
+/// \brief All partitioning trees of one table, keyed by join attribute.
+class TreeSet {
+ public:
+  TreeSet() = default;
+
+  /// Adds (or replaces) the tree for `attr`.
+  void Add(AttrId attr, PartitionTree tree);
+
+  /// Removes the tree for `attr`.
+  Status Remove(AttrId attr);
+
+  /// True iff a tree exists for `attr`.
+  bool Has(AttrId attr) const { return trees_.count(attr) > 0; }
+
+  /// The tree for `attr`, or an error.
+  Result<PartitionTree*> Tree(AttrId attr);
+  Result<const PartitionTree*> Tree(AttrId attr) const;
+
+  /// Join attributes with trees, ascending (kUpfrontTree first if present).
+  std::vector<AttrId> Attrs() const;
+
+  /// Number of trees.
+  size_t size() const { return trees_.size(); }
+
+  /// Live leaf blocks of the tree for `attr` (leaves whose block still
+  /// exists in `store`; migrated-away leaves are skipped).
+  std::vector<BlockId> LiveLeaves(AttrId attr, const BlockStore& store) const;
+
+  /// Live blocks relevant to `preds` in the tree for `attr`.
+  std::vector<BlockId> Lookup(AttrId attr, const PredicateSet& preds,
+                              const BlockStore& store) const;
+
+  /// Live blocks relevant to `preds` across every tree (the full lookup a
+  /// scan must perform while data is spread over multiple trees).
+  std::vector<BlockId> LookupAll(const PredicateSet& preds,
+                                 const BlockStore& store) const;
+
+  /// Records currently stored under the tree for `attr`.
+  int64_t RecordsUnder(AttrId attr, const BlockStore& store) const;
+
+  /// Drops trees holding no records (completed migrations, §5.2), never
+  /// dropping `keep` (the migration target, which may still be filling).
+  /// The pruned trees' empty leaf blocks are deleted from `store` (and
+  /// evicted from `cluster` when provided). Returns the attrs removed.
+  std::vector<AttrId> PruneEmpty(BlockStore* store, ClusterSim* cluster,
+                                 AttrId keep);
+
+ private:
+  std::map<AttrId, PartitionTree> trees_;
+};
+
+}  // namespace adaptdb
+
+#endif  // ADAPTDB_ADAPT_TREE_SET_H_

@@ -1,0 +1,13 @@
+#include "baselines/amoeba_baseline.h"
+
+namespace adaptdb {
+
+DatabaseOptions AmoebaOptions(DatabaseOptions base) {
+  base.adapt_enabled = true;
+  base.adapt.enable_smooth = false;
+  base.adapt.enable_amoeba = true;
+  base.planner.strategy = PlannerConfig::Strategy::kForceShuffle;
+  return base;
+}
+
+}  // namespace adaptdb

@@ -1,0 +1,19 @@
+/// \file amoeba_baseline.h
+/// \brief The Amoeba baseline (paper §7.2, [21]): predicate-driven adaptive
+/// repartitioning only — no join attributes in the trees, no hyper-join —
+/// so all joins are shuffle joins.
+
+#ifndef ADAPTDB_BASELINES_AMOEBA_BASELINE_H_
+#define ADAPTDB_BASELINES_AMOEBA_BASELINE_H_
+
+#include "core/database.h"
+
+namespace adaptdb {
+
+/// Derives the Amoeba configuration: selection adaptation on, smooth
+/// repartitioning off, shuffle joins forced.
+DatabaseOptions AmoebaOptions(DatabaseOptions base);
+
+}  // namespace adaptdb
+
+#endif  // ADAPTDB_BASELINES_AMOEBA_BASELINE_H_

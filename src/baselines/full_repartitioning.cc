@@ -1,0 +1,12 @@
+#include "baselines/full_repartitioning.h"
+
+namespace adaptdb {
+
+DatabaseOptions FullRepartitioningOptions(DatabaseOptions base) {
+  base.adapt_enabled = true;
+  base.adapt.full_repartitioning = true;
+  base.adapt.enable_amoeba = false;
+  return base;
+}
+
+}  // namespace adaptdb

@@ -1,0 +1,19 @@
+/// \file full_repartitioning.h
+/// \brief The "Repartitioning" baseline (paper §7.3): smooth repartitioning
+/// disabled; when at least half the query window joins on an attribute that
+/// has no tree, the entire table is repartitioned at once (one huge spike),
+/// after which hyper-join is used whenever beneficial.
+
+#ifndef ADAPTDB_BASELINES_FULL_REPARTITIONING_H_
+#define ADAPTDB_BASELINES_FULL_REPARTITIONING_H_
+
+#include "core/database.h"
+
+namespace adaptdb {
+
+/// Derives the Repartitioning-baseline configuration.
+DatabaseOptions FullRepartitioningOptions(DatabaseOptions base);
+
+}  // namespace adaptdb
+
+#endif  // ADAPTDB_BASELINES_FULL_REPARTITIONING_H_

@@ -1,0 +1,12 @@
+#include "baselines/full_scan.h"
+
+namespace adaptdb {
+
+DatabaseOptions FullScanOptions(DatabaseOptions base) {
+  base.adapt_enabled = false;
+  base.planner.ignore_partitioning = true;
+  base.planner.strategy = PlannerConfig::Strategy::kForceShuffle;
+  return base;
+}
+
+}  // namespace adaptdb

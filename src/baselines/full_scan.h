@@ -1,0 +1,18 @@
+/// \file full_scan.h
+/// \brief The "Full Scan" baseline (paper §7.3): no partitioning trees are
+/// consulted, every block is read, and all joins are shuffle joins.
+
+#ifndef ADAPTDB_BASELINES_FULL_SCAN_H_
+#define ADAPTDB_BASELINES_FULL_SCAN_H_
+
+#include "core/database.h"
+
+namespace adaptdb {
+
+/// Derives the Full Scan configuration from a base configuration:
+/// adaptation off, partitioning ignored, shuffle joins forced.
+DatabaseOptions FullScanOptions(DatabaseOptions base);
+
+}  // namespace adaptdb
+
+#endif  // ADAPTDB_BASELINES_FULL_SCAN_H_

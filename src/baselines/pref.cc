@@ -1,0 +1,224 @@
+#include "baselines/pref.h"
+
+#include <set>
+#include <unordered_map>
+
+#include "exec/hash_join.h"
+
+namespace adaptdb {
+
+PrefLayout::PrefLayout(PrefConfig config)
+    : config_(config), cluster_(config.cluster) {}
+
+Status PrefLayout::AppendToPartition(PrefTable* table, int32_t partition,
+                                     const Record& rec) {
+  auto& blocks = table->partitions[static_cast<size_t>(partition)];
+  Block* current = nullptr;
+  if (!blocks.empty()) {
+    auto blk = table->store->Get(blocks.back());
+    if (!blk.ok()) return blk.status();
+    if (static_cast<int64_t>(blk.ValueOrDie()->num_records()) <
+        config_.records_per_block) {
+      current = blk.ValueOrDie();
+    }
+  }
+  if (current == nullptr) {
+    const BlockId id = table->store->CreateBlock();
+    cluster_.PlaceBlock(id);
+    blocks.push_back(id);
+    auto blk = table->store->Get(id);
+    if (!blk.ok()) return blk.status();
+    current = blk.ValueOrDie();
+  }
+  current->Add(rec);
+  ++table->stored_records;
+  return Status::OK();
+}
+
+Status PrefLayout::AddFact(const std::string& name, const Schema& schema,
+                           const std::vector<Record>& records,
+                           AttrId partition_attr) {
+  if (tables_.count(name) > 0) return Status::AlreadyExists(name);
+  PrefTable table;
+  table.schema = schema;
+  table.store = std::make_unique<BlockStore>(schema.num_attrs());
+  table.partitions.assign(static_cast<size_t>(config_.num_partitions), {});
+  table.input_records = static_cast<int64_t>(records.size());
+  for (const Record& rec : records) {
+    const int32_t p = static_cast<int32_t>(
+        HashValue(rec[static_cast<size_t>(partition_attr)]) %
+        static_cast<size_t>(config_.num_partitions));
+    ADB_RETURN_NOT_OK(AppendToPartition(&table, p, rec));
+  }
+  tables_.emplace(name, std::move(table));
+  return Status::OK();
+}
+
+Status PrefLayout::AddReplicated(const std::string& name, const Schema& schema,
+                                 const std::vector<Record>& records,
+                                 const std::string& parent, AttrId parent_attr,
+                                 AttrId child_attr) {
+  if (tables_.count(name) > 0) return Status::AlreadyExists(name);
+  auto parent_it = tables_.find(parent);
+  if (parent_it == tables_.end()) {
+    return Status::NotFound("parent table '" + parent + "'");
+  }
+  // Which partitions reference each parent key value?
+  std::unordered_map<Value, std::set<int32_t>, ValueHash> key_partitions;
+  const PrefTable& pt = parent_it->second;
+  for (int32_t p = 0; p < config_.num_partitions; ++p) {
+    for (BlockId b : pt.partitions[static_cast<size_t>(p)]) {
+      auto blk = pt.store->Get(b);
+      if (!blk.ok()) return blk.status();
+      for (const Record& rec : blk.ValueOrDie()->records()) {
+        key_partitions[rec[static_cast<size_t>(parent_attr)]].insert(p);
+      }
+    }
+  }
+  PrefTable table;
+  table.schema = schema;
+  table.store = std::make_unique<BlockStore>(schema.num_attrs());
+  table.partitions.assign(static_cast<size_t>(config_.num_partitions), {});
+  table.input_records = static_cast<int64_t>(records.size());
+  for (const Record& rec : records) {
+    auto it = key_partitions.find(rec[static_cast<size_t>(child_attr)]);
+    if (it == key_partitions.end()) continue;  // Never joins: droppable.
+    for (int32_t p : it->second) {
+      ADB_RETURN_NOT_OK(AppendToPartition(&table, p, rec));
+    }
+  }
+  tables_.emplace(name, std::move(table));
+  return Status::OK();
+}
+
+Result<QueryRunResult> PrefLayout::RunQuery(const Query& q) {
+  QueryRunResult result;
+  for (const TableRef& ref : q.tables) {
+    if (tables_.count(ref.table) == 0) return Status::NotFound(ref.table);
+  }
+
+  // Reads every block of `name`, accounting I/O; returns per-partition
+  // block lists for the join phase.
+  auto read_all = [&](const std::string& name, int64_t* blocks_read) {
+    const PrefTable& t = tables_.at(name);
+    for (const auto& part : t.partitions) {
+      for (BlockId b : part) {
+        auto node = cluster_.Locate(b);
+        cluster_.ReadBlock(b, node.ok() ? node.ValueOrDie() : 0, &result.io);
+        ++*blocks_read;
+      }
+    }
+  };
+
+  if (q.joins.empty()) {
+    for (const TableRef& ref : q.tables) {
+      int64_t blocks_read = 0;
+      read_all(ref.table, &blocks_read);
+      result.blocks_scanned += blocks_read;
+      const PrefTable& t = tables_.at(ref.table);
+      for (const auto& part : t.partitions) {
+        for (BlockId b : part) {
+          const Block* blk = t.store->Get(b).ValueOrDie();
+          for (const Record& rec : blk->records()) {
+            if (MatchesAll(ref.preds, rec)) ++result.output_rows;
+          }
+        }
+      }
+    }
+    result.seconds = cluster_.SimulatedSeconds(result.io);
+    return result;
+  }
+
+  // Partition-local pipeline: per partition, fold in one join edge at a
+  // time; the running intermediate never leaves its partition.
+  std::map<std::string, int32_t> offsets;
+  std::vector<std::vector<Record>> inter(
+      static_cast<size_t>(config_.num_partitions));
+  JoinCounts counts;
+
+  for (size_t e = 0; e < q.joins.size(); ++e) {
+    const JoinSpec& spec = q.joins[e];
+    const bool first = (e == 0);
+    std::string probe_table = spec.left_table, build_table = spec.right_table;
+    AttrId probe_attr = spec.left_attr, build_attr = spec.right_attr;
+    if (!first && offsets.count(probe_table) == 0) {
+      std::swap(probe_table, build_table);
+      std::swap(probe_attr, build_attr);
+    }
+    if (!first && (offsets.count(probe_table) == 0 ||
+                   offsets.count(build_table) > 0)) {
+      return Status::InvalidArgument("unsupported PREF join shape");
+    }
+    const PrefTable& build = tables_.at(build_table);
+    const PredicateSet& build_preds = q.PredsFor(build_table);
+    EdgeReport edge;
+    edge.left_table = probe_table;
+    edge.right_table = build_table;
+    const bool last = (e + 1 == q.joins.size());
+
+    counts = JoinCounts{};
+    for (int32_t p = 0; p < config_.num_partitions; ++p) {
+      HashIndex index(build_attr);
+      for (BlockId b : build.partitions[static_cast<size_t>(p)]) {
+        auto blk = build.store->Get(b);
+        if (!blk.ok()) return blk.status();
+        auto node = cluster_.Locate(b);
+        cluster_.ReadBlock(b, node.ok() ? node.ValueOrDie() : 0, &result.io);
+        ++edge.s_blocks_read;
+        index.AddBlock(*blk.ValueOrDie(), build_preds);
+      }
+      std::vector<Record> next;
+      if (first) {
+        const PrefTable& probe = tables_.at(probe_table);
+        const PredicateSet& probe_preds = q.PredsFor(probe_table);
+        for (BlockId b : probe.partitions[static_cast<size_t>(p)]) {
+          auto blk = probe.store->Get(b);
+          if (!blk.ok()) return blk.status();
+          auto node = cluster_.Locate(b);
+          cluster_.ReadBlock(b, node.ok() ? node.ValueOrDie() : 0,
+                             &result.io);
+          ++edge.r_blocks_read;
+          index.Probe(*blk.ValueOrDie(), probe_attr, probe_preds, &counts,
+                      last ? nullptr : &next);
+        }
+      } else {
+        const int32_t key_idx = offsets[probe_table] + probe_attr;
+        for (const Record& rec : inter[static_cast<size_t>(p)]) {
+          index.ProbeRecord(rec, key_idx, &counts, last ? nullptr : &next);
+        }
+      }
+      inter[static_cast<size_t>(p)] = std::move(next);
+    }
+
+    // Record-offset bookkeeping (materialized rows are build ++ probe).
+    const int32_t build_width = build.schema.num_attrs();
+    if (first) {
+      offsets[probe_table] = build_width;
+      offsets[build_table] = 0;
+    } else {
+      for (auto& [name, off] : offsets) off += build_width;
+      offsets[build_table] = 0;
+    }
+    result.edges.push_back(edge);
+  }
+
+  result.output_rows = counts.output_rows;
+  result.checksum = counts.checksum;
+  result.seconds = cluster_.SimulatedSeconds(result.io);
+  return result;
+}
+
+int64_t PrefLayout::TotalBlocks(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return 0;
+  return static_cast<int64_t>(it->second.store->num_blocks());
+}
+
+double PrefLayout::ReplicationFactor(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end() || it->second.input_records == 0) return 0;
+  return static_cast<double>(it->second.stored_records) /
+         static_cast<double>(it->second.input_records);
+}
+
+}  // namespace adaptdb

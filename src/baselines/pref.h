@@ -1,0 +1,99 @@
+/// \file pref.h
+/// \brief Predicate-based reference partitioning (PREF, Zamanian et al.,
+/// SIGMOD 2015) — the static comparator of the paper's Fig. 12.
+///
+/// PREF picks one partitioning for the fact table and co-partitions every
+/// other table along reference (join) edges, *replicating* a tuple into
+/// every partition that holds a referencing row. All joins then run
+/// partition-locally with no shuffle — but reading a replicated table costs
+/// its replication factor in extra block I/O, and hash partitions admit no
+/// range pruning, so selective predicates do not reduce I/O. Those two
+/// effects are exactly why AdaptDB beats PREF on the selective TPC-H
+/// templates in Fig. 12 while PREF beats plain shuffle joins on the
+/// unselective ones.
+///
+/// Layout construction mirrors the reference-edge scheme:
+///   * AddFact: hash-partitions the fact table on one attribute.
+///   * AddReplicated: places each tuple of a referenced table into every
+///     partition where some already-placed row of the parent table carries
+///     its key (orders lands in exactly one partition — co-partitioning —
+///     while part/customer/supplier fan out to many).
+
+#ifndef ADAPTDB_BASELINES_PREF_H_
+#define ADAPTDB_BASELINES_PREF_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adapt/query.h"
+#include "planner/join_planner.h"
+#include "storage/block_store.h"
+#include "storage/cluster.h"
+
+namespace adaptdb {
+
+/// \brief PREF configuration.
+struct PrefConfig {
+  /// Number of partitions (the paper found 200 optimal on 10 nodes at
+  /// SF 1000; scale with the dataset).
+  int32_t num_partitions = 16;
+  /// Records per storage block, so I/O counts are comparable with an
+  /// AdaptDB instance over the same data.
+  int64_t records_per_block = 1000;
+  ClusterConfig cluster;
+};
+
+/// \brief A statically PREF-partitioned database over in-memory tables.
+class PrefLayout {
+ public:
+  explicit PrefLayout(PrefConfig config);
+
+  /// Hash-partitions the fact table on `partition_attr`.
+  Status AddFact(const std::string& name, const Schema& schema,
+                 const std::vector<Record>& records, AttrId partition_attr);
+
+  /// Adds `name`, replicating each record into every partition where the
+  /// already-added `parent` table has a row with parent_attr == child_attr.
+  /// Records referenced by no parent row are dropped (they can never join).
+  Status AddReplicated(const std::string& name, const Schema& schema,
+                       const std::vector<Record>& records,
+                       const std::string& parent, AttrId parent_attr,
+                       AttrId child_attr);
+
+  /// Executes a query. All join edges run partition-locally (that is the
+  /// point of PREF); every block of each referenced table is read, since
+  /// hash partitions carry no range metadata usable for pruning.
+  Result<QueryRunResult> RunQuery(const Query& q);
+
+  /// Total blocks stored for `name` (replication shows up here).
+  int64_t TotalBlocks(const std::string& name) const;
+
+  /// Stored records of `name` including replicas, divided by the input
+  /// records: the replication factor.
+  double ReplicationFactor(const std::string& name) const;
+
+  ClusterSim* cluster() { return &cluster_; }
+
+ private:
+  struct PrefTable {
+    Schema schema;
+    std::unique_ptr<BlockStore> store;
+    /// partition -> blocks holding it.
+    std::vector<std::vector<BlockId>> partitions;
+    int64_t input_records = 0;
+    int64_t stored_records = 0;
+  };
+
+  Status AppendToPartition(PrefTable* table, int32_t partition,
+                           const Record& rec);
+
+  PrefConfig config_;
+  ClusterSim cluster_;
+  std::map<std::string, PrefTable> tables_;
+};
+
+}  // namespace adaptdb
+
+#endif  // ADAPTDB_BASELINES_PREF_H_

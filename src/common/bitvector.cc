@@ -1,0 +1,97 @@
+#include "common/bitvector.h"
+
+#include <bit>
+#include <cassert>
+
+namespace adaptdb {
+
+namespace {
+constexpr size_t kWordBits = 64;
+}  // namespace
+
+BitVector::BitVector(size_t num_bits)
+    : num_bits_(num_bits), words_((num_bits + kWordBits - 1) / kWordBits, 0) {}
+
+void BitVector::Set(size_t i) {
+  assert(i < num_bits_);
+  words_[i / kWordBits] |= uint64_t{1} << (i % kWordBits);
+}
+
+void BitVector::Clear(size_t i) {
+  assert(i < num_bits_);
+  words_[i / kWordBits] &= ~(uint64_t{1} << (i % kWordBits));
+}
+
+bool BitVector::Get(size_t i) const {
+  assert(i < num_bits_);
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1;
+}
+
+size_t BitVector::Count() const {
+  size_t n = 0;
+  for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+  return n;
+}
+
+void BitVector::OrWith(const BitVector& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+size_t BitVector::CountOr(const BitVector& other) const {
+  assert(num_bits_ == other.num_bits_);
+  size_t n = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    n += static_cast<size_t>(std::popcount(words_[i] | other.words_[i]));
+  }
+  return n;
+}
+
+size_t BitVector::CountAnd(const BitVector& other) const {
+  assert(num_bits_ == other.num_bits_);
+  size_t n = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    n += static_cast<size_t>(std::popcount(words_[i] & other.words_[i]));
+  }
+  return n;
+}
+
+bool BitVector::Intersects(const BitVector& other) const {
+  assert(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & other.words_[i]) return true;
+  }
+  return false;
+}
+
+void BitVector::Reset() {
+  for (uint64_t& w : words_) w = 0;
+}
+
+std::vector<size_t> BitVector::SetBits() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < num_bits_; ++i) {
+    if (Get(i)) out.push_back(i);
+  }
+  return out;
+}
+
+uint64_t BitVector::Hash() const {
+  uint64_t h = 1469598103934665603ull;
+  for (uint64_t w : words_) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (w >> (i * 8)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+std::string BitVector::ToString() const {
+  std::string s;
+  s.reserve(num_bits_);
+  for (size_t i = 0; i < num_bits_; ++i) s.push_back(Get(i) ? '1' : '0');
+  return s;
+}
+
+}  // namespace adaptdb

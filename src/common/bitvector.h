@@ -1,0 +1,85 @@
+/// \file bitvector.h
+/// \brief Packed fixed-width bit vector used for hyper-join overlap vectors.
+///
+/// The hyper-join grouping algorithms (paper §4.1) operate on m-dimensional
+/// 0/1 vectors v_i where bit j says whether block r_i of relation R overlaps
+/// block s_j of relation S on the join attribute. The inner loop of the
+/// bottom-up grouping computes `popcount(v_i | acc)` over all unplaced
+/// blocks, so BitVector provides a fused CountOr that avoids materializing
+/// the union.
+
+#ifndef ADAPTDB_COMMON_BITVECTOR_H_
+#define ADAPTDB_COMMON_BITVECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adaptdb {
+
+/// \brief A fixed-size vector of bits packed into 64-bit words.
+class BitVector {
+ public:
+  /// Constructs an empty (zero-width) vector.
+  BitVector() = default;
+
+  /// Constructs a vector of `num_bits` bits, all clear.
+  explicit BitVector(size_t num_bits);
+
+  /// Number of addressable bits.
+  size_t size() const { return num_bits_; }
+
+  /// True iff the vector has zero width.
+  bool empty() const { return num_bits_ == 0; }
+
+  /// Sets bit `i` to 1. Precondition: i < size().
+  void Set(size_t i);
+
+  /// Clears bit `i`. Precondition: i < size().
+  void Clear(size_t i);
+
+  /// Returns bit `i`. Precondition: i < size().
+  bool Get(size_t i) const;
+
+  /// Number of set bits (the paper's delta(v)).
+  size_t Count() const;
+
+  /// In-place union: *this |= other. Widths must match.
+  void OrWith(const BitVector& other);
+
+  /// popcount(*this | other) without materializing the union.
+  size_t CountOr(const BitVector& other) const;
+
+  /// popcount(*this & other).
+  size_t CountAnd(const BitVector& other) const;
+
+  /// True iff (*this & other) has at least one set bit.
+  bool Intersects(const BitVector& other) const;
+
+  /// Sets all bits to zero.
+  void Reset();
+
+  /// Indices of all set bits, ascending.
+  std::vector<size_t> SetBits() const;
+
+  /// A 64-bit content hash (FNV-1a over the packed words). Used by search
+  /// algorithms for state dominance signatures.
+  uint64_t Hash() const;
+
+  /// Renders as a '0'/'1' string, most significant index last
+  /// (i.e. left-to-right bit 0, bit 1, ...), matching the paper's examples.
+  std::string ToString() const;
+
+  bool operator==(const BitVector& other) const {
+    return num_bits_ == other.num_bits_ && words_ == other.words_;
+  }
+
+ private:
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace adaptdb
+
+#endif  // ADAPTDB_COMMON_BITVECTOR_H_

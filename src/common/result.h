@@ -1,0 +1,80 @@
+/// \file result.h
+/// \brief Result<T>: a value or an error Status (Arrow idiom).
+
+#ifndef ADAPTDB_COMMON_RESULT_H_
+#define ADAPTDB_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace adaptdb {
+
+/// \brief Holds either a successfully computed T or an error Status.
+///
+/// Construction from a T yields an OK result; construction from a non-OK
+/// Status yields an error result. Accessing the value of an error result
+/// aborts (it is a programming bug, like dereferencing an empty optional).
+template <typename T>
+class Result {
+ public:
+  /// Constructs an OK result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs an error result from a non-OK status.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      internal::DieOnError("Result constructed from OK status without value",
+                           __FILE__, __LINE__);
+    }
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// The contained value; aborts on error results.
+  const T& ValueOrDie() const& {
+    EnsureOk();
+    return *value_;
+  }
+  /// The contained value (mutable); aborts on error results.
+  T& ValueOrDie() & {
+    EnsureOk();
+    return *value_;
+  }
+  /// Moves the contained value out; aborts on error results.
+  T ValueOrDie() && {
+    EnsureOk();
+    return std::move(*value_);
+  }
+
+  /// Alias for ValueOrDie, matching Arrow's operator* convention.
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+
+ private:
+  void EnsureOk() const {
+    if (!ok()) {
+      internal::DieOnError("Result::ValueOrDie on error: " + status_.ToString(),
+                           __FILE__, __LINE__);
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace adaptdb
+
+/// Assigns the value of a Result expression to `lhs`, or propagates the error.
+#define ADB_ASSIGN_OR_RETURN(lhs, rexpr)           \
+  auto _res_##__LINE__ = (rexpr);                  \
+  if (!_res_##__LINE__.ok()) return _res_##__LINE__.status(); \
+  lhs = std::move(_res_##__LINE__).ValueOrDie()
+
+#endif  // ADAPTDB_COMMON_RESULT_H_

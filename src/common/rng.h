@@ -1,0 +1,51 @@
+/// \file rng.h
+/// \brief Deterministic pseudo-random number generator (SplitMix64 core).
+///
+/// All randomized components (upfront partitioner attribute assignment,
+/// smooth repartitioning's random block choice, workload generators) take an
+/// explicit Rng so experiments are reproducible bit-for-bit.
+
+#ifndef ADAPTDB_COMMON_RNG_H_
+#define ADAPTDB_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace adaptdb {
+
+/// \brief A small, fast, deterministic PRNG (SplitMix64).
+class Rng {
+ public:
+  /// Seeds the generator. The same seed always yields the same stream.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw with probability p of returning true.
+  bool Flip(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace adaptdb
+
+#endif  // ADAPTDB_COMMON_RNG_H_

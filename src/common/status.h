@@ -1,0 +1,116 @@
+/// \file status.h
+/// \brief Error-handling primitives in the Arrow/RocksDB style.
+///
+/// All fallible operations in AdaptDB return a Status (or a Result<T>, see
+/// result.h). Exceptions are never thrown across module boundaries.
+
+#ifndef ADAPTDB_COMMON_STATUS_H_
+#define ADAPTDB_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace adaptdb {
+
+/// \brief Machine-readable error category carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kNotImplemented,
+  kInternal,
+  kResourceExhausted,
+};
+
+/// \brief Returns a short human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief The result of a fallible operation: a code plus a message.
+///
+/// An OK status carries no allocation; error statuses carry a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+  /// Returns an InvalidArgument error.
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  /// Returns a NotFound error.
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  /// Returns an AlreadyExists error.
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  /// Returns an OutOfRange error.
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  /// Returns a NotImplemented error.
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  /// Returns an Internal error.
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// Returns a ResourceExhausted error.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The status code.
+  StatusCode code() const { return code_; }
+  /// The error message (empty for OK).
+  const std::string& message() const { return msg_; }
+  /// Renders "Code: message" for logging.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+}  // namespace adaptdb
+
+/// Propagates a non-OK Status to the caller.
+#define ADB_RETURN_NOT_OK(expr)                \
+  do {                                         \
+    ::adaptdb::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+/// Aborts the process if `expr` is a non-OK Status. For use in tests,
+/// examples and benchmark mains where errors are programming bugs.
+#define ADB_CHECK_OK(expr)                                              \
+  do {                                                                  \
+    ::adaptdb::Status _st = (expr);                                     \
+    if (!_st.ok()) {                                                    \
+      ::adaptdb::internal::DieOnError(_st.ToString(), __FILE__, __LINE__); \
+    }                                                                   \
+  } while (0)
+
+namespace adaptdb::internal {
+/// Prints the message and aborts. Used by ADB_CHECK_OK.
+[[noreturn]] void DieOnError(const std::string& what, const char* file,
+                             int line);
+}  // namespace adaptdb::internal
+
+#endif  // ADAPTDB_COMMON_STATUS_H_

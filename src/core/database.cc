@@ -1,0 +1,95 @@
+#include "core/database.h"
+
+namespace adaptdb {
+
+Database::Database(DatabaseOptions options)
+    : options_(options),
+      cluster_(options.cluster),
+      window_(options.adapt.window_size),
+      planner_(options.planner) {}
+
+Status Database::CreateTable(const std::string& name, Schema schema,
+                             const std::vector<Record>& records,
+                             TableOptions table_options) {
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table '" + name + "'");
+  }
+  auto table = std::make_unique<Table>(name, std::move(schema), table_options);
+  ADB_RETURN_NOT_OK(table->Load(records, &cluster_));
+  optimizers_[name] =
+      std::make_unique<Optimizer>(table->schema(), options_.adapt);
+  tables_[name] = std::move(table);
+  return Status::OK();
+}
+
+Result<Table*> Database::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "'");
+  }
+  return it->second.get();
+}
+
+Result<QueryRunResult> Database::RunQuery(const Query& q) {
+  window_.Add(q);
+
+  IoStats adapt_io;
+  int64_t records_repartitioned = 0;
+  bool created_tree = false;
+  if (options_.adapt_enabled) {
+    for (const TableRef& ref : q.tables) {
+      auto table = GetTable(ref.table);
+      if (!table.ok()) return table.status();
+      Table* t = table.ValueOrDie();
+      auto report = optimizers_[ref.table]->OnQuery(
+          ref.table, q, window_, t->sample(), t->trees(), t->store(),
+          &cluster_);
+      if (!report.ok()) return report.status();
+      adapt_io.Merge(report.ValueOrDie().io);
+      records_repartitioned += report.ValueOrDie().smooth.records_moved;
+      created_tree |= report.ValueOrDie().smooth.created_tree;
+    }
+  }
+
+  std::vector<TableContext> contexts;
+  contexts.reserve(q.tables.size());
+  for (const TableRef& ref : q.tables) {
+    auto table = GetTable(ref.table);
+    if (!table.ok()) return table.status();
+    contexts.push_back(table.ValueOrDie()->Context());
+  }
+  auto result = planner_.Execute(q, contexts, cluster_);
+  if (!result.ok()) return result.status();
+  QueryRunResult out = std::move(result).ValueOrDie();
+  out.adapt_io = adapt_io;
+  out.records_repartitioned = records_repartitioned;
+  out.created_tree = created_tree;
+  out.io.Merge(adapt_io);
+  out.seconds = cluster_.SimulatedSeconds(out.io);
+  return out;
+}
+
+Status Database::AppendRows(const std::string& table,
+                            const std::vector<Record>& records) {
+  auto t = GetTable(table);
+  if (!t.ok()) return t.status();
+  IoStats io;
+  return t.ValueOrDie()->Append(records, &cluster_, &io);
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+std::string Database::DumpCatalog() const {
+  std::string out;
+  for (const auto& [name, table] : tables_) {
+    out += table->DescribeLayout();
+  }
+  return out;
+}
+
+}  // namespace adaptdb

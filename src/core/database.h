@@ -1,0 +1,95 @@
+/// \file database.h
+/// \brief The AdaptDB storage manager facade (paper Fig. 2).
+///
+/// A Database owns the simulated cluster, the tables, the query window, the
+/// adaptive optimizer and the query planner. Running a query performs the
+/// full per-query loop:
+///   1. append the query to the window,
+///   2. adapt each referenced table (smooth repartitioning between join
+///      trees + Amoeba refinement of selection levels), folding the
+///      repartitioning I/O into this query's latency, and
+///   3. plan and execute the query (hyper-join vs shuffle join by cost).
+///
+/// Baselines are expressed as configuration: disable adaptation for static
+/// layouts, force shuffle joins, ignore partitioning for full scans, or
+/// enable full (non-smooth) repartitioning.
+
+#ifndef ADAPTDB_CORE_DATABASE_H_
+#define ADAPTDB_CORE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "adapt/optimizer.h"
+#include "adapt/query_window.h"
+#include "core/table.h"
+#include "planner/join_planner.h"
+
+namespace adaptdb {
+
+/// \brief Whole-system configuration.
+struct DatabaseOptions {
+  ClusterConfig cluster;
+  AdaptConfig adapt;
+  PlannerConfig planner;
+  /// Master switch for the adaptive loop (step 2 above).
+  bool adapt_enabled = true;
+};
+
+/// \brief The top-level AdaptDB object.
+class Database {
+ public:
+  explicit Database(DatabaseOptions options = {});
+
+  /// Creates a table and ingests `records` through the upfront partitioner.
+  Status CreateTable(const std::string& name, Schema schema,
+                     const std::vector<Record>& records,
+                     TableOptions table_options = {});
+
+  /// Fetches a table by name.
+  Result<Table*> GetTable(const std::string& name);
+
+  /// Runs one query through the adapt → plan → execute loop, returning row
+  /// counts, I/O and the simulated latency (including adaptation overhead).
+  Result<QueryRunResult> RunQuery(const Query& q);
+
+  /// Appends new rows to a loaded table (online ingestion, §8): records
+  /// route through the table's primary partitioning tree and become visible
+  /// to subsequent queries.
+  Status AppendRows(const std::string& table,
+                    const std::vector<Record>& records);
+
+  /// The simulated cluster (placement, cost accounting).
+  ClusterSim* cluster() { return &cluster_; }
+  /// The recent query window.
+  QueryWindow* window() { return &window_; }
+  /// Planner configuration (mutable for baselines/ablations).
+  PlannerConfig* mutable_planner_config() {
+    return planner_.mutable_config();
+  }
+  const DatabaseOptions& options() const { return options_; }
+  /// Enables/disables the adaptive loop at runtime.
+  void set_adapt_enabled(bool on) { options_.adapt_enabled = on; }
+
+  /// Names of all tables.
+  std::vector<std::string> TableNames() const;
+
+  /// The whole catalog as text: every table's layout (DescribeLayout).
+  /// This is the metadata the paper's storage engine persists alongside
+  /// blocks ("Update index" in Fig. 2); trees round-trip through
+  /// PartitionTree::Serialize/Parse.
+  std::string DumpCatalog() const;
+
+ private:
+  DatabaseOptions options_;
+  ClusterSim cluster_;
+  QueryWindow window_;
+  JoinPlanner planner_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::map<std::string, std::unique_ptr<Optimizer>> optimizers_;
+};
+
+}  // namespace adaptdb
+
+#endif  // ADAPTDB_CORE_DATABASE_H_

@@ -1,0 +1,97 @@
+#include "core/table.h"
+
+#include <algorithm>
+
+namespace adaptdb {
+
+Table::Table(std::string name, Schema schema, TableOptions options)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      options_(options),
+      store_(schema_.num_attrs()),
+      sample_(options.sample_capacity, options.seed) {}
+
+std::string Table::DescribeLayout() const {
+  std::string out = "table " + name_ + " (" + schema_.ToString() + ")\n";
+  for (AttrId attr : trees_.Attrs()) {
+    auto tree = trees_.Tree(attr);
+    if (!tree.ok()) continue;
+    const PartitionTree* t = tree.ValueOrDie();
+    const auto live = trees_.LiveLeaves(attr, store_);
+    out += "  tree ";
+    if (attr == kUpfrontTree) {
+      out += "upfront";
+    } else {
+      out += "join=" + schema_.field(attr).name;
+    }
+    out += ": depth " + std::to_string(t->Depth()) + ", join_levels " +
+           std::to_string(t->join_levels()) + ", " +
+           std::to_string(live.size()) + " live blocks, " +
+           std::to_string(trees_.RecordsUnder(attr, store_)) + " records\n";
+    out += "    " + t->Serialize() + "\n";
+  }
+  return out;
+}
+
+Status Table::Append(const std::vector<Record>& records, ClusterSim* cluster,
+                     IoStats* io) {
+  if (cluster == nullptr) return Status::InvalidArgument("null cluster");
+  if (trees_.size() == 0) {
+    return Status::InvalidArgument("table '" + name_ + "' not loaded");
+  }
+  if (!records.empty()) {
+    ADB_RETURN_NOT_OK(schema_.ValidateRecord(records.front()));
+  }
+  // Route into the tree holding the most data (the primary layout).
+  AttrId target = kUpfrontTree;
+  int64_t best = -1;
+  for (AttrId a : trees_.Attrs()) {
+    const int64_t n = trees_.RecordsUnder(a, store_);
+    if (n > best) {
+      best = n;
+      target = a;
+    }
+  }
+  auto tree = trees_.Tree(target);
+  if (!tree.ok()) return tree.status();
+  for (const Record& rec : records) {
+    auto leaf = tree.ValueOrDie()->Route(rec);
+    if (!leaf.ok()) return leaf.status();
+    auto block = store_.Get(leaf.ValueOrDie());
+    if (!block.ok()) return block.status();
+    block.ValueOrDie()->Add(rec);
+    sample_.Add(rec);
+  }
+  if (io != nullptr && !records.empty()) {
+    const int64_t avg_block_records = std::max<int64_t>(
+        1, static_cast<int64_t>(store_.TotalRecords() /
+                                std::max<size_t>(1, store_.num_blocks())));
+    const int64_t block_equivalents = std::max<int64_t>(
+        1, static_cast<int64_t>(records.size()) / avg_block_records);
+    cluster->WriteBlocks(block_equivalents, io);
+  }
+  return Status::OK();
+}
+
+Status Table::Load(const std::vector<Record>& records, ClusterSim* cluster) {
+  if (cluster == nullptr) return Status::InvalidArgument("null cluster");
+  if (records.empty()) return Status::InvalidArgument("no records");
+  ADB_RETURN_NOT_OK(schema_.ValidateRecord(records.front()));
+  sample_.AddAll(records);
+
+  UpfrontOptions opts;
+  opts.num_levels = options_.upfront_levels;
+  opts.attrs = options_.upfront_attrs;
+  opts.seed = options_.seed;
+  UpfrontPartitioner partitioner(schema_, opts);
+  auto tree = partitioner.Build(sample_, &store_);
+  if (!tree.ok()) return tree.status();
+  ADB_RETURN_NOT_OK(LoadRecords(records, tree.ValueOrDie(), &store_));
+  for (BlockId b : tree.ValueOrDie().Leaves()) {
+    cluster->PlaceBlock(b);
+  }
+  trees_.Add(kUpfrontTree, std::move(tree).ValueOrDie());
+  return Status::OK();
+}
+
+}  // namespace adaptdb

@@ -1,0 +1,84 @@
+/// \file table.h
+/// \brief A managed table: schema, blocks, sample, partitioning trees.
+
+#ifndef ADAPTDB_CORE_TABLE_H_
+#define ADAPTDB_CORE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "adapt/tree_set.h"
+#include "common/result.h"
+#include "planner/join_planner.h"
+#include "sample/reservoir.h"
+#include "storage/cluster.h"
+#include "tree/upfront_partitioner.h"
+
+namespace adaptdb {
+
+/// \brief Per-table configuration.
+struct TableOptions {
+  /// Depth of the initial upfront tree (up to 2^levels blocks, §3.1).
+  int32_t upfront_levels = 6;
+  /// Reservoir sample size used for all cut-point decisions.
+  size_t sample_capacity = 2000;
+  /// Seed for sampling and upfront attribute assignment.
+  uint64_t seed = 11;
+  /// Candidate attributes for the upfront tree; empty = all.
+  std::vector<AttrId> upfront_attrs;
+};
+
+/// \brief One table under AdaptDB management.
+class Table {
+ public:
+  Table(std::string name, Schema schema, TableOptions options);
+
+  /// Ingests `records`: samples them, builds the upfront tree, routes all
+  /// rows into blocks and places the blocks across `cluster`.
+  Status Load(const std::vector<Record>& records, ClusterSim* cluster);
+
+  /// Appends new records to an already-loaded table (the online-ingestion
+  /// path of the paper's §8: "new tuples ... can be appended to the
+  /// corresponding data blocks based on the partitioning trees"). Records
+  /// route through the tree currently holding the most data; the sample is
+  /// refreshed so future cut-point decisions see the new distribution.
+  /// Accounts one durable block write per block-equivalent appended.
+  Status Append(const std::vector<Record>& records, ClusterSim* cluster,
+                IoStats* io = nullptr);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  const TableOptions& options() const { return options_; }
+  BlockStore* store() { return &store_; }
+  const BlockStore& store() const { return store_; }
+  TreeSet* trees() { return &trees_; }
+  const TreeSet& trees() const { return trees_; }
+  const Reservoir& sample() const { return sample_; }
+
+  /// Total live records.
+  int64_t num_records() const {
+    return static_cast<int64_t>(store_.TotalRecords());
+  }
+
+  /// The planner-facing view of this table.
+  TableContext Context() {
+    return TableContext{name_, &schema_, &store_, &trees_};
+  }
+
+  /// Human-readable layout summary: one line per partitioning tree with its
+  /// join attribute, depth, live block/record counts, plus the serialized
+  /// tree structure (the Fig. 2 "index" metadata).
+  std::string DescribeLayout() const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  TableOptions options_;
+  BlockStore store_;
+  TreeSet trees_;
+  Reservoir sample_;
+};
+
+}  // namespace adaptdb
+
+#endif  // ADAPTDB_CORE_TABLE_H_

@@ -1,0 +1,69 @@
+#include "exec/hash_join.h"
+
+#include <functional>
+
+namespace adaptdb {
+
+size_t HashValue(const Value& v) {
+  switch (v.type()) {
+    case DataType::kInt64:
+      return std::hash<int64_t>{}(v.AsInt64());
+    case DataType::kDouble:
+      return std::hash<double>{}(v.AsDouble());
+    case DataType::kString:
+      return std::hash<std::string>{}(v.AsString());
+  }
+  return 0;
+}
+
+void HashIndex::AddBlock(const Block& block, const PredicateSet& preds) {
+  for (const Record& rec : block.records()) {
+    if (!MatchesAll(preds, rec)) continue;
+    buckets_[rec[static_cast<size_t>(attr_)]].push_back(&rec);
+    ++build_rows_;
+  }
+}
+
+void HashIndex::AddRecords(const std::vector<Record>& records,
+                           const PredicateSet& preds) {
+  for (const Record& rec : records) {
+    if (!MatchesAll(preds, rec)) continue;
+    buckets_[rec[static_cast<size_t>(attr_)]].push_back(&rec);
+    ++build_rows_;
+  }
+}
+
+void HashIndex::ProbeRecord(const Record& probe, AttrId probe_attr,
+                            JoinCounts* counts,
+                            std::vector<Record>* output) const {
+  const Value& key = probe[static_cast<size_t>(probe_attr)];
+  auto it = buckets_.find(key);
+  if (it == buckets_.end()) return;
+  const auto& bucket = it->second;
+  counts->output_rows += static_cast<int64_t>(bucket.size());
+  counts->checksum += static_cast<uint64_t>(bucket.size()) *
+                      (static_cast<uint64_t>(HashValue(key)) | 1);
+  if (output != nullptr) {
+    for (const Record* build : bucket) {
+      Record joined = *build;
+      joined.insert(joined.end(), probe.begin(), probe.end());
+      output->push_back(std::move(joined));
+    }
+  }
+}
+
+void HashIndex::Probe(const Block& block, AttrId probe_attr,
+                      const PredicateSet& preds, JoinCounts* counts,
+                      std::vector<Record>* output) const {
+  for (const Record& rec : block.records()) {
+    if (!MatchesAll(preds, rec)) continue;
+    ProbeRecord(rec, probe_attr, counts, output);
+  }
+}
+
+void HashIndex::Clear() {
+  buckets_.clear();
+  build_rows_ = 0;
+}
+
+}  // namespace adaptdb

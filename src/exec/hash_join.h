@@ -1,0 +1,77 @@
+/// \file hash_join.h
+/// \brief In-memory hash-join kernel shared by shuffle join and hyper-join.
+
+#ifndef ADAPTDB_EXEC_HASH_JOIN_H_
+#define ADAPTDB_EXEC_HASH_JOIN_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "schema/predicate.h"
+#include "schema/schema.h"
+#include "storage/block.h"
+
+namespace adaptdb {
+
+/// Hashes a Value by its contained scalar.
+size_t HashValue(const Value& v);
+
+/// Hash functor for unordered containers keyed by Value.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return HashValue(v); }
+};
+
+/// \brief Join output statistics. The checksum is an order-independent
+/// fingerprint (sum over matched pairs of a key hash), letting tests assert
+/// that different join algorithms produce identical logical results.
+struct JoinCounts {
+  int64_t output_rows = 0;
+  uint64_t checksum = 0;
+
+  void Merge(const JoinCounts& o) {
+    output_rows += o.output_rows;
+    checksum += o.checksum;
+  }
+};
+
+/// \brief A build-side hash index over records that passed the predicates.
+///
+/// Build rows are referenced, not copied; the index must not outlive the
+/// blocks (or record vectors) it was built from.
+class HashIndex {
+ public:
+  /// Creates an index keyed on `attr` of the build-side records.
+  explicit HashIndex(AttrId attr) : attr_(attr) {}
+
+  /// Inserts every record of `block` matching `preds`.
+  void AddBlock(const Block& block, const PredicateSet& preds);
+
+  /// Inserts every record of `records` matching `preds`.
+  void AddRecords(const std::vector<Record>& records,
+                  const PredicateSet& preds);
+
+  /// Probes with one record's key. Accumulates counts; when `output` is
+  /// non-null, appends one concatenated record (build ++ probe) per match.
+  void ProbeRecord(const Record& probe, AttrId probe_attr, JoinCounts* counts,
+                   std::vector<Record>* output) const;
+
+  /// Probes with every record of `block` matching `preds`.
+  void Probe(const Block& block, AttrId probe_attr, const PredicateSet& preds,
+             JoinCounts* counts, std::vector<Record>* output = nullptr) const;
+
+  /// Number of build-side rows indexed.
+  int64_t BuildRows() const { return build_rows_; }
+
+  /// Removes all entries (reuse across groups).
+  void Clear();
+
+ private:
+  AttrId attr_;
+  int64_t build_rows_ = 0;
+  std::unordered_map<Value, std::vector<const Record*>, ValueHash> buckets_;
+};
+
+}  // namespace adaptdb
+
+#endif  // ADAPTDB_EXEC_HASH_JOIN_H_

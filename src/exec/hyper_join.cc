@@ -1,0 +1,47 @@
+#include "exec/hyper_join.h"
+
+namespace adaptdb {
+
+Result<JoinExecResult> HyperJoin(const BlockStore& r_store, AttrId r_attr,
+                                 const PredicateSet& r_preds,
+                                 const BlockStore& s_store, AttrId s_attr,
+                                 const PredicateSet& s_preds,
+                                 const OverlapMatrix& overlap,
+                                 const Grouping& grouping,
+                                 const ClusterSim& cluster,
+                                 std::vector<Record>* output) {
+  JoinExecResult out;
+  for (const auto& group : grouping.groups) {
+    if (group.empty()) continue;
+    // Build side: the group's R blocks, hashed on the join attribute.
+    std::vector<BlockId> group_blocks;
+    group_blocks.reserve(group.size());
+    for (size_t i : group) group_blocks.push_back(overlap.r_blocks[i]);
+    const NodeId worker = cluster.ScheduleTask(group_blocks);
+
+    HashIndex index(r_attr);
+    BitVector needed(overlap.NumS());
+    for (size_t i : group) {
+      const BlockId rb = overlap.r_blocks[i];
+      auto blk = r_store.Get(rb);
+      if (!blk.ok()) return blk.status();
+      cluster.ReadBlock(rb, worker, &out.io);
+      ++out.r_blocks_read;
+      index.AddBlock(*blk.ValueOrDie(), r_preds);
+      needed.OrWith(overlap.vectors[i]);
+    }
+
+    // Probe side: every overlapping S block, streamed one at a time.
+    for (size_t j : needed.SetBits()) {
+      const BlockId sb = overlap.s_blocks[j];
+      auto blk = s_store.Get(sb);
+      if (!blk.ok()) return blk.status();
+      cluster.ReadBlock(sb, worker, &out.io);
+      ++out.s_blocks_read;
+      index.Probe(*blk.ValueOrDie(), s_attr, s_preds, &out.counts, output);
+    }
+  }
+  return out;
+}
+
+}  // namespace adaptdb

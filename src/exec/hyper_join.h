@@ -1,0 +1,37 @@
+/// \file hyper_join.h
+/// \brief The hyper-join executor (paper §4.1).
+///
+/// Given a grouping of R's blocks (see join/grouping.h), each group builds
+/// one hash table on a worker chosen for locality, then probes it with every
+/// S block whose range overlaps the group. No shuffle occurs; S blocks may
+/// be read by multiple groups (that repetition is exactly the C_HyJ factor
+/// of the cost model).
+
+#ifndef ADAPTDB_EXEC_HYPER_JOIN_H_
+#define ADAPTDB_EXEC_HYPER_JOIN_H_
+
+#include "common/result.h"
+#include "exec/shuffle_join.h"
+#include "join/grouping.h"
+#include "join/overlap.h"
+
+namespace adaptdb {
+
+/// Executes R ⋈ S as a hyper-join under `grouping`.
+/// \param overlap  overlap matrix whose r_blocks/s_blocks name the inputs
+/// \param grouping partitioning of overlap.r_blocks indices, each group
+///                 fitting the memory budget
+/// When `output` is non-null, each matched pair is materialized as the
+/// concatenation r ++ s.
+Result<JoinExecResult> HyperJoin(const BlockStore& r_store, AttrId r_attr,
+                                 const PredicateSet& r_preds,
+                                 const BlockStore& s_store, AttrId s_attr,
+                                 const PredicateSet& s_preds,
+                                 const OverlapMatrix& overlap,
+                                 const Grouping& grouping,
+                                 const ClusterSim& cluster,
+                                 std::vector<Record>* output = nullptr);
+
+}  // namespace adaptdb
+
+#endif  // ADAPTDB_EXEC_HYPER_JOIN_H_

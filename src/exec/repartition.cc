@@ -1,0 +1,71 @@
+#include "exec/repartition.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace adaptdb {
+
+Result<RepartitionResult> RepartitionBlocks(
+    BlockStore* store, const std::vector<BlockId>& source_blocks,
+    const PartitionTree& dest_tree, ClusterSim* cluster,
+    SourceDisposition disposition) {
+  if (store == nullptr || cluster == nullptr) {
+    return Status::InvalidArgument("null store/cluster");
+  }
+  const std::vector<BlockId> dest_leaves = dest_tree.Leaves();
+  std::unordered_set<BlockId> dest_set(dest_leaves.begin(), dest_leaves.end());
+  std::unordered_set<BlockId> seen_sources;
+  for (BlockId src : source_blocks) {
+    if (dest_set.count(src) > 0) {
+      return Status::InvalidArgument(
+          "source block " + std::to_string(src) +
+          " is a leaf of the destination tree");
+    }
+    if (!seen_sources.insert(src).second) {
+      return Status::InvalidArgument("duplicate source block " +
+                                     std::to_string(src));
+    }
+    if (!store->Contains(src)) {
+      return Status::NotFound("source block " + std::to_string(src));
+    }
+  }
+  for (BlockId leaf : dest_leaves) {
+    if (!store->Contains(leaf)) {
+      return Status::NotFound("destination leaf block " +
+                              std::to_string(leaf));
+    }
+  }
+
+  RepartitionResult out;
+  std::unordered_set<BlockId> touched;
+  for (BlockId src : source_blocks) {
+    auto blk = store->Get(src);
+    if (!blk.ok()) return blk.status();
+    Block* b = blk.ValueOrDie();
+    auto node = cluster->Locate(src);
+    cluster->ReadBlock(src, node.ok() ? node.ValueOrDie() : 0, &out.io);
+    for (const Record& rec : b->records()) {
+      auto leaf = dest_tree.Route(rec);
+      if (!leaf.ok()) return leaf.status();
+      auto dest = store->Get(leaf.ValueOrDie());
+      if (!dest.ok()) return dest.status();
+      dest.ValueOrDie()->Add(rec);
+      touched.insert(leaf.ValueOrDie());
+      ++out.records_moved;
+    }
+    // The moved data is rewritten once (buffered HDFS appends, §6).
+    cluster->WriteBlocks(1, &out.io);
+    if (disposition == SourceDisposition::kDelete) {
+      ADB_RETURN_NOT_OK(store->Delete(src));
+      cluster->Evict(src);
+    } else {
+      b->ClearRecords();
+    }
+    ++out.sources_drained;
+  }
+  out.touched_blocks.assign(touched.begin(), touched.end());
+  std::sort(out.touched_blocks.begin(), out.touched_blocks.end());
+  return out;
+}
+
+}  // namespace adaptdb

@@ -1,0 +1,53 @@
+/// \file repartition.h
+/// \brief The Type-2 repartitioning iterator (paper §6).
+///
+/// Reads source blocks, routes each record through a destination tree, and
+/// appends it to the destination leaf blocks (HDFS-append semantics: several
+/// repartitioners may extend the same file). Source blocks are deleted once
+/// drained; all I/O is accounted.
+
+#ifndef ADAPTDB_EXEC_REPARTITION_H_
+#define ADAPTDB_EXEC_REPARTITION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "storage/block_store.h"
+#include "storage/cluster.h"
+#include "tree/partition_tree.h"
+
+namespace adaptdb {
+
+/// \brief What happens to drained source blocks.
+///
+/// Smooth repartitioning moves blocks *between trees that both stay alive*;
+/// the drained block is an HDFS file still referenced as a leaf of its tree
+/// and may be re-filled by a later migration, so it is kept empty (kClear).
+/// The Amoeba adapter replaces a subtree wholesale; its old leaves are no
+/// longer referenced anywhere and are deleted (kDelete).
+enum class SourceDisposition {
+  kClear,
+  kDelete,
+};
+
+/// \brief Outcome of a repartitioning pass.
+struct RepartitionResult {
+  int64_t records_moved = 0;
+  /// Source blocks emptied (and, under kDelete, removed).
+  int64_t sources_drained = 0;
+  /// Destination blocks that received records.
+  std::vector<BlockId> touched_blocks;
+  IoStats io;
+};
+
+/// Moves every record of `source_blocks` into the leaves of `dest_tree`.
+/// Fails without side effects if any source block is itself a leaf of the
+/// destination tree (migration must be between distinct trees/subtrees).
+Result<RepartitionResult> RepartitionBlocks(
+    BlockStore* store, const std::vector<BlockId>& source_blocks,
+    const PartitionTree& dest_tree, ClusterSim* cluster,
+    SourceDisposition disposition = SourceDisposition::kClear);
+
+}  // namespace adaptdb
+
+#endif  // ADAPTDB_EXEC_REPARTITION_H_

@@ -1,0 +1,96 @@
+#include "exec/scan.h"
+
+namespace adaptdb {
+
+Result<AggregateResult> ScanAggregate(const BlockStore& store,
+                                      const std::vector<BlockId>& blocks,
+                                      const PredicateSet& preds,
+                                      const ClusterSim& cluster, AttrId attr,
+                                      AggFn fn, bool skip_by_ranges) {
+  AggregateResult out;
+  double sum = 0;
+  bool have_extreme = false;
+  Value extreme;
+  for (BlockId id : blocks) {
+    auto blk = store.Get(id);
+    if (!blk.ok()) return blk.status();
+    const Block* b = blk.ValueOrDie();
+    if (skip_by_ranges && !b->MayMatch(preds)) {
+      ++out.scan.blocks_skipped;
+      continue;
+    }
+    auto node = cluster.Locate(id);
+    cluster.ReadBlock(id, node.ok() ? node.ValueOrDie() : 0, &out.scan.io);
+    ++out.scan.blocks_read;
+    for (const Record& rec : b->records()) {
+      if (!MatchesAll(preds, rec)) continue;
+      ++out.rows_aggregated;
+      ++out.scan.rows_matched;
+      const Value& v = rec[static_cast<size_t>(attr)];
+      switch (fn) {
+        case AggFn::kCount:
+          break;
+        case AggFn::kSum:
+        case AggFn::kAvg:
+          if (v.type() == DataType::kString) {
+            return Status::InvalidArgument("sum/avg over string attribute");
+          }
+          sum += v.AsNumeric();
+          break;
+        case AggFn::kMin:
+          if (!have_extreme || v < extreme) extreme = v;
+          have_extreme = true;
+          break;
+        case AggFn::kMax:
+          if (!have_extreme || extreme < v) extreme = v;
+          have_extreme = true;
+          break;
+      }
+    }
+  }
+  switch (fn) {
+    case AggFn::kCount:
+      out.value = Value(out.rows_aggregated);
+      break;
+    case AggFn::kSum:
+      out.value = Value(sum);
+      break;
+    case AggFn::kAvg:
+      out.value = out.rows_aggregated > 0
+                      ? Value(sum / static_cast<double>(out.rows_aggregated))
+                      : Value(int64_t{0});
+      break;
+    case AggFn::kMin:
+    case AggFn::kMax:
+      out.value = have_extreme ? extreme : Value(int64_t{0});
+      break;
+  }
+  return out;
+}
+
+Result<ScanResult> ScanBlocks(const BlockStore& store,
+                              const std::vector<BlockId>& blocks,
+                              const PredicateSet& preds,
+                              const ClusterSim& cluster,
+                              bool skip_by_ranges) {
+  ScanResult out;
+  for (BlockId id : blocks) {
+    auto blk = store.Get(id);
+    if (!blk.ok()) return blk.status();
+    const Block* b = blk.ValueOrDie();
+    if (skip_by_ranges && !b->MayMatch(preds)) {
+      ++out.blocks_skipped;
+      continue;
+    }
+    auto node = cluster.Locate(id);
+    const NodeId reader = node.ok() ? node.ValueOrDie() : 0;
+    cluster.ReadBlock(id, reader, &out.io);
+    ++out.blocks_read;
+    for (const Record& rec : b->records()) {
+      if (MatchesAll(preds, rec)) ++out.rows_matched;
+    }
+  }
+  return out;
+}
+
+}  // namespace adaptdb

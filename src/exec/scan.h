@@ -1,0 +1,66 @@
+/// \file scan.h
+/// \brief Predicate scans over block sets with I/O accounting.
+
+#ifndef ADAPTDB_EXEC_SCAN_H_
+#define ADAPTDB_EXEC_SCAN_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "schema/predicate.h"
+#include "storage/block_store.h"
+#include "storage/cluster.h"
+
+namespace adaptdb {
+
+/// \brief Result of a scan: matched rows plus the I/O it cost.
+struct ScanResult {
+  int64_t rows_matched = 0;
+  int64_t blocks_read = 0;
+  /// Blocks skipped by range metadata before being read.
+  int64_t blocks_skipped = 0;
+  IoStats io;
+};
+
+/// Scans `blocks`, filtering by `preds`. Tasks are scheduled on the node
+/// holding each block (HDFS-style locality), so reads are local. Blocks
+/// whose range metadata excludes the predicates are skipped without I/O
+/// when `skip_by_ranges` is set.
+Result<ScanResult> ScanBlocks(const BlockStore& store,
+                              const std::vector<BlockId>& blocks,
+                              const PredicateSet& preds,
+                              const ClusterSim& cluster,
+                              bool skip_by_ranges = true);
+
+/// \brief Aggregate functions supported by the scan path (the map-side
+/// combiner of the paper's Fig. 7 micro-benchmark; results surface as the
+/// "more complex analysis on top of the returned RDDs" of §6).
+enum class AggFn {
+  kCount,
+  kSum,
+  kMin,
+  kMax,
+  kAvg,
+};
+
+/// \brief An aggregate result with the scan's I/O statistics.
+struct AggregateResult {
+  /// The aggregate value; min/max preserve the attribute's type, sum/avg
+  /// are numeric, count is int64. Int64 0 when no row matched (count 0).
+  Value value;
+  int64_t rows_aggregated = 0;
+  ScanResult scan;
+};
+
+/// Scans and aggregates `fn` over `attr` of the records matching `preds`.
+/// For kMin/kMax the attribute may be any ordered type; kSum/kAvg require a
+/// numeric attribute.
+Result<AggregateResult> ScanAggregate(const BlockStore& store,
+                                      const std::vector<BlockId>& blocks,
+                                      const PredicateSet& preds,
+                                      const ClusterSim& cluster, AttrId attr,
+                                      AggFn fn, bool skip_by_ranges = true);
+
+}  // namespace adaptdb
+
+#endif  // ADAPTDB_EXEC_SCAN_H_

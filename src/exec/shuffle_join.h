@@ -1,0 +1,42 @@
+/// \file shuffle_join.h
+/// \brief The shuffle-join baseline executor (paper §4.2, "Shuffle Join").
+///
+/// Phase 1 reads every relevant block of both relations and hash-partitions
+/// the filtered records across the cluster (accounted as shuffle I/O: write
+/// to local spill + remote re-read). Phase 2 hash-joins each partition.
+/// Total I/O per input block is therefore ~C_SJ = 3 block-costs.
+
+#ifndef ADAPTDB_EXEC_SHUFFLE_JOIN_H_
+#define ADAPTDB_EXEC_SHUFFLE_JOIN_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "exec/hash_join.h"
+#include "storage/block_store.h"
+#include "storage/cluster.h"
+
+namespace adaptdb {
+
+/// \brief Result of a distributed join execution.
+struct JoinExecResult {
+  JoinCounts counts;
+  /// Blocks read from R / S (including repeat reads for hyper-join).
+  int64_t r_blocks_read = 0;
+  int64_t s_blocks_read = 0;
+  IoStats io;
+};
+
+/// Executes R ⋈ S with a full shuffle. Predicates are applied before the
+/// shuffle (map-side filtering, as Spark does). When `output` is non-null,
+/// each matched pair is materialized as the concatenation r ++ s.
+Result<JoinExecResult> ShuffleJoin(
+    const BlockStore& r_store, const std::vector<BlockId>& r_blocks,
+    AttrId r_attr, const PredicateSet& r_preds, const BlockStore& s_store,
+    const std::vector<BlockId>& s_blocks, AttrId s_attr,
+    const PredicateSet& s_preds, const ClusterSim& cluster,
+    std::vector<Record>* output = nullptr);
+
+}  // namespace adaptdb
+
+#endif  // ADAPTDB_EXEC_SHUFFLE_JOIN_H_

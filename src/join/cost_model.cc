@@ -1,0 +1,44 @@
+#include "join/cost_model.h"
+
+namespace adaptdb {
+
+double ShuffleJoinCost(int64_t r_blocks, int64_t s_blocks,
+                       const CostModelConfig& config) {
+  return config.c_sj * static_cast<double>(r_blocks + s_blocks);
+}
+
+double HyperJoinCost(int64_t r_blocks, int64_t scheduled_s_reads) {
+  return static_cast<double>(r_blocks) +
+         static_cast<double>(scheduled_s_reads);
+}
+
+double EstimateCHyJ(const OverlapMatrix& overlap, const Grouping& grouping) {
+  // Distinct S blocks that some R block overlaps.
+  BitVector any(overlap.NumS());
+  for (const BitVector& v : overlap.vectors) any.OrWith(v);
+  const int64_t distinct = static_cast<int64_t>(any.Count());
+  if (distinct == 0) return 0.0;
+  const int64_t scheduled = GroupingCost(overlap, grouping);
+  return static_cast<double>(scheduled) / static_cast<double>(distinct);
+}
+
+JoinChoice ChooseJoin(const OverlapMatrix& overlap, int32_t budget,
+                      const CostModelConfig& config) {
+  JoinChoice choice;
+  auto grouping = BottomUpGrouping(overlap, budget);
+  if (!grouping.ok()) {
+    // Degenerate budget: fall back to shuffle join.
+    choice.use_hyper_join = false;
+    return choice;
+  }
+  const int64_t scheduled = GroupingCost(overlap, grouping.ValueOrDie());
+  const int64_t n_r = static_cast<int64_t>(overlap.NumR());
+  const int64_t n_s = static_cast<int64_t>(overlap.NumS());
+  choice.cost_shuffle = ShuffleJoinCost(n_r, n_s, config);
+  choice.cost_hyper = HyperJoinCost(n_r, scheduled);
+  choice.c_hyj = EstimateCHyJ(overlap, grouping.ValueOrDie());
+  choice.use_hyper_join = choice.cost_hyper < choice.cost_shuffle;
+  return choice;
+}
+
+}  // namespace adaptdb

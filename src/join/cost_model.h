@@ -1,0 +1,57 @@
+/// \file cost_model.h
+/// \brief The shuffle-join vs hyper-join cost model (paper §4.2, eqs. 1–2).
+///
+/// Cost-SJ(q)  = C_SJ * (|lookup(T_R, q)| + |lookup(T_S, q)|)
+/// Cost-HyJ(q) = |lookup(T_R, q)| + C_HyJ * |lookup(T_S, q)|
+///
+/// where C_SJ (empirically 3) folds in the read + spill + re-read legs of a
+/// shuffle, and C_HyJ is the average number of times an S block is read by
+/// the hyper-join schedule. The planner (§5.4) estimates C_HyJ by running
+/// the bottom-up grouping and counting scheduled reads.
+
+#ifndef ADAPTDB_JOIN_COST_MODEL_H_
+#define ADAPTDB_JOIN_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "join/grouping.h"
+#include "join/overlap.h"
+
+namespace adaptdb {
+
+/// \brief Cost model constants.
+struct CostModelConfig {
+  /// Blocks-worth of I/O charged per input block of a shuffle join
+  /// (read + partitioned spill write + re-read; the paper sets 3).
+  double c_sj = 3.0;
+};
+
+/// Cost-SJ of eq. 1 in block units.
+double ShuffleJoinCost(int64_t r_blocks, int64_t s_blocks,
+                       const CostModelConfig& config = {});
+
+/// Cost-HyJ of eq. 2 in block units, given the scheduled S reads
+/// (= GroupingCost of the chosen grouping).
+double HyperJoinCost(int64_t r_blocks, int64_t scheduled_s_reads);
+
+/// The achieved C_HyJ: scheduled S reads divided by distinct S blocks that
+/// must be read at least once. 1.0 means perfectly co-partitioned. Returns
+/// 0 when no S block overlaps anything.
+double EstimateCHyJ(const OverlapMatrix& overlap, const Grouping& grouping);
+
+/// \brief The planner's decision with its inputs, for explainability.
+struct JoinChoice {
+  bool use_hyper_join = false;
+  double cost_shuffle = 0;
+  double cost_hyper = 0;
+  double c_hyj = 0;
+};
+
+/// Applies §5.4: run the (bottom-up) grouping, estimate C_HyJ, evaluate both
+/// equations, pick the cheaper strategy.
+JoinChoice ChooseJoin(const OverlapMatrix& overlap, int32_t budget,
+                      const CostModelConfig& config = {});
+
+}  // namespace adaptdb
+
+#endif  // ADAPTDB_JOIN_COST_MODEL_H_

@@ -1,0 +1,216 @@
+#include "join/exact_grouping.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+namespace adaptdb {
+
+namespace {
+
+/// Depth-first branch-and-bound over block assignments.
+class Solver {
+ public:
+  Solver(const OverlapMatrix& overlap, int32_t budget, int64_t max_nodes)
+      : overlap_(overlap),
+        n_(overlap.NumR()),
+        m_(overlap.NumS()),
+        budget_(static_cast<size_t>(budget)),
+        max_nodes_(max_nodes) {
+    num_groups_ = (n_ + budget_ - 1) / budget_;
+    group_bits_.assign(num_groups_, BitVector(m_));
+    group_sizes_.assign(num_groups_, 0);
+    assignment_.assign(n_, 0);
+    // Suffix unions: bits needed by blocks i..n-1. Used by the lower bound.
+    suffix_union_.assign(n_ + 1, BitVector(m_));
+    for (size_t i = n_; i-- > 0;) {
+      suffix_union_[i] = suffix_union_[i + 1];
+      suffix_union_[i].OrWith(overlap_.vectors[order_index(i)]);
+    }
+  }
+
+  Status Run(const Grouping& incumbent_grouping, int64_t incumbent_cost) {
+    best_cost_ = incumbent_cost;
+    best_ = incumbent_grouping;
+    const Status st = Dfs(0, 0, 0);
+    if (!st.ok()) return st;
+    return Status::OK();
+  }
+
+  const Grouping& best() const { return best_; }
+  int64_t best_cost() const { return best_cost_; }
+  int64_t nodes() const { return nodes_; }
+
+ private:
+  // Blocks are assigned in their natural order; for range-partitioned
+  // relations this is roughly interval order, which makes the bound tight.
+  size_t order_index(size_t i) const { return i; }
+
+  /// Admissible lower bound increment: every bit required by a remaining
+  /// block that no group currently holds must be read at least once more.
+  int64_t LowerBound(size_t next, int64_t cost_so_far) const {
+    BitVector covered(m_);
+    for (size_t g = 0; g < num_groups_; ++g) {
+      if (group_sizes_[g] < budget_) covered.OrWith(group_bits_[g]);
+    }
+    const size_t needed = suffix_union_[next].Count();
+    const size_t shareable = suffix_union_[next].CountAnd(covered);
+    return cost_so_far + static_cast<int64_t>(needed - shareable);
+  }
+
+  Status Dfs(size_t next, int64_t cost_so_far, size_t open_groups) {
+    if (++nodes_ > max_nodes_) {
+      return Status::ResourceExhausted(
+          "exact grouping exceeded node budget of " +
+          std::to_string(max_nodes_));
+    }
+    if (next == n_) {
+      if (cost_so_far < best_cost_) {
+        best_cost_ = cost_so_far;
+        best_.groups.assign(num_groups_, {});
+        for (size_t i = 0; i < n_; ++i) {
+          best_.groups[assignment_[i]].push_back(order_index(i));
+        }
+        // Drop groups left empty (possible when n % B != 0 and the search
+        // packed blocks more tightly than round-robin).
+        best_.groups.erase(
+            std::remove_if(best_.groups.begin(), best_.groups.end(),
+                           [](const std::vector<size_t>& g) { return g.empty(); }),
+            best_.groups.end());
+      }
+      return Status::OK();
+    }
+    if (LowerBound(next, cost_so_far) >= best_cost_) return Status::OK();
+
+    // Dominance: group labels are interchangeable, so two search nodes with
+    // the same `next` and the same multiset of (size, contents) group states
+    // are equivalent; only the cheaper one can lead to an improvement.
+    // States are keyed by a 64-bit signature (collision probability is
+    // negligible at the node counts the budget allows).
+    const uint64_t sig = StateSignature(next);
+    auto [it, inserted] = visited_.try_emplace(sig, cost_so_far);
+    if (!inserted) {
+      if (it->second <= cost_so_far) return Status::OK();
+      it->second = cost_so_far;
+    }
+
+    const BitVector& v = overlap_.vectors[order_index(next)];
+    // Feasibility: remaining blocks must fit into remaining capacity; a new
+    // group may be opened only if at least one is still closed.
+    const size_t remaining_after = n_ - next - 1;
+
+    // Order candidate groups by marginal cost so good solutions are found
+    // early and the bound prunes aggressively. Groups with identical
+    // contents and fill are interchangeable: trying one of them suffices
+    // (this collapses the empty-group symmetry and the duplicate-union
+    // states interval-structured instances produce).
+    std::vector<std::pair<int64_t, size_t>> candidates;
+    const size_t tryable = std::min(open_groups + 1, num_groups_);
+    for (size_t g = 0; g < tryable; ++g) {
+      if (group_sizes_[g] >= budget_) continue;
+      bool duplicate = false;
+      for (size_t h = 0; h < g; ++h) {
+        if (group_sizes_[h] == group_sizes_[g] &&
+            group_bits_[h] == group_bits_[g]) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+      const int64_t delta =
+          static_cast<int64_t>(group_bits_[g].CountOr(v)) -
+          static_cast<int64_t>(group_bits_[g].Count());
+      candidates.emplace_back(delta, g);
+    }
+    std::sort(candidates.begin(), candidates.end());
+
+    for (const auto& [delta, g] : candidates) {
+      // Capacity feasibility: after placing here, the rest must still fit.
+      size_t capacity = 0;
+      for (size_t h = 0; h < num_groups_; ++h) {
+        capacity += budget_ - group_sizes_[h];
+      }
+      if (capacity - 1 < remaining_after) continue;
+
+      const BitVector saved = group_bits_[g];
+      group_bits_[g].OrWith(v);
+      ++group_sizes_[g];
+      assignment_[next] = g;
+      const size_t new_open = std::max(open_groups, g + 1);
+      const Status st = Dfs(next + 1, cost_so_far + delta, new_open);
+      group_bits_[g] = saved;
+      --group_sizes_[g];
+      if (!st.ok()) return st;
+    }
+    return Status::OK();
+  }
+
+  uint64_t StateSignature(size_t next) const {
+    std::vector<uint64_t> sigs;
+    sigs.reserve(num_groups_);
+    for (size_t g = 0; g < num_groups_; ++g) {
+      sigs.push_back(group_bits_[g].Hash() * 31 + group_sizes_[g]);
+    }
+    std::sort(sigs.begin(), sigs.end());
+    uint64_t h = 1469598103934665603ull ^ (next * 0x9e3779b97f4a7c15ull);
+    for (uint64_t s : sigs) {
+      h ^= s;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+
+  const OverlapMatrix& overlap_;
+  size_t n_;
+  size_t m_;
+  size_t budget_;
+  int64_t max_nodes_;
+  size_t num_groups_ = 0;
+
+  std::vector<BitVector> group_bits_;
+  std::vector<size_t> group_sizes_;
+  std::vector<size_t> assignment_;
+  std::vector<BitVector> suffix_union_;
+
+  Grouping best_;
+  int64_t best_cost_ = std::numeric_limits<int64_t>::max();
+  int64_t nodes_ = 0;
+  std::unordered_map<uint64_t, int64_t> visited_;
+};
+
+}  // namespace
+
+Result<ExactResult> ExactGrouping(const OverlapMatrix& overlap, int32_t budget,
+                                  ExactOptions options) {
+  if (budget <= 0) return Status::InvalidArgument("budget must be positive");
+  if (overlap.NumR() == 0) {
+    ExactResult r;
+    r.proven_optimal = true;
+    return r;
+  }
+  // Start from the best cheap incumbent: the bottom-up heuristic or the
+  // contiguous DP (usually optimal for interval-structured instances).
+  auto incumbent = BottomUpGrouping(overlap, budget);
+  if (!incumbent.ok()) return incumbent.status();
+  int64_t inc_cost = GroupingCost(overlap, incumbent.ValueOrDie());
+  auto dp = ContiguousDpGrouping(overlap, budget);
+  if (!dp.ok()) return dp.status();
+  const int64_t dp_cost = GroupingCost(overlap, dp.ValueOrDie());
+  if (dp_cost < inc_cost) {
+    incumbent = std::move(dp);
+    inc_cost = dp_cost;
+  }
+
+  Solver solver(overlap, budget, options.max_nodes);
+  const Status st = solver.Run(incumbent.ValueOrDie(), inc_cost);
+  if (!st.ok()) return st;
+
+  ExactResult r;
+  r.grouping = solver.best();
+  r.cost = solver.best_cost();
+  r.nodes_expanded = solver.nodes();
+  r.proven_optimal = true;
+  return r;
+}
+
+}  // namespace adaptdb

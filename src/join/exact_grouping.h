@@ -1,0 +1,52 @@
+/// \file exact_grouping.h
+/// \brief Optimal hyper-join grouping (paper §4.1.2).
+///
+/// The paper formulates minimal partitioning as a mixed-integer program and
+/// solves it with GLPK as an accuracy baseline, noting it is exponential and
+/// impractical ("around 20 minutes" at buffer 32; ">96 hours" at buffer 16
+/// on 128 blocks, Fig. 17). We replace the external solver with a
+/// branch-and-bound search over block-to-partition assignments that returns
+/// the same optimum, with:
+///   * an incumbent initialized from the bottom-up heuristic,
+///   * an admissible lower bound (bits required by unassigned blocks that no
+///     open partition already covers must be paid at least once), and
+///   * partition-symmetry breaking (a block may open at most one new group).
+/// A node budget bounds runtime; exceeding it returns ResourceExhausted,
+/// mirroring the paper's ">96 hours" entry.
+
+#ifndef ADAPTDB_JOIN_EXACT_GROUPING_H_
+#define ADAPTDB_JOIN_EXACT_GROUPING_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "join/grouping.h"
+
+namespace adaptdb {
+
+/// \brief Options for the exact solver.
+struct ExactOptions {
+  /// Maximum search-tree nodes to expand before giving up.
+  int64_t max_nodes = 20'000'000;
+};
+
+/// \brief Result of the exact solver, including search statistics.
+struct ExactResult {
+  Grouping grouping;
+  int64_t cost = 0;
+  /// Search nodes expanded.
+  int64_t nodes_expanded = 0;
+  /// True iff the search completed (result is provably optimal).
+  bool proven_optimal = false;
+};
+
+/// Solves Problem 1 exactly: partition R's blocks into ceil(n/B) groups of
+/// size <= B minimizing the total S reads. Returns ResourceExhausted when
+/// the node budget is exceeded (the incumbent so far is not returned, since
+/// the paper reports such runs as failures).
+Result<ExactResult> ExactGrouping(const OverlapMatrix& overlap, int32_t budget,
+                                  ExactOptions options = {});
+
+}  // namespace adaptdb
+
+#endif  // ADAPTDB_JOIN_EXACT_GROUPING_H_

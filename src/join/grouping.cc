@@ -1,0 +1,194 @@
+#include "join/grouping.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace adaptdb {
+
+std::string Grouping::ToString() const {
+  std::string out = "{";
+  for (size_t g = 0; g < groups.size(); ++g) {
+    if (g > 0) out += ", ";
+    out += "[";
+    for (size_t i = 0; i < groups[g].size(); ++i) {
+      if (i > 0) out += " ";
+      out += std::to_string(groups[g][i]);
+    }
+    out += "]";
+  }
+  out += "}";
+  return out;
+}
+
+int64_t GroupingCost(const OverlapMatrix& overlap, const Grouping& grouping) {
+  int64_t cost = 0;
+  for (const auto& group : grouping.groups) {
+    if (group.empty()) continue;
+    BitVector acc(overlap.NumS());
+    for (size_t i : group) acc.OrWith(overlap.vectors[i]);
+    cost += static_cast<int64_t>(acc.Count());
+  }
+  return cost;
+}
+
+Status ValidateGrouping(const OverlapMatrix& overlap, const Grouping& grouping,
+                        int32_t budget) {
+  const size_t n = overlap.NumR();
+  std::vector<bool> seen(n, false);
+  size_t covered = 0;
+  for (const auto& group : grouping.groups) {
+    if (group.size() > static_cast<size_t>(budget)) {
+      return Status::InvalidArgument("group exceeds budget");
+    }
+    for (size_t i : group) {
+      if (i >= n) return Status::OutOfRange("block index out of range");
+      if (seen[i]) return Status::InvalidArgument("block assigned twice");
+      seen[i] = true;
+      ++covered;
+    }
+  }
+  if (covered != n) return Status::InvalidArgument("not all blocks covered");
+  if (n > 0) {
+    const size_t c = (n + static_cast<size_t>(budget) - 1) /
+                     static_cast<size_t>(budget);
+    if (grouping.NumGroups() > n || grouping.NumGroups() < c) {
+      return Status::InvalidArgument("wrong number of groups");
+    }
+  }
+  return Status::OK();
+}
+
+Result<Grouping> BottomUpGrouping(const OverlapMatrix& overlap,
+                                  int32_t budget) {
+  if (budget <= 0) return Status::InvalidArgument("budget must be positive");
+  const size_t n = overlap.NumR();
+  Grouping out;
+  std::vector<bool> placed(n, false);
+  size_t remaining = n;
+
+  while (remaining > 0) {
+    std::vector<size_t> group;
+    BitVector acc(overlap.NumS());
+    while (group.size() < static_cast<size_t>(budget) && remaining > 0) {
+      size_t best = std::numeric_limits<size_t>::max();
+      size_t best_cost = std::numeric_limits<size_t>::max();
+      for (size_t i = 0; i < n; ++i) {
+        if (placed[i]) continue;
+        const size_t cost = acc.CountOr(overlap.vectors[i]);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = i;
+        }
+      }
+      placed[best] = true;
+      acc.OrWith(overlap.vectors[best]);
+      group.push_back(best);
+      --remaining;
+    }
+    out.groups.push_back(std::move(group));
+  }
+  return out;
+}
+
+Result<Grouping> GreedyGrouping(const OverlapMatrix& overlap, int32_t budget) {
+  if (budget <= 0) return Status::InvalidArgument("budget must be positive");
+  const size_t n = overlap.NumR();
+  Grouping out;
+  std::vector<bool> placed(n, false);
+  size_t remaining = n;
+
+  while (remaining > 0) {
+    // Seed the partition at the sparsest unplaced vector, then grow to
+    // min(B, remaining) members minimizing union growth (the tractable
+    // relaxation of Fig. 5's "B blocks with smallest delta").
+    size_t seed = std::numeric_limits<size_t>::max();
+    size_t seed_bits = std::numeric_limits<size_t>::max();
+    for (size_t i = 0; i < n; ++i) {
+      if (placed[i]) continue;
+      const size_t bits = overlap.vectors[i].Count();
+      if (bits < seed_bits) {
+        seed_bits = bits;
+        seed = i;
+      }
+    }
+    std::vector<size_t> group{seed};
+    placed[seed] = true;
+    --remaining;
+    BitVector acc = overlap.vectors[seed];
+    const size_t target =
+        std::min(static_cast<size_t>(budget), remaining + 1);
+    while (group.size() < target) {
+      size_t best = std::numeric_limits<size_t>::max();
+      size_t best_cost = std::numeric_limits<size_t>::max();
+      for (size_t i = 0; i < n; ++i) {
+        if (placed[i]) continue;
+        const size_t cost = acc.CountOr(overlap.vectors[i]);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = i;
+        }
+      }
+      placed[best] = true;
+      acc.OrWith(overlap.vectors[best]);
+      group.push_back(best);
+      --remaining;
+    }
+    out.groups.push_back(std::move(group));
+  }
+  return out;
+}
+
+Result<Grouping> ContiguousDpGrouping(const OverlapMatrix& overlap,
+                                      int32_t budget) {
+  if (budget <= 0) return Status::InvalidArgument("budget must be positive");
+  const size_t n = overlap.NumR();
+  Grouping out;
+  if (n == 0) return out;
+  const size_t b = static_cast<size_t>(budget);
+  // cost[j][i]: popcount of the union of blocks j..i (j > i - B).
+  // dp[i]: min cost over partitions of blocks [0, i) into runs of <= B.
+  constexpr int64_t kInf = std::numeric_limits<int64_t>::max() / 4;
+  std::vector<int64_t> dp(n + 1, kInf);
+  std::vector<size_t> cut(n + 1, 0);
+  dp[0] = 0;
+  for (size_t i = 1; i <= n; ++i) {
+    BitVector acc(overlap.NumS());
+    // Grow the candidate last run backwards from block i-1.
+    for (size_t len = 1; len <= b && len <= i; ++len) {
+      const size_t j = i - len;
+      acc.OrWith(overlap.vectors[j]);
+      const int64_t cost = dp[j] + static_cast<int64_t>(acc.Count());
+      if (cost < dp[i]) {
+        dp[i] = cost;
+        cut[i] = j;
+      }
+    }
+  }
+  size_t i = n;
+  while (i > 0) {
+    std::vector<size_t> group;
+    for (size_t k = cut[i]; k < i; ++k) group.push_back(k);
+    out.groups.push_back(std::move(group));
+    i = cut[i];
+  }
+  std::reverse(out.groups.begin(), out.groups.end());
+  return out;
+}
+
+Result<Grouping> SequentialGrouping(const OverlapMatrix& overlap,
+                                    int32_t budget) {
+  if (budget <= 0) return Status::InvalidArgument("budget must be positive");
+  Grouping out;
+  std::vector<size_t> group;
+  for (size_t i = 0; i < overlap.NumR(); ++i) {
+    group.push_back(i);
+    if (group.size() == static_cast<size_t>(budget)) {
+      out.groups.push_back(std::move(group));
+      group.clear();
+    }
+  }
+  if (!group.empty()) out.groups.push_back(std::move(group));
+  return out;
+}
+
+}  // namespace adaptdb

@@ -1,0 +1,70 @@
+/// \file grouping.h
+/// \brief Heuristic hyper-join block grouping (paper §4.1.3 and §4.1.5).
+///
+/// Given the overlap matrix and a memory budget of B blocks per hash table,
+/// these algorithms partition R's blocks into groups of at most B such that
+/// the total number of S-block reads — sum over groups of popcount(union of
+/// member vectors) — is small. Finding the optimum is NP-hard (§4.1.4);
+/// see exact_grouping.h for the branch-and-bound optimum.
+
+#ifndef ADAPTDB_JOIN_GROUPING_H_
+#define ADAPTDB_JOIN_GROUPING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "join/overlap.h"
+
+namespace adaptdb {
+
+/// \brief A partitioning P of R's blocks: groups of indices into
+/// OverlapMatrix::r_blocks. Groups are disjoint and cover all blocks.
+struct Grouping {
+  std::vector<std::vector<size_t>> groups;
+
+  /// Number of groups (hash tables to build).
+  size_t NumGroups() const { return groups.size(); }
+
+  std::string ToString() const;
+};
+
+/// The paper's C(P): total S blocks scheduled for reading,
+/// sum over groups of popcount(OR of member overlap vectors).
+int64_t GroupingCost(const OverlapMatrix& overlap, const Grouping& grouping);
+
+/// Checks the Problem 1 constraints: disjoint cover of all R blocks with
+/// every group size <= budget and (for n > 0) ceil(n/B) groups or fewer.
+Status ValidateGrouping(const OverlapMatrix& overlap, const Grouping& grouping,
+                        int32_t budget);
+
+/// \brief The bottom-up algorithm of Fig. 6: grow one partition at a time by
+/// repeatedly merging the unplaced block with the smallest
+/// delta(v_i OR union(P)); close the partition at B blocks. O(n^2) unions.
+Result<Grouping> BottomUpGrouping(const OverlapMatrix& overlap, int32_t budget);
+
+/// \brief The approximate algorithm of Fig. 5: iteratively emit the partition
+/// of min(B, |R|) blocks with (heuristically) smallest union, seeded at the
+/// sparsest remaining vector (picking the true min-union subset is itself
+/// NP-hard, §4.1.4).
+Result<Grouping> GreedyGrouping(const OverlapMatrix& overlap, int32_t budget);
+
+/// \brief Baseline: blocks grouped in id order (no optimization). This is
+/// what a system oblivious to overlap structure would do; used by ablations.
+Result<Grouping> SequentialGrouping(const OverlapMatrix& overlap,
+                                    int32_t budget);
+
+/// \brief Optimal *contiguous* grouping by dynamic programming: partitions
+/// the blocks, in their given order, into consecutive runs of at most B
+/// minimizing total cost. For relations range-partitioned on the join
+/// attribute (two-phase trees), blocks in leaf order have interval-shaped
+/// overlap vectors and the contiguous optimum is typically the global
+/// optimum; the exact solver uses it as its starting incumbent.
+/// O(n^2 * ceil(n/B)) time.
+Result<Grouping> ContiguousDpGrouping(const OverlapMatrix& overlap,
+                                      int32_t budget);
+
+}  // namespace adaptdb
+
+#endif  // ADAPTDB_JOIN_GROUPING_H_

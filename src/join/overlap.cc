@@ -1,0 +1,72 @@
+#include "join/overlap.h"
+
+namespace adaptdb {
+
+size_t OverlapMatrix::TotalOverlaps() const {
+  size_t n = 0;
+  for (const BitVector& v : vectors) n += v.Count();
+  return n;
+}
+
+Result<OverlapMatrix> ComputeOverlap(const BlockStore& r_store,
+                                     const std::vector<BlockId>& r_blocks,
+                                     AttrId r_attr, const BlockStore& s_store,
+                                     const std::vector<BlockId>& s_blocks,
+                                     AttrId s_attr) {
+  OverlapMatrix out;
+  out.r_blocks = r_blocks;
+  out.s_blocks = s_blocks;
+  out.vectors.reserve(r_blocks.size());
+
+  // Materialize S ranges once.
+  std::vector<const Block*> s_ptrs;
+  s_ptrs.reserve(s_blocks.size());
+  for (BlockId sb : s_blocks) {
+    auto blk = s_store.Get(sb);
+    if (!blk.ok()) return blk.status();
+    s_ptrs.push_back(blk.ValueOrDie());
+  }
+
+  for (BlockId rb : r_blocks) {
+    auto blk = r_store.Get(rb);
+    if (!blk.ok()) return blk.status();
+    const Block* r = blk.ValueOrDie();
+    BitVector v(s_blocks.size());
+    if (!r->empty()) {
+      const ValueRange& rr = r->range(r_attr);
+      for (size_t j = 0; j < s_ptrs.size(); ++j) {
+        if (!s_ptrs[j]->empty() && rr.Overlaps(s_ptrs[j]->range(s_attr))) {
+          v.Set(j);
+        }
+      }
+    }
+    out.vectors.push_back(std::move(v));
+  }
+  return out;
+}
+
+Result<bool> OverlapByRecords(const BlockStore& r_store, BlockId r,
+                              AttrId r_attr, const BlockStore& s_store,
+                              BlockId s, AttrId s_attr) {
+  auto rb = r_store.Get(r);
+  if (!rb.ok()) return rb.status();
+  auto sb = s_store.Get(s);
+  if (!sb.ok()) return sb.status();
+  if (rb.ValueOrDie()->empty() || sb.ValueOrDie()->empty()) return false;
+  const ValueRange& sr = sb.ValueOrDie()->range(s_attr);
+  for (const Record& rec : rb.ValueOrDie()->records()) {
+    const Value& v = rec[static_cast<size_t>(r_attr)];
+    if (sr.Contains(v)) return true;
+  }
+  // Range containment of individual R values in S's range is necessary but
+  // not sufficient for record-level matches; the paper's definition is
+  // range-intersection, which we mirror here by also testing the converse.
+  const ValueRange& rr = rb.ValueOrDie()->range(r_attr);
+  for (const Record& rec : sb.ValueOrDie()->records()) {
+    const Value& v = rec[static_cast<size_t>(s_attr)];
+    if (rr.Contains(v)) return true;
+  }
+  return false;
+}
+
+}  // namespace adaptdb

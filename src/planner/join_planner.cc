@@ -1,0 +1,286 @@
+#include "planner/join_planner.h"
+
+#include <unordered_map>
+
+#include "exec/hash_join.h"
+#include "exec/hyper_join.h"
+#include "exec/scan.h"
+
+namespace adaptdb {
+
+namespace {
+
+/// A partially joined set of tables: the concatenated records plus the
+/// column offset of each folded-in table.
+struct Fragment {
+  std::unordered_map<std::string, int32_t> offsets;
+  std::vector<Record> rows;
+  int32_t width = 0;
+
+  bool Has(const std::string& table) const { return offsets.count(table) > 0; }
+};
+
+}  // namespace
+
+const TableContext* JoinPlanner::Find(const std::vector<TableContext>& tables,
+                                      const std::string& name) const {
+  for (const TableContext& t : tables) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+std::vector<BlockId> JoinPlanner::RelevantBlocks(
+    const TableContext& ctx, const PredicateSet& preds) const {
+  std::vector<BlockId> candidates = config_.ignore_partitioning
+                                        ? ctx.store->BlockIds()
+                                        : ctx.trees->LookupAll(preds, *ctx.store);
+  // Drained leaves are empty HDFS files awaiting re-fill; reading them is
+  // free, so they never enter a plan.
+  std::vector<BlockId> out;
+  out.reserve(candidates.size());
+  for (BlockId b : candidates) {
+    auto blk = ctx.store->Get(b);
+    if (blk.ok() && !blk.ValueOrDie()->empty()) out.push_back(b);
+  }
+  return out;
+}
+
+Result<QueryRunResult> JoinPlanner::Execute(
+    const Query& q, const std::vector<TableContext>& tables,
+    const ClusterSim& cluster) const {
+  QueryRunResult result;
+  for (const TableRef& ref : q.tables) {
+    if (Find(tables, ref.table) == nullptr) {
+      return Status::NotFound("no table context for '" + ref.table + "'");
+    }
+  }
+
+  // Selection-only query: prune + scan.
+  if (q.joins.empty()) {
+    for (const TableRef& ref : q.tables) {
+      const TableContext* ctx = Find(tables, ref.table);
+      const std::vector<BlockId> blocks = RelevantBlocks(*ctx, ref.preds);
+      auto scan = ScanBlocks(*ctx->store, blocks, ref.preds, cluster,
+                             !config_.ignore_partitioning);
+      if (!scan.ok()) return scan.status();
+      result.output_rows += scan.ValueOrDie().rows_matched;
+      result.blocks_scanned += scan.ValueOrDie().blocks_read;
+      result.io.Merge(scan.ValueOrDie().io);
+    }
+    return result;
+  }
+
+  // Average records per block, used to express intermediate-result shuffles
+  // in block-equivalents.
+  int64_t total_records = 0, total_blocks = 0;
+  for (const TableContext& t : tables) {
+    total_records += static_cast<int64_t>(t.store->TotalRecords());
+    total_blocks += static_cast<int64_t>(t.store->num_blocks());
+  }
+  const int64_t records_per_block =
+      total_blocks > 0 ? std::max<int64_t>(1, total_records / total_blocks)
+                       : 1;
+  auto block_equivalents = [records_per_block](size_t rows) {
+    return static_cast<int64_t>(
+        (rows + static_cast<size_t>(records_per_block) - 1) /
+        static_cast<size_t>(records_per_block));
+  };
+
+  // Fragment-based execution (§4.3): each edge either joins two base
+  // tables (new fragment — hyper-join vs shuffle join by cost), folds a
+  // base table into an existing fragment (dimension probe; the fragment is
+  // shuffled once), or merges two fragments (bushy plans like q8's
+  // (lineitem ⋈ part) ⋈ (orders ⋈ customer) — both fragments shuffle).
+  std::vector<Fragment> fragments;
+  JoinCounts counts;
+  const bool single_edge = q.joins.size() == 1;
+
+  auto find_fragment = [&](const std::string& table) -> int32_t {
+    for (size_t f = 0; f < fragments.size(); ++f) {
+      if (fragments[f].Has(table)) return static_cast<int32_t>(f);
+    }
+    return -1;
+  };
+
+  for (size_t e = 0; e < q.joins.size(); ++e) {
+    const JoinSpec& spec = q.joins[e];
+    const bool last = (e + 1 == q.joins.size());
+    const int32_t lf = find_fragment(spec.left_table);
+    const int32_t rf = find_fragment(spec.right_table);
+
+    if (lf < 0 && rf < 0) {
+      // Base-table x base-table: the hyper-join vs shuffle-join decision.
+      const TableContext* r_ctx = Find(tables, spec.left_table);
+      const TableContext* s_ctx = Find(tables, spec.right_table);
+      const PredicateSet& r_preds = q.PredsFor(spec.left_table);
+      const PredicateSet& s_preds = q.PredsFor(spec.right_table);
+      const std::vector<BlockId> r_blocks = RelevantBlocks(*r_ctx, r_preds);
+      const std::vector<BlockId> s_blocks = RelevantBlocks(*s_ctx, s_preds);
+      auto overlap = ComputeOverlap(*r_ctx->store, r_blocks, spec.left_attr,
+                                    *s_ctx->store, s_blocks, spec.right_attr);
+      if (!overlap.ok()) return overlap.status();
+
+      EdgeReport edge;
+      edge.left_table = spec.left_table;
+      edge.right_table = spec.right_table;
+      edge.r_blocks = static_cast<int64_t>(r_blocks.size());
+      edge.s_blocks = static_cast<int64_t>(s_blocks.size());
+      edge.choice = ChooseJoin(overlap.ValueOrDie(),
+                               config_.memory_budget_blocks,
+                               config_.cost_model);
+      switch (config_.strategy) {
+        case PlannerConfig::Strategy::kAuto:
+          break;
+        case PlannerConfig::Strategy::kForceShuffle:
+          edge.choice.use_hyper_join = false;
+          break;
+        case PlannerConfig::Strategy::kForceHyper:
+          edge.choice.use_hyper_join = true;
+          break;
+      }
+
+      Fragment frag;
+      std::vector<Record>* out = single_edge && last ? nullptr : &frag.rows;
+      JoinExecResult exec;
+      if (edge.choice.use_hyper_join) {
+        auto grouping = BottomUpGrouping(overlap.ValueOrDie(),
+                                         config_.memory_budget_blocks);
+        if (!grouping.ok()) return grouping.status();
+        auto run = HyperJoin(*r_ctx->store, spec.left_attr, r_preds,
+                             *s_ctx->store, spec.right_attr, s_preds,
+                             overlap.ValueOrDie(), grouping.ValueOrDie(),
+                             cluster, out);
+        if (!run.ok()) return run.status();
+        exec = std::move(run).ValueOrDie();
+        edge.used_hyper = true;
+      } else {
+        auto run = ShuffleJoin(*r_ctx->store, r_blocks, spec.left_attr,
+                               r_preds, *s_ctx->store, s_blocks,
+                               spec.right_attr, s_preds, cluster, out);
+        if (!run.ok()) return run.status();
+        exec = std::move(run).ValueOrDie();
+      }
+      edge.r_blocks_read = exec.r_blocks_read;
+      edge.s_blocks_read = exec.s_blocks_read;
+      result.io.Merge(exec.io);
+      result.edges.push_back(edge);
+      counts = exec.counts;
+
+      frag.offsets[spec.left_table] = 0;
+      frag.offsets[spec.right_table] = r_ctx->schema->num_attrs();
+      frag.width = r_ctx->schema->num_attrs() + s_ctx->schema->num_attrs();
+      fragments.push_back(std::move(frag));
+      continue;
+    }
+
+    if (lf >= 0 && rf >= 0) {
+      if (lf == rf) {
+        return Status::InvalidArgument(
+            "join edge " + std::to_string(e) +
+            " closes a cycle within one fragment");
+      }
+      // Fragment x fragment: the bushy merge of §4.3 — both intermediates
+      // are shuffled on the join attribute, then hash-joined.
+      Fragment& left = fragments[static_cast<size_t>(lf)];
+      Fragment& right = fragments[static_cast<size_t>(rf)];
+      const int32_t l_key = left.offsets.at(spec.left_table) + spec.left_attr;
+      const int32_t r_key =
+          right.offsets.at(spec.right_table) + spec.right_attr;
+
+      EdgeReport edge;
+      edge.left_table = spec.left_table;
+      edge.right_table = spec.right_table;
+      edge.r_blocks = block_equivalents(left.rows.size());
+      edge.s_blocks = block_equivalents(right.rows.size());
+      cluster.ShuffleBlocks(edge.r_blocks + edge.s_blocks, &result.io);
+      edge.r_blocks_read = edge.r_blocks;
+      edge.s_blocks_read = edge.s_blocks;
+
+      HashIndex index(r_key);
+      index.AddRecords(right.rows, {});
+      counts = JoinCounts{};
+      std::vector<Record> merged;
+      for (const Record& rec : left.rows) {
+        index.ProbeRecord(rec, l_key, &counts, last ? nullptr : &merged);
+      }
+      // Materialized rows are right ++ left.
+      Fragment next;
+      for (const auto& [name, off] : right.offsets) next.offsets[name] = off;
+      for (const auto& [name, off] : left.offsets) {
+        next.offsets[name] = off + right.width;
+      }
+      next.width = left.width + right.width;
+      next.rows = std::move(merged);
+      fragments[static_cast<size_t>(lf)] = std::move(next);
+      fragments.erase(fragments.begin() + rf);
+      result.edges.push_back(edge);
+      continue;
+    }
+
+    // Fragment x base table: fold the dimension in; the fragment crosses
+    // the network once (it is shuffled on the new join attribute).
+    const bool left_in_frag = lf >= 0;
+    Fragment& frag =
+        fragments[static_cast<size_t>(left_in_frag ? lf : rf)];
+    const std::string& probe_table =
+        left_in_frag ? spec.left_table : spec.right_table;
+    const std::string& build_table =
+        left_in_frag ? spec.right_table : spec.left_table;
+    const AttrId probe_attr = left_in_frag ? spec.left_attr : spec.right_attr;
+    const AttrId build_attr = left_in_frag ? spec.right_attr : spec.left_attr;
+    if (frag.Has(build_table)) {
+      return Status::InvalidArgument("table '" + build_table +
+                                     "' joined twice");
+    }
+    const TableContext* d_ctx = Find(tables, build_table);
+    if (d_ctx == nullptr) {
+      return Status::NotFound("no table context for '" + build_table + "'");
+    }
+    const PredicateSet& d_preds = q.PredsFor(build_table);
+    const std::vector<BlockId> d_blocks = RelevantBlocks(*d_ctx, d_preds);
+
+    EdgeReport edge;
+    edge.left_table = probe_table;
+    edge.right_table = build_table;
+    edge.r_blocks = block_equivalents(frag.rows.size());
+    edge.s_blocks = static_cast<int64_t>(d_blocks.size());
+
+    HashIndex index(build_attr);
+    for (BlockId b : d_blocks) {
+      auto blk = d_ctx->store->Get(b);
+      if (!blk.ok()) return blk.status();
+      auto node = cluster.Locate(b);
+      cluster.ReadBlock(b, node.ok() ? node.ValueOrDie() : 0, &result.io);
+      ++edge.s_blocks_read;
+      index.AddBlock(*blk.ValueOrDie(), d_preds);
+    }
+    cluster.ShuffleBlocks(edge.r_blocks, &result.io);
+    edge.r_blocks_read = edge.r_blocks;
+
+    const int32_t key_idx = frag.offsets.at(probe_table) + probe_attr;
+    counts = JoinCounts{};
+    std::vector<Record> next;
+    for (const Record& rec : frag.rows) {
+      index.ProbeRecord(rec, key_idx, &counts, last ? nullptr : &next);
+    }
+    // Materialized rows are build ++ probe: shift existing offsets.
+    const int32_t d_width = d_ctx->schema->num_attrs();
+    for (auto& [name, off] : frag.offsets) off += d_width;
+    frag.offsets[build_table] = 0;
+    frag.width += d_width;
+    frag.rows = std::move(next);
+    result.edges.push_back(edge);
+  }
+
+  if (fragments.size() != 1) {
+    return Status::InvalidArgument(
+        "query's join edges leave " + std::to_string(fragments.size()) +
+        " disconnected fragments");
+  }
+  result.output_rows = counts.output_rows;
+  result.checksum = counts.checksum;
+  return result;
+}
+
+}  // namespace adaptdb

@@ -1,0 +1,109 @@
+/// \file join_planner.h
+/// \brief Query planning and execution (paper §5.4, §6 "Query Planner").
+///
+/// For the first join edge the planner evaluates the §4.2 cost model —
+/// estimating C_HyJ by actually running the bottom-up grouping — and picks
+/// hyper-join or shuffle join. The three §6 cases (both tables single-tree
+/// on the join attribute / one mid-migration / neither partitioned usefully)
+/// need no explicit casework: blocks from trees not keyed on the join
+/// attribute have wide join-attribute ranges, which densifies the overlap
+/// matrix and makes the cost model fall back to shuffling naturally.
+///
+/// Additional join edges (§4.3) probe dimension tables with the shuffled
+/// intermediate result: the dimension's blocks are read once (hyper-join
+/// style) and the intermediate is charged shuffle I/O.
+
+#ifndef ADAPTDB_PLANNER_JOIN_PLANNER_H_
+#define ADAPTDB_PLANNER_JOIN_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "adapt/query.h"
+#include "adapt/tree_set.h"
+#include "exec/shuffle_join.h"
+#include "join/cost_model.h"
+#include "storage/cluster.h"
+
+namespace adaptdb {
+
+/// \brief Planner policy.
+struct PlannerConfig {
+  CostModelConfig cost_model;
+  /// Blocks of the build relation that fit in one worker's memory (B).
+  int32_t memory_budget_blocks = 64;
+  /// Join strategy override, for baselines and ablations.
+  enum class Strategy { kAuto, kForceShuffle, kForceHyper };
+  Strategy strategy = Strategy::kAuto;
+  /// Full-scan baseline: ignore partitioning trees and read every block.
+  bool ignore_partitioning = false;
+};
+
+/// \brief Everything the planner needs to know about one table.
+struct TableContext {
+  std::string name;
+  const Schema* schema = nullptr;
+  BlockStore* store = nullptr;
+  TreeSet* trees = nullptr;
+};
+
+/// \brief Per-join-edge planning/execution record.
+struct EdgeReport {
+  std::string left_table;
+  std::string right_table;
+  bool used_hyper = false;
+  JoinChoice choice;
+  /// Input block counts after tree pruning.
+  int64_t r_blocks = 0;
+  int64_t s_blocks = 0;
+  /// Actual reads (hyper-join re-reads overlapping S blocks).
+  int64_t r_blocks_read = 0;
+  int64_t s_blocks_read = 0;
+};
+
+/// \brief The result of executing one query.
+struct QueryRunResult {
+  int64_t output_rows = 0;
+  uint64_t checksum = 0;
+  IoStats io;
+  /// Simulated latency in seconds; filled by Database which also folds in
+  /// adaptation I/O.
+  double seconds = 0;
+  std::vector<EdgeReport> edges;
+  /// Blocks scanned on the selection-only path.
+  int64_t blocks_scanned = 0;
+  /// Adaptation overhead folded into this query by Database (§6 Type-2
+  /// blocks): I/O and record count of any repartitioning it triggered.
+  IoStats adapt_io;
+  int64_t records_repartitioned = 0;
+  bool created_tree = false;
+};
+
+/// \brief Plans and executes queries over simulated distributed storage.
+class JoinPlanner {
+ public:
+  explicit JoinPlanner(PlannerConfig config) : config_(config) {}
+
+  const PlannerConfig& config() const { return config_; }
+  PlannerConfig* mutable_config() { return &config_; }
+
+  /// Executes `q` against `tables` (which must include every referenced
+  /// table), accounting all I/O against `cluster`.
+  Result<QueryRunResult> Execute(const Query& q,
+                                 const std::vector<TableContext>& tables,
+                                 const ClusterSim& cluster) const;
+
+ private:
+  const TableContext* Find(const std::vector<TableContext>& tables,
+                           const std::string& name) const;
+
+  /// Relevant blocks for a table reference under the current config.
+  std::vector<BlockId> RelevantBlocks(const TableContext& ctx,
+                                      const PredicateSet& preds) const;
+
+  PlannerConfig config_;
+};
+
+}  // namespace adaptdb
+
+#endif  // ADAPTDB_PLANNER_JOIN_PLANNER_H_

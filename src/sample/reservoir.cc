@@ -1,0 +1,69 @@
+#include "sample/reservoir.h"
+
+#include <algorithm>
+
+namespace adaptdb {
+
+Reservoir::Reservoir(size_t capacity, uint64_t seed)
+    : capacity_(capacity), rng_(seed) {
+  sample_.reserve(capacity);
+}
+
+void Reservoir::Add(const Record& rec) {
+  ++seen_;
+  if (sample_.size() < capacity_) {
+    sample_.push_back(rec);
+    return;
+  }
+  const uint64_t j = rng_.Uniform(seen_);
+  if (j < capacity_) sample_[j] = rec;
+}
+
+void Reservoir::AddAll(const std::vector<Record>& records) {
+  for (const Record& r : records) Add(r);
+}
+
+std::vector<Value> Reservoir::SortedAttr(AttrId attr) const {
+  std::vector<Value> vals;
+  vals.reserve(sample_.size());
+  for (const Record& r : sample_) vals.push_back(r[static_cast<size_t>(attr)]);
+  std::sort(vals.begin(), vals.end());
+  return vals;
+}
+
+Value Reservoir::Median(AttrId attr) const { return Quantile(attr, 0.5); }
+
+Value Reservoir::Quantile(AttrId attr, double q) const {
+  std::vector<Value> vals = SortedAttr(attr);
+  if (vals.empty()) return Value(int64_t{0});
+  q = std::clamp(q, 0.0, 1.0);
+  size_t idx = static_cast<size_t>(q * static_cast<double>(vals.size()));
+  if (idx >= vals.size()) idx = vals.size() - 1;
+  return vals[idx];
+}
+
+Value Reservoir::ConditionalMedian(AttrId attr,
+                                   const PredicateSet& preds) const {
+  std::vector<Value> vals;
+  for (const Record& r : sample_) {
+    if (MatchesAll(preds, r)) vals.push_back(r[static_cast<size_t>(attr)]);
+  }
+  if (vals.empty()) return Median(attr);
+  std::sort(vals.begin(), vals.end());
+  return vals[vals.size() / 2];
+}
+
+std::vector<Value> EquiDepthCuts(const std::vector<Value>& sorted, int k) {
+  std::vector<Value> cuts;
+  if (sorted.empty() || k <= 0) return cuts;
+  cuts.reserve(static_cast<size_t>(k));
+  for (int i = 1; i <= k; ++i) {
+    size_t idx = static_cast<size_t>(
+        static_cast<double>(i) / (k + 1) * static_cast<double>(sorted.size()));
+    if (idx >= sorted.size()) idx = sorted.size() - 1;
+    cuts.push_back(sorted[idx]);
+  }
+  return cuts;
+}
+
+}  // namespace adaptdb

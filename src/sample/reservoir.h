@@ -1,0 +1,65 @@
+/// \file reservoir.h
+/// \brief Reservoir sampling and per-attribute quantile extraction.
+///
+/// Amoeba (paper §3.1) collects a sample of the raw data and uses it to pick
+/// cut points so blocks come out near-equally sized despite skew. AdaptDB's
+/// two-phase partitioner additionally sorts the sample on the join attribute
+/// and recursively takes medians (§5.1).
+
+#ifndef ADAPTDB_SAMPLE_RESERVOIR_H_
+#define ADAPTDB_SAMPLE_RESERVOIR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "schema/predicate.h"
+#include "schema/schema.h"
+
+namespace adaptdb {
+
+/// \brief A bounded uniform sample of records (Vitter's Algorithm R).
+class Reservoir {
+ public:
+  /// Creates a reservoir holding at most `capacity` records.
+  Reservoir(size_t capacity, uint64_t seed = 7);
+
+  /// Offers one record to the sample.
+  void Add(const Record& rec);
+
+  /// Offers every record in `records`.
+  void AddAll(const std::vector<Record>& records);
+
+  /// The sampled records (at most capacity of them).
+  const std::vector<Record>& records() const { return sample_; }
+
+  /// Total records offered so far.
+  size_t seen() const { return seen_; }
+
+  /// Sorted values of one attribute across the sample.
+  std::vector<Value> SortedAttr(AttrId attr) const;
+
+  /// The sample median of one attribute. Returns int64 0 on empty sample.
+  Value Median(AttrId attr) const;
+
+  /// The q-quantile (0 <= q <= 1) of one attribute over the sample.
+  Value Quantile(AttrId attr, double q) const;
+
+  /// Median of `attr` restricted to sampled records matching `preds`.
+  /// Falls back to the unrestricted median when nothing matches.
+  Value ConditionalMedian(AttrId attr, const PredicateSet& preds) const;
+
+ private:
+  size_t capacity_;
+  size_t seen_ = 0;
+  Rng rng_;
+  std::vector<Record> sample_;
+};
+
+/// Returns `k` cut points splitting `sorted` into k+1 near-equal runs
+/// (the equi-depth boundaries used for n-way splits).
+std::vector<Value> EquiDepthCuts(const std::vector<Value>& sorted, int k);
+
+}  // namespace adaptdb
+
+#endif  // ADAPTDB_SAMPLE_RESERVOIR_H_

@@ -1,0 +1,125 @@
+#include "schema/predicate.h"
+
+namespace adaptdb {
+
+const char* CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNeq:
+      return "!=";
+  }
+  return "?";
+}
+
+bool Predicate::Matches(const Value& v) const {
+  switch (op) {
+    case CompareOp::kLt:
+      return v < value;
+    case CompareOp::kLe:
+      return v <= value;
+    case CompareOp::kGt:
+      return v > value;
+    case CompareOp::kGe:
+      return v >= value;
+    case CompareOp::kEq:
+      return v == value;
+    case CompareOp::kNeq:
+      return v != value;
+  }
+  return false;
+}
+
+bool Predicate::AdmitsRange(const ValueRange& range) const {
+  switch (op) {
+    case CompareOp::kLt:
+      return range.lo < value;
+    case CompareOp::kLe:
+      return range.lo <= value;
+    case CompareOp::kGt:
+      return range.hi > value;
+    case CompareOp::kGe:
+      return range.hi >= value;
+    case CompareOp::kEq:
+      return range.Contains(value);
+    case CompareOp::kNeq:
+      // Only a degenerate single-point range can be fully excluded.
+      return !(range.lo == value && range.hi == value);
+  }
+  return true;
+}
+
+bool Predicate::CanMatchLeft(const Value& cut) const {
+  // Left subtree holds values <= cut.
+  switch (op) {
+    case CompareOp::kLt:
+    case CompareOp::kLe:
+      return true;  // Small values always possible on the left.
+    case CompareOp::kGt:
+      return value < cut;  // Need x <= cut with x > value.
+    case CompareOp::kGe:
+      return value <= cut;
+    case CompareOp::kEq:
+      return value <= cut;
+    case CompareOp::kNeq:
+      return true;
+  }
+  return true;
+}
+
+bool Predicate::CanMatchRight(const Value& cut) const {
+  // Right subtree holds values > cut.
+  switch (op) {
+    case CompareOp::kLt:
+    case CompareOp::kLe:
+      return cut < value;  // Need x > cut with x (<|<=) value.
+    case CompareOp::kGt:
+    case CompareOp::kGe:
+      return true;  // Large values always possible on the right.
+    case CompareOp::kEq:
+      return cut < value;
+    case CompareOp::kNeq:
+      return true;
+  }
+  return true;
+}
+
+std::string Predicate::ToString() const {
+  return "a" + std::to_string(attr) + " " + CompareOpToString(op) + " " +
+         value.ToString();
+}
+
+bool MatchesAll(const PredicateSet& preds, const Record& rec) {
+  for (const Predicate& p : preds) {
+    if (!p.MatchesRecord(rec)) return false;
+  }
+  return true;
+}
+
+bool RangesAdmit(const PredicateSet& preds,
+                 const std::vector<ValueRange>& ranges) {
+  for (const Predicate& p : preds) {
+    if (!p.AdmitsRange(ranges[static_cast<size_t>(p.attr)])) return false;
+  }
+  return true;
+}
+
+std::string PredicateSetToString(const PredicateSet& preds) {
+  if (preds.empty()) return "TRUE";
+  std::string out;
+  for (size_t i = 0; i < preds.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += preds[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace adaptdb

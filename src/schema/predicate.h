@@ -1,0 +1,90 @@
+/// \file predicate.h
+/// \brief Selection predicates and conjunctive predicate sets.
+///
+/// AdaptDB queries carry a conjunction of single-attribute comparison
+/// predicates (the access pattern Amoeba's storage manager supports, paper
+/// §3). Predicates serve three roles:
+///   1. tuple filtering during scans,
+///   2. partitioning-tree pruning (which subtrees can contain matches), and
+///   3. block skipping via per-block min/max ranges.
+/// Roles 2 and 3 must be conservative: they may admit false positives but
+/// never prune a block containing a matching tuple.
+
+#ifndef ADAPTDB_SCHEMA_PREDICATE_H_
+#define ADAPTDB_SCHEMA_PREDICATE_H_
+
+#include <string>
+#include <vector>
+
+#include "schema/schema.h"
+#include "schema/value.h"
+
+namespace adaptdb {
+
+/// Comparison operator of a predicate.
+enum class CompareOp {
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEq,
+  kNeq,
+};
+
+/// Returns the operator's SQL spelling ("<", "<=", ...).
+const char* CompareOpToString(CompareOp op);
+
+/// \brief A single-attribute comparison: `attr op value`.
+struct Predicate {
+  AttrId attr = 0;
+  CompareOp op = CompareOp::kEq;
+  Value value;
+
+  Predicate() = default;
+  Predicate(AttrId a, CompareOp o, Value v)
+      : attr(a), op(o), value(std::move(v)) {}
+
+  /// True iff scalar `v` satisfies `v op value`.
+  bool Matches(const Value& v) const;
+
+  /// True iff the record's attribute satisfies the predicate.
+  bool MatchesRecord(const Record& rec) const {
+    return Matches(rec[static_cast<size_t>(attr)]);
+  }
+
+  /// True iff some value in the closed interval `range` could satisfy the
+  /// predicate (conservative block-skipping test).
+  bool AdmitsRange(const ValueRange& range) const;
+
+  /// Given a tree split `attr <= cut` (left) / `attr > cut` (right), returns
+  /// whether the left subtree can contain a satisfying value.
+  bool CanMatchLeft(const Value& cut) const;
+  /// Whether the right subtree (values > cut) can contain a satisfying value.
+  bool CanMatchRight(const Value& cut) const;
+
+  /// Renders "a3 <= 42" style (attribute index form).
+  std::string ToString() const;
+
+  bool operator==(const Predicate& o) const {
+    return attr == o.attr && op == o.op && value == o.value;
+  }
+};
+
+/// A conjunction of predicates. Empty set matches everything.
+using PredicateSet = std::vector<Predicate>;
+
+/// True iff `rec` satisfies every predicate in `preds`.
+bool MatchesAll(const PredicateSet& preds, const Record& rec);
+
+/// True iff a block whose per-attribute ranges are `ranges` could contain a
+/// record matching every predicate (conjunction of AdmitsRange tests).
+/// `ranges[attr]` must be the block's min/max for that attribute.
+bool RangesAdmit(const PredicateSet& preds,
+                 const std::vector<ValueRange>& ranges);
+
+/// Renders the conjunction "a1 < 5 AND a2 >= 7".
+std::string PredicateSetToString(const PredicateSet& preds);
+
+}  // namespace adaptdb
+
+#endif  // ADAPTDB_SCHEMA_PREDICATE_H_

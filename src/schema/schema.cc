@@ -1,0 +1,44 @@
+#include "schema/schema.h"
+
+namespace adaptdb {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  for (const Field& f : fields_) record_width_ += f.byte_width;
+}
+
+Result<AttrId> Schema::AttrByName(const std::string& name) const {
+  for (int32_t i = 0; i < num_attrs(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return Status::NotFound("no attribute named '" + name + "'");
+}
+
+Status Schema::ValidateRecord(const Record& rec) const {
+  if (static_cast<int32_t>(rec.size()) != num_attrs()) {
+    return Status::InvalidArgument(
+        "record arity " + std::to_string(rec.size()) + " != schema arity " +
+        std::to_string(num_attrs()));
+  }
+  for (int32_t i = 0; i < num_attrs(); ++i) {
+    if (rec[i].type() != fields_[i].type) {
+      return Status::InvalidArgument(
+          "attribute '" + fields_[i].name + "' expects " +
+          DataTypeToString(fields_[i].type) + " but record holds " +
+          DataTypeToString(rec[i].type()));
+    }
+  }
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (int32_t i = 0; i < num_attrs(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ":";
+    out += DataTypeToString(fields_[i].type);
+  }
+  return out;
+}
+
+}  // namespace adaptdb

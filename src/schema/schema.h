@@ -1,0 +1,66 @@
+/// \file schema.h
+/// \brief Table schemas and records.
+
+#ifndef ADAPTDB_SCHEMA_SCHEMA_H_
+#define ADAPTDB_SCHEMA_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "schema/value.h"
+
+namespace adaptdb {
+
+/// Index of an attribute (column) within a schema.
+using AttrId = int32_t;
+
+/// A row: one Value per schema attribute, in schema order.
+using Record = std::vector<Value>;
+
+/// \brief One column: name, type, and an approximate per-value byte width
+/// used by the simulated storage engine for block sizing.
+struct Field {
+  std::string name;
+  DataType type;
+  /// Approximate serialized width in bytes (default 8).
+  int32_t byte_width = 8;
+};
+
+/// \brief An ordered collection of named, typed fields.
+class Schema {
+ public:
+  Schema() = default;
+  /// Constructs from a field list.
+  explicit Schema(std::vector<Field> fields);
+
+  /// Number of attributes.
+  int32_t num_attrs() const { return static_cast<int32_t>(fields_.size()); }
+
+  /// The field at `attr`. Precondition: 0 <= attr < num_attrs().
+  const Field& field(AttrId attr) const { return fields_[attr]; }
+
+  /// All fields, schema order.
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Looks up an attribute index by name.
+  Result<AttrId> AttrByName(const std::string& name) const;
+
+  /// Sum of field byte widths: the approximate bytes per record.
+  int64_t RecordWidth() const { return record_width_; }
+
+  /// Validates that `rec` matches the schema arity and types.
+  Status ValidateRecord(const Record& rec) const;
+
+  /// Renders "name:type, ..." for debugging.
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+  int64_t record_width_ = 0;
+};
+
+}  // namespace adaptdb
+
+#endif  // ADAPTDB_SCHEMA_SCHEMA_H_

@@ -1,0 +1,63 @@
+#include "schema/value.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace adaptdb {
+
+const char* DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+DataType Value::type() const {
+  switch (v_.index()) {
+    case 0:
+      return DataType::kInt64;
+    case 1:
+      return DataType::kDouble;
+    default:
+      return DataType::kString;
+  }
+}
+
+double Value::AsNumeric() const {
+  if (type() == DataType::kInt64) return static_cast<double>(AsInt64());
+  assert(type() == DataType::kDouble);
+  return AsDouble();
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case DataType::kInt64:
+      return std::to_string(AsInt64());
+    case DataType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", AsDouble());
+      return buf;
+    }
+    case DataType::kString:
+      return "\"" + AsString() + "\"";
+  }
+  return "?";
+}
+
+bool Value::operator<(const Value& o) const {
+  const DataType a = type();
+  const DataType b = o.type();
+  if (a == DataType::kString || b == DataType::kString) {
+    assert(a == DataType::kString && b == DataType::kString);
+    return AsString() < o.AsString();
+  }
+  if (a == b && a == DataType::kInt64) return AsInt64() < o.AsInt64();
+  return AsNumeric() < o.AsNumeric();
+}
+
+}  // namespace adaptdb

@@ -1,0 +1,111 @@
+/// \file value.h
+/// \brief Dynamically typed scalar values and attribute ranges.
+
+#ifndef ADAPTDB_SCHEMA_VALUE_H_
+#define ADAPTDB_SCHEMA_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+
+namespace adaptdb {
+
+/// \brief Column data types supported by the storage manager.
+///
+/// Dates are stored as kInt64 days-since-epoch; TPC-H keys and quantities are
+/// kInt64; prices and rates are kDouble; flags and names are kString.
+enum class DataType {
+  kInt64,
+  kDouble,
+  kString,
+};
+
+/// Returns a short name ("int64", "double", "string").
+const char* DataTypeToString(DataType type);
+
+/// \brief A dynamically typed scalar with a total order within each type.
+///
+/// Values of different types never compare equal; comparing them for order is
+/// a programming error guarded in debug builds (the storage layer always
+/// compares values of the same column).
+class Value {
+ public:
+  /// Constructs the int64 zero (useful for containers).
+  Value() : v_(int64_t{0}) {}
+  /// Constructs an int64 value.
+  Value(int64_t v) : v_(v) {}  // NOLINT(runtime/explicit)
+  /// Constructs an int64 value from int (convenience for literals).
+  Value(int v) : v_(int64_t{v}) {}  // NOLINT(runtime/explicit)
+  /// Constructs a double value.
+  Value(double v) : v_(v) {}  // NOLINT(runtime/explicit)
+  /// Constructs a string value.
+  Value(std::string v) : v_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  /// Constructs a string value from a literal.
+  Value(const char* v) : v_(std::string(v)) {}  // NOLINT(runtime/explicit)
+
+  /// The runtime type of this value.
+  DataType type() const;
+
+  /// The contained int64. Precondition: type() == kInt64.
+  int64_t AsInt64() const { return std::get<int64_t>(v_); }
+  /// The contained double. Precondition: type() == kDouble.
+  double AsDouble() const { return std::get<double>(v_); }
+  /// The contained string. Precondition: type() == kString.
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  /// Numeric view: int64 widened to double. Precondition: numeric type.
+  double AsNumeric() const;
+
+  /// Renders for debugging ("42", "3.5", "\"abc\"").
+  std::string ToString() const;
+
+  bool operator==(const Value& o) const { return v_ == o.v_; }
+  bool operator!=(const Value& o) const { return v_ != o.v_; }
+  /// Total order within a type; mixed numeric comparison uses AsNumeric.
+  bool operator<(const Value& o) const;
+  bool operator<=(const Value& o) const { return *this < o || *this == o; }
+  bool operator>(const Value& o) const { return o < *this; }
+  bool operator>=(const Value& o) const { return o <= *this; }
+
+ private:
+  std::variant<int64_t, double, std::string> v_;
+};
+
+/// \brief Closed interval [lo, hi] of attribute values, e.g. a block's
+/// min/max on one column (the paper's Range_t(x)).
+struct ValueRange {
+  Value lo;
+  Value hi;
+
+  /// True iff the two closed intervals intersect.
+  bool Overlaps(const ValueRange& other) const {
+    return !(hi < other.lo) && !(other.hi < lo);
+  }
+
+  /// True iff `v` lies within [lo, hi].
+  bool Contains(const Value& v) const { return lo <= v && v <= hi; }
+
+  /// Extends the interval to cover `v`.
+  void Extend(const Value& v) {
+    if (v < lo) lo = v;
+    if (hi < v) hi = v;
+  }
+
+  /// Extends the interval to cover `other` entirely.
+  void ExtendRange(const ValueRange& other) {
+    Extend(other.lo);
+    Extend(other.hi);
+  }
+
+  std::string ToString() const {
+    return "[" + lo.ToString() + ", " + hi.ToString() + "]";
+  }
+
+  bool operator==(const ValueRange& o) const { return lo == o.lo && hi == o.hi; }
+};
+
+}  // namespace adaptdb
+
+#endif  // ADAPTDB_SCHEMA_VALUE_H_

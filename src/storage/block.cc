@@ -1,0 +1,34 @@
+#include "storage/block.h"
+
+namespace adaptdb {
+
+Block::Block(BlockId id, int32_t num_attrs)
+    : id_(id), num_attrs_(num_attrs), ranges_(static_cast<size_t>(num_attrs)) {}
+
+void Block::Add(const Record& rec) {
+  if (!ranges_initialized_) {
+    for (int32_t a = 0; a < num_attrs_; ++a) {
+      ranges_[static_cast<size_t>(a)] = ValueRange{rec[static_cast<size_t>(a)],
+                                                   rec[static_cast<size_t>(a)]};
+    }
+    ranges_initialized_ = true;
+  } else {
+    for (int32_t a = 0; a < num_attrs_; ++a) {
+      ranges_[static_cast<size_t>(a)].Extend(rec[static_cast<size_t>(a)]);
+    }
+  }
+  records_.push_back(rec);
+}
+
+void Block::ClearRecords() {
+  records_.clear();
+  ranges_.assign(static_cast<size_t>(num_attrs_), ValueRange{});
+  ranges_initialized_ = false;
+}
+
+std::string Block::ToString() const {
+  return "Block{id=" + std::to_string(id_) +
+         ", records=" + std::to_string(records_.size()) + "}";
+}
+
+}  // namespace adaptdb

@@ -1,0 +1,80 @@
+/// \file block.h
+/// \brief Data blocks: the unit of storage, I/O accounting and migration.
+///
+/// A block is the AdaptDB analogue of an HDFS block (paper §2): a bag of
+/// records plus per-attribute min/max ranges. The ranges implement the
+/// paper's Range_t(x) metadata used both for predicate-based block skipping
+/// and for computing hyper-join overlap vectors (§4.1.1).
+
+#ifndef ADAPTDB_STORAGE_BLOCK_H_
+#define ADAPTDB_STORAGE_BLOCK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "schema/predicate.h"
+#include "schema/schema.h"
+
+namespace adaptdb {
+
+/// Globally unique block identifier within a BlockStore.
+using BlockId = int64_t;
+
+/// \brief A storage block: records of one table plus range metadata.
+class Block {
+ public:
+  Block() = default;
+  /// Creates an empty block with `num_attrs` range slots.
+  Block(BlockId id, int32_t num_attrs);
+
+  /// This block's identifier.
+  BlockId id() const { return id_; }
+
+  /// Appends a record, extending the per-attribute ranges.
+  void Add(const Record& rec);
+
+  /// Number of records stored.
+  size_t num_records() const { return records_.size(); }
+
+  /// True iff the block holds no records.
+  bool empty() const { return records_.empty(); }
+
+  /// The stored records.
+  const std::vector<Record>& records() const { return records_; }
+
+  /// The min/max range of attribute `attr` over stored records.
+  /// Precondition: the block is non-empty.
+  const ValueRange& range(AttrId attr) const {
+    return ranges_[static_cast<size_t>(attr)];
+  }
+
+  /// All per-attribute ranges (index = attribute id).
+  const std::vector<ValueRange>& ranges() const { return ranges_; }
+
+  /// Conservative test: could this block contain a record matching `preds`?
+  bool MayMatch(const PredicateSet& preds) const {
+    return !empty() && RangesAdmit(preds, ranges_);
+  }
+
+  /// Approximate serialized size given a per-record width.
+  int64_t SizeBytes(int64_t record_width) const {
+    return static_cast<int64_t>(records_.size()) * record_width;
+  }
+
+  /// Removes all records, resetting ranges.
+  void ClearRecords();
+
+  std::string ToString() const;
+
+ private:
+  BlockId id_ = -1;
+  int32_t num_attrs_ = 0;
+  bool ranges_initialized_ = false;
+  std::vector<Record> records_;
+  std::vector<ValueRange> ranges_;
+};
+
+}  // namespace adaptdb
+
+#endif  // ADAPTDB_STORAGE_BLOCK_H_

@@ -1,0 +1,50 @@
+#include "storage/block_store.h"
+
+#include <algorithm>
+
+namespace adaptdb {
+
+BlockId BlockStore::CreateBlock() {
+  const BlockId id = next_id_++;
+  blocks_.emplace(id, std::make_unique<Block>(id, num_attrs_));
+  return id;
+}
+
+Result<Block*> BlockStore::Get(BlockId id) {
+  auto it = blocks_.find(id);
+  if (it == blocks_.end()) {
+    return Status::NotFound("block " + std::to_string(id));
+  }
+  return it->second.get();
+}
+
+Result<const Block*> BlockStore::Get(BlockId id) const {
+  auto it = blocks_.find(id);
+  if (it == blocks_.end()) {
+    return Status::NotFound("block " + std::to_string(id));
+  }
+  return static_cast<const Block*>(it->second.get());
+}
+
+Status BlockStore::Delete(BlockId id) {
+  if (blocks_.erase(id) == 0) {
+    return Status::NotFound("block " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+std::vector<BlockId> BlockStore::BlockIds() const {
+  std::vector<BlockId> ids;
+  ids.reserve(blocks_.size());
+  for (const auto& [id, _] : blocks_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+size_t BlockStore::TotalRecords() const {
+  size_t n = 0;
+  for (const auto& [_, b] : blocks_) n += b->num_records();
+  return n;
+}
+
+}  // namespace adaptdb

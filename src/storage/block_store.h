@@ -1,0 +1,57 @@
+/// \file block_store.h
+/// \brief Per-table block container with stable identifiers.
+
+#ifndef ADAPTDB_STORAGE_BLOCK_STORE_H_
+#define ADAPTDB_STORAGE_BLOCK_STORE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/block.h"
+
+namespace adaptdb {
+
+/// \brief Owns the blocks of one table. Blocks are created, looked up and
+/// deleted by id; ids are never reused, mirroring append-only HDFS files.
+class BlockStore {
+ public:
+  /// Creates a store for records with `num_attrs` attributes.
+  explicit BlockStore(int32_t num_attrs) : num_attrs_(num_attrs) {}
+
+  /// Allocates a fresh empty block and returns its id.
+  BlockId CreateBlock();
+
+  /// Fetches a block by id.
+  Result<Block*> Get(BlockId id);
+  /// Fetches a block by id (const).
+  Result<const Block*> Get(BlockId id) const;
+
+  /// True iff `id` names a live block.
+  bool Contains(BlockId id) const { return blocks_.count(id) > 0; }
+
+  /// Deletes a block (after migration to another tree).
+  Status Delete(BlockId id);
+
+  /// Ids of all live blocks, ascending.
+  std::vector<BlockId> BlockIds() const;
+
+  /// Number of live blocks.
+  size_t num_blocks() const { return blocks_.size(); }
+
+  /// Total records across live blocks.
+  size_t TotalRecords() const;
+
+  /// Attribute count blocks are created with.
+  int32_t num_attrs() const { return num_attrs_; }
+
+ private:
+  int32_t num_attrs_;
+  BlockId next_id_ = 0;
+  std::unordered_map<BlockId, std::unique_ptr<Block>> blocks_;
+};
+
+}  // namespace adaptdb
+
+#endif  // ADAPTDB_STORAGE_BLOCK_STORE_H_

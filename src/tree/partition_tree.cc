@@ -1,0 +1,251 @@
+#include "tree/partition_tree.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace adaptdb {
+
+std::unique_ptr<TreeNode> TreeNode::Clone() const {
+  auto n = std::make_unique<TreeNode>();
+  n->is_leaf = is_leaf;
+  n->attr = attr;
+  n->cut = cut;
+  n->block = block;
+  if (left) n->left = left->Clone();
+  if (right) n->right = right->Clone();
+  return n;
+}
+
+PartitionTree::PartitionTree(std::unique_ptr<TreeNode> root, AttrId join_attr,
+                             int32_t join_levels)
+    : root_(std::move(root)), join_attr_(join_attr), join_levels_(join_levels) {}
+
+namespace {
+
+void LookupRec(const TreeNode* node, const PredicateSet& preds,
+               std::vector<BlockId>* out) {
+  if (node == nullptr) return;
+  if (node->is_leaf) {
+    out->push_back(node->block);
+    return;
+  }
+  bool go_left = true;
+  bool go_right = true;
+  for (const Predicate& p : preds) {
+    if (p.attr != node->attr) continue;
+    if (!p.CanMatchLeft(node->cut)) go_left = false;
+    if (!p.CanMatchRight(node->cut)) go_right = false;
+  }
+  if (go_left) LookupRec(node->left.get(), preds, out);
+  if (go_right) LookupRec(node->right.get(), preds, out);
+}
+
+void LeavesRec(const TreeNode* node, std::vector<BlockId>* out) {
+  if (node == nullptr) return;
+  if (node->is_leaf) {
+    out->push_back(node->block);
+    return;
+  }
+  LeavesRec(node->left.get(), out);
+  LeavesRec(node->right.get(), out);
+}
+
+int32_t DepthRec(const TreeNode* node) {
+  if (node == nullptr || node->is_leaf) return 0;
+  const int32_t l = DepthRec(node->left.get());
+  const int32_t r = DepthRec(node->right.get());
+  return 1 + (l > r ? l : r);
+}
+
+void VisitRec(const TreeNode* node,
+              const std::function<void(const TreeNode&)>& fn) {
+  if (node == nullptr) return;
+  fn(*node);
+  VisitRec(node->left.get(), fn);
+  VisitRec(node->right.get(), fn);
+}
+
+void SerializeRec(const TreeNode* node, std::string* out) {
+  if (node->is_leaf) {
+    *out += "(leaf " + std::to_string(node->block) + ")";
+    return;
+  }
+  *out += "(a" + std::to_string(node->attr) + " ";
+  if (node->cut.type() == DataType::kString) {
+    *out += "\"" + node->cut.AsString() + "\"";
+  } else if (node->cut.type() == DataType::kDouble) {
+    *out += "d" + std::to_string(node->cut.AsDouble());
+  } else {
+    *out += std::to_string(node->cut.AsInt64());
+  }
+  *out += " ";
+  SerializeRec(node->left.get(), out);
+  *out += " ";
+  SerializeRec(node->right.get(), out);
+  *out += ")";
+}
+
+// Minimal recursive-descent parser for the Serialize() grammar.
+class TreeParser {
+ public:
+  explicit TreeParser(const std::string& text) : s_(text) {}
+
+  Result<std::unique_ptr<TreeNode>> Parse() {
+    auto node = ParseNode();
+    if (!node.ok()) return node.status();
+    SkipWs();
+    if (pos_ != s_.size()) {
+      return Status::InvalidArgument("trailing characters at " +
+                                     std::to_string(pos_));
+    }
+    return node;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::unique_ptr<TreeNode>> ParseNode() {
+    if (!Consume('(')) return Status::InvalidArgument("expected '('");
+    SkipWs();
+    if (s_.compare(pos_, 4, "leaf") == 0) {
+      pos_ += 4;
+      SkipWs();
+      char* end = nullptr;
+      const long long b = std::strtoll(s_.c_str() + pos_, &end, 10);
+      pos_ = static_cast<size_t>(end - s_.c_str());
+      if (!Consume(')')) return Status::InvalidArgument("expected ')'");
+      return PartitionTree::MakeLeaf(static_cast<BlockId>(b));
+    }
+    if (pos_ >= s_.size() || s_[pos_] != 'a') {
+      return Status::InvalidArgument("expected 'a<attr>'");
+    }
+    ++pos_;
+    char* end = nullptr;
+    const long long attr = std::strtoll(s_.c_str() + pos_, &end, 10);
+    pos_ = static_cast<size_t>(end - s_.c_str());
+    SkipWs();
+    Value cut;
+    if (pos_ < s_.size() && s_[pos_] == '"') {
+      ++pos_;
+      std::string str;
+      while (pos_ < s_.size() && s_[pos_] != '"') str.push_back(s_[pos_++]);
+      if (!Consume('"')) return Status::InvalidArgument("unterminated string");
+      cut = Value(std::move(str));
+    } else if (pos_ < s_.size() && s_[pos_] == 'd') {
+      ++pos_;
+      cut = Value(std::strtod(s_.c_str() + pos_, &end));
+      pos_ = static_cast<size_t>(end - s_.c_str());
+    } else {
+      cut = Value(static_cast<int64_t>(std::strtoll(s_.c_str() + pos_, &end, 10)));
+      pos_ = static_cast<size_t>(end - s_.c_str());
+    }
+    auto left = ParseNode();
+    if (!left.ok()) return left.status();
+    auto right = ParseNode();
+    if (!right.ok()) return right.status();
+    if (!Consume(')')) return Status::InvalidArgument("expected ')'");
+    return PartitionTree::MakeInner(static_cast<AttrId>(attr), cut,
+                                    std::move(left).ValueOrDie(),
+                                    std::move(right).ValueOrDie());
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<BlockId> PartitionTree::Lookup(const PredicateSet& preds) const {
+  std::vector<BlockId> out;
+  LookupRec(root_.get(), preds, &out);
+  return out;
+}
+
+Result<BlockId> PartitionTree::Route(const Record& rec) const {
+  const TreeNode* node = root_.get();
+  if (node == nullptr) return Status::NotFound("empty tree");
+  while (!node->is_leaf) {
+    const Value& v = rec[static_cast<size_t>(node->attr)];
+    node = (v <= node->cut) ? node->left.get() : node->right.get();
+    if (node == nullptr) return Status::Internal("malformed tree");
+  }
+  return node->block;
+}
+
+std::vector<BlockId> PartitionTree::Leaves() const {
+  std::vector<BlockId> out;
+  LeavesRec(root_.get(), &out);
+  return out;
+}
+
+int32_t PartitionTree::Depth() const { return DepthRec(root_.get()); }
+
+void PartitionTree::Visit(
+    const std::function<void(const TreeNode&)>& fn) const {
+  VisitRec(root_.get(), fn);
+}
+
+int32_t PartitionTree::AttrUsageCount(AttrId attr) const {
+  int32_t n = 0;
+  Visit([&](const TreeNode& node) {
+    if (!node.is_leaf && node.attr == attr) ++n;
+  });
+  return n;
+}
+
+PartitionTree PartitionTree::Clone() const {
+  PartitionTree t;
+  if (root_) t.root_ = root_->Clone();
+  t.join_attr_ = join_attr_;
+  t.join_levels_ = join_levels_;
+  return t;
+}
+
+std::string PartitionTree::Serialize() const {
+  if (!root_) return "()";
+  std::string out;
+  SerializeRec(root_.get(), &out);
+  return out;
+}
+
+Result<PartitionTree> PartitionTree::Parse(const std::string& text) {
+  if (text == "()") return PartitionTree();
+  TreeParser parser(text);
+  auto root = parser.Parse();
+  if (!root.ok()) return root.status();
+  return PartitionTree(std::move(root).ValueOrDie());
+}
+
+std::unique_ptr<TreeNode> PartitionTree::MakeLeaf(BlockId block) {
+  auto n = std::make_unique<TreeNode>();
+  n->is_leaf = true;
+  n->block = block;
+  return n;
+}
+
+std::unique_ptr<TreeNode> PartitionTree::MakeInner(
+    AttrId attr, Value cut, std::unique_ptr<TreeNode> left,
+    std::unique_ptr<TreeNode> right) {
+  auto n = std::make_unique<TreeNode>();
+  n->is_leaf = false;
+  n->attr = attr;
+  n->cut = std::move(cut);
+  n->left = std::move(left);
+  n->right = std::move(right);
+  return n;
+}
+
+}  // namespace adaptdb

@@ -1,0 +1,130 @@
+/// \file partition_tree.h
+/// \brief Binary partitioning trees (paper §3.1, Fig. 3).
+///
+/// A partitioning tree recursively splits a table: every inner node is a
+/// predicate `attr <= cut` routing records left (<=) or right (>), and every
+/// leaf names a storage block. Queries are answered by pruning subtrees
+/// whose split predicate excludes all matches (predicate-based data access),
+/// and records are loaded by routing them root-to-leaf.
+///
+/// AdaptDB extends the plain Amoeba tree with two-phase structure (§5.1):
+/// the top `join_levels` levels split on `join_attr` at medians; lower
+/// levels split on selection attributes.
+
+#ifndef ADAPTDB_TREE_PARTITION_TREE_H_
+#define ADAPTDB_TREE_PARTITION_TREE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "schema/predicate.h"
+#include "storage/block.h"
+
+namespace adaptdb {
+
+/// \brief One node of a partitioning tree: inner split or leaf block.
+struct TreeNode {
+  /// True for leaves (block holders), false for splits.
+  bool is_leaf = true;
+  /// Split attribute (inner nodes only).
+  AttrId attr = -1;
+  /// Split cut point: records with attr <= cut go left (inner nodes only).
+  Value cut;
+  std::unique_ptr<TreeNode> left;
+  std::unique_ptr<TreeNode> right;
+  /// Block held by this leaf (leaves only).
+  BlockId block = -1;
+
+  /// Deep-copies this subtree.
+  std::unique_ptr<TreeNode> Clone() const;
+};
+
+/// \brief A partitioning tree over one table (possibly one of several; see
+/// adapt/tree_set.h for the multi-tree smooth-repartitioning state).
+class PartitionTree {
+ public:
+  /// Constructs an empty tree (no data routed to it yet).
+  PartitionTree() = default;
+
+  /// Takes ownership of a built tree.
+  /// \param root    the tree structure (may be null for an empty tree)
+  /// \param join_attr attribute the top levels split on, or -1 for plain
+  ///                  Amoeba trees
+  /// \param join_levels number of top levels reserved for join_attr
+  PartitionTree(std::unique_ptr<TreeNode> root, AttrId join_attr = -1,
+                int32_t join_levels = 0);
+
+  PartitionTree(PartitionTree&&) = default;
+  PartitionTree& operator=(PartitionTree&&) = default;
+
+  /// True iff the tree has no structure.
+  bool empty() const { return root_ == nullptr; }
+
+  /// Root node (null when empty).
+  const TreeNode* root() const { return root_.get(); }
+  /// Mutable root, used by the adaptive repartitioner.
+  TreeNode* mutable_root() { return root_.get(); }
+  /// Replaces the entire structure.
+  void SetRoot(std::unique_ptr<TreeNode> root) { root_ = std::move(root); }
+  /// Releases ownership of the structure, leaving the tree empty. Used when
+  /// a freshly built subtree is spliced into an existing tree.
+  std::unique_ptr<TreeNode> TakeRoot() { return std::move(root_); }
+
+  /// Join attribute of a two-phase tree, or -1.
+  AttrId join_attr() const { return join_attr_; }
+  void set_join_attr(AttrId a) { join_attr_ = a; }
+  /// Number of top levels splitting on the join attribute.
+  int32_t join_levels() const { return join_levels_; }
+  void set_join_levels(int32_t n) { join_levels_ = n; }
+
+  /// The paper's lookup(T, q): blocks whose subtree is not pruned by the
+  /// conjunction `preds`. Conservative (superset of true matches).
+  std::vector<BlockId> Lookup(const PredicateSet& preds) const;
+
+  /// Routes a record to its leaf block.
+  Result<BlockId> Route(const Record& rec) const;
+
+  /// All leaf blocks, left-to-right.
+  std::vector<BlockId> Leaves() const;
+
+  /// Number of leaves.
+  size_t NumLeaves() const { return Leaves().size(); }
+
+  /// Maximum root-to-leaf depth (leaf-only tree has depth 0).
+  int32_t Depth() const;
+
+  /// Invokes `fn` on every node, pre-order.
+  void Visit(const std::function<void(const TreeNode&)>& fn) const;
+
+  /// Number of inner nodes splitting on `attr`.
+  int32_t AttrUsageCount(AttrId attr) const;
+
+  /// Deep-copies the tree (structure only; blocks are shared ids).
+  PartitionTree Clone() const;
+
+  /// Serializes to a parenthesized text form, e.g.
+  /// "(a0 50 (leaf 1) (a2 7 (leaf 2) (leaf 3)))".
+  std::string Serialize() const;
+
+  /// Parses the Serialize() format.
+  static Result<PartitionTree> Parse(const std::string& text);
+
+  /// Creates a leaf node.
+  static std::unique_ptr<TreeNode> MakeLeaf(BlockId block);
+  /// Creates an inner node.
+  static std::unique_ptr<TreeNode> MakeInner(AttrId attr, Value cut,
+                                             std::unique_ptr<TreeNode> left,
+                                             std::unique_ptr<TreeNode> right);
+
+ private:
+  std::unique_ptr<TreeNode> root_;
+  AttrId join_attr_ = -1;
+  int32_t join_levels_ = 0;
+};
+
+}  // namespace adaptdb
+
+#endif  // ADAPTDB_TREE_PARTITION_TREE_H_

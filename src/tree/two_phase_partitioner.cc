@@ -1,0 +1,141 @@
+#include "tree/two_phase_partitioner.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace adaptdb {
+
+namespace {
+
+struct SelState {
+  const std::vector<AttrId>* attrs;
+  std::unordered_map<AttrId, int32_t> usage;
+  Rng rng;
+  BlockStore* store;
+};
+
+Value MedianOf(const std::vector<const Record*>& recs, AttrId attr) {
+  std::vector<Value> vals;
+  vals.reserve(recs.size());
+  for (const Record* r : recs) vals.push_back((*r)[static_cast<size_t>(attr)]);
+  std::sort(vals.begin(), vals.end());
+  return vals[vals.size() / 2];
+}
+
+AttrId PickSelAttr(const std::vector<const Record*>& recs, SelState* st,
+                   Value* cut_out) {
+  std::vector<std::pair<int64_t, AttrId>> keyed;
+  for (AttrId a : *st->attrs) {
+    keyed.emplace_back(static_cast<int64_t>(st->usage[a]) * 1000 +
+                           static_cast<int64_t>(st->rng.Uniform(1000)),
+                       a);
+  }
+  std::sort(keyed.begin(), keyed.end());
+  for (const auto& [key, attr] : keyed) {
+    const Value cut = MedianOf(recs, attr);
+    size_t left = 0;
+    for (const Record* r : recs) {
+      if ((*r)[static_cast<size_t>(attr)] <= cut) ++left;
+    }
+    if (left > 0 && left < recs.size()) {
+      *cut_out = cut;
+      return attr;
+    }
+  }
+  return -1;
+}
+
+std::unique_ptr<TreeNode> BuildSelection(std::vector<const Record*> recs,
+                                         int32_t levels_left, SelState* st) {
+  if (levels_left <= 0 || recs.size() < 2) {
+    return PartitionTree::MakeLeaf(st->store->CreateBlock());
+  }
+  Value cut;
+  const AttrId attr = PickSelAttr(recs, st, &cut);
+  if (attr < 0) return PartitionTree::MakeLeaf(st->store->CreateBlock());
+  ++st->usage[attr];
+  std::vector<const Record*> l, r;
+  for (const Record* rec : recs) {
+    ((*rec)[static_cast<size_t>(attr)] <= cut ? l : r).push_back(rec);
+  }
+  auto left = BuildSelection(std::move(l), levels_left - 1, st);
+  auto right = BuildSelection(std::move(r), levels_left - 1, st);
+  return PartitionTree::MakeInner(attr, cut, std::move(left), std::move(right));
+}
+
+/// First phase: recursive median splits on the join attribute over records
+/// sorted by that attribute. `lo`/`hi` delimit the current slice.
+std::unique_ptr<TreeNode> BuildJoinPhase(
+    const std::vector<const Record*>& sorted, size_t lo, size_t hi,
+    AttrId join_attr, int32_t join_levels_left, int32_t sel_levels,
+    SelState* st) {
+  if (join_levels_left <= 0 || hi - lo < 2) {
+    std::vector<const Record*> slice(sorted.begin() + static_cast<long>(lo),
+                                     sorted.begin() + static_cast<long>(hi));
+    return BuildSelection(std::move(slice), sel_levels, st);
+  }
+  const size_t mid = lo + (hi - lo) / 2;
+  const Value cut = (*sorted[mid - 1])[static_cast<size_t>(join_attr)];
+  // Degenerate medians (heavy duplicates) still route correctly because the
+  // split is <=; but if every value in the slice equals the cut, stop
+  // splitting on the join attribute here.
+  const Value& last = (*sorted[hi - 1])[static_cast<size_t>(join_attr)];
+  if (!(cut < last)) {
+    std::vector<const Record*> slice(sorted.begin() + static_cast<long>(lo),
+                                     sorted.begin() + static_cast<long>(hi));
+    return BuildSelection(std::move(slice), sel_levels, st);
+  }
+  // Advance the boundary so records equal to the cut all land on the left.
+  size_t split = mid;
+  while (split < hi && !(cut < (*sorted[split])[static_cast<size_t>(join_attr)])) {
+    ++split;
+  }
+  auto left = BuildJoinPhase(sorted, lo, split, join_attr,
+                             join_levels_left - 1, sel_levels, st);
+  auto right = BuildJoinPhase(sorted, split, hi, join_attr,
+                              join_levels_left - 1, sel_levels, st);
+  return PartitionTree::MakeInner(join_attr, cut, std::move(left),
+                                  std::move(right));
+}
+
+}  // namespace
+
+TwoPhasePartitioner::TwoPhasePartitioner(const Schema& schema,
+                                         TwoPhaseOptions options)
+    : schema_(schema), options_(std::move(options)) {}
+
+Result<PartitionTree> TwoPhasePartitioner::Build(const Reservoir& sample,
+                                                 BlockStore* store) {
+  if (store == nullptr) return Status::InvalidArgument("null store");
+  if (sample.records().empty()) return Status::InvalidArgument("empty sample");
+  if (options_.join_attr < 0 || options_.join_attr >= schema_.num_attrs()) {
+    return Status::InvalidArgument("join_attr out of range");
+  }
+  if (options_.join_levels > options_.total_levels) {
+    return Status::InvalidArgument("join_levels exceeds total_levels");
+  }
+  std::vector<AttrId> sel_attrs = options_.selection_attrs;
+  if (sel_attrs.empty()) {
+    for (AttrId a = 0; a < schema_.num_attrs(); ++a) {
+      if (a != options_.join_attr) sel_attrs.push_back(a);
+    }
+  }
+  if (sel_attrs.empty()) sel_attrs.push_back(options_.join_attr);
+
+  std::vector<const Record*> sorted;
+  sorted.reserve(sample.records().size());
+  for (const Record& r : sample.records()) sorted.push_back(&r);
+  const AttrId ja = options_.join_attr;
+  std::sort(sorted.begin(), sorted.end(),
+            [ja](const Record* a, const Record* b) {
+              return (*a)[static_cast<size_t>(ja)] < (*b)[static_cast<size_t>(ja)];
+            });
+
+  SelState st{&sel_attrs, {}, Rng(options_.seed), store};
+  auto root = BuildJoinPhase(sorted, 0, sorted.size(), ja,
+                             options_.join_levels,
+                             options_.total_levels - options_.join_levels, &st);
+  return PartitionTree(std::move(root), ja, options_.join_levels);
+}
+
+}  // namespace adaptdb

@@ -1,0 +1,59 @@
+/// \file two_phase_partitioner.h
+/// \brief Two-phase partitioning (paper §5.1, Fig. 9).
+///
+/// Builds a tree whose top `join_levels` levels split on the join attribute
+/// at medians (recursively computed over the sorted sample, avoiding skew),
+/// and whose remaining levels split on selection attributes exactly like the
+/// Amoeba upfront partitioner. The resulting leaf blocks partition the join
+/// attribute into near-equal-frequency disjoint ranges, which is what makes
+/// hyper-join overlap vectors sparse.
+
+#ifndef ADAPTDB_TREE_TWO_PHASE_PARTITIONER_H_
+#define ADAPTDB_TREE_TWO_PHASE_PARTITIONER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "sample/reservoir.h"
+#include "storage/block_store.h"
+#include "tree/partition_tree.h"
+
+namespace adaptdb {
+
+/// \brief Options for the two-phase partitioner.
+struct TwoPhaseOptions {
+  /// The join attribute injected at the top of the tree.
+  AttrId join_attr = 0;
+  /// Levels reserved for the join attribute (paper default: half the tree).
+  int32_t join_levels = 2;
+  /// Total tree depth (join_levels + selection levels).
+  int32_t total_levels = 4;
+  /// Lower-level candidate attributes, typically the predicate attributes of
+  /// the query that triggered tree creation (§5.2); empty = all attributes.
+  std::vector<AttrId> selection_attrs;
+  /// Tie-break seed for the selection phase.
+  uint64_t seed = 1;
+};
+
+/// \brief Builds two-phase partitioning trees.
+class TwoPhasePartitioner {
+ public:
+  TwoPhasePartitioner(const Schema& schema, TwoPhaseOptions options);
+
+  /// Builds the tree and allocates empty leaf blocks in `store`.
+  Result<PartitionTree> Build(const Reservoir& sample, BlockStore* store);
+
+  /// Heuristic from the paper's default setup: reserve half the levels for
+  /// the join attribute (§7.1, validated by Fig. 16a).
+  static int32_t DefaultJoinLevels(int32_t total_levels) {
+    return total_levels / 2 + (total_levels % 2);
+  }
+
+ private:
+  const Schema& schema_;
+  TwoPhaseOptions options_;
+};
+
+}  // namespace adaptdb
+
+#endif  // ADAPTDB_TREE_TWO_PHASE_PARTITIONER_H_

@@ -1,0 +1,120 @@
+#include "tree/upfront_partitioner.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace adaptdb {
+
+namespace {
+
+/// Recursive builder state shared across the whole tree so attribute usage
+/// balancing is global (heterogeneous branching, §3.1).
+struct BuildState {
+  const std::vector<AttrId>* attrs;
+  std::unordered_map<AttrId, int32_t> usage;
+  Rng rng;
+  BlockStore* store;
+};
+
+Value MedianOf(std::vector<const Record*>& recs, AttrId attr) {
+  std::vector<Value> vals;
+  vals.reserve(recs.size());
+  for (const Record* r : recs) vals.push_back((*r)[static_cast<size_t>(attr)]);
+  std::sort(vals.begin(), vals.end());
+  return vals[vals.size() / 2];
+}
+
+/// Picks the least-used candidate attribute that actually splits the
+/// subsample (both sides non-empty at the median); returns -1 if none does.
+AttrId PickAttr(std::vector<const Record*>& recs, BuildState* st,
+                Value* cut_out) {
+  std::vector<AttrId> order = *st->attrs;
+  // Sort by usage, then randomized tie-break for heterogeneous branching.
+  std::vector<std::pair<int64_t, AttrId>> keyed;
+  keyed.reserve(order.size());
+  for (AttrId a : order) {
+    const int64_t key = static_cast<int64_t>(st->usage[a]) * 1000 +
+                        static_cast<int64_t>(st->rng.Uniform(1000));
+    keyed.emplace_back(key, a);
+  }
+  std::sort(keyed.begin(), keyed.end());
+  for (const auto& [key, attr] : keyed) {
+    const Value cut = MedianOf(recs, attr);
+    // The split is attr <= cut; it is degenerate when every record lands on
+    // one side (e.g. constant attribute).
+    size_t left = 0;
+    for (const Record* r : recs) {
+      if ((*r)[static_cast<size_t>(attr)] <= cut) ++left;
+    }
+    if (left > 0 && left < recs.size()) {
+      *cut_out = cut;
+      return attr;
+    }
+  }
+  return -1;
+}
+
+std::unique_ptr<TreeNode> BuildRec(std::vector<const Record*> recs,
+                                   int32_t levels_left, BuildState* st) {
+  if (levels_left <= 0 || recs.size() < 2) {
+    return PartitionTree::MakeLeaf(st->store->CreateBlock());
+  }
+  Value cut;
+  const AttrId attr = PickAttr(recs, st, &cut);
+  if (attr < 0) {
+    return PartitionTree::MakeLeaf(st->store->CreateBlock());
+  }
+  ++st->usage[attr];
+  std::vector<const Record*> left_recs, right_recs;
+  left_recs.reserve(recs.size() / 2 + 1);
+  right_recs.reserve(recs.size() / 2 + 1);
+  for (const Record* r : recs) {
+    if ((*r)[static_cast<size_t>(attr)] <= cut) {
+      left_recs.push_back(r);
+    } else {
+      right_recs.push_back(r);
+    }
+  }
+  auto left = BuildRec(std::move(left_recs), levels_left - 1, st);
+  auto right = BuildRec(std::move(right_recs), levels_left - 1, st);
+  return PartitionTree::MakeInner(attr, cut, std::move(left), std::move(right));
+}
+
+}  // namespace
+
+UpfrontPartitioner::UpfrontPartitioner(const Schema& schema,
+                                       UpfrontOptions options)
+    : schema_(schema), options_(std::move(options)) {}
+
+Result<PartitionTree> UpfrontPartitioner::Build(const Reservoir& sample,
+                                                BlockStore* store) {
+  if (store == nullptr) return Status::InvalidArgument("null store");
+  if (sample.records().empty()) {
+    return Status::InvalidArgument("empty sample");
+  }
+  std::vector<AttrId> attrs = options_.attrs;
+  if (attrs.empty()) {
+    for (AttrId a = 0; a < schema_.num_attrs(); ++a) attrs.push_back(a);
+  }
+  BuildState st{&attrs, {}, Rng(options_.seed), store};
+  std::vector<const Record*> recs;
+  recs.reserve(sample.records().size());
+  for (const Record& r : sample.records()) recs.push_back(&r);
+  auto root = BuildRec(std::move(recs), options_.num_levels, &st);
+  return PartitionTree(std::move(root));
+}
+
+Status LoadRecords(const std::vector<Record>& records,
+                   const PartitionTree& tree, BlockStore* store) {
+  if (store == nullptr) return Status::InvalidArgument("null store");
+  for (const Record& rec : records) {
+    auto leaf = tree.Route(rec);
+    if (!leaf.ok()) return leaf.status();
+    auto block = store->Get(leaf.ValueOrDie());
+    if (!block.ok()) return block.status();
+    block.ValueOrDie()->Add(rec);
+  }
+  return Status::OK();
+}
+
+}  // namespace adaptdb

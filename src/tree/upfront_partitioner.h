@@ -1,0 +1,57 @@
+/// \file upfront_partitioner.h
+/// \brief Amoeba's workload-oblivious upfront partitioner (paper §3.1).
+///
+/// Builds a balanced binary partitioning tree from a data sample without any
+/// workload knowledge: each inner node splits on an attribute at the sample
+/// median (conditioned on the path), and attributes are spread across the
+/// tree with heterogeneous branching so that every attribute is partitioned
+/// roughly the same number of ways (Fig. 3b).
+
+#ifndef ADAPTDB_TREE_UPFRONT_PARTITIONER_H_
+#define ADAPTDB_TREE_UPFRONT_PARTITIONER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "sample/reservoir.h"
+#include "storage/block_store.h"
+#include "tree/partition_tree.h"
+
+namespace adaptdb {
+
+/// \brief Options for the upfront partitioner.
+struct UpfrontOptions {
+  /// Tree depth: up to 2^num_levels leaf blocks are created. Chosen by the
+  /// caller as ceil(log2(table_bytes / block_bytes)), per §3.1.
+  int32_t num_levels = 4;
+  /// Candidate split attributes; empty means every schema attribute.
+  std::vector<AttrId> attrs;
+  /// Seed for tie-breaking among equally-used attributes.
+  uint64_t seed = 1;
+};
+
+/// \brief Builds Amoeba upfront partitioning trees.
+class UpfrontPartitioner {
+ public:
+  UpfrontPartitioner(const Schema& schema, UpfrontOptions options);
+
+  /// Builds the tree structure from `sample` and allocates one empty block
+  /// per leaf in `store`. Degenerate splits (attribute constant within a
+  /// subsample) fall back to other attributes or produce early leaves.
+  Result<PartitionTree> Build(const Reservoir& sample, BlockStore* store);
+
+ private:
+  const Schema& schema_;
+  UpfrontOptions options_;
+};
+
+/// Routes every record through `tree` into the blocks of `store`.
+/// Each placed block write can be accounted by the caller via the returned
+/// count of populated blocks.
+Status LoadRecords(const std::vector<Record>& records,
+                   const PartitionTree& tree, BlockStore* store);
+
+}  // namespace adaptdb
+
+#endif  // ADAPTDB_TREE_UPFRONT_PARTITIONER_H_

@@ -1,0 +1,139 @@
+#include "workload/cmt.h"
+
+#include <algorithm>
+
+namespace adaptdb::cmt {
+
+namespace {
+constexpr int64_t kSecondsPerDay = 86400;
+constexpr int64_t kTraceDays = 730;  // Two years of trips.
+}  // namespace
+
+CmtData GenerateCmt(const CmtConfig& config) {
+  CmtData data;
+  data.trips_schema = Schema({{"trip_id", DataType::kInt64, 8},
+                              {"user_id", DataType::kInt64, 8},
+                              {"start_time", DataType::kInt64, 8},
+                              {"end_time", DataType::kInt64, 8},
+                              {"avg_velocity", DataType::kDouble, 8},
+                              {"max_velocity", DataType::kDouble, 8},
+                              {"distance_km", DataType::kDouble, 8},
+                              {"phone_model", DataType::kInt64, 4},
+                              {"os_version", DataType::kInt64, 4},
+                              {"hard_brakes", DataType::kInt64, 4},
+                              {"night_fraction", DataType::kDouble, 8},
+                              {"score_preview", DataType::kDouble, 8}});
+  data.history_schema = Schema({{"trip_id", DataType::kInt64, 8},
+                                {"version", DataType::kInt64, 4},
+                                {"processed_time", DataType::kInt64, 8},
+                                {"score", DataType::kDouble, 8},
+                                {"risk_flags", DataType::kInt64, 4},
+                                {"model_id", DataType::kInt64, 4}});
+  data.latest_schema = Schema({{"trip_id", DataType::kInt64, 8},
+                               {"processed_time", DataType::kInt64, 8},
+                               {"score", DataType::kDouble, 8},
+                               {"risk_flags", DataType::kInt64, 4}});
+
+  Rng rng(config.seed);
+  data.max_time = kTraceDays * kSecondsPerDay;
+  data.trips.reserve(static_cast<size_t>(config.num_trips));
+  for (int64_t t = 1; t <= config.num_trips; ++t) {
+    const int64_t start = rng.UniformRange(0, data.max_time - 7200);
+    const int64_t duration = rng.UniformRange(300, 7200);
+    const double avg_v = 20.0 + rng.NextDouble() * 80.0;
+    data.trips.push_back(Record{
+        Value(t), Value(rng.UniformRange(1, config.num_users)), Value(start),
+        Value(start + duration), Value(avg_v),
+        Value(avg_v * (1.2 + rng.NextDouble())),
+        Value(avg_v * static_cast<double>(duration) / 3600.0),
+        Value(rng.UniformRange(0, 19)), Value(rng.UniformRange(0, 7)),
+        Value(rng.UniformRange(0, 9)), Value(rng.NextDouble()),
+        Value(rng.NextDouble() * 100.0)});
+
+    const int64_t versions =
+        rng.UniformRange(1, 2 * config.avg_versions_per_trip - 1);
+    int64_t processed = start + duration + rng.UniformRange(60, 3600);
+    for (int64_t v = 1; v <= versions; ++v) {
+      data.history.push_back(Record{Value(t), Value(v), Value(processed),
+                                    Value(rng.NextDouble() * 100.0),
+                                    Value(rng.UniformRange(0, 15)),
+                                    Value(rng.UniformRange(1, 5))});
+      if (v == versions) {
+        data.latest.push_back(Record{Value(t), Value(processed),
+                                     Value(rng.NextDouble() * 100.0),
+                                     Value(rng.UniformRange(0, 15))});
+      }
+      processed += rng.UniformRange(3600, 30 * kSecondsPerDay);
+    }
+  }
+  return data;
+}
+
+std::vector<Query> MakeTrace(const CmtData& data, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Query> trace;
+  trace.reserve(103);
+  const int64_t num_trips = static_cast<int64_t>(data.trips.size());
+
+  for (int32_t i = 0; i < 103; ++i) {
+    Query q;
+    const bool big_batch = i >= 30 && i < 50 && rng.Flip(0.6);
+    const double dice = rng.NextDouble();
+    if (big_batch) {
+      // Analysts re-scoring a long time window: trips ⋈ history over a
+      // large fraction of the data (the Fig. 18 spikes).
+      q.name = "cmt_big_join";
+      const int64_t start =
+          rng.UniformRange(0, data.max_time / 4);
+      q.tables = {{"trips",
+                   {Predicate(kStartTime, CompareOp::kGe, start),
+                    Predicate(kStartTime, CompareOp::kLt,
+                              start + data.max_time / 2)}},
+                  {"history", {}}};
+      q.joins = {{"trips", kTripId, "history", kHTripId}};
+    } else if (dice < 0.35) {
+      // Trip lookup by id range (exploring one upload batch).
+      q.name = "cmt_trip_lookup";
+      const int64_t lo =
+          rng.UniformRange(1, std::max<int64_t>(1, num_trips - 50));
+      q.tables = {{"trips",
+                   {Predicate(kTripId, CompareOp::kGe, lo),
+                    Predicate(kTripId, CompareOp::kLt, lo + 50)}}};
+    } else if (dice < 0.55) {
+      // One user's trips in a time window.
+      q.name = "cmt_user_window";
+      const int64_t start = rng.UniformRange(0, data.max_time * 3 / 4);
+      q.tables = {{"trips",
+                   {Predicate(kUserId, CompareOp::kEq,
+                              rng.UniformRange(1, 800)),
+                    Predicate(kStartTime, CompareOp::kGe, start),
+                    Predicate(kStartTime, CompareOp::kLt,
+                              start + 30 * kSecondsPerDay)}}};
+    } else if (dice < 0.85) {
+      // Trip metadata joined with its processing history.
+      q.name = "cmt_history_join";
+      const int64_t start = rng.UniformRange(0, data.max_time * 3 / 4);
+      q.tables = {{"trips",
+                   {Predicate(kStartTime, CompareOp::kGe, start),
+                    Predicate(kStartTime, CompareOp::kLt,
+                              start + 60 * kSecondsPerDay)}},
+                  {"history",
+                   {Predicate(kHScore, CompareOp::kGe, 0.0)}}};
+      q.joins = {{"trips", kTripId, "history", kHTripId}};
+    } else {
+      // Most recent result for a slice of trips.
+      q.name = "cmt_latest_join";
+      const int64_t lo =
+          rng.UniformRange(1, std::max<int64_t>(1, num_trips - 2000));
+      q.tables = {{"trips",
+                   {Predicate(kTripId, CompareOp::kGe, lo),
+                    Predicate(kTripId, CompareOp::kLt, lo + 2000)}},
+                  {"latest", {}}};
+      q.joins = {{"trips", kTripId, "latest", kRTripId}};
+    }
+    trace.push_back(std::move(q));
+  }
+  return trace;
+}
+
+}  // namespace adaptdb::cmt

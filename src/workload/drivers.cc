@@ -1,0 +1,103 @@
+#include "workload/drivers.h"
+
+#include "workload/tpch.h"
+
+namespace adaptdb {
+
+double WorkloadResult::MeanSeconds(size_t lo, size_t hi) const {
+  if (hi > seconds.size()) hi = seconds.size();
+  if (lo >= hi) return 0;
+  double sum = 0;
+  for (size_t i = lo; i < hi; ++i) sum += seconds[i];
+  return sum / static_cast<double>(hi - lo);
+}
+
+Result<WorkloadResult> RunWorkload(Database* db,
+                                   const std::vector<Query>& stream) {
+  WorkloadResult out;
+  out.seconds.reserve(stream.size());
+  out.details.reserve(stream.size());
+  for (const Query& q : stream) {
+    auto run = db->RunQuery(q);
+    if (!run.ok()) return run.status();
+    out.seconds.push_back(run.ValueOrDie().seconds);
+    out.total_seconds += run.ValueOrDie().seconds;
+    out.details.push_back(std::move(run).ValueOrDie());
+  }
+  return out;
+}
+
+std::vector<Query> SwitchingWorkload(const std::vector<std::string>& templates,
+                                     int32_t per_template, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Query> stream;
+  for (const std::string& name : templates) {
+    for (int32_t i = 0; i < per_template; ++i) {
+      auto q = tpch::MakeQuery(name, &rng);
+      if (q.ok()) stream.push_back(std::move(q).ValueOrDie());
+    }
+  }
+  return stream;
+}
+
+std::vector<Query> ShiftingWorkload(const std::vector<std::string>& templates,
+                                    int32_t transition, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Query> stream;
+  for (size_t t = 0; t + 1 < templates.size(); ++t) {
+    for (int32_t i = 0; i < transition; ++i) {
+      const double p_next =
+          static_cast<double>(i + 1) / static_cast<double>(transition);
+      const std::string& name =
+          rng.Flip(p_next) ? templates[t + 1] : templates[t];
+      auto q = tpch::MakeQuery(name, &rng);
+      if (q.ok()) stream.push_back(std::move(q).ValueOrDie());
+    }
+  }
+  return stream;
+}
+
+std::vector<Query> WindowSizeWorkload(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Query> stream;
+  auto push = [&](const std::string& name) {
+    auto q = tpch::MakeQuery(name, &rng);
+    if (q.ok()) stream.push_back(std::move(q).ValueOrDie());
+  };
+  for (int i = 0; i < 10; ++i) push("q14");
+  for (int i = 0; i < 20; ++i) {
+    push(rng.Flip(static_cast<double>(i + 1) / 20.0) ? "q19" : "q14");
+  }
+  for (int i = 0; i < 10; ++i) push("q19");
+  for (int i = 0; i < 20; ++i) {
+    push(rng.Flip(static_cast<double>(i + 1) / 20.0) ? "q14" : "q19");
+  }
+  for (int i = 0; i < 10; ++i) push("q14");
+  return stream;
+}
+
+Status LoadTpch(Database* db, const tpch::TpchData& data,
+                int32_t lineitem_levels, int32_t orders_levels,
+                int32_t small_levels, uint64_t seed) {
+  TableOptions li;
+  li.upfront_levels = lineitem_levels;
+  li.seed = seed;
+  ADB_RETURN_NOT_OK(
+      db->CreateTable("lineitem", data.lineitem_schema, data.lineitem, li));
+  TableOptions ord;
+  ord.upfront_levels = orders_levels;
+  ord.seed = seed + 1;
+  ADB_RETURN_NOT_OK(
+      db->CreateTable("orders", data.orders_schema, data.orders, ord));
+  TableOptions small;
+  small.upfront_levels = small_levels;
+  small.seed = seed + 2;
+  ADB_RETURN_NOT_OK(
+      db->CreateTable("customer", data.customer_schema, data.customer, small));
+  ADB_RETURN_NOT_OK(db->CreateTable("part", data.part_schema, data.part, small));
+  ADB_RETURN_NOT_OK(
+      db->CreateTable("supplier", data.supplier_schema, data.supplier, small));
+  return Status::OK();
+}
+
+}  // namespace adaptdb

@@ -1,0 +1,57 @@
+/// \file drivers.h
+/// \brief Workload sequence builders and the query-stream runner (§7.3,
+/// §7.4): the switching and shifting TPC-H workloads of Fig. 13, the
+/// q14↔q19 window-size workload of Fig. 15, and a generic runner that
+/// executes a query stream against a Database and collects per-query
+/// latencies.
+
+#ifndef ADAPTDB_WORKLOAD_DRIVERS_H_
+#define ADAPTDB_WORKLOAD_DRIVERS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "workload/tpch.h"
+#include "workload/tpch_queries.h"
+
+namespace adaptdb {
+
+/// \brief Per-query outcomes of a workload run.
+struct WorkloadResult {
+  std::vector<double> seconds;
+  std::vector<QueryRunResult> details;
+  double total_seconds = 0;
+
+  /// Mean latency over queries [lo, hi).
+  double MeanSeconds(size_t lo, size_t hi) const;
+};
+
+/// Runs a query stream in order, collecting latencies.
+Result<WorkloadResult> RunWorkload(Database* db,
+                                   const std::vector<Query>& stream);
+
+/// The Fig. 13a switching workload: `per_template` queries of each template
+/// in order (paper: 20 each of q3, q5, q6, q8, q10, q12, q14, q19 = 160).
+std::vector<Query> SwitchingWorkload(const std::vector<std::string>& templates,
+                                     int32_t per_template, uint64_t seed);
+
+/// The Fig. 13b shifting workload: consecutive template pairs cross-fade
+/// over `transition` queries each, the mix probability moving 1/transition
+/// per query (paper: 20-query transitions over the eight templates = 140).
+std::vector<Query> ShiftingWorkload(const std::vector<std::string>& templates,
+                                    int32_t transition, uint64_t seed);
+
+/// The Fig. 15 workload: 10×q14, 20-query shift to q19, 10×q19, 20-query
+/// shift back, 10×q14 (70 queries total).
+std::vector<Query> WindowSizeWorkload(uint64_t seed);
+
+/// Loads the five TPC-H tables into `db` with block counts scaled so each
+/// table splits into about 2^levels blocks.
+Status LoadTpch(Database* db, const tpch::TpchData& data,
+                int32_t lineitem_levels, int32_t orders_levels,
+                int32_t small_levels, uint64_t seed = 11);
+
+}  // namespace adaptdb
+
+#endif  // ADAPTDB_WORKLOAD_DRIVERS_H_

@@ -1,0 +1,173 @@
+#include "workload/tpch.h"
+
+#include "common/rng.h"
+
+namespace adaptdb::tpch {
+
+int64_t YearStart(int32_t year) {
+  // 1992..1999; 1992 and 1996 are leap years.
+  static const int64_t kStarts[] = {0,    366,  731,  1096, 1461,
+                                    1827, 2192, 2557, 2922};
+  const int32_t idx = year - 1992;
+  if (idx < 0) return 0;
+  if (idx > 8) return kStarts[8];
+  return kStarts[idx];
+}
+
+Schema LineitemSchema() {
+  return Schema({{"l_orderkey", DataType::kInt64, 8},
+                 {"l_partkey", DataType::kInt64, 8},
+                 {"l_suppkey", DataType::kInt64, 8},
+                 {"l_linenumber", DataType::kInt64, 4},
+                 {"l_quantity", DataType::kInt64, 8},
+                 {"l_extendedprice", DataType::kDouble, 8},
+                 {"l_discount", DataType::kDouble, 8},
+                 {"l_tax", DataType::kDouble, 8},
+                 {"l_returnflag", DataType::kInt64, 1},
+                 {"l_linestatus", DataType::kInt64, 1},
+                 {"l_shipdate", DataType::kInt64, 4},
+                 {"l_commitdate", DataType::kInt64, 4},
+                 {"l_receiptdate", DataType::kInt64, 4},
+                 {"l_shipinstruct", DataType::kInt64, 4},
+                 {"l_shipmode", DataType::kInt64, 4},
+                 {"l_comment_hash", DataType::kInt64, 8}});
+}
+
+Schema OrdersSchema() {
+  return Schema({{"o_orderkey", DataType::kInt64, 8},
+                 {"o_custkey", DataType::kInt64, 8},
+                 {"o_orderstatus", DataType::kInt64, 1},
+                 {"o_totalprice", DataType::kDouble, 8},
+                 {"o_orderdate", DataType::kInt64, 4},
+                 {"o_orderpriority", DataType::kInt64, 4},
+                 {"o_clerk", DataType::kInt64, 8},
+                 {"o_shippriority", DataType::kInt64, 4},
+                 {"o_comment_hash", DataType::kInt64, 8}});
+}
+
+Schema CustomerSchema() {
+  return Schema({{"c_custkey", DataType::kInt64, 8},
+                 {"c_name_hash", DataType::kInt64, 8},
+                 {"c_address_hash", DataType::kInt64, 8},
+                 {"c_nationkey", DataType::kInt64, 4},
+                 {"c_phone_hash", DataType::kInt64, 8},
+                 {"c_acctbal", DataType::kDouble, 8},
+                 {"c_mktsegment", DataType::kInt64, 4},
+                 {"c_comment_hash", DataType::kInt64, 8}});
+}
+
+Schema PartSchema() {
+  return Schema({{"p_partkey", DataType::kInt64, 8},
+                 {"p_name_hash", DataType::kInt64, 8},
+                 {"p_mfgr", DataType::kInt64, 4},
+                 {"p_brand", DataType::kInt64, 4},
+                 {"p_type", DataType::kInt64, 4},
+                 {"p_size", DataType::kInt64, 4},
+                 {"p_container", DataType::kInt64, 4},
+                 {"p_retailprice", DataType::kDouble, 8},
+                 {"p_comment_hash", DataType::kInt64, 8}});
+}
+
+Schema SupplierSchema() {
+  return Schema({{"s_suppkey", DataType::kInt64, 8},
+                 {"s_name_hash", DataType::kInt64, 8},
+                 {"s_address_hash", DataType::kInt64, 8},
+                 {"s_nationkey", DataType::kInt64, 4},
+                 {"s_phone_hash", DataType::kInt64, 8},
+                 {"s_acctbal", DataType::kDouble, 8},
+                 {"s_comment_hash", DataType::kInt64, 8}});
+}
+
+TpchData GenerateTpch(const TpchConfig& config) {
+  TpchData data;
+  data.lineitem_schema = LineitemSchema();
+  data.orders_schema = OrdersSchema();
+  data.customer_schema = CustomerSchema();
+  data.part_schema = PartSchema();
+  data.supplier_schema = SupplierSchema();
+
+  Rng rng(config.seed);
+  const int64_t num_orders = config.num_orders;
+  // TPC-H ratios relative to orders (= 1.5M at SF 1):
+  // parts 200k, suppliers 10k, customers 150k.
+  data.num_parts = std::max<int64_t>(num_orders * 2 / 15, 16);
+  data.num_suppliers = std::max<int64_t>(num_orders / 150, 4);
+  data.num_customers = std::max<int64_t>(num_orders / 10, 16);
+
+  // customer
+  data.customer.reserve(static_cast<size_t>(data.num_customers));
+  for (int64_t c = 1; c <= data.num_customers; ++c) {
+    data.customer.push_back(Record{
+        Value(c), Value(static_cast<int64_t>(rng.Next() % 100000)),
+        Value(static_cast<int64_t>(rng.Next() % 100000)),
+        Value(rng.UniformRange(0, 24)),
+        Value(static_cast<int64_t>(rng.Next() % 100000)),
+        Value(rng.NextDouble() * 10000.0 - 1000.0),
+        Value(rng.UniformRange(0, 4)),
+        Value(static_cast<int64_t>(rng.Next() % 100000))});
+  }
+
+  // part
+  data.part.reserve(static_cast<size_t>(data.num_parts));
+  for (int64_t p = 1; p <= data.num_parts; ++p) {
+    data.part.push_back(Record{
+        Value(p), Value(static_cast<int64_t>(rng.Next() % 100000)),
+        Value(rng.UniformRange(0, 4)), Value(rng.UniformRange(0, 24)),
+        Value(rng.UniformRange(0, 149)), Value(rng.UniformRange(1, 50)),
+        Value(rng.UniformRange(0, 39)),
+        Value(900.0 + static_cast<double>(p % 1000) / 10.0),
+        Value(static_cast<int64_t>(rng.Next() % 100000))});
+  }
+
+  // supplier
+  data.supplier.reserve(static_cast<size_t>(data.num_suppliers));
+  for (int64_t s = 1; s <= data.num_suppliers; ++s) {
+    data.supplier.push_back(Record{
+        Value(s), Value(static_cast<int64_t>(rng.Next() % 100000)),
+        Value(static_cast<int64_t>(rng.Next() % 100000)),
+        Value(rng.UniformRange(0, 24)),
+        Value(static_cast<int64_t>(rng.Next() % 100000)),
+        Value(rng.NextDouble() * 10000.0 - 1000.0),
+        Value(static_cast<int64_t>(rng.Next() % 100000))});
+  }
+
+  // orders + lineitem
+  data.orders.reserve(static_cast<size_t>(num_orders));
+  data.lineitem.reserve(static_cast<size_t>(
+      num_orders * config.avg_lines_per_order));
+  for (int64_t o = 1; o <= num_orders; ++o) {
+    const int64_t orderdate = rng.UniformRange(kMinDate, kMaxDate - 151);
+    const int64_t custkey = rng.UniformRange(1, data.num_customers);
+    data.orders.push_back(Record{
+        Value(o), Value(custkey), Value(rng.UniformRange(0, 2)),
+        Value(rng.NextDouble() * 400000.0 + 1000.0), Value(orderdate),
+        Value(rng.UniformRange(0, 4)),
+        Value(static_cast<int64_t>(rng.Next() % 1000)),
+        Value(int64_t{0}), Value(static_cast<int64_t>(rng.Next() % 100000))});
+
+    const int64_t nlines =
+        rng.UniformRange(1, 2 * config.avg_lines_per_order - 1);
+    for (int64_t ln = 1; ln <= nlines; ++ln) {
+      const int64_t shipdate = orderdate + rng.UniformRange(1, 121);
+      const int64_t commitdate = orderdate + rng.UniformRange(30, 90);
+      const int64_t receiptdate = shipdate + rng.UniformRange(1, 30);
+      const int64_t quantity = rng.UniformRange(1, 50);
+      const int64_t partkey = rng.UniformRange(1, data.num_parts);
+      data.lineitem.push_back(Record{
+          Value(o), Value(partkey),
+          Value(rng.UniformRange(1, data.num_suppliers)), Value(ln),
+          Value(quantity),
+          Value(static_cast<double>(quantity) *
+                (900.0 + static_cast<double>(partkey % 1000) / 10.0)),
+          Value(static_cast<double>(rng.UniformRange(0, 10)) / 100.0),
+          Value(static_cast<double>(rng.UniformRange(0, 8)) / 100.0),
+          Value(rng.UniformRange(0, 2)), Value(rng.UniformRange(0, 1)),
+          Value(shipdate), Value(commitdate), Value(receiptdate),
+          Value(rng.UniformRange(0, 3)), Value(rng.UniformRange(0, 6)),
+          Value(static_cast<int64_t>(rng.Next() % 100000))});
+    }
+  }
+  return data;
+}
+
+}  // namespace adaptdb::tpch

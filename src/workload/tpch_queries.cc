@@ -1,0 +1,169 @@
+#include "workload/tpch_queries.h"
+
+#include "workload/tpch.h"
+
+namespace adaptdb::tpch {
+
+namespace {
+Predicate Pred(AttrId a, CompareOp op, Value v) {
+  return Predicate(a, op, std::move(v));
+}
+}  // namespace
+
+Query MakeQ3(Rng* rng) {
+  Query q;
+  q.name = "q3";
+  const int64_t date = YearStart(1995) + rng->UniformRange(0, 90);
+  q.tables = {
+      {"lineitem", {Pred(kLShipDate, CompareOp::kGt, date)}},
+      {"orders", {Pred(kOOrderDate, CompareOp::kLt, date)}},
+      {"customer", {Pred(kCMktSegment, CompareOp::kEq, rng->UniformRange(0, 4))}},
+  };
+  q.joins = {{"lineitem", kLOrderKey, "orders", kOOrderKey},
+             {"orders", kOCustKey, "customer", kCCustKey}};
+  return q;
+}
+
+Query MakeQ5(Rng* rng) {
+  Query q;
+  q.name = "q5";
+  const int32_t year = static_cast<int32_t>(rng->UniformRange(1993, 1997));
+  const int64_t region = rng->UniformRange(0, 4);
+  q.tables = {
+      {"lineitem", {}},  // q5 has no lineitem predicate (§5.3).
+      {"orders",
+       {Pred(kOOrderDate, CompareOp::kGe, YearStart(year)),
+        Pred(kOOrderDate, CompareOp::kLt, YearStart(year + 1))}},
+      {"customer",
+       {Pred(kCNationKey, CompareOp::kGe, region * 5),
+        Pred(kCNationKey, CompareOp::kLt, (region + 1) * 5)}},
+      {"supplier",
+       {Pred(kSNationKey, CompareOp::kGe, region * 5),
+        Pred(kSNationKey, CompareOp::kLt, (region + 1) * 5)}},
+  };
+  q.joins = {{"lineitem", kLOrderKey, "orders", kOOrderKey},
+             {"orders", kOCustKey, "customer", kCCustKey},
+             {"lineitem", kLSuppKey, "supplier", kSSuppKey}};
+  return q;
+}
+
+Query MakeQ6(Rng* rng) {
+  Query q;
+  q.name = "q6";
+  const int32_t year = static_cast<int32_t>(rng->UniformRange(1993, 1997));
+  const double disc =
+      static_cast<double>(rng->UniformRange(2, 9)) / 100.0;
+  q.tables = {
+      {"lineitem",
+       {Pred(kLShipDate, CompareOp::kGe, YearStart(year)),
+        Pred(kLShipDate, CompareOp::kLt, YearStart(year + 1)),
+        Pred(kLDiscount, CompareOp::kGe, disc - 0.011),
+        Pred(kLDiscount, CompareOp::kLe, disc + 0.011),
+        Pred(kLQuantity, CompareOp::kLt, rng->UniformRange(24, 25))}},
+  };
+  return q;
+}
+
+Query MakeQ8(Rng* rng) {
+  Query q;
+  q.name = "q8";
+  q.tables = {
+      {"lineitem", {}},  // q8 has no lineitem predicate (§5.3).
+      {"part", {Pred(kPType, CompareOp::kEq, rng->UniformRange(0, 149))}},
+      {"orders",
+       {Pred(kOOrderDate, CompareOp::kGe, YearStart(1995)),
+        Pred(kOOrderDate, CompareOp::kLe, YearStart(1997) - 1)}},
+      {"customer",
+       {Pred(kCNationKey, CompareOp::kEq, rng->UniformRange(0, 24))}},
+  };
+  q.joins = {{"lineitem", kLPartKey, "part", kPPartKey},
+             {"lineitem", kLOrderKey, "orders", kOOrderKey},
+             {"orders", kOCustKey, "customer", kCCustKey}};
+  return q;
+}
+
+Query MakeQ10(Rng* rng) {
+  Query q;
+  q.name = "q10";
+  const int64_t qstart =
+      YearStart(1993) + 91 * rng->UniformRange(0, 7);
+  q.tables = {
+      {"lineitem", {Pred(kLReturnFlag, CompareOp::kEq, int64_t{2})}},
+      {"orders",
+       {Pred(kOOrderDate, CompareOp::kGe, qstart),
+        Pred(kOOrderDate, CompareOp::kLt, qstart + 91)}},
+      {"customer", {}},
+  };
+  q.joins = {{"lineitem", kLOrderKey, "orders", kOOrderKey},
+             {"orders", kOCustKey, "customer", kCCustKey}};
+  return q;
+}
+
+Query MakeQ12(Rng* rng) {
+  Query q;
+  q.name = "q12";
+  const int32_t year = static_cast<int32_t>(rng->UniformRange(1993, 1997));
+  q.tables = {
+      {"lineitem",
+       {Pred(kLShipMode, CompareOp::kEq, rng->UniformRange(0, 6)),
+        Pred(kLReceiptDate, CompareOp::kGe, YearStart(year)),
+        Pred(kLReceiptDate, CompareOp::kLt, YearStart(year + 1))}},
+      {"orders", {}},
+  };
+  q.joins = {{"lineitem", kLOrderKey, "orders", kOOrderKey}};
+  return q;
+}
+
+Query MakeQ14(Rng* rng) {
+  Query q;
+  q.name = "q14";
+  const int64_t month_start =
+      YearStart(1993) + 30 * rng->UniformRange(0, 59);
+  q.tables = {
+      {"lineitem",
+       {Pred(kLShipDate, CompareOp::kGe, month_start),
+        Pred(kLShipDate, CompareOp::kLt, month_start + 30)}},
+      {"part", {}},
+  };
+  q.joins = {{"lineitem", kLPartKey, "part", kPPartKey}};
+  return q;
+}
+
+Query MakeQ19(Rng* rng) {
+  Query q;
+  q.name = "q19";
+  const int64_t qty = rng->UniformRange(1, 30);
+  q.tables = {
+      {"lineitem",
+       {Pred(kLQuantity, CompareOp::kGe, qty),
+        Pred(kLQuantity, CompareOp::kLe, qty + 10),
+        Pred(kLShipInstruct, CompareOp::kEq, int64_t{0}),
+        Pred(kLShipMode, CompareOp::kLe, int64_t{1})}},
+      {"part",
+       {Pred(kPBrand, CompareOp::kEq, rng->UniformRange(0, 24)),
+        Pred(kPSize, CompareOp::kGe, int64_t{1}),
+        Pred(kPSize, CompareOp::kLe, rng->UniformRange(5, 15))}},
+  };
+  q.joins = {{"lineitem", kLPartKey, "part", kPPartKey}};
+  return q;
+}
+
+Result<Query> MakeQuery(const std::string& name, Rng* rng) {
+  if (name == "q3") return MakeQ3(rng);
+  if (name == "q5") return MakeQ5(rng);
+  if (name == "q6") return MakeQ6(rng);
+  if (name == "q8") return MakeQ8(rng);
+  if (name == "q10") return MakeQ10(rng);
+  if (name == "q12") return MakeQ12(rng);
+  if (name == "q14") return MakeQ14(rng);
+  if (name == "q19") return MakeQ19(rng);
+  return Status::NotFound("unknown TPC-H template '" + name + "'");
+}
+
+const std::vector<std::string>& TemplateNames() {
+  static const std::vector<std::string> kNames = {"q3",  "q5",  "q6",  "q8",
+                                                  "q10", "q12", "q14", "q19"};
+  return kNames;
+}
+
+}  // namespace adaptdb::tpch

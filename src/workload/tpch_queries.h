@@ -1,0 +1,48 @@
+/// \file tpch_queries.h
+/// \brief The eight TPC-H query templates the paper evaluates (§7.1):
+/// q3, q5, q6, q8, q10, q12, q14, q19, reduced to the join/predicate
+/// structure the AdaptDB storage manager sees. Each factory draws fresh
+/// predicate constants, mirroring the paper's "queries with different
+/// predicate values from each query template".
+///
+/// Template shapes (joins listed in execution order):
+///   q3  : lineitem(shipdate > D) ⋈ orders(orderdate < D) ⋈ customer(segment)
+///   q5  : lineitem ⋈ orders(orderdate in year) ⋈ customer(nation region),
+///         lineitem ⋈ supplier              [no lineitem predicate]
+///   q6  : lineitem(shipdate year, discount band, quantity < c)   [no join]
+///   q8  : lineitem ⋈ part(type), lineitem ⋈ orders(1995-96), o ⋈ customer
+///   q10 : lineitem(returnflag = R) ⋈ orders(orderdate quarter) ⋈ customer
+///   q12 : lineitem(shipmode, receiptdate year) ⋈ orders
+///   q14 : lineitem(shipdate month) ⋈ part
+///   q19 : lineitem(quantity band, shipinstruct, shipmode) ⋈ part(brand, size)
+
+#ifndef ADAPTDB_WORKLOAD_TPCH_QUERIES_H_
+#define ADAPTDB_WORKLOAD_TPCH_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "adapt/query.h"
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace adaptdb::tpch {
+
+Query MakeQ3(Rng* rng);
+Query MakeQ5(Rng* rng);
+Query MakeQ6(Rng* rng);
+Query MakeQ8(Rng* rng);
+Query MakeQ10(Rng* rng);
+Query MakeQ12(Rng* rng);
+Query MakeQ14(Rng* rng);
+Query MakeQ19(Rng* rng);
+
+/// Makes a query by template name ("q3" ... "q19").
+Result<Query> MakeQuery(const std::string& name, Rng* rng);
+
+/// The template names in the paper's running order.
+const std::vector<std::string>& TemplateNames();
+
+}  // namespace adaptdb::tpch
+
+#endif  // ADAPTDB_WORKLOAD_TPCH_QUERIES_H_

@@ -1,0 +1,378 @@
+// Tests for adapt/: query model, query window, tree sets, smooth
+// repartitioning and the Amoeba adapter.
+
+#include <gtest/gtest.h>
+
+#include "adapt/amoeba_adapter.h"
+#include "adapt/optimizer.h"
+#include "adapt/query_window.h"
+#include "adapt/smooth_repartitioner.h"
+#include "adapt/tree_set.h"
+#include "common/rng.h"
+#include "tree/two_phase_partitioner.h"
+#include "tree/upfront_partitioner.h"
+
+namespace adaptdb {
+namespace {
+
+Query JoinQuery(const std::string& name, const std::string& left, AttrId la,
+                const std::string& right, AttrId ra,
+                PredicateSet left_preds = {}) {
+  Query q;
+  q.name = name;
+  q.tables = {{left, std::move(left_preds)}, {right, {}}};
+  q.joins = {{left, la, right, ra}};
+  return q;
+}
+
+TEST(QueryTest, AccessorsAndJoinAttr) {
+  Query q = JoinQuery("j", "r", 2, "s", 0,
+                      {Predicate(1, CompareOp::kLt, 5)});
+  EXPECT_TRUE(q.References("r"));
+  EXPECT_TRUE(q.References("s"));
+  EXPECT_FALSE(q.References("t"));
+  EXPECT_EQ(q.JoinAttrFor("r"), 2);
+  EXPECT_EQ(q.JoinAttrFor("s"), 0);
+  EXPECT_EQ(q.JoinAttrFor("t"), -1);
+  EXPECT_EQ(q.PredsFor("r").size(), 1u);
+  EXPECT_TRUE(q.PredsFor("s").empty());
+  EXPECT_EQ(q.PredicateAttrsFor("r"), std::vector<AttrId>{1});
+}
+
+TEST(QueryTest, ToStringIsInformative) {
+  Query q = JoinQuery("demo", "r", 2, "s", 0);
+  const std::string s = q.ToString();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("r.a2=s.a0"), std::string::npos);
+}
+
+TEST(QueryWindowTest, EvictsOldest) {
+  QueryWindow w(3);
+  for (int i = 0; i < 5; ++i) {
+    Query q;
+    q.name = "q" + std::to_string(i);
+    w.Add(q);
+  }
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_EQ(w.queries().front().name, "q2");
+  EXPECT_EQ(w.queries().back().name, "q4");
+}
+
+TEST(QueryWindowTest, CountJoinsPerAttr) {
+  QueryWindow w(10);
+  w.Add(JoinQuery("a", "r", 0, "s", 0));
+  w.Add(JoinQuery("b", "r", 0, "s", 0));
+  w.Add(JoinQuery("c", "r", 1, "t", 0));
+  EXPECT_EQ(w.CountJoins("r", 0), 2);
+  EXPECT_EQ(w.CountJoins("r", 1), 1);
+  EXPECT_EQ(w.CountJoins("r", 2), 0);
+  EXPECT_EQ(w.CountJoins("s", 0), 2);
+  EXPECT_EQ(w.JoinAttrsFor("r"), (std::vector<AttrId>{0, 1}));
+}
+
+TEST(QueryWindowTest, PredicateAttrsAggregated) {
+  QueryWindow w(10);
+  w.Add(JoinQuery("a", "r", 0, "s", 0, {Predicate(3, CompareOp::kLt, 5)}));
+  w.Add(JoinQuery("b", "r", 0, "s", 0,
+                  {Predicate(2, CompareOp::kGt, 1), Predicate(3, CompareOp::kEq, 2)}));
+  EXPECT_EQ(w.PredicateAttrsFor("r"), (std::vector<AttrId>{2, 3}));
+  EXPECT_TRUE(w.PredicateAttrsFor("s").empty());
+}
+
+TEST(QueryWindowTest, MinimumCapacityIsOne) {
+  QueryWindow w(0);
+  EXPECT_EQ(w.capacity(), 1);
+}
+
+struct TableFixture {
+  Schema schema;
+  std::vector<Record> records;
+  BlockStore store{3};
+  TreeSet trees;
+  Reservoir sample{1000, 77};
+  ClusterSim cluster;
+
+  explicit TableFixture(uint64_t seed = 9, size_t n = 2000)
+      : schema(Schema({{"a0", DataType::kInt64, 8},
+                       {"a1", DataType::kInt64, 8},
+                       {"a2", DataType::kInt64, 8}})) {
+    Rng rng(seed);
+    for (size_t i = 0; i < n; ++i) {
+      records.push_back({Value(rng.UniformRange(0, 9999)),
+                         Value(rng.UniformRange(0, 9999)),
+                         Value(rng.UniformRange(0, 9999))});
+    }
+    sample.AddAll(records);
+    UpfrontOptions opts;
+    opts.num_levels = 4;
+    opts.seed = seed;
+    UpfrontPartitioner p(schema, opts);
+    auto tree = p.Build(sample, &store);
+    ADB_CHECK_OK(tree.status());
+    ADB_CHECK_OK(LoadRecords(records, tree.ValueOrDie(), &store));
+    for (BlockId b : tree.ValueOrDie().Leaves()) cluster.PlaceBlock(b);
+    trees.Add(kUpfrontTree, std::move(tree).ValueOrDie());
+  }
+};
+
+TEST(TreeSetTest, AddRemoveLookup) {
+  TableFixture f;
+  EXPECT_TRUE(f.trees.Has(kUpfrontTree));
+  EXPECT_EQ(f.trees.Attrs(), std::vector<AttrId>{kUpfrontTree});
+  EXPECT_FALSE(f.trees.Has(0));
+  EXPECT_FALSE(f.trees.Remove(0).ok());
+  EXPECT_FALSE(f.trees.Tree(0).ok());
+  const auto all = f.trees.LookupAll({}, f.store);
+  EXPECT_EQ(all.size(), f.store.num_blocks());
+}
+
+TEST(TreeSetTest, LiveLeavesSkipDeletedBlocks) {
+  TableFixture f;
+  auto leaves = f.trees.LiveLeaves(kUpfrontTree, f.store);
+  const size_t before = leaves.size();
+  ASSERT_TRUE(f.store.Delete(leaves[0]).ok());
+  EXPECT_EQ(f.trees.LiveLeaves(kUpfrontTree, f.store).size(), before - 1);
+}
+
+TEST(TreeSetTest, RecordsUnderSumsTree) {
+  TableFixture f;
+  EXPECT_EQ(f.trees.RecordsUnder(kUpfrontTree, f.store),
+            static_cast<int64_t>(f.records.size()));
+}
+
+TEST(TreeSetTest, PruneEmptyKeepsTargetAndDeletesLeaves) {
+  TableFixture f;
+  // Drain the upfront tree manually (clear, HDFS-append style).
+  for (BlockId b : f.trees.LiveLeaves(kUpfrontTree, f.store)) {
+    f.store.Get(b).ValueOrDie()->ClearRecords();
+  }
+  // keep == upfront: nothing pruned.
+  auto kept = f.trees.PruneEmpty(&f.store, &f.cluster, kUpfrontTree);
+  EXPECT_TRUE(kept.empty());
+  // keep != upfront: tree pruned and its empty leaf files deleted.
+  auto removed = f.trees.PruneEmpty(&f.store, &f.cluster, 0);
+  EXPECT_EQ(removed, std::vector<AttrId>{kUpfrontTree});
+  EXPECT_EQ(f.trees.size(), 0u);
+  EXPECT_EQ(f.store.num_blocks(), 0u);
+}
+
+TEST(SmoothRepartitionerTest, NoOpWithoutJoinAttr) {
+  TableFixture f;
+  QueryWindow w(10);
+  SmoothRepartitioner smooth(f.schema, SmoothConfig{});
+  auto report =
+      smooth.Step("t", -1, w, f.sample, &f.trees, &f.store, &f.cluster);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.ValueOrDie().target_attr, -1);
+  EXPECT_EQ(report.ValueOrDie().blocks_moved, 0);
+}
+
+TEST(SmoothRepartitionerTest, CreatesTreeAndMovesWindowFraction) {
+  TableFixture f;
+  QueryWindow w(10);
+  Query q = JoinQuery("j", "t", 0, "other", 0);
+  w.Add(q);
+  SmoothConfig cfg;
+  cfg.total_levels = 4;
+  SmoothRepartitioner smooth(f.schema, cfg);
+  auto report =
+      smooth.Step("t", 0, w, f.sample, &f.trees, &f.store, &f.cluster);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.ValueOrDie().created_tree);
+  EXPECT_TRUE(f.trees.Has(0));
+  // Fig. 11: one of 10 window slots => ~10% of data moves.
+  const double frac =
+      static_cast<double>(report.ValueOrDie().records_moved) /
+      static_cast<double>(f.records.size());
+  EXPECT_GT(frac, 0.02);
+  EXPECT_LT(frac, 0.35);
+  // Total records preserved.
+  EXPECT_EQ(f.store.TotalRecords(), f.records.size());
+}
+
+TEST(SmoothRepartitionerTest, ConvergesAsWindowFills) {
+  TableFixture f;
+  QueryWindow w(10);
+  SmoothConfig cfg;
+  cfg.total_levels = 4;
+  SmoothRepartitioner smooth(f.schema, cfg);
+  Query q = JoinQuery("j", "t", 0, "other", 0);
+  for (int i = 0; i < 12; ++i) {
+    w.Add(q);
+    auto report =
+        smooth.Step("t", 0, w, f.sample, &f.trees, &f.store, &f.cluster);
+    ASSERT_TRUE(report.ok());
+  }
+  // All data should now live under the join tree and the upfront tree is
+  // gone (the paper's final state in Fig. 10).
+  EXPECT_EQ(f.trees.RecordsUnder(0, f.store),
+            static_cast<int64_t>(f.records.size()));
+  EXPECT_FALSE(f.trees.Has(kUpfrontTree));
+}
+
+TEST(SmoothRepartitionerTest, MinFrequencyGatesTreeCreation) {
+  TableFixture f;
+  QueryWindow w(10);
+  SmoothConfig cfg;
+  cfg.min_frequency = 3;
+  SmoothRepartitioner smooth(f.schema, cfg);
+  Query q = JoinQuery("j", "t", 0, "other", 0);
+  w.Add(q);
+  auto r1 = smooth.Step("t", 0, w, f.sample, &f.trees, &f.store, &f.cluster);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_FALSE(f.trees.Has(0));
+  w.Add(q);
+  w.Add(q);
+  auto r2 = smooth.Step("t", 0, w, f.sample, &f.trees, &f.store, &f.cluster);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(f.trees.Has(0));
+}
+
+TEST(SmoothRepartitionerTest, SplitsDataBetweenTwoJoinAttrs) {
+  TableFixture f;
+  QueryWindow w(10);
+  SmoothConfig cfg;
+  cfg.total_levels = 4;
+  SmoothRepartitioner smooth(f.schema, cfg);
+  // 5 queries joining on attr 0, then 5 on attr 1.
+  for (int i = 0; i < 5; ++i) {
+    w.Add(JoinQuery("a", "t", 0, "x", 0));
+    ASSERT_TRUE(
+        smooth.Step("t", 0, w, f.sample, &f.trees, &f.store, &f.cluster).ok());
+  }
+  for (int i = 0; i < 5; ++i) {
+    w.Add(JoinQuery("b", "t", 1, "y", 0));
+    ASSERT_TRUE(
+        smooth.Step("t", 1, w, f.sample, &f.trees, &f.store, &f.cluster).ok());
+  }
+  ASSERT_TRUE(f.trees.Has(0));
+  ASSERT_TRUE(f.trees.Has(1));
+  const int64_t under0 = f.trees.RecordsUnder(0, f.store);
+  const int64_t under1 = f.trees.RecordsUnder(1, f.store);
+  const int64_t total = static_cast<int64_t>(f.records.size());
+  // Both trees hold a meaningful share, tracking the 50/50 window mix.
+  EXPECT_GT(under0, total / 5);
+  EXPECT_GT(under1, total / 5);
+  EXPECT_EQ(f.store.TotalRecords(), f.records.size());
+}
+
+TEST(AmoebaAdapterTest, NoOpWithoutPredicates) {
+  TableFixture f;
+  QueryWindow w(10);
+  AmoebaAdapter adapter(f.schema, AmoebaConfig{});
+  auto tree = f.trees.Tree(kUpfrontTree);
+  ASSERT_TRUE(tree.ok());
+  auto report = adapter.Step("t", w, f.sample, tree.ValueOrDie(), &f.store,
+                             &f.cluster);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report.ValueOrDie().applied);
+}
+
+TEST(AmoebaAdapterTest, AdaptsToRepeatedSelectivePredicates) {
+  // A narrow skewed workload: tree should adapt to cut on attr 2 more.
+  TableFixture f(31);
+  QueryWindow w(10);
+  AmoebaConfig cfg;
+  cfg.block_write_cost = 0.5;  // Eager adaptation for the test.
+  AmoebaAdapter adapter(f.schema, cfg);
+  Query q;
+  q.name = "sel";
+  q.tables = {{"t", {Predicate(2, CompareOp::kLt, 1000)}}};
+  auto tree = f.trees.Tree(kUpfrontTree);
+  ASSERT_TRUE(tree.ok());
+
+  const int64_t before =
+      static_cast<int64_t>(tree.ValueOrDie()->Lookup(q.PredsFor("t")).size());
+  bool any_applied = false;
+  for (int i = 0; i < 6; ++i) {
+    w.Add(q);
+    auto report = adapter.Step("t", w, f.sample, tree.ValueOrDie(), &f.store,
+                               &f.cluster);
+    ASSERT_TRUE(report.ok());
+    any_applied |= report.ValueOrDie().applied;
+  }
+  const int64_t after =
+      static_cast<int64_t>(tree.ValueOrDie()->Lookup(q.PredsFor("t")).size());
+  EXPECT_TRUE(any_applied);
+  EXPECT_LT(after, before);
+  // Adaptation must not lose records.
+  EXPECT_EQ(f.store.TotalRecords(), f.records.size());
+}
+
+TEST(AmoebaAdapterTest, PreservesJoinLevelsOfTwoPhaseTrees) {
+  TableFixture f(32);
+  // Build a two-phase tree on attr 0 and migrate everything into it.
+  TwoPhaseOptions tp;
+  tp.join_attr = 0;
+  tp.join_levels = 2;
+  tp.total_levels = 4;
+  TwoPhasePartitioner partitioner(f.schema, tp);
+  auto built = partitioner.Build(f.sample, &f.store);
+  ASSERT_TRUE(built.ok());
+  for (BlockId b : built.ValueOrDie().Leaves()) f.cluster.PlaceBlock(b);
+  PartitionTree tree = std::move(built).ValueOrDie();
+
+  QueryWindow w(10);
+  AmoebaConfig cfg;
+  cfg.block_write_cost = 0.1;
+  AmoebaAdapter adapter(f.schema, cfg);
+  Query q;
+  q.name = "sel";
+  q.tables = {{"t", {Predicate(2, CompareOp::kLt, 500)}}};
+  for (int i = 0; i < 5; ++i) {
+    w.Add(q);
+    ASSERT_TRUE(
+        adapter.Step("t", w, f.sample, &tree, &f.store, &f.cluster).ok());
+  }
+  // The join levels must still split on attr 0.
+  EXPECT_EQ(tree.root()->attr, 0);
+  EXPECT_EQ(tree.root()->left->attr, 0);
+  EXPECT_EQ(tree.root()->right->attr, 0);
+}
+
+TEST(OptimizerTest, FullRepartitioningWaitsForHalfWindow) {
+  TableFixture f;
+  AdaptConfig cfg;
+  cfg.full_repartitioning = true;
+  cfg.smooth.total_levels = 4;
+  Optimizer opt(f.schema, cfg);
+  QueryWindow w(10);
+  Query q = JoinQuery("j", "t", 0, "other", 0);
+  // 4 queries: under half the window, nothing happens.
+  for (int i = 0; i < 4; ++i) {
+    w.Add(q);
+    auto report =
+        opt.OnQuery("t", q, w, f.sample, &f.trees, &f.store, &f.cluster);
+    ASSERT_TRUE(report.ok());
+    EXPECT_FALSE(f.trees.Has(0));
+  }
+  // 5th query crosses the threshold: everything moves at once.
+  w.Add(q);
+  auto report =
+      opt.OnQuery("t", q, w, f.sample, &f.trees, &f.store, &f.cluster);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(f.trees.Has(0));
+  EXPECT_EQ(f.trees.RecordsUnder(0, f.store),
+            static_cast<int64_t>(f.records.size()));
+  EXPECT_GT(report.ValueOrDie().smooth.records_moved, 0);
+}
+
+TEST(OptimizerTest, SmoothModeMovesIncrementally) {
+  TableFixture f;
+  AdaptConfig cfg;
+  cfg.enable_amoeba = false;
+  cfg.smooth.total_levels = 4;
+  Optimizer opt(f.schema, cfg);
+  QueryWindow w(10);
+  Query q = JoinQuery("j", "t", 0, "other", 0);
+  w.Add(q);
+  auto report =
+      opt.OnQuery("t", q, w, f.sample, &f.trees, &f.store, &f.cluster);
+  ASSERT_TRUE(report.ok());
+  const int64_t moved = report.ValueOrDie().smooth.records_moved;
+  EXPECT_GT(moved, 0);
+  EXPECT_LT(moved, static_cast<int64_t>(f.records.size()) / 2);
+}
+
+}  // namespace
+}  // namespace adaptdb

@@ -1,0 +1,159 @@
+// Tests for baselines/: configuration factories and the PREF comparator.
+
+#include <gtest/gtest.h>
+
+#include "baselines/amoeba_baseline.h"
+#include "baselines/full_repartitioning.h"
+#include "baselines/full_scan.h"
+#include "baselines/pref.h"
+#include "workload/drivers.h"
+#include "workload/tpch.h"
+#include "workload/tpch_queries.h"
+
+namespace adaptdb {
+namespace {
+
+TEST(BaselineOptionsTest, FullScanConfig) {
+  DatabaseOptions opts = FullScanOptions(DatabaseOptions{});
+  EXPECT_FALSE(opts.adapt_enabled);
+  EXPECT_TRUE(opts.planner.ignore_partitioning);
+  EXPECT_EQ(opts.planner.strategy, PlannerConfig::Strategy::kForceShuffle);
+}
+
+TEST(BaselineOptionsTest, FullRepartitioningConfig) {
+  DatabaseOptions opts = FullRepartitioningOptions(DatabaseOptions{});
+  EXPECT_TRUE(opts.adapt_enabled);
+  EXPECT_TRUE(opts.adapt.full_repartitioning);
+  EXPECT_EQ(opts.planner.strategy, PlannerConfig::Strategy::kAuto);
+}
+
+TEST(BaselineOptionsTest, AmoebaConfigForcesShuffle) {
+  DatabaseOptions opts = AmoebaOptions(DatabaseOptions{});
+  EXPECT_TRUE(opts.adapt_enabled);
+  EXPECT_FALSE(opts.adapt.enable_smooth);
+  EXPECT_TRUE(opts.adapt.enable_amoeba);
+  EXPECT_EQ(opts.planner.strategy, PlannerConfig::Strategy::kForceShuffle);
+}
+
+struct PrefFixture {
+  tpch::TpchData data;
+  PrefLayout layout;
+
+  PrefFixture()
+      : data(tpch::GenerateTpch([] {
+          tpch::TpchConfig cfg;
+          cfg.num_orders = 1200;
+          return cfg;
+        }())),
+        layout([] {
+          PrefConfig cfg;
+          cfg.num_partitions = 8;
+          cfg.records_per_block = 300;
+          return cfg;
+        }()) {
+    ADB_CHECK_OK(layout.AddFact("lineitem", data.lineitem_schema,
+                                data.lineitem, tpch::kLOrderKey));
+    ADB_CHECK_OK(layout.AddReplicated("orders", data.orders_schema,
+                                      data.orders, "lineitem",
+                                      tpch::kLOrderKey, tpch::kOOrderKey));
+    ADB_CHECK_OK(layout.AddReplicated("part", data.part_schema, data.part,
+                                      "lineitem", tpch::kLPartKey,
+                                      tpch::kPPartKey));
+    ADB_CHECK_OK(layout.AddReplicated("customer", data.customer_schema,
+                                      data.customer, "orders",
+                                      tpch::kOCustKey, tpch::kCCustKey));
+  }
+};
+
+TEST(PrefTest, ReplicationFactorsReflectReferenceFanOut) {
+  PrefFixture f;
+  // orders co-partitions with lineitem: each order lives in one partition.
+  EXPECT_NEAR(f.layout.ReplicationFactor("orders"), 1.0, 0.01);
+  // Each part is referenced by ~30 lineitems spread over 8 partitions, so
+  // parts replicate heavily; customers (fewer orders each) replicate less.
+  EXPECT_GT(f.layout.ReplicationFactor("part"), 3.0);
+  EXPECT_GT(f.layout.ReplicationFactor("customer"), 1.0);
+  EXPECT_GT(f.layout.TotalBlocks("part"), 0);
+  EXPECT_EQ(f.layout.TotalBlocks("nope"), 0);
+}
+
+TEST(PrefTest, RejectsDuplicateTablesAndMissingParent) {
+  PrefFixture f;
+  EXPECT_FALSE(f.layout
+                   .AddFact("lineitem", f.data.lineitem_schema,
+                            f.data.lineitem, tpch::kLOrderKey)
+                   .ok());
+  PrefLayout other((PrefConfig()));
+  EXPECT_FALSE(other
+                   .AddReplicated("part", f.data.part_schema, f.data.part,
+                                  "ghost", 0, 0)
+                   .ok());
+}
+
+TEST(PrefTest, JoinMatchesAdaptDbResult) {
+  PrefFixture f;
+  // Same data into an (adaptation-off) Database for ground truth.
+  Database db(FullScanOptions(DatabaseOptions{}));
+  ASSERT_TRUE(LoadTpch(&db, f.data, 4, 4, 3).ok());
+
+  Rng rng(5);
+  Rng rng2 = rng;
+  Query q_pref = tpch::MakeQ14(&rng);
+  Query q_db = tpch::MakeQ14(&rng2);
+  auto pref_run = f.layout.RunQuery(q_pref);
+  auto db_run = db.RunQuery(q_db);
+  ASSERT_TRUE(pref_run.ok()) << pref_run.status().ToString();
+  ASSERT_TRUE(db_run.ok());
+  EXPECT_EQ(pref_run.ValueOrDie().output_rows, db_run.ValueOrDie().output_rows);
+  EXPECT_EQ(pref_run.ValueOrDie().checksum, db_run.ValueOrDie().checksum);
+}
+
+TEST(PrefTest, MultiJoinQ3Matches) {
+  PrefFixture f;
+  Database db(FullScanOptions(DatabaseOptions{}));
+  ASSERT_TRUE(LoadTpch(&db, f.data, 4, 4, 3).ok());
+  Rng rng(7);
+  Rng rng2 = rng;
+  Query q_pref = tpch::MakeQ3(&rng);
+  Query q_db = tpch::MakeQ3(&rng2);
+  auto pref_run = f.layout.RunQuery(q_pref);
+  auto db_run = db.RunQuery(q_db);
+  ASSERT_TRUE(pref_run.ok()) << pref_run.status().ToString();
+  ASSERT_TRUE(db_run.ok());
+  EXPECT_EQ(pref_run.ValueOrDie().output_rows, db_run.ValueOrDie().output_rows);
+}
+
+TEST(PrefTest, NoShuffleIo) {
+  PrefFixture f;
+  Rng rng(8);
+  Query q = tpch::MakeQ12(&rng);
+  auto run = f.layout.RunQuery(q);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run.ValueOrDie().io.shuffled_blocks, 0);
+  EXPECT_GT(run.ValueOrDie().io.TotalReads(), 0);
+}
+
+TEST(PrefTest, UnknownTableIsError) {
+  PrefFixture f;
+  Query q;
+  q.tables = {{"lineitem", {}}, {"supplier", {}}};
+  q.joins = {{"lineitem", tpch::kLSuppKey, "supplier", tpch::kSSuppKey}};
+  EXPECT_FALSE(f.layout.RunQuery(q).ok());  // supplier never added.
+}
+
+TEST(PrefTest, SelectiveQueriesStillReadEverything) {
+  // PREF has no selection-attribute partitioning: a highly selective q19
+  // reads the whole fact table and the whole (replicated) part table.
+  PrefFixture f;
+  Rng rng(9);
+  Query q19 = tpch::MakeQ19(&rng);
+  auto run = f.layout.RunQuery(q19);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const int64_t fact_blocks = f.layout.TotalBlocks("lineitem");
+  const int64_t part_blocks = f.layout.TotalBlocks("part");
+  EXPECT_EQ(run.ValueOrDie().edges[0].r_blocks_read, fact_blocks);
+  EXPECT_EQ(run.ValueOrDie().edges[0].s_blocks_read, part_blocks);
+}
+
+}  // namespace
+}  // namespace adaptdb

@@ -1,0 +1,213 @@
+// Tests for common/: Status, Result, BitVector, Rng.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bitvector.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace adaptdb {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad arg");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad arg");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad arg");
+}
+
+TEST(StatusTest, AllFactoryCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status {
+    ADB_RETURN_NOT_OK(Status::NotFound("inner"));
+    return Status::OK();
+  };
+  EXPECT_EQ(fails().code(), StatusCode::kNotFound);
+  auto succeeds = []() -> Status {
+    ADB_RETURN_NOT_OK(Status::OK());
+    return Status::Internal("reached");
+  };
+  EXPECT_EQ(succeeds().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string s = std::move(r).ValueOrDie();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(BitVectorTest, StartsClear) {
+  BitVector v(130);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_EQ(v.Count(), 0u);
+  for (size_t i = 0; i < 130; ++i) EXPECT_FALSE(v.Get(i));
+}
+
+TEST(BitVectorTest, SetGetClear) {
+  BitVector v(70);
+  v.Set(0);
+  v.Set(63);
+  v.Set(64);
+  v.Set(69);
+  EXPECT_TRUE(v.Get(0));
+  EXPECT_TRUE(v.Get(63));
+  EXPECT_TRUE(v.Get(64));
+  EXPECT_TRUE(v.Get(69));
+  EXPECT_EQ(v.Count(), 4u);
+  v.Clear(63);
+  EXPECT_FALSE(v.Get(63));
+  EXPECT_EQ(v.Count(), 3u);
+}
+
+TEST(BitVectorTest, OrWithMatchesManualUnion) {
+  BitVector a(100), b(100);
+  a.Set(1);
+  a.Set(50);
+  b.Set(50);
+  b.Set(99);
+  a.OrWith(b);
+  EXPECT_TRUE(a.Get(1));
+  EXPECT_TRUE(a.Get(50));
+  EXPECT_TRUE(a.Get(99));
+  EXPECT_EQ(a.Count(), 3u);
+}
+
+TEST(BitVectorTest, CountOrEqualsMaterializedUnion) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 1 + rng.Uniform(200);
+    BitVector a(n), b(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.Flip(0.3)) a.Set(i);
+      if (rng.Flip(0.3)) b.Set(i);
+    }
+    BitVector u = a;
+    u.OrWith(b);
+    EXPECT_EQ(a.CountOr(b), u.Count());
+    EXPECT_EQ(b.CountOr(a), u.Count());
+  }
+}
+
+TEST(BitVectorTest, CountAndAndIntersects) {
+  BitVector a(80), b(80);
+  a.Set(10);
+  a.Set(20);
+  b.Set(20);
+  b.Set(30);
+  EXPECT_EQ(a.CountAnd(b), 1u);
+  EXPECT_TRUE(a.Intersects(b));
+  b.Clear(20);
+  EXPECT_FALSE(a.Intersects(b));
+  EXPECT_EQ(a.CountAnd(b), 0u);
+}
+
+TEST(BitVectorTest, SetBitsRoundTrip) {
+  BitVector v(300);
+  std::set<size_t> want = {0, 7, 64, 65, 128, 299};
+  for (size_t i : want) v.Set(i);
+  auto got = v.SetBits();
+  EXPECT_EQ(std::set<size_t>(got.begin(), got.end()), want);
+}
+
+TEST(BitVectorTest, ResetClearsEverything) {
+  BitVector v(64);
+  for (size_t i = 0; i < 64; i += 3) v.Set(i);
+  v.Reset();
+  EXPECT_EQ(v.Count(), 0u);
+}
+
+TEST(BitVectorTest, ToStringMatchesPaperExample) {
+  // Paper Fig. 4: v2 = 1100.
+  BitVector v(4);
+  v.Set(0);
+  v.Set(1);
+  EXPECT_EQ(v.ToString(), "1100");
+}
+
+TEST(BitVectorTest, EqualityComparesContent) {
+  BitVector a(10), b(10), c(11);
+  a.Set(3);
+  b.Set(3);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  b.Set(4);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= (a.Next() != b.Next());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformRangeInclusiveBounds) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformRange(3, 7);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 7);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 7);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, FlipProbabilityRoughlyHolds) {
+  Rng rng(11);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.Flip(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(heads) / 10000.0, 0.25, 0.03);
+}
+
+}  // namespace
+}  // namespace adaptdb

@@ -1,0 +1,208 @@
+// End-to-end tests for core/: Database create/load/query/adapt loop.
+
+#include <gtest/gtest.h>
+
+#include "baselines/full_scan.h"
+#include "core/database.h"
+#include "workload/drivers.h"
+#include "workload/tpch.h"
+#include "workload/tpch_queries.h"
+
+namespace adaptdb {
+namespace {
+
+Schema TwoColSchema() {
+  return Schema({{"key", DataType::kInt64, 8}, {"val", DataType::kInt64, 8}});
+}
+
+std::vector<Record> TwoColRecords(size_t n, int64_t key_range, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Record> out;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back({Value(rng.UniformRange(0, key_range - 1)),
+                   Value(rng.UniformRange(0, 999))});
+  }
+  return out;
+}
+
+TEST(DatabaseTest, CreateAndGetTable) {
+  Database db;
+  TableOptions opts;
+  opts.upfront_levels = 3;
+  ASSERT_TRUE(
+      db.CreateTable("t", TwoColSchema(), TwoColRecords(500, 100, 1), opts)
+          .ok());
+  auto table = db.GetTable("t");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.ValueOrDie()->num_records(), 500);
+  EXPECT_FALSE(db.GetTable("missing").ok());
+  EXPECT_FALSE(
+      db.CreateTable("t", TwoColSchema(), TwoColRecords(10, 10, 2)).ok());
+  EXPECT_EQ(db.TableNames(), std::vector<std::string>{"t"});
+}
+
+TEST(DatabaseTest, RejectsEmptyLoadAndBadRecords) {
+  Database db;
+  EXPECT_FALSE(db.CreateTable("e", TwoColSchema(), {}).ok());
+  std::vector<Record> bad = {{Value(1)}};
+  EXPECT_FALSE(db.CreateTable("b", TwoColSchema(), bad).ok());
+}
+
+TEST(DatabaseTest, SelectionQueryCountsRows) {
+  Database db;
+  TableOptions opts;
+  opts.upfront_levels = 3;
+  auto records = TwoColRecords(1000, 100, 3);
+  ASSERT_TRUE(db.CreateTable("t", TwoColSchema(), records, opts).ok());
+  Query q;
+  q.name = "sel";
+  q.tables = {{"t", {Predicate(0, CompareOp::kLt, 50)}}};
+  auto run = db.RunQuery(q);
+  ASSERT_TRUE(run.ok());
+  int64_t expect = 0;
+  for (const Record& r : records) {
+    if (r[0].AsInt64() < 50) ++expect;
+  }
+  EXPECT_EQ(run.ValueOrDie().output_rows, expect);
+  EXPECT_GT(run.ValueOrDie().seconds, 0);
+}
+
+TEST(DatabaseTest, RepeatedJoinsConvergeToHyperJoin) {
+  DatabaseOptions opts;
+  opts.adapt.smooth.total_levels = 4;
+  Database db(opts);
+  TableOptions t;
+  t.upfront_levels = 4;
+  ASSERT_TRUE(
+      db.CreateTable("r", TwoColSchema(), TwoColRecords(4000, 1000, 5), t)
+          .ok());
+  ASSERT_TRUE(
+      db.CreateTable("s", TwoColSchema(), TwoColRecords(2000, 1000, 6), t)
+          .ok());
+  Query q;
+  q.name = "join";
+  q.tables = {{"r", {}}, {"s", {}}};
+  q.joins = {{"r", 0, "s", 0}};
+
+  bool hyper_seen = false;
+  int64_t rows_first = -1;
+  for (int i = 0; i < 12; ++i) {
+    auto run = db.RunQuery(q);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    if (rows_first < 0) rows_first = run.ValueOrDie().output_rows;
+    // Result stays identical while the layout adapts underneath.
+    EXPECT_EQ(run.ValueOrDie().output_rows, rows_first);
+    if (!run.ValueOrDie().edges.empty()) {
+      hyper_seen |= run.ValueOrDie().edges[0].used_hyper;
+    }
+  }
+  EXPECT_TRUE(hyper_seen) << "adaptation never enabled hyper-join";
+  // After convergence both tables have join trees and the last query used
+  // hyper-join with low C_HyJ.
+  auto last = db.RunQuery(q);
+  ASSERT_TRUE(last.ok());
+  EXPECT_TRUE(last.ValueOrDie().edges[0].used_hyper);
+  EXPECT_LT(last.ValueOrDie().edges[0].choice.c_hyj, 2.5);
+}
+
+TEST(DatabaseTest, AdaptationLatencyIsBounded) {
+  // Smooth repartitioning must never move more than ~2 window slots worth
+  // of data in one query once the window is warm.
+  DatabaseOptions opts;
+  opts.adapt.smooth.total_levels = 4;
+  Database db(opts);
+  TableOptions t;
+  t.upfront_levels = 4;
+  auto r_records = TwoColRecords(4000, 1000, 8);
+  ASSERT_TRUE(db.CreateTable("r", TwoColSchema(), r_records, t).ok());
+  ASSERT_TRUE(
+      db.CreateTable("s", TwoColSchema(), TwoColRecords(2000, 1000, 9), t)
+          .ok());
+  Query q;
+  q.tables = {{"r", {}}, {"s", {}}};
+  q.joins = {{"r", 0, "s", 0}};
+  for (int i = 0; i < 10; ++i) {
+    auto run = db.RunQuery(q);
+    ASSERT_TRUE(run.ok());
+    EXPECT_LE(run.ValueOrDie().records_repartitioned,
+              static_cast<int64_t>(r_records.size()) * 2 * 2 / 10)
+        << "query " << i;
+  }
+}
+
+TEST(DatabaseTest, DisabledAdaptationKeepsLayout) {
+  DatabaseOptions opts;
+  opts.adapt_enabled = false;
+  Database db(opts);
+  TableOptions t;
+  t.upfront_levels = 3;
+  ASSERT_TRUE(
+      db.CreateTable("r", TwoColSchema(), TwoColRecords(1000, 100, 10), t)
+          .ok());
+  ASSERT_TRUE(
+      db.CreateTable("s", TwoColSchema(), TwoColRecords(500, 100, 11), t)
+          .ok());
+  Query q;
+  q.tables = {{"r", {}}, {"s", {}}};
+  q.joins = {{"r", 0, "s", 0}};
+  for (int i = 0; i < 5; ++i) {
+    auto run = db.RunQuery(q);
+    ASSERT_TRUE(run.ok());
+    EXPECT_EQ(run.ValueOrDie().records_repartitioned, 0);
+  }
+  // Only the upfront tree exists.
+  EXPECT_EQ(db.GetTable("r").ValueOrDie()->trees()->size(), 1u);
+}
+
+TEST(DatabaseTest, ChecksumInvariantAcrossConfigurations) {
+  // The same TPC-H query must produce identical results on an adaptive
+  // database and on the full-scan baseline.
+  tpch::TpchConfig cfg;
+  cfg.num_orders = 1500;
+  const tpch::TpchData data = tpch::GenerateTpch(cfg);
+
+  DatabaseOptions adaptive_opts;
+  adaptive_opts.adapt.smooth.total_levels = 4;
+  Database adaptive(adaptive_opts);
+  ASSERT_TRUE(LoadTpch(&adaptive, data, 5, 4, 3).ok());
+  Database fullscan(FullScanOptions(DatabaseOptions{}));
+  ASSERT_TRUE(LoadTpch(&fullscan, data, 5, 4, 3).ok());
+
+  Rng rng(1);
+  for (const char* name : {"q12", "q14", "q19"}) {
+    Rng q_rng(rng.Next());
+    Rng q_rng2 = q_rng;  // Same constants for both systems.
+    Query q1 = tpch::MakeQuery(name, &q_rng).ValueOrDie();
+    Query q2 = tpch::MakeQuery(name, &q_rng2).ValueOrDie();
+    for (int rep = 0; rep < 3; ++rep) {
+      auto a = adaptive.RunQuery(q1);
+      auto b = fullscan.RunQuery(q2);
+      ASSERT_TRUE(a.ok()) << a.status().ToString();
+      ASSERT_TRUE(b.ok()) << b.status().ToString();
+      EXPECT_EQ(a.ValueOrDie().output_rows, b.ValueOrDie().output_rows)
+          << name << " rep " << rep;
+      EXPECT_EQ(a.ValueOrDie().checksum, b.ValueOrDie().checksum);
+    }
+  }
+}
+
+TEST(DatabaseTest, TpchTemplatesAllExecute) {
+  tpch::TpchConfig cfg;
+  cfg.num_orders = 1000;
+  const tpch::TpchData data = tpch::GenerateTpch(cfg);
+  DatabaseOptions opts;
+  opts.adapt.smooth.total_levels = 4;
+  Database db(opts);
+  ASSERT_TRUE(LoadTpch(&db, data, 5, 4, 3).ok());
+  Rng rng(2);
+  for (const std::string& name : tpch::TemplateNames()) {
+    auto q = tpch::MakeQuery(name, &rng);
+    ASSERT_TRUE(q.ok());
+    auto run = db.RunQuery(q.ValueOrDie());
+    ASSERT_TRUE(run.ok()) << name << ": " << run.status().ToString();
+    EXPECT_GE(run.ValueOrDie().output_rows, 0) << name;
+  }
+}
+
+}  // namespace
+}  // namespace adaptdb

@@ -1,0 +1,195 @@
+// Integration tests for the simulated cost accounting: the executors'
+// accounted I/O must match the §4.2 cost model's structure, and end-to-end
+// workloads must show the paper's qualitative orderings.
+
+#include <gtest/gtest.h>
+
+#include "baselines/full_scan.h"
+#include "core/database.h"
+#include "exec/hyper_join.h"
+#include "exec/shuffle_join.h"
+#include "workload/cmt.h"
+#include "workload/drivers.h"
+#include "workload/tpch.h"
+#include "workload/tpch_queries.h"
+
+namespace adaptdb {
+namespace {
+
+struct TwoTableFixture {
+  BlockStore r_store{1}, s_store{1};
+  std::vector<BlockId> r_blocks, s_blocks;
+  ClusterSim cluster;
+
+  TwoTableFixture() {
+    Rng rng(3);
+    for (int b = 0; b < 8; ++b) {
+      const BlockId id = r_store.CreateBlock();
+      Block* blk = r_store.Get(id).ValueOrDie();
+      for (int i = 0; i < 20; ++i) {
+        blk->Add({Value(b * 100 + rng.UniformRange(0, 99))});
+      }
+      r_blocks.push_back(id);
+      cluster.PlaceBlock(id);
+    }
+    for (int b = 0; b < 4; ++b) {
+      const BlockId id = s_store.CreateBlock();
+      Block* blk = s_store.Get(id).ValueOrDie();
+      for (int i = 0; i < 20; ++i) {
+        blk->Add({Value(b * 200 + rng.UniformRange(0, 199))});
+      }
+      s_blocks.push_back(id);
+      cluster.PlaceBlock(id);
+    }
+  }
+};
+
+TEST(CostAccountingTest, ShuffleJoinChargesCSjPerBlock) {
+  TwoTableFixture f;
+  auto run = ShuffleJoin(f.r_store, f.r_blocks, 0, {}, f.s_store, f.s_blocks,
+                         0, {}, f.cluster);
+  ASSERT_TRUE(run.ok());
+  const IoStats& io = run.ValueOrDie().io;
+  // Every input block is read once and shuffled once.
+  EXPECT_EQ(io.TotalReads(), 12);
+  EXPECT_EQ(io.shuffled_blocks, 12);
+  // With default constants, total cost per block ~ 3.25 reads: the paper's
+  // C_SJ = 3 within 10%.
+  const double per_block =
+      f.cluster.SimulatedSeconds(io) * f.cluster.num_nodes() / 12.0;
+  const double c_sj_effective =
+      per_block / f.cluster.config().block_read_seconds;
+  EXPECT_NEAR(c_sj_effective, 3.0, 0.5);
+}
+
+TEST(CostAccountingTest, HyperJoinChargesExactlyScheduledReads) {
+  TwoTableFixture f;
+  auto overlap =
+      ComputeOverlap(f.r_store, f.r_blocks, 0, f.s_store, f.s_blocks, 0);
+  ASSERT_TRUE(overlap.ok());
+  for (int32_t budget : {2, 4, 8}) {
+    auto grouping = BottomUpGrouping(overlap.ValueOrDie(), budget);
+    ASSERT_TRUE(grouping.ok());
+    auto run = HyperJoin(f.r_store, 0, {}, f.s_store, 0, {},
+                         overlap.ValueOrDie(), grouping.ValueOrDie(),
+                         f.cluster);
+    ASSERT_TRUE(run.ok());
+    EXPECT_EQ(run.ValueOrDie().r_blocks_read, 8);
+    EXPECT_EQ(run.ValueOrDie().s_blocks_read,
+              GroupingCost(overlap.ValueOrDie(), grouping.ValueOrDie()));
+    EXPECT_EQ(run.ValueOrDie().io.shuffled_blocks, 0);
+    EXPECT_EQ(run.ValueOrDie().io.block_writes, 0);
+  }
+}
+
+TEST(CostAccountingTest, HyperJoinCostDecreasesWithBudget) {
+  TwoTableFixture f;
+  auto overlap =
+      ComputeOverlap(f.r_store, f.r_blocks, 0, f.s_store, f.s_blocks, 0);
+  ASSERT_TRUE(overlap.ok());
+  int64_t prev = INT64_MAX;
+  for (int32_t budget : {1, 2, 4, 8}) {
+    auto grouping = BottomUpGrouping(overlap.ValueOrDie(), budget);
+    ASSERT_TRUE(grouping.ok());
+    const int64_t cost =
+        GroupingCost(overlap.ValueOrDie(), grouping.ValueOrDie());
+    EXPECT_LE(cost, prev) << "budget " << budget;
+    prev = cost;
+  }
+}
+
+TEST(CostAccountingTest, SimulatedSecondsComposition) {
+  ClusterSim cluster;
+  const ClusterConfig& cfg = cluster.config();
+  IoStats io;
+  io.local_block_reads = 10;
+  io.remote_block_reads = 4;
+  io.block_writes = 2;
+  io.shuffled_blocks = 6;
+  const double want =
+      (10 * cfg.block_read_seconds +
+       4 * cfg.block_read_seconds * cfg.remote_penalty +
+       2 * cfg.durable_write_seconds +
+       6 * (cfg.block_read_seconds * cfg.remote_penalty +
+            cfg.spill_write_seconds)) /
+      cfg.num_nodes;
+  EXPECT_DOUBLE_EQ(cluster.SimulatedSeconds(io), want);
+}
+
+TEST(EndToEndOrderingTest, AdaptiveBeatsFullScanOnRepeatedTemplates) {
+  tpch::TpchConfig cfg;
+  cfg.num_orders = 2000;
+  const tpch::TpchData data = tpch::GenerateTpch(cfg);
+  DatabaseOptions opts;
+  opts.adapt.smooth.total_levels = 5;
+  Database adaptive(opts);
+  ASSERT_TRUE(LoadTpch(&adaptive, data, 5, 4, 3).ok());
+  Database fullscan(FullScanOptions(DatabaseOptions{}));
+  ASSERT_TRUE(LoadTpch(&fullscan, data, 5, 4, 3).ok());
+
+  Rng rng(1);
+  std::vector<Query> stream;
+  for (int i = 0; i < 20; ++i) {
+    stream.push_back(tpch::MakeQuery("q12", &rng).ValueOrDie());
+  }
+  auto a = RunWorkload(&adaptive, stream);
+  auto f = RunWorkload(&fullscan, stream);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(f.ok());
+  // After convergence (last 5 queries) the adaptive system must be at
+  // least 1.5x faster per query.
+  EXPECT_LT(a.ValueOrDie().MeanSeconds(15, 20) * 1.5,
+            f.ValueOrDie().MeanSeconds(15, 20));
+}
+
+TEST(EndToEndOrderingTest, CmtTraceRunsAndAdapts) {
+  cmt::CmtConfig cfg;
+  cfg.num_trips = 4000;
+  const cmt::CmtData data = cmt::GenerateCmt(cfg);
+  DatabaseOptions opts;
+  opts.adapt.smooth.total_levels = 5;
+  Database db(opts);
+  TableOptions t;
+  t.upfront_levels = 5;
+  ASSERT_TRUE(db.CreateTable("trips", data.trips_schema, data.trips, t).ok());
+  ASSERT_TRUE(
+      db.CreateTable("history", data.history_schema, data.history, t).ok());
+  TableOptions lt;
+  lt.upfront_levels = 4;
+  ASSERT_TRUE(
+      db.CreateTable("latest", data.latest_schema, data.latest, lt).ok());
+  auto trace = cmt::MakeTrace(data, 5);
+  auto result = RunWorkload(&db, trace);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.ValueOrDie().seconds.size(), 103u);
+  // The trips table should have acquired a trip_id join tree.
+  EXPECT_TRUE(
+      db.GetTable("trips").ValueOrDie()->trees()->Has(cmt::kTripId));
+}
+
+TEST(EndToEndOrderingTest, WindowFiveConvergesNoSlowerThanThirtyFive) {
+  tpch::TpchConfig cfg;
+  cfg.num_orders = 2000;
+  const tpch::TpchData data = tpch::GenerateTpch(cfg);
+  auto run_with = [&](int32_t w) {
+    DatabaseOptions opts;
+    opts.adapt.window_size = w;
+    opts.adapt.smooth.total_levels = 5;
+    Database db(opts);
+    ADB_CHECK_OK(LoadTpch(&db, data, 5, 4, 3));
+    Rng rng(9);
+    std::vector<Query> stream;
+    for (int i = 0; i < 15; ++i) {
+      stream.push_back(tpch::MakeQuery("q12", &rng).ValueOrDie());
+    }
+    auto result = RunWorkload(&db, stream);
+    ADB_CHECK_OK(result.status());
+    return result.ValueOrDie().MeanSeconds(10, 15);
+  };
+  // After 15 identical queries the small window must have converged at
+  // least as far as the big one (Fig. 15's "first to converge").
+  EXPECT_LE(run_with(5), run_with(35) * 1.05);
+}
+
+}  // namespace
+}  // namespace adaptdb

@@ -1,0 +1,214 @@
+// Tests for the exact (branch-and-bound) grouping solver against brute
+// force and the heuristics.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "common/rng.h"
+#include "join/exact_grouping.h"
+
+namespace adaptdb {
+namespace {
+
+OverlapMatrix RandomMatrix(size_t n, size_t m, double density, uint64_t seed) {
+  Rng rng(seed);
+  OverlapMatrix out;
+  for (size_t i = 0; i < n; ++i) out.r_blocks.push_back(static_cast<BlockId>(i));
+  for (size_t j = 0; j < m; ++j) out.s_blocks.push_back(static_cast<BlockId>(j));
+  out.vectors.assign(n, BitVector(m));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      if (rng.Flip(density)) out.vectors[i].Set(j);
+    }
+  }
+  return out;
+}
+
+/// Interval-structured matrix like two-phase partitioned tables produce.
+/// `noise` adds an extra random overlap per block with that probability
+/// (0 = the clean band real two-phase trees yield).
+OverlapMatrix IntervalMatrix(size_t n, size_t m, uint64_t seed,
+                             double noise = 0.0) {
+  Rng rng(seed);
+  OverlapMatrix out;
+  for (size_t i = 0; i < n; ++i) out.r_blocks.push_back(static_cast<BlockId>(i));
+  for (size_t j = 0; j < m; ++j) out.s_blocks.push_back(static_cast<BlockId>(j));
+  out.vectors.assign(n, BitVector(m));
+  for (size_t i = 0; i < n; ++i) {
+    const double lo = static_cast<double>(i) / static_cast<double>(n);
+    const double hi = static_cast<double>(i + 1) / static_cast<double>(n);
+    for (size_t j = 0; j < m; ++j) {
+      const double slo = static_cast<double>(j) / static_cast<double>(m);
+      const double shi = static_cast<double>(j + 1) / static_cast<double>(m);
+      if (hi >= slo && shi >= lo) out.vectors[i].Set(j);
+    }
+    if (noise > 0 && rng.Flip(noise)) out.vectors[i].Set(rng.Uniform(m));
+  }
+  return out;
+}
+
+/// Brute force: enumerate every assignment of n blocks into groups in
+/// canonical order. Only usable for tiny n.
+int64_t BruteForceOptimum(const OverlapMatrix& m, int32_t budget) {
+  const size_t n = m.NumR();
+  const size_t c = (n + static_cast<size_t>(budget) - 1) /
+                   static_cast<size_t>(budget);
+  std::vector<size_t> assign(n, 0);
+  int64_t best = std::numeric_limits<int64_t>::max();
+  while (true) {
+    // Check sizes.
+    std::vector<size_t> sizes(c, 0);
+    bool feasible = true;
+    for (size_t a : assign) {
+      if (++sizes[a] > static_cast<size_t>(budget)) {
+        feasible = false;
+        break;
+      }
+    }
+    if (feasible) {
+      Grouping g;
+      g.groups.assign(c, {});
+      for (size_t i = 0; i < n; ++i) g.groups[assign[i]].push_back(i);
+      g.groups.erase(std::remove_if(g.groups.begin(), g.groups.end(),
+                                    [](const auto& x) { return x.empty(); }),
+                     g.groups.end());
+      if (!g.groups.empty()) {
+        const int64_t cost = GroupingCost(m, g);
+        if (cost < best) best = cost;
+      }
+    }
+    // Increment the base-c counter.
+    size_t i = 0;
+    while (i < n && ++assign[i] == c) {
+      assign[i] = 0;
+      ++i;
+    }
+    if (i == n) break;
+  }
+  return best;
+}
+
+TEST(ExactGroupingTest, EmptyInstance) {
+  OverlapMatrix m;
+  auto r = ExactGrouping(m, 4);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.ValueOrDie().proven_optimal);
+  EXPECT_EQ(r.ValueOrDie().cost, 0);
+}
+
+TEST(ExactGroupingTest, RejectsBadBudget) {
+  OverlapMatrix m = RandomMatrix(4, 4, 0.5, 1);
+  EXPECT_FALSE(ExactGrouping(m, 0).ok());
+}
+
+TEST(ExactGroupingTest, SolvesPaperExample1Optimally) {
+  OverlapMatrix m;
+  m.r_blocks = {0, 1, 2};
+  m.s_blocks = {0, 1, 2};
+  m.vectors.assign(3, BitVector(3));
+  m.vectors[0].Set(0);
+  m.vectors[0].Set(1);
+  m.vectors[1].Set(0);
+  m.vectors[1].Set(1);
+  m.vectors[1].Set(2);
+  m.vectors[2].Set(1);
+  m.vectors[2].Set(2);
+  auto r = ExactGrouping(m, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().cost, 5);  // The paper's optimum.
+  EXPECT_TRUE(ValidateGrouping(m, r.ValueOrDie().grouping, 2).ok());
+}
+
+class ExactVsBruteForce : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExactVsBruteForce, MatchesBruteForceOnSmallRandomInstances) {
+  OverlapMatrix m = RandomMatrix(7, 6, 0.35, GetParam());
+  for (int32_t budget : {2, 3, 4}) {
+    auto exact = ExactGrouping(m, budget);
+    ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+    const int64_t brute = BruteForceOptimum(m, budget);
+    EXPECT_EQ(exact.ValueOrDie().cost, brute)
+        << "budget " << budget << " seed " << GetParam();
+    EXPECT_EQ(GroupingCost(m, exact.ValueOrDie().grouping),
+              exact.ValueOrDie().cost);
+    EXPECT_TRUE(
+        ValidateGrouping(m, exact.ValueOrDie().grouping, budget).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactVsBruteForce,
+                         ::testing::Values(31, 32, 33, 34, 35, 36));
+
+TEST(ExactGroupingTest, NeverWorseThanHeuristics) {
+  for (uint64_t seed = 50; seed < 56; ++seed) {
+    OverlapMatrix m = IntervalMatrix(16, 12, seed, 0.2);
+    for (int32_t budget : {2, 4, 8}) {
+      auto exact = ExactGrouping(m, budget);
+      ASSERT_TRUE(exact.ok());
+      auto bu = BottomUpGrouping(m, budget);
+      auto gr = GreedyGrouping(m, budget);
+      ASSERT_TRUE(bu.ok());
+      ASSERT_TRUE(gr.ok());
+      EXPECT_LE(exact.ValueOrDie().cost, GroupingCost(m, bu.ValueOrDie()));
+      EXPECT_LE(exact.ValueOrDie().cost, GroupingCost(m, gr.ValueOrDie()));
+    }
+  }
+}
+
+TEST(ExactGroupingTest, IntervalInstancesSolveFast) {
+  // The Fig. 17 regime, scaled: band-structured overlaps (what two-phase
+  // trees yield) close quickly thanks to the DP incumbent, the bound and
+  // dominance memoization.
+  OverlapMatrix m = IntervalMatrix(48, 16, 99);
+  auto exact = ExactGrouping(m, 12);
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+  EXPECT_TRUE(exact.ValueOrDie().proven_optimal);
+  EXPECT_TRUE(ValidateGrouping(m, exact.ValueOrDie().grouping, 12).ok());
+  EXPECT_LT(exact.ValueOrDie().nodes_expanded, 1'000'000);
+}
+
+TEST(ExactGroupingTest, Fig17RegimeBudgetSweep) {
+  // 128 blocks like the paper's SF-10 setup: generous budgets close, the
+  // tightest one exhausts the budget (the paper's ">96 hours" at 16).
+  OverlapMatrix m = IntervalMatrix(128, 32, 4);
+  auto b64 = ExactGrouping(m, 64);
+  ASSERT_TRUE(b64.ok());
+  auto b32 = ExactGrouping(m, 32);
+  ASSERT_TRUE(b32.ok());
+  EXPECT_LE(b64.ValueOrDie().cost, b32.ValueOrDie().cost);
+  ExactOptions tight;
+  tight.max_nodes = 2'000'000;
+  auto b16 = ExactGrouping(m, 16, tight);
+  EXPECT_FALSE(b16.ok());
+  EXPECT_EQ(b16.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ExactGroupingTest, ContiguousDpMatchesExactOnBands) {
+  // On clean band instances the contiguous restriction is lossless.
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    OverlapMatrix m = IntervalMatrix(24, 12, seed);
+    for (int32_t budget : {4, 6, 12}) {
+      auto exact = ExactGrouping(m, budget);
+      auto dp = ContiguousDpGrouping(m, budget);
+      ASSERT_TRUE(exact.ok());
+      ASSERT_TRUE(dp.ok());
+      EXPECT_EQ(GroupingCost(m, dp.ValueOrDie()), exact.ValueOrDie().cost);
+    }
+  }
+}
+
+TEST(ExactGroupingTest, NodeBudgetExhaustionIsReported) {
+  // A dense random instance with a two-node budget must bail out like the
+  // paper's ">96 hours" entry.
+  OverlapMatrix m = RandomMatrix(24, 24, 0.5, 7);
+  ExactOptions opts;
+  opts.max_nodes = 50;
+  auto r = ExactGrouping(m, 3, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace adaptdb

@@ -1,0 +1,357 @@
+// Tests for exec/: scans, the hash-join kernel, shuffle join, hyper-join
+// and the repartitioning iterator — including algorithm-equivalence checks
+// against a nested-loop oracle.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "exec/hyper_join.h"
+#include "exec/repartition.h"
+#include "exec/scan.h"
+#include "exec/shuffle_join.h"
+#include "join/grouping.h"
+
+namespace adaptdb {
+namespace {
+
+// A small two-table fixture: R(key, val), S(key, val) with controlled keys.
+struct JoinFixture {
+  BlockStore r_store{2};
+  BlockStore s_store{2};
+  std::vector<BlockId> r_blocks, s_blocks;
+  ClusterSim cluster;
+
+  // R: 4 blocks of 25 records, key ranges [0,99],[100,199],...
+  // S: 4 blocks of 10 records, key ranges offset by 50.
+  explicit JoinFixture(uint64_t seed = 1) {
+    Rng rng(seed);
+    for (int b = 0; b < 4; ++b) {
+      const BlockId id = r_store.CreateBlock();
+      Block* blk = r_store.Get(id).ValueOrDie();
+      for (int i = 0; i < 25; ++i) {
+        blk->Add({Value(b * 100 + rng.UniformRange(0, 99)),
+                  Value(rng.UniformRange(0, 999))});
+      }
+      r_blocks.push_back(id);
+      cluster.PlaceBlock(id);
+    }
+    for (int b = 0; b < 4; ++b) {
+      const BlockId id = s_store.CreateBlock();
+      Block* blk = s_store.Get(id).ValueOrDie();
+      for (int i = 0; i < 10; ++i) {
+        blk->Add({Value(b * 100 + 50 + rng.UniformRange(0, 99)),
+                  Value(rng.UniformRange(0, 999))});
+      }
+      s_blocks.push_back(id);
+      cluster.PlaceBlock(id);
+    }
+  }
+
+  // Nested-loop oracle over all records.
+  JoinCounts Oracle(const PredicateSet& r_preds,
+                    const PredicateSet& s_preds) const {
+    JoinCounts counts;
+    for (BlockId rb : r_blocks) {
+      const Block* r = r_store.Get(rb).ValueOrDie();
+      for (const Record& rr : r->records()) {
+        if (!MatchesAll(r_preds, rr)) continue;
+        for (BlockId sb : s_blocks) {
+          const Block* s = s_store.Get(sb).ValueOrDie();
+          for (const Record& sr : s->records()) {
+            if (!MatchesAll(s_preds, sr)) continue;
+            if (rr[0] == sr[0]) {
+              ++counts.output_rows;
+              counts.checksum += static_cast<uint64_t>(HashValue(rr[0])) | 1;
+            }
+          }
+        }
+      }
+    }
+    return counts;
+  }
+};
+
+TEST(HashIndexTest, BuildAndProbeCounts) {
+  Block build(0, 2), probe(1, 2);
+  build.Add({Value(1), Value(10)});
+  build.Add({Value(1), Value(11)});
+  build.Add({Value(2), Value(12)});
+  probe.Add({Value(1), Value(20)});
+  probe.Add({Value(3), Value(21)});
+  HashIndex index(0);
+  index.AddBlock(build, {});
+  EXPECT_EQ(index.BuildRows(), 3);
+  JoinCounts counts;
+  index.Probe(probe, 0, {}, &counts);
+  EXPECT_EQ(counts.output_rows, 2);  // key 1 matches two build rows.
+}
+
+TEST(HashIndexTest, PredicatesFilterBothSides) {
+  Block build(0, 2), probe(1, 2);
+  build.Add({Value(1), Value(10)});
+  build.Add({Value(1), Value(99)});
+  probe.Add({Value(1), Value(20)});
+  HashIndex index(0);
+  index.AddBlock(build, {Predicate(1, CompareOp::kLt, 50)});
+  EXPECT_EQ(index.BuildRows(), 1);
+  JoinCounts counts;
+  index.Probe(probe, 0, {Predicate(1, CompareOp::kGt, 50)}, &counts);
+  EXPECT_EQ(counts.output_rows, 0);
+}
+
+TEST(HashIndexTest, MaterializesConcatenatedRecords) {
+  Block build(0, 2), probe(1, 2);
+  build.Add({Value(7), Value(10)});
+  probe.Add({Value(7), Value(20)});
+  HashIndex index(0);
+  index.AddBlock(build, {});
+  JoinCounts counts;
+  std::vector<Record> out;
+  index.Probe(probe, 0, {}, &counts, &out);
+  ASSERT_EQ(out.size(), 1u);
+  ASSERT_EQ(out[0].size(), 4u);
+  EXPECT_EQ(out[0][1], Value(10));  // Build columns first.
+  EXPECT_EQ(out[0][3], Value(20));  // Probe columns after.
+}
+
+TEST(HashIndexTest, ClearEmptiesIndex) {
+  Block build(0, 1);
+  build.Add({Value(5)});
+  HashIndex index(0);
+  index.AddBlock(build, {});
+  index.Clear();
+  EXPECT_EQ(index.BuildRows(), 0);
+  JoinCounts counts;
+  index.Probe(build, 0, {}, &counts);
+  EXPECT_EQ(counts.output_rows, 0);
+}
+
+TEST(ScanTest, CountsAndSkipsBlocks) {
+  JoinFixture f;
+  // Predicate selecting only keys < 100: only the first R block can match.
+  PredicateSet preds = {Predicate(0, CompareOp::kLt, 100)};
+  auto scan = ScanBlocks(f.r_store, f.r_blocks, preds, f.cluster);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan.ValueOrDie().blocks_read, 1);
+  EXPECT_EQ(scan.ValueOrDie().blocks_skipped, 3);
+  EXPECT_EQ(scan.ValueOrDie().rows_matched, 25);
+  // Locality-scheduled scans read locally.
+  EXPECT_EQ(scan.ValueOrDie().io.remote_block_reads, 0);
+}
+
+TEST(ScanTest, NoSkippingWhenDisabled) {
+  JoinFixture f;
+  PredicateSet preds = {Predicate(0, CompareOp::kLt, 100)};
+  auto scan = ScanBlocks(f.r_store, f.r_blocks, preds, f.cluster, false);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan.ValueOrDie().blocks_read, 4);
+  EXPECT_EQ(scan.ValueOrDie().rows_matched, 25);
+}
+
+TEST(ScanTest, MissingBlockIsError) {
+  JoinFixture f;
+  EXPECT_FALSE(ScanBlocks(f.r_store, {999}, {}, f.cluster).ok());
+}
+
+TEST(ShuffleJoinTest, MatchesOracle) {
+  JoinFixture f;
+  auto run = ShuffleJoin(f.r_store, f.r_blocks, 0, {}, f.s_store, f.s_blocks,
+                         0, {}, f.cluster);
+  ASSERT_TRUE(run.ok());
+  const JoinCounts oracle = f.Oracle({}, {});
+  EXPECT_EQ(run.ValueOrDie().counts.output_rows, oracle.output_rows);
+  EXPECT_EQ(run.ValueOrDie().counts.checksum, oracle.checksum);
+}
+
+TEST(ShuffleJoinTest, AccountsShuffleIo) {
+  JoinFixture f;
+  auto run = ShuffleJoin(f.r_store, f.r_blocks, 0, {}, f.s_store, f.s_blocks,
+                         0, {}, f.cluster);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run.ValueOrDie().r_blocks_read, 4);
+  EXPECT_EQ(run.ValueOrDie().s_blocks_read, 4);
+  EXPECT_EQ(run.ValueOrDie().io.shuffled_blocks, 8);
+}
+
+TEST(ShuffleJoinTest, PredicatesApplyMapSide) {
+  JoinFixture f;
+  PredicateSet r_preds = {Predicate(0, CompareOp::kLt, 100)};
+  auto run = ShuffleJoin(f.r_store, f.r_blocks, 0, r_preds, f.s_store,
+                         f.s_blocks, 0, {}, f.cluster);
+  ASSERT_TRUE(run.ok());
+  const JoinCounts oracle = f.Oracle(r_preds, {});
+  EXPECT_EQ(run.ValueOrDie().counts.output_rows, oracle.output_rows);
+}
+
+TEST(HyperJoinTest, MatchesOracleAndShuffle) {
+  JoinFixture f;
+  auto overlap =
+      ComputeOverlap(f.r_store, f.r_blocks, 0, f.s_store, f.s_blocks, 0);
+  ASSERT_TRUE(overlap.ok());
+  for (int32_t budget : {1, 2, 4}) {
+    auto grouping = BottomUpGrouping(overlap.ValueOrDie(), budget);
+    ASSERT_TRUE(grouping.ok());
+    auto run = HyperJoin(f.r_store, 0, {}, f.s_store, 0, {},
+                         overlap.ValueOrDie(), grouping.ValueOrDie(),
+                         f.cluster);
+    ASSERT_TRUE(run.ok());
+    const JoinCounts oracle = f.Oracle({}, {});
+    EXPECT_EQ(run.ValueOrDie().counts.output_rows, oracle.output_rows)
+        << "budget " << budget;
+    EXPECT_EQ(run.ValueOrDie().counts.checksum, oracle.checksum);
+  }
+}
+
+TEST(HyperJoinTest, ReadsMatchGroupingCost) {
+  JoinFixture f;
+  auto overlap =
+      ComputeOverlap(f.r_store, f.r_blocks, 0, f.s_store, f.s_blocks, 0);
+  ASSERT_TRUE(overlap.ok());
+  auto grouping = BottomUpGrouping(overlap.ValueOrDie(), 2);
+  ASSERT_TRUE(grouping.ok());
+  auto run = HyperJoin(f.r_store, 0, {}, f.s_store, 0, {},
+                       overlap.ValueOrDie(), grouping.ValueOrDie(), f.cluster);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run.ValueOrDie().r_blocks_read, 4);
+  EXPECT_EQ(run.ValueOrDie().s_blocks_read,
+            GroupingCost(overlap.ValueOrDie(), grouping.ValueOrDie()));
+  // Hyper-join never shuffles.
+  EXPECT_EQ(run.ValueOrDie().io.shuffled_blocks, 0);
+}
+
+TEST(HyperJoinTest, MaterializationMatchesShuffleMaterialization) {
+  JoinFixture f;
+  auto overlap =
+      ComputeOverlap(f.r_store, f.r_blocks, 0, f.s_store, f.s_blocks, 0);
+  ASSERT_TRUE(overlap.ok());
+  auto grouping = BottomUpGrouping(overlap.ValueOrDie(), 2);
+  std::vector<Record> hyper_out, shuffle_out;
+  ASSERT_TRUE(HyperJoin(f.r_store, 0, {}, f.s_store, 0, {},
+                        overlap.ValueOrDie(), grouping.ValueOrDie(), f.cluster,
+                        &hyper_out)
+                  .ok());
+  ASSERT_TRUE(ShuffleJoin(f.r_store, f.r_blocks, 0, {}, f.s_store, f.s_blocks,
+                          0, {}, f.cluster, &shuffle_out)
+                  .ok());
+  EXPECT_EQ(hyper_out.size(), shuffle_out.size());
+}
+
+TEST(RepartitionTest, ClearDispositionKeepsEmptySources) {
+  JoinFixture f;
+  // Destination: a 2-leaf tree on the key.
+  const BlockId left = f.r_store.CreateBlock();
+  const BlockId right = f.r_store.CreateBlock();
+  PartitionTree dest(PartitionTree::MakeInner(0, Value(199),
+                                              PartitionTree::MakeLeaf(left),
+                                              PartitionTree::MakeLeaf(right)));
+  const size_t before = f.r_store.TotalRecords();
+  auto moved = RepartitionBlocks(&f.r_store, f.r_blocks, dest, &f.cluster);
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(moved.ValueOrDie().records_moved, static_cast<int64_t>(before));
+  EXPECT_EQ(moved.ValueOrDie().sources_drained, 4);
+  EXPECT_EQ(f.r_store.TotalRecords(), before);
+  // HDFS-append semantics: drained sources remain as empty files and may
+  // be re-filled by a later migration into their own tree.
+  for (BlockId b : f.r_blocks) {
+    ASSERT_TRUE(f.r_store.Contains(b));
+    EXPECT_TRUE(f.r_store.Get(b).ValueOrDie()->empty());
+  }
+  // Routing respected: left block keys <= 199.
+  const Block* lb = f.r_store.Get(left).ValueOrDie();
+  EXPECT_TRUE(lb->range(0).hi <= Value(199));
+}
+
+TEST(RepartitionTest, DeleteDispositionRemovesSources) {
+  JoinFixture f;
+  const BlockId leaf = f.r_store.CreateBlock();
+  PartitionTree dest(PartitionTree::MakeLeaf(leaf));
+  auto moved = RepartitionBlocks(&f.r_store, f.r_blocks, dest, &f.cluster,
+                                 SourceDisposition::kDelete);
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(moved.ValueOrDie().sources_drained, 4);
+  for (BlockId b : f.r_blocks) EXPECT_FALSE(f.r_store.Contains(b));
+}
+
+TEST(RepartitionTest, RejectsDuplicateSourcesAndMissingDestLeaf) {
+  JoinFixture f;
+  const BlockId leaf = f.r_store.CreateBlock();
+  PartitionTree dest(PartitionTree::MakeLeaf(leaf));
+  EXPECT_FALSE(RepartitionBlocks(&f.r_store, {f.r_blocks[0], f.r_blocks[0]},
+                                 dest, &f.cluster)
+                   .ok());
+  PartitionTree dead_dest(PartitionTree::MakeLeaf(12345));
+  EXPECT_FALSE(
+      RepartitionBlocks(&f.r_store, {f.r_blocks[0]}, dead_dest, &f.cluster)
+          .ok());
+}
+
+TEST(RepartitionTest, AccountsReadAndWriteIo) {
+  JoinFixture f;
+  const BlockId leaf = f.r_store.CreateBlock();
+  PartitionTree dest(PartitionTree::MakeLeaf(leaf));
+  auto moved = RepartitionBlocks(&f.r_store, {f.r_blocks[0], f.r_blocks[1]},
+                                 dest, &f.cluster);
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(moved.ValueOrDie().io.TotalReads(), 2);
+  EXPECT_EQ(moved.ValueOrDie().io.block_writes, 2);
+}
+
+TEST(RepartitionTest, RejectsSourceInsideDestination) {
+  JoinFixture f;
+  PartitionTree dest(PartitionTree::MakeLeaf(f.r_blocks[0]));
+  auto moved =
+      RepartitionBlocks(&f.r_store, {f.r_blocks[0]}, dest, &f.cluster);
+  EXPECT_FALSE(moved.ok());
+  // And nothing was deleted.
+  EXPECT_TRUE(f.r_store.Contains(f.r_blocks[0]));
+}
+
+TEST(RepartitionTest, RejectsMissingSource) {
+  JoinFixture f;
+  const BlockId leaf = f.r_store.CreateBlock();
+  PartitionTree dest(PartitionTree::MakeLeaf(leaf));
+  EXPECT_FALSE(RepartitionBlocks(&f.r_store, {1234}, dest, &f.cluster).ok());
+}
+
+// Parameterized equivalence sweep: shuffle == hyper == oracle across seeds
+// and predicate shapes.
+class JoinEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JoinEquivalence, AllAlgorithmsAgree) {
+  JoinFixture f(GetParam());
+  Rng rng(GetParam() * 7 + 1);
+  for (int trial = 0; trial < 5; ++trial) {
+    PredicateSet r_preds, s_preds;
+    if (rng.Flip(0.6)) {
+      r_preds.emplace_back(1, CompareOp::kLt, Value(rng.UniformRange(0, 999)));
+    }
+    if (rng.Flip(0.6)) {
+      s_preds.emplace_back(1, CompareOp::kGe, Value(rng.UniformRange(0, 999)));
+    }
+    const JoinCounts oracle = f.Oracle(r_preds, s_preds);
+    auto shuffle = ShuffleJoin(f.r_store, f.r_blocks, 0, r_preds, f.s_store,
+                               f.s_blocks, 0, s_preds, f.cluster);
+    ASSERT_TRUE(shuffle.ok());
+    EXPECT_EQ(shuffle.ValueOrDie().counts.output_rows, oracle.output_rows);
+    EXPECT_EQ(shuffle.ValueOrDie().counts.checksum, oracle.checksum);
+
+    auto overlap =
+        ComputeOverlap(f.r_store, f.r_blocks, 0, f.s_store, f.s_blocks, 0);
+    ASSERT_TRUE(overlap.ok());
+    const int32_t budget = 1 + static_cast<int32_t>(rng.Uniform(4));
+    auto grouping = BottomUpGrouping(overlap.ValueOrDie(), budget);
+    ASSERT_TRUE(grouping.ok());
+    auto hyper =
+        HyperJoin(f.r_store, 0, r_preds, f.s_store, 0, s_preds,
+                  overlap.ValueOrDie(), grouping.ValueOrDie(), f.cluster);
+    ASSERT_TRUE(hyper.ok());
+    EXPECT_EQ(hyper.ValueOrDie().counts.output_rows, oracle.output_rows);
+    EXPECT_EQ(hyper.ValueOrDie().counts.checksum, oracle.checksum);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JoinEquivalence,
+                         ::testing::Values(2, 3, 4, 5, 6, 7));
+
+}  // namespace
+}  // namespace adaptdb

@@ -1,0 +1,237 @@
+// Tests for the extension features: online ingestion (Table::Append, §8),
+// aggregate scans, and workload-driven join-level selection (§7.4's
+// suggested future work).
+
+#include <gtest/gtest.h>
+
+#include "adapt/smooth_repartitioner.h"
+#include "core/database.h"
+#include "exec/scan.h"
+
+namespace adaptdb {
+namespace {
+
+Schema KV() {
+  return Schema({{"key", DataType::kInt64, 8}, {"val", DataType::kInt64, 8}});
+}
+
+std::vector<Record> KVRecords(size_t n, int64_t keys, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Record> out;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back({Value(rng.UniformRange(0, keys - 1)),
+                   Value(rng.UniformRange(0, 999))});
+  }
+  return out;
+}
+
+TEST(AppendTest, NewRowsBecomeVisibleToQueries) {
+  Database db;
+  TableOptions opts;
+  opts.upfront_levels = 3;
+  ASSERT_TRUE(db.CreateTable("t", KV(), KVRecords(500, 100, 1), opts).ok());
+  Query all;
+  all.tables = {{"t", {}}};
+  const int64_t before = db.RunQuery(all).ValueOrDie().output_rows;
+  ASSERT_TRUE(db.AppendRows("t", KVRecords(100, 100, 2)).ok());
+  EXPECT_EQ(db.RunQuery(all).ValueOrDie().output_rows, before + 100);
+}
+
+TEST(AppendTest, RoutesByTreeAndExtendsRanges) {
+  Database db;
+  TableOptions opts;
+  opts.upfront_levels = 3;
+  ASSERT_TRUE(db.CreateTable("t", KV(), KVRecords(500, 100, 3), opts).ok());
+  // Append rows outside the loaded key range; a predicate query must find
+  // exactly them.
+  std::vector<Record> outliers;
+  for (int64_t i = 0; i < 20; ++i) {
+    outliers.push_back({Value(10000 + i), Value(int64_t{1})});
+  }
+  ASSERT_TRUE(db.AppendRows("t", outliers).ok());
+  Query q;
+  q.tables = {{"t", {Predicate(0, CompareOp::kGe, 10000)}}};
+  EXPECT_EQ(db.RunQuery(q).ValueOrDie().output_rows, 20);
+}
+
+TEST(AppendTest, AppendToJoinTreeKeepsHyperJoinWorking) {
+  DatabaseOptions opts;
+  opts.adapt.smooth.total_levels = 4;
+  Database db(opts);
+  TableOptions t;
+  t.upfront_levels = 4;
+  ASSERT_TRUE(db.CreateTable("r", KV(), KVRecords(2000, 500, 4), t).ok());
+  ASSERT_TRUE(db.CreateTable("s", KV(), KVRecords(1000, 500, 5), t).ok());
+  Query join;
+  join.tables = {{"r", {}}, {"s", {}}};
+  join.joins = {{"r", 0, "s", 0}};
+  for (int i = 0; i < 12; ++i) ASSERT_TRUE(db.RunQuery(join).ok());
+  const int64_t before = db.RunQuery(join).ValueOrDie().output_rows;
+  // One new s row with a known key; count the extra matches it causes.
+  Query key_count;
+  key_count.tables = {{"r", {Predicate(0, CompareOp::kEq, int64_t{7})}}};
+  const int64_t r7 = db.RunQuery(key_count).ValueOrDie().output_rows;
+  ASSERT_TRUE(db.AppendRows("s", {{Value(int64_t{7}), Value(int64_t{1})}}).ok());
+  auto after = db.RunQuery(join);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.ValueOrDie().output_rows, before + r7);
+}
+
+TEST(AppendTest, FailsOnUnloadedTableAndBadRecords) {
+  Database db;
+  EXPECT_FALSE(db.AppendRows("ghost", KVRecords(5, 5, 1)).ok());
+  TableOptions opts;
+  opts.upfront_levels = 2;
+  ASSERT_TRUE(db.CreateTable("t", KV(), KVRecords(100, 10, 6), opts).ok());
+  std::vector<Record> bad = {{Value(1)}};
+  EXPECT_FALSE(db.AppendRows("t", bad).ok());
+}
+
+struct AggFixture {
+  BlockStore store{2};
+  ClusterSim cluster;
+  std::vector<BlockId> blocks;
+
+  AggFixture() {
+    // Two blocks: keys 0..49 with val = key, keys 50..99 with val = key.
+    for (int b = 0; b < 2; ++b) {
+      const BlockId id = store.CreateBlock();
+      Block* blk = store.Get(id).ValueOrDie();
+      for (int64_t i = 0; i < 50; ++i) {
+        const int64_t key = b * 50 + i;
+        blk->Add({Value(key), Value(key)});
+      }
+      blocks.push_back(id);
+      cluster.PlaceBlock(id);
+    }
+  }
+};
+
+TEST(AggregateTest, CountSumMinMaxAvg) {
+  AggFixture f;
+  auto count =
+      ScanAggregate(f.store, f.blocks, {}, f.cluster, 1, AggFn::kCount);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.ValueOrDie().value.AsInt64(), 100);
+
+  auto sum = ScanAggregate(f.store, f.blocks, {}, f.cluster, 1, AggFn::kSum);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_DOUBLE_EQ(sum.ValueOrDie().value.AsDouble(), 4950.0);
+
+  auto mn = ScanAggregate(f.store, f.blocks, {}, f.cluster, 1, AggFn::kMin);
+  ASSERT_TRUE(mn.ok());
+  EXPECT_EQ(mn.ValueOrDie().value.AsInt64(), 0);
+
+  auto mx = ScanAggregate(f.store, f.blocks, {}, f.cluster, 1, AggFn::kMax);
+  ASSERT_TRUE(mx.ok());
+  EXPECT_EQ(mx.ValueOrDie().value.AsInt64(), 99);
+
+  auto avg = ScanAggregate(f.store, f.blocks, {}, f.cluster, 1, AggFn::kAvg);
+  ASSERT_TRUE(avg.ok());
+  EXPECT_DOUBLE_EQ(avg.ValueOrDie().value.AsDouble(), 49.5);
+}
+
+TEST(AggregateTest, PredicatesAndBlockSkipping) {
+  AggFixture f;
+  // Keys < 50 live entirely in block 0: block 1 must be skipped.
+  PredicateSet preds = {Predicate(0, CompareOp::kLt, 50)};
+  auto sum = ScanAggregate(f.store, f.blocks, preds, f.cluster, 1, AggFn::kSum);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_DOUBLE_EQ(sum.ValueOrDie().value.AsDouble(), 1225.0);
+  EXPECT_EQ(sum.ValueOrDie().scan.blocks_read, 1);
+  EXPECT_EQ(sum.ValueOrDie().scan.blocks_skipped, 1);
+}
+
+TEST(AggregateTest, EmptyResultAndStringErrors) {
+  AggFixture f;
+  PredicateSet none = {Predicate(0, CompareOp::kGt, 1000)};
+  auto avg = ScanAggregate(f.store, f.blocks, none, f.cluster, 1, AggFn::kAvg);
+  ASSERT_TRUE(avg.ok());
+  EXPECT_EQ(avg.ValueOrDie().rows_aggregated, 0);
+  EXPECT_EQ(avg.ValueOrDie().value.AsInt64(), 0);
+
+  BlockStore str_store(1);
+  const BlockId sb = str_store.CreateBlock();
+  str_store.Get(sb).ValueOrDie()->Add({Value("abc")});
+  auto bad = ScanAggregate(str_store, {sb}, {}, f.cluster, 0, AggFn::kSum);
+  EXPECT_FALSE(bad.ok());
+  // Min/max over strings is fine (ordered type).
+  auto mn = ScanAggregate(str_store, {sb}, {}, f.cluster, 0, AggFn::kMin);
+  ASSERT_TRUE(mn.ok());
+  EXPECT_EQ(mn.ValueOrDie().value.AsString(), "abc");
+}
+
+TEST(JoinLevelsHeuristicTest, UnselectiveWindowsGoDeep) {
+  Reservoir sample(500, 1);
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    sample.Add({Value(rng.UniformRange(0, 999)),
+                Value(rng.UniformRange(0, 999))});
+  }
+  QueryWindow window(10);
+  Query unselective;
+  unselective.tables = {{"t", {}}};  // No predicate: selectivity 1.
+  unselective.joins = {{"t", 0, "u", 0}};
+  for (int i = 0; i < 5; ++i) window.Add(unselective);
+  EXPECT_EQ(RecommendJoinLevels("t", window, sample, 8), 6);  // 3/4 of 8.
+}
+
+TEST(JoinLevelsHeuristicTest, SelectiveWindowsStayShallow) {
+  Reservoir sample(500, 1);
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    sample.Add({Value(rng.UniformRange(0, 999)),
+                Value(rng.UniformRange(0, 999))});
+  }
+  QueryWindow window(10);
+  Query selective;
+  selective.tables = {{"t", {Predicate(1, CompareOp::kLt, 5)}}};  // ~0.5%.
+  selective.joins = {{"t", 0, "u", 0}};
+  for (int i = 0; i < 5; ++i) window.Add(selective);
+  EXPECT_EQ(RecommendJoinLevels("t", window, sample, 8), 2);  // 1/4 of 8.
+}
+
+TEST(JoinLevelsHeuristicTest, DefaultsToHalfWithoutEvidence) {
+  Reservoir sample(10, 1);
+  sample.Add({Value(1), Value(2)});
+  QueryWindow window(10);
+  EXPECT_EQ(RecommendJoinLevels("t", window, sample, 8), 4);
+  EXPECT_EQ(RecommendJoinLevels("t", window, sample, 7), 4);  // Ceil half.
+}
+
+TEST(JoinLevelsHeuristicTest, AutoModeWiresIntoSmoothRepartitioner) {
+  Schema schema = KV();
+  auto records = KVRecords(2000, 500, 7);
+  Reservoir sample(1000, 7);
+  sample.AddAll(records);
+  BlockStore store(2);
+  TreeSet trees;
+  ClusterSim cluster;
+  {
+    UpfrontOptions opts;
+    opts.num_levels = 4;
+    UpfrontPartitioner p(schema, opts);
+    PartitionTree tree = std::move(p.Build(sample, &store)).ValueOrDie();
+    ADB_CHECK_OK(LoadRecords(records, tree, &store));
+    for (BlockId b : tree.Leaves()) cluster.PlaceBlock(b);
+    trees.Add(kUpfrontTree, std::move(tree));
+  }
+  SmoothConfig cfg;
+  cfg.total_levels = 8;
+  cfg.join_levels = kAutoJoinLevels;
+  SmoothRepartitioner smooth(schema, cfg);
+  QueryWindow window(10);
+  Query unselective;
+  unselective.name = "u";
+  unselective.tables = {{"t", {}}};
+  unselective.joins = {{"t", 0, "other", 0}};
+  window.Add(unselective);
+  auto report =
+      smooth.Step("t", 0, window, sample, &trees, &store, &cluster);
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(trees.Has(0));
+  EXPECT_EQ(trees.Tree(0).ValueOrDie()->join_levels(), 6);  // 3/4 of 8.
+}
+
+}  // namespace
+}  // namespace adaptdb

@@ -1,0 +1,316 @@
+// Tests for join/: overlap matrices, grouping heuristics, cost model.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "join/cost_model.h"
+#include "join/grouping.h"
+#include "join/overlap.h"
+
+namespace adaptdb {
+namespace {
+
+// Builds the paper's Fig. 4 instance: R blocks with join ranges
+// [0,99],[100,199],[200,299],[300,399]; S blocks [0,149],[150,249],
+// [250,349],[350,399]. Expected V = {1000, 1100, 0110, 0011}.
+struct Fig4 {
+  BlockStore r_store{1};
+  BlockStore s_store{1};
+  std::vector<BlockId> r_blocks, s_blocks;
+
+  Fig4() {
+    const int64_t r_ranges[4][2] = {{0, 99}, {100, 199}, {200, 299},
+                                    {300, 399}};
+    const int64_t s_ranges[4][2] = {{0, 149}, {150, 249}, {250, 349},
+                                    {350, 399}};
+    for (auto& rr : r_ranges) {
+      const BlockId b = r_store.CreateBlock();
+      Block* blk = r_store.Get(b).ValueOrDie();
+      blk->Add({Value(rr[0])});
+      blk->Add({Value(rr[1])});
+      r_blocks.push_back(b);
+    }
+    for (auto& sr : s_ranges) {
+      const BlockId b = s_store.CreateBlock();
+      Block* blk = s_store.Get(b).ValueOrDie();
+      blk->Add({Value(sr[0])});
+      blk->Add({Value(sr[1])});
+      s_blocks.push_back(b);
+    }
+  }
+
+  OverlapMatrix Overlap() {
+    return ComputeOverlap(r_store, r_blocks, 0, s_store, s_blocks, 0)
+        .ValueOrDie();
+  }
+};
+
+TEST(OverlapTest, MatchesPaperFig4) {
+  Fig4 fig;
+  OverlapMatrix m = fig.Overlap();
+  ASSERT_EQ(m.NumR(), 4u);
+  ASSERT_EQ(m.NumS(), 4u);
+  EXPECT_EQ(m.vectors[0].ToString(), "1000");
+  EXPECT_EQ(m.vectors[1].ToString(), "1100");
+  EXPECT_EQ(m.vectors[2].ToString(), "0110");
+  EXPECT_EQ(m.vectors[3].ToString(), "0011");
+  EXPECT_EQ(m.TotalOverlaps(), 7u);
+}
+
+TEST(OverlapTest, EmptyBlocksOverlapNothing) {
+  BlockStore r(1), s(1);
+  const BlockId re = r.CreateBlock();  // Left empty.
+  const BlockId sb = s.CreateBlock();
+  s.Get(sb).ValueOrDie()->Add({Value(5)});
+  auto m = ComputeOverlap(r, {re}, 0, s, {sb}, 0);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m.ValueOrDie().vectors[0].Count(), 0u);
+}
+
+TEST(OverlapTest, MissingBlockIsError) {
+  BlockStore r(1), s(1);
+  EXPECT_FALSE(ComputeOverlap(r, {42}, 0, s, {}, 0).ok());
+}
+
+TEST(OverlapTest, AgreesWithRecordLevelOracleOnRandomData) {
+  Rng rng(17);
+  BlockStore r(1), s(1);
+  std::vector<BlockId> r_blocks, s_blocks;
+  for (int i = 0; i < 12; ++i) {
+    const BlockId b = r.CreateBlock();
+    Block* blk = r.Get(b).ValueOrDie();
+    const int64_t base = rng.UniformRange(0, 900);
+    for (int j = 0; j < 20; ++j) {
+      blk->Add({Value(base + rng.UniformRange(0, 99))});
+    }
+    r_blocks.push_back(b);
+  }
+  for (int i = 0; i < 10; ++i) {
+    const BlockId b = s.CreateBlock();
+    Block* blk = s.Get(b).ValueOrDie();
+    const int64_t base = rng.UniformRange(0, 900);
+    for (int j = 0; j < 20; ++j) {
+      blk->Add({Value(base + rng.UniformRange(0, 99))});
+    }
+    s_blocks.push_back(b);
+  }
+  OverlapMatrix m =
+      ComputeOverlap(r, r_blocks, 0, s, s_blocks, 0).ValueOrDie();
+  // The range-based bit must be set whenever the record-level oracle finds
+  // a candidate (ranges are conservative).
+  for (size_t i = 0; i < r_blocks.size(); ++i) {
+    for (size_t j = 0; j < s_blocks.size(); ++j) {
+      const bool oracle =
+          OverlapByRecords(r, r_blocks[i], 0, s, s_blocks[j], 0).ValueOrDie();
+      if (oracle) EXPECT_TRUE(m.vectors[i].Get(j));
+    }
+  }
+}
+
+TEST(GroupingCostTest, PaperExample1) {
+  // Example 1: A1~{B1,B2}, A2~{B1,B2,B3}, A3~{B2,B3}; B = 2.
+  OverlapMatrix m;
+  m.r_blocks = {0, 1, 2};
+  m.s_blocks = {0, 1, 2};
+  m.vectors.assign(3, BitVector(3));
+  m.vectors[0].Set(0);
+  m.vectors[0].Set(1);
+  m.vectors[1].Set(0);
+  m.vectors[1].Set(1);
+  m.vectors[1].Set(2);
+  m.vectors[2].Set(1);
+  m.vectors[2].Set(2);
+  // {A1,A3},{A2}: reads 3 + 3 = 6.
+  Grouping bad{{{0, 2}, {1}}};
+  EXPECT_EQ(GroupingCost(m, bad), 6);
+  // {A1,A2},{A3}: reads 3 + 2 = 5 (the paper's better choice).
+  Grouping good{{{0, 1}, {2}}};
+  EXPECT_EQ(GroupingCost(m, good), 5);
+}
+
+TEST(GroupingCostTest, Fig4OptimalIsFive) {
+  Fig4 fig;
+  OverlapMatrix m = fig.Overlap();
+  Grouping p{{{0, 1}, {2, 3}}};
+  EXPECT_EQ(GroupingCost(m, p), 5);  // The paper's C(P) = 5.
+}
+
+TEST(ValidateGroupingTest, AcceptsWellFormed) {
+  Fig4 fig;
+  OverlapMatrix m = fig.Overlap();
+  Grouping p{{{0, 1}, {2, 3}}};
+  EXPECT_TRUE(ValidateGrouping(m, p, 2).ok());
+}
+
+TEST(ValidateGroupingTest, RejectsViolations) {
+  Fig4 fig;
+  OverlapMatrix m = fig.Overlap();
+  EXPECT_FALSE(ValidateGrouping(m, Grouping{{{0, 1, 2}, {3}}}, 2).ok());
+  EXPECT_FALSE(ValidateGrouping(m, Grouping{{{0, 1}, {2}}}, 2).ok());
+  EXPECT_FALSE(ValidateGrouping(m, Grouping{{{0, 1}, {1, 2}, {3}}}, 2).ok());
+  EXPECT_FALSE(ValidateGrouping(m, Grouping{{{0, 9}, {1, 2}}}, 2).ok());
+  // Too many groups for the c = ceil(n/B) constraint is allowed up to n but
+  // fewer than c is impossible; 4 singleton groups is valid packing-wise.
+  EXPECT_TRUE(ValidateGrouping(m, Grouping{{{0}, {1}, {2}, {3}}}, 2).ok());
+}
+
+TEST(BottomUpGroupingTest, FindsFig4Optimal) {
+  Fig4 fig;
+  OverlapMatrix m = fig.Overlap();
+  auto g = BottomUpGrouping(m, 2);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(ValidateGrouping(m, g.ValueOrDie(), 2).ok());
+  EXPECT_EQ(GroupingCost(m, g.ValueOrDie()), 5);
+}
+
+TEST(BottomUpGroupingTest, BudgetOneIsSingletons) {
+  Fig4 fig;
+  OverlapMatrix m = fig.Overlap();
+  auto g = BottomUpGrouping(m, 1);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.ValueOrDie().NumGroups(), 4u);
+  EXPECT_EQ(GroupingCost(m, g.ValueOrDie()),
+            static_cast<int64_t>(m.TotalOverlaps()));
+}
+
+TEST(BottomUpGroupingTest, LargeBudgetIsOneGroup) {
+  Fig4 fig;
+  OverlapMatrix m = fig.Overlap();
+  auto g = BottomUpGrouping(m, 16);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.ValueOrDie().NumGroups(), 1u);
+  EXPECT_EQ(GroupingCost(m, g.ValueOrDie()), 4);  // Each S block once.
+}
+
+TEST(BottomUpGroupingTest, RejectsNonPositiveBudget) {
+  Fig4 fig;
+  OverlapMatrix m = fig.Overlap();
+  EXPECT_FALSE(BottomUpGrouping(m, 0).ok());
+}
+
+TEST(GreedyGroupingTest, ValidAndNoWorseThanSequentialOnIntervals) {
+  Fig4 fig;
+  OverlapMatrix m = fig.Overlap();
+  auto greedy = GreedyGrouping(m, 2);
+  auto seq = SequentialGrouping(m, 2);
+  ASSERT_TRUE(greedy.ok());
+  ASSERT_TRUE(seq.ok());
+  EXPECT_TRUE(ValidateGrouping(m, greedy.ValueOrDie(), 2).ok());
+  EXPECT_LE(GroupingCost(m, greedy.ValueOrDie()),
+            GroupingCost(m, seq.ValueOrDie()));
+}
+
+TEST(GroupingTest, EmptyRelation) {
+  OverlapMatrix m;
+  auto g = BottomUpGrouping(m, 4);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.ValueOrDie().NumGroups(), 0u);
+  EXPECT_EQ(GroupingCost(m, g.ValueOrDie()), 0);
+}
+
+// Property over random instances: all heuristics produce valid groupings,
+// and bottom-up is never worse than 2x sequential on interval-structured
+// vectors (the regime AdaptDB's trees produce).
+class GroupingProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GroupingProperty, HeuristicsValidOnRandomMatrices) {
+  Rng rng(GetParam());
+  const size_t n = 2 + rng.Uniform(30);
+  const size_t s = 2 + rng.Uniform(30);
+  OverlapMatrix m;
+  for (size_t i = 0; i < n; ++i) m.r_blocks.push_back(static_cast<BlockId>(i));
+  for (size_t j = 0; j < s; ++j) m.s_blocks.push_back(static_cast<BlockId>(j));
+  m.vectors.assign(n, BitVector(s));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < s; ++j) {
+      if (rng.Flip(0.25)) m.vectors[i].Set(j);
+    }
+  }
+  for (int32_t budget : {1, 2, 3, 7}) {
+    auto bu = BottomUpGrouping(m, budget);
+    auto gr = GreedyGrouping(m, budget);
+    auto sq = SequentialGrouping(m, budget);
+    ASSERT_TRUE(bu.ok());
+    ASSERT_TRUE(gr.ok());
+    ASSERT_TRUE(sq.ok());
+    EXPECT_TRUE(ValidateGrouping(m, bu.ValueOrDie(), budget).ok());
+    EXPECT_TRUE(ValidateGrouping(m, gr.ValueOrDie(), budget).ok());
+    EXPECT_TRUE(ValidateGrouping(m, sq.ValueOrDie(), budget).ok());
+    // Any grouping cost is at least the number of distinct S blocks needed
+    // and at most the total overlap count.
+    BitVector any(s);
+    for (const auto& v : m.vectors) any.OrWith(v);
+    EXPECT_GE(GroupingCost(m, bu.ValueOrDie()),
+              static_cast<int64_t>(any.Count()));
+    EXPECT_LE(GroupingCost(m, bu.ValueOrDie()),
+              static_cast<int64_t>(m.TotalOverlaps()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GroupingProperty,
+                         ::testing::Values(11, 12, 13, 14, 15, 16, 17, 18, 19,
+                                           20));
+
+TEST(CostModelTest, ShuffleJoinLinearInBlocks) {
+  CostModelConfig cfg;
+  EXPECT_DOUBLE_EQ(ShuffleJoinCost(10, 20, cfg), 90.0);  // 3 * 30.
+  cfg.c_sj = 2.0;
+  EXPECT_DOUBLE_EQ(ShuffleJoinCost(10, 20, cfg), 60.0);
+}
+
+TEST(CostModelTest, HyperJoinCostFormula) {
+  EXPECT_DOUBLE_EQ(HyperJoinCost(10, 25), 35.0);
+}
+
+TEST(CostModelTest, CHyJIsOneWhenCoPartitioned) {
+  // Diagonal overlap: each R block overlaps exactly its twin S block.
+  OverlapMatrix m;
+  m.r_blocks = {0, 1, 2, 3};
+  m.s_blocks = {0, 1, 2, 3};
+  m.vectors.assign(4, BitVector(4));
+  for (size_t i = 0; i < 4; ++i) m.vectors[i].Set(i);
+  auto g = BottomUpGrouping(m, 2).ValueOrDie();
+  EXPECT_DOUBLE_EQ(EstimateCHyJ(m, g), 1.0);
+}
+
+TEST(CostModelTest, CHyJGrowsWithOverlapDensity) {
+  OverlapMatrix m;
+  m.r_blocks = {0, 1, 2, 3};
+  m.s_blocks = {0, 1, 2, 3};
+  m.vectors.assign(4, BitVector(4));
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) m.vectors[i].Set(j);  // All overlap all.
+  }
+  auto g = BottomUpGrouping(m, 2).ValueOrDie();
+  EXPECT_DOUBLE_EQ(EstimateCHyJ(m, g), 2.0);  // 2 groups x 4 reads / 4.
+}
+
+TEST(CostModelTest, ChooseJoinPrefersHyperWhenCoPartitioned) {
+  OverlapMatrix m;
+  m.r_blocks = {0, 1, 2, 3};
+  m.s_blocks = {0, 1, 2, 3};
+  m.vectors.assign(4, BitVector(4));
+  for (size_t i = 0; i < 4; ++i) m.vectors[i].Set(i);
+  JoinChoice c = ChooseJoin(m, 2);
+  EXPECT_TRUE(c.use_hyper_join);
+  EXPECT_DOUBLE_EQ(c.cost_shuffle, 24.0);
+  EXPECT_DOUBLE_EQ(c.cost_hyper, 8.0);
+}
+
+TEST(CostModelTest, ChooseJoinFallsBackToShuffleWhenDense) {
+  // Every R block overlaps every S block and the budget forces many groups:
+  // hyper-join would read S many times.
+  const size_t n = 12;
+  OverlapMatrix m;
+  m.vectors.assign(n, BitVector(n));
+  for (size_t i = 0; i < n; ++i) {
+    m.r_blocks.push_back(static_cast<BlockId>(i));
+    m.s_blocks.push_back(static_cast<BlockId>(i));
+    for (size_t j = 0; j < n; ++j) m.vectors[i].Set(j);
+  }
+  JoinChoice c = ChooseJoin(m, 2);  // 6 groups x 12 reads = 72 > 3*24.
+  EXPECT_FALSE(c.use_hyper_join);
+}
+
+}  // namespace
+}  // namespace adaptdb

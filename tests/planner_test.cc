@@ -1,0 +1,309 @@
+// Tests for planner/: strategy choice and multi-relation execution.
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "planner/join_planner.h"
+#include "sample/reservoir.h"
+#include "tree/two_phase_partitioner.h"
+#include "tree/upfront_partitioner.h"
+
+namespace adaptdb {
+namespace {
+
+// Two tables R(key, val) and S(key, val) plus a dimension D(key, group).
+struct PlannerFixture {
+  Schema schema2;
+  BlockStore r_store{2}, s_store{2}, d_store{2};
+  TreeSet r_trees, s_trees, d_trees;
+  ClusterSim cluster;
+  std::vector<Record> r_records, s_records, d_records;
+
+  // join_partitioned: build R and S with two-phase trees on the key so
+  // hyper-join is attractive; otherwise use selection-only upfront trees.
+  explicit PlannerFixture(bool join_partitioned, uint64_t seed = 3)
+      : schema2(Schema({{"key", DataType::kInt64, 8},
+                        {"val", DataType::kInt64, 8}})) {
+    Rng rng(seed);
+    for (int i = 0; i < 3000; ++i) {
+      r_records.push_back(
+          {Value(rng.UniformRange(0, 999)), Value(rng.UniformRange(0, 99))});
+    }
+    for (int i = 0; i < 1500; ++i) {
+      s_records.push_back(
+          {Value(rng.UniformRange(0, 999)), Value(rng.UniformRange(0, 99))});
+    }
+    for (int i = 0; i < 100; ++i) {
+      d_records.push_back({Value(int64_t{i}), Value(rng.UniformRange(0, 9))});
+    }
+    Build(&r_store, &r_trees, r_records, join_partitioned, seed);
+    Build(&s_store, &s_trees, s_records, join_partitioned, seed + 1);
+    Build(&d_store, &d_trees, d_records, false, seed + 2);
+  }
+
+  void Build(BlockStore* store, TreeSet* trees,
+             const std::vector<Record>& records, bool join_partitioned,
+             uint64_t seed) {
+    Reservoir sample(1000, seed);
+    sample.AddAll(records);
+    PartitionTree tree;
+    if (join_partitioned) {
+      TwoPhaseOptions opts;
+      opts.join_attr = 0;
+      opts.join_levels = 3;
+      opts.total_levels = 4;
+      opts.seed = seed;
+      TwoPhasePartitioner p(schema2, opts);
+      tree = std::move(p.Build(sample, store)).ValueOrDie();
+    } else {
+      UpfrontOptions opts;
+      opts.num_levels = 4;
+      opts.attrs = {1};  // Selection attribute only: bad for joins.
+      opts.seed = seed;
+      UpfrontPartitioner p(schema2, opts);
+      tree = std::move(p.Build(sample, store)).ValueOrDie();
+    }
+    ADB_CHECK_OK(LoadRecords(records, tree, store));
+    for (BlockId b : tree.Leaves()) cluster.PlaceBlock(b);
+    trees->Add(join_partitioned ? 0 : kUpfrontTree, std::move(tree));
+  }
+
+  std::vector<TableContext> Contexts() {
+    return {TableContext{"r", &schema2, &r_store, &r_trees},
+            TableContext{"s", &schema2, &s_store, &s_trees},
+            TableContext{"d", &schema2, &d_store, &d_trees}};
+  }
+
+  int64_t OracleJoinCount() const {
+    std::unordered_map<int64_t, int64_t> s_keys;
+    for (const Record& rec : s_records) ++s_keys[rec[0].AsInt64()];
+    int64_t n = 0;
+    for (const Record& rec : r_records) {
+      auto it = s_keys.find(rec[0].AsInt64());
+      if (it != s_keys.end()) n += it->second;
+    }
+    return n;
+  }
+};
+
+Query TwoTableJoin() {
+  Query q;
+  q.name = "rj";
+  q.tables = {{"r", {}}, {"s", {}}};
+  q.joins = {{"r", 0, "s", 0}};
+  return q;
+}
+
+TEST(PlannerTest, SelectionOnlyQueryScans) {
+  PlannerFixture f(false);
+  JoinPlanner planner(PlannerConfig{});
+  Query q;
+  q.name = "scan";
+  q.tables = {{"r", {Predicate(1, CompareOp::kLt, 50)}}};
+  auto run = planner.Execute(q, f.Contexts(), f.cluster);
+  ASSERT_TRUE(run.ok());
+  int64_t expect = 0;
+  for (const Record& rec : f.r_records) {
+    if (rec[1].AsInt64() < 50) ++expect;
+  }
+  EXPECT_EQ(run.ValueOrDie().output_rows, expect);
+  EXPECT_GT(run.ValueOrDie().blocks_scanned, 0);
+  // Partitioned on attr 1: the scan must prune some blocks.
+  EXPECT_LT(run.ValueOrDie().blocks_scanned,
+            static_cast<int64_t>(f.r_store.num_blocks()));
+}
+
+TEST(PlannerTest, ChoosesHyperJoinWhenCoPartitioned) {
+  PlannerFixture f(true);
+  JoinPlanner planner(PlannerConfig{});
+  auto run = planner.Execute(TwoTableJoin(), f.Contexts(), f.cluster);
+  ASSERT_TRUE(run.ok());
+  ASSERT_EQ(run.ValueOrDie().edges.size(), 1u);
+  EXPECT_TRUE(run.ValueOrDie().edges[0].used_hyper);
+  EXPECT_EQ(run.ValueOrDie().output_rows, f.OracleJoinCount());
+  EXPECT_EQ(run.ValueOrDie().io.shuffled_blocks, 0);
+}
+
+TEST(PlannerTest, FallsBackToShuffleWhenNotJoinPartitioned) {
+  PlannerFixture f(false);
+  // A memory budget far below |R| (the paper's regime): with dense overlap
+  // vectors, hyper-join would re-read S once per group and must lose.
+  PlannerConfig small_budget;
+  small_budget.memory_budget_blocks = 2;
+  JoinPlanner planner(small_budget);
+  auto run = planner.Execute(TwoTableJoin(), f.Contexts(), f.cluster);
+  ASSERT_TRUE(run.ok());
+  EXPECT_FALSE(run.ValueOrDie().edges[0].used_hyper);
+  EXPECT_EQ(run.ValueOrDie().output_rows, f.OracleJoinCount());
+  EXPECT_GT(run.ValueOrDie().io.shuffled_blocks, 0);
+}
+
+TEST(PlannerTest, ForcedStrategiesOverrideCostModel) {
+  PlannerFixture f(true);
+  PlannerConfig cfg;
+  cfg.strategy = PlannerConfig::Strategy::kForceShuffle;
+  JoinPlanner planner(cfg);
+  auto run = planner.Execute(TwoTableJoin(), f.Contexts(), f.cluster);
+  ASSERT_TRUE(run.ok());
+  EXPECT_FALSE(run.ValueOrDie().edges[0].used_hyper);
+  EXPECT_EQ(run.ValueOrDie().output_rows, f.OracleJoinCount());
+
+  PlannerFixture g(false);
+  cfg.strategy = PlannerConfig::Strategy::kForceHyper;
+  JoinPlanner forced(cfg);
+  auto run2 = forced.Execute(TwoTableJoin(), g.Contexts(), g.cluster);
+  ASSERT_TRUE(run2.ok());
+  EXPECT_TRUE(run2.ValueOrDie().edges[0].used_hyper);
+  EXPECT_EQ(run2.ValueOrDie().output_rows, g.OracleJoinCount());
+}
+
+TEST(PlannerTest, HyperCostsLessThanShuffleWhenCoPartitioned) {
+  PlannerFixture f(true);
+  JoinPlanner planner(PlannerConfig{});
+  auto hyper = planner.Execute(TwoTableJoin(), f.Contexts(), f.cluster);
+  ASSERT_TRUE(hyper.ok());
+  planner.mutable_config()->strategy = PlannerConfig::Strategy::kForceShuffle;
+  auto shuffle = planner.Execute(TwoTableJoin(), f.Contexts(), f.cluster);
+  ASSERT_TRUE(shuffle.ok());
+  const double hyper_s = f.cluster.SimulatedSeconds(hyper.ValueOrDie().io);
+  const double shuffle_s = f.cluster.SimulatedSeconds(shuffle.ValueOrDie().io);
+  EXPECT_LT(hyper_s, shuffle_s);
+}
+
+TEST(PlannerTest, IgnorePartitioningReadsEverything) {
+  PlannerFixture f(false);
+  PlannerConfig cfg;
+  cfg.ignore_partitioning = true;
+  cfg.strategy = PlannerConfig::Strategy::kForceShuffle;
+  JoinPlanner planner(cfg);
+  Query q;
+  q.tables = {{"r", {Predicate(1, CompareOp::kLt, 5)}}};
+  auto run = planner.Execute(q, f.Contexts(), f.cluster);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run.ValueOrDie().blocks_scanned,
+            static_cast<int64_t>(f.r_store.num_blocks()));
+}
+
+TEST(PlannerTest, MultiJoinMatchesOracle) {
+  PlannerFixture f(true);
+  JoinPlanner planner(PlannerConfig{});
+  Query q;
+  q.name = "three";
+  q.tables = {{"r", {}}, {"s", {}}, {"d", {}}};
+  q.joins = {{"r", 0, "s", 0}, {"s", 1, "d", 0}};
+  auto run = planner.Execute(q, f.Contexts(), f.cluster);
+  ASSERT_TRUE(run.ok());
+  // Oracle: r ⋈ s on key, then s.val ⋈ d.key.
+  std::unordered_map<int64_t, int64_t> d_keys;
+  for (const Record& rec : f.d_records) ++d_keys[rec[0].AsInt64()];
+  std::unordered_map<int64_t, std::vector<int64_t>> s_by_key;
+  for (const Record& rec : f.s_records) {
+    s_by_key[rec[0].AsInt64()].push_back(rec[1].AsInt64());
+  }
+  int64_t expect = 0;
+  for (const Record& rec : f.r_records) {
+    auto it = s_by_key.find(rec[0].AsInt64());
+    if (it == s_by_key.end()) continue;
+    for (int64_t sval : it->second) {
+      auto dit = d_keys.find(sval);
+      if (dit != d_keys.end()) expect += dit->second;
+    }
+  }
+  EXPECT_EQ(run.ValueOrDie().output_rows, expect);
+  EXPECT_EQ(run.ValueOrDie().edges.size(), 2u);
+}
+
+TEST(PlannerTest, BushyPlanMatchesLeftDeepPlan) {
+  // §4.3: (r ⋈ s) ⋈ (d ⋈ e) must produce the same result as the left-deep
+  // r ⋈ s ⋈ d ⋈ e order.
+  PlannerFixture f(true);
+  // A fourth table e(key, grp) joining d on key.
+  Schema e_schema = f.schema2;
+  BlockStore e_store(2);
+  TreeSet e_trees;
+  std::vector<Record> e_records;
+  Rng rng(77);
+  for (int i = 0; i < 80; ++i) {
+    e_records.push_back(
+        {Value(rng.UniformRange(0, 99)), Value(rng.UniformRange(0, 9))});
+  }
+  {
+    Reservoir sample(200, 9);
+    sample.AddAll(e_records);
+    UpfrontOptions opts;
+    opts.num_levels = 3;
+    UpfrontPartitioner p(e_schema, opts);
+    PartitionTree tree = std::move(p.Build(sample, &e_store)).ValueOrDie();
+    ADB_CHECK_OK(LoadRecords(e_records, tree, &e_store));
+    for (BlockId b : tree.Leaves()) f.cluster.PlaceBlock(b);
+    e_trees.Add(kUpfrontTree, std::move(tree));
+  }
+  auto contexts = f.Contexts();
+  contexts.push_back(TableContext{"e", &e_schema, &e_store, &e_trees});
+
+  Query bushy;
+  bushy.name = "bushy";
+  bushy.tables = {{"r", {}}, {"s", {}}, {"d", {}}, {"e", {}}};
+  bushy.joins = {{"r", 0, "s", 0},   // Fragment 1.
+                 {"d", 0, "e", 0},   // Fragment 2.
+                 {"r", 1, "d", 0}};  // Bushy merge on r.val = d.key.
+  Query left_deep = bushy;
+  left_deep.name = "left_deep";
+  left_deep.joins = {{"r", 0, "s", 0}, {"r", 1, "d", 0}, {"d", 0, "e", 0}};
+
+  JoinPlanner planner(PlannerConfig{});
+  auto b = planner.Execute(bushy, contexts, f.cluster);
+  auto l = planner.Execute(left_deep, contexts, f.cluster);
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  ASSERT_TRUE(l.ok()) << l.status().ToString();
+  EXPECT_EQ(b.ValueOrDie().output_rows, l.ValueOrDie().output_rows);
+  EXPECT_EQ(b.ValueOrDie().checksum, l.ValueOrDie().checksum);
+  EXPECT_GT(b.ValueOrDie().output_rows, 0);
+  EXPECT_EQ(b.ValueOrDie().edges.size(), 3u);
+}
+
+TEST(PlannerTest, LeftoverFragmentsAreRejected) {
+  PlannerFixture f(true);
+  JoinPlanner planner(PlannerConfig{});
+  Query q;
+  q.tables = {{"r", {}}, {"s", {}}, {"d", {}}};
+  // r ⋈ s leaves d's self-join fragment disconnected.
+  q.joins = {{"r", 0, "s", 0}, {"d", 0, "d", 0}};
+  auto run = planner.Execute(q, f.Contexts(), f.cluster);
+  EXPECT_FALSE(run.ok());
+}
+
+TEST(PlannerTest, DisconnectedEdgeIsRejected) {
+  PlannerFixture f(true);
+  JoinPlanner planner(PlannerConfig{});
+  Query q;
+  q.tables = {{"r", {}}, {"s", {}}, {"d", {}}};
+  // Second edge references tables not in the running intermediate.
+  q.joins = {{"r", 0, "s", 0}, {"d", 0, "d", 0}};
+  EXPECT_FALSE(planner.Execute(q, f.Contexts(), f.cluster).ok());
+}
+
+TEST(PlannerTest, UnknownTableIsRejected) {
+  PlannerFixture f(true);
+  JoinPlanner planner(PlannerConfig{});
+  Query q;
+  q.tables = {{"nope", {}}};
+  EXPECT_FALSE(planner.Execute(q, f.Contexts(), f.cluster).ok());
+}
+
+TEST(PlannerTest, ChoiceReportsCostsAndCHyJ) {
+  PlannerFixture f(true);
+  JoinPlanner planner(PlannerConfig{});
+  auto run = planner.Execute(TwoTableJoin(), f.Contexts(), f.cluster);
+  ASSERT_TRUE(run.ok());
+  const JoinChoice& c = run.ValueOrDie().edges[0].choice;
+  EXPECT_GT(c.cost_shuffle, 0);
+  EXPECT_GT(c.cost_hyper, 0);
+  EXPECT_GE(c.c_hyj, 1.0);
+  EXPECT_LT(c.c_hyj, 3.0);  // Two-phase partitioning keeps overlap low.
+}
+
+}  // namespace
+}  // namespace adaptdb

@@ -1,0 +1,199 @@
+// Cross-module randomized property sweeps (TEST_P):
+//  * end-to-end join-result equivalence across adaptation states,
+//  * grouping-algorithm cost ordering (exact <= bottom-up <= singletons),
+//  * data conservation under continuous adaptation,
+//  * cost-model consistency between estimate and execution.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "join/exact_grouping.h"
+#include "workload/drivers.h"
+#include "workload/tpch.h"
+#include "workload/tpch_queries.h"
+
+namespace adaptdb {
+namespace {
+
+Schema KV() {
+  return Schema({{"key", DataType::kInt64, 8}, {"val", DataType::kInt64, 8}});
+}
+
+std::vector<Record> KVRecords(size_t n, int64_t keys, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Record> out;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back({Value(rng.UniformRange(0, keys - 1)),
+                   Value(rng.UniformRange(0, 999))});
+  }
+  return out;
+}
+
+class EndToEndEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+// The core soundness property: the join result (rows + checksum) never
+// changes while AdaptDB migrates blocks between trees underneath it.
+TEST_P(EndToEndEquivalence, ResultsStableUnderAdaptation) {
+  const uint64_t seed = GetParam();
+  DatabaseOptions opts;
+  opts.adapt.smooth.total_levels = 4;
+  Database db(opts);
+  TableOptions t;
+  t.upfront_levels = 4;
+  t.seed = seed;
+  ASSERT_TRUE(db.CreateTable("r", KV(), KVRecords(3000, 500, seed), t).ok());
+  ASSERT_TRUE(
+      db.CreateTable("s", KV(), KVRecords(1500, 500, seed + 1), t).ok());
+
+  Rng rng(seed + 2);
+  // Alternate join attributes (key vs val) so trees keep migrating.
+  Query join_key, join_val;
+  join_key.name = "jk";
+  join_key.tables = {{"r", {}}, {"s", {}}};
+  join_key.joins = {{"r", 0, "s", 0}};
+  join_val.name = "jv";
+  join_val.tables = {{"r", {}}, {"s", {}}};
+  join_val.joins = {{"r", 1, "s", 1}};
+
+  int64_t key_rows = -1;
+  uint64_t key_sum = 0;
+  int64_t val_rows = -1;
+  uint64_t val_sum = 0;
+  for (int i = 0; i < 16; ++i) {
+    const bool use_key = rng.Flip(0.5);
+    auto run = db.RunQuery(use_key ? join_key : join_val);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    if (use_key) {
+      if (key_rows < 0) {
+        key_rows = run.ValueOrDie().output_rows;
+        key_sum = run.ValueOrDie().checksum;
+      }
+      EXPECT_EQ(run.ValueOrDie().output_rows, key_rows) << "iteration " << i;
+      EXPECT_EQ(run.ValueOrDie().checksum, key_sum);
+    } else {
+      if (val_rows < 0) {
+        val_rows = run.ValueOrDie().output_rows;
+        val_sum = run.ValueOrDie().checksum;
+      }
+      EXPECT_EQ(run.ValueOrDie().output_rows, val_rows) << "iteration " << i;
+      EXPECT_EQ(run.ValueOrDie().checksum, val_sum);
+    }
+    // Conservation: adaptation never loses or duplicates records.
+    EXPECT_EQ(db.GetTable("r").ValueOrDie()->num_records(), 3000);
+    EXPECT_EQ(db.GetTable("s").ValueOrDie()->num_records(), 1500);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EndToEndEquivalence,
+                         ::testing::Values(101, 102, 103, 104, 105));
+
+class GroupingOrdering : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GroupingOrdering, ExactNeverWorseBottomUpNeverWorseThanSingletons) {
+  Rng rng(GetParam());
+  const size_t n = 6 + rng.Uniform(8);
+  const size_t m = 6 + rng.Uniform(8);
+  OverlapMatrix mat;
+  mat.vectors.assign(n, BitVector(m));
+  for (size_t i = 0; i < n; ++i) {
+    mat.r_blocks.push_back(static_cast<BlockId>(i));
+    for (size_t j = 0; j < m; ++j) {
+      if (rng.Flip(0.3)) mat.vectors[i].Set(j);
+    }
+  }
+  for (size_t j = 0; j < m; ++j) mat.s_blocks.push_back(static_cast<BlockId>(j));
+
+  const int32_t budget = 2 + static_cast<int32_t>(rng.Uniform(3));
+  auto exact = ExactGrouping(mat, budget);
+  auto bu = BottomUpGrouping(mat, budget);
+  auto singles = BottomUpGrouping(mat, 1);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(bu.ok());
+  ASSERT_TRUE(singles.ok());
+  const int64_t c_exact = exact.ValueOrDie().cost;
+  const int64_t c_bu = GroupingCost(mat, bu.ValueOrDie());
+  const int64_t c_single = GroupingCost(mat, singles.ValueOrDie());
+  EXPECT_LE(c_exact, c_bu);
+  EXPECT_LE(c_bu, c_single);  // Grouping can only share reads.
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GroupingOrdering,
+                         ::testing::Values(201, 202, 203, 204, 205, 206, 207,
+                                           208));
+
+class CostModelConsistency : public ::testing::TestWithParam<uint64_t> {};
+
+// The planner's estimated scheduled-reads must equal the reads the
+// hyper-join executor actually performs.
+TEST_P(CostModelConsistency, EstimateMatchesExecution) {
+  const uint64_t seed = GetParam();
+  DatabaseOptions opts;
+  opts.adapt.smooth.total_levels = 4;
+  Database db(opts);
+  TableOptions t;
+  t.upfront_levels = 4;
+  t.seed = seed;
+  ASSERT_TRUE(db.CreateTable("r", KV(), KVRecords(2500, 400, seed), t).ok());
+  ASSERT_TRUE(
+      db.CreateTable("s", KV(), KVRecords(1200, 400, seed + 1), t).ok());
+  Query q;
+  q.tables = {{"r", {}}, {"s", {}}};
+  q.joins = {{"r", 0, "s", 0}};
+  // Converge, then compare estimate vs actual on the final run.
+  for (int i = 0; i < 12; ++i) ASSERT_TRUE(db.RunQuery(q).ok());
+  auto run = db.RunQuery(q);
+  ASSERT_TRUE(run.ok());
+  const EdgeReport& edge = run.ValueOrDie().edges[0];
+  if (edge.used_hyper) {
+    EXPECT_DOUBLE_EQ(edge.choice.cost_hyper,
+                     static_cast<double>(edge.r_blocks_read) +
+                         static_cast<double>(edge.s_blocks_read));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CostModelConsistency,
+                         ::testing::Values(301, 302, 303));
+
+class TpchEquivalenceSweep : public ::testing::TestWithParam<std::string> {};
+
+// Every joinful template produces identical results on the adaptive system
+// and on the no-pruning full scan configuration, before and after the
+// system has adapted to it.
+TEST_P(TpchEquivalenceSweep, AdaptiveMatchesFullScan) {
+  const std::string name = GetParam();
+  tpch::TpchConfig cfg;
+  cfg.num_orders = 1200;
+  const tpch::TpchData data = tpch::GenerateTpch(cfg);
+  DatabaseOptions opts;
+  opts.adapt.smooth.total_levels = 4;
+  Database adaptive(opts);
+  ASSERT_TRUE(LoadTpch(&adaptive, data, 4, 4, 3).ok());
+  DatabaseOptions fs;
+  fs.adapt_enabled = false;
+  fs.planner.ignore_partitioning = true;
+  fs.planner.strategy = PlannerConfig::Strategy::kForceShuffle;
+  Database fullscan(fs);
+  ASSERT_TRUE(LoadTpch(&fullscan, data, 4, 4, 3).ok());
+
+  Rng rng(11);
+  for (int rep = 0; rep < 4; ++rep) {
+    Rng r1(rng.Next());
+    Rng r2 = r1;
+    Query qa = tpch::MakeQuery(name, &r1).ValueOrDie();
+    Query qb = tpch::MakeQuery(name, &r2).ValueOrDie();
+    auto a = adaptive.RunQuery(qa);
+    auto b = fullscan.RunQuery(qb);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    EXPECT_EQ(a.ValueOrDie().output_rows, b.ValueOrDie().output_rows)
+        << name << " rep " << rep;
+    EXPECT_EQ(a.ValueOrDie().checksum, b.ValueOrDie().checksum);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Templates, TpchEquivalenceSweep,
+                         ::testing::Values("q3", "q5", "q6", "q8", "q10",
+                                           "q12", "q14", "q19"));
+
+}  // namespace
+}  // namespace adaptdb

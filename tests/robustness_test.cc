@@ -1,0 +1,269 @@
+// Robustness and failure-injection tests: degenerate data distributions
+// (heavy skew, constant keys, single rows), serialization round-trip fuzz,
+// and the catalog inspection surface.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "join/exact_grouping.h"
+#include "tree/two_phase_partitioner.h"
+#include "tree/upfront_partitioner.h"
+
+namespace adaptdb {
+namespace {
+
+Schema KV() {
+  return Schema({{"key", DataType::kInt64, 8}, {"val", DataType::kInt64, 8}});
+}
+
+TEST(SkewTest, AllDuplicateJoinKeysStillJoinCorrectly) {
+  // Every record shares one join key: the worst skew. Result must be the
+  // full cross product |R| x |S|, under both join algorithms, while the
+  // system adapts.
+  DatabaseOptions opts;
+  opts.adapt.smooth.total_levels = 3;
+  Database db(opts);
+  std::vector<Record> r_rows, s_rows;
+  Rng rng(1);
+  for (int i = 0; i < 300; ++i) {
+    r_rows.push_back({Value(int64_t{42}), Value(rng.UniformRange(0, 99))});
+  }
+  for (int i = 0; i < 50; ++i) {
+    s_rows.push_back({Value(int64_t{42}), Value(rng.UniformRange(0, 99))});
+  }
+  TableOptions t;
+  t.upfront_levels = 3;
+  ASSERT_TRUE(db.CreateTable("r", KV(), r_rows, t).ok());
+  ASSERT_TRUE(db.CreateTable("s", KV(), s_rows, t).ok());
+  Query join;
+  join.tables = {{"r", {}}, {"s", {}}};
+  join.joins = {{"r", 0, "s", 0}};
+  for (int i = 0; i < 6; ++i) {
+    auto run = db.RunQuery(join);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_EQ(run.ValueOrDie().output_rows, 300 * 50);
+  }
+}
+
+TEST(SkewTest, ZipfianKeysKeepBlocksBounded) {
+  // 80% of records hit 16 hot keys; median-based two-phase splits must not
+  // put everything into one leaf.
+  Schema schema = KV();
+  Rng rng(2);
+  std::vector<Record> rows;
+  for (int i = 0; i < 4000; ++i) {
+    const int64_t key = rng.Flip(0.8) ? rng.UniformRange(0, 15)
+                                      : rng.UniformRange(16, 100000);
+    rows.push_back({Value(key), Value(rng.UniformRange(0, 999))});
+  }
+  Reservoir sample(2000, 3);
+  sample.AddAll(rows);
+  BlockStore store(2);
+  TwoPhaseOptions opts;
+  opts.join_attr = 0;
+  opts.join_levels = 3;
+  opts.total_levels = 5;
+  TwoPhasePartitioner p(schema, opts);
+  auto tree = p.Build(sample, &store);
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE(LoadRecords(rows, tree.ValueOrDie(), &store).ok());
+  size_t largest = 0;
+  for (BlockId b : store.BlockIds()) {
+    largest = std::max(largest, store.Get(b).ValueOrDie()->num_records());
+  }
+  // A single hot key can force one heavy leaf, but medians must keep it
+  // under ~40% of the data (range partitioning would put 80% together).
+  EXPECT_LT(largest, 1600u);
+}
+
+TEST(SkewTest, SingleRecordTable) {
+  Database db;
+  TableOptions t;
+  t.upfront_levels = 3;
+  std::vector<Record> one = {{Value(int64_t{5}), Value(int64_t{7})}};
+  ASSERT_TRUE(db.CreateTable("tiny", KV(), one, t).ok());
+  Query q;
+  q.tables = {{"tiny", {Predicate(0, CompareOp::kEq, int64_t{5})}}};
+  auto run = db.RunQuery(q);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run.ValueOrDie().output_rows, 1);
+}
+
+TEST(SkewTest, ConstantAttributeTableStillQueries) {
+  Database db;
+  TableOptions t;
+  t.upfront_levels = 4;
+  std::vector<Record> rows(500, Record{Value(int64_t{1}), Value(int64_t{2})});
+  ASSERT_TRUE(db.CreateTable("c", KV(), rows, t).ok());
+  Query q;
+  q.tables = {{"c", {}}};
+  EXPECT_EQ(db.RunQuery(q).ValueOrDie().output_rows, 500);
+  Query none;
+  none.tables = {{"c", {Predicate(0, CompareOp::kGt, int64_t{1})}}};
+  EXPECT_EQ(db.RunQuery(none).ValueOrDie().output_rows, 0);
+}
+
+TEST(FuzzTest, SerializeParseRoundTripRandomTrees) {
+  // Random trees of random shapes round-trip exactly.
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    // Build a random tree by repeated leaf expansion.
+    PartitionTree tree(PartitionTree::MakeLeaf(0));
+    const int expansions = 1 + static_cast<int>(rng.Uniform(12));
+    BlockId next_block = 1;
+    for (int e = 0; e < expansions; ++e) {
+      // Walk to a random leaf and split it.
+      TreeNode* node = tree.mutable_root();
+      while (!node->is_leaf) {
+        node = rng.Flip(0.5) ? node->left.get() : node->right.get();
+      }
+      node->is_leaf = false;
+      node->attr = static_cast<AttrId>(rng.Uniform(10));
+      node->cut = rng.Flip(0.3)
+                      ? Value(static_cast<double>(rng.UniformRange(-50, 50)))
+                      : Value(rng.UniformRange(-1000, 1000));
+      node->left = PartitionTree::MakeLeaf(next_block++);
+      node->right = PartitionTree::MakeLeaf(next_block++);
+    }
+    const std::string text = tree.Serialize();
+    auto parsed = PartitionTree::Parse(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    EXPECT_EQ(parsed.ValueOrDie().Serialize(), text);
+    EXPECT_EQ(parsed.ValueOrDie().NumLeaves(), tree.NumLeaves());
+  }
+}
+
+TEST(FuzzTest, ParseNeverCrashesOnMutatedInput) {
+  Rng rng(13);
+  const std::string base = "(a0 50 (a1 7 (leaf 1) (leaf 2)) (leaf 3))";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string s = base;
+    const int edits = 1 + static_cast<int>(rng.Uniform(4));
+    for (int e = 0; e < edits; ++e) {
+      const size_t pos = rng.Uniform(s.size());
+      switch (rng.Uniform(3)) {
+        case 0:
+          s[pos] = static_cast<char>('!' + rng.Uniform(90));
+          break;
+        case 1:
+          s.erase(pos, 1);
+          break;
+        default:
+          s.insert(pos, 1, static_cast<char>('!' + rng.Uniform(90)));
+      }
+    }
+    // Must return (ok or error) without crashing; on ok, the result must
+    // re-serialize stably.
+    auto parsed = PartitionTree::Parse(s);
+    if (parsed.ok()) {
+      const std::string once = parsed.ValueOrDie().Serialize();
+      auto again = PartitionTree::Parse(once);
+      ASSERT_TRUE(again.ok());
+      EXPECT_EQ(again.ValueOrDie().Serialize(), once);
+    }
+  }
+}
+
+TEST(CatalogTest, DescribeLayoutAndDumpCatalog) {
+  DatabaseOptions opts;
+  opts.adapt.smooth.total_levels = 3;
+  Database db(opts);
+  TableOptions t;
+  t.upfront_levels = 3;
+  Rng rng(4);
+  std::vector<Record> rows;
+  for (int i = 0; i < 400; ++i) {
+    rows.push_back({Value(rng.UniformRange(0, 99)),
+                    Value(rng.UniformRange(0, 99))});
+  }
+  ASSERT_TRUE(db.CreateTable("r", KV(), rows, t).ok());
+  ASSERT_TRUE(db.CreateTable("s", KV(), rows, t).ok());
+  Query join;
+  join.tables = {{"r", {}}, {"s", {}}};
+  join.joins = {{"r", 0, "s", 0}};
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(db.RunQuery(join).ok());
+
+  const std::string catalog = db.DumpCatalog();
+  EXPECT_NE(catalog.find("table r"), std::string::npos);
+  EXPECT_NE(catalog.find("table s"), std::string::npos);
+  EXPECT_NE(catalog.find("join=key"), std::string::npos);  // Adapted tree.
+  // Every serialized tree in the catalog parses back.
+  size_t pos = 0;
+  int trees_parsed = 0;
+  while ((pos = catalog.find("    (", pos)) != std::string::npos) {
+    const size_t end = catalog.find('\n', pos);
+    const std::string text = catalog.substr(pos + 4, end - pos - 4);
+    auto parsed = PartitionTree::Parse(text);
+    EXPECT_TRUE(parsed.ok()) << text.substr(0, 60);
+    ++trees_parsed;
+    pos = end;
+  }
+  EXPECT_GE(trees_parsed, 2);
+}
+
+TEST(RobustnessTest, ExactSolverHandlesAllIdenticalVectors) {
+  // Every block overlaps the same S blocks: any balanced grouping is
+  // optimal; the solver must terminate quickly via dominance pruning.
+  OverlapMatrix m;
+  m.vectors.assign(12, BitVector(6));
+  for (size_t i = 0; i < 12; ++i) {
+    m.r_blocks.push_back(static_cast<BlockId>(i));
+    m.vectors[i].Set(1);
+    m.vectors[i].Set(4);
+  }
+  for (size_t j = 0; j < 6; ++j) m.s_blocks.push_back(static_cast<BlockId>(j));
+  auto exact = ExactGrouping(m, 4);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact.ValueOrDie().cost, 6);  // 3 groups x 2 bits.
+}
+
+TEST(RobustnessTest, HyperJoinWithDisjointRangesReadsNothing) {
+  // R and S key ranges do not intersect: overlap matrix is empty, the
+  // hyper-join reads R but no S blocks, and returns zero rows.
+  BlockStore r(1), s(1);
+  ClusterSim cluster;
+  std::vector<BlockId> r_blocks, s_blocks;
+  for (int b = 0; b < 3; ++b) {
+    const BlockId id = r.CreateBlock();
+    r.Get(id).ValueOrDie()->Add({Value(int64_t{b})});
+    r_blocks.push_back(id);
+    cluster.PlaceBlock(id);
+  }
+  for (int b = 0; b < 3; ++b) {
+    const BlockId id = s.CreateBlock();
+    s.Get(id).ValueOrDie()->Add({Value(int64_t{1000 + b})});
+    s_blocks.push_back(id);
+    cluster.PlaceBlock(id);
+  }
+  auto overlap = ComputeOverlap(r, r_blocks, 0, s, s_blocks, 0);
+  ASSERT_TRUE(overlap.ok());
+  EXPECT_EQ(overlap.ValueOrDie().TotalOverlaps(), 0u);
+  auto grouping = BottomUpGrouping(overlap.ValueOrDie(), 2);
+  ASSERT_TRUE(grouping.ok());
+  EXPECT_EQ(GroupingCost(overlap.ValueOrDie(), grouping.ValueOrDie()), 0);
+}
+
+TEST(RobustnessTest, RepeatedAppendsGrowBlocksNotLoseRecords) {
+  Database db;
+  TableOptions t;
+  t.upfront_levels = 2;
+  Rng rng(5);
+  std::vector<Record> rows;
+  for (int i = 0; i < 100; ++i) {
+    rows.push_back({Value(rng.UniformRange(0, 99)),
+                    Value(rng.UniformRange(0, 99))});
+  }
+  ASSERT_TRUE(db.CreateTable("t", KV(), rows, t).ok());
+  for (int round = 0; round < 10; ++round) {
+    std::vector<Record> more;
+    for (int i = 0; i < 50; ++i) {
+      more.push_back({Value(rng.UniformRange(0, 99)),
+                      Value(rng.UniformRange(0, 99))});
+    }
+    ASSERT_TRUE(db.AppendRows("t", more).ok());
+  }
+  EXPECT_EQ(db.GetTable("t").ValueOrDie()->num_records(), 100 + 10 * 50);
+}
+
+}  // namespace
+}  // namespace adaptdb

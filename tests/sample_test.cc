@@ -1,0 +1,110 @@
+// Tests for sample/: reservoir sampling and quantiles.
+
+#include <gtest/gtest.h>
+
+#include "sample/reservoir.h"
+
+namespace adaptdb {
+namespace {
+
+Record Rec(int64_t a, int64_t b = 0) { return {Value(a), Value(b)}; }
+
+TEST(ReservoirTest, KeepsEverythingUnderCapacity) {
+  Reservoir r(10);
+  for (int64_t i = 0; i < 5; ++i) r.Add(Rec(i));
+  EXPECT_EQ(r.records().size(), 5u);
+  EXPECT_EQ(r.seen(), 5u);
+}
+
+TEST(ReservoirTest, CapsAtCapacity) {
+  Reservoir r(10);
+  for (int64_t i = 0; i < 1000; ++i) r.Add(Rec(i));
+  EXPECT_EQ(r.records().size(), 10u);
+  EXPECT_EQ(r.seen(), 1000u);
+}
+
+TEST(ReservoirTest, SampleIsRoughlyUniform) {
+  // Mean of a uniform sample over [0, 9999] should be near 5000.
+  Reservoir r(500, 21);
+  for (int64_t i = 0; i < 10000; ++i) r.Add(Rec(i));
+  double sum = 0;
+  for (const Record& rec : r.records()) {
+    sum += static_cast<double>(rec[0].AsInt64());
+  }
+  EXPECT_NEAR(sum / 500.0, 5000.0, 700.0);
+}
+
+TEST(ReservoirTest, SortedAttrIsSorted) {
+  Reservoir r(100, 3);
+  for (int64_t i = 0; i < 50; ++i) r.Add(Rec(50 - i));
+  auto vals = r.SortedAttr(0);
+  ASSERT_EQ(vals.size(), 50u);
+  for (size_t i = 1; i < vals.size(); ++i) {
+    EXPECT_TRUE(vals[i - 1] <= vals[i]);
+  }
+}
+
+TEST(ReservoirTest, MedianOfSmallSample) {
+  Reservoir r(100);
+  for (int64_t v : {1, 2, 3, 4, 100}) r.Add(Rec(v));
+  EXPECT_EQ(r.Median(0).AsInt64(), 3);
+}
+
+TEST(ReservoirTest, MedianResistsSkew) {
+  // 90% of values are 1, 10% spread out: median must be 1, not the mean.
+  Reservoir r(1000, 5);
+  for (int64_t i = 0; i < 900; ++i) r.Add(Rec(1));
+  for (int64_t i = 0; i < 100; ++i) r.Add(Rec(1000 + i));
+  EXPECT_EQ(r.Median(0).AsInt64(), 1);
+}
+
+TEST(ReservoirTest, QuantileEndpoints) {
+  Reservoir r(100);
+  for (int64_t i = 0; i < 100; ++i) r.Add(Rec(i));
+  EXPECT_EQ(r.Quantile(0, 0.0).AsInt64(), 0);
+  EXPECT_EQ(r.Quantile(0, 1.0).AsInt64(), 99);
+  EXPECT_NEAR(static_cast<double>(r.Quantile(0, 0.25).AsInt64()), 25.0, 2.0);
+}
+
+TEST(ReservoirTest, QuantileOnEmptySampleIsZero) {
+  Reservoir r(10);
+  EXPECT_EQ(r.Median(0).AsInt64(), 0);
+}
+
+TEST(ReservoirTest, ConditionalMedianRespectsPredicates) {
+  Reservoir r(1000);
+  for (int64_t i = 0; i < 100; ++i) r.Add(Rec(i, i % 2));
+  // Median of attr 0 restricted to records with attr1 == 0 (even values).
+  const Value med =
+      r.ConditionalMedian(0, {Predicate(1, CompareOp::kEq, int64_t{0})});
+  EXPECT_EQ(med.AsInt64() % 2, 0);
+}
+
+TEST(ReservoirTest, ConditionalMedianFallsBackWhenEmpty) {
+  Reservoir r(100);
+  for (int64_t i = 0; i < 100; ++i) r.Add(Rec(i, 0));
+  const Value med =
+      r.ConditionalMedian(0, {Predicate(1, CompareOp::kEq, int64_t{7})});
+  EXPECT_EQ(med, r.Median(0));
+}
+
+TEST(EquiDepthCutsTest, SplitsIntoNearEqualRuns) {
+  std::vector<Value> sorted;
+  for (int64_t i = 0; i < 100; ++i) sorted.push_back(Value(i));
+  auto cuts = EquiDepthCuts(sorted, 3);
+  ASSERT_EQ(cuts.size(), 3u);
+  EXPECT_EQ(cuts[0].AsInt64(), 25);
+  EXPECT_EQ(cuts[1].AsInt64(), 50);
+  EXPECT_EQ(cuts[2].AsInt64(), 75);
+}
+
+TEST(EquiDepthCutsTest, EmptyAndDegenerateInputs) {
+  EXPECT_TRUE(EquiDepthCuts({}, 3).empty());
+  EXPECT_TRUE(EquiDepthCuts({Value(1)}, 0).empty());
+  auto cuts = EquiDepthCuts({Value(5)}, 2);
+  ASSERT_EQ(cuts.size(), 2u);
+  EXPECT_EQ(cuts[0].AsInt64(), 5);
+}
+
+}  // namespace
+}  // namespace adaptdb

@@ -1,0 +1,229 @@
+// Tests for schema/: Value ordering, ValueRange, Schema, predicates.
+
+#include <gtest/gtest.h>
+
+#include "schema/predicate.h"
+#include "schema/schema.h"
+#include "schema/value.h"
+
+namespace adaptdb {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value(int64_t{5}).type(), DataType::kInt64);
+  EXPECT_EQ(Value(5).type(), DataType::kInt64);
+  EXPECT_EQ(Value(2.5).type(), DataType::kDouble);
+  EXPECT_EQ(Value("abc").type(), DataType::kString);
+  EXPECT_EQ(Value(int64_t{7}).AsInt64(), 7);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value("xy").AsString(), "xy");
+}
+
+TEST(ValueTest, IntOrderIsTotalAndStrict) {
+  EXPECT_TRUE(Value(1) < Value(2));
+  EXPECT_FALSE(Value(2) < Value(1));
+  EXPECT_FALSE(Value(2) < Value(2));
+  EXPECT_TRUE(Value(2) <= Value(2));
+  EXPECT_TRUE(Value(3) > Value(2));
+  EXPECT_TRUE(Value(3) >= Value(3));
+}
+
+TEST(ValueTest, MixedNumericComparison) {
+  EXPECT_TRUE(Value(1) < Value(1.5));
+  EXPECT_TRUE(Value(1.5) < Value(2));
+  EXPECT_FALSE(Value(int64_t{2}) == Value(2.0));  // Distinct types.
+}
+
+TEST(ValueTest, StringOrder) {
+  EXPECT_TRUE(Value("apple") < Value("banana"));
+  EXPECT_TRUE(Value("a") <= Value("a"));
+  EXPECT_EQ(Value("a"), Value("a"));
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value(42).ToString(), "42");
+  EXPECT_EQ(Value("hi").ToString(), "\"hi\"");
+}
+
+TEST(ValueRangeTest, OverlapsIsSymmetricAndTight) {
+  ValueRange a{Value(0), Value(100)};
+  ValueRange b{Value(100), Value(200)};  // Touching endpoints overlap.
+  ValueRange c{Value(101), Value(200)};
+  EXPECT_TRUE(a.Overlaps(b));
+  EXPECT_TRUE(b.Overlaps(a));
+  EXPECT_FALSE(a.Overlaps(c));
+  EXPECT_FALSE(c.Overlaps(a));
+}
+
+TEST(ValueRangeTest, PaperFig4Overlaps) {
+  // R blocks [0,100),[100,200),[200,300),[300,400) vs
+  // S blocks [0,150),[150,250),[250,350),[350,400) as closed ranges on the
+  // generated data (open upper bounds become the max value present).
+  ValueRange r1{Value(0), Value(99)};
+  ValueRange r2{Value(100), Value(199)};
+  ValueRange s1{Value(0), Value(149)};
+  ValueRange s2{Value(150), Value(249)};
+  EXPECT_TRUE(r1.Overlaps(s1));
+  EXPECT_FALSE(r1.Overlaps(s2));
+  EXPECT_TRUE(r2.Overlaps(s1));
+  EXPECT_TRUE(r2.Overlaps(s2));
+}
+
+TEST(ValueRangeTest, ContainsAndExtend) {
+  ValueRange r{Value(10), Value(20)};
+  EXPECT_TRUE(r.Contains(Value(10)));
+  EXPECT_TRUE(r.Contains(Value(20)));
+  EXPECT_FALSE(r.Contains(Value(9)));
+  r.Extend(Value(5));
+  EXPECT_TRUE(r.Contains(Value(5)));
+  r.ExtendRange(ValueRange{Value(30), Value(40)});
+  EXPECT_TRUE(r.Contains(Value(35)));
+}
+
+Schema TestSchema() {
+  return Schema({{"id", DataType::kInt64, 8},
+                 {"price", DataType::kDouble, 8},
+                 {"name", DataType::kString, 16}});
+}
+
+TEST(SchemaTest, FieldsAndWidth) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.num_attrs(), 3);
+  EXPECT_EQ(s.field(0).name, "id");
+  EXPECT_EQ(s.RecordWidth(), 32);
+}
+
+TEST(SchemaTest, AttrByName) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.AttrByName("price").ValueOrDie(), 1);
+  EXPECT_FALSE(s.AttrByName("nope").ok());
+}
+
+TEST(SchemaTest, ValidateRecord) {
+  Schema s = TestSchema();
+  EXPECT_TRUE(s.ValidateRecord({Value(1), Value(2.0), Value("x")}).ok());
+  EXPECT_FALSE(s.ValidateRecord({Value(1), Value(2.0)}).ok());  // Arity.
+  EXPECT_FALSE(
+      s.ValidateRecord({Value(1), Value(2), Value("x")}).ok());  // Type.
+}
+
+TEST(PredicateTest, MatchesAllOps) {
+  EXPECT_TRUE(Predicate(0, CompareOp::kLt, 5).Matches(Value(4)));
+  EXPECT_FALSE(Predicate(0, CompareOp::kLt, 5).Matches(Value(5)));
+  EXPECT_TRUE(Predicate(0, CompareOp::kLe, 5).Matches(Value(5)));
+  EXPECT_TRUE(Predicate(0, CompareOp::kGt, 5).Matches(Value(6)));
+  EXPECT_FALSE(Predicate(0, CompareOp::kGt, 5).Matches(Value(5)));
+  EXPECT_TRUE(Predicate(0, CompareOp::kGe, 5).Matches(Value(5)));
+  EXPECT_TRUE(Predicate(0, CompareOp::kEq, 5).Matches(Value(5)));
+  EXPECT_FALSE(Predicate(0, CompareOp::kEq, 5).Matches(Value(6)));
+  EXPECT_TRUE(Predicate(0, CompareOp::kNeq, 5).Matches(Value(6)));
+  EXPECT_FALSE(Predicate(0, CompareOp::kNeq, 5).Matches(Value(5)));
+}
+
+TEST(PredicateTest, AdmitsRangeBoundaries) {
+  const ValueRange r{Value(10), Value(20)};
+  EXPECT_TRUE(Predicate(0, CompareOp::kLt, 11).AdmitsRange(r));
+  EXPECT_FALSE(Predicate(0, CompareOp::kLt, 10).AdmitsRange(r));
+  EXPECT_TRUE(Predicate(0, CompareOp::kLe, 10).AdmitsRange(r));
+  EXPECT_TRUE(Predicate(0, CompareOp::kGt, 19).AdmitsRange(r));
+  EXPECT_FALSE(Predicate(0, CompareOp::kGt, 20).AdmitsRange(r));
+  EXPECT_TRUE(Predicate(0, CompareOp::kGe, 20).AdmitsRange(r));
+  EXPECT_TRUE(Predicate(0, CompareOp::kEq, 15).AdmitsRange(r));
+  EXPECT_FALSE(Predicate(0, CompareOp::kEq, 21).AdmitsRange(r));
+  EXPECT_TRUE(Predicate(0, CompareOp::kNeq, 15).AdmitsRange(r));
+  const ValueRange point{Value(5), Value(5)};
+  EXPECT_FALSE(Predicate(0, CompareOp::kNeq, 5).AdmitsRange(point));
+}
+
+TEST(PredicateTest, TreeBranchPruning) {
+  // Split: attr <= 10 goes left, > 10 goes right.
+  const Value cut(10);
+  EXPECT_TRUE(Predicate(0, CompareOp::kLt, 5).CanMatchLeft(cut));
+  EXPECT_FALSE(Predicate(0, CompareOp::kLt, 5).CanMatchRight(cut));
+  EXPECT_FALSE(Predicate(0, CompareOp::kLt, 10).CanMatchRight(cut));
+  EXPECT_TRUE(Predicate(0, CompareOp::kLe, 11).CanMatchRight(cut));
+  EXPECT_FALSE(Predicate(0, CompareOp::kGt, 10).CanMatchLeft(cut));
+  EXPECT_TRUE(Predicate(0, CompareOp::kGt, 9).CanMatchLeft(cut));
+  EXPECT_TRUE(Predicate(0, CompareOp::kGe, 10).CanMatchLeft(cut));
+  EXPECT_FALSE(Predicate(0, CompareOp::kGe, 11).CanMatchLeft(cut));
+  EXPECT_TRUE(Predicate(0, CompareOp::kEq, 10).CanMatchLeft(cut));
+  EXPECT_FALSE(Predicate(0, CompareOp::kEq, 10).CanMatchRight(cut));
+  EXPECT_TRUE(Predicate(0, CompareOp::kEq, 11).CanMatchRight(cut));
+  EXPECT_TRUE(Predicate(0, CompareOp::kNeq, 10).CanMatchLeft(cut));
+  EXPECT_TRUE(Predicate(0, CompareOp::kNeq, 10).CanMatchRight(cut));
+}
+
+TEST(PredicateTest, MatchesAllConjunction) {
+  PredicateSet preds = {Predicate(0, CompareOp::kGe, 5),
+                        Predicate(0, CompareOp::kLt, 10)};
+  EXPECT_TRUE(MatchesAll(preds, {Value(7)}));
+  EXPECT_FALSE(MatchesAll(preds, {Value(4)}));
+  EXPECT_FALSE(MatchesAll(preds, {Value(10)}));
+  EXPECT_TRUE(MatchesAll({}, {Value(1)}));  // Empty set matches everything.
+}
+
+TEST(PredicateTest, RangesAdmitConjunction) {
+  std::vector<ValueRange> ranges = {{Value(0), Value(100)},
+                                    {Value(50), Value(60)}};
+  EXPECT_TRUE(RangesAdmit({Predicate(1, CompareOp::kGe, 55)}, ranges));
+  EXPECT_FALSE(RangesAdmit({Predicate(1, CompareOp::kGt, 60)}, ranges));
+  EXPECT_FALSE(RangesAdmit({Predicate(0, CompareOp::kLt, 50),
+                            Predicate(1, CompareOp::kGt, 60)},
+                           ranges));
+}
+
+TEST(PredicateTest, ToStringRendering) {
+  EXPECT_EQ(Predicate(3, CompareOp::kLe, 42).ToString(), "a3 <= 42");
+  EXPECT_EQ(PredicateSetToString({}), "TRUE");
+  EXPECT_EQ(PredicateSetToString({Predicate(0, CompareOp::kEq, 1),
+                                  Predicate(1, CompareOp::kGt, 2)}),
+            "a0 = 1 AND a1 > 2");
+}
+
+// Property: AdmitsRange is conservative — if any value in a range matches,
+// AdmitsRange must be true (checked over a dense grid).
+class AdmitsRangeProperty : public ::testing::TestWithParam<CompareOp> {};
+
+TEST_P(AdmitsRangeProperty, NeverPrunesAMatch) {
+  const CompareOp op = GetParam();
+  for (int64_t pv = 0; pv <= 12; ++pv) {
+    const Predicate pred(0, op, Value(pv));
+    for (int64_t lo = 0; lo <= 12; ++lo) {
+      for (int64_t hi = lo; hi <= 12; ++hi) {
+        bool any_match = false;
+        for (int64_t v = lo; v <= hi; ++v) any_match |= pred.Matches(Value(v));
+        const ValueRange r{Value(lo), Value(hi)};
+        if (any_match) {
+          EXPECT_TRUE(pred.AdmitsRange(r))
+              << pred.ToString() << " range [" << lo << "," << hi << "]";
+        }
+      }
+    }
+  }
+}
+
+// Property: branch pruning is conservative w.r.t. routing: a value that
+// matches and routes left implies CanMatchLeft (resp. right).
+TEST_P(AdmitsRangeProperty, BranchPruningConservative) {
+  const CompareOp op = GetParam();
+  for (int64_t pv = 0; pv <= 10; ++pv) {
+    const Predicate pred(0, op, Value(pv));
+    for (int64_t cut = 0; cut <= 10; ++cut) {
+      bool left_match = false, right_match = false;
+      for (int64_t v = -2; v <= 13; ++v) {
+        if (!pred.Matches(Value(v))) continue;
+        (v <= cut ? left_match : right_match) = true;
+      }
+      if (left_match) EXPECT_TRUE(pred.CanMatchLeft(Value(cut)));
+      if (right_match) EXPECT_TRUE(pred.CanMatchRight(Value(cut)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, AdmitsRangeProperty,
+                         ::testing::Values(CompareOp::kLt, CompareOp::kLe,
+                                           CompareOp::kGt, CompareOp::kGe,
+                                           CompareOp::kEq, CompareOp::kNeq));
+
+}  // namespace
+}  // namespace adaptdb

@@ -1,0 +1,199 @@
+// Tests for storage/: Block, BlockStore, ClusterSim and I/O accounting.
+
+#include <gtest/gtest.h>
+
+#include "storage/block.h"
+#include "storage/block_store.h"
+#include "storage/cluster.h"
+
+namespace adaptdb {
+namespace {
+
+Record Rec(int64_t a, int64_t b) { return {Value(a), Value(b)}; }
+
+TEST(BlockTest, TracksRangesPerAttribute) {
+  Block b(0, 2);
+  b.Add(Rec(5, 100));
+  b.Add(Rec(2, 300));
+  b.Add(Rec(9, 200));
+  EXPECT_EQ(b.num_records(), 3u);
+  EXPECT_EQ(b.range(0).lo, Value(2));
+  EXPECT_EQ(b.range(0).hi, Value(9));
+  EXPECT_EQ(b.range(1).lo, Value(100));
+  EXPECT_EQ(b.range(1).hi, Value(300));
+}
+
+TEST(BlockTest, MayMatchUsesRanges) {
+  Block b(0, 2);
+  b.Add(Rec(5, 100));
+  b.Add(Rec(9, 200));
+  EXPECT_TRUE(b.MayMatch({Predicate(0, CompareOp::kGe, 7)}));
+  EXPECT_FALSE(b.MayMatch({Predicate(0, CompareOp::kGt, 9)}));
+  EXPECT_FALSE(b.MayMatch({Predicate(1, CompareOp::kLt, 100)}));
+}
+
+TEST(BlockTest, EmptyBlockNeverMatches) {
+  Block b(0, 2);
+  EXPECT_TRUE(b.empty());
+  EXPECT_FALSE(b.MayMatch({}));
+}
+
+TEST(BlockTest, ClearResetsRanges) {
+  Block b(0, 1);
+  b.Add({Value(5)});
+  b.ClearRecords();
+  EXPECT_TRUE(b.empty());
+  b.Add({Value(50)});
+  EXPECT_EQ(b.range(0).lo, Value(50));
+}
+
+TEST(BlockTest, SizeBytesScalesWithRecords) {
+  Block b(0, 1);
+  b.Add({Value(1)});
+  b.Add({Value(2)});
+  EXPECT_EQ(b.SizeBytes(16), 32);
+}
+
+TEST(BlockStoreTest, CreateGetDelete) {
+  BlockStore store(2);
+  const BlockId a = store.CreateBlock();
+  const BlockId b = store.CreateBlock();
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(store.Contains(a));
+  ASSERT_TRUE(store.Get(a).ok());
+  ASSERT_TRUE(store.Delete(a).ok());
+  EXPECT_FALSE(store.Contains(a));
+  EXPECT_FALSE(store.Get(a).ok());
+  EXPECT_FALSE(store.Delete(a).ok());
+  EXPECT_EQ(store.num_blocks(), 1u);
+}
+
+TEST(BlockStoreTest, IdsNeverReused) {
+  BlockStore store(1);
+  const BlockId a = store.CreateBlock();
+  ASSERT_TRUE(store.Delete(a).ok());
+  const BlockId b = store.CreateBlock();
+  EXPECT_GT(b, a);
+}
+
+TEST(BlockStoreTest, TotalRecordsSumsLiveBlocks) {
+  BlockStore store(1);
+  const BlockId a = store.CreateBlock();
+  const BlockId b = store.CreateBlock();
+  store.Get(a).ValueOrDie()->Add({Value(1)});
+  store.Get(a).ValueOrDie()->Add({Value(2)});
+  store.Get(b).ValueOrDie()->Add({Value(3)});
+  EXPECT_EQ(store.TotalRecords(), 3u);
+  ASSERT_TRUE(store.Delete(a).ok());
+  EXPECT_EQ(store.TotalRecords(), 1u);
+}
+
+TEST(BlockStoreTest, BlockIdsSortedAscending) {
+  BlockStore store(1);
+  store.CreateBlock();
+  store.CreateBlock();
+  store.CreateBlock();
+  auto ids = store.BlockIds();
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_LT(ids[0], ids[1]);
+  EXPECT_LT(ids[1], ids[2]);
+}
+
+TEST(ClusterSimTest, RoundRobinPlacement) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 3;
+  ClusterSim cluster(cfg);
+  EXPECT_EQ(cluster.PlaceBlock(0), 0);
+  EXPECT_EQ(cluster.PlaceBlock(1), 1);
+  EXPECT_EQ(cluster.PlaceBlock(2), 2);
+  EXPECT_EQ(cluster.PlaceBlock(3), 0);
+  EXPECT_EQ(cluster.Locate(2).ValueOrDie(), 2);
+  EXPECT_FALSE(cluster.Locate(99).ok());
+}
+
+TEST(ClusterSimTest, EvictForgetsPlacement) {
+  ClusterSim cluster;
+  cluster.PlaceBlock(7);
+  cluster.Evict(7);
+  EXPECT_FALSE(cluster.Locate(7).ok());
+}
+
+TEST(ClusterSimTest, LocalVsRemoteReads) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  ClusterSim cluster(cfg);
+  cluster.PlaceBlockAt(0, 0);
+  cluster.PlaceBlockAt(1, 1);
+  IoStats io;
+  cluster.ReadBlock(0, 0, &io);  // Local.
+  cluster.ReadBlock(1, 0, &io);  // Remote.
+  cluster.ReadBlock(99, 0, &io);  // Unplaced counts as remote.
+  EXPECT_EQ(io.local_block_reads, 1);
+  EXPECT_EQ(io.remote_block_reads, 2);
+}
+
+TEST(ClusterSimTest, ScheduleTaskPicksPluralityNode) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 3;
+  ClusterSim cluster(cfg);
+  cluster.PlaceBlockAt(0, 2);
+  cluster.PlaceBlockAt(1, 2);
+  cluster.PlaceBlockAt(2, 1);
+  EXPECT_EQ(cluster.ScheduleTask({0, 1, 2}), 2);
+  EXPECT_EQ(cluster.ScheduleTask({}), 0);
+  EXPECT_EQ(cluster.ScheduleTask({42}), 0);  // Unplaced: default node.
+}
+
+TEST(ClusterSimTest, SimulatedSecondsMonotoneInIo) {
+  ClusterSim cluster;
+  IoStats a, b;
+  a.local_block_reads = 10;
+  b.local_block_reads = 20;
+  EXPECT_LT(cluster.SimulatedSeconds(a), cluster.SimulatedSeconds(b));
+  IoStats c = a;
+  c.shuffled_blocks = 10;
+  EXPECT_LT(cluster.SimulatedSeconds(a), cluster.SimulatedSeconds(c));
+}
+
+TEST(ClusterSimTest, RemoteReadsCostMoreThanLocal) {
+  ClusterSim cluster;
+  IoStats local, remote;
+  local.local_block_reads = 100;
+  remote.remote_block_reads = 100;
+  EXPECT_LT(cluster.SimulatedSeconds(local), cluster.SimulatedSeconds(remote));
+  // Penalty ratio matches the config.
+  EXPECT_NEAR(cluster.SimulatedSeconds(remote) / cluster.SimulatedSeconds(local),
+              cluster.config().remote_penalty, 1e-9);
+}
+
+TEST(ClusterSimTest, LocalityFraction) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  ClusterSim cluster(cfg);
+  cluster.PlaceBlockAt(0, 0);
+  cluster.PlaceBlockAt(1, 0);
+  cluster.PlaceBlockAt(2, 1);
+  cluster.PlaceBlockAt(3, 1);
+  EXPECT_DOUBLE_EQ(cluster.LocalityFraction({0, 1, 2, 3}, 0), 0.5);
+  EXPECT_DOUBLE_EQ(cluster.LocalityFraction({0, 1}, 0), 1.0);
+  EXPECT_DOUBLE_EQ(cluster.LocalityFraction({}, 0), 1.0);
+}
+
+TEST(IoStatsTest, MergeAndReset) {
+  IoStats a, b;
+  a.local_block_reads = 1;
+  a.shuffled_blocks = 2;
+  b.local_block_reads = 3;
+  b.block_writes = 4;
+  a.Merge(b);
+  EXPECT_EQ(a.local_block_reads, 4);
+  EXPECT_EQ(a.block_writes, 4);
+  EXPECT_EQ(a.shuffled_blocks, 2);
+  EXPECT_EQ(a.TotalReads(), 4);
+  a.Reset();
+  EXPECT_EQ(a.local_block_reads, 0);
+  EXPECT_EQ(a.TotalReads(), 0);
+}
+
+}  // namespace
+}  // namespace adaptdb

@@ -1,0 +1,381 @@
+// Tests for tree/: partitioning trees, upfront and two-phase partitioners.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "sample/reservoir.h"
+#include "storage/block_store.h"
+#include "tree/partition_tree.h"
+#include "tree/two_phase_partitioner.h"
+#include "tree/upfront_partitioner.h"
+
+namespace adaptdb {
+namespace {
+
+// A fixed two-level tree: a0 <= 50 then a1 <= 10 / a1 <= 20.
+PartitionTree FixedTree() {
+  auto root = PartitionTree::MakeInner(
+      0, Value(50),
+      PartitionTree::MakeInner(1, Value(10), PartitionTree::MakeLeaf(0),
+                               PartitionTree::MakeLeaf(1)),
+      PartitionTree::MakeInner(1, Value(20), PartitionTree::MakeLeaf(2),
+                               PartitionTree::MakeLeaf(3)));
+  return PartitionTree(std::move(root));
+}
+
+TEST(PartitionTreeTest, RouteFollowsCuts) {
+  PartitionTree t = FixedTree();
+  EXPECT_EQ(t.Route({Value(50), Value(10)}).ValueOrDie(), 0);  // <= goes left.
+  EXPECT_EQ(t.Route({Value(50), Value(11)}).ValueOrDie(), 1);
+  EXPECT_EQ(t.Route({Value(51), Value(20)}).ValueOrDie(), 2);
+  EXPECT_EQ(t.Route({Value(51), Value(21)}).ValueOrDie(), 3);
+}
+
+TEST(PartitionTreeTest, RouteOnEmptyTreeFails) {
+  PartitionTree t;
+  EXPECT_FALSE(t.Route({Value(1)}).ok());
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(PartitionTreeTest, LookupPrunesByPredicates) {
+  PartitionTree t = FixedTree();
+  // No predicates: everything.
+  EXPECT_EQ(t.Lookup({}).size(), 4u);
+  // a0 > 50: right subtree only.
+  auto right = t.Lookup({Predicate(0, CompareOp::kGt, 50)});
+  EXPECT_EQ(std::set<BlockId>(right.begin(), right.end()),
+            (std::set<BlockId>{2, 3}));
+  // a0 <= 50 and a1 <= 10: single leaf.
+  auto one = t.Lookup(
+      {Predicate(0, CompareOp::kLe, 50), Predicate(1, CompareOp::kLe, 10)});
+  EXPECT_EQ(one, (std::vector<BlockId>{0}));
+  // a1 > 20 prunes leaf 0 and 2 (left children of both a1 splits).
+  auto gt20 = t.Lookup({Predicate(1, CompareOp::kGt, 20)});
+  EXPECT_EQ(std::set<BlockId>(gt20.begin(), gt20.end()),
+            (std::set<BlockId>{1, 3}));
+}
+
+TEST(PartitionTreeTest, LeavesLeftToRightAndDepth) {
+  PartitionTree t = FixedTree();
+  EXPECT_EQ(t.Leaves(), (std::vector<BlockId>{0, 1, 2, 3}));
+  EXPECT_EQ(t.NumLeaves(), 4u);
+  EXPECT_EQ(t.Depth(), 2);
+}
+
+TEST(PartitionTreeTest, AttrUsageCount) {
+  PartitionTree t = FixedTree();
+  EXPECT_EQ(t.AttrUsageCount(0), 1);
+  EXPECT_EQ(t.AttrUsageCount(1), 2);
+  EXPECT_EQ(t.AttrUsageCount(9), 0);
+}
+
+TEST(PartitionTreeTest, CloneIsDeepAndEqual) {
+  PartitionTree t = FixedTree();
+  t.set_join_attr(0);
+  t.set_join_levels(1);
+  PartitionTree c = t.Clone();
+  EXPECT_EQ(c.Serialize(), t.Serialize());
+  EXPECT_EQ(c.join_attr(), 0);
+  EXPECT_EQ(c.join_levels(), 1);
+  // Mutating the clone must not affect the original.
+  c.mutable_root()->attr = 1;
+  EXPECT_NE(c.Serialize(), t.Serialize());
+}
+
+TEST(PartitionTreeTest, SerializeParseRoundTrip) {
+  PartitionTree t = FixedTree();
+  const std::string text = t.Serialize();
+  auto parsed = PartitionTree::Parse(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.ValueOrDie().Serialize(), text);
+}
+
+TEST(PartitionTreeTest, SerializeParseDoubleAndStringCuts) {
+  auto root = PartitionTree::MakeInner(
+      0, Value(2.5),
+      PartitionTree::MakeLeaf(1),
+      PartitionTree::MakeInner(1, Value("m"), PartitionTree::MakeLeaf(2),
+                               PartitionTree::MakeLeaf(3)));
+  PartitionTree t(std::move(root));
+  auto parsed = PartitionTree::Parse(t.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.ValueOrDie().Serialize(), t.Serialize());
+}
+
+TEST(PartitionTreeTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(PartitionTree::Parse("(a0 5 (leaf 1)").ok());
+  EXPECT_FALSE(PartitionTree::Parse("nonsense").ok());
+  EXPECT_FALSE(PartitionTree::Parse("(a0 5 (leaf 1) (leaf 2)) extra").ok());
+}
+
+TEST(PartitionTreeTest, ParseEmptyTree) {
+  auto parsed = PartitionTree::Parse("()");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.ValueOrDie().empty());
+}
+
+std::vector<Record> UniformRecords(size_t n, int32_t attrs, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Record> recs;
+  recs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Record r;
+    for (int32_t a = 0; a < attrs; ++a) {
+      r.push_back(Value(rng.UniformRange(0, 9999)));
+    }
+    recs.push_back(std::move(r));
+  }
+  return recs;
+}
+
+Schema UniformSchema(int32_t attrs) {
+  std::vector<Field> fields;
+  for (int32_t a = 0; a < attrs; ++a) {
+    fields.push_back({"a" + std::to_string(a), DataType::kInt64, 8});
+  }
+  return Schema(std::move(fields));
+}
+
+TEST(UpfrontPartitionerTest, BuildsFullDepthTreeOnUniformData) {
+  Schema schema = UniformSchema(4);
+  auto records = UniformRecords(2000, 4, 1);
+  Reservoir sample(1000);
+  sample.AddAll(records);
+  BlockStore store(4);
+  UpfrontOptions opts;
+  opts.num_levels = 4;
+  UpfrontPartitioner p(schema, opts);
+  auto tree = p.Build(sample, &store);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree.ValueOrDie().NumLeaves(), 16u);
+  EXPECT_EQ(tree.ValueOrDie().Depth(), 4);
+  EXPECT_EQ(store.num_blocks(), 16u);
+}
+
+TEST(UpfrontPartitionerTest, HeterogeneousBranchingBalancesAttrs) {
+  // 4 attributes, depth 4 => 15 inner nodes; each attribute should be used
+  // at least twice under balanced assignment.
+  Schema schema = UniformSchema(4);
+  auto records = UniformRecords(4000, 4, 2);
+  Reservoir sample(2000);
+  sample.AddAll(records);
+  BlockStore store(4);
+  UpfrontOptions opts;
+  opts.num_levels = 4;
+  UpfrontPartitioner p(schema, opts);
+  auto tree = p.Build(sample, &store);
+  ASSERT_TRUE(tree.ok());
+  for (AttrId a = 0; a < 4; ++a) {
+    EXPECT_GE(tree.ValueOrDie().AttrUsageCount(a), 2) << "attr " << a;
+  }
+}
+
+TEST(UpfrontPartitionerTest, RoutingIsTotalAndBlocksBalanced) {
+  Schema schema = UniformSchema(3);
+  auto records = UniformRecords(3000, 3, 3);
+  Reservoir sample(1500);
+  sample.AddAll(records);
+  BlockStore store(3);
+  UpfrontOptions opts;
+  opts.num_levels = 3;  // 8 blocks.
+  UpfrontPartitioner p(schema, opts);
+  auto tree = p.Build(sample, &store);
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE(LoadRecords(records, tree.ValueOrDie(), &store).ok());
+  EXPECT_EQ(store.TotalRecords(), records.size());
+  // Median cuts from a large sample should keep blocks within 3x of mean.
+  const double mean = 3000.0 / 8.0;
+  for (BlockId b : store.BlockIds()) {
+    const double n =
+        static_cast<double>(store.Get(b).ValueOrDie()->num_records());
+    EXPECT_LT(n, mean * 3.0);
+  }
+}
+
+TEST(UpfrontPartitionerTest, ConstantAttributeFallsBack) {
+  // One attribute is constant; the tree must still build using the other.
+  Schema schema = UniformSchema(2);
+  std::vector<Record> records;
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    records.push_back({Value(int64_t{7}), Value(rng.UniformRange(0, 999))});
+  }
+  Reservoir sample(500);
+  sample.AddAll(records);
+  BlockStore store(2);
+  UpfrontOptions opts;
+  opts.num_levels = 2;
+  UpfrontPartitioner p(schema, opts);
+  auto tree = p.Build(sample, &store);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree.ValueOrDie().AttrUsageCount(0), 0);
+  EXPECT_GE(tree.ValueOrDie().AttrUsageCount(1), 1);
+}
+
+TEST(UpfrontPartitionerTest, RejectsEmptySample) {
+  Schema schema = UniformSchema(2);
+  Reservoir sample(10);
+  BlockStore store(2);
+  UpfrontPartitioner p(schema, UpfrontOptions{});
+  EXPECT_FALSE(p.Build(sample, &store).ok());
+}
+
+TEST(TwoPhasePartitionerTest, TopLevelsSplitOnJoinAttr) {
+  Schema schema = UniformSchema(3);
+  auto records = UniformRecords(2000, 3, 5);
+  Reservoir sample(1000);
+  sample.AddAll(records);
+  BlockStore store(3);
+  TwoPhaseOptions opts;
+  opts.join_attr = 1;
+  opts.join_levels = 2;
+  opts.total_levels = 4;
+  TwoPhasePartitioner p(schema, opts);
+  auto built = p.Build(sample, &store);
+  ASSERT_TRUE(built.ok());
+  const PartitionTree& tree = built.ValueOrDie();
+  EXPECT_EQ(tree.join_attr(), 1);
+  EXPECT_EQ(tree.join_levels(), 2);
+  // Root and both its children must split on the join attribute.
+  ASSERT_FALSE(tree.root()->is_leaf);
+  EXPECT_EQ(tree.root()->attr, 1);
+  EXPECT_EQ(tree.root()->left->attr, 1);
+  EXPECT_EQ(tree.root()->right->attr, 1);
+  // Below the join levels, splits use other attributes.
+  const TreeNode* sel = tree.root()->left->left.get();
+  ASSERT_FALSE(sel->is_leaf);
+  EXPECT_NE(sel->attr, 1);
+}
+
+TEST(TwoPhasePartitionerTest, JoinRangesOfLeavesAreDisjoint) {
+  Schema schema = UniformSchema(2);
+  auto records = UniformRecords(4000, 2, 6);
+  Reservoir sample(2000);
+  sample.AddAll(records);
+  BlockStore store(2);
+  TwoPhaseOptions opts;
+  opts.join_attr = 0;
+  opts.join_levels = 3;
+  opts.total_levels = 3;  // Join levels only => 8 leaves.
+  TwoPhasePartitioner p(schema, opts);
+  auto built = p.Build(sample, &store);
+  ASSERT_TRUE(built.ok());
+  ASSERT_TRUE(LoadRecords(records, built.ValueOrDie(), &store).ok());
+  // Collect per-leaf join-attr ranges in leaf order; they must be
+  // non-overlapping and ordered.
+  std::vector<ValueRange> ranges;
+  for (BlockId b : built.ValueOrDie().Leaves()) {
+    const Block* blk = store.Get(b).ValueOrDie();
+    if (!blk->empty()) ranges.push_back(blk->range(0));
+  }
+  ASSERT_GE(ranges.size(), 4u);
+  for (size_t i = 1; i < ranges.size(); ++i) {
+    EXPECT_TRUE(ranges[i - 1].hi <= ranges[i].lo)
+        << "leaf " << i - 1 << " " << ranges[i - 1].ToString() << " vs "
+        << ranges[i].ToString();
+  }
+}
+
+TEST(TwoPhasePartitionerTest, MedianSplitsBalanceSkewedJoinKeys) {
+  // Zipf-ish skew: half the records share key values < 10.
+  Schema schema = UniformSchema(2);
+  Rng rng(7);
+  std::vector<Record> records;
+  for (int i = 0; i < 4000; ++i) {
+    const int64_t key =
+        rng.Flip(0.5) ? rng.UniformRange(0, 9) : rng.UniformRange(10, 9999);
+    records.push_back({Value(key), Value(rng.UniformRange(0, 999))});
+  }
+  Reservoir sample(2000);
+  sample.AddAll(records);
+  BlockStore store(2);
+  TwoPhaseOptions opts;
+  opts.join_attr = 0;
+  opts.join_levels = 2;
+  opts.total_levels = 2;
+  TwoPhasePartitioner p(schema, opts);
+  auto built = p.Build(sample, &store);
+  ASSERT_TRUE(built.ok());
+  ASSERT_TRUE(LoadRecords(records, built.ValueOrDie(), &store).ok());
+  // With median (not range) splits, no block should hold > 60% of the data.
+  for (BlockId b : store.BlockIds()) {
+    EXPECT_LT(store.Get(b).ValueOrDie()->num_records(), 2400u);
+  }
+}
+
+TEST(TwoPhasePartitionerTest, ValidatesOptions) {
+  Schema schema = UniformSchema(2);
+  Reservoir sample(10);
+  sample.Add({Value(1), Value(2)});
+  BlockStore store(2);
+  TwoPhaseOptions bad_attr;
+  bad_attr.join_attr = 9;
+  EXPECT_FALSE(TwoPhasePartitioner(schema, bad_attr).Build(sample, &store).ok());
+  TwoPhaseOptions bad_levels;
+  bad_levels.join_attr = 0;
+  bad_levels.join_levels = 5;
+  bad_levels.total_levels = 3;
+  EXPECT_FALSE(
+      TwoPhasePartitioner(schema, bad_levels).Build(sample, &store).ok());
+}
+
+TEST(TwoPhasePartitionerTest, DefaultJoinLevelsIsHalf) {
+  EXPECT_EQ(TwoPhasePartitioner::DefaultJoinLevels(6), 3);
+  EXPECT_EQ(TwoPhasePartitioner::DefaultJoinLevels(7), 4);
+}
+
+// Property: for random trees built from data, Lookup is conservative —
+// every block containing a record matching the predicates is returned.
+class TreeLookupProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TreeLookupProperty, LookupIsConservative) {
+  const uint64_t seed = GetParam();
+  Schema schema = UniformSchema(3);
+  auto records = UniformRecords(1500, 3, seed);
+  Reservoir sample(700, seed);
+  sample.AddAll(records);
+  BlockStore store(3);
+  UpfrontOptions opts;
+  opts.num_levels = 4;
+  opts.seed = seed;
+  UpfrontPartitioner p(schema, opts);
+  auto tree = p.Build(sample, &store);
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE(LoadRecords(records, tree.ValueOrDie(), &store).ok());
+
+  Rng rng(seed + 100);
+  for (int trial = 0; trial < 20; ++trial) {
+    PredicateSet preds;
+    const AttrId attr = static_cast<AttrId>(rng.Uniform(3));
+    const int64_t v = rng.UniformRange(0, 9999);
+    const CompareOp op = static_cast<CompareOp>(rng.Uniform(6));
+    preds.emplace_back(attr, op, Value(v));
+
+    auto found = tree.ValueOrDie().Lookup(preds);
+    std::unordered_set<BlockId> found_set(found.begin(), found.end());
+    for (BlockId b : store.BlockIds()) {
+      const Block* blk = store.Get(b).ValueOrDie();
+      bool has_match = false;
+      for (const Record& rec : blk->records()) {
+        if (MatchesAll(preds, rec)) {
+          has_match = true;
+          break;
+        }
+      }
+      if (has_match) {
+        EXPECT_TRUE(found_set.count(b) > 0)
+            << "block " << b << " pruned despite matching "
+            << PredicateSetToString(preds);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeLookupProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace adaptdb

@@ -1,0 +1,226 @@
+// Tests for workload/: TPC-H generator invariants, query templates,
+// CMT generator/trace and workload drivers.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "workload/cmt.h"
+#include "workload/drivers.h"
+#include "workload/tpch.h"
+#include "workload/tpch_queries.h"
+
+namespace adaptdb {
+namespace {
+
+TEST(TpchGeneratorTest, CardinalityRatios) {
+  tpch::TpchConfig cfg;
+  cfg.num_orders = 3000;
+  const tpch::TpchData d = tpch::GenerateTpch(cfg);
+  EXPECT_EQ(d.orders.size(), 3000u);
+  EXPECT_EQ(d.num_parts, 400);
+  EXPECT_EQ(d.num_customers, 300);
+  EXPECT_EQ(d.num_suppliers, 20);
+  // ~4 lineitems per order.
+  EXPECT_GT(d.lineitem.size(), 2u * d.orders.size());
+  EXPECT_LT(d.lineitem.size(), 7u * d.orders.size());
+}
+
+TEST(TpchGeneratorTest, SchemasMatchRecords) {
+  tpch::TpchConfig cfg;
+  cfg.num_orders = 200;
+  const tpch::TpchData d = tpch::GenerateTpch(cfg);
+  EXPECT_TRUE(d.lineitem_schema.ValidateRecord(d.lineitem.front()).ok());
+  EXPECT_TRUE(d.orders_schema.ValidateRecord(d.orders.front()).ok());
+  EXPECT_TRUE(d.customer_schema.ValidateRecord(d.customer.front()).ok());
+  EXPECT_TRUE(d.part_schema.ValidateRecord(d.part.front()).ok());
+  EXPECT_TRUE(d.supplier_schema.ValidateRecord(d.supplier.front()).ok());
+  EXPECT_EQ(d.lineitem_schema.num_attrs(), 16);
+  EXPECT_EQ(d.orders_schema.num_attrs(), 9);
+}
+
+TEST(TpchGeneratorTest, ForeignKeyIntegrity) {
+  tpch::TpchConfig cfg;
+  cfg.num_orders = 500;
+  const tpch::TpchData d = tpch::GenerateTpch(cfg);
+  std::unordered_set<int64_t> orderkeys, partkeys, suppkeys, custkeys;
+  for (const Record& r : d.orders) orderkeys.insert(r[tpch::kOOrderKey].AsInt64());
+  for (const Record& r : d.part) partkeys.insert(r[tpch::kPPartKey].AsInt64());
+  for (const Record& r : d.supplier) {
+    suppkeys.insert(r[tpch::kSSuppKey].AsInt64());
+  }
+  for (const Record& r : d.customer) {
+    custkeys.insert(r[tpch::kCCustKey].AsInt64());
+  }
+  for (const Record& r : d.lineitem) {
+    ASSERT_TRUE(orderkeys.count(r[tpch::kLOrderKey].AsInt64()) > 0);
+    ASSERT_TRUE(partkeys.count(r[tpch::kLPartKey].AsInt64()) > 0);
+    ASSERT_TRUE(suppkeys.count(r[tpch::kLSuppKey].AsInt64()) > 0);
+  }
+  for (const Record& r : d.orders) {
+    ASSERT_TRUE(custkeys.count(r[tpch::kOCustKey].AsInt64()) > 0);
+  }
+}
+
+TEST(TpchGeneratorTest, DatesWithinRange) {
+  tpch::TpchConfig cfg;
+  cfg.num_orders = 300;
+  const tpch::TpchData d = tpch::GenerateTpch(cfg);
+  for (const Record& r : d.lineitem) {
+    ASSERT_GE(r[tpch::kLShipDate].AsInt64(), tpch::kMinDate);
+    ASSERT_LE(r[tpch::kLReceiptDate].AsInt64(), tpch::kMaxDate + 160);
+    ASSERT_GE(r[tpch::kLReceiptDate], r[tpch::kLShipDate]);
+  }
+}
+
+TEST(TpchGeneratorTest, Deterministic) {
+  tpch::TpchConfig cfg;
+  cfg.num_orders = 100;
+  const tpch::TpchData a = tpch::GenerateTpch(cfg);
+  const tpch::TpchData b = tpch::GenerateTpch(cfg);
+  ASSERT_EQ(a.lineitem.size(), b.lineitem.size());
+  EXPECT_EQ(a.lineitem[0], b.lineitem[0]);
+  EXPECT_EQ(a.lineitem.back(), b.lineitem.back());
+}
+
+TEST(TpchGeneratorTest, YearStartMonotone) {
+  for (int y = 1992; y < 1999; ++y) {
+    EXPECT_LT(tpch::YearStart(y), tpch::YearStart(y + 1));
+  }
+}
+
+TEST(TpchQueriesTest, TemplatesWellFormed) {
+  Rng rng(3);
+  for (const std::string& name : tpch::TemplateNames()) {
+    auto q = tpch::MakeQuery(name, &rng);
+    ASSERT_TRUE(q.ok()) << name;
+    EXPECT_EQ(q.ValueOrDie().name, name);
+    EXPECT_FALSE(q.ValueOrDie().tables.empty());
+    // Join edges only reference listed tables.
+    for (const JoinSpec& j : q.ValueOrDie().joins) {
+      EXPECT_TRUE(q.ValueOrDie().References(j.left_table)) << name;
+      EXPECT_TRUE(q.ValueOrDie().References(j.right_table)) << name;
+    }
+  }
+  EXPECT_FALSE(tpch::MakeQuery("q99", &rng).ok());
+}
+
+TEST(TpchQueriesTest, JoinAttrsMatchTpchSemantics) {
+  Rng rng(4);
+  Query q12 = tpch::MakeQ12(&rng);
+  EXPECT_EQ(q12.JoinAttrFor("lineitem"), tpch::kLOrderKey);
+  EXPECT_EQ(q12.JoinAttrFor("orders"), tpch::kOOrderKey);
+  Query q14 = tpch::MakeQ14(&rng);
+  EXPECT_EQ(q14.JoinAttrFor("lineitem"), tpch::kLPartKey);
+  Query q8 = tpch::MakeQ8(&rng);
+  EXPECT_EQ(q8.JoinAttrFor("lineitem"), tpch::kLPartKey);  // First edge.
+  Query q6 = tpch::MakeQ6(&rng);
+  EXPECT_TRUE(q6.joins.empty());
+  EXPECT_EQ(q6.JoinAttrFor("lineitem"), -1);
+}
+
+TEST(TpchQueriesTest, PredicateConstantsVaryAcrossDraws) {
+  Rng rng(5);
+  const Query a = tpch::MakeQ3(&rng);
+  const Query b = tpch::MakeQ3(&rng);
+  EXPECT_FALSE(a.PredsFor("lineitem") == b.PredsFor("lineitem"));
+}
+
+TEST(TpchQueriesTest, Q5AndQ8HaveNoLineitemPredicate) {
+  Rng rng(6);
+  EXPECT_TRUE(tpch::MakeQ5(&rng).PredsFor("lineitem").empty());
+  EXPECT_TRUE(tpch::MakeQ8(&rng).PredsFor("lineitem").empty());
+}
+
+TEST(CmtGeneratorTest, SizesAndSchemas) {
+  cmt::CmtConfig cfg;
+  cfg.num_trips = 1000;
+  const cmt::CmtData d = cmt::GenerateCmt(cfg);
+  EXPECT_EQ(d.trips.size(), 1000u);
+  EXPECT_EQ(d.latest.size(), 1000u);  // Exactly one latest row per trip.
+  EXPECT_GE(d.history.size(), d.trips.size());
+  EXPECT_TRUE(d.trips_schema.ValidateRecord(d.trips.front()).ok());
+  EXPECT_TRUE(d.history_schema.ValidateRecord(d.history.front()).ok());
+  EXPECT_TRUE(d.latest_schema.ValidateRecord(d.latest.front()).ok());
+}
+
+TEST(CmtGeneratorTest, HistoryReferencesTrips) {
+  cmt::CmtConfig cfg;
+  cfg.num_trips = 500;
+  const cmt::CmtData d = cmt::GenerateCmt(cfg);
+  for (const Record& r : d.history) {
+    ASSERT_GE(r[cmt::kHTripId].AsInt64(), 1);
+    ASSERT_LE(r[cmt::kHTripId].AsInt64(), 500);
+  }
+}
+
+TEST(CmtTraceTest, Has103QueriesWithBigBatchInMiddle) {
+  cmt::CmtConfig cfg;
+  cfg.num_trips = 2000;
+  const cmt::CmtData d = cmt::GenerateCmt(cfg);
+  auto trace = cmt::MakeTrace(d, 9);
+  EXPECT_EQ(trace.size(), 103u);
+  int big = 0;
+  for (size_t i = 30; i < 50; ++i) {
+    if (trace[i].name == "cmt_big_join") ++big;
+  }
+  EXPECT_GE(big, 5);  // The paper's heavy mid-trace batch.
+  for (size_t i = 0; i < 30; ++i) EXPECT_NE(trace[i].name, "cmt_big_join");
+}
+
+TEST(DriversTest, SwitchingWorkloadShape) {
+  auto stream = SwitchingWorkload(tpch::TemplateNames(), 20, 1);
+  EXPECT_EQ(stream.size(), 160u);  // 8 templates x 20.
+  // First 20 are q3, next 20 q5, ...
+  for (size_t i = 0; i < 20; ++i) EXPECT_EQ(stream[i].name, "q3");
+  for (size_t i = 20; i < 40; ++i) EXPECT_EQ(stream[i].name, "q5");
+  EXPECT_EQ(stream.back().name, "q19");
+}
+
+TEST(DriversTest, ShiftingWorkloadShape) {
+  auto stream = ShiftingWorkload(tpch::TemplateNames(), 20, 2);
+  EXPECT_EQ(stream.size(), 140u);  // 7 transitions x 20.
+  // Early in a transition the old template dominates; late, the new one.
+  int q3_early = 0, q3_late = 0;
+  for (size_t i = 0; i < 6; ++i) q3_early += stream[i].name == "q3";
+  for (size_t i = 14; i < 20; ++i) q3_late += stream[i].name == "q3";
+  EXPECT_GE(q3_early, q3_late);
+}
+
+TEST(DriversTest, WindowSizeWorkloadShape) {
+  auto stream = WindowSizeWorkload(3);
+  EXPECT_EQ(stream.size(), 70u);
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(stream[i].name, "q14");
+  for (size_t i = 30; i < 40; ++i) EXPECT_EQ(stream[i].name, "q19");
+  for (size_t i = 60; i < 70; ++i) EXPECT_EQ(stream[i].name, "q14");
+}
+
+TEST(DriversTest, MeanSecondsWindows) {
+  WorkloadResult r;
+  r.seconds = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(r.MeanSeconds(0, 2), 1.5);
+  EXPECT_DOUBLE_EQ(r.MeanSeconds(2, 99), 3.5);
+  EXPECT_DOUBLE_EQ(r.MeanSeconds(3, 3), 0);
+}
+
+TEST(DriversTest, RunWorkloadCollectsPerQueryLatency) {
+  tpch::TpchConfig cfg;
+  cfg.num_orders = 600;
+  const tpch::TpchData data = tpch::GenerateTpch(cfg);
+  DatabaseOptions opts;
+  opts.adapt.smooth.total_levels = 4;
+  Database db(opts);
+  ASSERT_TRUE(LoadTpch(&db, data, 4, 4, 3).ok());
+  Rng rng(1);
+  std::vector<Query> stream;
+  for (int i = 0; i < 5; ++i) {
+    stream.push_back(tpch::MakeQuery("q12", &rng).ValueOrDie());
+  }
+  auto result = RunWorkload(&db, stream);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.ValueOrDie().seconds.size(), 5u);
+  EXPECT_GT(result.ValueOrDie().total_seconds, 0);
+}
+
+}  // namespace
+}  // namespace adaptdb
