@@ -55,19 +55,21 @@ int64_t CostOf(Result<Grouping> g, const OverlapMatrix& m) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
   bench::PrintHeader("Ablation 1", "grouping algorithms x overlap structure");
   std::printf("%-12s %-8s %10s %10s %10s %10s %10s\n", "structure", "budget",
               "sequential", "greedy", "bottom-up", "contig-DP", "exact");
   for (const char* kind : {"band", "noisy_band", "random"}) {
     for (int32_t budget : {8, 16, 32}) {
-      const OverlapMatrix m = MakeMatrix(kind, 64, 32, 5);
+      const OverlapMatrix m =
+          MakeMatrix(kind, bench::SmokeScale<size_t>(64, 16), 32, 5);
       const int64_t seq = CostOf(SequentialGrouping(m, budget), m);
       const int64_t greedy = CostOf(GreedyGrouping(m, budget), m);
       const int64_t bottom = CostOf(BottomUpGrouping(m, budget), m);
       const int64_t dp = CostOf(ContiguousDpGrouping(m, budget), m);
       ExactOptions opts;
-      opts.max_nodes = 5'000'000;
+      opts.max_nodes = bench::SmokeScale<int64_t>(5'000'000, 50'000);
       auto exact = ExactGrouping(m, budget, opts);
       char exact_buf[16];
       if (exact.ok()) {
@@ -87,7 +89,7 @@ int main() {
   bench::PrintHeader("Ablation 2",
                      "join levels: fixed half vs workload-driven (§7.4)");
   tpch::TpchConfig cfg;
-  cfg.num_orders = 8000;
+  cfg.num_orders = bench::SmokeScale<int64_t>(8000, 1000);
   const tpch::TpchData data = tpch::GenerateTpch(cfg);
   std::printf("%-22s %14s %14s\n", "workload", "fixed half", "auto levels");
   // q5 is unselective on lineitem (join levels should deepen); q19 is very
@@ -101,13 +103,13 @@ int main() {
       Database db(opts);
       ADB_CHECK_OK(LoadTpch(&db, data, 8, 6, 4));
       Rng rng(3);
-      for (int i = 0; i < 12; ++i) {
+      for (int i = 0; i < bench::SmokeScale(12, 2); ++i) {
         auto q = tpch::MakeQuery(tmpl, &rng);
         ADB_CHECK_OK(q.status());
         ADB_CHECK_OK(db.RunQuery(q.ValueOrDie()).status());
       }
       db.set_adapt_enabled(false);
-      for (int i = 0; i < 5; ++i) {
+      for (int i = 0; i < bench::SmokeScale(5, 1); ++i) {
         auto q = tpch::MakeQuery(tmpl, &rng);
         ADB_CHECK_OK(q.status());
         auto run = db.RunQuery(q.ValueOrDie());
@@ -115,7 +117,9 @@ int main() {
         totals[mode] += run.ValueOrDie().seconds;
       }
     }
-    std::printf("%-22s %14.1f %14.1f\n", tmpl, totals[0] / 5, totals[1] / 5);
+    const double rounds = bench::SmokeScale(5.0, 1.0);
+    std::printf("%-22s %14.1f %14.1f\n", tmpl, totals[0] / rounds,
+                totals[1] / rounds);
   }
   std::printf(
       "expectation: auto levels <= fixed half on both extremes (Fig. 16's "

@@ -6,6 +6,7 @@
 #define ADAPTDB_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,28 @@
 #include "workload/tpch.h"
 
 namespace adaptdb::bench {
+
+/// True when the binary was launched with --smoke: run one scaled-down
+/// iteration with no timing claims, so CI can build-and-launch every bench
+/// cheaply. Set by ParseBenchArgs.
+inline bool g_smoke = false;
+
+/// Scans argv for harness-level flags (currently just --smoke). Leaves
+/// benchmark-specific flags alone, so it composes with per-figure parsing.
+inline void ParseBenchArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) g_smoke = true;
+  }
+}
+
+/// True in smoke mode (see g_smoke).
+inline bool Smoke() { return g_smoke; }
+
+/// Picks the full-size knob normally and the cheap one under --smoke.
+template <typename T>
+inline T SmokeScale(T full, T smoke) {
+  return g_smoke ? smoke : full;
+}
 
 inline void PrintHeader(const std::string& figure, const std::string& what) {
   std::printf("\n=== %s: %s ===\n", figure.c_str(), what.c_str());

@@ -14,9 +14,10 @@
 
 using namespace adaptdb;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
   tpch::TpchConfig cfg;
-  cfg.num_orders = 20000;
+  cfg.num_orders = bench::SmokeScale<int64_t>(20000, 1500);
   const tpch::TpchData data = tpch::GenerateTpch(cfg);
   const Query join = bench::LineitemOrdersJoin();
 
@@ -34,7 +35,8 @@ int main() {
   hyper_opts.adapt.smooth.total_levels = 7;
   Database hyper_db(hyper_opts);
   ADB_CHECK_OK(LoadTpch(&hyper_db, data, 7, 6, 4));
-  ADB_CHECK_OK(bench::ConvergeOnJoin(&hyper_db, join, 12));
+  ADB_CHECK_OK(
+      bench::ConvergeOnJoin(&hyper_db, join, bench::SmokeScale(12, 2)));
   hyper_db.set_adapt_enabled(false);
   auto hyper_run = hyper_db.RunQuery(join);
   ADB_CHECK_OK(hyper_run.status());

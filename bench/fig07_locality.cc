@@ -11,9 +11,10 @@
 
 using namespace adaptdb;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
   tpch::TpchConfig cfg;
-  cfg.num_orders = 20000;
+  cfg.num_orders = bench::SmokeScale<int64_t>(20000, 1500);
   const tpch::TpchData data = tpch::GenerateTpch(cfg);
 
   Database db;

@@ -15,7 +15,8 @@
 
 using namespace adaptdb;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
   bench::PrintHeader("Figure 8", "Shuffle join runtime vs dataset size");
   // orders count and the tree depths that keep ~500 lineitems and ~250
   // orders per block at each scale.
@@ -24,8 +25,12 @@ int main() {
     int32_t li_levels;
     int32_t ord_levels;
   } scales[] = {{4000, 5, 4}, {8000, 6, 5}, {16000, 7, 6}, {32000, 8, 7}};
+  // Smoke mode keeps the two smallest scales (two points still define the
+  // regression, so the output shape is unchanged).
+  const size_t num_scales = bench::SmokeScale<size_t>(std::size(scales), 2);
   std::vector<double> xs, ys;
-  for (const auto& scale : scales) {
+  for (size_t s = 0; s < num_scales; ++s) {
+    const auto& scale = scales[s];
     tpch::TpchConfig cfg;
     cfg.num_orders = scale.orders;
     const tpch::TpchData data = tpch::GenerateTpch(cfg);

@@ -45,12 +45,15 @@ void Converge(Database* db, const std::string& name, uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
   tpch::TpchConfig cfg;
-  cfg.num_orders = 12000;
+  cfg.num_orders = bench::SmokeScale<int64_t>(12000, 1500);
   const tpch::TpchData data = tpch::GenerateTpch(cfg);
-  const std::vector<std::string> templates = {"q3",  "q5",  "q8", "q10",
-                                              "q12", "q14", "q19"};
+  const std::vector<std::string> templates =
+      bench::Smoke() ? std::vector<std::string>{"q3", "q12"}
+                     : std::vector<std::string>{"q3", "q5", "q8", "q10",
+                                                "q12", "q14", "q19"};
 
   // PREF: fact table partitioned once, every other table replicated along
   // its reference edge.

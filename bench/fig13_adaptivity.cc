@@ -23,6 +23,7 @@ void RunMode(const std::string& mode, bool csv);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
   std::string mode;
   bool csv = false;
   for (int i = 1; i < argc; ++i) {
@@ -43,11 +44,13 @@ namespace {
 void RunMode(const std::string& mode, bool csv) {
 
   tpch::TpchConfig cfg;
-  cfg.num_orders = 12000;
+  cfg.num_orders = bench::SmokeScale<int64_t>(12000, 1500);
   const tpch::TpchData data = tpch::GenerateTpch(cfg);
+  const int32_t per_template = bench::SmokeScale(20, 3);
   const std::vector<Query> stream =
-      mode == "switching" ? SwitchingWorkload(tpch::TemplateNames(), 20, 13)
-                          : ShiftingWorkload(tpch::TemplateNames(), 20, 13);
+      mode == "switching"
+          ? SwitchingWorkload(tpch::TemplateNames(), per_template, 13)
+          : ShiftingWorkload(tpch::TemplateNames(), per_template, 13);
 
   auto run_system = [&](DatabaseOptions opts) {
     Database db(opts);

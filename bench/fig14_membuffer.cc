@@ -17,9 +17,10 @@
 
 using namespace adaptdb;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
   tpch::TpchConfig cfg;
-  cfg.num_orders = 30000;
+  cfg.num_orders = bench::SmokeScale<int64_t>(30000, 2000);
   const tpch::TpchData data = tpch::GenerateTpch(cfg);
 
   ClusterSim cluster;

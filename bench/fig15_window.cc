@@ -9,9 +9,10 @@
 
 using namespace adaptdb;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
   tpch::TpchConfig cfg;
-  cfg.num_orders = 8000;
+  cfg.num_orders = bench::SmokeScale<int64_t>(8000, 1000);
   const tpch::TpchData data = tpch::GenerateTpch(cfg);
   const std::vector<Query> stream = WindowSizeWorkload(15);
 

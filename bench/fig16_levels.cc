@@ -75,6 +75,7 @@ void RunGrid(bool with_preds);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
   bool both = true;
   bool with_preds = true;
   for (int i = 1; i < argc; ++i) {
@@ -96,7 +97,7 @@ int main(int argc, char** argv) {
 namespace {
 void RunGrid(bool with_preds) {
   tpch::TpchConfig cfg;
-  cfg.num_orders = 12000;
+  cfg.num_orders = bench::SmokeScale<int64_t>(12000, 1500);
   const tpch::TpchData data = tpch::GenerateTpch(cfg);
 
   // The handcrafted q10 variant: lineitem.returnflag = 2,

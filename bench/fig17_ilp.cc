@@ -21,9 +21,10 @@
 
 using namespace adaptdb;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
   tpch::TpchConfig cfg;
-  cfg.num_orders = 16000;
+  cfg.num_orders = bench::SmokeScale<int64_t>(16000, 1500);
   const tpch::TpchData data = tpch::GenerateTpch(cfg);
   ClusterSim cluster;
 
@@ -73,7 +74,8 @@ int main() {
         GroupingCost(overlap.ValueOrDie(), approx.ValueOrDie());
 
     ExactOptions exact_opts;
-    exact_opts.max_nodes = 30'000'000;  // The "96 hours" stand-in.
+    // The "96 hours" stand-in; smoke mode keeps the search token-sized.
+    exact_opts.max_nodes = bench::SmokeScale<int64_t>(30'000'000, 50'000);
     const auto e0 = Clock::now();
     auto exact = ExactGrouping(overlap.ValueOrDie(), budget, exact_opts);
     const double exact_ms =

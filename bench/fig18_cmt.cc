@@ -68,9 +68,10 @@ Status HandTune(Database* db, const std::string& name, AttrId join_attr,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
   cmt::CmtConfig cfg;
-  cfg.num_trips = 24000;
+  cfg.num_trips = bench::SmokeScale<int64_t>(24000, 2000);
   const cmt::CmtData data = cmt::GenerateCmt(cfg);
   const std::vector<Query> trace = cmt::MakeTrace(data, 18);
 

@@ -5,6 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <vector>
+
 #include "common/rng.h"
 #include "join/exact_grouping.h"
 #include "join/grouping.h"
@@ -79,3 +82,27 @@ BENCHMARK(BM_GroupingCost);
 
 }  // namespace
 }  // namespace adaptdb
+
+// Custom main so --smoke (see bench/README.md) maps onto google-benchmark:
+// a near-zero min time runs each benchmark for a single short burst, which
+// is enough for CI to prove the binary launches and the kernels execute.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  // Bare seconds, not "0.001s": benchmark 1.7 rejects (and silently
+  // ignores) the suffixed form, while 1.8 accepts both and only warns.
+  char min_time[] = "--benchmark_min_time=0.001";
+  bool smoke = false;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (smoke) args.push_back(min_time);
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

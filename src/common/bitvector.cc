@@ -1,5 +1,6 @@
 #include "common/bitvector.h"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 
@@ -34,31 +35,40 @@ size_t BitVector::Count() const {
 }
 
 void BitVector::OrWith(const BitVector& other) {
-  assert(num_bits_ == other.num_bits_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  // True zero-extending union: the receiver widens to the larger width, so
+  // CountOr(other) == popcount(*this | other) holds for every width pair.
+  if (other.num_bits_ > num_bits_) {
+    num_bits_ = other.num_bits_;
+    words_.resize(other.words_.size(), 0);
+  }
+  for (size_t i = 0; i < other.words_.size(); ++i) words_[i] |= other.words_[i];
 }
 
 size_t BitVector::CountOr(const BitVector& other) const {
-  assert(num_bits_ == other.num_bits_);
+  const size_t shared = std::min(words_.size(), other.words_.size());
   size_t n = 0;
-  for (size_t i = 0; i < words_.size(); ++i) {
+  for (size_t i = 0; i < shared; ++i) {
     n += static_cast<size_t>(std::popcount(words_[i] | other.words_[i]));
+  }
+  const auto& longer = words_.size() > shared ? words_ : other.words_;
+  for (size_t i = shared; i < longer.size(); ++i) {
+    n += static_cast<size_t>(std::popcount(longer[i]));
   }
   return n;
 }
 
 size_t BitVector::CountAnd(const BitVector& other) const {
-  assert(num_bits_ == other.num_bits_);
+  const size_t shared = std::min(words_.size(), other.words_.size());
   size_t n = 0;
-  for (size_t i = 0; i < words_.size(); ++i) {
+  for (size_t i = 0; i < shared; ++i) {
     n += static_cast<size_t>(std::popcount(words_[i] & other.words_[i]));
   }
   return n;
 }
 
 bool BitVector::Intersects(const BitVector& other) const {
-  assert(num_bits_ == other.num_bits_);
-  for (size_t i = 0; i < words_.size(); ++i) {
+  const size_t shared = std::min(words_.size(), other.words_.size());
+  for (size_t i = 0; i < shared; ++i) {
     if (words_[i] & other.words_[i]) return true;
   }
   return false;

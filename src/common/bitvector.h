@@ -45,13 +45,17 @@ class BitVector {
   /// Number of set bits (the paper's delta(v)).
   size_t Count() const;
 
-  /// In-place union: *this |= other. Widths must match.
+  /// In-place union: *this |= other, zero-extending the narrower side. On
+  /// mismatched widths this vector widens to the larger width, so
+  /// `a.OrWith(b); a.Count()` always equals `a.CountOr(b)` beforehand.
   void OrWith(const BitVector& other);
 
-  /// popcount(*this | other) without materializing the union.
+  /// popcount(*this | other) without materializing the union. On mismatched
+  /// widths, missing bits read as zero (the longer tail still counts).
   size_t CountOr(const BitVector& other) const;
 
-  /// popcount(*this & other).
+  /// popcount(*this & other). On mismatched widths, missing bits read as
+  /// zero, so only the shared prefix can contribute.
   size_t CountAnd(const BitVector& other) const;
 
   /// True iff (*this & other) has at least one set bit.

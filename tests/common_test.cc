@@ -167,6 +167,79 @@ TEST(BitVectorTest, EqualityComparesContent) {
   EXPECT_FALSE(a == b);
 }
 
+TEST(BitVectorTest, ZeroWidthVectorIsInert) {
+  BitVector v(0);
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.Count(), 0u);
+  EXPECT_TRUE(v.SetBits().empty());
+  EXPECT_EQ(v.ToString(), "");
+  EXPECT_EQ(v, BitVector());
+  // Combining with a zero-width vector changes nothing.
+  BitVector a(10);
+  a.Set(9);
+  a.OrWith(v);
+  EXPECT_EQ(a.Count(), 1u);
+  EXPECT_EQ(a.CountOr(v), 1u);
+  EXPECT_EQ(a.CountAnd(v), 0u);
+  EXPECT_FALSE(a.Intersects(v));
+  EXPECT_EQ(v.CountOr(a), 1u);
+}
+
+TEST(BitVectorTest, WordBoundarySizes) {
+  for (size_t n : {63u, 64u, 65u}) {
+    BitVector v(n);
+    EXPECT_EQ(v.size(), n);
+    v.Set(0);
+    v.Set(n - 1);
+    EXPECT_EQ(v.Count(), 2u);
+    EXPECT_TRUE(v.Get(n - 1));
+    EXPECT_EQ(v.SetBits(), (std::vector<size_t>{0, n - 1}));
+    EXPECT_EQ(v.ToString().size(), n);
+    v.Clear(n - 1);
+    EXPECT_EQ(v.Count(), 1u);
+    v.Reset();
+    EXPECT_EQ(v.Count(), 0u);
+  }
+}
+
+TEST(BitVectorTest, MismatchedLengthsTreatMissingBitsAsZero) {
+  BitVector shorter(3), longer(65);
+  shorter.Set(1);
+  longer.Set(1);
+  longer.Set(64);
+
+  EXPECT_EQ(shorter.CountAnd(longer), 1u);
+  EXPECT_EQ(longer.CountAnd(shorter), 1u);
+  EXPECT_TRUE(shorter.Intersects(longer));
+  EXPECT_TRUE(longer.Intersects(shorter));
+  // CountOr counts the longer tail regardless of receiver.
+  EXPECT_EQ(shorter.CountOr(longer), 2u);
+  EXPECT_EQ(longer.CountOr(shorter), 2u);
+
+  // OrWith is a true union: the receiver widens to the larger width, so
+  // its post-union Count always equals the CountOr predicted beforehand.
+  BitVector acc(3);
+  const size_t predicted = acc.CountOr(longer);
+  acc.OrWith(longer);
+  EXPECT_EQ(acc.size(), 65u);
+  EXPECT_EQ(acc.Count(), predicted);
+  EXPECT_EQ(acc.SetBits(), (std::vector<size_t>{1, 64}));
+  // Widening receiver keeps its own zero tail plus the donor's bits.
+  BitVector wide(65);
+  wide.OrWith(shorter);
+  EXPECT_EQ(wide.size(), 65u);
+  EXPECT_EQ(wide.SetBits(), (std::vector<size_t>{1}));
+
+  // Donor bits inside the shared word are preserved by the widening union.
+  BitVector donor(64);
+  donor.Set(5);
+  BitVector narrow(3);
+  narrow.OrWith(donor);
+  EXPECT_EQ(narrow.size(), 64u);
+  EXPECT_EQ(narrow.SetBits(), (std::vector<size_t>{5}));
+}
+
 TEST(RngTest, Deterministic) {
   Rng a(123), b(123);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());

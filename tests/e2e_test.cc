@@ -1,0 +1,146 @@
+// End-to-end smoke test: load a tiny TPC-H dataset, build upfront
+// partitioning trees, run a predicate scan, then execute the same join as a
+// hyper-join and as a shuffle join and assert the result multisets match.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "exec/hyper_join.h"
+#include "exec/scan.h"
+#include "exec/shuffle_join.h"
+#include "join/grouping.h"
+#include "join/overlap.h"
+#include "sample/reservoir.h"
+#include "testing_util.h"
+#include "tree/upfront_partitioner.h"
+#include "workload/tpch.h"
+
+namespace adaptdb {
+namespace {
+
+using adaptdb::testing::SortedRecords;
+using adaptdb::testing::TinyTpch;
+
+// A table partitioned by the upfront partitioner and fully loaded.
+struct LoadedTable {
+  explicit LoadedTable(int32_t num_attrs) : store(num_attrs) {}
+
+  BlockStore store;
+  std::vector<BlockId> blocks;
+};
+
+LoadedTable LoadUpfront(const Schema& schema,
+                        const std::vector<Record>& records, int32_t levels,
+                        uint64_t seed, ClusterSim* cluster) {
+  LoadedTable table(schema.num_attrs());
+  Reservoir sample(1000, seed);
+  sample.AddAll(records);
+  UpfrontOptions opts;
+  opts.num_levels = levels;
+  opts.seed = seed;
+  UpfrontPartitioner partitioner(schema, opts);
+  PartitionTree tree =
+      std::move(partitioner.Build(sample, &table.store)).ValueOrDie();
+  EXPECT_TRUE(LoadRecords(records, tree, &table.store).ok());
+  table.blocks = table.store.BlockIds();
+  for (BlockId b : table.blocks) cluster->PlaceBlock(b);
+  return table;
+}
+
+class E2ETest : public ::testing::Test {
+ protected:
+  E2ETest()
+      : lineitem_(LoadUpfront(TinyTpch().lineitem_schema, TinyTpch().lineitem,
+                              4, 1, &cluster_)),
+        orders_(LoadUpfront(TinyTpch().orders_schema, TinyTpch().orders, 3, 2,
+                            &cluster_)) {}
+
+  ClusterSim cluster_;
+  LoadedTable lineitem_;
+  LoadedTable orders_;
+};
+
+TEST_F(E2ETest, LoadPreservesEveryRecord) {
+  EXPECT_EQ(lineitem_.store.TotalRecords(), TinyTpch().lineitem.size());
+  EXPECT_EQ(orders_.store.TotalRecords(), TinyTpch().orders.size());
+  EXPECT_GT(lineitem_.store.num_blocks(), 1u);
+  EXPECT_GT(orders_.store.num_blocks(), 1u);
+}
+
+TEST_F(E2ETest, PredicateScanMatchesRecordLevelOracle) {
+  const PredicateSet preds = {
+      Predicate(tpch::kLShipDate, CompareOp::kLt, int64_t{1000})};
+  int64_t expected = 0;
+  for (const Record& rec : TinyTpch().lineitem) {
+    if (MatchesAll(preds, rec)) ++expected;
+  }
+  const ScanResult with_skip =
+      ScanBlocks(lineitem_.store, lineitem_.blocks, preds, cluster_,
+                 /*skip_by_ranges=*/true)
+          .ValueOrDie();
+  const ScanResult without_skip =
+      ScanBlocks(lineitem_.store, lineitem_.blocks, preds, cluster_,
+                 /*skip_by_ranges=*/false)
+          .ValueOrDie();
+  EXPECT_EQ(with_skip.rows_matched, expected);
+  EXPECT_EQ(without_skip.rows_matched, expected);
+  // Range skipping must never read more blocks than the full scan.
+  EXPECT_LE(with_skip.blocks_read, without_skip.blocks_read);
+}
+
+TEST_F(E2ETest, HyperJoinAndShuffleJoinProduceIdenticalMultisets) {
+  const OverlapMatrix overlap =
+      ComputeOverlap(lineitem_.store, lineitem_.blocks, tpch::kLOrderKey,
+                     orders_.store, orders_.blocks, tpch::kOOrderKey)
+          .ValueOrDie();
+  const Grouping grouping = BottomUpGrouping(overlap, 4).ValueOrDie();
+  ASSERT_TRUE(ValidateGrouping(overlap, grouping, 4).ok());
+
+  std::vector<Record> hyper_out, shuffle_out;
+  const JoinExecResult hyper =
+      HyperJoin(lineitem_.store, tpch::kLOrderKey, {}, orders_.store,
+                tpch::kOOrderKey, {}, overlap, grouping, cluster_, &hyper_out)
+          .ValueOrDie();
+  const JoinExecResult shuffle =
+      ShuffleJoin(lineitem_.store, lineitem_.blocks, tpch::kLOrderKey, {},
+                  orders_.store, orders_.blocks, tpch::kOOrderKey, {},
+                  cluster_, &shuffle_out)
+          .ValueOrDie();
+
+  // Every lineitem joins its order exactly once.
+  EXPECT_EQ(hyper.counts.output_rows,
+            static_cast<int64_t>(TinyTpch().lineitem.size()));
+  EXPECT_EQ(hyper.counts.output_rows, shuffle.counts.output_rows);
+  EXPECT_EQ(hyper.counts.checksum, shuffle.counts.checksum);
+  EXPECT_EQ(SortedRecords(std::move(hyper_out)),
+            SortedRecords(std::move(shuffle_out)));
+}
+
+TEST_F(E2ETest, PredicatedJoinsAgreeToo) {
+  const PredicateSet li_preds = {
+      Predicate(tpch::kLQuantity, CompareOp::kLe, int64_t{25})};
+  const PredicateSet ord_preds = {
+      Predicate(tpch::kOOrderDate, CompareOp::kGt, int64_t{800})};
+  const OverlapMatrix overlap =
+      ComputeOverlap(lineitem_.store, lineitem_.blocks, tpch::kLOrderKey,
+                     orders_.store, orders_.blocks, tpch::kOOrderKey)
+          .ValueOrDie();
+  const Grouping grouping = BottomUpGrouping(overlap, 4).ValueOrDie();
+
+  std::vector<Record> hyper_out, shuffle_out;
+  ASSERT_TRUE(HyperJoin(lineitem_.store, tpch::kLOrderKey, li_preds,
+                        orders_.store, tpch::kOOrderKey, ord_preds, overlap,
+                        grouping, cluster_, &hyper_out)
+                  .ok());
+  ASSERT_TRUE(ShuffleJoin(lineitem_.store, lineitem_.blocks, tpch::kLOrderKey,
+                          li_preds, orders_.store, orders_.blocks,
+                          tpch::kOOrderKey, ord_preds, cluster_, &shuffle_out)
+                  .ok());
+  EXPECT_FALSE(hyper_out.empty());
+  EXPECT_EQ(SortedRecords(std::move(hyper_out)),
+            SortedRecords(std::move(shuffle_out)));
+}
+
+}  // namespace
+}  // namespace adaptdb

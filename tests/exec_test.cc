@@ -10,6 +10,7 @@
 #include "exec/scan.h"
 #include "exec/shuffle_join.h"
 #include "join/grouping.h"
+#include "testing_util.h"
 
 namespace adaptdb {
 namespace {
@@ -146,6 +147,24 @@ TEST(ScanTest, NoSkippingWhenDisabled) {
   ASSERT_TRUE(scan.ok());
   EXPECT_EQ(scan.ValueOrDie().blocks_read, 4);
   EXPECT_EQ(scan.ValueOrDie().rows_matched, 25);
+}
+
+TEST(ScanTest, UniformStoreScanMatchesRecordOracle) {
+  // Uniform data gives every block the full [0, 999] range, so skipping
+  // cannot help: the scan must read everything and still count exactly.
+  auto fx = testing::MakeUniformBlockStore(6, 2, 31);
+  const PredicateSet preds = {Predicate(1, CompareOp::kGe, 500)};
+  int64_t expected = 0;
+  for (BlockId id : fx.blocks) {
+    for (const Record& rec : fx.store.Get(id).ValueOrDie()->records()) {
+      if (MatchesAll(preds, rec)) ++expected;
+    }
+  }
+  auto scan = ScanBlocks(fx.store, fx.blocks, preds, fx.cluster);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan.ValueOrDie().rows_matched, expected);
+  EXPECT_EQ(scan.ValueOrDie().blocks_read, 6);
+  EXPECT_EQ(scan.ValueOrDie().blocks_skipped, 0);
 }
 
 TEST(ScanTest, MissingBlockIsError) {

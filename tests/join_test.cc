@@ -102,7 +102,9 @@ TEST(OverlapTest, AgreesWithRecordLevelOracleOnRandomData) {
     for (size_t j = 0; j < s_blocks.size(); ++j) {
       const bool oracle =
           OverlapByRecords(r, r_blocks[i], 0, s, s_blocks[j], 0).ValueOrDie();
-      if (oracle) EXPECT_TRUE(m.vectors[i].Get(j));
+      if (oracle) {
+        EXPECT_TRUE(m.vectors[i].Get(j));
+      }
     }
   }
 }

@@ -88,6 +88,57 @@ TEST(ReservoirTest, ConditionalMedianFallsBackWhenEmpty) {
   EXPECT_EQ(med, r.Median(0));
 }
 
+TEST(ReservoirTest, SameSeedReproducesSample) {
+  Reservoir a(50, 9), b(50, 9);
+  for (int64_t i = 0; i < 5000; ++i) {
+    a.Add(Rec(i));
+    b.Add(Rec(i));
+  }
+  ASSERT_EQ(a.records().size(), b.records().size());
+  for (size_t i = 0; i < a.records().size(); ++i) {
+    EXPECT_EQ(a.records()[i], b.records()[i]);
+  }
+}
+
+TEST(ReservoirTest, SampleValuesComeFromThePopulation) {
+  Reservoir r(64, 11);
+  for (int64_t i = 0; i < 4000; ++i) r.Add(Rec(i * 3));  // Multiples of 3.
+  for (const Record& rec : r.records()) {
+    const int64_t v = rec[0].AsInt64();
+    EXPECT_EQ(v % 3, 0);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 12000);
+  }
+}
+
+TEST(ReservoirTest, QuantilesAreMonotoneAndBracketedByMinMax) {
+  Reservoir r(400, 13);
+  for (int64_t i = 0; i < 20000; ++i) r.Add(Rec(i));
+  Value prev = r.Quantile(0, 0.0);
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    const Value cur = r.Quantile(0, q);
+    EXPECT_LE(prev, cur) << "quantile " << q;
+    prev = cur;
+  }
+  EXPECT_EQ(r.Quantile(0, 0.5), r.Median(0));
+}
+
+TEST(ReservoirTest, BucketOccupancyIsBalancedUnderFixedSeed) {
+  // 500 samples from [0, 10000) split into 10 equal buckets: each bucket
+  // expects 50; allow a generous +/- 60% band so the test stays stable
+  // across any correct sampler while still catching gross bias.
+  Reservoir r(500, 17);
+  for (int64_t i = 0; i < 10000; ++i) r.Add(Rec(i));
+  int buckets[10] = {0};
+  for (const Record& rec : r.records()) {
+    ++buckets[rec[0].AsInt64() / 1000];
+  }
+  for (int b = 0; b < 10; ++b) {
+    EXPECT_GE(buckets[b], 20) << "bucket " << b;
+    EXPECT_LE(buckets[b], 80) << "bucket " << b;
+  }
+}
+
 TEST(EquiDepthCutsTest, SplitsIntoNearEqualRuns) {
   std::vector<Value> sorted;
   for (int64_t i = 0; i < 100; ++i) sorted.push_back(Value(i));

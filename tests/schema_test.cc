@@ -214,8 +214,12 @@ TEST_P(AdmitsRangeProperty, BranchPruningConservative) {
         if (!pred.Matches(Value(v))) continue;
         (v <= cut ? left_match : right_match) = true;
       }
-      if (left_match) EXPECT_TRUE(pred.CanMatchLeft(Value(cut)));
-      if (right_match) EXPECT_TRUE(pred.CanMatchRight(Value(cut)));
+      if (left_match) {
+        EXPECT_TRUE(pred.CanMatchLeft(Value(cut)));
+      }
+      if (right_match) {
+        EXPECT_TRUE(pred.CanMatchRight(Value(cut)));
+      }
     }
   }
 }

@@ -5,6 +5,7 @@
 #include "storage/block.h"
 #include "storage/block_store.h"
 #include "storage/cluster.h"
+#include "testing_util.h"
 
 namespace adaptdb {
 namespace {
@@ -177,6 +178,35 @@ TEST(ClusterSimTest, LocalityFraction) {
   EXPECT_DOUBLE_EQ(cluster.LocalityFraction({0, 1, 2, 3}, 0), 0.5);
   EXPECT_DOUBLE_EQ(cluster.LocalityFraction({0, 1}, 0), 1.0);
   EXPECT_DOUBLE_EQ(cluster.LocalityFraction({}, 0), 1.0);
+}
+
+TEST(StoreFixtureTest, UniformBlockStoreIsDeterministicInSeed) {
+  auto a = testing::MakeUniformBlockStore(4, 3, 99);
+  auto b = testing::MakeUniformBlockStore(4, 3, 99);
+  auto c = testing::MakeUniformBlockStore(4, 3, 100);
+  ASSERT_EQ(a.blocks, b.blocks);
+  EXPECT_EQ(a.store.TotalRecords(), 4u * 32u);
+  bool any_diff = false;
+  for (BlockId id : a.blocks) {
+    const Block* ab = a.store.Get(id).ValueOrDie();
+    const Block* bb = b.store.Get(id).ValueOrDie();
+    const Block* cb = c.store.Get(id).ValueOrDie();
+    ASSERT_EQ(ab->records().size(), bb->records().size());
+    for (size_t i = 0; i < ab->records().size(); ++i) {
+      EXPECT_EQ(ab->records()[i], bb->records()[i]);
+      if (ab->records()[i] != cb->records()[i]) any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);  // A different seed produces different data.
+}
+
+TEST(StoreFixtureTest, UniformBlockStorePlacesEveryBlock) {
+  auto fx = testing::MakeUniformBlockStore(6, 2, 5, /*records_per_block=*/8);
+  EXPECT_EQ(fx.store.num_blocks(), 6u);
+  EXPECT_EQ(fx.store.TotalRecords(), 48u);
+  for (BlockId id : fx.blocks) {
+    EXPECT_TRUE(fx.cluster.Locate(id).ok());
+  }
 }
 
 TEST(IoStatsTest, MergeAndReset) {

@@ -1,0 +1,79 @@
+/// \file testing_util.h
+/// \brief Shared fixtures for the test suites: a deterministic uniform
+/// block-store builder and a cached tiny TPC-H dataset, so individual suites
+/// stop hand-rolling the same setup.
+
+#ifndef ADAPTDB_TESTS_TESTING_UTIL_H_
+#define ADAPTDB_TESTS_TESTING_UTIL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "schema/schema.h"
+#include "storage/block_store.h"
+#include "storage/cluster.h"
+#include "workload/tpch.h"
+
+namespace adaptdb::testing {
+
+/// A BlockStore plus the block-id list and cluster placement that nearly
+/// every exec/join test re-derives by hand.
+struct StoreFixture {
+  explicit StoreFixture(int32_t num_attrs) : store(num_attrs) {}
+
+  BlockStore store;
+  std::vector<BlockId> blocks;
+  ClusterSim cluster;
+};
+
+/// Builds `n_blocks` blocks of `records_per_block` records each, every
+/// attribute drawn uniformly from [0, 1000). Fully deterministic in `seed`:
+/// the same arguments always produce byte-identical stores.
+inline StoreFixture MakeUniformBlockStore(int32_t n_blocks, int32_t n_attrs,
+                                          uint64_t seed,
+                                          int32_t records_per_block = 32) {
+  StoreFixture fx(n_attrs);
+  Rng rng(seed);
+  for (int32_t b = 0; b < n_blocks; ++b) {
+    const BlockId id = fx.store.CreateBlock();
+    Block* blk = fx.store.Get(id).ValueOrDie();
+    for (int32_t i = 0; i < records_per_block; ++i) {
+      Record rec;
+      rec.reserve(n_attrs);
+      for (int32_t a = 0; a < n_attrs; ++a) {
+        rec.push_back(Value(rng.UniformRange(0, 999)));
+      }
+      blk->Add(rec);
+    }
+    fx.blocks.push_back(id);
+    fx.cluster.PlaceBlock(id);
+  }
+  return fx;
+}
+
+/// A small deterministic TPC-H dataset (~200 orders, ~600 lineitems),
+/// generated once and shared by every suite in the binary. Cheap enough for
+/// unit tests, large enough to exercise multi-block layouts.
+inline const tpch::TpchData& TinyTpch() {
+  static const tpch::TpchData* data = [] {
+    tpch::TpchConfig cfg;
+    cfg.num_orders = 200;
+    cfg.avg_lines_per_order = 3;
+    cfg.seed = 7;
+    return new tpch::TpchData(tpch::GenerateTpch(cfg));
+  }();
+  return *data;
+}
+
+/// Sorts a materialized join output so two results can be compared as
+/// multisets regardless of execution order.
+inline std::vector<Record> SortedRecords(std::vector<Record> records) {
+  std::sort(records.begin(), records.end());
+  return records;
+}
+
+}  // namespace adaptdb::testing
+
+#endif  // ADAPTDB_TESTS_TESTING_UTIL_H_
