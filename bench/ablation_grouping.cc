@@ -100,7 +100,7 @@ int main(int argc, char** argv) {
       DatabaseOptions opts;
       opts.adapt.smooth.total_levels = 8;
       opts.adapt.smooth.join_levels = mode == 0 ? -1 : kAutoJoinLevels;
-      Database db(opts);
+      Database db(bench::WithThreads(opts));
       ADB_CHECK_OK(LoadTpch(&db, data, 8, 6, 4));
       Rng rng(3);
       for (int i = 0; i < bench::SmokeScale(12, 2); ++i) {

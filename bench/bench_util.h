@@ -5,7 +5,9 @@
 #ifndef ADAPTDB_BENCH_BENCH_UTIL_H_
 #define ADAPTDB_BENCH_BENCH_UTIL_H_
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -21,16 +23,48 @@ namespace adaptdb::bench {
 /// cheaply. Set by ParseBenchArgs.
 inline bool g_smoke = false;
 
-/// Scans argv for harness-level flags (currently just --smoke). Leaves
-/// benchmark-specific flags alone, so it composes with per-figure parsing.
+/// Execution-engine worker threads, set by --threads N (default 1 so the
+/// published figure numbers stay comparable to the serial engine).
+inline int32_t g_threads = 1;
+
+/// Scans argv for harness-level flags (--smoke, --threads N/--threads=N).
+/// Leaves benchmark-specific flags alone, so it composes with per-figure
+/// parsing.
 inline void ParseBenchArgs(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) g_smoke = true;
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      g_smoke = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc &&
+               std::isdigit(static_cast<unsigned char>(argv[i + 1][0]))) {
+      // The digit check keeps `--threads --smoke` from eating the next flag.
+      g_threads = static_cast<int32_t>(std::atoi(argv[++i]));
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      g_threads = static_cast<int32_t>(std::atoi(argv[i] + 10));
+    }
   }
+  if (g_threads < 1) g_threads = 1;
 }
 
 /// True in smoke mode (see g_smoke).
 inline bool Smoke() { return g_smoke; }
+
+/// Worker threads requested via --threads (>= 1).
+inline int32_t Threads() { return g_threads; }
+
+/// The ExecConfig implied by --threads, for benches calling executors
+/// directly.
+inline ExecConfig ThreadedExecConfig() {
+  ExecConfig config;
+  config.num_threads = g_threads;
+  return config;
+}
+
+/// Applies --threads to a DatabaseOptions, for benches running queries
+/// through Database/JoinPlanner.
+inline DatabaseOptions WithThreads(DatabaseOptions opts) {
+  opts.planner.exec.num_threads = g_threads;
+  return opts;
+}
 
 /// Picks the full-size knob normally and the cheap one under --smoke.
 template <typename T>

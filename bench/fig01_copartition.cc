@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   DatabaseOptions shuffle_opts;
   shuffle_opts.adapt_enabled = false;
   shuffle_opts.planner.strategy = PlannerConfig::Strategy::kForceShuffle;
-  Database shuffle_db(shuffle_opts);
+  Database shuffle_db(bench::WithThreads(shuffle_opts));
   ADB_CHECK_OK(LoadTpch(&shuffle_db, data, 7, 6, 4));
   auto shuffle_run = shuffle_db.RunQuery(join);
   ADB_CHECK_OK(shuffle_run.status());
@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
   // Co-partitioned join: converge the adaptive loop, then measure.
   DatabaseOptions hyper_opts;
   hyper_opts.adapt.smooth.total_levels = 7;
-  Database hyper_db(hyper_opts);
+  Database hyper_db(bench::WithThreads(hyper_opts));
   ADB_CHECK_OK(LoadTpch(&hyper_db, data, 7, 6, 4));
   ADB_CHECK_OK(
       bench::ConvergeOnJoin(&hyper_db, join, bench::SmokeScale(12, 2)));

@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   cfg.num_orders = bench::SmokeScale<int64_t>(20000, 1500);
   const tpch::TpchData data = tpch::GenerateTpch(cfg);
 
-  Database db;
+  Database db(bench::WithThreads({}));
   ADB_CHECK_OK(LoadTpch(&db, data, 7, 6, 4));
   Table* lineitem = db.GetTable("lineitem").ValueOrDie();
   const std::vector<BlockId> blocks = lineitem->store()->BlockIds();

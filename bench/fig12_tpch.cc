@@ -92,7 +92,7 @@ int main(int argc, char** argv) {
     // planner (hyper-join) and with shuffle forced on the same layout.
     DatabaseOptions adb_opts;
     adb_opts.adapt.smooth.total_levels = 8;
-    Database adb(adb_opts);
+    Database adb(bench::WithThreads(adb_opts));
     ADB_CHECK_OK(LoadTpch(&adb, data, 8, 6, 4));
     Converge(&adb, name, 1);
     adb.set_adapt_enabled(false);
@@ -103,7 +103,7 @@ int main(int argc, char** argv) {
     adb.mutable_planner_config()->strategy = PlannerConfig::Strategy::kAuto;
 
     // Amoeba: selection-only adaptation, shuffle joins.
-    Database amoeba(AmoebaOptions(DatabaseOptions{}));
+    Database amoeba(bench::WithThreads(AmoebaOptions(DatabaseOptions{})));
     ADB_CHECK_OK(LoadTpch(&amoeba, data, 8, 6, 4));
     Converge(&amoeba, name, 1);
     const double t_amoeba = MeasureTemplate(&amoeba, name, 2);

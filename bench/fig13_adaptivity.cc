@@ -53,7 +53,7 @@ void RunMode(const std::string& mode, bool csv) {
           : ShiftingWorkload(tpch::TemplateNames(), per_template, 13);
 
   auto run_system = [&](DatabaseOptions opts) {
-    Database db(opts);
+    Database db(bench::WithThreads(opts));
     ADB_CHECK_OK(LoadTpch(&db, data, 8, 6, 4));
     auto result = RunWorkload(&db, stream);
     ADB_CHECK_OK(result.status());

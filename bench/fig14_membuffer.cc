@@ -65,7 +65,8 @@ int main(int argc, char** argv) {
     ADB_CHECK_OK(grouping.status());
     auto run = HyperJoin(li_store, tpch::kLOrderKey, {}, ord_store,
                          tpch::kOOrderKey, {}, overlap.ValueOrDie(),
-                         grouping.ValueOrDie(), cluster);
+                         grouping.ValueOrDie(), cluster,
+                         bench::ThreadedExecConfig());
     ADB_CHECK_OK(run.status());
     std::printf("%-22d %16.1f %20lld\n", budget,
                 cluster.SimulatedSeconds(run.ValueOrDie().io),

@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
     DatabaseOptions opts;
     opts.adapt.window_size = w;
     opts.adapt.smooth.total_levels = 6;
-    Database db(opts);
+    Database db(bench::WithThreads(opts));
     ADB_CHECK_OK(LoadTpch(&db, data, 6, 5, 4));
     auto result = RunWorkload(&db, stream);
     ADB_CHECK_OK(result.status());

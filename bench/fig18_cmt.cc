@@ -81,20 +81,20 @@ int main(int argc, char** argv) {
     return std::move(result).ValueOrDie();
   };
 
-  Database full_scan_db(FullScanOptions(DatabaseOptions{}));
+  Database full_scan_db(bench::WithThreads(FullScanOptions(DatabaseOptions{})));
   ADB_CHECK_OK(LoadCmt(&full_scan_db, data));
   const WorkloadResult full_scan = run_system(&full_scan_db);
 
   DatabaseOptions repart_opts = FullRepartitioningOptions(DatabaseOptions{});
   repart_opts.adapt.smooth.total_levels = 6;
-  Database repart_db(repart_opts);
+  Database repart_db(bench::WithThreads(repart_opts));
   ADB_CHECK_OK(LoadCmt(&repart_db, data));
   const WorkloadResult repart = run_system(&repart_db);
 
   // Best-guess fixed partitioning: attributes picked by reading the trace.
   DatabaseOptions fixed_opts;
   fixed_opts.adapt_enabled = false;
-  Database fixed_db(fixed_opts);
+  Database fixed_db(bench::WithThreads(fixed_opts));
   ADB_CHECK_OK(LoadCmt(&fixed_db, data));
   ADB_CHECK_OK(HandTune(&fixed_db, "trips", cmt::kTripId,
                         {cmt::kStartTime, cmt::kUserId}, 6));
@@ -106,7 +106,7 @@ int main(int argc, char** argv) {
 
   DatabaseOptions adb_opts;
   adb_opts.adapt.smooth.total_levels = 6;
-  Database adb(adb_opts);
+  Database adb(bench::WithThreads(adb_opts));
   ADB_CHECK_OK(LoadCmt(&adb, data));
   const WorkloadResult adaptdb = run_system(&adb);
 

@@ -1,0 +1,215 @@
+// Microbenchmark: parallel execution engine thread-count sweep.
+//
+// Builds a synthetic co-partitioned R ⋈ S workload (block-diagonal overlap
+// matrix, so the hyper-join grouping yields many balanced groups), enables
+// emulated per-block read latency to put the simulator in the I/O-bound
+// regime the paper's cluster operates in (§4.2), and sweeps the engine
+// thread count over scan, hyper-join and shuffle-join.
+//
+// For every operator the harness asserts bitwise determinism — the output
+// record sequence, JoinCounts and IoStats at N threads must equal the
+// serial executor's — and reports wall-clock speedup. Exits non-zero if
+// any thread count produces a result differing from serial.
+//
+// Usage: micro_parallel [--smoke] [--threads N]   (N extends the sweep)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "exec/hyper_join.h"
+#include "exec/scan.h"
+#include "exec/shuffle_join.h"
+#include "join/grouping.h"
+#include "join/overlap.h"
+
+using namespace adaptdb;
+
+namespace {
+
+struct Workload {
+  Workload(int32_t num_attrs) : r_store(num_attrs), s_store(num_attrs) {}
+
+  BlockStore r_store;
+  BlockStore s_store;
+  std::vector<BlockId> r_blocks;
+  std::vector<BlockId> s_blocks;
+};
+
+// Fills `store` with `n_blocks` blocks whose join keys (attribute 0) tile
+// consecutive ranges of `keys_per_block`, so R and S built with the same
+// tiling co-partition and the overlap matrix is block-diagonal.
+void FillTiled(BlockStore* store, std::vector<BlockId>* ids, int32_t n_blocks,
+               int32_t records_per_block, int64_t keys_per_block,
+               ClusterSim* cluster, uint64_t seed) {
+  Rng rng(seed);
+  for (int32_t b = 0; b < n_blocks; ++b) {
+    const BlockId id = store->CreateBlock();
+    Block* blk = store->Get(id).ValueOrDie();
+    const int64_t lo = b * keys_per_block;
+    for (int32_t i = 0; i < records_per_block; ++i) {
+      Record rec;
+      rec.reserve(2);
+      rec.push_back(Value(lo + static_cast<int64_t>(rng.Uniform(
+                                   static_cast<uint64_t>(keys_per_block)))));
+      rec.push_back(Value(rng.UniformRange(0, 999)));
+      blk->Add(rec);
+    }
+    ids->push_back(id);
+    cluster->PlaceBlock(id);
+  }
+}
+
+double WallMs(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+bool SameIo(const IoStats& a, const IoStats& b) {
+  return a.local_block_reads == b.local_block_reads &&
+         a.remote_block_reads == b.remote_block_reads &&
+         a.block_writes == b.block_writes &&
+         a.shuffled_blocks == b.shuffled_blocks;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
+  const int32_t n_blocks = bench::SmokeScale<int32_t>(128, 64);
+  const int32_t records_per_block = bench::SmokeScale<int32_t>(512, 64);
+  const int64_t latency_us = bench::SmokeScale<int64_t>(500, 400);
+  const int32_t budget = n_blocks / 16;  // >= 16 hyper-join groups.
+
+  ClusterConfig cluster_cfg;
+  cluster_cfg.emulate_read_latency_micros = latency_us;
+  ClusterSim cluster(cluster_cfg);
+  Workload w(2);
+  FillTiled(&w.r_store, &w.r_blocks, n_blocks, records_per_block, 1000,
+            &cluster, 1);
+  FillTiled(&w.s_store, &w.s_blocks, n_blocks, records_per_block, 1000,
+            &cluster, 2);
+
+  const OverlapMatrix overlap =
+      ComputeOverlap(w.r_store, w.r_blocks, 0, w.s_store, w.s_blocks, 0)
+          .ValueOrDie();
+  const Grouping grouping = BottomUpGrouping(overlap, budget).ValueOrDie();
+
+  std::vector<int32_t> sweep = {1, 2, 4, 8};
+  if (std::find(sweep.begin(), sweep.end(), bench::Threads()) ==
+      sweep.end()) {
+    sweep.push_back(bench::Threads());
+  }
+
+  bench::PrintHeader(
+      "micro_parallel",
+      "thread sweep (" + std::to_string(n_blocks) + "+" +
+          std::to_string(n_blocks) + " blocks, " +
+          std::to_string(records_per_block) + " rec/block, " +
+          std::to_string(latency_us) + "us emulated read latency)");
+
+  bool all_match = true;
+  double hyper_speedup_at_8 = 0;
+
+  // --- Scan -------------------------------------------------------------
+  ScanResult scan_base;
+  double scan_t1 = 0;
+  for (int32_t threads : sweep) {
+    ExecConfig config;
+    config.num_threads = threads;
+    const auto t0 = std::chrono::steady_clock::now();
+    const ScanResult r =
+        ScanBlocks(w.r_store, w.r_blocks, {}, cluster, config,
+                   /*skip_by_ranges=*/false)
+            .ValueOrDie();
+    const double ms = WallMs(t0);
+    if (threads == 1) {
+      scan_base = r;
+      scan_t1 = ms;
+    }
+    const bool match = r.rows_matched == scan_base.rows_matched &&
+                       r.blocks_read == scan_base.blocks_read &&
+                       SameIo(r.io, scan_base.io);
+    all_match = all_match && match;
+    char label[64];
+    std::snprintf(label, sizeof(label), "scan         %2d thread(s) [%s]",
+                  threads, match ? "ok" : "MISMATCH");
+    std::printf("%-42s %9.1f wall-ms  %5.2fx\n", label, ms, scan_t1 / ms);
+  }
+
+  // --- Hyper-join -------------------------------------------------------
+  JoinExecResult hyper_base;
+  std::vector<Record> hyper_base_rows;
+  double hyper_t1 = 0;
+  for (int32_t threads : sweep) {
+    ExecConfig config;
+    config.num_threads = threads;
+    std::vector<Record> rows;
+    const auto t0 = std::chrono::steady_clock::now();
+    const JoinExecResult r =
+        HyperJoin(w.r_store, 0, {}, w.s_store, 0, {}, overlap, grouping,
+                  cluster, config, &rows)
+            .ValueOrDie();
+    const double ms = WallMs(t0);
+    if (threads == 1) {
+      hyper_base = r;
+      hyper_base_rows = std::move(rows);
+      hyper_t1 = ms;
+    }
+    const bool match =
+        r.counts.output_rows == hyper_base.counts.output_rows &&
+        r.counts.checksum == hyper_base.counts.checksum &&
+        r.r_blocks_read == hyper_base.r_blocks_read &&
+        r.s_blocks_read == hyper_base.s_blocks_read &&
+        SameIo(r.io, hyper_base.io) &&
+        (threads == 1 || rows == hyper_base_rows);
+    all_match = all_match && match;
+    if (threads == 8) hyper_speedup_at_8 = hyper_t1 / ms;
+    char label[64];
+    std::snprintf(label, sizeof(label), "hyper-join   %2d thread(s) [%s]",
+                  threads, match ? "ok" : "MISMATCH");
+    std::printf("%-42s %9.1f wall-ms  %5.2fx\n", label, ms, hyper_t1 / ms);
+  }
+
+  // --- Shuffle join -----------------------------------------------------
+  JoinExecResult shuffle_base;
+  std::vector<Record> shuffle_base_rows;
+  double shuffle_t1 = 0;
+  for (int32_t threads : sweep) {
+    ExecConfig config;
+    config.num_threads = threads;
+    std::vector<Record> rows;
+    const auto t0 = std::chrono::steady_clock::now();
+    const JoinExecResult r =
+        ShuffleJoin(w.r_store, w.r_blocks, 0, {}, w.s_store, w.s_blocks, 0,
+                    {}, cluster, config, &rows)
+            .ValueOrDie();
+    const double ms = WallMs(t0);
+    if (threads == 1) {
+      shuffle_base = r;
+      shuffle_base_rows = std::move(rows);
+      shuffle_t1 = ms;
+    }
+    const bool match =
+        r.counts.output_rows == shuffle_base.counts.output_rows &&
+        r.counts.checksum == shuffle_base.counts.checksum &&
+        SameIo(r.io, shuffle_base.io) &&
+        (threads == 1 || rows == shuffle_base_rows);
+    all_match = all_match && match;
+    char label[64];
+    std::snprintf(label, sizeof(label), "shuffle-join %2d thread(s) [%s]",
+                  threads, match ? "ok" : "MISMATCH");
+    std::printf("%-42s %9.1f wall-ms  %5.2fx\n", label, ms, shuffle_t1 / ms);
+  }
+
+  std::printf("\nhyper-join speedup at 8 threads: %.2fx (target >= 2x)\n",
+              hyper_speedup_at_8);
+  std::printf("determinism across thread counts: %s\n",
+              all_match ? "ok (outputs, counts and IoStats identical)"
+                        : "FAILED");
+  return all_match ? 0 : 1;
+}

@@ -1,0 +1,37 @@
+/// \file exec_config.h
+/// \brief Execution-engine configuration shared by all executors.
+
+#ifndef ADAPTDB_EXEC_EXEC_CONFIG_H_
+#define ADAPTDB_EXEC_EXEC_CONFIG_H_
+
+#include <cstdint>
+
+namespace adaptdb {
+
+/// \brief Knobs of the (optionally parallel) execution engine.
+///
+/// Executors taking an ExecConfig run single-threaded when num_threads <= 1
+/// and delegate to the src/parallel/ drivers otherwise. The parallel paths
+/// are bitwise-deterministic: work is decomposed by fixed-size morsel (or
+/// per group / per partition), independent of the thread count, and partial
+/// results merge in serial execution order — so any thread count produces
+/// the same output sequence and IoStats as one thread.
+///
+/// Caveat: the ExecConfig overload of ScanAggregate applies the fixed
+/// morsel decomposition even at num_threads == 1 (that is what makes
+/// kSum/kAvg over doubles thread-count-invariant), so its result can differ
+/// in the last ulp from the legacy non-config overload's single running
+/// sum. See scan.h for details.
+struct ExecConfig {
+  /// Worker threads for scans and joins. 1 executes serially (for
+  /// ScanAggregate, serially over the same fixed morsels — see above).
+  int32_t num_threads = 1;
+  /// Blocks per scan/shuffle-map morsel. Fixed independently of
+  /// num_threads so the work decomposition (and hence floating-point
+  /// aggregation order) never varies with parallelism.
+  int32_t morsel_blocks = 8;
+};
+
+}  // namespace adaptdb
+
+#endif  // ADAPTDB_EXEC_EXEC_CONFIG_H_

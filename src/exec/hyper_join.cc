@@ -1,5 +1,7 @@
 #include "exec/hyper_join.h"
 
+#include "parallel/parallel_hyper_join.h"
+
 namespace adaptdb {
 
 Result<JoinExecResult> HyperJoin(const BlockStore& r_store, AttrId r_attr,
@@ -23,25 +25,46 @@ Result<JoinExecResult> HyperJoin(const BlockStore& r_store, AttrId r_attr,
     BitVector needed(overlap.NumS());
     for (size_t i : group) {
       const BlockId rb = overlap.r_blocks[i];
-      auto blk = r_store.Get(rb);
-      if (!blk.ok()) return blk.status();
+      const Block* blk = r_store.GetOrNull(rb);
+      if (blk == nullptr) {
+        return Status::NotFound("block " + std::to_string(rb));
+      }
       cluster.ReadBlock(rb, worker, &out.io);
       ++out.r_blocks_read;
-      index.AddBlock(*blk.ValueOrDie(), r_preds);
+      index.AddBlock(*blk, r_preds);
       needed.OrWith(overlap.vectors[i]);
     }
 
     // Probe side: every overlapping S block, streamed one at a time.
     for (size_t j : needed.SetBits()) {
       const BlockId sb = overlap.s_blocks[j];
-      auto blk = s_store.Get(sb);
-      if (!blk.ok()) return blk.status();
+      const Block* blk = s_store.GetOrNull(sb);
+      if (blk == nullptr) {
+        return Status::NotFound("block " + std::to_string(sb));
+      }
       cluster.ReadBlock(sb, worker, &out.io);
       ++out.s_blocks_read;
-      index.Probe(*blk.ValueOrDie(), s_attr, s_preds, &out.counts, output);
+      index.Probe(*blk, s_attr, s_preds, &out.counts, output);
     }
   }
   return out;
+}
+
+Result<JoinExecResult> HyperJoin(const BlockStore& r_store, AttrId r_attr,
+                                 const PredicateSet& r_preds,
+                                 const BlockStore& s_store, AttrId s_attr,
+                                 const PredicateSet& s_preds,
+                                 const OverlapMatrix& overlap,
+                                 const Grouping& grouping,
+                                 const ClusterSim& cluster,
+                                 const ExecConfig& config,
+                                 std::vector<Record>* output) {
+  if (config.num_threads <= 1) {
+    return HyperJoin(r_store, r_attr, r_preds, s_store, s_attr, s_preds,
+                     overlap, grouping, cluster, output);
+  }
+  return ParallelHyperJoin(r_store, r_attr, r_preds, s_store, s_attr, s_preds,
+                           overlap, grouping, cluster, config, output);
 }
 
 }  // namespace adaptdb

@@ -11,6 +11,7 @@
 #define ADAPTDB_EXEC_HYPER_JOIN_H_
 
 #include "common/result.h"
+#include "exec/exec_config.h"
 #include "exec/shuffle_join.h"
 #include "join/grouping.h"
 #include "join/overlap.h"
@@ -30,6 +31,19 @@ Result<JoinExecResult> HyperJoin(const BlockStore& r_store, AttrId r_attr,
                                  const OverlapMatrix& overlap,
                                  const Grouping& grouping,
                                  const ClusterSim& cluster,
+                                 std::vector<Record>* output = nullptr);
+
+/// ExecConfig entry point: serial at num_threads <= 1, one task per group
+/// on a work-stealing pool otherwise (src/parallel/parallel_hyper_join.h).
+/// Output sequence and IoStats are identical at any thread count.
+Result<JoinExecResult> HyperJoin(const BlockStore& r_store, AttrId r_attr,
+                                 const PredicateSet& r_preds,
+                                 const BlockStore& s_store, AttrId s_attr,
+                                 const PredicateSet& s_preds,
+                                 const OverlapMatrix& overlap,
+                                 const Grouping& grouping,
+                                 const ClusterSim& cluster,
+                                 const ExecConfig& config,
                                  std::vector<Record>* output = nullptr);
 
 }  // namespace adaptdb

@@ -1,5 +1,7 @@
 #include "exec/scan.h"
 
+#include "parallel/parallel_scan.h"
+
 namespace adaptdb {
 
 Result<AggregateResult> ScanAggregate(const BlockStore& store,
@@ -91,6 +93,31 @@ Result<ScanResult> ScanBlocks(const BlockStore& store,
     }
   }
   return out;
+}
+
+Result<ScanResult> ScanBlocks(const BlockStore& store,
+                              const std::vector<BlockId>& blocks,
+                              const PredicateSet& preds,
+                              const ClusterSim& cluster,
+                              const ExecConfig& config, bool skip_by_ranges) {
+  if (config.num_threads <= 1) {
+    return ScanBlocks(store, blocks, preds, cluster, skip_by_ranges);
+  }
+  return ParallelScan(store, blocks, preds, cluster, config, skip_by_ranges);
+}
+
+Result<AggregateResult> ScanAggregate(const BlockStore& store,
+                                      const std::vector<BlockId>& blocks,
+                                      const PredicateSet& preds,
+                                      const ClusterSim& cluster, AttrId attr,
+                                      AggFn fn, const ExecConfig& config,
+                                      bool skip_by_ranges) {
+  // Always delegate: the driver applies the fixed morsel decomposition at
+  // every thread count (inline when num_threads <= 1), which is what makes
+  // kSum/kAvg float grouping — and hence the result — thread-count
+  // invariant through this entry point.
+  return ParallelScanAggregate(store, blocks, preds, cluster, attr, fn,
+                               config, skip_by_ranges);
 }
 
 }  // namespace adaptdb

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "exec/exec_config.h"
 #include "schema/predicate.h"
 #include "storage/block_store.h"
 #include "storage/cluster.h"
@@ -30,6 +31,16 @@ Result<ScanResult> ScanBlocks(const BlockStore& store,
                               const std::vector<BlockId>& blocks,
                               const PredicateSet& preds,
                               const ClusterSim& cluster,
+                              bool skip_by_ranges = true);
+
+/// ExecConfig entry point: runs the serial scan at num_threads <= 1 and the
+/// morsel-parallel driver (src/parallel/parallel_scan.h) otherwise.
+/// Results are identical at any thread count.
+Result<ScanResult> ScanBlocks(const BlockStore& store,
+                              const std::vector<BlockId>& blocks,
+                              const PredicateSet& preds,
+                              const ClusterSim& cluster,
+                              const ExecConfig& config,
                               bool skip_by_ranges = true);
 
 /// \brief Aggregate functions supported by the scan path (the map-side
@@ -60,6 +71,19 @@ Result<AggregateResult> ScanAggregate(const BlockStore& store,
                                       const PredicateSet& preds,
                                       const ClusterSim& cluster, AttrId attr,
                                       AggFn fn, bool skip_by_ranges = true);
+
+/// ExecConfig entry point for ScanAggregate. Results are identical at any
+/// thread count: the driver applies the same fixed morsel decomposition
+/// whether it runs inline (num_threads <= 1) or on the pool. Caveat: for
+/// kSum/kAvg over kDouble attributes the morsel-grouped summation may
+/// differ in the last ulp from the *legacy* overload above (which keeps a
+/// single running sum); integer attributes are always bit-identical.
+Result<AggregateResult> ScanAggregate(const BlockStore& store,
+                                      const std::vector<BlockId>& blocks,
+                                      const PredicateSet& preds,
+                                      const ClusterSim& cluster, AttrId attr,
+                                      AggFn fn, const ExecConfig& config,
+                                      bool skip_by_ranges = true);
 
 }  // namespace adaptdb
 

@@ -1,5 +1,8 @@
 #include "exec/shuffle_join.h"
 
+#include "exec/shuffle_kernels.h"
+#include "parallel/parallel_shuffle_join.h"
+
 namespace adaptdb {
 
 Result<JoinExecResult> ShuffleJoin(
@@ -9,69 +12,48 @@ Result<JoinExecResult> ShuffleJoin(
     const PredicateSet& s_preds, const ClusterSim& cluster,
     std::vector<Record>* output) {
   JoinExecResult out;
-  const int32_t num_partitions = cluster.num_nodes();
+  const size_t num_partitions = static_cast<size_t>(cluster.num_nodes());
 
   // Phase 1: map-side read + filter + hash partition. Each input block is
   // read locally by its own map task and its filtered contents shuffled.
-  std::vector<std::vector<const Record*>> r_parts(
-      static_cast<size_t>(num_partitions));
-  std::vector<std::vector<const Record*>> s_parts(
-      static_cast<size_t>(num_partitions));
+  std::vector<std::vector<const Record*>> r_parts(num_partitions);
+  std::vector<std::vector<const Record*>> s_parts(num_partitions);
 
   for (BlockId id : r_blocks) {
-    auto blk = r_store.Get(id);
-    if (!blk.ok()) return blk.status();
-    auto node = cluster.Locate(id);
-    cluster.ReadBlock(id, node.ok() ? node.ValueOrDie() : 0, &out.io);
+    ADB_RETURN_NOT_OK(shuffle_internal::MapBlock(
+        r_store, id, r_attr, r_preds, cluster, &r_parts, &out.io));
     ++out.r_blocks_read;
-    for (const Record& rec : blk.ValueOrDie()->records()) {
-      if (!MatchesAll(r_preds, rec)) continue;
-      const size_t p = HashValue(rec[static_cast<size_t>(r_attr)]) %
-                       static_cast<size_t>(num_partitions);
-      r_parts[p].push_back(&rec);
-    }
   }
   for (BlockId id : s_blocks) {
-    auto blk = s_store.Get(id);
-    if (!blk.ok()) return blk.status();
-    auto node = cluster.Locate(id);
-    cluster.ReadBlock(id, node.ok() ? node.ValueOrDie() : 0, &out.io);
+    ADB_RETURN_NOT_OK(shuffle_internal::MapBlock(
+        s_store, id, s_attr, s_preds, cluster, &s_parts, &out.io));
     ++out.s_blocks_read;
-    for (const Record& rec : blk.ValueOrDie()->records()) {
-      if (!MatchesAll(s_preds, rec)) continue;
-      const size_t p = HashValue(rec[static_cast<size_t>(s_attr)]) %
-                       static_cast<size_t>(num_partitions);
-      s_parts[p].push_back(&rec);
-    }
   }
   // Every input block's data crosses the shuffle (spill write + remote read).
   cluster.ShuffleBlocks(
       static_cast<int64_t>(r_blocks.size() + s_blocks.size()), &out.io);
 
   // Phase 2: per-partition hash join (build on R, probe with S).
-  for (int32_t p = 0; p < num_partitions; ++p) {
-    std::unordered_map<Value, std::vector<const Record*>, ValueHash> index;
-    for (const Record* rec : r_parts[static_cast<size_t>(p)]) {
-      index[(*rec)[static_cast<size_t>(r_attr)]].push_back(rec);
-    }
-    for (const Record* rec : s_parts[static_cast<size_t>(p)]) {
-      const Value& key = (*rec)[static_cast<size_t>(s_attr)];
-      auto it = index.find(key);
-      if (it == index.end()) continue;
-      const auto& bucket = it->second;
-      out.counts.output_rows += static_cast<int64_t>(bucket.size());
-      out.counts.checksum += static_cast<uint64_t>(bucket.size()) *
-                             (static_cast<uint64_t>(HashValue(key)) | 1);
-      if (output != nullptr) {
-        for (const Record* build : bucket) {
-          Record joined = *build;
-          joined.insert(joined.end(), rec->begin(), rec->end());
-          output->push_back(std::move(joined));
-        }
-      }
-    }
+  for (size_t p = 0; p < num_partitions; ++p) {
+    shuffle_internal::BuildProbePartition(r_parts[p], r_attr, s_parts[p],
+                                          s_attr, &out.counts, output);
   }
   return out;
+}
+
+Result<JoinExecResult> ShuffleJoin(
+    const BlockStore& r_store, const std::vector<BlockId>& r_blocks,
+    AttrId r_attr, const PredicateSet& r_preds, const BlockStore& s_store,
+    const std::vector<BlockId>& s_blocks, AttrId s_attr,
+    const PredicateSet& s_preds, const ClusterSim& cluster,
+    const ExecConfig& config, std::vector<Record>* output) {
+  if (config.num_threads <= 1) {
+    return ShuffleJoin(r_store, r_blocks, r_attr, r_preds, s_store, s_blocks,
+                       s_attr, s_preds, cluster, output);
+  }
+  return ParallelShuffleJoin(r_store, r_blocks, r_attr, r_preds, s_store,
+                             s_blocks, s_attr, s_preds, cluster, config,
+                             output);
 }
 
 }  // namespace adaptdb

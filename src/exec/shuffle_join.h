@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "exec/exec_config.h"
 #include "exec/hash_join.h"
 #include "storage/block_store.h"
 #include "storage/cluster.h"
@@ -36,6 +37,17 @@ Result<JoinExecResult> ShuffleJoin(
     const std::vector<BlockId>& s_blocks, AttrId s_attr,
     const PredicateSet& s_preds, const ClusterSim& cluster,
     std::vector<Record>* output = nullptr);
+
+/// ExecConfig entry point: serial at num_threads <= 1; otherwise a parallel
+/// partition phase followed by per-destination build/probe tasks
+/// (src/parallel/parallel_shuffle_join.h). Output sequence and IoStats are
+/// identical at any thread count.
+Result<JoinExecResult> ShuffleJoin(
+    const BlockStore& r_store, const std::vector<BlockId>& r_blocks,
+    AttrId r_attr, const PredicateSet& r_preds, const BlockStore& s_store,
+    const std::vector<BlockId>& s_blocks, AttrId s_attr,
+    const PredicateSet& s_preds, const ClusterSim& cluster,
+    const ExecConfig& config, std::vector<Record>* output = nullptr);
 
 }  // namespace adaptdb
 

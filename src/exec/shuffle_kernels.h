@@ -1,0 +1,76 @@
+/// \file shuffle_kernels.h
+/// \brief Shared building blocks of the serial and parallel shuffle join.
+///
+/// Both exec/shuffle_join.cc and parallel/parallel_shuffle_join.cc execute
+/// exactly these kernels — the parallel driver only changes *which thread*
+/// runs them and merges per-task partials in serial order. Keeping the map
+/// and build/probe logic (including the checksum formula) in one place is
+/// what guarantees the two paths cannot drift apart.
+
+#ifndef ADAPTDB_EXEC_SHUFFLE_KERNELS_H_
+#define ADAPTDB_EXEC_SHUFFLE_KERNELS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/hash_join.h"
+#include "storage/block_store.h"
+#include "storage/cluster.h"
+
+namespace adaptdb::shuffle_internal {
+
+/// Map-side kernel for one block: read + account + filter + hash-partition
+/// record pointers into parts[key_hash % parts->size()].
+inline Status MapBlock(const BlockStore& store, BlockId id, AttrId attr,
+                       const PredicateSet& preds, const ClusterSim& cluster,
+                       std::vector<std::vector<const Record*>>* parts,
+                       IoStats* io) {
+  const Block* blk = store.GetOrNull(id);
+  if (blk == nullptr) {
+    return Status::NotFound("block " + std::to_string(id));
+  }
+  auto node = cluster.Locate(id);
+  cluster.ReadBlock(id, node.ok() ? node.ValueOrDie() : 0, io);
+  for (const Record& rec : blk->records()) {
+    if (!MatchesAll(preds, rec)) continue;
+    const size_t p =
+        HashValue(rec[static_cast<size_t>(attr)]) % parts->size();
+    (*parts)[p].push_back(&rec);
+  }
+  return Status::OK();
+}
+
+/// Reduce-side kernel for one partition: build a hash index on the R
+/// records, probe with the S records in order, accumulate counts and
+/// (when `output` is non-null) materialize build ++ probe rows.
+inline void BuildProbePartition(const std::vector<const Record*>& r_part,
+                                AttrId r_attr,
+                                const std::vector<const Record*>& s_part,
+                                AttrId s_attr, JoinCounts* counts,
+                                std::vector<Record>* output) {
+  std::unordered_map<Value, std::vector<const Record*>, ValueHash> index;
+  for (const Record* rec : r_part) {
+    index[(*rec)[static_cast<size_t>(r_attr)]].push_back(rec);
+  }
+  for (const Record* rec : s_part) {
+    const Value& key = (*rec)[static_cast<size_t>(s_attr)];
+    auto it = index.find(key);
+    if (it == index.end()) continue;
+    const auto& bucket = it->second;
+    counts->output_rows += static_cast<int64_t>(bucket.size());
+    counts->checksum += static_cast<uint64_t>(bucket.size()) *
+                        (static_cast<uint64_t>(HashValue(key)) | 1);
+    if (output != nullptr) {
+      for (const Record* build : bucket) {
+        Record joined = *build;
+        joined.insert(joined.end(), rec->begin(), rec->end());
+        output->push_back(std::move(joined));
+      }
+    }
+  }
+}
+
+}  // namespace adaptdb::shuffle_internal
+
+#endif  // ADAPTDB_EXEC_SHUFFLE_KERNELS_H_

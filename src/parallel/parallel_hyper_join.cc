@@ -1,0 +1,68 @@
+#include "parallel/parallel_hyper_join.h"
+
+#include <iterator>
+#include <utility>
+
+#include "exec/hyper_join.h"
+#include "parallel/task_pool.h"
+
+namespace adaptdb {
+
+Result<JoinExecResult> ParallelHyperJoin(
+    const BlockStore& r_store, AttrId r_attr, const PredicateSet& r_preds,
+    const BlockStore& s_store, AttrId s_attr, const PredicateSet& s_preds,
+    const OverlapMatrix& overlap, const Grouping& grouping,
+    const ClusterSim& cluster, const ExecConfig& config,
+    std::vector<Record>* output) {
+  const int64_t num_groups = static_cast<int64_t>(grouping.groups.size());
+  if (config.num_threads <= 1 || num_groups <= 1) {
+    return HyperJoin(r_store, r_attr, r_preds, s_store, s_attr, s_preds,
+                     overlap, grouping, cluster, output);
+  }
+
+  // One task per group: each runs the serial executor over a single-group
+  // grouping into its own slot, so per-group behavior cannot drift from
+  // the serial path.
+  struct Partial {
+    Status status;
+    JoinExecResult result;
+    std::vector<Record> rows;
+  };
+  std::vector<Partial> partials(static_cast<size_t>(num_groups));
+  const bool materialize = output != nullptr;
+  FirstFailure failed;
+  TaskPool pool(config.num_threads);
+  pool.ParallelFor(0, num_groups, [&](int64_t g) {
+    if (!failed.ShouldRun(g)) return;  // Serial would have aborted by here.
+    Partial& p = partials[static_cast<size_t>(g)];
+    Grouping one;
+    one.groups.push_back(grouping.groups[static_cast<size_t>(g)]);
+    auto run = HyperJoin(r_store, r_attr, r_preds, s_store, s_attr, s_preds,
+                         overlap, one, cluster,
+                         materialize ? &p.rows : nullptr);
+    if (run.ok()) {
+      p.result = std::move(run).ValueOrDie();
+    } else {
+      p.status = run.status();
+      failed.Record(g);
+    }
+  });
+
+  // Merge in group order: the serial executor processes groups in exactly
+  // this order, so the concatenated output sequence is identical.
+  JoinExecResult out;
+  for (Partial& p : partials) {
+    if (!p.status.ok()) return p.status;
+    out.counts.Merge(p.result.counts);
+    out.r_blocks_read += p.result.r_blocks_read;
+    out.s_blocks_read += p.result.s_blocks_read;
+    out.io.Merge(p.result.io);
+    if (materialize) {
+      output->insert(output->end(), std::make_move_iterator(p.rows.begin()),
+                     std::make_move_iterator(p.rows.end()));
+    }
+  }
+  return out;
+}
+
+}  // namespace adaptdb

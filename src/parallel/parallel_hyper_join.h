@@ -1,0 +1,36 @@
+/// \file parallel_hyper_join.h
+/// \brief Task-parallel hyper-join driver.
+///
+/// The hyper-join is embarrassingly parallel by construction (paper §4.1):
+/// each grouping group builds one hash table and probes its overlapping S
+/// blocks independently. The driver runs one task per group on a
+/// work-stealing TaskPool; every task accumulates into its own
+/// JoinExecResult and output buffer, and the partials merge in group order
+/// — producing the exact output sequence and IoStats of the serial
+/// HyperJoin at any thread count.
+
+#ifndef ADAPTDB_PARALLEL_PARALLEL_HYPER_JOIN_H_
+#define ADAPTDB_PARALLEL_PARALLEL_HYPER_JOIN_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "exec/exec_config.h"
+#include "exec/shuffle_join.h"
+#include "join/grouping.h"
+#include "join/overlap.h"
+
+namespace adaptdb {
+
+/// Parallel hyper-join: same contract and (deterministically) identical
+/// results as the serial HyperJoin.
+Result<JoinExecResult> ParallelHyperJoin(
+    const BlockStore& r_store, AttrId r_attr, const PredicateSet& r_preds,
+    const BlockStore& s_store, AttrId s_attr, const PredicateSet& s_preds,
+    const OverlapMatrix& overlap, const Grouping& grouping,
+    const ClusterSim& cluster, const ExecConfig& config,
+    std::vector<Record>* output = nullptr);
+
+}  // namespace adaptdb
+
+#endif  // ADAPTDB_PARALLEL_PARALLEL_HYPER_JOIN_H_

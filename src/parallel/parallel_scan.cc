@@ -1,0 +1,165 @@
+#include "parallel/parallel_scan.h"
+
+#include <algorithm>
+
+#include "parallel/task_pool.h"
+
+namespace adaptdb {
+
+namespace {
+
+/// Number of fixed-size morsels covering `n` blocks.
+int64_t NumMorsels(int64_t n, int64_t morsel) {
+  return (n + morsel - 1) / morsel;
+}
+
+}  // namespace
+
+Result<ScanResult> ParallelScan(const BlockStore& store,
+                                const std::vector<BlockId>& blocks,
+                                const PredicateSet& preds,
+                                const ClusterSim& cluster,
+                                const ExecConfig& config,
+                                bool skip_by_ranges) {
+  const int64_t n = static_cast<int64_t>(blocks.size());
+  const int64_t morsel = std::max<int64_t>(1, config.morsel_blocks);
+  const int64_t num_morsels = NumMorsels(n, morsel);
+  if (config.num_threads <= 1 || num_morsels <= 1) {
+    return ScanBlocks(store, blocks, preds, cluster, skip_by_ranges);
+  }
+
+  // Each morsel scans through the serial executor into its own slot; slots
+  // merge in morsel order, so counters match the serial path exactly.
+  struct Partial {
+    Status status;
+    ScanResult result;
+  };
+  std::vector<Partial> partials(static_cast<size_t>(num_morsels));
+  FirstFailure failed;
+  TaskPool pool(config.num_threads);
+  pool.ParallelFor(0, num_morsels, [&](int64_t i) {
+    if (!failed.ShouldRun(i)) return;  // Serial would have aborted by here.
+    const int64_t lo = i * morsel;
+    const int64_t hi = std::min<int64_t>(n, lo + morsel);
+    const std::vector<BlockId> chunk(blocks.begin() + lo, blocks.begin() + hi);
+    auto run = ScanBlocks(store, chunk, preds, cluster, skip_by_ranges);
+    Partial& p = partials[static_cast<size_t>(i)];
+    if (run.ok()) {
+      p.result = std::move(run).ValueOrDie();
+    } else {
+      p.status = run.status();
+      failed.Record(i);
+    }
+  });
+
+  ScanResult out;
+  for (const Partial& p : partials) {
+    if (!p.status.ok()) return p.status;
+    out.rows_matched += p.result.rows_matched;
+    out.blocks_read += p.result.blocks_read;
+    out.blocks_skipped += p.result.blocks_skipped;
+    out.io.Merge(p.result.io);
+  }
+  return out;
+}
+
+Result<AggregateResult> ParallelScanAggregate(
+    const BlockStore& store, const std::vector<BlockId>& blocks,
+    const PredicateSet& preds, const ClusterSim& cluster, AttrId attr,
+    AggFn fn, const ExecConfig& config, bool skip_by_ranges) {
+  const int64_t n = static_cast<int64_t>(blocks.size());
+  const int64_t morsel = std::max<int64_t>(1, config.morsel_blocks);
+  const int64_t num_morsels = NumMorsels(n, morsel);
+  if (num_morsels <= 1) {
+    return ScanAggregate(store, blocks, preds, cluster, attr, fn,
+                         skip_by_ranges);
+  }
+
+  // Per-morsel aggregation through the serial executor; kAvg decomposes
+  // into per-morsel kSum (an average of averages would be wrong). The
+  // morsel decomposition runs even at num_threads <= 1 (inline, no pool),
+  // so this entry point's floating-point grouping — and hence its result —
+  // is bit-identical at every thread count.
+  const AggFn morsel_fn = fn == AggFn::kAvg ? AggFn::kSum : fn;
+  struct Partial {
+    Status status;
+    AggregateResult result;
+  };
+  std::vector<Partial> partials(static_cast<size_t>(num_morsels));
+  FirstFailure failed;
+  auto run_morsel = [&](int64_t i) {
+    if (!failed.ShouldRun(i)) return;  // Serial would have aborted by here.
+    const int64_t lo = i * morsel;
+    const int64_t hi = std::min<int64_t>(n, lo + morsel);
+    const std::vector<BlockId> chunk(blocks.begin() + lo, blocks.begin() + hi);
+    auto run = ScanAggregate(store, chunk, preds, cluster, attr, morsel_fn,
+                             skip_by_ranges);
+    Partial& p = partials[static_cast<size_t>(i)];
+    if (run.ok()) {
+      p.result = std::move(run).ValueOrDie();
+    } else {
+      p.status = run.status();
+      failed.Record(i);
+    }
+  };
+  if (config.num_threads <= 1) {
+    for (int64_t i = 0; i < num_morsels; ++i) run_morsel(i);
+  } else {
+    TaskPool pool(config.num_threads);
+    pool.ParallelFor(0, num_morsels, run_morsel);
+  }
+
+  AggregateResult out;
+  double sum = 0;
+  bool have_extreme = false;
+  Value extreme;
+  for (const Partial& p : partials) {
+    if (!p.status.ok()) return p.status;
+    out.rows_aggregated += p.result.rows_aggregated;
+    out.scan.rows_matched += p.result.scan.rows_matched;
+    out.scan.blocks_read += p.result.scan.blocks_read;
+    out.scan.blocks_skipped += p.result.scan.blocks_skipped;
+    out.scan.io.Merge(p.result.scan.io);
+    if (p.result.rows_aggregated == 0) continue;
+    switch (fn) {
+      case AggFn::kCount:
+        break;
+      case AggFn::kSum:
+      case AggFn::kAvg:
+        sum += p.result.value.AsNumeric();
+        break;
+      case AggFn::kMin:
+        if (!have_extreme || p.result.value < extreme) {
+          extreme = p.result.value;
+        }
+        have_extreme = true;
+        break;
+      case AggFn::kMax:
+        if (!have_extreme || extreme < p.result.value) {
+          extreme = p.result.value;
+        }
+        have_extreme = true;
+        break;
+    }
+  }
+  switch (fn) {
+    case AggFn::kCount:
+      out.value = Value(out.rows_aggregated);
+      break;
+    case AggFn::kSum:
+      out.value = Value(sum);
+      break;
+    case AggFn::kAvg:
+      out.value = out.rows_aggregated > 0
+                      ? Value(sum / static_cast<double>(out.rows_aggregated))
+                      : Value(int64_t{0});
+      break;
+    case AggFn::kMin:
+    case AggFn::kMax:
+      out.value = have_extreme ? extreme : Value(int64_t{0});
+      break;
+  }
+  return out;
+}
+
+}  // namespace adaptdb

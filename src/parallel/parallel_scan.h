@@ -1,0 +1,42 @@
+/// \file parallel_scan.h
+/// \brief Morsel-parallel scan drivers.
+///
+/// Blocks are split into fixed-size morsels (ExecConfig::morsel_blocks,
+/// independent of thread count) and scanned by a work-stealing TaskPool;
+/// each morsel accumulates into its own ScanResult/aggregate slot and the
+/// slots merge in morsel order. ParallelScanAggregate applies the morsel
+/// decomposition even at num_threads <= 1 (inline, without a pool), so its
+/// results — including kSum/kAvg floating-point grouping — are
+/// bit-identical at every thread count. Integer counters additionally match
+/// the legacy serial executor exactly; double-attribute sums may differ
+/// from the legacy single-running-sum path in the last ulp.
+
+#ifndef ADAPTDB_PARALLEL_PARALLEL_SCAN_H_
+#define ADAPTDB_PARALLEL_PARALLEL_SCAN_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "exec/exec_config.h"
+#include "exec/scan.h"
+
+namespace adaptdb {
+
+/// Parallel ScanBlocks: same contract and results as the serial overload.
+Result<ScanResult> ParallelScan(const BlockStore& store,
+                                const std::vector<BlockId>& blocks,
+                                const PredicateSet& preds,
+                                const ClusterSim& cluster,
+                                const ExecConfig& config,
+                                bool skip_by_ranges = true);
+
+/// Parallel ScanAggregate: same contract as the serial overload (see the
+/// file comment for the floating-point caveat on kSum/kAvg).
+Result<AggregateResult> ParallelScanAggregate(
+    const BlockStore& store, const std::vector<BlockId>& blocks,
+    const PredicateSet& preds, const ClusterSim& cluster, AttrId attr,
+    AggFn fn, const ExecConfig& config, bool skip_by_ranges = true);
+
+}  // namespace adaptdb
+
+#endif  // ADAPTDB_PARALLEL_PARALLEL_SCAN_H_

@@ -1,0 +1,143 @@
+#include "parallel/parallel_shuffle_join.h"
+
+#include <algorithm>
+#include <iterator>
+#include <utility>
+
+#include "exec/shuffle_kernels.h"
+#include "parallel/task_pool.h"
+
+namespace adaptdb {
+
+namespace {
+
+/// One map morsel's output: filtered record pointers bucketed by
+/// destination partition, plus the I/O the morsel incurred.
+struct MapPartial {
+  Status status;
+  std::vector<std::vector<const Record*>> parts;
+  IoStats io;
+  int64_t blocks_read = 0;
+};
+
+/// Reads, filters and hash-partitions one fixed-size morsel of `blocks`
+/// into `p`. Partials are indexed by morsel, so concatenating them in
+/// morsel order reproduces the serial block-order record sequence.
+void MapMorsel(const BlockStore& store, const std::vector<BlockId>& blocks,
+               AttrId attr, const PredicateSet& preds,
+               const ClusterSim& cluster, int32_t num_partitions,
+               int64_t morsel, int64_t m, MapPartial* p) {
+  p->parts.resize(static_cast<size_t>(num_partitions));
+  const int64_t n = static_cast<int64_t>(blocks.size());
+  const int64_t lo = m * morsel;
+  const int64_t hi = std::min<int64_t>(n, lo + morsel);
+  for (int64_t i = lo; i < hi; ++i) {
+    const BlockId id = blocks[static_cast<size_t>(i)];
+    p->status = shuffle_internal::MapBlock(store, id, attr, preds, cluster,
+                                           &p->parts, &p->io);
+    if (!p->status.ok()) return;
+    ++p->blocks_read;
+  }
+}
+
+/// Concatenates per-morsel buckets for `partition` in morsel order.
+std::vector<const Record*> GatherPartition(
+    const std::vector<MapPartial>& partials, size_t partition) {
+  size_t total = 0;
+  for (const MapPartial& p : partials) total += p.parts[partition].size();
+  std::vector<const Record*> out;
+  out.reserve(total);
+  for (const MapPartial& p : partials) {
+    out.insert(out.end(), p.parts[partition].begin(),
+               p.parts[partition].end());
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<JoinExecResult> ParallelShuffleJoin(
+    const BlockStore& r_store, const std::vector<BlockId>& r_blocks,
+    AttrId r_attr, const PredicateSet& r_preds, const BlockStore& s_store,
+    const std::vector<BlockId>& s_blocks, AttrId s_attr,
+    const PredicateSet& s_preds, const ClusterSim& cluster,
+    const ExecConfig& config, std::vector<Record>* output) {
+  if (config.num_threads <= 1) {
+    return ShuffleJoin(r_store, r_blocks, r_attr, r_preds, s_store, s_blocks,
+                       s_attr, s_preds, cluster, output);
+  }
+  JoinExecResult out;
+  const int32_t num_partitions = cluster.num_nodes();
+  const int64_t morsel = std::max<int64_t>(1, config.morsel_blocks);
+  TaskPool pool(config.num_threads);
+
+  // Phase 1: morsel-parallel map-side read + filter + hash partition. The
+  // R and S sides are independent, so both run under one ParallelFor (a
+  // barrier between them would idle workers at the R-phase tail).
+  const int64_t r_morsels =
+      (static_cast<int64_t>(r_blocks.size()) + morsel - 1) / morsel;
+  const int64_t s_morsels =
+      (static_cast<int64_t>(s_blocks.size()) + morsel - 1) / morsel;
+  std::vector<MapPartial> r_map(static_cast<size_t>(r_morsels));
+  std::vector<MapPartial> s_map(static_cast<size_t>(s_morsels));
+  FirstFailure failed;
+  pool.ParallelFor(0, r_morsels + s_morsels, [&](int64_t m) {
+    if (!failed.ShouldRun(m)) return;  // Serial would have aborted by here.
+    const MapPartial* p;
+    if (m < r_morsels) {
+      p = &r_map[static_cast<size_t>(m)];
+      MapMorsel(r_store, r_blocks, r_attr, r_preds, cluster, num_partitions,
+                morsel, m, &r_map[static_cast<size_t>(m)]);
+    } else {
+      p = &s_map[static_cast<size_t>(m - r_morsels)];
+      MapMorsel(s_store, s_blocks, s_attr, s_preds, cluster, num_partitions,
+                morsel, m - r_morsels,
+                &s_map[static_cast<size_t>(m - r_morsels)]);
+    }
+    if (!p->status.ok()) failed.Record(m);
+  });
+  for (const MapPartial& p : r_map) {
+    if (!p.status.ok()) return p.status;
+    out.io.Merge(p.io);
+    out.r_blocks_read += p.blocks_read;
+  }
+  for (const MapPartial& p : s_map) {
+    if (!p.status.ok()) return p.status;
+    out.io.Merge(p.io);
+    out.s_blocks_read += p.blocks_read;
+  }
+  // Every input block's data crosses the shuffle (spill write + remote
+  // read), exactly as in the serial executor.
+  cluster.ShuffleBlocks(
+      static_cast<int64_t>(r_blocks.size() + s_blocks.size()), &out.io);
+
+  // Phase 2: one build/probe task per destination partition.
+  struct ReducePartial {
+    JoinCounts counts;
+    std::vector<Record> rows;
+  };
+  std::vector<ReducePartial> reduced(static_cast<size_t>(num_partitions));
+  const bool materialize = output != nullptr;
+  pool.ParallelFor(0, num_partitions, [&](int64_t part) {
+    ReducePartial& p = reduced[static_cast<size_t>(part)];
+    const std::vector<const Record*> r_part =
+        GatherPartition(r_map, static_cast<size_t>(part));
+    const std::vector<const Record*> s_part =
+        GatherPartition(s_map, static_cast<size_t>(part));
+    shuffle_internal::BuildProbePartition(r_part, r_attr, s_part, s_attr,
+                                          &p.counts,
+                                          materialize ? &p.rows : nullptr);
+  });
+
+  // Merge in partition order: the serial executor's phase 2 loop order.
+  for (ReducePartial& p : reduced) {
+    out.counts.Merge(p.counts);
+    if (materialize) {
+      output->insert(output->end(), std::make_move_iterator(p.rows.begin()),
+                     std::make_move_iterator(p.rows.end()));
+    }
+  }
+  return out;
+}
+
+}  // namespace adaptdb

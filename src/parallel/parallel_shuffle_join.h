@@ -1,0 +1,34 @@
+/// \file parallel_shuffle_join.h
+/// \brief Task-parallel shuffle-join driver.
+///
+/// Phase 1 (map side) is morsel-parallel: fixed-size chunks of each
+/// relation's blocks are read, filtered and hash-partitioned into per-morsel
+/// buckets, which concatenate per destination partition in morsel order —
+/// yielding the same per-partition record sequence as the serial executor.
+/// Phase 2 runs one build/probe task per destination partition, each with
+/// its own counters and output buffer, merged in partition order. Results
+/// are therefore identical to the serial ShuffleJoin at any thread count.
+
+#ifndef ADAPTDB_PARALLEL_PARALLEL_SHUFFLE_JOIN_H_
+#define ADAPTDB_PARALLEL_PARALLEL_SHUFFLE_JOIN_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "exec/exec_config.h"
+#include "exec/shuffle_join.h"
+
+namespace adaptdb {
+
+/// Parallel shuffle join: same contract and (deterministically) identical
+/// results as the serial ShuffleJoin.
+Result<JoinExecResult> ParallelShuffleJoin(
+    const BlockStore& r_store, const std::vector<BlockId>& r_blocks,
+    AttrId r_attr, const PredicateSet& r_preds, const BlockStore& s_store,
+    const std::vector<BlockId>& s_blocks, AttrId s_attr,
+    const PredicateSet& s_preds, const ClusterSim& cluster,
+    const ExecConfig& config, std::vector<Record>* output = nullptr);
+
+}  // namespace adaptdb
+
+#endif  // ADAPTDB_PARALLEL_PARALLEL_SHUFFLE_JOIN_H_

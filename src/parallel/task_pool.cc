@@ -1,0 +1,180 @@
+#include "parallel/task_pool.h"
+
+#include <algorithm>
+
+namespace adaptdb {
+
+namespace {
+
+// Identifies the pool (and worker slot) the current thread belongs to, so
+// nested Submit() lands on the submitting worker's own deque and RunOneTask
+// knows which deque to pop LIFO.
+thread_local TaskPool* tls_pool = nullptr;
+thread_local size_t tls_index = 0;
+
+}  // namespace
+
+TaskGroup::~TaskGroup() {
+  try {
+    Wait();
+  } catch (...) {
+    // Wait() was not called by the owner; the error has nowhere to go.
+  }
+}
+
+void TaskGroup::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++outstanding_;
+  }
+  pool_->Enqueue(TaskPool::Task{std::move(task), this});
+}
+
+void TaskGroup::Wait() {
+  for (;;) {
+    if (pool_->RunOneTask()) continue;
+    std::unique_lock<std::mutex> lk(mu_);
+    if (outstanding_ == 0) break;
+    // Every deque is empty but tasks of this group are still running on
+    // workers. Each completion notifies, and a completing task may have
+    // submitted subtasks, so re-scan the deques after every wakeup.
+    done_cv_.wait(lk);
+    if (outstanding_ == 0) break;
+  }
+  if (first_error_ != nullptr) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+TaskPool::TaskPool(int32_t num_threads) {
+  const size_t n = static_cast<size_t>(std::max<int32_t>(1, num_threads));
+  queues_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lk(sleep_mu_);
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void TaskPool::WorkerLoop(size_t self) {
+  tls_pool = this;
+  tls_index = self;
+  for (;;) {
+    if (RunOneTask()) continue;
+    std::unique_lock<std::mutex> lk(sleep_mu_);
+    work_cv_.wait(lk, [this] {
+      return queued_.load(std::memory_order_relaxed) > 0 ||
+             stop_.load(std::memory_order_relaxed);
+    });
+    if (stop_.load(std::memory_order_relaxed) &&
+        queued_.load(std::memory_order_relaxed) == 0) {
+      return;
+    }
+  }
+}
+
+void TaskPool::Enqueue(Task task) {
+  size_t target;
+  if (tls_pool == this) {
+    target = tls_index;  // Nested submit: stay on the submitting worker.
+  } else {
+    target = next_queue_.fetch_add(1, std::memory_order_relaxed) %
+             queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lk(queues_[target]->mu);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  queued_.fetch_add(1, std::memory_order_relaxed);
+  // Serialize against a worker that just evaluated the sleep predicate:
+  // passing through sleep_mu_ guarantees it is either not yet checking
+  // (and will see queued_ > 0) or already blocked (and gets the notify).
+  { std::lock_guard<std::mutex> lk(sleep_mu_); }
+  work_cv_.notify_one();
+}
+
+bool TaskPool::RunOneTask() {
+  const size_t n = queues_.size();
+  const bool is_worker = tls_pool == this;
+  const size_t start = is_worker ? tls_index
+                                 : next_queue_.fetch_add(
+                                       1, std::memory_order_relaxed) % n;
+  for (size_t k = 0; k < n; ++k) {
+    const size_t q = (start + k) % n;
+    WorkerQueue& wq = *queues_[q];
+    Task task;
+    {
+      std::lock_guard<std::mutex> lk(wq.mu);
+      if (wq.tasks.empty()) continue;
+      if (is_worker && q == tls_index) {
+        task = std::move(wq.tasks.back());  // Own deque: LIFO.
+        wq.tasks.pop_back();
+      } else {
+        task = std::move(wq.tasks.front());  // Steal: FIFO.
+        wq.tasks.pop_front();
+      }
+    }
+    queued_.fetch_sub(1, std::memory_order_relaxed);
+    Execute(&task);
+    return true;
+  }
+  return false;
+}
+
+void TaskPool::Execute(Task* task) {
+  TaskGroup* group = task->group;
+  try {
+    task->fn();
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(group->mu_);
+    if (group->first_error_ == nullptr) {
+      group->first_error_ = std::current_exception();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(group->mu_);
+    --group->outstanding_;
+    // Notify on every completion, not just the last: a waiter may need to
+    // re-scan the deques for subtasks this task submitted. Notifying under
+    // the lock keeps this safe against the waiter destroying the group the
+    // moment outstanding_ hits zero.
+    group->done_cv_.notify_all();
+  }
+}
+
+void TaskPool::ParallelFor(int64_t begin, int64_t end,
+                           const std::function<void(int64_t)>& body) {
+  if (end <= begin) return;
+  const int64_t n = end - begin;
+  const int64_t drivers = std::min<int64_t>(n, num_threads());
+  if (drivers <= 1) {
+    for (int64_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  std::atomic<int64_t> next{begin};
+  TaskGroup group(this);
+  for (int64_t d = 0; d < drivers; ++d) {
+    group.Submit([&next, end, &body] {
+      for (int64_t i = next.fetch_add(1, std::memory_order_relaxed); i < end;
+           i = next.fetch_add(1, std::memory_order_relaxed)) {
+        body(i);
+      }
+    });
+  }
+  group.Wait();
+}
+
+}  // namespace adaptdb

@@ -1,0 +1,158 @@
+/// \file task_pool.h
+/// \brief Work-stealing task scheduler for the parallel execution engine.
+///
+/// A TaskPool owns a fixed set of worker threads, each with its own deque:
+/// a worker pushes and pops its own deque LIFO (cache-friendly for nested
+/// task graphs) and steals FIFO from other workers when its deque drains.
+/// Tasks are submitted through a TaskGroup, whose Wait() *helps* — it runs
+/// pool tasks while waiting — so a task may submit subtasks and block on
+/// them without deadlocking, even on a pool of size 1.
+///
+/// Determinism contract: the pool makes no ordering guarantees between
+/// tasks, so callers that need reproducible results (every driver in
+/// src/parallel/) must write into disjoint per-task slots and merge them in
+/// task-index order after Wait() returns. The drivers' merge order is the
+/// serial execution order, which is what makes parallel results identical
+/// to single-threaded ones.
+
+#ifndef ADAPTDB_PARALLEL_TASK_POOL_H_
+#define ADAPTDB_PARALLEL_TASK_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace adaptdb {
+
+class TaskPool;
+
+/// \brief A set of tasks whose completion can be awaited as a unit.
+///
+/// Submit() enqueues a task on the owning pool; Wait() blocks until every
+/// submitted task (including ones submitted while waiting) has finished,
+/// running queued pool tasks itself in the meantime. The first exception
+/// thrown by any task is captured and rethrown from Wait() after all tasks
+/// have drained; later exceptions are dropped.
+///
+/// A TaskGroup may be used from multiple threads, but Wait() must be called
+/// before destruction (the destructor waits, swallowing any exception, as a
+/// safety net).
+class TaskGroup {
+ public:
+  explicit TaskGroup(TaskPool* pool) : pool_(pool) {}
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Enqueues `task`. Safe to call from inside another task of the same
+  /// pool (nested submit); such tasks go to the submitting worker's own
+  /// deque.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks are done, helping to run pool tasks
+  /// while waiting. Rethrows the first captured exception.
+  void Wait();
+
+ private:
+  friend class TaskPool;
+
+  TaskPool* pool_;
+  std::mutex mu_;
+  std::condition_variable done_cv_;
+  int64_t outstanding_ = 0;
+  std::exception_ptr first_error_;
+};
+
+/// \brief Fixed-size work-stealing thread pool.
+class TaskPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit TaskPool(int32_t num_threads);
+
+  /// Joins all workers. All TaskGroups must have been waited on.
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  int32_t num_threads() const { return static_cast<int32_t>(workers_.size()); }
+
+  /// Runs `body(i)` for every i in [begin, end), distributing iterations
+  /// across workers via an atomic claim counter, and blocks until all
+  /// complete. Iteration-to-worker assignment is nondeterministic: bodies
+  /// must write only to disjoint per-index state. Rethrows the first
+  /// exception thrown by any body; remaining iterations claimed by that
+  /// worker are skipped.
+  void ParallelFor(int64_t begin, int64_t end,
+                   const std::function<void(int64_t)>& body);
+
+ private:
+  friend class TaskGroup;
+
+  struct Task {
+    std::function<void()> fn;
+    TaskGroup* group;
+  };
+
+  /// One worker's deque. A plain mutex-guarded deque: the owner pops the
+  /// back, thieves pop the front. Contention is low (steals only happen on
+  /// imbalance) and the locking is trivially race-free under TSan.
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<Task> tasks;
+  };
+
+  void WorkerLoop(size_t self);
+  void Enqueue(Task task);
+  /// Pops and runs one queued task; returns false if every deque was empty.
+  bool RunOneTask();
+  static void Execute(Task* task);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex sleep_mu_;
+  std::condition_variable work_cv_;
+  std::atomic<int64_t> queued_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> next_queue_{0};
+};
+
+/// \brief Tracks the smallest failing task index of a parallel loop, so
+/// later tasks can be cancelled.
+///
+/// Serial executors abort at the first bad block; without cancellation a
+/// parallel driver would run every remaining morsel (each paying real
+/// emulated I/O latency) before surfacing the error. Tasks call
+/// ShouldRun(i) at the top — false once any task with a *smaller* index
+/// has failed — and Record(i) on failure. Tasks before the earliest
+/// recorded failure still run, so the merge's first-in-index-order error
+/// (the returned status) is exactly the serial executor's.
+class FirstFailure {
+ public:
+  bool ShouldRun(int64_t i) const {
+    return i < first_.load(std::memory_order_relaxed);
+  }
+
+  void Record(int64_t i) {
+    int64_t cur = first_.load(std::memory_order_relaxed);
+    while (i < cur &&
+           !first_.compare_exchange_weak(cur, i, std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<int64_t> first_{INT64_MAX};
+};
+
+}  // namespace adaptdb
+
+#endif  // ADAPTDB_PARALLEL_TASK_POOL_H_

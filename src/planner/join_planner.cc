@@ -62,7 +62,7 @@ Result<QueryRunResult> JoinPlanner::Execute(
       const TableContext* ctx = Find(tables, ref.table);
       const std::vector<BlockId> blocks = RelevantBlocks(*ctx, ref.preds);
       auto scan = ScanBlocks(*ctx->store, blocks, ref.preds, cluster,
-                             !config_.ignore_partitioning);
+                             config_.exec, !config_.ignore_partitioning);
       if (!scan.ok()) return scan.status();
       result.output_rows += scan.ValueOrDie().rows_matched;
       result.blocks_scanned += scan.ValueOrDie().blocks_read;
@@ -150,14 +150,15 @@ Result<QueryRunResult> JoinPlanner::Execute(
         auto run = HyperJoin(*r_ctx->store, spec.left_attr, r_preds,
                              *s_ctx->store, spec.right_attr, s_preds,
                              overlap.ValueOrDie(), grouping.ValueOrDie(),
-                             cluster, out);
+                             cluster, config_.exec, out);
         if (!run.ok()) return run.status();
         exec = std::move(run).ValueOrDie();
         edge.used_hyper = true;
       } else {
         auto run = ShuffleJoin(*r_ctx->store, r_blocks, spec.left_attr,
                                r_preds, *s_ctx->store, s_blocks,
-                               spec.right_attr, s_preds, cluster, out);
+                               spec.right_attr, s_preds, cluster,
+                               config_.exec, out);
         if (!run.ok()) return run.status();
         exec = std::move(run).ValueOrDie();
       }

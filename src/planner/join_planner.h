@@ -21,6 +21,7 @@
 
 #include "adapt/query.h"
 #include "adapt/tree_set.h"
+#include "exec/exec_config.h"
 #include "exec/shuffle_join.h"
 #include "join/cost_model.h"
 #include "storage/cluster.h"
@@ -30,6 +31,9 @@ namespace adaptdb {
 /// \brief Planner policy.
 struct PlannerConfig {
   CostModelConfig cost_model;
+  /// Execution-engine knobs (thread count, morsel size) threaded through to
+  /// every scan and join this planner runs.
+  ExecConfig exec;
   /// Blocks of the build relation that fit in one worker's memory (B).
   int32_t memory_budget_blocks = 64;
   /// Join strategy override, for baselines and ablations.

@@ -19,11 +19,11 @@ Result<Block*> BlockStore::Get(BlockId id) {
 }
 
 Result<const Block*> BlockStore::Get(BlockId id) const {
-  auto it = blocks_.find(id);
-  if (it == blocks_.end()) {
+  const Block* blk = GetOrNull(id);
+  if (blk == nullptr) {
     return Status::NotFound("block " + std::to_string(id));
   }
-  return static_cast<const Block*>(it->second.get());
+  return blk;
 }
 
 Status BlockStore::Delete(BlockId id) {

@@ -15,6 +15,12 @@ namespace adaptdb {
 
 /// \brief Owns the blocks of one table. Blocks are created, looked up and
 /// deleted by id; ids are never reused, mirroring append-only HDFS files.
+///
+/// Thread safety: the const read path (Get const, GetOrNull, Contains,
+/// BlockIds, num_blocks, TotalRecords) is safe to call concurrently from
+/// many threads as long as no thread mutates the store (CreateBlock,
+/// Delete, or writes through a non-const Block*). The parallel execution
+/// engine relies on this: during query execution blocks are immutable.
 class BlockStore {
  public:
   /// Creates a store for records with `num_attrs` attributes.
@@ -28,8 +34,17 @@ class BlockStore {
   /// Fetches a block by id (const).
   Result<const Block*> Get(BlockId id) const;
 
+  /// Single-lookup fast path for hot loops: the block, or nullptr when `id`
+  /// is not live. No Status/Result construction on either path.
+  const Block* GetOrNull(BlockId id) const {
+    auto it = blocks_.find(id);
+    return it == blocks_.end() ? nullptr : it->second.get();
+  }
+
   /// True iff `id` names a live block.
-  bool Contains(BlockId id) const { return blocks_.count(id) > 0; }
+  bool Contains(BlockId id) const {
+    return blocks_.find(id) != blocks_.end();
+  }
 
   /// Deletes a block (after migration to another tree).
   Status Delete(BlockId id);

@@ -1,6 +1,8 @@
 #include "storage/cluster.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 namespace adaptdb {
 
@@ -65,6 +67,10 @@ void ClusterSim::ReadBlock(BlockId block, NodeId reader,
     ++stats->local_block_reads;
   } else {
     ++stats->remote_block_reads;
+  }
+  if (config_.emulate_read_latency_micros > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(config_.emulate_read_latency_micros));
   }
 }
 

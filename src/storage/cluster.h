@@ -71,6 +71,13 @@ struct ClusterConfig {
   /// Blocks a single node can hold in memory for hash tables (the paper's
   /// B; with 4 GB buffers and 64 MB blocks, B = 64).
   int32_t memory_budget_blocks = 64;
+  /// Microseconds of *real* wall-clock delay per block read (0 = off).
+  /// Used by benchmarks to make the simulator I/O-bound in real time, the
+  /// regime the paper's cluster operates in (§4.2): with it enabled, the
+  /// parallel execution engine's wall-clock speedup reflects overlapped
+  /// block I/O rather than pure CPU scaling, so thread sweeps are
+  /// meaningful even on small machines. Accounted IoStats are unaffected.
+  int64_t emulate_read_latency_micros = 0;
 };
 
 /// \brief Deterministic cluster simulator: placement + cost accounting.
@@ -78,6 +85,15 @@ struct ClusterConfig {
 /// Placement is round-robin over nodes (HDFS default placement spreads
 /// blocks uniformly). Tasks are scheduled on the node owning the majority
 /// of their input; reads of co-located blocks are local, the rest remote.
+///
+/// Thread safety: the const methods (Locate, ScheduleTask, ReadBlock,
+/// WriteBlocks, ShuffleBlocks, SimulatedSeconds, LocalityFraction) only
+/// read the placement map and accumulate into caller-owned IoStats, so they
+/// are safe to call concurrently as long as no thread mutates placement
+/// (PlaceBlock/PlaceBlockAt/Evict) — the invariant during query execution.
+/// Each parallel task accumulates into its own IoStats and the driver
+/// merges them deterministically; stats pointers are never shared between
+/// concurrent tasks.
 class ClusterSim {
  public:
   explicit ClusterSim(ClusterConfig config = {});
