@@ -31,7 +31,9 @@ constexpr int32_t kOrdLevels = 6;
 constexpr int32_t kBudget = 16;
 
 struct Built {
-  BlockStore store;
+  explicit Built(int32_t num_attrs) : store(num_attrs) {}
+
+  MemBlockStore store;
   PartitionTree tree;
 };
 
@@ -43,7 +45,7 @@ std::unique_ptr<Built> BuildTable(const Schema& schema,
                                   int32_t total_levels,
                                   std::vector<AttrId> sel_attrs,
                                   ClusterSim* cluster, uint64_t seed) {
-  auto out = std::make_unique<Built>(Built{BlockStore(schema.num_attrs()), {}});
+  auto out = std::make_unique<Built>(schema.num_attrs());
   Reservoir sample(3000, seed);
   sample.AddAll(records);
   if (join_levels > 0) {

@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
   const tpch::TpchData data = tpch::GenerateTpch(cfg);
   ClusterSim cluster;
 
-  BlockStore li_store(data.lineitem_schema.num_attrs());
+  MemBlockStore li_store(data.lineitem_schema.num_attrs());
   Reservoir li_sample(4000, 3);
   li_sample.AddAll(data.lineitem);
   TwoPhaseOptions li_opts;
@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
       std::move(li_part.Build(li_sample, &li_store)).ValueOrDie();
   ADB_CHECK_OK(LoadRecords(data.lineitem, li_tree, &li_store));
 
-  BlockStore ord_store(data.orders_schema.num_attrs());
+  MemBlockStore ord_store(data.orders_schema.num_attrs());
   Reservoir ord_sample(4000, 4);
   ord_sample.AddAll(data.orders);
   TwoPhaseOptions ord_opts;

@@ -33,8 +33,8 @@ namespace {
 struct Workload {
   Workload(int32_t num_attrs) : r_store(num_attrs), s_store(num_attrs) {}
 
-  BlockStore r_store;
-  BlockStore s_store;
+  MemBlockStore r_store;
+  MemBlockStore s_store;
   std::vector<BlockId> r_blocks;
   std::vector<BlockId> s_blocks;
 };
@@ -48,7 +48,7 @@ void FillTiled(BlockStore* store, std::vector<BlockId>* ids, int32_t n_blocks,
   Rng rng(seed);
   for (int32_t b = 0; b < n_blocks; ++b) {
     const BlockId id = store->CreateBlock();
-    Block* blk = store->Get(id).ValueOrDie();
+    MutableBlockRef blk = store->GetMutable(id).ValueOrDie();
     const int64_t lo = b * keys_per_block;
     for (int32_t i = 0; i < records_per_block; ++i) {
       Record rec;

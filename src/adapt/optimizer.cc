@@ -88,8 +88,8 @@ Result<SmoothReport> Optimizer::FullRepartitionStep(
   std::vector<BlockId> donors;
   for (AttrId attr : trees->Attrs()) {
     for (BlockId b : trees->LiveLeaves(attr, *store)) {
-      auto blk = store->Get(b);
-      if (blk.ok() && !blk.ValueOrDie()->empty()) donors.push_back(b);
+      auto count = store->RecordCount(b);
+      if (count.ok() && count.ValueOrDie() > 0) donors.push_back(b);
     }
   }
   trees->Add(join_attr, std::move(tree).ValueOrDie());

@@ -109,8 +109,8 @@ Result<SmoothReport> SmoothRepartitioner::Step(
   for (AttrId attr : trees->Attrs()) {
     if (attr == join_attr) continue;
     for (BlockId b : trees->LiveLeaves(attr, *store)) {
-      auto blk = store->Get(b);
-      if (blk.ok() && !blk.ValueOrDie()->empty()) donors.push_back(b);
+      auto count = store->RecordCount(b);
+      if (count.ok() && count.ValueOrDie() > 0) donors.push_back(b);
     }
   }
   if (donors.empty()) return report;
@@ -124,10 +124,10 @@ Result<SmoothReport> SmoothRepartitioner::Step(
        ++i) {
     const size_t j = i + rng_.Uniform(donors.size() - i);
     std::swap(donors[i], donors[j]);
-    auto blk = store->Get(donors[i]);
-    if (!blk.ok()) return blk.status();
+    auto count = store->RecordCount(donors[i]);
+    if (!count.ok()) return count.status();
     chosen.push_back(donors[i]);
-    chosen_records += static_cast<int64_t>(blk.ValueOrDie()->num_records());
+    chosen_records += static_cast<int64_t>(count.ValueOrDie());
   }
   if (chosen.empty()) return report;
 

@@ -76,8 +76,9 @@ std::vector<BlockId> TreeSet::LookupAll(const PredicateSet& preds,
 int64_t TreeSet::RecordsUnder(AttrId attr, const BlockStore& store) const {
   int64_t n = 0;
   for (BlockId b : LiveLeaves(attr, store)) {
-    auto blk = store.Get(b);
-    if (blk.ok()) n += static_cast<int64_t>(blk.ValueOrDie()->num_records());
+    // Metadata-only: never incurs a physical read on buffered stores.
+    auto count = store.RecordCount(b);
+    if (count.ok()) n += static_cast<int64_t>(count.ValueOrDie());
   }
   return n;
 }

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "exec/hash_join.h"
+#include "io/disk_block_store.h"
 
 namespace adaptdb {
 
@@ -11,26 +12,28 @@ PrefLayout::PrefLayout(PrefConfig config)
     : config_(config), cluster_(config.cluster) {}
 
 Status PrefLayout::AppendToPartition(PrefTable* table, int32_t partition,
-                                     const Record& rec) {
+                                     const Record& rec,
+                                     std::vector<MutableBlockRef>* current) {
   auto& blocks = table->partitions[static_cast<size_t>(partition)];
-  Block* current = nullptr;
-  if (!blocks.empty()) {
-    auto blk = table->store->Get(blocks.back());
+  MutableBlockRef& cur = (*current)[static_cast<size_t>(partition)];
+  if (cur == nullptr && !blocks.empty()) {
+    auto blk = table->store->GetMutable(blocks.back());
     if (!blk.ok()) return blk.status();
-    if (static_cast<int64_t>(blk.ValueOrDie()->num_records()) <
-        config_.records_per_block) {
-      current = blk.ValueOrDie();
-    }
+    cur = blk.ValueOrDie();
   }
-  if (current == nullptr) {
+  if (cur != nullptr && static_cast<int64_t>(cur->num_records()) >=
+                            config_.records_per_block) {
+    cur = nullptr;  // Full: roll over to a fresh block.
+  }
+  if (cur == nullptr) {
     const BlockId id = table->store->CreateBlock();
     cluster_.PlaceBlock(id);
     blocks.push_back(id);
-    auto blk = table->store->Get(id);
+    auto blk = table->store->GetMutable(id);
     if (!blk.ok()) return blk.status();
-    current = blk.ValueOrDie();
+    cur = blk.ValueOrDie();
   }
-  current->Add(rec);
+  cur->Add(rec);
   ++table->stored_records;
   return Status::OK();
 }
@@ -41,14 +44,19 @@ Status PrefLayout::AddFact(const std::string& name, const Schema& schema,
   if (tables_.count(name) > 0) return Status::AlreadyExists(name);
   PrefTable table;
   table.schema = schema;
-  table.store = std::make_unique<BlockStore>(schema.num_attrs());
+  auto store =
+      MakeTableStore(schema.num_attrs(), cluster_.config().storage, name);
+  if (!store.ok()) return store.status();
+  table.store = std::move(store).ValueOrDie();
   table.partitions.assign(static_cast<size_t>(config_.num_partitions), {});
   table.input_records = static_cast<int64_t>(records.size());
+  std::vector<MutableBlockRef> current(
+      static_cast<size_t>(config_.num_partitions));
   for (const Record& rec : records) {
     const int32_t p = static_cast<int32_t>(
         HashValue(rec[static_cast<size_t>(partition_attr)]) %
         static_cast<size_t>(config_.num_partitions));
-    ADB_RETURN_NOT_OK(AppendToPartition(&table, p, rec));
+    ADB_RETURN_NOT_OK(AppendToPartition(&table, p, rec, &current));
   }
   tables_.emplace(name, std::move(table));
   return Status::OK();
@@ -77,14 +85,19 @@ Status PrefLayout::AddReplicated(const std::string& name, const Schema& schema,
   }
   PrefTable table;
   table.schema = schema;
-  table.store = std::make_unique<BlockStore>(schema.num_attrs());
+  auto store =
+      MakeTableStore(schema.num_attrs(), cluster_.config().storage, name);
+  if (!store.ok()) return store.status();
+  table.store = std::move(store).ValueOrDie();
   table.partitions.assign(static_cast<size_t>(config_.num_partitions), {});
   table.input_records = static_cast<int64_t>(records.size());
+  std::vector<MutableBlockRef> current(
+      static_cast<size_t>(config_.num_partitions));
   for (const Record& rec : records) {
     auto it = key_partitions.find(rec[static_cast<size_t>(child_attr)]);
     if (it == key_partitions.end()) continue;  // Never joins: droppable.
     for (int32_t p : it->second) {
-      ADB_RETURN_NOT_OK(AppendToPartition(&table, p, rec));
+      ADB_RETURN_NOT_OK(AppendToPartition(&table, p, rec, &current));
     }
   }
   tables_.emplace(name, std::move(table));
@@ -118,8 +131,9 @@ Result<QueryRunResult> PrefLayout::RunQuery(const Query& q) {
       const PrefTable& t = tables_.at(ref.table);
       for (const auto& part : t.partitions) {
         for (BlockId b : part) {
-          const Block* blk = t.store->Get(b).ValueOrDie();
-          for (const Record& rec : blk->records()) {
+          auto blk = t.store->Get(b);
+          if (!blk.ok()) return blk.status();
+          for (const Record& rec : blk.ValueOrDie()->records()) {
             if (MatchesAll(ref.preds, rec)) ++result.output_rows;
           }
         }
@@ -159,13 +173,15 @@ Result<QueryRunResult> PrefLayout::RunQuery(const Query& q) {
     counts = JoinCounts{};
     for (int32_t p = 0; p < config_.num_partitions; ++p) {
       HashIndex index(build_attr);
+      std::vector<BlockRef> build_pins;  // Index references the blocks' rows.
       for (BlockId b : build.partitions[static_cast<size_t>(p)]) {
         auto blk = build.store->Get(b);
         if (!blk.ok()) return blk.status();
+        build_pins.push_back(blk.ValueOrDie());
         auto node = cluster_.Locate(b);
         cluster_.ReadBlock(b, node.ok() ? node.ValueOrDie() : 0, &result.io);
         ++edge.s_blocks_read;
-        index.AddBlock(*blk.ValueOrDie(), build_preds);
+        index.AddBlock(*build_pins.back(), build_preds);
       }
       std::vector<Record> next;
       if (first) {

@@ -86,8 +86,13 @@ class PrefLayout {
     int64_t stored_records = 0;
   };
 
+  /// Appends `rec` to `partition`'s open block. `current` caches one
+  /// mutable pin per partition for the duration of a bulk load, so a
+  /// buffered store is not re-pinned (miss + write-back on small pools)
+  /// per record.
   Status AppendToPartition(PrefTable* table, int32_t partition,
-                           const Record& rec);
+                           const Record& rec,
+                           std::vector<MutableBlockRef>* current);
 
   PrefConfig config_;
   ClusterSim cluster_;

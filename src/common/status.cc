@@ -23,6 +23,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kCorruption:
+      return "Corruption";
   }
   return "Unknown";
 }

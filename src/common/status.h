@@ -22,6 +22,7 @@ enum class StatusCode {
   kNotImplemented,
   kInternal,
   kResourceExhausted,
+  kCorruption,
 };
 
 /// \brief Returns a short human-readable name for a status code.
@@ -68,6 +69,10 @@ class Status {
   /// Returns a ResourceExhausted error.
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  /// Returns a Corruption error (on-disk data failed validation).
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
   }
 
   /// True iff this status represents success.

@@ -28,6 +28,8 @@
 
 namespace adaptdb {
 
+class TaskPool;
+
 /// \brief Whole-system configuration.
 struct DatabaseOptions {
   ClusterConfig cluster;
@@ -41,6 +43,7 @@ struct DatabaseOptions {
 class Database {
  public:
   explicit Database(DatabaseOptions options = {});
+  ~Database();
 
   /// Creates a table and ingests `records` through the upfront partitioner.
   Status CreateTable(const std::string& name, Schema schema,
@@ -82,12 +85,19 @@ class Database {
   std::string DumpCatalog() const;
 
  private:
+  /// Sums the storage-backend counters across all tables (buffer-pool hits,
+  /// misses, physical writes); per-query deltas fold into QueryRunResult.
+  StorageCounters TotalStorageCounters() const;
+
   DatabaseOptions options_;
   ClusterSim cluster_;
   QueryWindow window_;
   JoinPlanner planner_;
   std::map<std::string, std::unique_ptr<Table>> tables_;
   std::map<std::string, std::unique_ptr<Optimizer>> optimizers_;
+  /// Lazily created shared worker pool, reused across queries (sized by
+  /// the planner's ExecConfig::num_threads; recreated when that changes).
+  std::unique_ptr<TaskPool> pool_;
 };
 
 }  // namespace adaptdb

@@ -1,14 +1,18 @@
 #include "core/table.h"
 
 #include <algorithm>
+#include <map>
 
 namespace adaptdb {
 
-Table::Table(std::string name, Schema schema, TableOptions options)
+Table::Table(std::string name, Schema schema, TableOptions options,
+             std::unique_ptr<BlockStore> store)
     : name_(std::move(name)),
       schema_(std::move(schema)),
       options_(options),
-      store_(schema_.num_attrs()),
+      store_(store != nullptr
+                 ? std::move(store)
+                 : std::make_unique<MemBlockStore>(schema_.num_attrs())),
       sample_(options.sample_capacity, options.seed) {}
 
 std::string Table::DescribeLayout() const {
@@ -17,7 +21,7 @@ std::string Table::DescribeLayout() const {
     auto tree = trees_.Tree(attr);
     if (!tree.ok()) continue;
     const PartitionTree* t = tree.ValueOrDie();
-    const auto live = trees_.LiveLeaves(attr, store_);
+    const auto live = trees_.LiveLeaves(attr, *store_);
     out += "  tree ";
     if (attr == kUpfrontTree) {
       out += "upfront";
@@ -27,7 +31,7 @@ std::string Table::DescribeLayout() const {
     out += ": depth " + std::to_string(t->Depth()) + ", join_levels " +
            std::to_string(t->join_levels()) + ", " +
            std::to_string(live.size()) + " live blocks, " +
-           std::to_string(trees_.RecordsUnder(attr, store_)) + " records\n";
+           std::to_string(trees_.RecordsUnder(attr, *store_)) + " records\n";
     out += "    " + t->Serialize() + "\n";
   }
   return out;
@@ -46,7 +50,7 @@ Status Table::Append(const std::vector<Record>& records, ClusterSim* cluster,
   AttrId target = kUpfrontTree;
   int64_t best = -1;
   for (AttrId a : trees_.Attrs()) {
-    const int64_t n = trees_.RecordsUnder(a, store_);
+    const int64_t n = trees_.RecordsUnder(a, *store_);
     if (n > best) {
       best = n;
       target = a;
@@ -54,18 +58,28 @@ Status Table::Append(const std::vector<Record>& records, ClusterSim* cluster,
   }
   auto tree = trees_.Tree(target);
   if (!tree.ok()) return tree.status();
+  // Route first, append with one mutable pin per leaf (per-record pins
+  // thrash a small buffer pool); the sample sees records in input order.
+  std::map<BlockId, std::vector<const Record*>> per_leaf;
   for (const Record& rec : records) {
     auto leaf = tree.ValueOrDie()->Route(rec);
     if (!leaf.ok()) return leaf.status();
-    auto block = store_.Get(leaf.ValueOrDie());
-    if (!block.ok()) return block.status();
-    block.ValueOrDie()->Add(rec);
+    per_leaf[leaf.ValueOrDie()].push_back(&rec);
     sample_.Add(rec);
   }
+  for (const auto& [leaf, recs] : per_leaf) {
+    auto block = store_->GetMutable(leaf);
+    if (!block.ok()) return block.status();
+    for (const Record* rec : recs) block.ValueOrDie()->Add(*rec);
+  }
+  // Appends are durable (the accounting below already charges durable
+  // writes); flushing here also surfaces storage errors at the append
+  // instead of at some later eviction.
+  ADB_RETURN_NOT_OK(store_->Flush());
   if (io != nullptr && !records.empty()) {
     const int64_t avg_block_records = std::max<int64_t>(
-        1, static_cast<int64_t>(store_.TotalRecords() /
-                                std::max<size_t>(1, store_.num_blocks())));
+        1, static_cast<int64_t>(store_->TotalRecords() /
+                                std::max<size_t>(1, store_->num_blocks())));
     const int64_t block_equivalents = std::max<int64_t>(
         1, static_cast<int64_t>(records.size()) / avg_block_records);
     cluster->WriteBlocks(block_equivalents, io);
@@ -84,9 +98,9 @@ Status Table::Load(const std::vector<Record>& records, ClusterSim* cluster) {
   opts.attrs = options_.upfront_attrs;
   opts.seed = options_.seed;
   UpfrontPartitioner partitioner(schema_, opts);
-  auto tree = partitioner.Build(sample_, &store_);
+  auto tree = partitioner.Build(sample_, store_.get());
   if (!tree.ok()) return tree.status();
-  ADB_RETURN_NOT_OK(LoadRecords(records, tree.ValueOrDie(), &store_));
+  ADB_RETURN_NOT_OK(LoadRecords(records, tree.ValueOrDie(), store_.get()));
   for (BlockId b : tree.ValueOrDie().Leaves()) {
     cluster->PlaceBlock(b);
   }

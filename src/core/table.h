@@ -4,6 +4,7 @@
 #ifndef ADAPTDB_CORE_TABLE_H_
 #define ADAPTDB_CORE_TABLE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -31,7 +32,10 @@ struct TableOptions {
 /// \brief One table under AdaptDB management.
 class Table {
  public:
-  Table(std::string name, Schema schema, TableOptions options);
+  /// `store` selects the storage backend (see io/storage_config.h); null
+  /// falls back to the in-memory MemBlockStore.
+  Table(std::string name, Schema schema, TableOptions options,
+        std::unique_ptr<BlockStore> store = nullptr);
 
   /// Ingests `records`: samples them, builds the upfront tree, routes all
   /// rows into blocks and places the blocks across `cluster`.
@@ -49,20 +53,20 @@ class Table {
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
   const TableOptions& options() const { return options_; }
-  BlockStore* store() { return &store_; }
-  const BlockStore& store() const { return store_; }
+  BlockStore* store() { return store_.get(); }
+  const BlockStore& store() const { return *store_; }
   TreeSet* trees() { return &trees_; }
   const TreeSet& trees() const { return trees_; }
   const Reservoir& sample() const { return sample_; }
 
   /// Total live records.
   int64_t num_records() const {
-    return static_cast<int64_t>(store_.TotalRecords());
+    return static_cast<int64_t>(store_->TotalRecords());
   }
 
   /// The planner-facing view of this table.
   TableContext Context() {
-    return TableContext{name_, &schema_, &store_, &trees_};
+    return TableContext{name_, &schema_, store_.get(), &trees_};
   }
 
   /// Human-readable layout summary: one line per partitioning tree with its
@@ -74,7 +78,7 @@ class Table {
   std::string name_;
   Schema schema_;
   TableOptions options_;
-  BlockStore store_;
+  std::unique_ptr<BlockStore> store_;
   TreeSet trees_;
   Reservoir sample_;
 };

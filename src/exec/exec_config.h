@@ -8,6 +8,8 @@
 
 namespace adaptdb {
 
+class TaskPool;
+
 /// \brief Knobs of the (optionally parallel) execution engine.
 ///
 /// Executors taking an ExecConfig run single-threaded when num_threads <= 1
@@ -30,6 +32,14 @@ struct ExecConfig {
   /// num_threads so the work decomposition (and hence floating-point
   /// aggregation order) never varies with parallelism.
   int32_t morsel_blocks = 8;
+
+  /// Optional shared worker pool. When set, parallel drivers run on it
+  /// instead of spinning up (and tearing down) a transient pool per
+  /// operator call; Database maintains one per instance, sized by
+  /// num_threads. When null, each driver creates its own. The pool's
+  /// thread count takes precedence over num_threads for scheduling (the
+  /// work decomposition stays num_threads-independent either way).
+  TaskPool* pool = nullptr;
 };
 
 }  // namespace adaptdb

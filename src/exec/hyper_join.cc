@@ -23,28 +23,31 @@ Result<JoinExecResult> HyperJoin(const BlockStore& r_store, AttrId r_attr,
 
     HashIndex index(r_attr);
     BitVector needed(overlap.NumS());
+    // R pins live for the whole group: the hash index references their
+    // records. S blocks stream through one transient pin at a time —
+    // exactly the paper's buffer model (build side resident, probe side
+    // streamed).
+    std::vector<BlockRef> build_pins;
+    build_pins.reserve(group.size());
     for (size_t i : group) {
       const BlockId rb = overlap.r_blocks[i];
-      const Block* blk = r_store.GetOrNull(rb);
-      if (blk == nullptr) {
-        return Status::NotFound("block " + std::to_string(rb));
-      }
+      auto blk = r_store.Get(rb);
+      if (!blk.ok()) return blk.status();
+      build_pins.push_back(blk.ValueOrDie());
       cluster.ReadBlock(rb, worker, &out.io);
       ++out.r_blocks_read;
-      index.AddBlock(*blk, r_preds);
+      index.AddBlock(*build_pins.back(), r_preds);
       needed.OrWith(overlap.vectors[i]);
     }
 
     // Probe side: every overlapping S block, streamed one at a time.
     for (size_t j : needed.SetBits()) {
       const BlockId sb = overlap.s_blocks[j];
-      const Block* blk = s_store.GetOrNull(sb);
-      if (blk == nullptr) {
-        return Status::NotFound("block " + std::to_string(sb));
-      }
+      auto blk = s_store.Get(sb);
+      if (!blk.ok()) return blk.status();
       cluster.ReadBlock(sb, worker, &out.io);
       ++out.s_blocks_read;
-      index.Probe(*blk, s_attr, s_preds, &out.counts, output);
+      index.Probe(*blk.ValueOrDie(), s_attr, s_preds, &out.counts, output);
     }
   }
   return out;

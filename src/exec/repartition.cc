@@ -1,7 +1,9 @@
 #include "exec/repartition.h"
 
 #include <algorithm>
+#include <map>
 #include <unordered_set>
+#include <vector>
 
 namespace adaptdb {
 
@@ -39,19 +41,28 @@ Result<RepartitionResult> RepartitionBlocks(
   RepartitionResult out;
   std::unordered_set<BlockId> touched;
   for (BlockId src : source_blocks) {
-    auto blk = store->Get(src);
+    // A mutable pin: the source is drained (cleared or deleted) below, and
+    // holding the pin keeps it resident while destination pins churn
+    // through the buffer pool.
+    auto blk = store->GetMutable(src);
     if (!blk.ok()) return blk.status();
-    Block* b = blk.ValueOrDie();
+    const MutableBlockRef& b = blk.ValueOrDie();
     auto node = cluster->Locate(src);
     cluster->ReadBlock(src, node.ok() ? node.ValueOrDie() : 0, &out.io);
+    // Route the whole source block, then append with one mutable pin per
+    // destination leaf (per-record pins thrash a small buffer pool).
+    std::map<BlockId, std::vector<const Record*>> per_leaf;
     for (const Record& rec : b->records()) {
       auto leaf = dest_tree.Route(rec);
       if (!leaf.ok()) return leaf.status();
-      auto dest = store->Get(leaf.ValueOrDie());
-      if (!dest.ok()) return dest.status();
-      dest.ValueOrDie()->Add(rec);
-      touched.insert(leaf.ValueOrDie());
+      per_leaf[leaf.ValueOrDie()].push_back(&rec);
       ++out.records_moved;
+    }
+    for (const auto& [leaf, recs] : per_leaf) {
+      auto dest = store->GetMutable(leaf);
+      if (!dest.ok()) return dest.status();
+      for (const Record* rec : recs) dest.ValueOrDie()->Add(*rec);
+      touched.insert(leaf);
     }
     // The moved data is rewritten once (buffered HDFS appends, §6).
     cluster->WriteBlocks(1, &out.io);

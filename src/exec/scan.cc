@@ -16,7 +16,7 @@ Result<AggregateResult> ScanAggregate(const BlockStore& store,
   for (BlockId id : blocks) {
     auto blk = store.Get(id);
     if (!blk.ok()) return blk.status();
-    const Block* b = blk.ValueOrDie();
+    const BlockRef& b = blk.ValueOrDie();
     if (skip_by_ranges && !b->MayMatch(preds)) {
       ++out.scan.blocks_skipped;
       continue;
@@ -79,7 +79,7 @@ Result<ScanResult> ScanBlocks(const BlockStore& store,
   for (BlockId id : blocks) {
     auto blk = store.Get(id);
     if (!blk.ok()) return blk.status();
-    const Block* b = blk.ValueOrDie();
+    const BlockRef& b = blk.ValueOrDie();
     if (skip_by_ranges && !b->MayMatch(preds)) {
       ++out.blocks_skipped;
       continue;

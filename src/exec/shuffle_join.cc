@@ -16,17 +16,23 @@ Result<JoinExecResult> ShuffleJoin(
 
   // Phase 1: map-side read + filter + hash partition. Each input block is
   // read locally by its own map task and its filtered contents shuffled.
+  // Pins keep every mapped block resident until the build/probe phase has
+  // consumed the partitioned record pointers — residency equals the input
+  // (the seed's memory profile; see ROADMAP "out-of-core shuffle" for the
+  // spill-to-segments version that bounds it).
   std::vector<std::vector<const Record*>> r_parts(num_partitions);
   std::vector<std::vector<const Record*>> s_parts(num_partitions);
+  std::vector<BlockRef> pins;
+  pins.reserve(r_blocks.size() + s_blocks.size());
 
   for (BlockId id : r_blocks) {
     ADB_RETURN_NOT_OK(shuffle_internal::MapBlock(
-        r_store, id, r_attr, r_preds, cluster, &r_parts, &out.io));
+        r_store, id, r_attr, r_preds, cluster, &r_parts, &pins, &out.io));
     ++out.r_blocks_read;
   }
   for (BlockId id : s_blocks) {
     ADB_RETURN_NOT_OK(shuffle_internal::MapBlock(
-        s_store, id, s_attr, s_preds, cluster, &s_parts, &out.io));
+        s_store, id, s_attr, s_preds, cluster, &s_parts, &pins, &out.io));
     ++out.s_blocks_read;
   }
   // Every input block's data crosses the shuffle (spill write + remote read).

@@ -21,18 +21,21 @@
 namespace adaptdb::shuffle_internal {
 
 /// Map-side kernel for one block: read + account + filter + hash-partition
-/// record pointers into parts[key_hash % parts->size()].
+/// record pointers into parts[key_hash % parts->size()]. The block's pin is
+/// appended to `pins`, which must stay alive until the partitions' record
+/// pointers are no longer used (the reduce phase) — with a buffered store,
+/// dropping the pin would let eviction free the records underneath them.
 inline Status MapBlock(const BlockStore& store, BlockId id, AttrId attr,
                        const PredicateSet& preds, const ClusterSim& cluster,
                        std::vector<std::vector<const Record*>>* parts,
-                       IoStats* io) {
-  const Block* blk = store.GetOrNull(id);
-  if (blk == nullptr) {
-    return Status::NotFound("block " + std::to_string(id));
-  }
+                       std::vector<BlockRef>* pins, IoStats* io) {
+  auto blk = store.Get(id);
+  if (!blk.ok()) return blk.status();
+  pins->push_back(blk.ValueOrDie());
+  const Block& b = *pins->back();
   auto node = cluster.Locate(id);
   cluster.ReadBlock(id, node.ok() ? node.ValueOrDie() : 0, io);
-  for (const Record& rec : blk->records()) {
+  for (const Record& rec : b.records()) {
     if (!MatchesAll(preds, rec)) continue;
     const size_t p =
         HashValue(rec[static_cast<size_t>(attr)]) % parts->size();

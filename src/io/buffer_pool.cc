@@ -1,0 +1,216 @@
+#include "io/buffer_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace adaptdb::io {
+
+BufferPool::BufferPool(int64_t capacity_blocks, BlockSource* source)
+    : state_(std::make_shared<State>()) {
+  state_->capacity = std::max<int64_t>(capacity_blocks, 1);
+  state_->source = source;
+}
+
+BufferPool::~BufferPool() {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  state_->source = nullptr;  // Handles outliving the pool do no I/O.
+}
+
+Result<BlockRef> BufferPool::Pin(BlockId id) {
+  auto r = PinInternal(id, /*mark_dirty=*/false);
+  if (!r.ok()) return r.status();
+  return BlockRef(std::move(r).ValueOrDie());
+}
+
+Result<MutableBlockRef> BufferPool::PinMutable(BlockId id) {
+  return PinInternal(id, /*mark_dirty=*/true);
+}
+
+MutableBlockRef BufferPool::MakeHandle(const std::shared_ptr<State>& state,
+                                       BlockId id, Frame* frame,
+                                       bool mutable_pin) {
+  if (frame->pins++ == 0) {
+    state->pinned.splice(state->pinned.begin(), state->lru, frame->list_it);
+  }
+  if (mutable_pin) ++frame->mutable_pins;
+  // The handle aliases a token whose deleter unpins. The captured block
+  // shared_ptr keeps the memory alive even if Drop() removes the frame
+  // while handles are outstanding; the captured state keeps the mutex and
+  // frame table alive even if the pool itself is destroyed first.
+  std::shared_ptr<Block> keepalive = frame->block;
+  Block* raw = keepalive.get();
+  std::shared_ptr<void> token(
+      nullptr,
+      [state, id, mutable_pin,
+       keepalive = std::move(keepalive)](void*) mutable {
+        keepalive.reset();
+        Unpin(state, id, mutable_pin);
+      });
+  return MutableBlockRef(std::move(token), raw);
+}
+
+void BufferPool::Unpin(const std::shared_ptr<State>& state, BlockId id,
+                       bool mutable_pin) {
+  std::lock_guard<std::mutex> lock(state->mu);
+  auto it = state->frames.find(id);
+  if (it == state->frames.end()) return;  // Dropped (deleted) while pinned.
+  if (mutable_pin) --it->second.mutable_pins;
+  if (--it->second.pins == 0) {
+    // Back to the reclaimable list as most recently used, then settle any
+    // debt the pin pressure ran up against the budget.
+    state->lru.splice(state->lru.begin(), state->pinned, it->second.list_it);
+    EvictToCapacity(state.get());
+  }
+}
+
+Result<MutableBlockRef> BufferPool::PinInternal(BlockId id, bool mark_dirty) {
+  State* s = state_.get();
+  std::unique_lock<std::mutex> lock(s->mu);
+  for (;;) {
+    auto it = s->frames.find(id);
+    if (it != s->frames.end()) {
+      if (it->second.loading) {
+        // Another thread is reading this block; wait for it to finish (or
+        // fail and erase the frame, in which case we retry as a miss).
+        s->cv.wait(lock);
+        continue;
+      }
+      ++s->stats.hits;
+      if (mark_dirty) it->second.dirty = true;
+      return MakeHandle(state_, id, &it->second, mark_dirty);
+    }
+
+    // Miss: claim a loading frame so concurrent pins of the same id wait
+    // instead of issuing a second read, then load outside the lock.
+    Frame frame;
+    frame.loading = true;
+    s->pinned.push_front(id);  // Loading frames are never eviction victims.
+    frame.list_it = s->pinned.begin();
+    s->frames.emplace(id, std::move(frame));
+    ++s->stats.misses;
+    BlockSource* source = s->source;
+    lock.unlock();
+    auto loaded = source->LoadBlock(id);
+    lock.lock();
+    // Only the loader fills the frame — but Drop() may have erased it
+    // (block deleted) while the read was in flight.
+    auto fit = s->frames.find(id);
+    if (fit == s->frames.end()) {
+      s->cv.notify_all();
+      return Status::NotFound("block " + std::to_string(id) +
+                              " deleted during load");
+    }
+    if (!loaded.ok()) {
+      s->pinned.erase(fit->second.list_it);
+      s->frames.erase(fit);
+      s->cv.notify_all();
+      return loaded.status();
+    }
+    fit->second.block = std::make_shared<Block>(std::move(loaded).ValueOrDie());
+    fit->second.loading = false;
+    if (mark_dirty) fit->second.dirty = true;
+    // Hand the frame to the LRU first; MakeHandle moves it to the pinned
+    // list on the 0 -> 1 pin transition.
+    s->lru.splice(s->lru.begin(), s->pinned, fit->second.list_it);
+    MutableBlockRef ref = MakeHandle(state_, id, &fit->second, mark_dirty);
+    s->cv.notify_all();
+    EvictToCapacity(s);
+    return ref;
+  }
+}
+
+void BufferPool::Insert(BlockId id, Block block) {
+  State* s = state_.get();
+  std::lock_guard<std::mutex> lock(s->mu);
+  Frame frame;
+  frame.block = std::make_shared<Block>(std::move(block));
+  frame.dirty = true;
+  s->lru.push_front(id);
+  frame.list_it = s->lru.begin();
+  s->frames.insert_or_assign(id, std::move(frame));
+  EvictToCapacity(s);
+}
+
+void BufferPool::Drop(BlockId id) {
+  State* s = state_.get();
+  std::lock_guard<std::mutex> lock(s->mu);
+  auto it = s->frames.find(id);
+  if (it == s->frames.end()) return;
+  (it->second.pins > 0 || it->second.loading ? s->pinned : s->lru)
+      .erase(it->second.list_it);
+  s->frames.erase(it);
+}
+
+std::shared_ptr<const Block> BufferPool::Peek(BlockId id) const {
+  State* s = state_.get();
+  std::lock_guard<std::mutex> lock(s->mu);
+  auto it = s->frames.find(id);
+  if (it == s->frames.end() || it->second.loading) return nullptr;
+  return it->second.block;
+}
+
+void BufferPool::EvictToCapacity(State* s) {
+  // Victims come off the unpinned LRU tail only — O(1) each. When the
+  // overshoot is all pins, the LRU is empty and this returns immediately.
+  while (static_cast<int64_t>(s->frames.size()) > s->capacity &&
+         !s->lru.empty()) {
+    const BlockId victim = s->lru.back();
+    auto fit = s->frames.find(victim);
+    if (fit->second.dirty) {
+      if (s->source == nullptr ||
+          !s->source->WriteBack(*fit->second.block).ok()) {
+        // Keep the data; rotate the frame to MRU so the clean frames
+        // behind it can still evict. The failure resurfaces (and the
+        // write retries) on the next FlushAll.
+        s->lru.splice(s->lru.begin(), s->lru, fit->second.list_it);
+        return;
+      }
+      ++s->stats.writebacks;
+    }
+    ++s->stats.evictions;
+    s->lru.pop_back();
+    s->frames.erase(fit);
+  }
+}
+
+Status BufferPool::FlushAll() {
+  State* s = state_.get();
+  std::lock_guard<std::mutex> lock(s->mu);
+  if (s->source == nullptr) {
+    return Status::InvalidArgument("buffer pool is closed");
+  }
+  for (auto& [id, frame] : s->frames) {
+    if (frame.loading || !frame.dirty) continue;
+    ADB_RETURN_NOT_OK(s->source->WriteBack(*frame.block));
+    // A frame with outstanding *mutable* pins stays dirty: the holder may
+    // mutate it after this snapshot, and clearing the flag here would let
+    // eviction discard those later writes. Read pins are harmless.
+    if (frame.mutable_pins == 0) frame.dirty = false;
+    ++s->stats.writebacks;
+  }
+  return Status::OK();
+}
+
+void BufferPool::set_capacity(int64_t capacity_blocks) {
+  State* s = state_.get();
+  std::lock_guard<std::mutex> lock(s->mu);
+  s->capacity = std::max<int64_t>(capacity_blocks, 1);
+  EvictToCapacity(s);
+}
+
+int64_t BufferPool::capacity() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->capacity;
+}
+
+int64_t BufferPool::resident_blocks() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return static_cast<int64_t>(state_->frames.size());
+}
+
+BufferPoolStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->stats;
+}
+
+}  // namespace adaptdb::io

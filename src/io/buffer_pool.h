@@ -1,0 +1,157 @@
+/// \file buffer_pool.h
+/// \brief Fixed-budget cache of deserialized blocks with LRU eviction.
+///
+/// The pool sits between a BlockStore's callers and a BlockSource (the
+/// physical layer: segment files). Pin() returns a shared_ptr whose
+/// ownership IS the pin: the handle carries a token that decrements the
+/// frame's pin count when the last copy dies. Pinned frames live on a
+/// separate list that eviction never visits, so eviction is O(1) per
+/// victim — the LRU tail of the unpinned list — and a pool that is over
+/// budget purely because of pins pays nothing per miss beyond the load
+/// itself. Dirty frames (created or pinned mutable) are written back
+/// through the source before being dropped; a failed write-back rotates
+/// the frame to MRU (so clean frames behind it still evict) and surfaces
+/// through the next FlushAll.
+///
+/// Handles own the pool's internal state jointly (shared control block),
+/// so a BlockRef may safely outlive the BufferPool and its store: the last
+/// handle just releases the leftover frames. The BlockSource, however, is
+/// only used while the pool is alive.
+///
+/// Thread safety: fully thread-safe. Concurrent pins of a block being
+/// loaded wait on a condition variable instead of loading twice; the
+/// actual read happens outside the pool lock, so misses on different
+/// blocks overlap their I/O. The budget is a soft cap under pin pressure:
+/// when every frame is pinned the pool overshoots rather than failing
+/// (documented in StorageConfig::buffer_blocks).
+
+#ifndef ADAPTDB_IO_BUFFER_POOL_H_
+#define ADAPTDB_IO_BUFFER_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "storage/block_store.h"
+
+namespace adaptdb::io {
+
+/// \brief Cumulative pool counters.
+struct BufferPoolStats {
+  int64_t hits = 0;        ///< Pins served from resident frames.
+  int64_t misses = 0;      ///< Pins that loaded from the source (real reads).
+  int64_t evictions = 0;   ///< Frames dropped to respect the budget.
+  int64_t writebacks = 0;  ///< Dirty frames written through the source.
+};
+
+/// \brief The physical layer beneath a BufferPool.
+class BlockSource {
+ public:
+  virtual ~BlockSource() = default;
+  /// Reads and deserializes one block.
+  virtual Result<Block> LoadBlock(BlockId id) = 0;
+  /// Serializes and persists one block (append + directory repoint).
+  virtual Status WriteBack(const Block& block) = 0;
+};
+
+/// \brief The block cache. See file comment for the pinning contract.
+class BufferPool {
+ public:
+  /// `capacity_blocks` is clamped to >= 1; `source` must outlive the pool
+  /// (but not the handles it issued).
+  BufferPool(int64_t capacity_blocks, BlockSource* source);
+
+  /// Detaches from the source. Outstanding handles stay valid; the frames
+  /// they pin are released when the last handle dies. Dirty frames not
+  /// flushed before destruction are dropped (there is no reopen yet).
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins `id` for reading, loading it on a miss. The block stays resident
+  /// until every copy of the returned handle is gone.
+  Result<BlockRef> Pin(BlockId id);
+
+  /// Pins `id` for mutation, marking the frame dirty.
+  Result<MutableBlockRef> PinMutable(BlockId id);
+
+  /// Inserts a brand-new block (CreateBlock path), unpinned. The frame
+  /// starts dirty: it has never been persisted.
+  void Insert(BlockId id, Block block);
+
+  /// Drops `id`'s frame without write-back (Delete path). No-op when not
+  /// resident. Outstanding handles keep the block's memory alive but it is
+  /// no longer reachable through the pool.
+  void Drop(BlockId id);
+
+  /// The resident block, or null — never loads, never pins, never touches
+  /// the LRU. The returned ref shares the block's lifetime, not a pin:
+  /// the frame may still be evicted underneath it (the memory stays valid).
+  std::shared_ptr<const Block> Peek(BlockId id) const;
+
+  /// Writes every dirty frame through the source. Retries (and surfaces)
+  /// write-backs that failed during eviction.
+  Status FlushAll();
+
+  /// Changes the eviction budget; shrinking evicts immediately.
+  void set_capacity(int64_t capacity_blocks);
+
+  int64_t capacity() const;
+  int64_t resident_blocks() const;
+  BufferPoolStats stats() const;
+
+ private:
+  struct Frame {
+    std::shared_ptr<Block> block;  ///< Null while loading.
+    int64_t pins = 0;          ///< All outstanding handles.
+    int64_t mutable_pins = 0;  ///< Handles that may still mutate the block.
+    bool loading = false;
+    bool dirty = false;
+    /// Position in lru (pins == 0, loaded) or pinned (otherwise).
+    std::list<BlockId>::iterator list_it;
+  };
+
+  /// All mutable pool state, owned jointly by the pool and every issued
+  /// handle — so a handle dying after the pool is destroyed still has a
+  /// live mutex and frame table to unpin against.
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    int64_t capacity;
+    /// Null once the owning pool is destroyed: no more I/O.
+    BlockSource* source;
+    std::unordered_map<BlockId, Frame> frames;
+    std::list<BlockId> lru;     ///< Unpinned loaded frames; front = MRU.
+    std::list<BlockId> pinned;  ///< Pinned or loading frames (unordered).
+    BufferPoolStats stats;
+  };
+
+  Result<MutableBlockRef> PinInternal(BlockId id, bool mark_dirty);
+
+  /// Wraps `frame`'s block in a handle whose destruction unpins `id`.
+  /// Requires state->mu held; increments the pin count(s) and moves the
+  /// frame to the pinned list on the 0 -> 1 transition.
+  static MutableBlockRef MakeHandle(const std::shared_ptr<State>& state,
+                                    BlockId id, Frame* frame,
+                                    bool mutable_pin);
+
+  /// Handle-death callback: decrements the pin count(s), returning the
+  /// frame to the LRU (as most recently used) on the 1 -> 0 transition.
+  static void Unpin(const std::shared_ptr<State>& state, BlockId id,
+                    bool mutable_pin);
+
+  /// Evicts unpinned LRU frames until the budget holds (or none are left).
+  /// Requires s->mu held; may perform write-back I/O.
+  static void EvictToCapacity(State* s);
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace adaptdb::io
+
+#endif  // ADAPTDB_IO_BUFFER_POOL_H_

@@ -1,0 +1,214 @@
+#include "io/format.h"
+
+#include <cstring>
+
+namespace adaptdb::io {
+
+namespace {
+
+void PutU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+/// Cursor over a byte buffer that fails softly at the end.
+struct Reader {
+  const unsigned char* p;
+  size_t left;
+
+  bool Take(size_t n, const unsigned char** out) {
+    if (left < n) return false;
+    *out = p;
+    p += n;
+    left -= n;
+    return true;
+  }
+
+  bool U8(uint8_t* v) {
+    const unsigned char* b;
+    if (!Take(1, &b)) return false;
+    *v = b[0];
+    return true;
+  }
+
+  bool U16(uint16_t* v) {
+    const unsigned char* b;
+    if (!Take(2, &b)) return false;
+    *v = static_cast<uint16_t>(b[0] | (b[1] << 8));
+    return true;
+  }
+
+  bool U32(uint32_t* v) {
+    const unsigned char* b;
+    if (!Take(4, &b)) return false;
+    *v = 0;
+    for (int i = 3; i >= 0; --i) *v = (*v << 8) | b[i];
+    return true;
+  }
+
+  bool U64(uint64_t* v) {
+    const unsigned char* b;
+    if (!Take(8, &b)) return false;
+    *v = 0;
+    for (int i = 7; i >= 0; --i) *v = (*v << 8) | b[i];
+    return true;
+  }
+};
+
+enum : uint8_t { kTagInt64 = 0, kTagDouble = 1, kTagString = 2 };
+
+void EncodeValue(std::string* out, const Value& v) {
+  switch (v.type()) {
+    case DataType::kInt64: {
+      out->push_back(static_cast<char>(kTagInt64));
+      PutU64(out, static_cast<uint64_t>(v.AsInt64()));
+      break;
+    }
+    case DataType::kDouble: {
+      out->push_back(static_cast<char>(kTagDouble));
+      uint64_t bits;
+      const double d = v.AsDouble();
+      std::memcpy(&bits, &d, sizeof(bits));
+      PutU64(out, bits);
+      break;
+    }
+    case DataType::kString: {
+      out->push_back(static_cast<char>(kTagString));
+      const std::string& s = v.AsString();
+      PutU32(out, static_cast<uint32_t>(s.size()));
+      out->append(s);
+      break;
+    }
+  }
+}
+
+bool DecodeValue(Reader* r, Value* out) {
+  uint8_t tag;
+  if (!r->U8(&tag)) return false;
+  switch (tag) {
+    case kTagInt64: {
+      uint64_t bits;
+      if (!r->U64(&bits)) return false;
+      *out = Value(static_cast<int64_t>(bits));
+      return true;
+    }
+    case kTagDouble: {
+      uint64_t bits;
+      if (!r->U64(&bits)) return false;
+      double d;
+      std::memcpy(&d, &bits, sizeof(d));
+      *out = Value(d);
+      return true;
+    }
+    case kTagString: {
+      uint32_t len;
+      if (!r->U32(&len)) return false;
+      const unsigned char* bytes;
+      if (!r->Take(len, &bytes)) return false;
+      *out = Value(std::string(reinterpret_cast<const char*>(bytes), len));
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+uint64_t Fnv1a64(std::string_view bytes) {
+  uint64_t h = 14695981039346656037ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string EncodeBlock(const Block& block) {
+  std::string payload;
+  for (const Record& rec : block.records()) {
+    for (const Value& v : rec) EncodeValue(&payload, v);
+  }
+
+  std::string out;
+  out.reserve(kBlockHeaderBytes + payload.size());
+  PutU32(&out, kBlockMagic);
+  PutU16(&out, kFormatVersion);
+  PutU16(&out, 0);  // flags
+  PutU64(&out, static_cast<uint64_t>(block.id()));
+  PutU32(&out, static_cast<uint32_t>(block.num_attrs()));
+  PutU32(&out, static_cast<uint32_t>(block.num_records()));
+  PutU64(&out, static_cast<uint64_t>(payload.size()));
+  PutU64(&out, Fnv1a64(payload));
+  out.append(payload);
+  return out;
+}
+
+Result<Block> DecodeBlock(std::string_view buf, int32_t expected_attrs) {
+  Reader r{reinterpret_cast<const unsigned char*>(buf.data()), buf.size()};
+  uint32_t magic;
+  uint16_t version, flags;
+  uint64_t id_bits, payload_len, checksum;
+  uint32_t num_attrs, num_records;
+  if (!r.U32(&magic) || !r.U16(&version) || !r.U16(&flags) ||
+      !r.U64(&id_bits) || !r.U32(&num_attrs) || !r.U32(&num_records) ||
+      !r.U64(&payload_len) || !r.U64(&checksum)) {
+    return Status::Corruption("block header truncated (" +
+                              std::to_string(buf.size()) + " bytes)");
+  }
+  if (magic != kBlockMagic) {
+    return Status::Corruption("bad block magic");
+  }
+  if (version != kFormatVersion) {
+    return Status::InvalidArgument(
+        "unsupported block format version " + std::to_string(version) +
+        " (expected " + std::to_string(kFormatVersion) + ")");
+  }
+  if (payload_len != r.left) {
+    return Status::Corruption(
+        "block payload truncated: header says " + std::to_string(payload_len) +
+        " bytes, " + std::to_string(r.left) + " available");
+  }
+  if (Fnv1a64(buf.substr(kBlockHeaderBytes)) != checksum) {
+    return Status::Corruption("block checksum mismatch (id " +
+                              std::to_string(static_cast<int64_t>(id_bits)) +
+                              ")");
+  }
+  if (expected_attrs >= 0 &&
+      num_attrs != static_cast<uint32_t>(expected_attrs)) {
+    return Status::Corruption("block attribute count " +
+                              std::to_string(num_attrs) + " != schema's " +
+                              std::to_string(expected_attrs));
+  }
+
+  Block block(static_cast<BlockId>(id_bits), static_cast<int32_t>(num_attrs));
+  Record rec(num_attrs);
+  for (uint32_t i = 0; i < num_records; ++i) {
+    for (uint32_t a = 0; a < num_attrs; ++a) {
+      if (!DecodeValue(&r, &rec[a])) {
+        return Status::Corruption("block payload truncated at record " +
+                                  std::to_string(i));
+      }
+    }
+    block.Add(rec);
+  }
+  if (r.left != 0) {
+    return Status::Corruption("block payload has " + std::to_string(r.left) +
+                              " trailing bytes");
+  }
+  return block;
+}
+
+}  // namespace adaptdb::io

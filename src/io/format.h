@@ -1,0 +1,59 @@
+/// \file format.h
+/// \brief On-disk block serialization: fixed header + record payload.
+///
+/// Layout (all integers little-endian):
+///
+///   offset  size  field
+///   0       4     magic "ADBK"
+///   4       2     format version (kFormatVersion)
+///   6       2     flags (reserved, 0)
+///   8       8     block id (int64)
+///   16      4     attribute count (int32)
+///   20      4     record count (uint32)
+///   24      8     payload length in bytes (uint64)
+///   32      8     FNV-1a 64 checksum of the payload
+///   40      ...   payload
+///
+/// Payload: records in order; each record is num_attrs values, each value a
+/// 1-byte type tag (0 = int64, 1 = double, 2 = string) followed by 8 bytes
+/// (int64 / double bit pattern) or u32 length + bytes (string). Doubles
+/// round-trip bit-exactly (the bit pattern is stored, not a decimal form).
+///
+/// Per-attribute min/max ranges are not stored: DecodeBlock rebuilds them by
+/// re-adding each record, which reproduces them exactly (ranges are a pure
+/// function of the record sequence).
+
+#ifndef ADAPTDB_IO_FORMAT_H_
+#define ADAPTDB_IO_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "storage/block.h"
+
+namespace adaptdb::io {
+
+/// "ADBK" in little-endian byte order.
+inline constexpr uint32_t kBlockMagic = 0x4b424441u;
+/// Current serialization version. DecodeBlock rejects any other.
+inline constexpr uint16_t kFormatVersion = 1;
+/// Fixed header size in bytes.
+inline constexpr size_t kBlockHeaderBytes = 40;
+
+/// Serializes `block` (header + payload) into a byte string.
+std::string EncodeBlock(const Block& block);
+
+/// Parses a serialized block. Validates magic, version, checksum, payload
+/// framing and the attribute count against `expected_attrs` (pass -1 to
+/// accept any). Returns Corruption / InvalidArgument on malformed input —
+/// never aborts.
+Result<Block> DecodeBlock(std::string_view buf, int32_t expected_attrs);
+
+/// FNV-1a 64-bit hash (the payload checksum).
+uint64_t Fnv1a64(std::string_view bytes);
+
+}  // namespace adaptdb::io
+
+#endif  // ADAPTDB_IO_FORMAT_H_

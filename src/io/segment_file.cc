@@ -1,0 +1,162 @@
+#include "io/segment_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+
+namespace adaptdb::io {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+SegmentManager::~SegmentManager() {
+  for (Segment& seg : segments_) {
+    if (seg.fd >= 0) ::close(seg.fd);
+  }
+}
+
+Result<std::unique_ptr<SegmentManager>> SegmentManager::Open(
+    const std::string& dir, int64_t segment_max_bytes) {
+  if (dir.empty()) {
+    return Status::InvalidArgument("segment directory path is empty");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create segment directory '" + dir +
+                            "': " + ec.message());
+  }
+  auto mgr = std::unique_ptr<SegmentManager>(
+      new SegmentManager(dir, std::max<int64_t>(segment_max_bytes, 1)));
+  ADB_RETURN_NOT_OK(mgr->OpenSegment(0));
+  return mgr;
+}
+
+std::string SegmentManager::SegmentPath(uint32_t id) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "seg-%06u.adb", id);
+  return dir_ + "/" + name;
+}
+
+Status SegmentManager::OpenSegment(uint32_t id) {
+  const std::string path = SegmentPath(id);
+  const int fd = ::open(path.c_str(), O_CREAT | O_RDWR, 0644);
+  if (fd < 0) {
+    return Status::Internal(ErrnoMessage("open('" + path + "')"));
+  }
+  // A non-empty file means another (or an earlier) store already wrote to
+  // this directory; appending from our in-memory offset 0 would silently
+  // clobber its data. Reopening an existing store is not supported yet
+  // (ROADMAP: store reopen/recovery) — fail loudly instead.
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const Status err = Status::Internal(ErrnoMessage("fstat('" + path + "')"));
+    ::close(fd);
+    return err;
+  }
+  if (st.st_size > 0) {
+    ::close(fd);
+    return Status::InvalidArgument(
+        "segment file '" + path + "' already contains data (" +
+        std::to_string(st.st_size) +
+        " bytes); refusing to overwrite — use a fresh directory per store");
+  }
+  segments_.push_back(Segment{fd, 0});
+  return Status::OK();
+}
+
+Result<BlockLocation> SegmentManager::Append(std::string_view bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (segments_.back().size >= static_cast<uint64_t>(segment_max_bytes_) &&
+      segments_.back().size > 0) {
+    ADB_RETURN_NOT_OK(OpenSegment(static_cast<uint32_t>(segments_.size())));
+  }
+  Segment& seg = segments_.back();
+  BlockLocation loc;
+  loc.segment_id = static_cast<uint32_t>(segments_.size() - 1);
+  loc.offset = seg.size;
+  loc.length = bytes.size();
+
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::pwrite(seg.fd, bytes.data() + written, bytes.size() - written,
+                 static_cast<off_t>(loc.offset + written));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(ErrnoMessage("pwrite(segment " +
+                                           std::to_string(loc.segment_id) +
+                                           ")"));
+    }
+    written += static_cast<size_t>(n);
+  }
+  seg.size += bytes.size();
+  return loc;
+}
+
+Status SegmentManager::ReadAt(const BlockLocation& loc,
+                              std::string* out) const {
+  int fd = -1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (loc.segment_id >= segments_.size()) {
+      return Status::Corruption("read of unknown segment " +
+                                std::to_string(loc.segment_id));
+    }
+    fd = segments_[loc.segment_id].fd;
+  }
+  out->resize(loc.length);
+  size_t done = 0;
+  while (done < loc.length) {
+    const ssize_t n = ::pread(fd, out->data() + done, loc.length - done,
+                              static_cast<off_t>(loc.offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(ErrnoMessage("pread(segment " +
+                                           std::to_string(loc.segment_id) +
+                                           ")"));
+    }
+    if (n == 0) {
+      return Status::Corruption(
+          "short read in segment " + std::to_string(loc.segment_id) + ": " +
+          std::to_string(done) + " of " + std::to_string(loc.length) +
+          " bytes at offset " + std::to_string(loc.offset) +
+          " (truncated file?)");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status SegmentManager::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Segment& seg : segments_) {
+    if (::fsync(seg.fd) != 0) {
+      return Status::Internal(ErrnoMessage("fsync"));
+    }
+  }
+  return Status::OK();
+}
+
+int64_t SegmentManager::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const Segment& seg : segments_) {
+    total += static_cast<int64_t>(seg.size);
+  }
+  return total;
+}
+
+}  // namespace adaptdb::io

@@ -1,0 +1,89 @@
+/// \file segment_file.h
+/// \brief Append-only segment files: the physical home of serialized blocks.
+///
+/// A SegmentManager owns a directory of numbered segment files
+/// (seg-000001.adb, ...). Writers append whole serialized blocks and get
+/// back a BlockLocation; readers pread exactly that extent. Files are never
+/// rewritten in place — a block updated in memory is appended again and the
+/// directory entry repointed, mirroring HDFS's append-only files (paper §2).
+/// Superseded extents become garbage (no compaction yet; see ROADMAP).
+
+#ifndef ADAPTDB_IO_SEGMENT_FILE_H_
+#define ADAPTDB_IO_SEGMENT_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace adaptdb::io {
+
+/// \brief Physical address of one serialized block.
+struct BlockLocation {
+  uint32_t segment_id = 0;  ///< Index of the segment file.
+  uint64_t offset = 0;      ///< Byte offset within the segment.
+  uint64_t length = 0;      ///< Extent length in bytes.
+};
+
+/// \brief Manages the append-only segment files of one store.
+///
+/// Thread safety: Append calls are serialized internally; ReadAt is safe
+/// concurrently with other reads and with appends (preads never touch the
+/// append offset, and segments are never truncated).
+class SegmentManager {
+ public:
+  ~SegmentManager();
+
+  SegmentManager(const SegmentManager&) = delete;
+  SegmentManager& operator=(const SegmentManager&) = delete;
+
+  /// Opens a manager over `dir` (created if missing). Rolls to a new
+  /// segment once the current one exceeds `segment_max_bytes`.
+  static Result<std::unique_ptr<SegmentManager>> Open(
+      const std::string& dir, int64_t segment_max_bytes);
+
+  /// Appends `bytes` to the current segment, rolling over when full.
+  Result<BlockLocation> Append(std::string_view bytes);
+
+  /// Reads exactly the extent at `loc` into `out`. A short read (e.g. a
+  /// truncated file) is a Corruption error, not a crash.
+  Status ReadAt(const BlockLocation& loc, std::string* out) const;
+
+  /// fsyncs every segment file.
+  Status Sync();
+
+  /// Total bytes appended across all segments (garbage included).
+  int64_t TotalBytes() const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  SegmentManager(std::string dir, int64_t segment_max_bytes)
+      : dir_(std::move(dir)), segment_max_bytes_(segment_max_bytes) {}
+
+  /// Opens segment `id`'s file, creating it. Appends to segments_.
+  Status OpenSegment(uint32_t id);
+
+  std::string SegmentPath(uint32_t id) const;
+
+  std::string dir_;
+  int64_t segment_max_bytes_;
+
+  struct Segment {
+    int fd = -1;
+    uint64_t size = 0;
+  };
+
+  /// Guards segments_ growth and the append offset. Reads copy the fd out
+  /// under the lock, then pread without it.
+  mutable std::mutex mu_;
+  std::vector<Segment> segments_;
+};
+
+}  // namespace adaptdb::io
+
+#endif  // ADAPTDB_IO_SEGMENT_FILE_H_

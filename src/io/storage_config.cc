@@ -1,0 +1,23 @@
+#include "io/storage_config.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace adaptdb {
+
+StorageConfig ApplyStorageEnv(StorageConfig config) {
+  if (const char* backend = std::getenv("ADAPTDB_STORAGE")) {
+    if (std::strcmp(backend, "disk") == 0) {
+      config.backend = StorageConfig::Backend::kDisk;
+    } else if (std::strcmp(backend, "memory") == 0) {
+      config.backend = StorageConfig::Backend::kMemory;
+    }
+  }
+  if (const char* blocks = std::getenv("ADAPTDB_BUFFER_BLOCKS")) {
+    const long long n = std::atoll(blocks);
+    if (n >= 1) config.buffer_blocks = static_cast<int64_t>(n);
+  }
+  return config;
+}
+
+}  // namespace adaptdb

@@ -1,0 +1,53 @@
+/// \file storage_config.h
+/// \brief Configuration of the persistent storage backend.
+
+#ifndef ADAPTDB_IO_STORAGE_CONFIG_H_
+#define ADAPTDB_IO_STORAGE_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace adaptdb {
+
+/// \brief Selects and tunes the block storage backend of a table.
+///
+/// Threaded through ClusterConfig -> DatabaseOptions, so a whole Database
+/// (every table it creates) runs either on the in-memory store or on
+/// file-backed blocks behind a buffer pool.
+struct StorageConfig {
+  enum class Backend {
+    /// Blocks live in a hashmap; every read is free (the simulator's
+    /// original regime).
+    kMemory,
+    /// Blocks live in append-only segment files; reads miss through a
+    /// BufferPool into real preads.
+    kDisk,
+  };
+
+  Backend backend = Backend::kMemory;
+
+  /// Directory for segment files (disk backend). Empty: a fresh temp
+  /// directory is created under $TMPDIR and removed when the store closes.
+  std::string dir;
+
+  /// Buffer-pool budget in blocks. Pinned blocks never count against
+  /// eviction, so the pool can transiently exceed this while pins are held
+  /// (e.g. a shuffle join's map phase pins its whole input).
+  int64_t buffer_blocks = 64;
+
+  /// Size at which the current segment file rolls over.
+  int64_t segment_max_bytes = int64_t{64} << 20;
+
+  /// fsync segment files on Flush().
+  bool sync_on_flush = false;
+};
+
+/// Applies environment overrides (used by CI to run the whole test suite on
+/// the disk backend without code changes):
+///   ADAPTDB_STORAGE=disk|memory   selects the backend
+///   ADAPTDB_BUFFER_BLOCKS=N       overrides buffer_blocks (N >= 1)
+StorageConfig ApplyStorageEnv(StorageConfig config);
+
+}  // namespace adaptdb
+
+#endif  // ADAPTDB_IO_STORAGE_CONFIG_H_

@@ -18,24 +18,36 @@ Result<OverlapMatrix> ComputeOverlap(const BlockStore& r_store,
   out.s_blocks = s_blocks;
   out.vectors.reserve(r_blocks.size());
 
-  // Materialize S ranges once.
-  std::vector<const Block*> s_ptrs;
-  s_ptrs.reserve(s_blocks.size());
+  // Materialize S ranges once. Only the tiny {non-empty, range} summary is
+  // kept — copying it and dropping each pin immediately keeps the resident
+  // set O(1) on buffered stores (pinning the whole S side would exempt it
+  // from eviction and defeat the pool budget).
+  struct SRange {
+    bool nonempty = false;
+    ValueRange range;
+  };
+  std::vector<SRange> s_ranges;
+  s_ranges.reserve(s_blocks.size());
   for (BlockId sb : s_blocks) {
     auto blk = s_store.Get(sb);
     if (!blk.ok()) return blk.status();
-    s_ptrs.push_back(blk.ValueOrDie());
+    const BlockRef& s = blk.ValueOrDie();
+    if (s->empty()) {
+      s_ranges.push_back(SRange{});
+    } else {
+      s_ranges.push_back(SRange{true, s->range(s_attr)});
+    }
   }
 
   for (BlockId rb : r_blocks) {
     auto blk = r_store.Get(rb);
     if (!blk.ok()) return blk.status();
-    const Block* r = blk.ValueOrDie();
+    const BlockRef& r = blk.ValueOrDie();
     BitVector v(s_blocks.size());
     if (!r->empty()) {
       const ValueRange& rr = r->range(r_attr);
-      for (size_t j = 0; j < s_ptrs.size(); ++j) {
-        if (!s_ptrs[j]->empty() && rr.Overlaps(s_ptrs[j]->range(s_attr))) {
+      for (size_t j = 0; j < s_ranges.size(); ++j) {
+        if (s_ranges[j].nonempty && rr.Overlaps(s_ranges[j].range)) {
           v.Set(j);
         }
       }

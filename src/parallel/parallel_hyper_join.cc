@@ -31,8 +31,8 @@ Result<JoinExecResult> ParallelHyperJoin(
   std::vector<Partial> partials(static_cast<size_t>(num_groups));
   const bool materialize = output != nullptr;
   FirstFailure failed;
-  TaskPool pool(config.num_threads);
-  pool.ParallelFor(0, num_groups, [&](int64_t g) {
+  PoolLease pool(config.pool, config.num_threads);
+  pool->ParallelFor(0, num_groups, [&](int64_t g) {
     if (!failed.ShouldRun(g)) return;  // Serial would have aborted by here.
     Partial& p = partials[static_cast<size_t>(g)];
     Grouping one;

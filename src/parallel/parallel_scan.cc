@@ -36,8 +36,8 @@ Result<ScanResult> ParallelScan(const BlockStore& store,
   };
   std::vector<Partial> partials(static_cast<size_t>(num_morsels));
   FirstFailure failed;
-  TaskPool pool(config.num_threads);
-  pool.ParallelFor(0, num_morsels, [&](int64_t i) {
+  PoolLease pool(config.pool, config.num_threads);
+  pool->ParallelFor(0, num_morsels, [&](int64_t i) {
     if (!failed.ShouldRun(i)) return;  // Serial would have aborted by here.
     const int64_t lo = i * morsel;
     const int64_t hi = std::min<int64_t>(n, lo + morsel);
@@ -105,8 +105,8 @@ Result<AggregateResult> ParallelScanAggregate(
   if (config.num_threads <= 1) {
     for (int64_t i = 0; i < num_morsels; ++i) run_morsel(i);
   } else {
-    TaskPool pool(config.num_threads);
-    pool.ParallelFor(0, num_morsels, run_morsel);
+    PoolLease pool(config.pool, config.num_threads);
+    pool->ParallelFor(0, num_morsels, run_morsel);
   }
 
   AggregateResult out;

@@ -16,6 +16,8 @@ namespace {
 struct MapPartial {
   Status status;
   std::vector<std::vector<const Record*>> parts;
+  /// Keeps the morsel's blocks resident while `parts` points into them.
+  std::vector<BlockRef> pins;
   IoStats io;
   int64_t blocks_read = 0;
 };
@@ -34,7 +36,7 @@ void MapMorsel(const BlockStore& store, const std::vector<BlockId>& blocks,
   for (int64_t i = lo; i < hi; ++i) {
     const BlockId id = blocks[static_cast<size_t>(i)];
     p->status = shuffle_internal::MapBlock(store, id, attr, preds, cluster,
-                                           &p->parts, &p->io);
+                                           &p->parts, &p->pins, &p->io);
     if (!p->status.ok()) return;
     ++p->blocks_read;
   }
@@ -69,7 +71,7 @@ Result<JoinExecResult> ParallelShuffleJoin(
   JoinExecResult out;
   const int32_t num_partitions = cluster.num_nodes();
   const int64_t morsel = std::max<int64_t>(1, config.morsel_blocks);
-  TaskPool pool(config.num_threads);
+  PoolLease pool(config.pool, config.num_threads);
 
   // Phase 1: morsel-parallel map-side read + filter + hash partition. The
   // R and S sides are independent, so both run under one ParallelFor (a
@@ -81,7 +83,7 @@ Result<JoinExecResult> ParallelShuffleJoin(
   std::vector<MapPartial> r_map(static_cast<size_t>(r_morsels));
   std::vector<MapPartial> s_map(static_cast<size_t>(s_morsels));
   FirstFailure failed;
-  pool.ParallelFor(0, r_morsels + s_morsels, [&](int64_t m) {
+  pool->ParallelFor(0, r_morsels + s_morsels, [&](int64_t m) {
     if (!failed.ShouldRun(m)) return;  // Serial would have aborted by here.
     const MapPartial* p;
     if (m < r_morsels) {
@@ -118,7 +120,7 @@ Result<JoinExecResult> ParallelShuffleJoin(
   };
   std::vector<ReducePartial> reduced(static_cast<size_t>(num_partitions));
   const bool materialize = output != nullptr;
-  pool.ParallelFor(0, num_partitions, [&](int64_t part) {
+  pool->ParallelFor(0, num_partitions, [&](int64_t part) {
     ReducePartial& p = reduced[static_cast<size_t>(part)];
     const std::vector<const Record*> r_part =
         GatherPartition(r_map, static_cast<size_t>(part));

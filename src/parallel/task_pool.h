@@ -126,6 +126,29 @@ class TaskPool {
   std::atomic<uint64_t> next_queue_{0};
 };
 
+/// \brief A pool to run on: the shared one when available, otherwise a
+/// transient pool owned by the lease.
+///
+/// Parallel drivers take their pool through this so a Database-owned pool
+/// is reused across queries (amortizing thread creation for short queries)
+/// while direct executor calls without a shared pool keep working.
+class PoolLease {
+ public:
+  /// Uses `shared` when non-null; otherwise creates a `num_threads` pool
+  /// that lives as long as the lease.
+  PoolLease(TaskPool* shared, int32_t num_threads)
+      : owned_(shared == nullptr ? std::make_unique<TaskPool>(num_threads)
+                                 : nullptr),
+        pool_(shared != nullptr ? shared : owned_.get()) {}
+
+  TaskPool* get() const { return pool_; }
+  TaskPool* operator->() const { return pool_; }
+
+ private:
+  std::unique_ptr<TaskPool> owned_;
+  TaskPool* pool_;
+};
+
 /// \brief Tracks the smallest failing task index of a parallel loop, so
 /// later tasks can be cancelled.
 ///

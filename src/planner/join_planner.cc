@@ -36,12 +36,13 @@ std::vector<BlockId> JoinPlanner::RelevantBlocks(
                                         ? ctx.store->BlockIds()
                                         : ctx.trees->LookupAll(preds, *ctx.store);
   // Drained leaves are empty HDFS files awaiting re-fill; reading them is
-  // free, so they never enter a plan.
+  // free, so they never enter a plan. RecordCount is directory metadata —
+  // pruning never physically reads a block.
   std::vector<BlockId> out;
   out.reserve(candidates.size());
   for (BlockId b : candidates) {
-    auto blk = ctx.store->Get(b);
-    if (blk.ok() && !blk.ValueOrDie()->empty()) out.push_back(b);
+    auto count = ctx.store->RecordCount(b);
+    if (count.ok() && count.ValueOrDie() > 0) out.push_back(b);
   }
   return out;
 }
@@ -248,13 +249,16 @@ Result<QueryRunResult> JoinPlanner::Execute(
     edge.s_blocks = static_cast<int64_t>(d_blocks.size());
 
     HashIndex index(build_attr);
+    std::vector<BlockRef> build_pins;  // Index references the blocks' rows.
+    build_pins.reserve(d_blocks.size());
     for (BlockId b : d_blocks) {
       auto blk = d_ctx->store->Get(b);
       if (!blk.ok()) return blk.status();
+      build_pins.push_back(blk.ValueOrDie());
       auto node = cluster.Locate(b);
       cluster.ReadBlock(b, node.ok() ? node.ValueOrDie() : 0, &result.io);
       ++edge.s_blocks_read;
-      index.AddBlock(*blk.ValueOrDie(), d_preds);
+      index.AddBlock(*build_pins.back(), d_preds);
     }
     cluster.ShuffleBlocks(edge.r_blocks, &result.io);
     edge.r_blocks_read = edge.r_blocks;

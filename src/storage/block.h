@@ -31,6 +31,9 @@ class Block {
   /// This block's identifier.
   BlockId id() const { return id_; }
 
+  /// Attribute count this block was created with.
+  int32_t num_attrs() const { return num_attrs_; }
+
   /// Appends a record, extending the per-attribute ranges.
   void Add(const Record& rec);
 

@@ -4,36 +4,44 @@
 
 namespace adaptdb {
 
-BlockId BlockStore::CreateBlock() {
+BlockId MemBlockStore::CreateBlock() {
   const BlockId id = next_id_++;
-  blocks_.emplace(id, std::make_unique<Block>(id, num_attrs_));
+  blocks_.emplace(id, std::make_shared<Block>(id, num_attrs()));
   return id;
 }
 
-Result<Block*> BlockStore::Get(BlockId id) {
+Result<BlockRef> MemBlockStore::Get(BlockId id) const {
   auto it = blocks_.find(id);
   if (it == blocks_.end()) {
     return Status::NotFound("block " + std::to_string(id));
   }
-  return it->second.get();
+  return BlockRef(it->second);
 }
 
-Result<const Block*> BlockStore::Get(BlockId id) const {
-  const Block* blk = GetOrNull(id);
-  if (blk == nullptr) {
+Result<MutableBlockRef> MemBlockStore::GetMutable(BlockId id) {
+  auto it = blocks_.find(id);
+  if (it == blocks_.end()) {
     return Status::NotFound("block " + std::to_string(id));
   }
-  return blk;
+  return it->second;
 }
 
-Status BlockStore::Delete(BlockId id) {
+Result<size_t> MemBlockStore::RecordCount(BlockId id) const {
+  auto it = blocks_.find(id);
+  if (it == blocks_.end()) {
+    return Status::NotFound("block " + std::to_string(id));
+  }
+  return it->second->num_records();
+}
+
+Status MemBlockStore::Delete(BlockId id) {
   if (blocks_.erase(id) == 0) {
     return Status::NotFound("block " + std::to_string(id));
   }
   return Status::OK();
 }
 
-std::vector<BlockId> BlockStore::BlockIds() const {
+std::vector<BlockId> MemBlockStore::BlockIds() const {
   std::vector<BlockId> ids;
   ids.reserve(blocks_.size());
   for (const auto& [id, _] : blocks_) ids.push_back(id);
@@ -41,7 +49,7 @@ std::vector<BlockId> BlockStore::BlockIds() const {
   return ids;
 }
 
-size_t BlockStore::TotalRecords() const {
+size_t MemBlockStore::TotalRecords() const {
   size_t n = 0;
   for (const auto& [_, b] : blocks_) n += b->num_records();
   return n;

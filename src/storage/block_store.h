@@ -1,5 +1,18 @@
 /// \file block_store.h
 /// \brief Per-table block container with stable identifiers.
+///
+/// BlockStore is the abstract read/write surface the whole system executes
+/// against. Two implementations exist:
+///   - MemBlockStore (this file): a pure in-memory map, the original
+///     simulator backend.
+///   - DiskBlockStore (io/disk_block_store.h): file-backed blocks behind a
+///     BufferPool, so "reading a block" is a real pread on a miss.
+///
+/// Access returns pinned references. A BlockRef is a shared handle: holding
+/// it keeps the block alive (and, for the disk store, resident — the buffer
+/// pool never frees a pinned block). Callers that stash raw Record pointers
+/// into hash indexes must keep the corresponding BlockRefs alive for the
+/// index's lifetime.
 
 #ifndef ADAPTDB_STORAGE_BLOCK_STORE_H_
 #define ADAPTDB_STORAGE_BLOCK_STORE_H_
@@ -13,58 +26,129 @@
 
 namespace adaptdb {
 
+/// A pinned, read-only reference to a block. Valid as long as it is held;
+/// copying shares the pin.
+using BlockRef = std::shared_ptr<const Block>;
+
+/// A pinned, mutable reference to a block. Obtaining one marks the block
+/// dirty in buffered stores. Mutation is single-threaded by contract (see
+/// the thread-safety note below).
+using MutableBlockRef = std::shared_ptr<Block>;
+
+/// \brief Storage-backend counters: buffer-pool hits/misses and physical
+/// block writes. All zero for the in-memory store.
+struct StorageCounters {
+  /// Block accesses served from the buffer pool.
+  int64_t buffer_hits = 0;
+  /// Block accesses that required a real read from storage.
+  int64_t buffer_misses = 0;
+  /// Blocks physically written back to storage.
+  int64_t physical_block_writes = 0;
+};
+
 /// \brief Owns the blocks of one table. Blocks are created, looked up and
 /// deleted by id; ids are never reused, mirroring append-only HDFS files.
 ///
-/// Thread safety: the const read path (Get const, GetOrNull, Contains,
-/// BlockIds, num_blocks, TotalRecords) is safe to call concurrently from
-/// many threads as long as no thread mutates the store (CreateBlock,
-/// Delete, or writes through a non-const Block*). The parallel execution
-/// engine relies on this: during query execution blocks are immutable.
+/// Thread safety: the read path (Get, GetOrNull, Contains, BlockIds,
+/// num_blocks, TotalRecords) is safe to call concurrently from many threads
+/// as long as no thread mutates the store (CreateBlock, Delete, GetMutable,
+/// or writes through a MutableBlockRef). The parallel execution engine
+/// relies on this: during query execution blocks are immutable.
 class BlockStore {
  public:
   /// Creates a store for records with `num_attrs` attributes.
   explicit BlockStore(int32_t num_attrs) : num_attrs_(num_attrs) {}
+  virtual ~BlockStore() = default;
+
+  BlockStore(const BlockStore&) = delete;
+  BlockStore& operator=(const BlockStore&) = delete;
 
   /// Allocates a fresh empty block and returns its id.
-  BlockId CreateBlock();
+  virtual BlockId CreateBlock() = 0;
 
-  /// Fetches a block by id.
-  Result<Block*> Get(BlockId id);
-  /// Fetches a block by id (const).
-  Result<const Block*> Get(BlockId id) const;
+  /// Fetches (and pins) a block by id. NotFound when `id` is not live;
+  /// disk-backed stores may also surface I/O or corruption errors.
+  virtual Result<BlockRef> Get(BlockId id) const = 0;
 
-  /// Single-lookup fast path for hot loops: the block, or nullptr when `id`
-  /// is not live. No Status/Result construction on either path.
-  const Block* GetOrNull(BlockId id) const {
-    auto it = blocks_.find(id);
-    return it == blocks_.end() ? nullptr : it->second.get();
+  /// Fetches (and pins) a block for mutation. Buffered stores mark the
+  /// block dirty; it is written back on eviction or Flush.
+  virtual Result<MutableBlockRef> GetMutable(BlockId id) = 0;
+
+  /// Convenience wrapper that collapses every failure — NotFound, but also
+  /// I/O errors and corruption on disk-backed stores — to nullptr. Use Get
+  /// on production paths (the executors all do) so storage errors
+  /// propagate; this survives mainly for tests and ad-hoc probing.
+  virtual BlockRef GetOrNull(BlockId id) const {
+    auto r = Get(id);
+    return r.ok() ? std::move(r).ValueOrDie() : nullptr;
   }
 
   /// True iff `id` names a live block.
-  bool Contains(BlockId id) const {
-    return blocks_.find(id) != blocks_.end();
-  }
+  virtual bool Contains(BlockId id) const = 0;
 
-  /// Deletes a block (after migration to another tree).
-  Status Delete(BlockId id);
+  /// Number of records in block `id` — O(1) metadata on both backends
+  /// (the disk store answers from its directory without reading the
+  /// payload). NotFound when `id` is not live. Planners and the adaptive
+  /// optimizer use this to size/prune without incurring physical reads.
+  virtual Result<size_t> RecordCount(BlockId id) const = 0;
+
+  /// Deletes a block (after migration to another tree). Buffered stores
+  /// drop the block without writing it back.
+  virtual Status Delete(BlockId id) = 0;
 
   /// Ids of all live blocks, ascending.
-  std::vector<BlockId> BlockIds() const;
+  virtual std::vector<BlockId> BlockIds() const = 0;
 
   /// Number of live blocks.
-  size_t num_blocks() const { return blocks_.size(); }
+  virtual size_t num_blocks() const = 0;
 
   /// Total records across live blocks.
-  size_t TotalRecords() const;
+  virtual size_t TotalRecords() const = 0;
+
+  /// Writes all dirty state through to durable storage. No-op for the
+  /// in-memory store.
+  virtual Status Flush() { return Status::OK(); }
+
+  /// Cumulative backend counters (zeros for the in-memory store).
+  virtual StorageCounters counters() const { return {}; }
 
   /// Attribute count blocks are created with.
   int32_t num_attrs() const { return num_attrs_; }
 
  private:
   int32_t num_attrs_;
+};
+
+/// \brief The in-memory BlockStore: a hashmap of blocks, every access free.
+class MemBlockStore final : public BlockStore {
+ public:
+  explicit MemBlockStore(int32_t num_attrs) : BlockStore(num_attrs) {}
+
+  BlockId CreateBlock() override;
+  Result<BlockRef> Get(BlockId id) const override;
+  Result<MutableBlockRef> GetMutable(BlockId id) override;
+
+  /// In-memory override: a map lookup plus one refcount bump (the only
+  /// possible failure here is NotFound, so nothing is swallowed).
+  BlockRef GetOrNull(BlockId id) const override {
+    auto it = blocks_.find(id);
+    return it == blocks_.end() ? nullptr : it->second;
+  }
+
+  bool Contains(BlockId id) const override {
+    return blocks_.find(id) != blocks_.end();
+  }
+
+  Result<size_t> RecordCount(BlockId id) const override;
+
+  Status Delete(BlockId id) override;
+  std::vector<BlockId> BlockIds() const override;
+  size_t num_blocks() const override { return blocks_.size(); }
+  size_t TotalRecords() const override;
+
+ private:
   BlockId next_id_ = 0;
-  std::unordered_map<BlockId, std::unique_ptr<Block>> blocks_;
+  std::unordered_map<BlockId, std::shared_ptr<Block>> blocks_;
 };
 
 }  // namespace adaptdb

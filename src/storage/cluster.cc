@@ -11,13 +11,19 @@ void IoStats::Merge(const IoStats& other) {
   remote_block_reads += other.remote_block_reads;
   block_writes += other.block_writes;
   shuffled_blocks += other.shuffled_blocks;
+  buffer_hits += other.buffer_hits;
+  buffer_misses += other.buffer_misses;
+  physical_block_writes += other.physical_block_writes;
 }
 
 std::string IoStats::ToString() const {
   return "IoStats{local=" + std::to_string(local_block_reads) +
          ", remote=" + std::to_string(remote_block_reads) +
          ", writes=" + std::to_string(block_writes) +
-         ", shuffled=" + std::to_string(shuffled_blocks) + "}";
+         ", shuffled=" + std::to_string(shuffled_blocks) +
+         ", pool_hits=" + std::to_string(buffer_hits) +
+         ", pool_misses=" + std::to_string(buffer_misses) +
+         ", phys_writes=" + std::to_string(physical_block_writes) + "}";
 }
 
 ClusterSim::ClusterSim(ClusterConfig config) : config_(config) {}

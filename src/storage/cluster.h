@@ -19,6 +19,7 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "io/storage_config.h"
 #include "storage/block.h"
 
 namespace adaptdb {
@@ -36,6 +37,14 @@ struct IoStats {
   int64_t block_writes = 0;
   /// Block-equivalents of data moved through a shuffle.
   int64_t shuffled_blocks = 0;
+
+  /// Buffer-pool hits during the operation (disk-backed stores only; the
+  /// logical read counters above are backend-independent).
+  int64_t buffer_hits = 0;
+  /// Buffer-pool misses, i.e. real physical block reads (preads).
+  int64_t buffer_misses = 0;
+  /// Blocks physically written back to segment files.
+  int64_t physical_block_writes = 0;
 
   /// Total blocks read, local + remote.
   int64_t TotalReads() const { return local_block_reads + remote_block_reads; }
@@ -71,6 +80,11 @@ struct ClusterConfig {
   /// Blocks a single node can hold in memory for hash tables (the paper's
   /// B; with 4 GB buffers and 64 MB blocks, B = 64).
   int32_t memory_budget_blocks = 64;
+  /// Storage backend for every table of a Database built with this config.
+  /// With the disk backend, buffer-pool misses are real preads, so wall
+  /// clock reflects measured I/O instead of the emulated latency below.
+  StorageConfig storage;
+
   /// Microseconds of *real* wall-clock delay per block read (0 = off).
   /// Used by benchmarks to make the simulator I/O-bound in real time, the
   /// regime the paper's cluster operates in (§4.2): with it enabled, the

@@ -1,6 +1,7 @@
 #include "tree/upfront_partitioner.h"
 
 #include <algorithm>
+#include <map>
 #include <unordered_map>
 
 namespace adaptdb {
@@ -107,12 +108,19 @@ Result<PartitionTree> UpfrontPartitioner::Build(const Reservoir& sample,
 Status LoadRecords(const std::vector<Record>& records,
                    const PartitionTree& tree, BlockStore* store) {
   if (store == nullptr) return Status::InvalidArgument("null store");
+  // Route everything first, then append with one mutable pin per leaf:
+  // pinning per record would, on a buffered store whose pool is smaller
+  // than the leaf count, re-read and write back a block per record.
+  std::map<BlockId, std::vector<const Record*>> per_leaf;
   for (const Record& rec : records) {
     auto leaf = tree.Route(rec);
     if (!leaf.ok()) return leaf.status();
-    auto block = store->Get(leaf.ValueOrDie());
+    per_leaf[leaf.ValueOrDie()].push_back(&rec);
+  }
+  for (const auto& [leaf, recs] : per_leaf) {
+    auto block = store->GetMutable(leaf);
     if (!block.ok()) return block.status();
-    block.ValueOrDie()->Add(rec);
+    for (const Record* rec : recs) block.ValueOrDie()->Add(*rec);
   }
   return Status::OK();
 }

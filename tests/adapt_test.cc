@@ -87,7 +87,7 @@ TEST(QueryWindowTest, MinimumCapacityIsOne) {
 struct TableFixture {
   Schema schema;
   std::vector<Record> records;
-  BlockStore store{3};
+  MemBlockStore store{3};
   TreeSet trees;
   Reservoir sample{1000, 77};
   ClusterSim cluster;
@@ -144,7 +144,7 @@ TEST(TreeSetTest, PruneEmptyKeepsTargetAndDeletesLeaves) {
   TableFixture f;
   // Drain the upfront tree manually (clear, HDFS-append style).
   for (BlockId b : f.trees.LiveLeaves(kUpfrontTree, f.store)) {
-    f.store.Get(b).ValueOrDie()->ClearRecords();
+    f.store.GetMutable(b).ValueOrDie()->ClearRecords();
   }
   // keep == upfront: nothing pruned.
   auto kept = f.trees.PruneEmpty(&f.store, &f.cluster, kUpfrontTree);

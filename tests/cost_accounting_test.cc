@@ -17,7 +17,7 @@ namespace adaptdb {
 namespace {
 
 struct TwoTableFixture {
-  BlockStore r_store{1}, s_store{1};
+  MemBlockStore r_store{1}, s_store{1};
   std::vector<BlockId> r_blocks, s_blocks;
   ClusterSim cluster;
 
@@ -25,7 +25,7 @@ struct TwoTableFixture {
     Rng rng(3);
     for (int b = 0; b < 8; ++b) {
       const BlockId id = r_store.CreateBlock();
-      Block* blk = r_store.Get(id).ValueOrDie();
+      MutableBlockRef blk = r_store.GetMutable(id).ValueOrDie();
       for (int i = 0; i < 20; ++i) {
         blk->Add({Value(b * 100 + rng.UniformRange(0, 99))});
       }
@@ -34,7 +34,7 @@ struct TwoTableFixture {
     }
     for (int b = 0; b < 4; ++b) {
       const BlockId id = s_store.CreateBlock();
-      Block* blk = s_store.Get(id).ValueOrDie();
+      MutableBlockRef blk = s_store.GetMutable(id).ValueOrDie();
       for (int i = 0; i < 20; ++i) {
         blk->Add({Value(b * 200 + rng.UniformRange(0, 199))});
       }

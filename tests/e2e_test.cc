@@ -22,11 +22,17 @@ namespace {
 using adaptdb::testing::SortedRecords;
 using adaptdb::testing::TinyTpch;
 
-// A table partitioned by the upfront partitioner and fully loaded.
+// A table partitioned by the upfront partitioner and fully loaded. The
+// store comes from the backend factory, so ADAPTDB_STORAGE=disk runs this
+// suite against the disk-backed store.
 struct LoadedTable {
-  explicit LoadedTable(int32_t num_attrs) : store(num_attrs) {}
+  explicit LoadedTable(int32_t num_attrs)
+      : store_owner(testing::MakeStore(num_attrs)), store(*store_owner) {}
 
-  BlockStore store;
+  LoadedTable(LoadedTable&&) = default;
+
+  std::unique_ptr<BlockStore> store_owner;
+  BlockStore& store;
   std::vector<BlockId> blocks;
 };
 

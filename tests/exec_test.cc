@@ -17,8 +17,8 @@ namespace {
 
 // A small two-table fixture: R(key, val), S(key, val) with controlled keys.
 struct JoinFixture {
-  BlockStore r_store{2};
-  BlockStore s_store{2};
+  MemBlockStore r_store{2};
+  MemBlockStore s_store{2};
   std::vector<BlockId> r_blocks, s_blocks;
   ClusterSim cluster;
 
@@ -28,7 +28,7 @@ struct JoinFixture {
     Rng rng(seed);
     for (int b = 0; b < 4; ++b) {
       const BlockId id = r_store.CreateBlock();
-      Block* blk = r_store.Get(id).ValueOrDie();
+      MutableBlockRef blk = r_store.GetMutable(id).ValueOrDie();
       for (int i = 0; i < 25; ++i) {
         blk->Add({Value(b * 100 + rng.UniformRange(0, 99)),
                   Value(rng.UniformRange(0, 999))});
@@ -38,7 +38,7 @@ struct JoinFixture {
     }
     for (int b = 0; b < 4; ++b) {
       const BlockId id = s_store.CreateBlock();
-      Block* blk = s_store.Get(id).ValueOrDie();
+      MutableBlockRef blk = s_store.GetMutable(id).ValueOrDie();
       for (int i = 0; i < 10; ++i) {
         blk->Add({Value(b * 100 + 50 + rng.UniformRange(0, 99)),
                   Value(rng.UniformRange(0, 999))});
@@ -53,11 +53,11 @@ struct JoinFixture {
                     const PredicateSet& s_preds) const {
     JoinCounts counts;
     for (BlockId rb : r_blocks) {
-      const Block* r = r_store.Get(rb).ValueOrDie();
+      const BlockRef r = r_store.Get(rb).ValueOrDie();
       for (const Record& rr : r->records()) {
         if (!MatchesAll(r_preds, rr)) continue;
         for (BlockId sb : s_blocks) {
-          const Block* s = s_store.Get(sb).ValueOrDie();
+          const BlockRef s = s_store.Get(sb).ValueOrDie();
           for (const Record& sr : s->records()) {
             if (!MatchesAll(s_preds, sr)) continue;
             if (rr[0] == sr[0]) {
@@ -276,7 +276,7 @@ TEST(RepartitionTest, ClearDispositionKeepsEmptySources) {
     EXPECT_TRUE(f.r_store.Get(b).ValueOrDie()->empty());
   }
   // Routing respected: left block keys <= 199.
-  const Block* lb = f.r_store.Get(left).ValueOrDie();
+  const BlockRef lb = f.r_store.Get(left).ValueOrDie();
   EXPECT_TRUE(lb->range(0).hi <= Value(199));
 }
 

@@ -88,7 +88,7 @@ TEST(AppendTest, FailsOnUnloadedTableAndBadRecords) {
 }
 
 struct AggFixture {
-  BlockStore store{2};
+  MemBlockStore store{2};
   ClusterSim cluster;
   std::vector<BlockId> blocks;
 
@@ -96,7 +96,7 @@ struct AggFixture {
     // Two blocks: keys 0..49 with val = key, keys 50..99 with val = key.
     for (int b = 0; b < 2; ++b) {
       const BlockId id = store.CreateBlock();
-      Block* blk = store.Get(id).ValueOrDie();
+      MutableBlockRef blk = store.GetMutable(id).ValueOrDie();
       for (int64_t i = 0; i < 50; ++i) {
         const int64_t key = b * 50 + i;
         blk->Add({Value(key), Value(key)});
@@ -150,9 +150,9 @@ TEST(AggregateTest, EmptyResultAndStringErrors) {
   EXPECT_EQ(avg.ValueOrDie().rows_aggregated, 0);
   EXPECT_EQ(avg.ValueOrDie().value.AsInt64(), 0);
 
-  BlockStore str_store(1);
+  MemBlockStore str_store(1);
   const BlockId sb = str_store.CreateBlock();
-  str_store.Get(sb).ValueOrDie()->Add({Value("abc")});
+  str_store.GetMutable(sb).ValueOrDie()->Add({Value("abc")});
   auto bad = ScanAggregate(str_store, {sb}, {}, f.cluster, 0, AggFn::kSum);
   EXPECT_FALSE(bad.ok());
   // Min/max over strings is fine (ordered type).
@@ -204,7 +204,7 @@ TEST(JoinLevelsHeuristicTest, AutoModeWiresIntoSmoothRepartitioner) {
   auto records = KVRecords(2000, 500, 7);
   Reservoir sample(1000, 7);
   sample.AddAll(records);
-  BlockStore store(2);
+  MemBlockStore store(2);
   TreeSet trees;
   ClusterSim cluster;
   {

@@ -1,0 +1,616 @@
+// Tests for the persistent storage engine (src/io/): block serialization
+// round-trips and malformed-input handling, segment files, BufferPool
+// semantics (hits/misses, eviction, pin protection, dirty write-back), the
+// DiskBlockStore surface, and — the core contract — exact parity between
+// the in-memory and disk-backed stores: the full partition → scan →
+// hyper-join vs shuffle-join pipeline must produce identical results and
+// identical logical IoStats at 1, 2 and 8 threads, even when the buffer is
+// far smaller than the dataset (eviction + re-read).
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "exec/hyper_join.h"
+#include "exec/scan.h"
+#include "exec/shuffle_join.h"
+#include "io/buffer_pool.h"
+#include "io/disk_block_store.h"
+#include "io/format.h"
+#include "io/segment_file.h"
+#include "join/grouping.h"
+#include "join/overlap.h"
+#include "testing_util.h"
+#include "tree/upfront_partitioner.h"
+#include "workload/tpch.h"
+
+namespace adaptdb {
+namespace {
+
+using adaptdb::testing::TinyTpch;
+
+// ---------------------------------------------------------------------------
+// Serialization format.
+
+Block MakeBlock(BlockId id, const std::vector<Record>& records,
+                int32_t num_attrs) {
+  Block b(id, num_attrs);
+  for (const Record& r : records) b.Add(r);
+  return b;
+}
+
+void ExpectBlocksEqual(const Block& a, const Block& b) {
+  EXPECT_EQ(a.id(), b.id());
+  EXPECT_EQ(a.num_attrs(), b.num_attrs());
+  ASSERT_EQ(a.num_records(), b.num_records());
+  EXPECT_EQ(a.records(), b.records());
+  EXPECT_EQ(a.ranges(), b.ranges());
+}
+
+TEST(FormatTest, RoundTripsMixedTypes) {
+  const Block block = MakeBlock(
+      7,
+      {{Value(int64_t{42}), Value(3.5), Value("hello")},
+       {Value(int64_t{-1}), Value(-0.0), Value("")},
+       {Value(int64_t{INT64_MIN}), Value(1e-308), Value("snow\0man")}},
+      3);
+  auto decoded = io::DecodeBlock(io::EncodeBlock(block), 3);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectBlocksEqual(block, decoded.ValueOrDie());
+  // -0.0 must survive bit-exactly (operator== treats it equal to 0.0).
+  EXPECT_TRUE(std::signbit(decoded.ValueOrDie().records()[1][1].AsDouble()));
+}
+
+TEST(FormatTest, RoundTripsEmptyBlock) {
+  const Block block(11, 4);
+  auto decoded = io::DecodeBlock(io::EncodeBlock(block), 4);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectBlocksEqual(block, decoded.ValueOrDie());
+  EXPECT_TRUE(decoded.ValueOrDie().empty());
+}
+
+TEST(FormatTest, RoundTripsMaxWidthRecords) {
+  // Wide records of long strings: stresses length framing.
+  Record wide;
+  for (int i = 0; i < 64; ++i) {
+    wide.push_back(Value(std::string(1000 + i, 'x')));
+  }
+  const Block block = MakeBlock(3, {wide, wide}, 64);
+  auto decoded = io::DecodeBlock(io::EncodeBlock(block), 64);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectBlocksEqual(block, decoded.ValueOrDie());
+}
+
+TEST(FormatTest, TruncatedBufferIsCleanCorruption) {
+  const Block block =
+      MakeBlock(1, {{Value(int64_t{1}), Value(int64_t{2})}}, 2);
+  const std::string bytes = io::EncodeBlock(block);
+  for (const size_t cut :
+       {size_t{0}, size_t{10}, io::kBlockHeaderBytes - 1,
+        io::kBlockHeaderBytes, bytes.size() - 1}) {
+    auto decoded = io::DecodeBlock(std::string_view(bytes).substr(0, cut), 2);
+    ASSERT_FALSE(decoded.ok()) << "cut at " << cut;
+    EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(FormatTest, BadChecksumRejected) {
+  const Block block =
+      MakeBlock(1, {{Value(int64_t{1}), Value("abc")}}, 2);
+  std::string bytes = io::EncodeBlock(block);
+  bytes[bytes.size() - 1] ^= 0x40;  // Flip a payload bit.
+  auto decoded = io::DecodeBlock(bytes, 2);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(decoded.status().message().find("checksum"), std::string::npos);
+}
+
+TEST(FormatTest, VersionMismatchRejected) {
+  const Block block = MakeBlock(1, {{Value(int64_t{5})}}, 1);
+  std::string bytes = io::EncodeBlock(block);
+  bytes[4] = 99;  // Version field (little-endian u16 at offset 4).
+  auto decoded = io::DecodeBlock(bytes, 1);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(decoded.status().message().find("version"), std::string::npos);
+}
+
+TEST(FormatTest, BadMagicAndWrongSchemaRejected) {
+  const Block block = MakeBlock(1, {{Value(int64_t{5})}}, 1);
+  std::string bytes = io::EncodeBlock(block);
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'X';
+  EXPECT_EQ(io::DecodeBlock(bad_magic, 1).status().code(),
+            StatusCode::kCorruption);
+  // Attribute count mismatch against the reading schema.
+  EXPECT_EQ(io::DecodeBlock(bytes, 2).status().code(),
+            StatusCode::kCorruption);
+}
+
+// ---------------------------------------------------------------------------
+// Segment files.
+
+TEST(SegmentFileTest, AppendReadRoundTripAndRollover) {
+  auto store = std::move(DiskBlockStore::Open(1, {})).ValueOrDie();
+  // Tiny segments force rollover.
+  auto mgr = std::move(io::SegmentManager::Open(store->dir() + "/segtest",
+                                                /*segment_max_bytes=*/64))
+                 .ValueOrDie();
+  std::vector<io::BlockLocation> locs;
+  std::vector<std::string> payloads;
+  for (int i = 0; i < 10; ++i) {
+    payloads.push_back(std::string(40, static_cast<char>('a' + i)));
+    locs.push_back(std::move(mgr->Append(payloads.back())).ValueOrDie());
+  }
+  EXPECT_GT(locs.back().segment_id, 0u);  // Rolled over at least once.
+  for (int i = 0; i < 10; ++i) {
+    std::string out;
+    ASSERT_TRUE(mgr->ReadAt(locs[static_cast<size_t>(i)], &out).ok());
+    EXPECT_EQ(out, payloads[static_cast<size_t>(i)]);
+  }
+  EXPECT_EQ(mgr->TotalBytes(), 400);
+}
+
+TEST(SegmentFileTest, TruncatedFileIsCleanCorruption) {
+  auto base = std::move(DiskBlockStore::Open(1, {})).ValueOrDie();
+  const std::string dir = base->dir() + "/trunc";
+  auto mgr =
+      std::move(io::SegmentManager::Open(dir, 1 << 20)).ValueOrDie();
+  const auto loc = std::move(mgr->Append(std::string(100, 'z'))).ValueOrDie();
+  ASSERT_TRUE(mgr->Sync().ok());
+  ASSERT_EQ(::truncate((dir + "/seg-000000.adb").c_str(), 50), 0);
+  std::string out;
+  const Status st = mgr->ReadAt(loc, &out);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+}
+
+TEST(SegmentFileTest, RefusesToReopenNonEmptyDirectory) {
+  auto base = std::move(DiskBlockStore::Open(1, {})).ValueOrDie();
+  const std::string dir = base->dir() + "/reopen";
+  {
+    auto mgr = std::move(io::SegmentManager::Open(dir, 1 << 20)).ValueOrDie();
+    ASSERT_TRUE(mgr->Append("some data").ok());
+  }
+  // A second manager over the same files would append from offset 0 and
+  // clobber them; it must fail loudly instead.
+  auto reopened = io::SegmentManager::Open(dir, 1 << 20);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// BufferPool.
+
+/// An in-memory BlockSource that counts physical traffic.
+class FakeSource : public io::BlockSource {
+ public:
+  explicit FakeSource(int32_t num_attrs) : num_attrs_(num_attrs) {}
+
+  Result<Block> LoadBlock(BlockId id) override {
+    ++loads_;
+    auto it = disk_.find(id);
+    if (it == disk_.end()) {
+      return Status::NotFound("block " + std::to_string(id));
+    }
+    return io::DecodeBlock(it->second, num_attrs_);
+  }
+
+  Status WriteBack(const Block& block) override {
+    ++writebacks_;
+    disk_[block.id()] = io::EncodeBlock(block);
+    return Status::OK();
+  }
+
+  void Put(const Block& block) { disk_[block.id()] = io::EncodeBlock(block); }
+  bool Has(BlockId id) const { return disk_.count(id) > 0; }
+  int64_t loads() const { return loads_; }
+  int64_t writebacks() const { return writebacks_; }
+
+ private:
+  int32_t num_attrs_;
+  std::map<BlockId, std::string> disk_;
+  int64_t loads_ = 0;
+  int64_t writebacks_ = 0;
+};
+
+TEST(BufferPoolTest, HitsAndMissesCounted) {
+  FakeSource source(1);
+  for (BlockId id = 0; id < 3; ++id) {
+    source.Put(MakeBlock(id, {{Value(id)}}, 1));
+  }
+  io::BufferPool pool(2, &source);
+  ASSERT_TRUE(pool.Pin(0).ok());
+  ASSERT_TRUE(pool.Pin(0).ok());
+  ASSERT_TRUE(pool.Pin(1).ok());
+  const io::BufferPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_EQ(source.loads(), 2);
+  EXPECT_EQ(pool.resident_blocks(), 2);
+}
+
+TEST(BufferPoolTest, EvictsLeastRecentlyUsedUnpinned) {
+  FakeSource source(1);
+  for (BlockId id = 0; id < 3; ++id) {
+    source.Put(MakeBlock(id, {{Value(id)}}, 1));
+  }
+  io::BufferPool pool(2, &source);
+  ASSERT_TRUE(pool.Pin(0).ok());
+  ASSERT_TRUE(pool.Pin(1).ok());
+  ASSERT_TRUE(pool.Pin(0).ok());  // 0 is now MRU.
+  ASSERT_TRUE(pool.Pin(2).ok());  // Evicts 1 (LRU, unpinned, clean).
+  EXPECT_EQ(pool.resident_blocks(), 2);
+  EXPECT_EQ(pool.Peek(1), nullptr);
+  EXPECT_NE(pool.Peek(0), nullptr);
+  EXPECT_EQ(pool.stats().evictions, 1);
+  EXPECT_EQ(source.writebacks(), 0);  // Clean eviction writes nothing.
+  // Re-pinning 1 is a fresh load.
+  ASSERT_TRUE(pool.Pin(1).ok());
+  EXPECT_EQ(source.loads(), 4);
+}
+
+TEST(BufferPoolTest, PinnedBlocksSurviveEvictionPressure) {
+  FakeSource source(1);
+  for (BlockId id = 0; id < 4; ++id) {
+    source.Put(MakeBlock(id, {{Value(id)}}, 1));
+  }
+  io::BufferPool pool(1, &source);
+  auto pinned = std::move(pool.Pin(0)).ValueOrDie();
+  // Churn through other blocks: 0 stays resident (soft overshoot), the
+  // record data behind `pinned` is never freed.
+  for (BlockId id = 1; id < 4; ++id) {
+    ASSERT_TRUE(pool.Pin(id).ok());
+  }
+  EXPECT_EQ(pinned->records()[0][0].AsInt64(), 0);
+  EXPECT_NE(pool.Peek(0), nullptr);
+  pinned.reset();
+  // The next miss triggers eviction, and 0 is now evictable.
+  ASSERT_TRUE(pool.Pin(1).ok());
+  EXPECT_EQ(pool.resident_blocks(), 1);
+  EXPECT_EQ(pool.Peek(0), nullptr);
+}
+
+TEST(BufferPoolTest, DirtyEvictionWritesBackAndReloads) {
+  FakeSource source(1);
+  io::BufferPool pool(1, &source);
+  pool.Insert(0, MakeBlock(0, {}, 1));
+  {
+    auto mut = std::move(pool.PinMutable(0)).ValueOrDie();
+    mut->Add({Value(int64_t{77})});
+  }
+  EXPECT_FALSE(source.Has(0));  // Dirty data still only in the pool.
+  pool.Insert(1, MakeBlock(1, {}, 1));  // Evicts 0 → write-back.
+  EXPECT_TRUE(source.Has(0));
+  EXPECT_EQ(source.writebacks(), 1);
+  auto reloaded = std::move(pool.Pin(0)).ValueOrDie();
+  ASSERT_EQ(reloaded->num_records(), 1u);
+  EXPECT_EQ(reloaded->records()[0][0].AsInt64(), 77);
+}
+
+TEST(BufferPoolTest, FlushDoesNotLoseMutationsThroughHeldPins) {
+  FakeSource source(1);
+  io::BufferPool pool(1, &source);
+  pool.Insert(0, MakeBlock(0, {}, 1));
+  auto mut = std::move(pool.PinMutable(0)).ValueOrDie();
+  ASSERT_TRUE(pool.FlushAll().ok());  // Snapshot written, pin still held.
+  mut->Add({Value(int64_t{5})});      // Mutation after the flush.
+  mut.reset();
+  pool.Insert(1, MakeBlock(1, {}, 1));  // Evicts 0 — must write back again.
+  auto reloaded = std::move(pool.Pin(0)).ValueOrDie();
+  ASSERT_EQ(reloaded->num_records(), 1u);
+  EXPECT_EQ(reloaded->records()[0][0].AsInt64(), 5);
+}
+
+TEST(BufferPoolTest, FlushAllPersistsDirtyFrames) {
+  FakeSource source(1);
+  io::BufferPool pool(8, &source);
+  pool.Insert(0, MakeBlock(0, {{Value(int64_t{1})}}, 1));
+  pool.Insert(1, MakeBlock(1, {{Value(int64_t{2})}}, 1));
+  ASSERT_TRUE(pool.FlushAll().ok());
+  EXPECT_TRUE(source.Has(0));
+  EXPECT_TRUE(source.Has(1));
+  // A second flush writes nothing: frames are clean now.
+  ASSERT_TRUE(pool.FlushAll().ok());
+  EXPECT_EQ(source.writebacks(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// DiskBlockStore surface.
+
+TEST(DiskBlockStoreTest, CrudMatchesMemStoreSemantics) {
+  auto store = std::move(DiskBlockStore::Open(2, {})).ValueOrDie();
+  const BlockId a = store->CreateBlock();
+  const BlockId b = store->CreateBlock();
+  EXPECT_EQ(store->BlockIds(), (std::vector<BlockId>{a, b}));
+  EXPECT_TRUE(store->Contains(a));
+  store->GetMutable(a).ValueOrDie()->Add({Value(int64_t{1}), Value("x")});
+  store->GetMutable(a).ValueOrDie()->Add({Value(int64_t{2}), Value("y")});
+  EXPECT_EQ(store->TotalRecords(), 2u);
+  EXPECT_EQ(store->num_blocks(), 2u);
+  ASSERT_TRUE(store->Delete(b).ok());
+  EXPECT_FALSE(store->Contains(b));
+  EXPECT_EQ(store->Get(b).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store->GetOrNull(b), nullptr);
+  EXPECT_EQ(store->Delete(b).code(), StatusCode::kNotFound);
+  // Same NotFound message shape as the in-memory store.
+  EXPECT_EQ(store->Get(b).status().message(),
+            "block " + std::to_string(b));
+}
+
+TEST(DiskBlockStoreTest, DataSurvivesEvictionThroughRealFiles) {
+  StorageConfig config;
+  config.buffer_blocks = 2;
+  auto store = std::move(DiskBlockStore::Open(1, config)).ValueOrDie();
+  constexpr int kBlocks = 10;
+  for (BlockId id = 0; id < kBlocks; ++id) {
+    ASSERT_EQ(store->CreateBlock(), id);
+    auto blk = store->GetMutable(id);
+    ASSERT_TRUE(blk.ok());
+    for (int64_t i = 0; i < 5; ++i) {
+      blk.ValueOrDie()->Add({Value(id * 100 + i)});
+    }
+  }
+  // Far more blocks than the pool holds: most were evicted (written back).
+  EXPECT_LE(store->resident_blocks(), 3);
+  EXPECT_GT(store->segment_bytes(), 0);
+  EXPECT_EQ(store->TotalRecords(), static_cast<size_t>(kBlocks) * 5);
+  for (BlockId id = 0; id < kBlocks; ++id) {
+    auto blk = store->Get(id);
+    ASSERT_TRUE(blk.ok()) << blk.status().ToString();
+    ASSERT_EQ(blk.ValueOrDie()->num_records(), 5u);
+    EXPECT_EQ(blk.ValueOrDie()->records()[3][0].AsInt64(), id * 100 + 3);
+    EXPECT_EQ(blk.ValueOrDie()->range(0).lo, Value(id * 100));
+    EXPECT_EQ(blk.ValueOrDie()->range(0).hi, Value(id * 100 + 4));
+  }
+  const StorageCounters counters = store->counters();
+  EXPECT_GT(counters.buffer_misses, 0);
+  EXPECT_GT(counters.physical_block_writes, 0);
+}
+
+TEST(DiskBlockStoreTest, RecordCountIsExactWithoutPhysicalReads) {
+  StorageConfig config;
+  config.buffer_blocks = 1;
+  auto store = std::move(DiskBlockStore::Open(1, config)).ValueOrDie();
+  for (BlockId id = 0; id < 4; ++id) {
+    store->CreateBlock();
+    auto blk = store->GetMutable(id);
+    for (int64_t i = 0; i <= id; ++i) blk.ValueOrDie()->Add({Value(i)});
+  }
+  // Blocks 0..2 were evicted (written back); 3 may be resident and dirty.
+  const io::BufferPoolStats before = store->pool_stats();
+  for (BlockId id = 0; id < 4; ++id) {
+    auto count = store->RecordCount(id);
+    ASSERT_TRUE(count.ok());
+    EXPECT_EQ(count.ValueOrDie(), static_cast<size_t>(id) + 1);
+  }
+  // Counting is metadata-only: no pool misses were incurred.
+  EXPECT_EQ(store->pool_stats().misses, before.misses);
+  EXPECT_EQ(store->RecordCount(99).status().code(), StatusCode::kNotFound);
+}
+
+TEST(DiskBlockStoreTest, HandleMaySafelyOutliveTheStore) {
+  BlockRef survivor;
+  {
+    auto store = std::move(DiskBlockStore::Open(1, {})).ValueOrDie();
+    const BlockId a = store->CreateBlock();
+    store->GetMutable(a).ValueOrDie()->Add({Value(int64_t{123})});
+    survivor = store->Get(a).ValueOrDie();
+  }
+  // The store, its pool and its segment files are gone; the pinned block's
+  // memory is not (ASan validates the unpin path on destruction).
+  ASSERT_EQ(survivor->num_records(), 1u);
+  EXPECT_EQ(survivor->records()[0][0].AsInt64(), 123);
+  survivor.reset();
+}
+
+TEST(DiskBlockStoreTest, FlushThenCorruptSurfacesCleanError) {
+  StorageConfig config;
+  config.buffer_blocks = 1;
+  auto store = std::move(DiskBlockStore::Open(1, config)).ValueOrDie();
+  const BlockId a = store->CreateBlock();
+  store->GetMutable(a).ValueOrDie()->Add({Value(int64_t{9})});
+  ASSERT_TRUE(store->Flush().ok());
+  store->CreateBlock();  // Evict `a` so the next Get must re-read the file.
+  ASSERT_TRUE(store->Flush().ok());
+  // Smash the first segment.
+  const std::string seg = store->dir() + "/seg-000000.adb";
+  FILE* f = fopen(seg.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  fputc('Z', f);
+  fclose(f);
+  auto blk = store->Get(a);
+  if (blk.ok()) {
+    GTEST_SKIP() << "block still resident; eviction order changed";
+  }
+  EXPECT_EQ(blk.status().code(), StatusCode::kCorruption);
+}
+
+// ---------------------------------------------------------------------------
+// Parity: the disk-backed store must be observationally identical to the
+// in-memory one — results AND logical IoStats — at any thread count.
+
+struct ParityFixture {
+  std::unique_ptr<MemBlockStore> mem;
+  std::unique_ptr<DiskBlockStore> disk;
+  std::vector<BlockId> blocks;
+  ClusterSim cluster;
+};
+
+/// Builds the same deterministic dataset into both backends. The disk store
+/// gets a buffer far below the block count, so execution evicts and
+/// re-reads constantly.
+ParityFixture MakeParityFixture(int32_t n_blocks, int32_t n_attrs,
+                                uint64_t seed) {
+  ParityFixture fx;
+  fx.mem = std::make_unique<MemBlockStore>(n_attrs);
+  StorageConfig config;
+  config.buffer_blocks = 2;
+  fx.disk = std::move(DiskBlockStore::Open(n_attrs, config)).ValueOrDie();
+  for (BlockStore* store :
+       {static_cast<BlockStore*>(fx.mem.get()),
+        static_cast<BlockStore*>(fx.disk.get())}) {
+    Rng rng(seed);
+    for (int32_t b = 0; b < n_blocks; ++b) {
+      const BlockId id = store->CreateBlock();
+      auto blk = store->GetMutable(id);
+      for (int32_t i = 0; i < 32; ++i) {
+        Record rec;
+        for (int32_t a = 0; a < n_attrs; ++a) {
+          rec.push_back(Value(rng.UniformRange(0, 999)));
+        }
+        blk.ValueOrDie()->Add(rec);
+      }
+    }
+  }
+  fx.blocks = fx.mem->BlockIds();
+  EXPECT_EQ(fx.blocks, fx.disk->BlockIds());
+  for (BlockId b : fx.blocks) fx.cluster.PlaceBlock(b);
+  return fx;
+}
+
+void ExpectLogicalIoEqual(const IoStats& mem, const IoStats& disk) {
+  EXPECT_EQ(mem.local_block_reads, disk.local_block_reads);
+  EXPECT_EQ(mem.remote_block_reads, disk.remote_block_reads);
+  EXPECT_EQ(mem.block_writes, disk.block_writes);
+  EXPECT_EQ(mem.shuffled_blocks, disk.shuffled_blocks);
+}
+
+TEST(StorageParityTest, ScanIdenticalAcrossBackendsAndThreads) {
+  ParityFixture fx = MakeParityFixture(24, 3, 5);
+  const PredicateSet preds = {Predicate(1, CompareOp::kLt, int64_t{400})};
+  for (const int32_t threads : {1, 2, 8}) {
+    ExecConfig config;
+    config.num_threads = threads;
+    const ScanResult mem =
+        ScanBlocks(*fx.mem, fx.blocks, preds, fx.cluster, config)
+            .ValueOrDie();
+    const ScanResult disk =
+        ScanBlocks(*fx.disk, fx.blocks, preds, fx.cluster, config)
+            .ValueOrDie();
+    EXPECT_EQ(mem.rows_matched, disk.rows_matched) << threads;
+    EXPECT_EQ(mem.blocks_read, disk.blocks_read) << threads;
+    EXPECT_EQ(mem.blocks_skipped, disk.blocks_skipped) << threads;
+    ExpectLogicalIoEqual(mem.io, disk.io);
+  }
+  // The small buffer really did miss: the disk store did physical reads.
+  EXPECT_GT(fx.disk->pool_stats().misses, 0);
+}
+
+TEST(StorageParityTest, JoinsIdenticalAcrossBackendsAndThreads) {
+  ParityFixture r = MakeParityFixture(16, 2, 21);
+  ParityFixture s = MakeParityFixture(12, 2, 22);
+  // One cluster so scheduling matches across backends.
+  ClusterSim cluster;
+  for (BlockId b : r.blocks) cluster.PlaceBlock(b);
+  for (BlockId b : s.blocks) cluster.PlaceBlock(b);
+
+  const OverlapMatrix overlap_mem =
+      ComputeOverlap(*r.mem, r.blocks, 0, *s.mem, s.blocks, 0).ValueOrDie();
+  const OverlapMatrix overlap_disk =
+      ComputeOverlap(*r.disk, r.blocks, 0, *s.disk, s.blocks, 0).ValueOrDie();
+  const Grouping grouping = BottomUpGrouping(overlap_mem, 4).ValueOrDie();
+  ASSERT_EQ(BottomUpGrouping(overlap_disk, 4).ValueOrDie().groups,
+            grouping.groups);
+
+  for (const int32_t threads : {1, 2, 8}) {
+    ExecConfig config;
+    config.num_threads = threads;
+
+    std::vector<Record> hyper_mem_rows, hyper_disk_rows;
+    const JoinExecResult hyper_mem =
+        HyperJoin(*r.mem, 0, {}, *s.mem, 0, {}, overlap_mem, grouping,
+                  cluster, config, &hyper_mem_rows)
+            .ValueOrDie();
+    const JoinExecResult hyper_disk =
+        HyperJoin(*r.disk, 0, {}, *s.disk, 0, {}, overlap_disk, grouping,
+                  cluster, config, &hyper_disk_rows)
+            .ValueOrDie();
+    // Exact sequence equality, not just multisets: both backends must walk
+    // blocks in the same order.
+    EXPECT_EQ(hyper_mem_rows, hyper_disk_rows) << threads;
+    EXPECT_EQ(hyper_mem.counts.output_rows, hyper_disk.counts.output_rows);
+    EXPECT_EQ(hyper_mem.counts.checksum, hyper_disk.counts.checksum);
+    EXPECT_EQ(hyper_mem.r_blocks_read, hyper_disk.r_blocks_read);
+    EXPECT_EQ(hyper_mem.s_blocks_read, hyper_disk.s_blocks_read);
+    ExpectLogicalIoEqual(hyper_mem.io, hyper_disk.io);
+
+    std::vector<Record> shuffle_mem_rows, shuffle_disk_rows;
+    const JoinExecResult shuffle_mem =
+        ShuffleJoin(*r.mem, r.blocks, 0, {}, *s.mem, s.blocks, 0, {},
+                    cluster, config, &shuffle_mem_rows)
+            .ValueOrDie();
+    const JoinExecResult shuffle_disk =
+        ShuffleJoin(*r.disk, r.blocks, 0, {}, *s.disk, s.blocks, 0, {},
+                    cluster, config, &shuffle_disk_rows)
+            .ValueOrDie();
+    EXPECT_EQ(shuffle_mem_rows, shuffle_disk_rows) << threads;
+    EXPECT_EQ(shuffle_mem.counts.checksum, shuffle_disk.counts.checksum);
+    ExpectLogicalIoEqual(shuffle_mem.io, shuffle_disk.io);
+
+    // And the two algorithms agree with each other, per backend.
+    EXPECT_EQ(hyper_disk.counts.output_rows, shuffle_disk.counts.output_rows);
+    EXPECT_EQ(hyper_disk.counts.checksum, shuffle_disk.counts.checksum);
+  }
+}
+
+TEST(StorageParityTest, FullPipelineThroughDatabaseMatches) {
+  // Two Databases over TinyTpch — one per backend, adaptation enabled — run
+  // the same join workload; every run's results, logical I/O and simulated
+  // seconds must match. The disk database's buffer is smaller than its
+  // block count, so the adaptive repartitioning path (block migration,
+  // deletion, tree rebuilds) also executes under eviction.
+  DatabaseOptions mem_opts;
+  mem_opts.planner.exec.num_threads = 2;
+  DatabaseOptions disk_opts = mem_opts;
+  disk_opts.cluster.storage.backend = StorageConfig::Backend::kDisk;
+  disk_opts.cluster.storage.buffer_blocks = 4;
+
+  Database mem_db(mem_opts), disk_db(disk_opts);
+  for (Database* db : {&mem_db, &disk_db}) {
+    TableOptions topt;
+    topt.upfront_levels = 4;
+    ASSERT_TRUE(db->CreateTable("lineitem", TinyTpch().lineitem_schema,
+                                TinyTpch().lineitem, topt)
+                    .ok());
+    ASSERT_TRUE(db->CreateTable("orders", TinyTpch().orders_schema,
+                                TinyTpch().orders, topt)
+                    .ok());
+  }
+
+  Query join;
+  join.name = "lo";
+  join.tables = {{"lineitem", {}}, {"orders", {}}};
+  join.joins = {{"lineitem", tpch::kLOrderKey, "orders", tpch::kOOrderKey}};
+  for (int round = 0; round < 4; ++round) {
+    const QueryRunResult mem = mem_db.RunQuery(join).ValueOrDie();
+    const QueryRunResult disk = disk_db.RunQuery(join).ValueOrDie();
+    EXPECT_EQ(mem.output_rows, disk.output_rows) << round;
+    EXPECT_EQ(mem.checksum, disk.checksum) << round;
+    EXPECT_EQ(mem.records_repartitioned, disk.records_repartitioned) << round;
+    ExpectLogicalIoEqual(mem.io, disk.io);
+    EXPECT_DOUBLE_EQ(mem.seconds, disk.seconds) << round;
+    // The in-memory backend reports no physical traffic; the disk one does.
+    // (Unless ADAPTDB_STORAGE=disk put both databases on disk.)
+    if (std::getenv("ADAPTDB_STORAGE") == nullptr) {
+      EXPECT_EQ(mem.io.buffer_misses, 0);
+    }
+  }
+  EXPECT_GT(disk_db.GetTable("lineitem")
+                .ValueOrDie()
+                ->store()
+                ->counters()
+                .buffer_misses,
+            0);
+}
+
+}  // namespace
+}  // namespace adaptdb

@@ -14,8 +14,8 @@ namespace {
 // [0,99],[100,199],[200,299],[300,399]; S blocks [0,149],[150,249],
 // [250,349],[350,399]. Expected V = {1000, 1100, 0110, 0011}.
 struct Fig4 {
-  BlockStore r_store{1};
-  BlockStore s_store{1};
+  MemBlockStore r_store{1};
+  MemBlockStore s_store{1};
   std::vector<BlockId> r_blocks, s_blocks;
 
   Fig4() {
@@ -25,14 +25,14 @@ struct Fig4 {
                                     {350, 399}};
     for (auto& rr : r_ranges) {
       const BlockId b = r_store.CreateBlock();
-      Block* blk = r_store.Get(b).ValueOrDie();
+      MutableBlockRef blk = r_store.GetMutable(b).ValueOrDie();
       blk->Add({Value(rr[0])});
       blk->Add({Value(rr[1])});
       r_blocks.push_back(b);
     }
     for (auto& sr : s_ranges) {
       const BlockId b = s_store.CreateBlock();
-      Block* blk = s_store.Get(b).ValueOrDie();
+      MutableBlockRef blk = s_store.GetMutable(b).ValueOrDie();
       blk->Add({Value(sr[0])});
       blk->Add({Value(sr[1])});
       s_blocks.push_back(b);
@@ -58,27 +58,27 @@ TEST(OverlapTest, MatchesPaperFig4) {
 }
 
 TEST(OverlapTest, EmptyBlocksOverlapNothing) {
-  BlockStore r(1), s(1);
+  MemBlockStore r(1), s(1);
   const BlockId re = r.CreateBlock();  // Left empty.
   const BlockId sb = s.CreateBlock();
-  s.Get(sb).ValueOrDie()->Add({Value(5)});
+  s.GetMutable(sb).ValueOrDie()->Add({Value(5)});
   auto m = ComputeOverlap(r, {re}, 0, s, {sb}, 0);
   ASSERT_TRUE(m.ok());
   EXPECT_EQ(m.ValueOrDie().vectors[0].Count(), 0u);
 }
 
 TEST(OverlapTest, MissingBlockIsError) {
-  BlockStore r(1), s(1);
+  MemBlockStore r(1), s(1);
   EXPECT_FALSE(ComputeOverlap(r, {42}, 0, s, {}, 0).ok());
 }
 
 TEST(OverlapTest, AgreesWithRecordLevelOracleOnRandomData) {
   Rng rng(17);
-  BlockStore r(1), s(1);
+  MemBlockStore r(1), s(1);
   std::vector<BlockId> r_blocks, s_blocks;
   for (int i = 0; i < 12; ++i) {
     const BlockId b = r.CreateBlock();
-    Block* blk = r.Get(b).ValueOrDie();
+    MutableBlockRef blk = r.GetMutable(b).ValueOrDie();
     const int64_t base = rng.UniformRange(0, 900);
     for (int j = 0; j < 20; ++j) {
       blk->Add({Value(base + rng.UniformRange(0, 99))});
@@ -87,7 +87,7 @@ TEST(OverlapTest, AgreesWithRecordLevelOracleOnRandomData) {
   }
   for (int i = 0; i < 10; ++i) {
     const BlockId b = s.CreateBlock();
-    Block* blk = s.Get(b).ValueOrDie();
+    MutableBlockRef blk = s.GetMutable(b).ValueOrDie();
     const int64_t base = rng.UniformRange(0, 900);
     for (int j = 0; j < 20; ++j) {
       blk->Add({Value(base + rng.UniformRange(0, 99))});

@@ -16,7 +16,7 @@ namespace {
 // Two tables R(key, val) and S(key, val) plus a dimension D(key, group).
 struct PlannerFixture {
   Schema schema2;
-  BlockStore r_store{2}, s_store{2}, d_store{2};
+  MemBlockStore r_store{2}, s_store{2}, d_store{2};
   TreeSet r_trees, s_trees, d_trees;
   ClusterSim cluster;
   std::vector<Record> r_records, s_records, d_records;
@@ -221,7 +221,7 @@ TEST(PlannerTest, BushyPlanMatchesLeftDeepPlan) {
   PlannerFixture f(true);
   // A fourth table e(key, grp) joining d on key.
   Schema e_schema = f.schema2;
-  BlockStore e_store(2);
+  MemBlockStore e_store(2);
   TreeSet e_trees;
   std::vector<Record> e_records;
   Rng rng(77);

@@ -58,7 +58,7 @@ TEST(SkewTest, ZipfianKeysKeepBlocksBounded) {
   }
   Reservoir sample(2000, 3);
   sample.AddAll(rows);
-  BlockStore store(2);
+  MemBlockStore store(2);
   TwoPhaseOptions opts;
   opts.join_attr = 0;
   opts.join_levels = 3;
@@ -220,18 +220,18 @@ TEST(RobustnessTest, ExactSolverHandlesAllIdenticalVectors) {
 TEST(RobustnessTest, HyperJoinWithDisjointRangesReadsNothing) {
   // R and S key ranges do not intersect: overlap matrix is empty, the
   // hyper-join reads R but no S blocks, and returns zero rows.
-  BlockStore r(1), s(1);
+  MemBlockStore r(1), s(1);
   ClusterSim cluster;
   std::vector<BlockId> r_blocks, s_blocks;
   for (int b = 0; b < 3; ++b) {
     const BlockId id = r.CreateBlock();
-    r.Get(id).ValueOrDie()->Add({Value(int64_t{b})});
+    r.GetMutable(id).ValueOrDie()->Add({Value(int64_t{b})});
     r_blocks.push_back(id);
     cluster.PlaceBlock(id);
   }
   for (int b = 0; b < 3; ++b) {
     const BlockId id = s.CreateBlock();
-    s.Get(id).ValueOrDie()->Add({Value(int64_t{1000 + b})});
+    s.GetMutable(id).ValueOrDie()->Add({Value(int64_t{1000 + b})});
     s_blocks.push_back(id);
     cluster.PlaceBlock(id);
   }

@@ -56,7 +56,7 @@ TEST(BlockTest, SizeBytesScalesWithRecords) {
 }
 
 TEST(BlockStoreTest, CreateGetDelete) {
-  BlockStore store(2);
+  MemBlockStore store(2);
   const BlockId a = store.CreateBlock();
   const BlockId b = store.CreateBlock();
   EXPECT_NE(a, b);
@@ -70,7 +70,7 @@ TEST(BlockStoreTest, CreateGetDelete) {
 }
 
 TEST(BlockStoreTest, IdsNeverReused) {
-  BlockStore store(1);
+  MemBlockStore store(1);
   const BlockId a = store.CreateBlock();
   ASSERT_TRUE(store.Delete(a).ok());
   const BlockId b = store.CreateBlock();
@@ -78,19 +78,19 @@ TEST(BlockStoreTest, IdsNeverReused) {
 }
 
 TEST(BlockStoreTest, TotalRecordsSumsLiveBlocks) {
-  BlockStore store(1);
+  MemBlockStore store(1);
   const BlockId a = store.CreateBlock();
   const BlockId b = store.CreateBlock();
-  store.Get(a).ValueOrDie()->Add({Value(1)});
-  store.Get(a).ValueOrDie()->Add({Value(2)});
-  store.Get(b).ValueOrDie()->Add({Value(3)});
+  store.GetMutable(a).ValueOrDie()->Add({Value(1)});
+  store.GetMutable(a).ValueOrDie()->Add({Value(2)});
+  store.GetMutable(b).ValueOrDie()->Add({Value(3)});
   EXPECT_EQ(store.TotalRecords(), 3u);
   ASSERT_TRUE(store.Delete(a).ok());
   EXPECT_EQ(store.TotalRecords(), 1u);
 }
 
 TEST(BlockStoreTest, BlockIdsSortedAscending) {
-  BlockStore store(1);
+  MemBlockStore store(1);
   store.CreateBlock();
   store.CreateBlock();
   store.CreateBlock();
@@ -188,9 +188,9 @@ TEST(StoreFixtureTest, UniformBlockStoreIsDeterministicInSeed) {
   EXPECT_EQ(a.store.TotalRecords(), 4u * 32u);
   bool any_diff = false;
   for (BlockId id : a.blocks) {
-    const Block* ab = a.store.Get(id).ValueOrDie();
-    const Block* bb = b.store.Get(id).ValueOrDie();
-    const Block* cb = c.store.Get(id).ValueOrDie();
+    const BlockRef ab = a.store.Get(id).ValueOrDie();
+    const BlockRef bb = b.store.Get(id).ValueOrDie();
+    const BlockRef cb = c.store.Get(id).ValueOrDie();
     ASSERT_EQ(ab->records().size(), bb->records().size());
     for (size_t i = 0; i < ab->records().size(); ++i) {
       EXPECT_EQ(ab->records()[i], bb->records()[i]);

@@ -8,9 +8,12 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
+#include "io/disk_block_store.h"
 #include "schema/schema.h"
 #include "storage/block_store.h"
 #include "storage/cluster.h"
@@ -18,12 +21,24 @@
 
 namespace adaptdb::testing {
 
+/// Creates a store through the backend factory, so ADAPTDB_STORAGE=disk
+/// runs the suites against the disk-backed store unchanged. Pass an
+/// explicit config to force a backend (the parity tests do).
+inline std::unique_ptr<BlockStore> MakeStore(int32_t num_attrs,
+                                             const StorageConfig& config = {}) {
+  return std::move(MakeBlockStore(num_attrs, config)).ValueOrDie();
+}
+
 /// A BlockStore plus the block-id list and cluster placement that nearly
 /// every exec/join test re-derives by hand.
 struct StoreFixture {
-  explicit StoreFixture(int32_t num_attrs) : store(num_attrs) {}
+  explicit StoreFixture(int32_t num_attrs, const StorageConfig& config = {})
+      : store_owner(MakeStore(num_attrs, config)), store(*store_owner) {}
 
-  BlockStore store;
+  StoreFixture(StoreFixture&&) = default;
+
+  std::unique_ptr<BlockStore> store_owner;
+  BlockStore& store;  ///< Points into store_owner; stable across moves.
   std::vector<BlockId> blocks;
   ClusterSim cluster;
 };
@@ -33,12 +48,13 @@ struct StoreFixture {
 /// the same arguments always produce byte-identical stores.
 inline StoreFixture MakeUniformBlockStore(int32_t n_blocks, int32_t n_attrs,
                                           uint64_t seed,
-                                          int32_t records_per_block = 32) {
-  StoreFixture fx(n_attrs);
+                                          int32_t records_per_block = 32,
+                                          const StorageConfig& config = {}) {
+  StoreFixture fx(n_attrs, config);
   Rng rng(seed);
   for (int32_t b = 0; b < n_blocks; ++b) {
     const BlockId id = fx.store.CreateBlock();
-    Block* blk = fx.store.Get(id).ValueOrDie();
+    MutableBlockRef blk = fx.store.GetMutable(id).ValueOrDie();
     for (int32_t i = 0; i < records_per_block; ++i) {
       Record rec;
       rec.reserve(n_attrs);

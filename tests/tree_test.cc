@@ -144,7 +144,7 @@ TEST(UpfrontPartitionerTest, BuildsFullDepthTreeOnUniformData) {
   auto records = UniformRecords(2000, 4, 1);
   Reservoir sample(1000);
   sample.AddAll(records);
-  BlockStore store(4);
+  MemBlockStore store(4);
   UpfrontOptions opts;
   opts.num_levels = 4;
   UpfrontPartitioner p(schema, opts);
@@ -162,7 +162,7 @@ TEST(UpfrontPartitionerTest, HeterogeneousBranchingBalancesAttrs) {
   auto records = UniformRecords(4000, 4, 2);
   Reservoir sample(2000);
   sample.AddAll(records);
-  BlockStore store(4);
+  MemBlockStore store(4);
   UpfrontOptions opts;
   opts.num_levels = 4;
   UpfrontPartitioner p(schema, opts);
@@ -178,7 +178,7 @@ TEST(UpfrontPartitionerTest, RoutingIsTotalAndBlocksBalanced) {
   auto records = UniformRecords(3000, 3, 3);
   Reservoir sample(1500);
   sample.AddAll(records);
-  BlockStore store(3);
+  MemBlockStore store(3);
   UpfrontOptions opts;
   opts.num_levels = 3;  // 8 blocks.
   UpfrontPartitioner p(schema, opts);
@@ -205,7 +205,7 @@ TEST(UpfrontPartitionerTest, ConstantAttributeFallsBack) {
   }
   Reservoir sample(500);
   sample.AddAll(records);
-  BlockStore store(2);
+  MemBlockStore store(2);
   UpfrontOptions opts;
   opts.num_levels = 2;
   UpfrontPartitioner p(schema, opts);
@@ -218,7 +218,7 @@ TEST(UpfrontPartitionerTest, ConstantAttributeFallsBack) {
 TEST(UpfrontPartitionerTest, RejectsEmptySample) {
   Schema schema = UniformSchema(2);
   Reservoir sample(10);
-  BlockStore store(2);
+  MemBlockStore store(2);
   UpfrontPartitioner p(schema, UpfrontOptions{});
   EXPECT_FALSE(p.Build(sample, &store).ok());
 }
@@ -228,7 +228,7 @@ TEST(TwoPhasePartitionerTest, TopLevelsSplitOnJoinAttr) {
   auto records = UniformRecords(2000, 3, 5);
   Reservoir sample(1000);
   sample.AddAll(records);
-  BlockStore store(3);
+  MemBlockStore store(3);
   TwoPhaseOptions opts;
   opts.join_attr = 1;
   opts.join_levels = 2;
@@ -255,7 +255,7 @@ TEST(TwoPhasePartitionerTest, JoinRangesOfLeavesAreDisjoint) {
   auto records = UniformRecords(4000, 2, 6);
   Reservoir sample(2000);
   sample.AddAll(records);
-  BlockStore store(2);
+  MemBlockStore store(2);
   TwoPhaseOptions opts;
   opts.join_attr = 0;
   opts.join_levels = 3;
@@ -268,7 +268,7 @@ TEST(TwoPhasePartitionerTest, JoinRangesOfLeavesAreDisjoint) {
   // non-overlapping and ordered.
   std::vector<ValueRange> ranges;
   for (BlockId b : built.ValueOrDie().Leaves()) {
-    const Block* blk = store.Get(b).ValueOrDie();
+    const MutableBlockRef blk = store.GetMutable(b).ValueOrDie();
     if (!blk->empty()) ranges.push_back(blk->range(0));
   }
   ASSERT_GE(ranges.size(), 4u);
@@ -291,7 +291,7 @@ TEST(TwoPhasePartitionerTest, MedianSplitsBalanceSkewedJoinKeys) {
   }
   Reservoir sample(2000);
   sample.AddAll(records);
-  BlockStore store(2);
+  MemBlockStore store(2);
   TwoPhaseOptions opts;
   opts.join_attr = 0;
   opts.join_levels = 2;
@@ -310,7 +310,7 @@ TEST(TwoPhasePartitionerTest, ValidatesOptions) {
   Schema schema = UniformSchema(2);
   Reservoir sample(10);
   sample.Add({Value(1), Value(2)});
-  BlockStore store(2);
+  MemBlockStore store(2);
   TwoPhaseOptions bad_attr;
   bad_attr.join_attr = 9;
   EXPECT_FALSE(TwoPhasePartitioner(schema, bad_attr).Build(sample, &store).ok());
@@ -337,7 +337,7 @@ TEST_P(TreeLookupProperty, LookupIsConservative) {
   auto records = UniformRecords(1500, 3, seed);
   Reservoir sample(700, seed);
   sample.AddAll(records);
-  BlockStore store(3);
+  MemBlockStore store(3);
   UpfrontOptions opts;
   opts.num_levels = 4;
   opts.seed = seed;
@@ -357,7 +357,7 @@ TEST_P(TreeLookupProperty, LookupIsConservative) {
     auto found = tree.ValueOrDie().Lookup(preds);
     std::unordered_set<BlockId> found_set(found.begin(), found.end());
     for (BlockId b : store.BlockIds()) {
-      const Block* blk = store.Get(b).ValueOrDie();
+      const MutableBlockRef blk = store.GetMutable(b).ValueOrDie();
       bool has_match = false;
       for (const Record& rec : blk->records()) {
         if (MatchesAll(preds, rec)) {
