@@ -78,8 +78,10 @@ Status PrefLayout::AddReplicated(const std::string& name, const Schema& schema,
     for (BlockId b : pt.partitions[static_cast<size_t>(p)]) {
       auto blk = pt.store->Get(b);
       if (!blk.ok()) return blk.status();
-      for (const Record& rec : blk.ValueOrDie()->records()) {
-        key_partitions[rec[static_cast<size_t>(parent_attr)]].insert(p);
+      // Only the parent-key column is gathered.
+      const Column& keys = blk.ValueOrDie()->column(parent_attr);
+      for (size_t row = 0; row < keys.size(); ++row) {
+        key_partitions[keys.ValueAt(row)].insert(p);
       }
     }
   }
@@ -133,9 +135,8 @@ Result<QueryRunResult> PrefLayout::RunQuery(const Query& q) {
         for (BlockId b : part) {
           auto blk = t.store->Get(b);
           if (!blk.ok()) return blk.status();
-          for (const Record& rec : blk.ValueOrDie()->records()) {
-            if (MatchesAll(ref.preds, rec)) ++result.output_rows;
-          }
+          result.output_rows +=
+              static_cast<int64_t>(blk.ValueOrDie()->CountMatches(ref.preds));
         }
       }
     }

@@ -17,9 +17,11 @@ size_t HashValue(const Value& v) {
 }
 
 void HashIndex::AddBlock(const Block& block, const PredicateSet& preds) {
-  for (const Record& rec : block.records()) {
-    if (!MatchesAll(preds, rec)) continue;
-    buckets_[rec[static_cast<size_t>(attr_)]].push_back(&rec);
+  const SelectionVector sel = block.FilterRows(preds);
+  if (sel.empty()) return;
+  const Column& key_col = block.column(attr_);
+  for (const uint32_t row : sel) {
+    buckets_[key_col.ValueAt(row)].push_back(RowRef::OfBlock(&block, row));
     ++build_rows_;
   }
 }
@@ -28,8 +30,26 @@ void HashIndex::AddRecords(const std::vector<Record>& records,
                            const PredicateSet& preds) {
   for (const Record& rec : records) {
     if (!MatchesAll(preds, rec)) continue;
-    buckets_[rec[static_cast<size_t>(attr_)]].push_back(&rec);
+    buckets_[rec[static_cast<size_t>(attr_)]].push_back(
+        RowRef::OfRecord(&rec));
     ++build_rows_;
+  }
+}
+
+void HashIndex::EmitMatches(const std::vector<RowRef>& bucket,
+                            size_t key_hash, const RowRef& probe,
+                            JoinCounts* counts,
+                            std::vector<Record>* output) const {
+  counts->output_rows += static_cast<int64_t>(bucket.size());
+  counts->checksum += static_cast<uint64_t>(bucket.size()) *
+                      (static_cast<uint64_t>(key_hash) | 1);
+  if (output != nullptr) {
+    for (const RowRef& build : bucket) {
+      Record joined;
+      build.AppendTo(&joined);
+      probe.AppendTo(&joined);
+      output->push_back(std::move(joined));
+    }
   }
 }
 
@@ -39,25 +59,24 @@ void HashIndex::ProbeRecord(const Record& probe, AttrId probe_attr,
   const Value& key = probe[static_cast<size_t>(probe_attr)];
   auto it = buckets_.find(key);
   if (it == buckets_.end()) return;
-  const auto& bucket = it->second;
-  counts->output_rows += static_cast<int64_t>(bucket.size());
-  counts->checksum += static_cast<uint64_t>(bucket.size()) *
-                      (static_cast<uint64_t>(HashValue(key)) | 1);
-  if (output != nullptr) {
-    for (const Record* build : bucket) {
-      Record joined = *build;
-      joined.insert(joined.end(), probe.begin(), probe.end());
-      output->push_back(std::move(joined));
-    }
-  }
+  EmitMatches(it->second, HashValue(key), RowRef::OfRecord(&probe), counts,
+              output);
 }
 
 void HashIndex::Probe(const Block& block, AttrId probe_attr,
                       const PredicateSet& preds, JoinCounts* counts,
                       std::vector<Record>* output) const {
-  for (const Record& rec : block.records()) {
-    if (!MatchesAll(preds, rec)) continue;
-    ProbeRecord(rec, probe_attr, counts, output);
+  const SelectionVector sel = block.FilterRows(preds);
+  if (sel.empty()) return;
+  const Column& key_col = block.column(probe_attr);
+  for (const uint32_t row : sel) {
+    // Heterogeneous lookup: the probe key is read in place from the key
+    // column; no Value materializes unless the row actually matches and
+    // output rows gather.
+    auto it = buckets_.find(ColumnKey{&key_col, row});
+    if (it == buckets_.end()) continue;
+    EmitMatches(it->second, key_col.HashAt(row), RowRef::OfBlock(&block, row),
+                counts, output);
   }
 }
 

@@ -1,5 +1,10 @@
 /// \file hash_join.h
 /// \brief In-memory hash-join kernel shared by shuffle join and hyper-join.
+///
+/// Build and probe sides reference rows of columnar blocks by (block, row)
+/// instead of materialized records: keys gather straight from the join-key
+/// column, and full output rows are assembled only for actual matches
+/// (late materialization).
 
 #ifndef ADAPTDB_EXEC_HASH_JOIN_H_
 #define ADAPTDB_EXEC_HASH_JOIN_H_
@@ -17,9 +22,68 @@ namespace adaptdb {
 /// Hashes a Value by its contained scalar.
 size_t HashValue(const Value& v);
 
-/// Hash functor for unordered containers keyed by Value.
+/// \brief A join key read in place from a columnar block: (column, row).
+/// Probes look keys up through this view — heterogeneous lookup against
+/// Value-keyed buckets — so the hot probe loop never materializes a Value
+/// (for string keys that would be one allocation per probe row).
+struct ColumnKey {
+  const Column* col;
+  uint32_t row;
+};
+
+/// Hash functor for unordered containers keyed by Value; transparent so
+/// ColumnKey views probe without conversion (Column::HashAt matches
+/// HashValue exactly).
 struct ValueHash {
+  using is_transparent = void;
   size_t operator()(const Value& v) const { return HashValue(v); }
+  size_t operator()(const ColumnKey& k) const { return k.col->HashAt(k.row); }
+};
+
+/// Transparent equality between stored Value keys and ColumnKey views
+/// (Column::EqualsValueAt matches Value::operator== exactly).
+struct ValueEq {
+  using is_transparent = void;
+  bool operator()(const Value& a, const Value& b) const { return a == b; }
+  bool operator()(const ColumnKey& a, const Value& b) const {
+    return a.col->EqualsValueAt(a.row, b);
+  }
+  bool operator()(const Value& a, const ColumnKey& b) const {
+    return b.col->EqualsValueAt(b.row, a);
+  }
+  bool operator()(const ColumnKey& a, const ColumnKey& b) const {
+    return a.col->EqualsValueAt(a.row, b.col->ValueAt(b.row));
+  }
+};
+
+/// \brief A reference to one row on either join side: a row of a columnar
+/// block, or (for intermediate results that exist only as Records) a
+/// pointer to a materialized record. The referenced block/record must
+/// outlive the RowRef — callers keep BlockRef pins or the owning vector
+/// alive, exactly as they kept blocks alive for record pointers before.
+struct RowRef {
+  const Block* block = nullptr;
+  uint32_t row = 0;
+  const Record* rec = nullptr;
+
+  static RowRef OfBlock(const Block* b, uint32_t r) { return {b, r, nullptr}; }
+  static RowRef OfRecord(const Record* r) { return {nullptr, 0, r}; }
+
+  /// The join key at `attr`, materialized (strings copy).
+  Value KeyAt(AttrId attr) const {
+    return block != nullptr ? block->ValueAt(row, attr)
+                            : (*rec)[static_cast<size_t>(attr)];
+  }
+
+  /// Appends every attribute of the referenced row to `out` (output
+  /// assembly; this is where late materialization actually gathers).
+  void AppendTo(Record* out) const {
+    if (block != nullptr) {
+      block->AppendRowTo(row, out);
+    } else {
+      out->insert(out->end(), rec->begin(), rec->end());
+    }
+  }
 };
 
 /// \brief Join output statistics. The checksum is an order-independent
@@ -35,16 +99,17 @@ struct JoinCounts {
   }
 };
 
-/// \brief A build-side hash index over records that passed the predicates.
+/// \brief A build-side hash index over rows that passed the predicates.
 ///
 /// Build rows are referenced, not copied; the index must not outlive the
 /// blocks (or record vectors) it was built from.
 class HashIndex {
  public:
-  /// Creates an index keyed on `attr` of the build-side records.
+  /// Creates an index keyed on `attr` of the build-side rows.
   explicit HashIndex(AttrId attr) : attr_(attr) {}
 
-  /// Inserts every record of `block` matching `preds`.
+  /// Inserts every row of `block` matching `preds` (column-at-a-time
+  /// filter, then the key column alone feeds the buckets).
   void AddBlock(const Block& block, const PredicateSet& preds);
 
   /// Inserts every record of `records` matching `preds`.
@@ -56,7 +121,9 @@ class HashIndex {
   void ProbeRecord(const Record& probe, AttrId probe_attr, JoinCounts* counts,
                    std::vector<Record>* output) const;
 
-  /// Probes with every record of `block` matching `preds`.
+  /// Probes with every row of `block` matching `preds`; probe keys gather
+  /// from the key column, and probe rows materialize only on a match with
+  /// `output` set.
   void Probe(const Block& block, AttrId probe_attr, const PredicateSet& preds,
              JoinCounts* counts, std::vector<Record>* output = nullptr) const;
 
@@ -67,9 +134,17 @@ class HashIndex {
   void Clear();
 
  private:
+  /// Shared match bookkeeping: counts + (optionally) materialized rows for
+  /// one probe row hitting `bucket`. `key_hash` is HashValue of the key
+  /// (the checksum ingredient — callers on the columnar path already have
+  /// it without materializing the key).
+  void EmitMatches(const std::vector<RowRef>& bucket, size_t key_hash,
+                   const RowRef& probe, JoinCounts* counts,
+                   std::vector<Record>* output) const;
+
   AttrId attr_;
   int64_t build_rows_ = 0;
-  std::unordered_map<Value, std::vector<const Record*>, ValueHash> buckets_;
+  std::unordered_map<Value, std::vector<RowRef>, ValueHash, ValueEq> buckets_;
 };
 
 }  // namespace adaptdb

@@ -40,9 +40,19 @@ Result<JoinExecResult> HyperJoin(const BlockStore& r_store, AttrId r_attr,
       needed.OrWith(overlap.vectors[i]);
     }
 
-    // Probe side: every overlapping S block, streamed one at a time.
+    // Probe side: every overlapping S block, streamed one at a time. Range
+    // metadata prunes S blocks the S-side predicates exclude *before* they
+    // are pinned — on a buffered store a pruned block is never loaded, so
+    // the group's probe phase incurs no miss for it (the same skip the
+    // scan path applies, extended to the join; MayMatchMeta never does
+    // I/O). Probing a pruned block would find nothing: its selection
+    // vector is provably empty.
     for (size_t j : needed.SetBits()) {
       const BlockId sb = overlap.s_blocks[j];
+      if (!s_preds.empty() && !s_store.MayMatchMeta(sb, s_preds)) {
+        ++out.s_blocks_skipped;
+        continue;
+      }
       auto blk = s_store.Get(sb);
       if (!blk.ok()) return blk.status();
       cluster.ReadBlock(sb, worker, &out.io);

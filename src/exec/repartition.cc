@@ -50,18 +50,27 @@ Result<RepartitionResult> RepartitionBlocks(
     auto node = cluster->Locate(src);
     cluster->ReadBlock(src, node.ok() ? node.ValueOrDie() : 0, &out.io);
     // Route the whole source block, then append with one mutable pin per
-    // destination leaf (per-record pins thrash a small buffer pool).
-    std::map<BlockId, std::vector<const Record*>> per_leaf;
-    for (const Record& rec : b->records()) {
-      auto leaf = dest_tree.Route(rec);
+    // destination leaf (per-record pins thrash a small buffer pool). Rows
+    // are gathered from the columnar source one at a time into a reused
+    // scratch record; per_leaf keeps row indices so each destination
+    // append preserves source row order (block contents bit-identical to
+    // the row-major engine's).
+    std::map<BlockId, std::vector<uint32_t>> per_leaf;
+    Record scratch;
+    for (size_t row = 0; row < b->num_records(); ++row) {
+      b->GatherRecord(row, &scratch);
+      auto leaf = dest_tree.Route(scratch);
       if (!leaf.ok()) return leaf.status();
-      per_leaf[leaf.ValueOrDie()].push_back(&rec);
+      per_leaf[leaf.ValueOrDie()].push_back(static_cast<uint32_t>(row));
       ++out.records_moved;
     }
-    for (const auto& [leaf, recs] : per_leaf) {
+    for (const auto& [leaf, rows] : per_leaf) {
       auto dest = store->GetMutable(leaf);
       if (!dest.ok()) return dest.status();
-      for (const Record* rec : recs) dest.ValueOrDie()->Add(*rec);
+      for (const uint32_t row : rows) {
+        b->GatherRecord(row, &scratch);
+        dest.ValueOrDie()->Add(scratch);
+      }
       touched.insert(leaf);
     }
     // The moved data is rewritten once (buffered HDFS appends, §6).

@@ -17,11 +17,11 @@ Result<JoinExecResult> ShuffleJoin(
   // Phase 1: map-side read + filter + hash partition. Each input block is
   // read locally by its own map task and its filtered contents shuffled.
   // Pins keep every mapped block resident until the build/probe phase has
-  // consumed the partitioned record pointers — residency equals the input
+  // consumed the partitioned row references — residency equals the input
   // (the seed's memory profile; see ROADMAP "out-of-core shuffle" for the
   // spill-to-segments version that bounds it).
-  std::vector<std::vector<const Record*>> r_parts(num_partitions);
-  std::vector<std::vector<const Record*>> s_parts(num_partitions);
+  std::vector<std::vector<RowRef>> r_parts(num_partitions);
+  std::vector<std::vector<RowRef>> s_parts(num_partitions);
   std::vector<BlockRef> pins;
   pins.reserve(r_blocks.size() + s_blocks.size());
 

@@ -25,6 +25,10 @@ struct JoinExecResult {
   /// Blocks read from R / S (including repeat reads for hyper-join).
   int64_t r_blocks_read = 0;
   int64_t s_blocks_read = 0;
+  /// Scheduled S reads the hyper-join skipped because the block's range
+  /// metadata excluded the S-side predicates (no pin, no I/O). Always 0
+  /// for the shuffle join (its map phase must read every block anyway).
+  int64_t s_blocks_skipped = 0;
   IoStats io;
 };
 

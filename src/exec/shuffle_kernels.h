@@ -6,6 +6,11 @@
 /// runs them and merges per-task partials in serial order. Keeping the map
 /// and build/probe logic (including the checksum formula) in one place is
 /// what guarantees the two paths cannot drift apart.
+///
+/// On the columnar layout the map phase never materializes rows: it filters
+/// column-at-a-time, hashes the join-key column directly, and partitions
+/// (block, row) references. Output rows gather their attributes only on an
+/// actual match in the reduce phase (late materialization).
 
 #ifndef ADAPTDB_EXEC_SHUFFLE_KERNELS_H_
 #define ADAPTDB_EXEC_SHUFFLE_KERNELS_H_
@@ -20,14 +25,15 @@
 
 namespace adaptdb::shuffle_internal {
 
-/// Map-side kernel for one block: read + account + filter + hash-partition
-/// record pointers into parts[key_hash % parts->size()]. The block's pin is
-/// appended to `pins`, which must stay alive until the partitions' record
-/// pointers are no longer used (the reduce phase) — with a buffered store,
-/// dropping the pin would let eviction free the records underneath them.
+/// Map-side kernel for one block: read + account + columnar filter +
+/// hash-partition row references into parts[key_hash % parts->size()]. The
+/// block's pin is appended to `pins`, which must stay alive until the
+/// partitions' row references are no longer used (the reduce phase) — with
+/// a buffered store, dropping the pin would let eviction free the columns
+/// underneath them.
 inline Status MapBlock(const BlockStore& store, BlockId id, AttrId attr,
                        const PredicateSet& preds, const ClusterSim& cluster,
-                       std::vector<std::vector<const Record*>>* parts,
+                       std::vector<std::vector<RowRef>>* parts,
                        std::vector<BlockRef>* pins, IoStats* io) {
   auto blk = store.Get(id);
   if (!blk.ok()) return blk.status();
@@ -35,39 +41,50 @@ inline Status MapBlock(const BlockStore& store, BlockId id, AttrId attr,
   const Block& b = *pins->back();
   auto node = cluster.Locate(id);
   cluster.ReadBlock(id, node.ok() ? node.ValueOrDie() : 0, io);
-  for (const Record& rec : b.records()) {
-    if (!MatchesAll(preds, rec)) continue;
-    const size_t p =
-        HashValue(rec[static_cast<size_t>(attr)]) % parts->size();
-    (*parts)[p].push_back(&rec);
+  const SelectionVector sel = b.FilterRows(preds);
+  if (sel.empty()) return Status::OK();
+  const Column& key_col = b.column(attr);
+  for (const uint32_t row : sel) {
+    const size_t p = key_col.HashAt(row) % parts->size();
+    (*parts)[p].push_back(RowRef::OfBlock(&b, row));
   }
   return Status::OK();
 }
 
-/// Reduce-side kernel for one partition: build a hash index on the R
-/// records, probe with the S records in order, accumulate counts and
-/// (when `output` is non-null) materialize build ++ probe rows.
-inline void BuildProbePartition(const std::vector<const Record*>& r_part,
+/// Reduce-side kernel for one partition: build a hash index on the R rows,
+/// probe with the S rows in order, accumulate counts and (when `output` is
+/// non-null) late-materialize build ++ probe rows.
+inline void BuildProbePartition(const std::vector<RowRef>& r_part,
                                 AttrId r_attr,
-                                const std::vector<const Record*>& s_part,
+                                const std::vector<RowRef>& s_part,
                                 AttrId s_attr, JoinCounts* counts,
                                 std::vector<Record>* output) {
-  std::unordered_map<Value, std::vector<const Record*>, ValueHash> index;
-  for (const Record* rec : r_part) {
-    index[(*rec)[static_cast<size_t>(r_attr)]].push_back(rec);
+  std::unordered_map<Value, std::vector<RowRef>, ValueHash, ValueEq> index;
+  for (const RowRef& ref : r_part) {
+    index[ref.KeyAt(r_attr)].push_back(ref);
   }
-  for (const Record* rec : s_part) {
-    const Value& key = (*rec)[static_cast<size_t>(s_attr)];
-    auto it = index.find(key);
+  for (const RowRef& ref : s_part) {
+    // Probe keys read in place: a heterogeneous ColumnKey lookup for
+    // block rows, the record's own Value by reference otherwise — no key
+    // materializes on the probe side.
+    const auto it =
+        ref.block != nullptr
+            ? index.find(ColumnKey{&ref.block->column(s_attr), ref.row})
+            : index.find((*ref.rec)[static_cast<size_t>(s_attr)]);
     if (it == index.end()) continue;
+    const size_t key_hash =
+        ref.block != nullptr
+            ? ref.block->column(s_attr).HashAt(ref.row)
+            : HashValue((*ref.rec)[static_cast<size_t>(s_attr)]);
     const auto& bucket = it->second;
     counts->output_rows += static_cast<int64_t>(bucket.size());
     counts->checksum += static_cast<uint64_t>(bucket.size()) *
-                        (static_cast<uint64_t>(HashValue(key)) | 1);
+                        (static_cast<uint64_t>(key_hash) | 1);
     if (output != nullptr) {
-      for (const Record* build : bucket) {
-        Record joined = *build;
-        joined.insert(joined.end(), rec->begin(), rec->end());
+      for (const RowRef& build : bucket) {
+        Record joined;
+        build.AppendTo(&joined);
+        ref.AppendTo(&joined);
         output->push_back(std::move(joined));
       }
     }

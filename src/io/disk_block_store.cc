@@ -118,6 +118,44 @@ Result<size_t> DiskBlockStore::RecordCount(BlockId id) const {
   return persisted;
 }
 
+bool DiskBlockStore::MayMatchMeta(BlockId id,
+                                  const PredicateSet& preds) const {
+  // The resident (possibly dirty) copy is authoritative when present.
+  if (auto resident = pool_.Peek(id)) return resident->MayMatch(preds);
+  std::lock_guard<std::mutex> lock(dir_mu_);
+  auto it = directory_.find(id);
+  if (it == directory_.end()) return true;  // Unknown: Get will surface it.
+  if (it->second.num_records == 0) return false;  // Empty blocks never match.
+  if (it->second.ranges.empty()) return true;  // No metadata: conservative.
+  return RangesAdmit(preds, it->second.ranges);
+}
+
+int64_t DiskBlockStore::Prefetch(const std::vector<BlockId>& ids) const {
+  // Read-ahead must leave room for the frames the consumer is about to
+  // load *between now and consuming this batch* (the scan consumes one
+  // window while the next is in flight, so up to ids.size() consumption
+  // loads land first), plus the consumer's own pin. On pools smaller than
+  // that, prefetched frames would be evicted off the LRU tail before
+  // first use — every prefetch a wasted pread — so the budget degrades to
+  // zero instead.
+  int64_t budget =
+      pool_.capacity() - static_cast<int64_t>(ids.size()) - 1;
+  int64_t loaded = 0;
+  for (BlockId id : ids) {
+    if (budget <= 0) break;
+    {
+      std::lock_guard<std::mutex> lock(dir_mu_);
+      if (directory_.find(id) == directory_.end()) continue;
+    }
+    if (pool_.Peek(id) != nullptr) continue;  // Already resident.
+    auto pinned = pool_.Pin(id);  // Load; the handle drops right away, so
+    if (!pinned.ok()) continue;   // the frame lands unpinned at MRU.
+    ++loaded;
+    --budget;
+  }
+  return loaded;
+}
+
 Status DiskBlockStore::Delete(BlockId id) {
   {
     std::lock_guard<std::mutex> lock(dir_mu_);
@@ -214,6 +252,7 @@ Result<Block> DiskBlockStore::LoadBlock(BlockId id) {
     auto it = directory_.find(id);
     if (it != directory_.end()) {
       it->second.num_records = block.ValueOrDie().num_records();
+      it->second.ranges = block.ValueOrDie().ranges();
     }
   }
   return block;
@@ -231,6 +270,7 @@ Status DiskBlockStore::WriteBack(const Block& block) {
   }
   it->second.loc = loc.ValueOrDie();
   it->second.num_records = block.num_records();
+  it->second.ranges = block.ranges();
   return Status::OK();
 }
 

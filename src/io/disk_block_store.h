@@ -46,6 +46,24 @@ class DiskBlockStore final : public BlockStore, private io::BlockSource {
   Result<MutableBlockRef> GetMutable(BlockId id) override;
   bool Contains(BlockId id) const override;
   Result<size_t> RecordCount(BlockId id) const override;
+
+  /// Metadata-only skipping without I/O: answers from the resident copy
+  /// when the block is in the pool, else from the per-attribute ranges the
+  /// directory recorded at the last write-back. A non-resident block has
+  /// always been written back at least once (eviction writes dirty frames
+  /// through), so the directory ranges are exact whenever they are needed.
+  bool MayMatchMeta(BlockId id, const PredicateSet& preds) const override;
+
+  /// Loads non-resident `ids` into the pool ahead of consumption and
+  /// returns how many were physically read. The batch is capped at
+  /// capacity - ids.size() - 1 frames: the consumer will load up to a
+  /// window of its own blocks (plus hold one pin) before reaching this
+  /// batch, and read-ahead that a small pool would evict before first use
+  /// is strictly wasted I/O — on such pools the cap degrades to zero.
+  int64_t Prefetch(const std::vector<BlockId>& ids) const override;
+
+  bool CanPrefetch() const override { return true; }
+
   Status Delete(BlockId id) override;
   std::vector<BlockId> BlockIds() const override;
   size_t num_blocks() const override;
@@ -81,6 +99,10 @@ class DiskBlockStore final : public BlockStore, private io::BlockSource {
     /// Record count at the last load/write-back (exact for non-resident
     /// blocks, superseded by the pool copy for resident ones).
     size_t num_records = 0;
+    /// Per-attribute min/max ranges at the last load/write-back — the
+    /// block-skipping metadata of MayMatchMeta. Empty until the block is
+    /// first persisted (while it is still resident and Peek-able).
+    std::vector<ValueRange> ranges;
   };
 
   StorageConfig config_;

@@ -1,6 +1,9 @@
 #include "io/format.h"
 
+#include <algorithm>
 #include <cstring>
+#include <unordered_map>
+#include <utility>
 
 namespace adaptdb::io {
 
@@ -67,9 +70,27 @@ struct Reader {
   }
 };
 
+/// Column element type tags (directory byte 0).
+enum : uint8_t {
+  kTypeInt64 = 0,
+  kTypeDouble = 1,
+  kTypeString = 2,
+  kTypeMixed = 3,
+  kTypeUntyped = 0xff,  // Empty column of an empty block.
+};
+
+/// Column encoding tags (directory byte 1).
+enum : uint8_t {
+  kEncPlain = 0,
+  kEncFor = 1,     // Frame-of-reference int64.
+  kEncDict = 2,    // Dictionary-coded strings.
+  kEncTagged = 3,  // Per-value type tags (mixed columns).
+};
+
+/// Tagged-value scalar tags (kEncTagged payloads).
 enum : uint8_t { kTagInt64 = 0, kTagDouble = 1, kTagString = 2 };
 
-void EncodeValue(std::string* out, const Value& v) {
+void EncodeTaggedValue(std::string* out, const Value& v) {
   switch (v.type()) {
     case DataType::kInt64: {
       out->push_back(static_cast<char>(kTagInt64));
@@ -94,7 +115,7 @@ void EncodeValue(std::string* out, const Value& v) {
   }
 }
 
-bool DecodeValue(Reader* r, Value* out) {
+bool DecodeTaggedValue(Reader* r, Value* out) {
   uint8_t tag;
   if (!r->U8(&tag)) return false;
   switch (tag) {
@@ -125,6 +146,336 @@ bool DecodeValue(Reader* r, Value* out) {
   }
 }
 
+/// One encoded column segment plus its directory tags.
+struct EncodedColumn {
+  uint8_t type = kTypeUntyped;
+  uint8_t encoding = kEncPlain;
+  std::string bytes;
+};
+
+/// Frame-of-reference delta width covering `max_delta`; 8 means "use
+/// plain" (no narrowing possible).
+uint8_t ForWidth(uint64_t max_delta) {
+  if (max_delta == 0) return 0;
+  if (max_delta <= 0xffull) return 1;
+  if (max_delta <= 0xffffull) return 2;
+  if (max_delta <= 0xffffffffull) return 4;
+  return 8;
+}
+
+void PutPacked(std::string* out, uint64_t v, uint8_t width) {
+  for (uint8_t i = 0; i < width; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+EncodedColumn EncodeInt64Column(const std::vector<int64_t>& vals) {
+  EncodedColumn out;
+  out.type = kTypeInt64;
+  if (vals.empty()) {
+    out.encoding = kEncPlain;
+    return out;
+  }
+  const auto [min_it, max_it] = std::minmax_element(vals.begin(), vals.end());
+  // Wraparound-safe delta span (min may be INT64_MIN, max INT64_MAX).
+  const uint64_t span = static_cast<uint64_t>(*max_it) -
+                        static_cast<uint64_t>(*min_it);
+  const uint8_t width = ForWidth(span);
+  if (width == 8) {
+    out.encoding = kEncPlain;
+    out.bytes.reserve(vals.size() * 8);
+    for (const int64_t v : vals) PutU64(&out.bytes, static_cast<uint64_t>(v));
+    return out;
+  }
+  out.encoding = kEncFor;
+  out.bytes.reserve(9 + vals.size() * width);
+  PutU64(&out.bytes, static_cast<uint64_t>(*min_it));
+  out.bytes.push_back(static_cast<char>(width));
+  const uint64_t base = static_cast<uint64_t>(*min_it);
+  for (const int64_t v : vals) {
+    PutPacked(&out.bytes, static_cast<uint64_t>(v) - base, width);
+  }
+  return out;
+}
+
+EncodedColumn EncodeDoubleColumn(const std::vector<double>& vals) {
+  EncodedColumn out;
+  out.type = kTypeDouble;
+  out.encoding = kEncPlain;
+  out.bytes.reserve(vals.size() * 8);
+  for (const double d : vals) {
+    uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    PutU64(&out.bytes, bits);
+  }
+  return out;
+}
+
+EncodedColumn EncodeStringColumn(const std::vector<std::string>& vals) {
+  EncodedColumn out;
+  out.type = kTypeString;
+  // Dictionary-code low-cardinality columns: at most 256 distinct values
+  // (codes fit one byte) and strictly fewer distinct values than rows.
+  std::unordered_map<std::string_view, uint32_t> codes;
+  std::vector<std::string_view> dict;
+  bool eligible = !vals.empty();
+  for (const std::string& s : vals) {
+    if (codes.emplace(s, static_cast<uint32_t>(dict.size())).second) {
+      dict.push_back(s);
+      if (dict.size() > 256) {
+        eligible = false;
+        break;
+      }
+    }
+  }
+  if (eligible && dict.size() >= vals.size()) eligible = false;
+  if (!eligible) {
+    out.encoding = kEncPlain;
+    for (const std::string& s : vals) {
+      PutU32(&out.bytes, static_cast<uint32_t>(s.size()));
+      out.bytes.append(s);
+    }
+    return out;
+  }
+  out.encoding = kEncDict;
+  PutU32(&out.bytes, static_cast<uint32_t>(dict.size()));
+  for (const std::string_view s : dict) {
+    PutU32(&out.bytes, static_cast<uint32_t>(s.size()));
+    out.bytes.append(s);
+  }
+  for (const std::string& s : vals) {
+    out.bytes.push_back(static_cast<char>(codes.at(s) & 0xff));
+  }
+  return out;
+}
+
+EncodedColumn EncodeColumn(const Column& col) {
+  if (!col.typed()) return EncodedColumn{};  // Empty block: untyped.
+  if (col.mixed()) {
+    EncodedColumn out;
+    out.type = kTypeMixed;
+    out.encoding = kEncTagged;
+    for (const Value& v : col.values()) EncodeTaggedValue(&out.bytes, v);
+    return out;
+  }
+  switch (col.type()) {
+    case DataType::kInt64:
+      return EncodeInt64Column(col.ints());
+    case DataType::kDouble:
+      return EncodeDoubleColumn(col.doubles());
+    case DataType::kString:
+      return EncodeStringColumn(col.strings());
+  }
+  return EncodedColumn{};
+}
+
+/// Decodes one column segment. `n` is the block's record count; every
+/// segment must hold exactly `n` values and consume all its bytes.
+Result<Column> DecodeColumn(uint8_t type, uint8_t encoding,
+                            std::string_view seg, uint32_t n, size_t attr) {
+  const auto corrupt = [attr](const std::string& what) {
+    return Status::Corruption("column " + std::to_string(attr) + ": " + what);
+  };
+  Reader r{reinterpret_cast<const unsigned char*>(seg.data()), seg.size()};
+  switch (type) {
+    case kTypeUntyped: {
+      if (n != 0 || !seg.empty()) {
+        return corrupt("untyped column in a non-empty block");
+      }
+      return Column();
+    }
+    case kTypeInt64: {
+      std::vector<int64_t> vals;
+      vals.reserve(n);
+      if (encoding == kEncPlain) {
+        for (uint32_t i = 0; i < n; ++i) {
+          uint64_t bits;
+          if (!r.U64(&bits)) return corrupt("plain int64 segment truncated");
+          vals.push_back(static_cast<int64_t>(bits));
+        }
+      } else if (encoding == kEncFor) {
+        uint64_t base;
+        uint8_t width;
+        if (!r.U64(&base) || !r.U8(&width)) {
+          return corrupt("FOR header truncated");
+        }
+        if (width != 0 && width != 1 && width != 2 && width != 4) {
+          return corrupt("bad FOR delta width " + std::to_string(width));
+        }
+        for (uint32_t i = 0; i < n; ++i) {
+          uint64_t delta = 0;
+          const unsigned char* b;
+          if (!r.Take(width, &b)) return corrupt("FOR deltas truncated");
+          for (int j = static_cast<int>(width) - 1; j >= 0; --j) {
+            delta = (delta << 8) | b[j];
+          }
+          vals.push_back(static_cast<int64_t>(base + delta));
+        }
+      } else {
+        return corrupt("bad int64 encoding " + std::to_string(encoding));
+      }
+      if (r.left != 0) return corrupt("trailing bytes in int64 segment");
+      return Column::OfInts(std::move(vals));
+    }
+    case kTypeDouble: {
+      if (encoding != kEncPlain) {
+        return corrupt("bad double encoding " + std::to_string(encoding));
+      }
+      std::vector<double> vals;
+      vals.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        uint64_t bits;
+        if (!r.U64(&bits)) return corrupt("double segment truncated");
+        double d;
+        std::memcpy(&d, &bits, sizeof(d));
+        vals.push_back(d);
+      }
+      if (r.left != 0) return corrupt("trailing bytes in double segment");
+      return Column::OfDoubles(std::move(vals));
+    }
+    case kTypeString: {
+      std::vector<std::string> vals;
+      vals.reserve(n);
+      if (encoding == kEncPlain) {
+        for (uint32_t i = 0; i < n; ++i) {
+          uint32_t len;
+          const unsigned char* bytes;
+          if (!r.U32(&len) || !r.Take(len, &bytes)) {
+            return corrupt("plain string segment truncated");
+          }
+          vals.emplace_back(reinterpret_cast<const char*>(bytes), len);
+        }
+      } else if (encoding == kEncDict) {
+        uint32_t dict_size;
+        if (!r.U32(&dict_size)) return corrupt("dictionary header truncated");
+        if (dict_size > 256) {
+          return corrupt("dictionary too large: " + std::to_string(dict_size));
+        }
+        std::vector<std::string> dict;
+        dict.reserve(dict_size);
+        for (uint32_t i = 0; i < dict_size; ++i) {
+          uint32_t len;
+          const unsigned char* bytes;
+          if (!r.U32(&len) || !r.Take(len, &bytes)) {
+            return corrupt("dictionary entries truncated");
+          }
+          dict.emplace_back(reinterpret_cast<const char*>(bytes), len);
+        }
+        for (uint32_t i = 0; i < n; ++i) {
+          uint8_t code;
+          if (!r.U8(&code)) return corrupt("dictionary codes truncated");
+          if (code >= dict.size()) {
+            return corrupt("dictionary code " + std::to_string(code) +
+                           " out of range");
+          }
+          vals.push_back(dict[code]);
+        }
+      } else {
+        return corrupt("bad string encoding " + std::to_string(encoding));
+      }
+      if (r.left != 0) return corrupt("trailing bytes in string segment");
+      return Column::OfStrings(std::move(vals));
+    }
+    case kTypeMixed: {
+      if (encoding != kEncTagged) {
+        return corrupt("bad mixed encoding " + std::to_string(encoding));
+      }
+      std::vector<Value> vals;
+      vals.reserve(n);
+      Value v;
+      for (uint32_t i = 0; i < n; ++i) {
+        if (!DecodeTaggedValue(&r, &v)) {
+          return corrupt("tagged values truncated");
+        }
+        vals.push_back(std::move(v));
+      }
+      if (r.left != 0) return corrupt("trailing bytes in mixed segment");
+      return Column::OfValues(std::move(vals));
+    }
+    default:
+      return corrupt("unknown column type " + std::to_string(type));
+  }
+}
+
+/// Parsed fixed header.
+struct Header {
+  BlockId id;
+  uint32_t num_attrs;
+  uint32_t num_records;
+  uint64_t payload_len;
+  uint64_t checksum;
+};
+
+Result<Header> DecodeHeader(std::string_view buf, int32_t expected_attrs) {
+  Reader r{reinterpret_cast<const unsigned char*>(buf.data()), buf.size()};
+  uint32_t magic;
+  uint16_t version, flags;
+  uint64_t id_bits;
+  Header h;
+  if (!r.U32(&magic) || !r.U16(&version) || !r.U16(&flags) ||
+      !r.U64(&id_bits) || !r.U32(&h.num_attrs) || !r.U32(&h.num_records) ||
+      !r.U64(&h.payload_len) || !r.U64(&h.checksum)) {
+    return Status::Corruption("block header truncated (" +
+                              std::to_string(buf.size()) + " bytes)");
+  }
+  if (magic != kBlockMagic) {
+    return Status::Corruption("bad block magic");
+  }
+  if (version != kFormatVersion) {
+    return Status::InvalidArgument(
+        "unsupported block format version " + std::to_string(version) +
+        " (expected " + std::to_string(kFormatVersion) + ")");
+  }
+  if (h.payload_len != r.left) {
+    return Status::Corruption(
+        "block payload truncated: header says " +
+        std::to_string(h.payload_len) + " bytes, " + std::to_string(r.left) +
+        " available");
+  }
+  if (expected_attrs >= 0 &&
+      h.num_attrs != static_cast<uint32_t>(expected_attrs)) {
+    return Status::Corruption("block attribute count " +
+                              std::to_string(h.num_attrs) + " != schema's " +
+                              std::to_string(expected_attrs));
+  }
+  h.id = static_cast<BlockId>(id_bits);
+  return h;
+}
+
+/// One parsed column-directory entry.
+struct DirEntry {
+  uint8_t type;
+  uint8_t encoding;
+  uint64_t offset;
+  uint64_t length;
+  uint64_t checksum;
+};
+
+Result<std::vector<DirEntry>> DecodeDirectory(std::string_view payload,
+                                              uint32_t num_attrs) {
+  const uint64_t dir_bytes =
+      static_cast<uint64_t>(num_attrs) * kColumnDirEntryBytes;
+  if (payload.size() < dir_bytes) {
+    return Status::Corruption("column directory truncated");
+  }
+  Reader r{reinterpret_cast<const unsigned char*>(payload.data()),
+           payload.size()};
+  std::vector<DirEntry> dir(num_attrs);
+  for (uint32_t a = 0; a < num_attrs; ++a) {
+    DirEntry& e = dir[a];
+    if (!r.U8(&e.type) || !r.U8(&e.encoding) || !r.U64(&e.offset) ||
+        !r.U64(&e.length) || !r.U64(&e.checksum)) {
+      return Status::Corruption("column directory truncated");
+    }
+    if (e.offset < dir_bytes || e.offset > payload.size() ||
+        e.length > payload.size() - e.offset) {
+      return Status::Corruption("column " + std::to_string(a) +
+                                " segment out of payload bounds");
+    }
+  }
+  return dir;
+}
+
 }  // namespace
 
 uint64_t Fnv1a64(std::string_view bytes) {
@@ -137,10 +488,25 @@ uint64_t Fnv1a64(std::string_view bytes) {
 }
 
 std::string EncodeBlock(const Block& block) {
-  std::string payload;
-  for (const Record& rec : block.records()) {
-    for (const Value& v : rec) EncodeValue(&payload, v);
+  const uint32_t num_attrs = static_cast<uint32_t>(block.num_attrs());
+  std::vector<EncodedColumn> cols;
+  cols.reserve(num_attrs);
+  for (uint32_t a = 0; a < num_attrs; ++a) {
+    cols.push_back(EncodeColumn(block.column(static_cast<AttrId>(a))));
   }
+
+  // Directory, then the segments back to back.
+  std::string payload;
+  uint64_t offset = static_cast<uint64_t>(num_attrs) * kColumnDirEntryBytes;
+  for (const EncodedColumn& c : cols) {
+    payload.push_back(static_cast<char>(c.type));
+    payload.push_back(static_cast<char>(c.encoding));
+    PutU64(&payload, offset);
+    PutU64(&payload, c.bytes.size());
+    PutU64(&payload, Fnv1a64(c.bytes));
+    offset += c.bytes.size();
+  }
+  for (const EncodedColumn& c : cols) payload.append(c.bytes);
 
   std::string out;
   out.reserve(kBlockHeaderBytes + payload.size());
@@ -148,7 +514,7 @@ std::string EncodeBlock(const Block& block) {
   PutU16(&out, kFormatVersion);
   PutU16(&out, 0);  // flags
   PutU64(&out, static_cast<uint64_t>(block.id()));
-  PutU32(&out, static_cast<uint32_t>(block.num_attrs()));
+  PutU32(&out, num_attrs);
   PutU32(&out, static_cast<uint32_t>(block.num_records()));
   PutU64(&out, static_cast<uint64_t>(payload.size()));
   PutU64(&out, Fnv1a64(payload));
@@ -157,58 +523,71 @@ std::string EncodeBlock(const Block& block) {
 }
 
 Result<Block> DecodeBlock(std::string_view buf, int32_t expected_attrs) {
-  Reader r{reinterpret_cast<const unsigned char*>(buf.data()), buf.size()};
-  uint32_t magic;
-  uint16_t version, flags;
-  uint64_t id_bits, payload_len, checksum;
-  uint32_t num_attrs, num_records;
-  if (!r.U32(&magic) || !r.U16(&version) || !r.U16(&flags) ||
-      !r.U64(&id_bits) || !r.U32(&num_attrs) || !r.U32(&num_records) ||
-      !r.U64(&payload_len) || !r.U64(&checksum)) {
-    return Status::Corruption("block header truncated (" +
-                              std::to_string(buf.size()) + " bytes)");
-  }
-  if (magic != kBlockMagic) {
-    return Status::Corruption("bad block magic");
-  }
-  if (version != kFormatVersion) {
-    return Status::InvalidArgument(
-        "unsupported block format version " + std::to_string(version) +
-        " (expected " + std::to_string(kFormatVersion) + ")");
-  }
-  if (payload_len != r.left) {
-    return Status::Corruption(
-        "block payload truncated: header says " + std::to_string(payload_len) +
-        " bytes, " + std::to_string(r.left) + " available");
-  }
-  if (Fnv1a64(buf.substr(kBlockHeaderBytes)) != checksum) {
+  auto header = DecodeHeader(buf, expected_attrs);
+  if (!header.ok()) return header.status();
+  const Header& h = header.ValueOrDie();
+  const std::string_view payload = buf.substr(kBlockHeaderBytes);
+  if (Fnv1a64(payload) != h.checksum) {
     return Status::Corruption("block checksum mismatch (id " +
-                              std::to_string(static_cast<int64_t>(id_bits)) +
-                              ")");
+                              std::to_string(h.id) + ")");
   }
-  if (expected_attrs >= 0 &&
-      num_attrs != static_cast<uint32_t>(expected_attrs)) {
-    return Status::Corruption("block attribute count " +
-                              std::to_string(num_attrs) + " != schema's " +
-                              std::to_string(expected_attrs));
-  }
+  auto dir = DecodeDirectory(payload, h.num_attrs);
+  if (!dir.ok()) return dir.status();
 
-  Block block(static_cast<BlockId>(id_bits), static_cast<int32_t>(num_attrs));
-  Record rec(num_attrs);
-  for (uint32_t i = 0; i < num_records; ++i) {
-    for (uint32_t a = 0; a < num_attrs; ++a) {
-      if (!DecodeValue(&r, &rec[a])) {
-        return Status::Corruption("block payload truncated at record " +
-                                  std::to_string(i));
-      }
+  std::vector<Column> cols;
+  cols.reserve(h.num_attrs);
+  for (uint32_t a = 0; a < h.num_attrs; ++a) {
+    const DirEntry& e = dir.ValueOrDie()[a];
+    auto col = DecodeColumn(
+        e.type, e.encoding,
+        payload.substr(static_cast<size_t>(e.offset),
+                       static_cast<size_t>(e.length)),
+        h.num_records, a);
+    if (!col.ok()) return col.status();
+    cols.push_back(std::move(col).ValueOrDie());
+  }
+  return Block::FromColumns(h.id, std::move(cols), h.num_records);
+}
+
+Result<ColumnSubset> DecodeBlockColumns(std::string_view buf,
+                                        int32_t expected_attrs,
+                                        const std::vector<AttrId>& attrs) {
+  auto header = DecodeHeader(buf, expected_attrs);
+  if (!header.ok()) return header.status();
+  const Header& h = header.ValueOrDie();
+  const std::string_view payload = buf.substr(kBlockHeaderBytes);
+  auto dir = DecodeDirectory(payload, h.num_attrs);
+  if (!dir.ok()) return dir.status();
+
+  ColumnSubset out;
+  out.id = h.id;
+  out.num_records = h.num_records;
+  out.bytes_read = kBlockHeaderBytes +
+                   static_cast<uint64_t>(h.num_attrs) * kColumnDirEntryBytes;
+  out.columns.reserve(attrs.size());
+  for (const AttrId attr : attrs) {
+    if (attr < 0 || static_cast<uint32_t>(attr) >= h.num_attrs) {
+      return Status::InvalidArgument("attribute " + std::to_string(attr) +
+                                     " out of range (block has " +
+                                     std::to_string(h.num_attrs) + ")");
     }
-    block.Add(rec);
+    const DirEntry& e = dir.ValueOrDie()[static_cast<size_t>(attr)];
+    const std::string_view seg = payload.substr(
+        static_cast<size_t>(e.offset), static_cast<size_t>(e.length));
+    // Each selected segment carries its own checksum, so a partial read
+    // still detects corruption in everything it touches.
+    if (Fnv1a64(seg) != e.checksum) {
+      return Status::Corruption("column " + std::to_string(attr) +
+                                " checksum mismatch (block " +
+                                std::to_string(h.id) + ")");
+    }
+    auto col = DecodeColumn(e.type, e.encoding, seg, h.num_records,
+                            static_cast<size_t>(attr));
+    if (!col.ok()) return col.status();
+    out.bytes_read += e.length;
+    out.columns.push_back(std::move(col).ValueOrDie());
   }
-  if (r.left != 0) {
-    return Status::Corruption("block payload has " + std::to_string(r.left) +
-                              " trailing bytes");
-  }
-  return block;
+  return out;
 }
 
 }  // namespace adaptdb::io

@@ -1,27 +1,48 @@
 /// \file format.h
-/// \brief On-disk block serialization: fixed header + record payload.
+/// \brief On-disk block serialization v2: columnar segments + encodings.
 ///
 /// Layout (all integers little-endian):
 ///
 ///   offset  size  field
 ///   0       4     magic "ADBK"
-///   4       2     format version (kFormatVersion)
+///   4       2     format version (kFormatVersion = 2)
 ///   6       2     flags (reserved, 0)
 ///   8       8     block id (int64)
 ///   16      4     attribute count (int32)
 ///   20      4     record count (uint32)
 ///   24      8     payload length in bytes (uint64)
-///   32      8     FNV-1a 64 checksum of the payload
+///   32      8     FNV-1a 64 checksum of the whole payload
 ///   40      ...   payload
 ///
-/// Payload: records in order; each record is num_attrs values, each value a
-/// 1-byte type tag (0 = int64, 1 = double, 2 = string) followed by 8 bytes
-/// (int64 / double bit pattern) or u32 length + bytes (string). Doubles
-/// round-trip bit-exactly (the bit pattern is stored, not a decimal form).
+/// Payload: a column directory (one kColumnDirEntryBytes entry per
+/// attribute: type tag, encoding tag, u64 segment offset from payload
+/// start, u64 segment length, u64 FNV-1a 64 segment checksum) followed by
+/// the column segments in attribute order. The directory gives a reader
+/// random access to any column subset: DecodeBlockColumns validates and
+/// decodes only the requested columns' segments (each guarded by its own
+/// checksum), which is what lets projection-pruned scans read strictly
+/// fewer payload bytes than full-row decodes.
 ///
-/// Per-attribute min/max ranges are not stored: DecodeBlock rebuilds them by
-/// re-adding each record, which reproduces them exactly (ranges are a pure
-/// function of the record sequence).
+/// Per-column encodings (chosen by the encoder, recorded per column):
+///   - int64: frame-of-reference — i64 min, a delta byte-width in
+///     {0,1,2,4} and packed deltas — when it is narrower than plain
+///     8-byte values (width 0 means every value equals min); plain
+///     otherwise.
+///   - double: plain 8-byte bit patterns (bit-exact round trip).
+///   - string: dictionary (u32 entry count, length-prefixed entries,
+///     one u8 code per row) for low-cardinality columns — at most 256
+///     distinct values and fewer distinct values than rows; plain
+///     length-prefixed bytes otherwise.
+///   - mixed (heterogeneously-typed fallback columns): tagged values,
+///     1-byte type tag + scalar/length-prefixed bytes each.
+///
+/// Per-attribute min/max ranges are not stored: decoding rebuilds them by
+/// scanning each column, which reproduces them exactly (ranges are a pure
+/// function of the column's values).
+///
+/// Version 1 (the row-major record payload) is no longer readable: its
+/// files are rejected with a clean InvalidArgument("unsupported block
+/// format version ...") Status, never mis-decoded.
 
 #ifndef ADAPTDB_IO_FORMAT_H_
 #define ADAPTDB_IO_FORMAT_H_
@@ -29,6 +50,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/result.h"
 #include "storage/block.h"
@@ -38,20 +60,43 @@ namespace adaptdb::io {
 /// "ADBK" in little-endian byte order.
 inline constexpr uint32_t kBlockMagic = 0x4b424441u;
 /// Current serialization version. DecodeBlock rejects any other.
-inline constexpr uint16_t kFormatVersion = 1;
+inline constexpr uint16_t kFormatVersion = 2;
 /// Fixed header size in bytes.
 inline constexpr size_t kBlockHeaderBytes = 40;
+/// Bytes per column-directory entry (type, encoding, offset, length,
+/// checksum).
+inline constexpr size_t kColumnDirEntryBytes = 1 + 1 + 8 + 8 + 8;
 
-/// Serializes `block` (header + payload) into a byte string.
+/// Serializes `block` (header + column directory + column segments).
 std::string EncodeBlock(const Block& block);
 
-/// Parses a serialized block. Validates magic, version, checksum, payload
-/// framing and the attribute count against `expected_attrs` (pass -1 to
-/// accept any). Returns Corruption / InvalidArgument on malformed input —
-/// never aborts.
+/// Parses a serialized block (all columns). Validates magic, version,
+/// checksums, framing and the attribute count against `expected_attrs`
+/// (pass -1 to accept any). Returns Corruption / InvalidArgument on
+/// malformed input — never aborts.
 Result<Block> DecodeBlock(std::string_view buf, int32_t expected_attrs);
 
-/// FNV-1a 64-bit hash (the payload checksum).
+/// \brief A column-pruned read: the requested columns plus how many
+/// payload bytes the read actually touched.
+struct ColumnSubset {
+  BlockId id = -1;
+  uint32_t num_records = 0;
+  /// Decoded columns, aligned with the `attrs` argument.
+  std::vector<Column> columns;
+  /// Header + column directory + the selected segments only.
+  uint64_t bytes_read = 0;
+};
+
+/// Decodes only the columns named by `attrs`, using the column directory
+/// to skip every other segment (their bytes are neither validated nor
+/// touched; the selected segments are each verified against their own
+/// checksum). The whole-payload checksum is *not* verified — that is the
+/// point of a partial read.
+Result<ColumnSubset> DecodeBlockColumns(std::string_view buf,
+                                        int32_t expected_attrs,
+                                        const std::vector<AttrId>& attrs);
+
+/// FNV-1a 64-bit hash (payload and per-column checksums).
 uint64_t Fnv1a64(std::string_view bytes);
 
 }  // namespace adaptdb::io

@@ -8,6 +8,21 @@
 /// shuffle, and C_HyJ is the average number of times an S block is read by
 /// the hyper-join schedule. The planner (§5.4) estimates C_HyJ by running
 /// the bottom-up grouping and counting scheduled reads.
+///
+/// Cost-model delta under columnar block payloads (the canonical note —
+/// every byte-sized consumer refers here). Block::SizeBytes() is now exact:
+/// the sum of the per-column footprints (8 bytes per numeric value,
+/// length + 4 per string) instead of the old records() * record_width
+/// approximation, and Schema::RecordWidth survives only as an a-priori
+/// estimate for sizing decisions made before data exists. Neither equation
+/// above changes: both cost joins in *block-read units*, and a block
+/// remains one I/O whether its payload is row-major or columnar — so
+/// ChooseJoin, BottomUpGrouping budgets (memory_budget_blocks) and the
+/// fig14 buffer sweep are all denominated exactly as before. What does
+/// change is the physical bytes behind each unit: per-column encodings
+/// (frame-of-reference int64, dictionary strings) shrink segments, and
+/// column-pruned reads (io::DecodeBlockColumns) touch only the projected
+/// columns' bytes — bench/micro_scan quantifies that payload-byte delta.
 
 #ifndef ADAPTDB_JOIN_COST_MODEL_H_
 #define ADAPTDB_JOIN_COST_MODEL_H_

@@ -65,18 +65,19 @@ Result<bool> OverlapByRecords(const BlockStore& r_store, BlockId r,
   auto sb = s_store.Get(s);
   if (!sb.ok()) return sb.status();
   if (rb.ValueOrDie()->empty() || sb.ValueOrDie()->empty()) return false;
+  // Only the two join-attribute columns are touched; no row materializes.
   const ValueRange& sr = sb.ValueOrDie()->range(s_attr);
-  for (const Record& rec : rb.ValueOrDie()->records()) {
-    const Value& v = rec[static_cast<size_t>(r_attr)];
-    if (sr.Contains(v)) return true;
+  const Column& r_col = rb.ValueOrDie()->column(r_attr);
+  for (size_t row = 0; row < r_col.size(); ++row) {
+    if (sr.Contains(r_col.ValueAt(row))) return true;
   }
   // Range containment of individual R values in S's range is necessary but
   // not sufficient for record-level matches; the paper's definition is
   // range-intersection, which we mirror here by also testing the converse.
   const ValueRange& rr = rb.ValueOrDie()->range(r_attr);
-  for (const Record& rec : sb.ValueOrDie()->records()) {
-    const Value& v = rec[static_cast<size_t>(s_attr)];
-    if (rr.Contains(v)) return true;
+  const Column& s_col = sb.ValueOrDie()->column(s_attr);
+  for (size_t row = 0; row < s_col.size(); ++row) {
+    if (rr.Contains(s_col.ValueAt(row))) return true;
   }
   return false;
 }

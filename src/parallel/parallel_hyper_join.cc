@@ -56,6 +56,7 @@ Result<JoinExecResult> ParallelHyperJoin(
     out.counts.Merge(p.result.counts);
     out.r_blocks_read += p.result.r_blocks_read;
     out.s_blocks_read += p.result.s_blocks_read;
+    out.s_blocks_skipped += p.result.s_blocks_skipped;
     out.io.Merge(p.result.io);
     if (materialize) {
       output->insert(output->end(), std::make_move_iterator(p.rows.begin()),

@@ -11,11 +11,11 @@ namespace adaptdb {
 
 namespace {
 
-/// One map morsel's output: filtered record pointers bucketed by
+/// One map morsel's output: filtered row references bucketed by
 /// destination partition, plus the I/O the morsel incurred.
 struct MapPartial {
   Status status;
-  std::vector<std::vector<const Record*>> parts;
+  std::vector<std::vector<RowRef>> parts;
   /// Keeps the morsel's blocks resident while `parts` points into them.
   std::vector<BlockRef> pins;
   IoStats io;
@@ -43,11 +43,11 @@ void MapMorsel(const BlockStore& store, const std::vector<BlockId>& blocks,
 }
 
 /// Concatenates per-morsel buckets for `partition` in morsel order.
-std::vector<const Record*> GatherPartition(
+std::vector<RowRef> GatherPartition(
     const std::vector<MapPartial>& partials, size_t partition) {
   size_t total = 0;
   for (const MapPartial& p : partials) total += p.parts[partition].size();
-  std::vector<const Record*> out;
+  std::vector<RowRef> out;
   out.reserve(total);
   for (const MapPartial& p : partials) {
     out.insert(out.end(), p.parts[partition].begin(),
@@ -122,9 +122,9 @@ Result<JoinExecResult> ParallelShuffleJoin(
   const bool materialize = output != nullptr;
   pool->ParallelFor(0, num_partitions, [&](int64_t part) {
     ReducePartial& p = reduced[static_cast<size_t>(part)];
-    const std::vector<const Record*> r_part =
+    const std::vector<RowRef> r_part =
         GatherPartition(r_map, static_cast<size_t>(part));
-    const std::vector<const Record*> s_part =
+    const std::vector<RowRef> s_part =
         GatherPartition(s_map, static_cast<size_t>(part));
     shuffle_internal::BuildProbePartition(r_part, r_attr, s_part, s_attr,
                                           &p.counts,

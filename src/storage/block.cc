@@ -1,11 +1,19 @@
 #include "storage/block.h"
 
+#include <cassert>
+#include <numeric>
+#include <utility>
+
 namespace adaptdb {
 
 Block::Block(BlockId id, int32_t num_attrs)
-    : id_(id), num_attrs_(num_attrs), ranges_(static_cast<size_t>(num_attrs)) {}
+    : id_(id),
+      num_attrs_(num_attrs),
+      cols_(static_cast<size_t>(num_attrs)),
+      ranges_(static_cast<size_t>(num_attrs)) {}
 
 void Block::Add(const Record& rec) {
+  assert(rec.size() == static_cast<size_t>(num_attrs_));
   if (!ranges_initialized_) {
     for (int32_t a = 0; a < num_attrs_; ++a) {
       ranges_[static_cast<size_t>(a)] = ValueRange{rec[static_cast<size_t>(a)],
@@ -17,18 +25,121 @@ void Block::Add(const Record& rec) {
       ranges_[static_cast<size_t>(a)].Extend(rec[static_cast<size_t>(a)]);
     }
   }
-  records_.push_back(rec);
+  for (int32_t a = 0; a < num_attrs_; ++a) {
+    cols_[static_cast<size_t>(a)].Append(rec[static_cast<size_t>(a)]);
+  }
+  ++num_rows_;
+}
+
+Record Block::GatherRecord(size_t row) const {
+  Record out;
+  out.reserve(static_cast<size_t>(num_attrs_));
+  AppendRowTo(row, &out);
+  return out;
+}
+
+void Block::GatherRecord(size_t row, Record* out) const {
+  out->clear();
+  out->reserve(static_cast<size_t>(num_attrs_));
+  AppendRowTo(row, out);
+}
+
+void Block::AppendRowTo(size_t row, Record* out) const {
+  for (const Column& c : cols_) c.AppendTo(out, row);
+}
+
+std::vector<Record> Block::MaterializeRecords() const {
+  std::vector<Record> out;
+  out.reserve(num_rows_);
+  for (size_t row = 0; row < num_rows_; ++row) {
+    out.push_back(GatherRecord(row));
+  }
+  return out;
+}
+
+SelectionVector Block::FilterRows(const PredicateSet& preds) const {
+  SelectionVector sel;
+  if (num_rows_ == 0) return sel;
+  if (preds.empty()) {
+    sel.resize(num_rows_);
+    std::iota(sel.begin(), sel.end(), 0u);
+    return sel;
+  }
+  // First predicate seeds the selection from its column alone; the rest
+  // narrow it, so each further predicate touches only surviving rows.
+  {
+    const Predicate& p = preds.front();
+    const Column& c = cols_[static_cast<size_t>(p.attr)];
+    sel.reserve(num_rows_);
+    for (size_t row = 0; row < num_rows_; ++row) {
+      if (c.MatchesAt(p, row)) sel.push_back(static_cast<uint32_t>(row));
+    }
+  }
+  for (size_t i = 1; i < preds.size() && !sel.empty(); ++i) {
+    FilterColumn(preds[i], cols_[static_cast<size_t>(preds[i].attr)], &sel);
+  }
+  return sel;
+}
+
+size_t Block::CountMatches(const PredicateSet& preds) const {
+  if (preds.empty()) return num_rows_;
+  if (preds.size() == 1) {
+    const Predicate& p = preds.front();
+    const Column& c = cols_[static_cast<size_t>(p.attr)];
+    size_t n = 0;
+    for (size_t row = 0; row < num_rows_; ++row) {
+      if (c.MatchesAt(p, row)) ++n;
+    }
+    return n;
+  }
+  return FilterRows(preds).size();
+}
+
+int64_t Block::SizeBytes() const {
+  int64_t bytes = 0;
+  for (const Column& c : cols_) bytes += c.SizeBytes();
+  return bytes;
 }
 
 void Block::ClearRecords() {
-  records_.clear();
+  for (Column& c : cols_) c.Clear();
+  num_rows_ = 0;
   ranges_.assign(static_cast<size_t>(num_attrs_), ValueRange{});
   ranges_initialized_ = false;
 }
 
 std::string Block::ToString() const {
   return "Block{id=" + std::to_string(id_) +
-         ", records=" + std::to_string(records_.size()) + "}";
+         ", records=" + std::to_string(num_rows_) + "}";
+}
+
+Result<Block> Block::FromColumns(BlockId id, std::vector<Column> cols,
+                                 size_t num_records) {
+  Block block(id, static_cast<int32_t>(cols.size()));
+  for (size_t a = 0; a < cols.size(); ++a) {
+    if (cols[a].size() != num_records) {
+      return Status::Corruption(
+          "column " + std::to_string(a) + " holds " +
+          std::to_string(cols[a].size()) + " values, block declares " +
+          std::to_string(num_records) + " records");
+    }
+  }
+  block.cols_ = std::move(cols);
+  block.num_rows_ = num_records;
+  // Ranges are a pure function of each column's values; rebuilding them
+  // from the columns reproduces the incrementally-extended originals.
+  if (num_records > 0) {
+    for (size_t a = 0; a < block.cols_.size(); ++a) {
+      const Column& c = block.cols_[a];
+      ValueRange r{c.ValueAt(0), c.ValueAt(0)};
+      for (size_t row = 1; row < num_records; ++row) {
+        r.Extend(c.ValueAt(row));
+      }
+      block.ranges_[a] = std::move(r);
+    }
+    block.ranges_initialized_ = true;
+  }
+  return block;
 }
 
 }  // namespace adaptdb

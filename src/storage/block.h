@@ -5,6 +5,12 @@
 /// records plus per-attribute min/max ranges. The ranges implement the
 /// paper's Range_t(x) metadata used both for predicate-based block skipping
 /// and for computing hyper-join overlap vectors (§4.1.1).
+///
+/// The payload is columnar: one typed Column per attribute (see
+/// storage/column.h), so the engine reasons about attributes independently —
+/// predicates evaluate column-at-a-time into selection vectors
+/// (FilterRows), join keys gather straight from the key column, and full
+/// rows materialize only on demand (GatherRecord, late materialization).
 
 #ifndef ADAPTDB_STORAGE_BLOCK_H_
 #define ADAPTDB_STORAGE_BLOCK_H_
@@ -13,19 +19,25 @@
 #include <string>
 #include <vector>
 
+#include "common/result.h"
 #include "schema/predicate.h"
 #include "schema/schema.h"
+#include "storage/column.h"
 
 namespace adaptdb {
 
 /// Globally unique block identifier within a BlockStore.
 using BlockId = int64_t;
 
-/// \brief A storage block: records of one table plus range metadata.
+/// A selection vector: indices of the rows of one block that passed a
+/// filter, ascending.
+using SelectionVector = std::vector<uint32_t>;
+
+/// \brief A storage block: columnar records of one table + range metadata.
 class Block {
  public:
   Block() = default;
-  /// Creates an empty block with `num_attrs` range slots.
+  /// Creates an empty block with `num_attrs` columns and range slots.
   Block(BlockId id, int32_t num_attrs);
 
   /// This block's identifier.
@@ -38,13 +50,42 @@ class Block {
   void Add(const Record& rec);
 
   /// Number of records stored.
-  size_t num_records() const { return records_.size(); }
+  size_t num_records() const { return num_rows_; }
 
   /// True iff the block holds no records.
-  bool empty() const { return records_.empty(); }
+  bool empty() const { return num_rows_ == 0; }
 
-  /// The stored records.
-  const std::vector<Record>& records() const { return records_; }
+  /// The column of attribute `attr`.
+  const Column& column(AttrId attr) const {
+    return cols_[static_cast<size_t>(attr)];
+  }
+
+  /// Materializes the value at (`row`, `attr`).
+  Value ValueAt(size_t row, AttrId attr) const {
+    return cols_[static_cast<size_t>(attr)].ValueAt(row);
+  }
+
+  /// Late materialization: reassembles row `row` as a Record.
+  Record GatherRecord(size_t row) const;
+
+  /// Gathers row `row` into `out` (cleared first; reuses its capacity).
+  void GatherRecord(size_t row, Record* out) const;
+
+  /// Appends all attributes of row `row` to `out` (join output assembly).
+  void AppendRowTo(size_t row, Record* out) const;
+
+  /// Materializes every record, in row order. A full-width copy — test and
+  /// cold-path convenience only; hot paths use columns + selection vectors.
+  std::vector<Record> MaterializeRecords() const;
+
+  /// Evaluates `preds` column-at-a-time: the first predicate seeds the
+  /// selection from its column, each further predicate narrows it. Returns
+  /// the surviving row indices, ascending (record order).
+  SelectionVector FilterRows(const PredicateSet& preds) const;
+
+  /// Number of records satisfying `preds` — FilterRows().size() without
+  /// materializing the selection when no intermediate is needed.
+  size_t CountMatches(const PredicateSet& preds) const;
 
   /// The min/max range of attribute `attr` over stored records.
   /// Precondition: the block is non-empty.
@@ -60,21 +101,29 @@ class Block {
     return !empty() && RangesAdmit(preds, ranges_);
   }
 
-  /// Approximate serialized size given a per-record width.
-  int64_t SizeBytes(int64_t record_width) const {
-    return static_cast<int64_t>(records_.size()) * record_width;
-  }
+  /// Exact payload size: the sum of the column footprints (see
+  /// Column::SizeBytes). Replaces the old records() * record_width
+  /// approximation; the cost-model implications are documented in
+  /// join/cost_model.h.
+  int64_t SizeBytes() const;
 
-  /// Removes all records, resetting ranges.
+  /// Removes all records, resetting columns and ranges.
   void ClearRecords();
 
   std::string ToString() const;
 
+  /// Rebuilds a block from decoded columns (the I/O layer's entry point).
+  /// Validates that every column holds exactly `num_records` values;
+  /// recomputes the per-attribute ranges (a pure function of the values).
+  static Result<Block> FromColumns(BlockId id, std::vector<Column> cols,
+                                   size_t num_records);
+
  private:
   BlockId id_ = -1;
   int32_t num_attrs_ = 0;
+  size_t num_rows_ = 0;
   bool ranges_initialized_ = false;
-  std::vector<Record> records_;
+  std::vector<Column> cols_;
   std::vector<ValueRange> ranges_;
 };
 

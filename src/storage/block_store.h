@@ -92,6 +92,30 @@ class BlockStore {
   /// optimizer use this to size/prune without incurring physical reads.
   virtual Result<size_t> RecordCount(BlockId id) const = 0;
 
+  /// Metadata-only block skipping: could block `id` contain a record
+  /// matching `preds`? Equivalent to Get(id)->MayMatch(preds) but never
+  /// performs physical I/O — the disk store answers from the resident copy
+  /// or from the per-attribute ranges recorded in its directory at
+  /// write-back, so executors can skip (or decline to prefetch) a block
+  /// without pinning it. Conservative: returns true when `id` is unknown
+  /// or no range metadata is available; empty blocks never match (the
+  /// Block::MayMatch contract).
+  virtual bool MayMatchMeta(BlockId id, const PredicateSet& preds) const = 0;
+
+  /// Scan read-ahead: loads `ids` into the block cache ahead of their
+  /// consumption, returning how many were actually fetched from storage.
+  /// A no-op (returning 0) for the in-memory store. Load failures are
+  /// swallowed — the consumer's Get surfaces them. Backends may cap the
+  /// batch below their cache budget to avoid evicting blocks ahead of use.
+  virtual int64_t Prefetch(const std::vector<BlockId>& ids) const {
+    (void)ids;
+    return 0;
+  }
+
+  /// True iff Prefetch can ever fetch anything — executors skip assembling
+  /// read-ahead batches (and their metadata filtering) entirely when not.
+  virtual bool CanPrefetch() const { return false; }
+
   /// Deletes a block (after migration to another tree). Buffered stores
   /// drop the block without writing it back.
   virtual Status Delete(BlockId id) = 0;
@@ -140,6 +164,11 @@ class MemBlockStore final : public BlockStore {
   }
 
   Result<size_t> RecordCount(BlockId id) const override;
+
+  bool MayMatchMeta(BlockId id, const PredicateSet& preds) const override {
+    auto it = blocks_.find(id);
+    return it == blocks_.end() || it->second->MayMatch(preds);
+  }
 
   Status Delete(BlockId id) override;
   std::vector<BlockId> BlockIds() const override;

@@ -14,6 +14,7 @@ void IoStats::Merge(const IoStats& other) {
   buffer_hits += other.buffer_hits;
   buffer_misses += other.buffer_misses;
   physical_block_writes += other.physical_block_writes;
+  prefetched += other.prefetched;
 }
 
 std::string IoStats::ToString() const {
@@ -23,7 +24,8 @@ std::string IoStats::ToString() const {
          ", shuffled=" + std::to_string(shuffled_blocks) +
          ", pool_hits=" + std::to_string(buffer_hits) +
          ", pool_misses=" + std::to_string(buffer_misses) +
-         ", phys_writes=" + std::to_string(physical_block_writes) + "}";
+         ", phys_writes=" + std::to_string(physical_block_writes) +
+         ", prefetched=" + std::to_string(prefetched) + "}";
 }
 
 ClusterSim::ClusterSim(ClusterConfig config) : config_(config) {}

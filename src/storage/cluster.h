@@ -45,6 +45,12 @@ struct IoStats {
   int64_t buffer_misses = 0;
   /// Blocks physically written back to segment files.
   int64_t physical_block_writes = 0;
+  /// Blocks loaded ahead of consumption by scan read-ahead (disk-backed
+  /// stores only). A physical-layer counter like the pool hits/misses:
+  /// backend-dependent, and — because prefetch outcomes depend on cache
+  /// residency at issue time — not guaranteed invariant across thread
+  /// counts. The logical read counters above are unaffected.
+  int64_t prefetched = 0;
 
   /// Total blocks read, local + remote.
   int64_t TotalReads() const { return local_block_reads + remote_block_reads; }

@@ -1,0 +1,290 @@
+#include "storage/column.h"
+
+#include <cassert>
+#include <functional>
+#include <utility>
+
+namespace adaptdb {
+
+namespace {
+
+/// Applies `op` to an already-ordered pair. Shared by every typed fast path
+/// where operands compare with the native <, ==.
+template <typename T>
+bool ApplyOp(CompareOp op, const T& lhs, const T& rhs) {
+  switch (op) {
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return lhs <= rhs;
+    case CompareOp::kGt:
+      return lhs > rhs;
+    case CompareOp::kGe:
+      return lhs >= rhs;
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNeq:
+      return lhs != rhs;
+  }
+  return false;
+}
+
+/// Mixed int64/double comparison with Value semantics: ordering compares
+/// through AsNumeric (both sides widened to double); equality across the
+/// two variant alternatives is always false.
+bool ApplyOpMixedNumeric(CompareOp op, double lhs, double rhs) {
+  switch (op) {
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return lhs < rhs;  // <= is < || ==; mixed == is false.
+    case CompareOp::kGt:
+      return lhs > rhs;
+    case CompareOp::kGe:
+      return lhs > rhs;  // >= is > || ==; mixed == is false.
+    case CompareOp::kEq:
+      return false;
+    case CompareOp::kNeq:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+DataType Column::type() const {
+  switch (data_.index()) {
+    case 1:
+      return DataType::kInt64;
+    case 2:
+      return DataType::kDouble;
+    default:
+      assert(data_.index() == 3);
+      return DataType::kString;
+  }
+}
+
+size_t Column::size() const {
+  return std::visit(
+      [](const auto& v) -> size_t {
+        if constexpr (std::is_same_v<std::decay_t<decltype(v)>,
+                                     std::monostate>) {
+          return 0;
+        } else {
+          return v.size();
+        }
+      },
+      data_);
+}
+
+void Column::Append(const Value& v) {
+  if (!typed()) {
+    switch (v.type()) {
+      case DataType::kInt64:
+        data_ = std::vector<int64_t>{v.AsInt64()};
+        return;
+      case DataType::kDouble:
+        data_ = std::vector<double>{v.AsDouble()};
+        return;
+      case DataType::kString:
+        data_ = std::vector<std::string>{v.AsString()};
+        return;
+    }
+  }
+  if (mixed()) {
+    std::get<std::vector<Value>>(data_).push_back(v);
+    return;
+  }
+  if (v.type() != type()) {
+    // Heterogeneous input: demote to vector<Value> storage.
+    std::vector<Value> all;
+    all.reserve(size() + 1);
+    for (size_t i = 0; i < size(); ++i) all.push_back(ValueAt(i));
+    all.push_back(v);
+    data_ = std::move(all);
+    return;
+  }
+  switch (type()) {
+    case DataType::kInt64:
+      std::get<std::vector<int64_t>>(data_).push_back(v.AsInt64());
+      break;
+    case DataType::kDouble:
+      std::get<std::vector<double>>(data_).push_back(v.AsDouble());
+      break;
+    case DataType::kString:
+      std::get<std::vector<std::string>>(data_).push_back(v.AsString());
+      break;
+  }
+}
+
+Value Column::ValueAt(size_t row) const {
+  switch (data_.index()) {
+    case 1:
+      return Value(std::get<std::vector<int64_t>>(data_)[row]);
+    case 2:
+      return Value(std::get<std::vector<double>>(data_)[row]);
+    case 3:
+      return Value(std::get<std::vector<std::string>>(data_)[row]);
+    case 4:
+      return std::get<std::vector<Value>>(data_)[row];
+    default:
+      assert(false && "ValueAt on an untyped column");
+      return Value();
+  }
+}
+
+void Column::AppendTo(Record* out, size_t row) const {
+  out->push_back(ValueAt(row));
+}
+
+size_t Column::HashAt(size_t row) const {
+  switch (data_.index()) {
+    case 1:
+      return std::hash<int64_t>{}(std::get<std::vector<int64_t>>(data_)[row]);
+    case 2:
+      return std::hash<double>{}(std::get<std::vector<double>>(data_)[row]);
+    case 3:
+      return std::hash<std::string>{}(
+          std::get<std::vector<std::string>>(data_)[row]);
+    case 4: {
+      const Value& v = std::get<std::vector<Value>>(data_)[row];
+      switch (v.type()) {
+        case DataType::kInt64:
+          return std::hash<int64_t>{}(v.AsInt64());
+        case DataType::kDouble:
+          return std::hash<double>{}(v.AsDouble());
+        case DataType::kString:
+          return std::hash<std::string>{}(v.AsString());
+      }
+      return 0;
+    }
+    default:
+      assert(false && "HashAt on an untyped column");
+      return 0;
+  }
+}
+
+bool Column::MatchesAt(const Predicate& pred, size_t row) const {
+  const DataType pt = pred.value.type();
+  switch (data_.index()) {
+    case 1: {
+      const int64_t v = std::get<std::vector<int64_t>>(data_)[row];
+      if (pt == DataType::kInt64) return ApplyOp(pred.op, v, pred.value.AsInt64());
+      if (pt == DataType::kDouble) {
+        return ApplyOpMixedNumeric(pred.op, static_cast<double>(v),
+                                   pred.value.AsDouble());
+      }
+      break;
+    }
+    case 2: {
+      const double v = std::get<std::vector<double>>(data_)[row];
+      if (pt == DataType::kDouble) {
+        return ApplyOp(pred.op, v, pred.value.AsDouble());
+      }
+      if (pt == DataType::kInt64) {
+        return ApplyOpMixedNumeric(
+            pred.op, v, static_cast<double>(pred.value.AsInt64()));
+      }
+      break;
+    }
+    case 3: {
+      if (pt == DataType::kString) {
+        return ApplyOp(pred.op, std::get<std::vector<std::string>>(data_)[row],
+                       pred.value.AsString());
+      }
+      break;
+    }
+    case 4:
+      return pred.Matches(std::get<std::vector<Value>>(data_)[row]);
+    default:
+      assert(false && "MatchesAt on an untyped column");
+      return false;
+  }
+  // Cross-type string/numeric comparison: defer to Value semantics (which
+  // assert in debug builds exactly as the row-major path did).
+  return pred.Matches(ValueAt(row));
+}
+
+bool Column::EqualsValueAt(size_t row, const Value& v) const {
+  switch (data_.index()) {
+    case 1:
+      return v.type() == DataType::kInt64 &&
+             std::get<std::vector<int64_t>>(data_)[row] == v.AsInt64();
+    case 2:
+      // double == double matches Value's variant equality (-0.0 == 0.0,
+      // NaN != NaN).
+      return v.type() == DataType::kDouble &&
+             std::get<std::vector<double>>(data_)[row] == v.AsDouble();
+    case 3:
+      return v.type() == DataType::kString &&
+             std::get<std::vector<std::string>>(data_)[row] == v.AsString();
+    case 4:
+      return std::get<std::vector<Value>>(data_)[row] == v;
+    default:
+      assert(false && "EqualsValueAt on an untyped column");
+      return false;
+  }
+}
+
+int64_t Column::SizeBytes() const {
+  switch (data_.index()) {
+    case 1:
+      return static_cast<int64_t>(size()) * 8;
+    case 2:
+      return static_cast<int64_t>(size()) * 8;
+    case 3: {
+      int64_t bytes = 0;
+      for (const std::string& s : std::get<std::vector<std::string>>(data_)) {
+        bytes += 4 + static_cast<int64_t>(s.size());
+      }
+      return bytes;
+    }
+    case 4: {
+      int64_t bytes = 0;
+      for (const Value& v : std::get<std::vector<Value>>(data_)) {
+        bytes += 1;  // Type tag.
+        bytes += v.type() == DataType::kString
+                     ? 4 + static_cast<int64_t>(v.AsString().size())
+                     : 8;
+      }
+      return bytes;
+    }
+    default:
+      return 0;
+  }
+}
+
+Column Column::OfInts(std::vector<int64_t> v) {
+  Column c;
+  c.data_ = std::move(v);
+  return c;
+}
+
+Column Column::OfDoubles(std::vector<double> v) {
+  Column c;
+  c.data_ = std::move(v);
+  return c;
+}
+
+Column Column::OfStrings(std::vector<std::string> v) {
+  Column c;
+  c.data_ = std::move(v);
+  return c;
+}
+
+Column Column::OfValues(std::vector<Value> v) {
+  Column c;
+  c.data_ = std::move(v);
+  return c;
+}
+
+void FilterColumn(const Predicate& pred, const Column& col,
+                  std::vector<uint32_t>* sel) {
+  size_t kept = 0;
+  for (const uint32_t row : *sel) {
+    if (col.MatchesAt(pred, row)) (*sel)[kept++] = row;
+  }
+  sel->resize(kept);
+}
+
+}  // namespace adaptdb

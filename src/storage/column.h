@@ -1,0 +1,109 @@
+/// \file column.h
+/// \brief Typed column vectors: the physical payload of a columnar Block.
+///
+/// A Column stores the values of one attribute across all records of a
+/// block as a single typed vector (int64/double/string), so predicate
+/// evaluation and key gathering touch exactly one attribute's memory. The
+/// type is fixed by the first value appended; a mismatched append demotes
+/// the column to a row-major-style vector<Value> fallback ("mixed"), which
+/// preserves the old Block semantics for heterogeneous inputs at the cost
+/// of the columnar fast paths.
+
+#ifndef ADAPTDB_STORAGE_COLUMN_H_
+#define ADAPTDB_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "schema/predicate.h"
+#include "schema/value.h"
+
+namespace adaptdb {
+
+/// \brief One attribute's values across a block, stored contiguously.
+class Column {
+ public:
+  Column() = default;
+
+  /// True once at least one value has been appended (the type is known).
+  bool typed() const { return data_.index() != 0; }
+
+  /// True iff the column fell back to heterogeneous vector<Value> storage.
+  bool mixed() const {
+    return std::holds_alternative<std::vector<Value>>(data_);
+  }
+
+  /// The column's element type. Precondition: typed() and !mixed().
+  DataType type() const;
+
+  /// Number of stored values.
+  size_t size() const;
+
+  /// Appends one value, fixing the type on the first append and demoting
+  /// to mixed storage if `v`'s type disagrees with the column's.
+  void Append(const Value& v);
+
+  /// Materializes the value at `row` (copies strings).
+  Value ValueAt(size_t row) const;
+
+  /// Appends the value at `row` to `out` (one Value push_back).
+  void AppendTo(Record* out, size_t row) const;
+
+  /// Hash of the value at `row`, identical to HashValue(ValueAt(row)) but
+  /// without materializing a Value.
+  size_t HashAt(size_t row) const;
+
+  /// True iff the value at `row` satisfies `pred` — exactly
+  /// pred.Matches(ValueAt(row)), with typed fast paths that avoid Value
+  /// construction for same-type and numeric comparisons.
+  bool MatchesAt(const Predicate& pred, size_t row) const;
+
+  /// True iff ValueAt(row) == v, without materializing the value (Value
+  /// equality: same type and equal scalar; join-probe key comparisons).
+  bool EqualsValueAt(size_t row, const Value& v) const;
+
+  /// Exact in-memory payload footprint: 8 bytes per numeric value; string
+  /// columns charge each string's length plus a 4-byte length prefix
+  /// (mirroring the serialized plain encoding); mixed columns charge each
+  /// value as above plus a 1-byte type tag.
+  int64_t SizeBytes() const;
+
+  /// Typed accessors. Precondition: the column holds that representation.
+  const std::vector<int64_t>& ints() const {
+    return std::get<std::vector<int64_t>>(data_);
+  }
+  const std::vector<double>& doubles() const {
+    return std::get<std::vector<double>>(data_);
+  }
+  const std::vector<std::string>& strings() const {
+    return std::get<std::vector<std::string>>(data_);
+  }
+  const std::vector<Value>& values() const {
+    return std::get<std::vector<Value>>(data_);
+  }
+
+  /// Removes all values and forgets the type.
+  void Clear() { data_ = std::monostate{}; }
+
+  /// Builders for the I/O layer (decode paths construct columns wholesale).
+  static Column OfInts(std::vector<int64_t> v);
+  static Column OfDoubles(std::vector<double> v);
+  static Column OfStrings(std::vector<std::string> v);
+  static Column OfValues(std::vector<Value> v);
+
+ private:
+  std::variant<std::monostate, std::vector<int64_t>, std::vector<double>,
+               std::vector<std::string>, std::vector<Value>>
+      data_;
+};
+
+/// Narrows `sel` (row indices into `col`) to the rows satisfying `pred`,
+/// in place. The column-at-a-time kernel of the scan path.
+void FilterColumn(const Predicate& pred, const Column& col,
+                  std::vector<uint32_t>* sel);
+
+}  // namespace adaptdb
+
+#endif  // ADAPTDB_STORAGE_COLUMN_H_

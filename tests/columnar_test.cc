@@ -1,0 +1,600 @@
+// Tests for the columnar block layout: format v2 round-trip edge cases
+// (frame-of-reference int64, dictionary strings, per-column truncation,
+// column-subset decodes, v1 rejection), the scan path's metadata skipping
+// and read-ahead counters, the hyper-join's range-based S-block pruning,
+// and a mem-vs-disk / 1-2-8-thread parity suite over a mixed-type schema
+// (mirroring tests/io_test.cc's parity contract on the columnar layout).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "exec/hyper_join.h"
+#include "exec/scan.h"
+#include "exec/shuffle_join.h"
+#include "io/disk_block_store.h"
+#include "io/format.h"
+#include "join/grouping.h"
+#include "join/overlap.h"
+#include "storage/block_store.h"
+#include "storage/cluster.h"
+#include "testing_util.h"
+
+namespace adaptdb {
+namespace {
+
+Block MakeBlock(BlockId id, const std::vector<Record>& records,
+                int32_t num_attrs) {
+  Block b(id, num_attrs);
+  for (const Record& r : records) b.Add(r);
+  return b;
+}
+
+void ExpectBlocksEqual(const Block& a, const Block& b) {
+  EXPECT_EQ(a.id(), b.id());
+  EXPECT_EQ(a.num_attrs(), b.num_attrs());
+  ASSERT_EQ(a.num_records(), b.num_records());
+  EXPECT_EQ(a.MaterializeRecords(), b.MaterializeRecords());
+  EXPECT_EQ(a.ranges(), b.ranges());
+}
+
+/// The encoding tag of `attr`'s column directory entry in encoded `bytes`.
+uint8_t EncodingOf(const std::string& bytes, int32_t attr) {
+  const size_t off = io::kBlockHeaderBytes +
+                     static_cast<size_t>(attr) * io::kColumnDirEntryBytes + 1;
+  return static_cast<uint8_t>(bytes[off]);
+}
+
+// ---------------------------------------------------------------------------
+// Format v2 edge cases.
+
+TEST(ColumnarFormatTest, EmptyColumnsRoundTrip) {
+  const Block block(9, 5);
+  const std::string bytes = io::EncodeBlock(block);
+  auto decoded = io::DecodeBlock(bytes, 5);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectBlocksEqual(block, decoded.ValueOrDie());
+  // A column subset of an empty block also decodes (to empty columns).
+  auto subset = io::DecodeBlockColumns(bytes, 5, {0, 4});
+  ASSERT_TRUE(subset.ok()) << subset.status().ToString();
+  EXPECT_EQ(subset.ValueOrDie().num_records, 0u);
+  EXPECT_EQ(subset.ValueOrDie().columns.size(), 2u);
+  EXPECT_EQ(subset.ValueOrDie().columns[0].size(), 0u);
+}
+
+TEST(ColumnarFormatTest, AllEqualStringColumnDictionaryEncodes) {
+  std::vector<Record> recs;
+  for (int i = 0; i < 100; ++i) {
+    recs.push_back({Value("constant-string-value"), Value(int64_t{i})});
+  }
+  const Block block = MakeBlock(2, recs, 2);
+  const std::string bytes = io::EncodeBlock(block);
+  // Attribute 0 must have dictionary-coded: 1 entry + 100 one-byte codes
+  // beats 100 length-prefixed copies by an order of magnitude.
+  EXPECT_EQ(EncodingOf(bytes, 0), 2u);  // kEncDict
+  auto decoded = io::DecodeBlock(bytes, 2);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectBlocksEqual(block, decoded.ValueOrDie());
+  // The dictionary segment is far smaller than the plain payload.
+  const int64_t plain = block.column(0).SizeBytes();
+  EXPECT_LT(static_cast<int64_t>(bytes.size()) -
+                block.column(1).SizeBytes() -
+                static_cast<int64_t>(io::kBlockHeaderBytes),
+            plain);
+}
+
+TEST(ColumnarFormatTest, HighCardinalityStringsStayPlain) {
+  std::vector<Record> recs;
+  for (int i = 0; i < 300; ++i) {
+    recs.push_back({Value("s" + std::to_string(i))});
+  }
+  const Block block = MakeBlock(2, recs, 1);
+  const std::string bytes = io::EncodeBlock(block);
+  EXPECT_EQ(EncodingOf(bytes, 0), 0u);  // kEncPlain: 300 distinct > 256.
+  auto decoded = io::DecodeBlock(bytes, 1);
+  ASSERT_TRUE(decoded.ok());
+  ExpectBlocksEqual(block, decoded.ValueOrDie());
+}
+
+TEST(ColumnarFormatTest, FrameOfReferenceNegativeAndExtremeDeltas) {
+  // Narrow span far from zero: FOR packs 1-byte deltas off a negative min.
+  const Block narrow = MakeBlock(
+      1, {{Value(int64_t{-1000000})}, {Value(int64_t{-999801})}, {Value(int64_t{-999950})}}, 1);
+  const std::string narrow_bytes = io::EncodeBlock(narrow);
+  EXPECT_EQ(EncodingOf(narrow_bytes, 0), 1u);  // kEncFor
+  auto narrow_dec = io::DecodeBlock(narrow_bytes, 1);
+  ASSERT_TRUE(narrow_dec.ok()) << narrow_dec.status().ToString();
+  ExpectBlocksEqual(narrow, narrow_dec.ValueOrDie());
+
+  // INT64_MIN base with a small span still FOR-encodes and round-trips.
+  const Block extreme_min = MakeBlock(
+      2, {{Value(int64_t{INT64_MIN})}, {Value(int64_t{INT64_MIN + 200})}}, 1);
+  const std::string min_bytes = io::EncodeBlock(extreme_min);
+  EXPECT_EQ(EncodingOf(min_bytes, 0), 1u);
+  auto min_dec = io::DecodeBlock(min_bytes, 1);
+  ASSERT_TRUE(min_dec.ok()) << min_dec.status().ToString();
+  ExpectBlocksEqual(extreme_min, min_dec.ValueOrDie());
+
+  // Full-range span (INT64_MIN..INT64_MAX) cannot narrow: plain, exact.
+  const Block full = MakeBlock(
+      3, {{Value(int64_t{INT64_MIN})}, {Value(int64_t{INT64_MAX})}, {Value(int64_t{0})}}, 1);
+  const std::string full_bytes = io::EncodeBlock(full);
+  EXPECT_EQ(EncodingOf(full_bytes, 0), 0u);  // kEncPlain
+  auto full_dec = io::DecodeBlock(full_bytes, 1);
+  ASSERT_TRUE(full_dec.ok()) << full_dec.status().ToString();
+  ExpectBlocksEqual(full, full_dec.ValueOrDie());
+
+  // All-equal int64 column: width-0 FOR (min only, zero delta bytes).
+  const Block all_equal = MakeBlock(
+      4, {{Value(int64_t{77})}, {Value(int64_t{77})}, {Value(int64_t{77})}}, 1);
+  const std::string eq_bytes = io::EncodeBlock(all_equal);
+  EXPECT_EQ(EncodingOf(eq_bytes, 0), 1u);
+  auto eq_dec = io::DecodeBlock(eq_bytes, 1);
+  ASSERT_TRUE(eq_dec.ok());
+  ExpectBlocksEqual(all_equal, eq_dec.ValueOrDie());
+}
+
+TEST(ColumnarFormatTest, TruncationAtColumnBoundariesIsCleanCorruption) {
+  std::vector<Record> recs;
+  for (int i = 0; i < 20; ++i) {
+    recs.push_back({Value(int64_t{i * 1000}), Value(0.5 * i),
+                    Value(std::string(30, static_cast<char>('a' + i % 3)))});
+  }
+  const Block block = MakeBlock(5, recs, 3);
+  const std::string bytes = io::EncodeBlock(block);
+  const size_t dir_end =
+      io::kBlockHeaderBytes + 3 * io::kColumnDirEntryBytes;
+  // Cut mid-directory, at the directory end, and inside each column.
+  for (const size_t cut : {io::kBlockHeaderBytes + 5, dir_end, dir_end + 3,
+                           dir_end + 20 * 2 + 1, bytes.size() - 7}) {
+    ASSERT_LT(cut, bytes.size());
+    auto decoded =
+        io::DecodeBlock(std::string_view(bytes).substr(0, cut), 3);
+    ASSERT_FALSE(decoded.ok()) << "cut at " << cut;
+    EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption) << cut;
+  }
+}
+
+TEST(ColumnarFormatTest, V1HeaderRejectedCleanly) {
+  // A v1 file: same fixed header shape, version = 1, row-major tagged
+  // payload. The decoder must reject it on the version field alone.
+  const Block block = MakeBlock(1, {{Value(int64_t{5})}}, 1);
+  std::string bytes = io::EncodeBlock(block);
+  bytes[4] = 1;  // Version u16 little-endian at offset 4.
+  bytes[5] = 0;
+  auto decoded = io::DecodeBlock(bytes, 1);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(decoded.status().message().find("version 1"), std::string::npos);
+  // Same for column-subset reads.
+  EXPECT_FALSE(io::DecodeBlockColumns(bytes, 1, {0}).ok());
+}
+
+TEST(ColumnarFormatTest, ColumnSubsetReadsFewerBytes) {
+  Rng rng(7);
+  std::vector<Record> recs;
+  for (int i = 0; i < 256; ++i) {
+    recs.push_back({Value(rng.UniformRange(0, 1 << 30)),
+                    Value(static_cast<double>(i) * 1.5),
+                    Value(std::string(64, 'q') + std::to_string(i)),
+                    Value(rng.UniformRange(-100, 100))});
+  }
+  const Block block = MakeBlock(6, recs, 4);
+  const std::string bytes = io::EncodeBlock(block);
+
+  auto one = io::DecodeBlockColumns(bytes, 4, {3});
+  auto two = io::DecodeBlockColumns(bytes, 4, {0, 3});
+  auto full = io::DecodeBlock(bytes, 4);
+  ASSERT_TRUE(one.ok() && two.ok() && full.ok());
+  // Values come back exactly, per requested attribute.
+  EXPECT_EQ(one.ValueOrDie().columns[0].ints(), block.column(3).ints());
+  EXPECT_EQ(two.ValueOrDie().columns[0].ints(), block.column(0).ints());
+  EXPECT_EQ(two.ValueOrDie().columns[1].ints(), block.column(3).ints());
+  EXPECT_EQ(one.ValueOrDie().num_records, 256u);
+  // Pruned reads touch strictly fewer bytes the fewer columns they decode.
+  EXPECT_LT(one.ValueOrDie().bytes_read, two.ValueOrDie().bytes_read);
+  EXPECT_LT(two.ValueOrDie().bytes_read, bytes.size());
+}
+
+TEST(ColumnarFormatTest, SubsetReadValidatesOnlyTouchedColumns) {
+  std::vector<Record> recs;
+  for (int i = 0; i < 32; ++i) {
+    recs.push_back({Value(int64_t{i}), Value(std::string(50, 'z'))});
+  }
+  const Block block = MakeBlock(8, recs, 2);
+  std::string bytes = io::EncodeBlock(block);
+  // Flip a bit in the *last* byte: the string column's segment.
+  bytes[bytes.size() - 1] ^= 0x10;
+  // Reading only the int column skips the damaged segment entirely...
+  auto ints = io::DecodeBlockColumns(bytes, 2, {0});
+  ASSERT_TRUE(ints.ok()) << ints.status().ToString();
+  EXPECT_EQ(ints.ValueOrDie().columns[0].ints(), block.column(0).ints());
+  // ...while touching it trips its per-column checksum.
+  auto strings = io::DecodeBlockColumns(bytes, 2, {1});
+  ASSERT_FALSE(strings.ok());
+  EXPECT_EQ(strings.status().code(), StatusCode::kCorruption);
+  // And the full decode fails the whole-payload checksum.
+  EXPECT_FALSE(io::DecodeBlock(bytes, 2).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Scan metadata skipping + read-ahead.
+
+TEST(ColumnarScanTest, MetadataSkipAvoidsLoadingExcludedBlocks) {
+  StorageConfig config;
+  config.buffer_blocks = 2;
+  auto store = std::move(DiskBlockStore::Open(2, config)).ValueOrDie();
+  ClusterSim cluster;
+  std::vector<BlockId> blocks;
+  // 8 blocks with disjoint key ranges [1000b, 1000b+99].
+  for (int64_t b = 0; b < 8; ++b) {
+    const BlockId id = store->CreateBlock();
+    auto blk = store->GetMutable(id);
+    for (int64_t i = 0; i < 20; ++i) {
+      blk.ValueOrDie()->Add({Value(b * 1000 + i * 5), Value(i)});
+    }
+    blocks.push_back(id);
+    cluster.PlaceBlock(id);
+  }
+  ASSERT_TRUE(store->Flush().ok());
+
+  // Only blocks 0 and 1 admit key < 1100; the rest must be skipped from
+  // directory metadata without a single pool load.
+  const PredicateSet preds = {Predicate(0, CompareOp::kLt, int64_t{1100})};
+  const auto before = store->pool_stats();
+  auto scan = ScanBlocks(*store, blocks, preds, cluster);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan.ValueOrDie().blocks_read, 2);
+  EXPECT_EQ(scan.ValueOrDie().blocks_skipped, 6);
+  EXPECT_EQ(scan.ValueOrDie().rows_matched, 40);
+  const auto after = store->pool_stats();
+  // At most the two matching blocks were loaded (however they got in).
+  EXPECT_LE(after.misses - before.misses, 2);
+  // Parity: the in-memory store skips exactly the same blocks.
+  MemBlockStore mem(2);
+  std::vector<BlockId> mem_blocks;
+  for (int64_t b = 0; b < 8; ++b) {
+    const BlockId id = mem.CreateBlock();
+    auto blk = mem.GetMutable(id);
+    for (int64_t i = 0; i < 20; ++i) {
+      blk.ValueOrDie()->Add({Value(b * 1000 + i * 5), Value(i)});
+    }
+    mem_blocks.push_back(id);
+  }
+  auto mem_scan = ScanBlocks(mem, mem_blocks, preds, cluster);
+  ASSERT_TRUE(mem_scan.ok());
+  EXPECT_EQ(mem_scan.ValueOrDie().blocks_read, scan.ValueOrDie().blocks_read);
+  EXPECT_EQ(mem_scan.ValueOrDie().blocks_skipped,
+            scan.ValueOrDie().blocks_skipped);
+  EXPECT_EQ(mem_scan.ValueOrDie().rows_matched,
+            scan.ValueOrDie().rows_matched);
+}
+
+TEST(ColumnarScanTest, SerialScanPrefetchesTheNextWindow) {
+  StorageConfig config;
+  config.buffer_blocks = 1;  // Evict everything while loading...
+  auto store = std::move(DiskBlockStore::Open(1, config)).ValueOrDie();
+  ClusterSim cluster;
+  std::vector<BlockId> blocks;
+  for (int64_t b = 0; b < 12; ++b) {
+    const BlockId id = store->CreateBlock();
+    store->GetMutable(id).ValueOrDie()->Add({Value(b)});
+    blocks.push_back(id);
+    cluster.PlaceBlock(id);
+  }
+  ASSERT_TRUE(store->Flush().ok());
+  store->set_buffer_capacity(16);  // ...then scan with an ample budget.
+
+  auto scan = ScanBlocks(*store, blocks, {}, cluster);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan.ValueOrDie().blocks_read, 12);
+  // Window 8: while blocks [0,8) are consumed, [8,12) loads ahead (block
+  // 11 may still be resident from its creation under the 1-block budget).
+  EXPECT_GE(scan.ValueOrDie().io.prefetched, 3);
+  EXPECT_LE(scan.ValueOrDie().io.prefetched, 4);
+  // Every prefetched block turns its consumption read into a pool hit.
+  EXPECT_GE(store->pool_stats().hits, scan.ValueOrDie().io.prefetched);
+
+  // The in-memory store reports no prefetching.
+  MemBlockStore mem(1);
+  std::vector<BlockId> mem_blocks;
+  for (int64_t b = 0; b < 12; ++b) {
+    const BlockId id = mem.CreateBlock();
+    mem.GetMutable(id).ValueOrDie()->Add({Value(b)});
+    mem_blocks.push_back(id);
+  }
+  auto mem_scan = ScanBlocks(mem, mem_blocks, {}, cluster);
+  ASSERT_TRUE(mem_scan.ok());
+  EXPECT_EQ(mem_scan.ValueOrDie().io.prefetched, 0);
+  // Logical results identical, of course.
+  EXPECT_EQ(mem_scan.ValueOrDie().rows_matched,
+            scan.ValueOrDie().rows_matched);
+}
+
+// ---------------------------------------------------------------------------
+// Hyper-join S-block pruning (range metadata consulted before pinning).
+
+struct HyperSkipFixture {
+  std::unique_ptr<DiskBlockStore> r_store, s_store;
+  std::vector<BlockId> r_blocks, s_blocks;
+  ClusterSim cluster;
+  OverlapMatrix overlap;
+  Grouping grouping;
+};
+
+/// R: 4 blocks over key [0, 400). S: 8 blocks, each covering half the key
+/// space and carrying a category attribute (attr 1) that is *constant per
+/// block* — so a category predicate excludes exactly half the S blocks by
+/// range metadata alone.
+HyperSkipFixture MakeHyperSkipFixture() {
+  HyperSkipFixture fx;
+  StorageConfig config;
+  config.buffer_blocks = 2;  // Far below the block count: loads are real.
+  fx.r_store = std::move(DiskBlockStore::Open(2, config)).ValueOrDie();
+  fx.s_store = std::move(DiskBlockStore::Open(2, config)).ValueOrDie();
+  Rng rng(99);
+  for (int64_t b = 0; b < 4; ++b) {
+    const BlockId id = fx.r_store->CreateBlock();
+    auto blk = fx.r_store->GetMutable(id);
+    for (int i = 0; i < 25; ++i) {
+      blk.ValueOrDie()->Add(
+          {Value(b * 100 + rng.UniformRange(0, 99)), Value(int64_t{0})});
+    }
+    fx.r_blocks.push_back(id);
+    fx.cluster.PlaceBlock(id);
+  }
+  for (int64_t b = 0; b < 8; ++b) {
+    const BlockId id = fx.s_store->CreateBlock();
+    auto blk = fx.s_store->GetMutable(id);
+    const int64_t category = b % 2;  // Constant within the block.
+    for (int i = 0; i < 10; ++i) {
+      blk.ValueOrDie()->Add(
+          {Value((b / 2) * 100 + rng.UniformRange(0, 99)), Value(category)});
+    }
+    fx.s_blocks.push_back(id);
+    fx.cluster.PlaceBlock(id);
+  }
+  EXPECT_TRUE(fx.r_store->Flush().ok());
+  EXPECT_TRUE(fx.s_store->Flush().ok());
+  fx.overlap = ComputeOverlap(*fx.r_store, fx.r_blocks, 0, *fx.s_store,
+                              fx.s_blocks, 0)
+                   .ValueOrDie();
+  fx.grouping = BottomUpGrouping(fx.overlap, 2).ValueOrDie();
+  return fx;
+}
+
+TEST(HyperJoinSkipTest, RangeExcludedSBlocksAreNeverPinned) {
+  HyperSkipFixture fx = MakeHyperSkipFixture();
+  const PredicateSet s_cat = {Predicate(1, CompareOp::kEq, int64_t{0})};
+
+  // Baseline: no S predicate — every scheduled S block is read.
+  const auto misses_before_all = fx.s_store->pool_stats().misses;
+  auto all = HyperJoin(*fx.r_store, 0, {}, *fx.s_store, 0, {}, fx.overlap,
+                       fx.grouping, fx.cluster);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.ValueOrDie().s_blocks_skipped, 0);
+  const auto misses_all =
+      fx.s_store->pool_stats().misses - misses_before_all;
+
+  // With the category predicate, half the scheduled S reads are pruned by
+  // directory range metadata before pinning: fewer buffer misses.
+  const auto misses_before_skip = fx.s_store->pool_stats().misses;
+  auto skip = HyperJoin(*fx.r_store, 0, {}, *fx.s_store, 0, s_cat,
+                        fx.overlap, fx.grouping, fx.cluster);
+  ASSERT_TRUE(skip.ok());
+  const auto misses_skip =
+      fx.s_store->pool_stats().misses - misses_before_skip;
+  EXPECT_GT(skip.ValueOrDie().s_blocks_skipped, 0);
+  EXPECT_EQ(skip.ValueOrDie().s_blocks_read +
+                skip.ValueOrDie().s_blocks_skipped,
+            all.ValueOrDie().s_blocks_read);
+  EXPECT_LT(misses_skip, misses_all);
+  // Accounted S I/O shrinks identically.
+  EXPECT_LT(skip.ValueOrDie().io.TotalReads(), all.ValueOrDie().io.TotalReads());
+
+  // Correctness: the shuffle join (which cannot skip) agrees exactly.
+  auto shuffle = ShuffleJoin(*fx.r_store, fx.r_blocks, 0, {}, *fx.s_store,
+                             fx.s_blocks, 0, s_cat, fx.cluster);
+  ASSERT_TRUE(shuffle.ok());
+  EXPECT_EQ(skip.ValueOrDie().counts.output_rows,
+            shuffle.ValueOrDie().counts.output_rows);
+  EXPECT_EQ(skip.ValueOrDie().counts.checksum,
+            shuffle.ValueOrDie().counts.checksum);
+}
+
+TEST(HyperJoinSkipTest, SkipIsIdenticalAcrossBackendsAndThreads) {
+  HyperSkipFixture fx = MakeHyperSkipFixture();
+  // The same data on in-memory stores.
+  MemBlockStore r_mem(2), s_mem(2);
+  for (BlockId id : fx.r_blocks) {
+    const BlockId mid = r_mem.CreateBlock();
+    auto blk = r_mem.GetMutable(mid);
+    const BlockRef src = fx.r_store->Get(id).ValueOrDie();
+    for (const Record& rec : src->MaterializeRecords()) {
+      blk.ValueOrDie()->Add(rec);
+    }
+  }
+  for (BlockId id : fx.s_blocks) {
+    const BlockId mid = s_mem.CreateBlock();
+    auto blk = s_mem.GetMutable(mid);
+    const BlockRef src = fx.s_store->Get(id).ValueOrDie();
+    for (const Record& rec : src->MaterializeRecords()) {
+      blk.ValueOrDie()->Add(rec);
+    }
+  }
+  const PredicateSet s_cat = {Predicate(1, CompareOp::kEq, int64_t{1})};
+  for (const int32_t threads : {1, 2, 8}) {
+    ExecConfig config;
+    config.num_threads = threads;
+    std::vector<Record> disk_rows, mem_rows;
+    auto disk = HyperJoin(*fx.r_store, 0, {}, *fx.s_store, 0, s_cat,
+                          fx.overlap, fx.grouping, fx.cluster, config,
+                          &disk_rows);
+    auto mem = HyperJoin(r_mem, 0, {}, s_mem, 0, s_cat, fx.overlap,
+                         fx.grouping, fx.cluster, config, &mem_rows);
+    ASSERT_TRUE(disk.ok() && mem.ok());
+    EXPECT_EQ(disk_rows, mem_rows) << threads;
+    EXPECT_EQ(disk.ValueOrDie().counts.checksum,
+              mem.ValueOrDie().counts.checksum);
+    EXPECT_EQ(disk.ValueOrDie().s_blocks_read,
+              mem.ValueOrDie().s_blocks_read);
+    EXPECT_EQ(disk.ValueOrDie().s_blocks_skipped,
+              mem.ValueOrDie().s_blocks_skipped);
+    EXPECT_GT(disk.ValueOrDie().s_blocks_skipped, 0);
+    EXPECT_EQ(disk.ValueOrDie().io.TotalReads(),
+              mem.ValueOrDie().io.TotalReads());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Columnar parity: mixed-type schema, mem vs disk, 1/2/8 threads.
+
+struct TypedParityFixture {
+  std::unique_ptr<MemBlockStore> mem;
+  std::unique_ptr<DiskBlockStore> disk;
+  std::vector<BlockId> blocks;
+  ClusterSim cluster;
+};
+
+/// int64 key, double price, low-cardinality string flag — every column
+/// representation (FOR-eligible ints, raw doubles, dictionary strings)
+/// crosses the v2 format on the disk side.
+TypedParityFixture MakeTypedParityFixture(int32_t n_blocks, uint64_t seed) {
+  TypedParityFixture fx;
+  fx.mem = std::make_unique<MemBlockStore>(3);
+  StorageConfig config;
+  config.buffer_blocks = 2;  // Constant eviction + re-decode.
+  fx.disk = std::move(DiskBlockStore::Open(3, config)).ValueOrDie();
+  const char* flags[] = {"A", "B", "C"};
+  for (BlockStore* store :
+       {static_cast<BlockStore*>(fx.mem.get()),
+        static_cast<BlockStore*>(fx.disk.get())}) {
+    Rng rng(seed);
+    for (int32_t b = 0; b < n_blocks; ++b) {
+      const BlockId id = store->CreateBlock();
+      auto blk = store->GetMutable(id);
+      for (int32_t i = 0; i < 24; ++i) {
+        blk.ValueOrDie()->Add(
+            {Value(rng.UniformRange(0, 999)),
+             Value(static_cast<double>(rng.UniformRange(0, 10000)) / 100.0),
+             Value(std::string(flags[rng.Uniform(3)]))});
+      }
+    }
+  }
+  fx.blocks = fx.mem->BlockIds();
+  EXPECT_EQ(fx.blocks, fx.disk->BlockIds());
+  for (BlockId b : fx.blocks) fx.cluster.PlaceBlock(b);
+  return fx;
+}
+
+void ExpectLogicalIoEqual(const IoStats& mem, const IoStats& disk) {
+  EXPECT_EQ(mem.local_block_reads, disk.local_block_reads);
+  EXPECT_EQ(mem.remote_block_reads, disk.remote_block_reads);
+  EXPECT_EQ(mem.block_writes, disk.block_writes);
+  EXPECT_EQ(mem.shuffled_blocks, disk.shuffled_blocks);
+  // buffer_hits/misses/prefetched are physical-layer counters and differ
+  // by design (the mem store has none of them).
+}
+
+TEST(ColumnarParityTest, ScanAndAggregateAcrossBackendsAndThreads) {
+  TypedParityFixture fx = MakeTypedParityFixture(20, 17);
+  const PredicateSet preds = {Predicate(0, CompareOp::kLt, int64_t{600}),
+                              Predicate(2, CompareOp::kEq, Value("B"))};
+  for (const int32_t threads : {1, 2, 8}) {
+    ExecConfig config;
+    config.num_threads = threads;
+    const ScanResult mem =
+        ScanBlocks(*fx.mem, fx.blocks, preds, fx.cluster, config)
+            .ValueOrDie();
+    const ScanResult disk =
+        ScanBlocks(*fx.disk, fx.blocks, preds, fx.cluster, config)
+            .ValueOrDie();
+    EXPECT_EQ(mem.rows_matched, disk.rows_matched) << threads;
+    EXPECT_EQ(mem.blocks_read, disk.blocks_read) << threads;
+    EXPECT_EQ(mem.blocks_skipped, disk.blocks_skipped) << threads;
+    ExpectLogicalIoEqual(mem.io, disk.io);
+
+    for (const AggFn fn :
+         {AggFn::kCount, AggFn::kSum, AggFn::kAvg, AggFn::kMin, AggFn::kMax}) {
+      const AggregateResult mem_agg =
+          ScanAggregate(*fx.mem, fx.blocks, preds, fx.cluster, 1, fn, config)
+              .ValueOrDie();
+      const AggregateResult disk_agg =
+          ScanAggregate(*fx.disk, fx.blocks, preds, fx.cluster, 1, fn,
+                        config)
+              .ValueOrDie();
+      // Bitwise-equal aggregates: doubles decode bit-exactly and the
+      // morsel grouping is thread-count- and backend-invariant.
+      EXPECT_EQ(mem_agg.value, disk_agg.value)
+          << threads << " fn " << static_cast<int>(fn);
+      EXPECT_EQ(mem_agg.rows_aggregated, disk_agg.rows_aggregated);
+      ExpectLogicalIoEqual(mem_agg.scan.io, disk_agg.scan.io);
+    }
+  }
+  EXPECT_GT(fx.disk->pool_stats().misses, 0);
+}
+
+TEST(ColumnarParityTest, JoinsAcrossBackendsAndThreads) {
+  TypedParityFixture r = MakeTypedParityFixture(12, 31);
+  TypedParityFixture s = MakeTypedParityFixture(10, 32);
+  ClusterSim cluster;
+  for (BlockId b : r.blocks) cluster.PlaceBlock(b);
+  for (BlockId b : s.blocks) cluster.PlaceBlock(b);
+  const PredicateSet s_preds = {Predicate(2, CompareOp::kNeq, Value("C"))};
+
+  const OverlapMatrix overlap_mem =
+      ComputeOverlap(*r.mem, r.blocks, 0, *s.mem, s.blocks, 0).ValueOrDie();
+  const OverlapMatrix overlap_disk =
+      ComputeOverlap(*r.disk, r.blocks, 0, *s.disk, s.blocks, 0)
+          .ValueOrDie();
+  const Grouping grouping = BottomUpGrouping(overlap_mem, 4).ValueOrDie();
+  ASSERT_EQ(BottomUpGrouping(overlap_disk, 4).ValueOrDie().groups,
+            grouping.groups);
+
+  for (const int32_t threads : {1, 2, 8}) {
+    ExecConfig config;
+    config.num_threads = threads;
+    std::vector<Record> hyper_mem_rows, hyper_disk_rows;
+    const JoinExecResult hyper_mem =
+        HyperJoin(*r.mem, 0, {}, *s.mem, 0, s_preds, overlap_mem, grouping,
+                  cluster, config, &hyper_mem_rows)
+            .ValueOrDie();
+    const JoinExecResult hyper_disk =
+        HyperJoin(*r.disk, 0, {}, *s.disk, 0, s_preds, overlap_disk,
+                  grouping, cluster, config, &hyper_disk_rows)
+            .ValueOrDie();
+    // Exact output sequence — including double and string attributes that
+    // round-tripped through the columnar format on the disk side.
+    EXPECT_EQ(hyper_mem_rows, hyper_disk_rows) << threads;
+    EXPECT_EQ(hyper_mem.counts.output_rows, hyper_disk.counts.output_rows);
+    EXPECT_EQ(hyper_mem.counts.checksum, hyper_disk.counts.checksum);
+    EXPECT_EQ(hyper_mem.s_blocks_read, hyper_disk.s_blocks_read);
+    EXPECT_EQ(hyper_mem.s_blocks_skipped, hyper_disk.s_blocks_skipped);
+    ExpectLogicalIoEqual(hyper_mem.io, hyper_disk.io);
+
+    std::vector<Record> shuffle_mem_rows, shuffle_disk_rows;
+    const JoinExecResult shuffle_mem =
+        ShuffleJoin(*r.mem, r.blocks, 0, {}, *s.mem, s.blocks, 0, s_preds,
+                    cluster, config, &shuffle_mem_rows)
+            .ValueOrDie();
+    const JoinExecResult shuffle_disk =
+        ShuffleJoin(*r.disk, r.blocks, 0, {}, *s.disk, s.blocks, 0, s_preds,
+                    cluster, config, &shuffle_disk_rows)
+            .ValueOrDie();
+    EXPECT_EQ(shuffle_mem_rows, shuffle_disk_rows) << threads;
+    EXPECT_EQ(shuffle_mem.counts.checksum, shuffle_disk.counts.checksum);
+    ExpectLogicalIoEqual(shuffle_mem.io, shuffle_disk.io);
+
+    // The two algorithms agree with each other, per backend.
+    EXPECT_EQ(hyper_disk.counts.output_rows,
+              shuffle_disk.counts.output_rows);
+    EXPECT_EQ(hyper_disk.counts.checksum, shuffle_disk.counts.checksum);
+  }
+}
+
+}  // namespace
+}  // namespace adaptdb

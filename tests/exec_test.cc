@@ -54,11 +54,11 @@ struct JoinFixture {
     JoinCounts counts;
     for (BlockId rb : r_blocks) {
       const BlockRef r = r_store.Get(rb).ValueOrDie();
-      for (const Record& rr : r->records()) {
+      for (const Record& rr : r->MaterializeRecords()) {
         if (!MatchesAll(r_preds, rr)) continue;
         for (BlockId sb : s_blocks) {
           const BlockRef s = s_store.Get(sb).ValueOrDie();
-          for (const Record& sr : s->records()) {
+          for (const Record& sr : s->MaterializeRecords()) {
             if (!MatchesAll(s_preds, sr)) continue;
             if (rr[0] == sr[0]) {
               ++counts.output_rows;
@@ -156,7 +156,7 @@ TEST(ScanTest, UniformStoreScanMatchesRecordOracle) {
   const PredicateSet preds = {Predicate(1, CompareOp::kGe, 500)};
   int64_t expected = 0;
   for (BlockId id : fx.blocks) {
-    for (const Record& rec : fx.store.Get(id).ValueOrDie()->records()) {
+    for (const Record& rec : fx.store.Get(id).ValueOrDie()->MaterializeRecords()) {
       if (MatchesAll(preds, rec)) ++expected;
     }
   }

@@ -51,7 +51,7 @@ void ExpectBlocksEqual(const Block& a, const Block& b) {
   EXPECT_EQ(a.id(), b.id());
   EXPECT_EQ(a.num_attrs(), b.num_attrs());
   ASSERT_EQ(a.num_records(), b.num_records());
-  EXPECT_EQ(a.records(), b.records());
+  EXPECT_EQ(a.MaterializeRecords(), b.MaterializeRecords());
   EXPECT_EQ(a.ranges(), b.ranges());
 }
 
@@ -66,7 +66,7 @@ TEST(FormatTest, RoundTripsMixedTypes) {
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
   ExpectBlocksEqual(block, decoded.ValueOrDie());
   // -0.0 must survive bit-exactly (operator== treats it equal to 0.0).
-  EXPECT_TRUE(std::signbit(decoded.ValueOrDie().records()[1][1].AsDouble()));
+  EXPECT_TRUE(std::signbit(decoded.ValueOrDie().column(1).doubles()[1]));
 }
 
 TEST(FormatTest, RoundTripsEmptyBlock) {
@@ -270,7 +270,7 @@ TEST(BufferPoolTest, PinnedBlocksSurviveEvictionPressure) {
   for (BlockId id = 1; id < 4; ++id) {
     ASSERT_TRUE(pool.Pin(id).ok());
   }
-  EXPECT_EQ(pinned->records()[0][0].AsInt64(), 0);
+  EXPECT_EQ(pinned->ValueAt(0, 0).AsInt64(), 0);
   EXPECT_NE(pool.Peek(0), nullptr);
   pinned.reset();
   // The next miss triggers eviction, and 0 is now evictable.
@@ -293,7 +293,7 @@ TEST(BufferPoolTest, DirtyEvictionWritesBackAndReloads) {
   EXPECT_EQ(source.writebacks(), 1);
   auto reloaded = std::move(pool.Pin(0)).ValueOrDie();
   ASSERT_EQ(reloaded->num_records(), 1u);
-  EXPECT_EQ(reloaded->records()[0][0].AsInt64(), 77);
+  EXPECT_EQ(reloaded->ValueAt(0, 0).AsInt64(), 77);
 }
 
 TEST(BufferPoolTest, FlushDoesNotLoseMutationsThroughHeldPins) {
@@ -307,7 +307,7 @@ TEST(BufferPoolTest, FlushDoesNotLoseMutationsThroughHeldPins) {
   pool.Insert(1, MakeBlock(1, {}, 1));  // Evicts 0 — must write back again.
   auto reloaded = std::move(pool.Pin(0)).ValueOrDie();
   ASSERT_EQ(reloaded->num_records(), 1u);
-  EXPECT_EQ(reloaded->records()[0][0].AsInt64(), 5);
+  EXPECT_EQ(reloaded->ValueAt(0, 0).AsInt64(), 5);
 }
 
 TEST(BufferPoolTest, FlushAllPersistsDirtyFrames) {
@@ -367,7 +367,7 @@ TEST(DiskBlockStoreTest, DataSurvivesEvictionThroughRealFiles) {
     auto blk = store->Get(id);
     ASSERT_TRUE(blk.ok()) << blk.status().ToString();
     ASSERT_EQ(blk.ValueOrDie()->num_records(), 5u);
-    EXPECT_EQ(blk.ValueOrDie()->records()[3][0].AsInt64(), id * 100 + 3);
+    EXPECT_EQ(blk.ValueOrDie()->ValueAt(3, 0).AsInt64(), id * 100 + 3);
     EXPECT_EQ(blk.ValueOrDie()->range(0).lo, Value(id * 100));
     EXPECT_EQ(blk.ValueOrDie()->range(0).hi, Value(id * 100 + 4));
   }
@@ -408,7 +408,7 @@ TEST(DiskBlockStoreTest, HandleMaySafelyOutliveTheStore) {
   // The store, its pool and its segment files are gone; the pinned block's
   // memory is not (ASan validates the unpin path on destruction).
   ASSERT_EQ(survivor->num_records(), 1u);
-  EXPECT_EQ(survivor->records()[0][0].AsInt64(), 123);
+  EXPECT_EQ(survivor->ValueAt(0, 0).AsInt64(), 123);
   survivor.reset();
 }
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "exec/hash_join.h"
 #include "storage/block.h"
 #include "storage/block_store.h"
 #include "storage/cluster.h"
@@ -48,11 +49,61 @@ TEST(BlockTest, ClearResetsRanges) {
   EXPECT_EQ(b.range(0).lo, Value(50));
 }
 
-TEST(BlockTest, SizeBytesScalesWithRecords) {
-  Block b(0, 1);
-  b.Add({Value(1)});
-  b.Add({Value(2)});
-  EXPECT_EQ(b.SizeBytes(16), 32);
+TEST(BlockTest, SizeBytesIsExactFromColumnFootprints) {
+  Block b(0, 2);
+  b.Add({Value(1), Value("ab")});
+  b.Add({Value(2), Value("cdef")});
+  // int64 column: 2 * 8 bytes; string column: (4 + 2) + (4 + 4) bytes.
+  EXPECT_EQ(b.SizeBytes(), 16 + 14);
+  b.Add({Value(3), Value("")});
+  EXPECT_EQ(b.SizeBytes(), 24 + 18);
+}
+
+TEST(BlockTest, ColumnarAccessorsAndGather) {
+  Block b(0, 3);
+  b.Add({Value(1), Value(0.5), Value("x")});
+  b.Add({Value(2), Value(1.5), Value("y")});
+  EXPECT_EQ(b.column(0).ints(), (std::vector<int64_t>{1, 2}));
+  EXPECT_EQ(b.column(1).doubles(), (std::vector<double>{0.5, 1.5}));
+  EXPECT_EQ(b.column(2).strings(), (std::vector<std::string>{"x", "y"}));
+  EXPECT_EQ(b.GatherRecord(1), (Record{Value(2), Value(1.5), Value("y")}));
+  EXPECT_EQ(b.ValueAt(0, 2), Value("x"));
+  EXPECT_EQ(b.MaterializeRecords().size(), 2u);
+}
+
+TEST(BlockTest, FilterRowsEvaluatesColumnAtATime) {
+  Block b(0, 2);
+  for (int64_t i = 0; i < 10; ++i) b.Add({Value(i), Value(i * 10)});
+  // Single predicate.
+  EXPECT_EQ(b.FilterRows({Predicate(0, CompareOp::kGe, 7)}),
+            (SelectionVector{7, 8, 9}));
+  // Conjunction narrows the seeded selection.
+  EXPECT_EQ(b.FilterRows({Predicate(0, CompareOp::kGe, 5),
+                          Predicate(1, CompareOp::kLt, 80)}),
+            (SelectionVector{5, 6, 7}));
+  // Empty predicate set selects everything.
+  EXPECT_EQ(b.FilterRows({}).size(), 10u);
+  EXPECT_EQ(b.CountMatches({Predicate(0, CompareOp::kLt, 3)}), 3u);
+  EXPECT_EQ(b.CountMatches({}), 10u);
+}
+
+TEST(ColumnTest, MixedTypeAppendFallsBackToValues) {
+  // Heterogeneous appends demote a column to the vector<Value> fallback
+  // without losing data. (Block::Add cannot reach this path — its range
+  // tracking has never supported mixed types within one attribute — but
+  // Column survives it for direct constructions.)
+  Column c;
+  c.Append(Value(5));
+  c.Append(Value("zz"));
+  ASSERT_TRUE(c.mixed());
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.ValueAt(0), Value(5));
+  EXPECT_EQ(c.ValueAt(1), Value("zz"));
+  EXPECT_TRUE(c.MatchesAt(Predicate(0, CompareOp::kEq, Value("zz")), 1));
+  EXPECT_FALSE(c.MatchesAt(Predicate(0, CompareOp::kEq, Value("zz")), 0));
+  EXPECT_EQ(c.HashAt(0), HashValue(Value(5)));
+  // Tag + 8 scalar bytes, tag + length prefix + 2 chars.
+  EXPECT_EQ(c.SizeBytes(), 9 + 7);
 }
 
 TEST(BlockStoreTest, CreateGetDelete) {
@@ -188,13 +239,16 @@ TEST(StoreFixtureTest, UniformBlockStoreIsDeterministicInSeed) {
   EXPECT_EQ(a.store.TotalRecords(), 4u * 32u);
   bool any_diff = false;
   for (BlockId id : a.blocks) {
-    const BlockRef ab = a.store.Get(id).ValueOrDie();
-    const BlockRef bb = b.store.Get(id).ValueOrDie();
-    const BlockRef cb = c.store.Get(id).ValueOrDie();
-    ASSERT_EQ(ab->records().size(), bb->records().size());
-    for (size_t i = 0; i < ab->records().size(); ++i) {
-      EXPECT_EQ(ab->records()[i], bb->records()[i]);
-      if (ab->records()[i] != cb->records()[i]) any_diff = true;
+    const std::vector<Record> ar =
+        a.store.Get(id).ValueOrDie()->MaterializeRecords();
+    const std::vector<Record> br =
+        b.store.Get(id).ValueOrDie()->MaterializeRecords();
+    const std::vector<Record> cr =
+        c.store.Get(id).ValueOrDie()->MaterializeRecords();
+    ASSERT_EQ(ar.size(), br.size());
+    for (size_t i = 0; i < ar.size(); ++i) {
+      EXPECT_EQ(ar[i], br[i]);
+      if (ar[i] != cr[i]) any_diff = true;
     }
   }
   EXPECT_TRUE(any_diff);  // A different seed produces different data.

@@ -359,7 +359,7 @@ TEST_P(TreeLookupProperty, LookupIsConservative) {
     for (BlockId b : store.BlockIds()) {
       const MutableBlockRef blk = store.GetMutable(b).ValueOrDie();
       bool has_match = false;
-      for (const Record& rec : blk->records()) {
+      for (const Record& rec : blk->MaterializeRecords()) {
         if (MatchesAll(preds, rec)) {
           has_match = true;
           break;
