@@ -1,0 +1,257 @@
+// Microbenchmark: concurrent query serving on one Database.
+//
+// Phase 1 — client sweep: N client threads drain the CMT trace (mixed
+// point/range/join traffic) against a shared Database with adaptation
+// enabled, claiming queries by atomic index. Every per-query row count and
+// checksum must equal a serial replay on an identically built Database:
+// results are schedule- and layout-invariant even though the concurrent
+// run adapts in a different order. Emulated per-block read latency puts
+// the run in the I/O-bound regime (§4.2), so client-level speedup comes
+// from overlapped I/O waits, not core count.
+//
+// Phase 2 — trickle ingest: one thread appends batches to trips while
+// clients run full-count queries; counts must only ever grow by whole
+// batches (per-table writer lock = batch atomicity) and the quiesced final
+// count must be exact.
+//
+// Writes BENCH_micro_concurrent.json and exits non-zero on any mismatch.
+//
+// Usage: micro_concurrent [--smoke] [--threads N] [--clients N]
+//   --threads N  execution-engine workers per query (shared TaskPool)
+//   --clients N  extends the client sweep with N
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "workload/cmt.h"
+
+using namespace adaptdb;
+
+namespace {
+
+struct Outcome {
+  int64_t output_rows = 0;
+  uint64_t checksum = 0;
+  bool ok = false;
+};
+
+Status LoadCmt(Database* db, const cmt::CmtData& data) {
+  TableOptions trips;
+  trips.upfront_levels = 6;
+  ADB_RETURN_NOT_OK(
+      db->CreateTable("trips", data.trips_schema, data.trips, trips));
+  TableOptions hist;
+  hist.upfront_levels = 6;
+  ADB_RETURN_NOT_OK(
+      db->CreateTable("history", data.history_schema, data.history, hist));
+  TableOptions latest;
+  latest.upfront_levels = 5;
+  ADB_RETURN_NOT_OK(
+      db->CreateTable("latest", data.latest_schema, data.latest, latest));
+  return Status::OK();
+}
+
+double WallMs(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Drains `trace` with `clients` threads; outcome i lands in slot i.
+std::vector<Outcome> RunClients(Database* db, const std::vector<Query>& trace,
+                                int32_t clients) {
+  std::vector<Outcome> outcomes(trace.size());
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> threads;
+  for (int32_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      for (;;) {
+        const size_t i = next.fetch_add(1);
+        if (i >= trace.size()) return;
+        auto run = db->RunQuery(trace[i]);
+        if (run.ok()) {
+          outcomes[i] = {run.ValueOrDie().output_rows,
+                         run.ValueOrDie().checksum, true};
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  return outcomes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
+  int32_t extra_clients = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
+      extra_clients = static_cast<int32_t>(std::atoi(argv[i + 1]));
+    } else if (std::strncmp(argv[i], "--clients=", 10) == 0) {
+      extra_clients = static_cast<int32_t>(std::atoi(argv[i] + 10));
+    }
+  }
+
+  cmt::CmtConfig cfg;
+  cfg.num_trips = bench::SmokeScale<int64_t>(24000, 2000);
+  const cmt::CmtData data = cmt::GenerateCmt(cfg);
+  std::vector<Query> trace = cmt::MakeTrace(data, 18);
+  if (bench::Smoke()) trace.resize(std::min<size_t>(trace.size(), 24));
+
+  DatabaseOptions options = bench::WithThreads(DatabaseOptions{});
+  options.cluster.emulate_read_latency_micros =
+      bench::SmokeScale<int64_t>(300, 150);
+
+  bench::PrintHeader("micro_concurrent",
+                     "client sweep over the CMT trace (" +
+                         std::to_string(trace.size()) + " queries, " +
+                         std::to_string(cfg.num_trips) + " trips)");
+
+  // Golden results: a serial replay on its own Database.
+  Database serial_db(options);
+  ADB_CHECK_OK(LoadCmt(&serial_db, data));
+  std::vector<Outcome> golden;
+  const auto serial_t0 = std::chrono::steady_clock::now();
+  for (const Query& q : trace) {
+    auto run = serial_db.RunQuery(q);
+    ADB_CHECK_OK(run.status());
+    golden.push_back(
+        {run.ValueOrDie().output_rows, run.ValueOrDie().checksum, true});
+  }
+  const double serial_ms = WallMs(serial_t0);
+  bench::PrintRow("serialized submission", serial_ms, "ms");
+
+  std::vector<int32_t> sweep =
+      bench::Smoke() ? std::vector<int32_t>{1, 4} : std::vector<int32_t>{1, 2, 4, 8};
+  if (extra_clients > 0 &&
+      std::find(sweep.begin(), sweep.end(), extra_clients) == sweep.end()) {
+    sweep.push_back(extra_clients);
+  }
+
+  bool all_match = true;
+  std::vector<double> sweep_ms;
+  std::vector<double> sweep_p99;
+  for (int32_t clients : sweep) {
+    Database db(options);
+    ADB_CHECK_OK(LoadCmt(&db, data));
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<Outcome> outcomes = RunClients(&db, trace, clients);
+    const double ms = WallMs(t0);
+    size_t mismatches = 0;
+    for (size_t i = 0; i < trace.size(); ++i) {
+      if (!outcomes[i].ok || outcomes[i].output_rows != golden[i].output_rows ||
+          outcomes[i].checksum != golden[i].checksum) {
+        ++mismatches;
+      }
+    }
+    if (mismatches > 0) {
+      all_match = false;
+      std::printf("  !! %zu/%zu queries differ from serial replay at %d "
+                  "clients\n",
+                  mismatches, trace.size(), clients);
+    }
+    const DatabaseStats stats = db.Stats();
+    sweep_ms.push_back(ms);
+    sweep_p99.push_back(stats.latency_p99_seconds);
+    bench::PrintRow(std::to_string(clients) + " clients (speedup " +
+                        std::to_string(serial_ms / ms).substr(0, 4) + "x)",
+                    ms, "ms");
+    if (clients == sweep.back()) std::printf("  %s\n", stats.ToString().c_str());
+  }
+
+  // Phase 2: trickle ingest under load. Counts must grow by whole batches
+  // and land exactly once the ingester finishes.
+  const int32_t kBatches = bench::SmokeScale<int32_t>(16, 6);
+  const size_t kBatchRows = 64;
+  bool ingest_ok = true;
+  {
+    Database db(options);
+    ADB_CHECK_OK(LoadCmt(&db, data));
+    Query count_all;
+    count_all.name = "count_trips";
+    count_all.tables = {
+        {"trips", {Predicate(cmt::kTripId, CompareOp::kGe, 0)}}};
+
+    std::atomic<bool> failed{false};
+    std::thread ingester([&] {
+      for (int32_t b = 0; b < kBatches; ++b) {
+        std::vector<Record> batch(
+            data.trips.begin(),
+            data.trips.begin() + static_cast<ptrdiff_t>(kBatchRows));
+        if (!db.AppendRows("trips", batch).ok()) failed = true;
+      }
+    });
+    std::vector<std::thread> readers;
+    for (int32_t r = 0; r < 3; ++r) {
+      readers.emplace_back([&] {
+        int64_t last = 0;
+        for (int32_t i = 0; i < 12; ++i) {
+          auto run = db.RunQuery(count_all);
+          if (!run.ok()) {
+            failed = true;
+            return;
+          }
+          const int64_t rows = run.ValueOrDie().output_rows;
+          const int64_t base = static_cast<int64_t>(data.trips.size());
+          if (rows < last ||
+              (rows - base) % static_cast<int64_t>(kBatchRows) != 0) {
+            failed = true;
+          }
+          last = rows;
+        }
+      });
+    }
+    ingester.join();
+    for (auto& t : readers) t.join();
+    auto final_run = db.RunQuery(count_all);
+    ADB_CHECK_OK(final_run.status());
+    const int64_t expect =
+        static_cast<int64_t>(data.trips.size()) +
+        static_cast<int64_t>(kBatches) * static_cast<int64_t>(kBatchRows);
+    ingest_ok = !failed.load() &&
+                final_run.ValueOrDie().output_rows == expect;
+    bench::PrintRow(std::string("trickle ingest (") +
+                        (ingest_ok ? "exact" : "MISMATCH") + ")",
+                    static_cast<double>(final_run.ValueOrDie().output_rows),
+                    "rows");
+  }
+
+  // Machine-readable artifact for CI trend tracking.
+  if (FILE* f = std::fopen("BENCH_micro_concurrent.json", "w")) {
+    std::fprintf(f, "{\n  \"queries\": %zu,\n  \"serial_ms\": %.1f,\n",
+                 trace.size(), serial_ms);
+    std::fprintf(f, "  \"clients\": [");
+    for (size_t i = 0; i < sweep.size(); ++i) {
+      std::fprintf(f, "%s%d", i ? ", " : "", sweep[i]);
+    }
+    std::fprintf(f, "],\n  \"wall_ms\": [");
+    for (size_t i = 0; i < sweep_ms.size(); ++i) {
+      std::fprintf(f, "%s%.1f", i ? ", " : "", sweep_ms[i]);
+    }
+    std::fprintf(f, "],\n  \"p99_seconds\": [");
+    for (size_t i = 0; i < sweep_p99.size(); ++i) {
+      std::fprintf(f, "%s%.4f", i ? ", " : "", sweep_p99[i]);
+    }
+    std::fprintf(f,
+                 "],\n  \"speedup_at_max_clients\": %.2f,\n"
+                 "  \"results_match_serial\": %s,\n  \"ingest_exact\": %s\n}\n",
+                 serial_ms / sweep_ms.back(), all_match ? "true" : "false",
+                 ingest_ok ? "true" : "false");
+    std::fclose(f);
+  }
+
+  if (!all_match || !ingest_ok) {
+    std::printf("FAILED: concurrent serving diverged from serial replay\n");
+    return 1;
+  }
+  std::printf("OK: all client counts matched the serial replay\n");
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "adapt/optimizer.h"
 
+#include <utility>
+
 #include "exec/repartition.h"
 #include "tree/two_phase_partitioner.h"
 
@@ -50,6 +52,9 @@ Result<AdaptReport> Optimizer::OnQuery(const std::string& table,
       }
     }
     if (trees->Has(target)) {
+      // Detach-for-write: the refinement mutates a private deep copy that
+      // the detach call installed atomically; snapshots captured by queries
+      // before this point keep reading the previous tree.
       auto tree = trees->Tree(target);
       if (!tree.ok()) return tree.status();
       auto amoeba = amoeba_.Step(table, window, sample, tree.ValueOrDie(),
@@ -89,7 +94,8 @@ Result<SmoothReport> Optimizer::FullRepartitionStep(
   for (AttrId attr : trees->Attrs()) {
     for (BlockId b : trees->LiveLeaves(attr, *store)) {
       auto count = store->RecordCount(b);
-      if (count.ok() && count.ValueOrDie() > 0) donors.push_back(b);
+      if (!count.ok()) return count.status();
+      if (count.ValueOrDie() > 0) donors.push_back(b);
     }
   }
   trees->Add(join_attr, std::move(tree).ValueOrDie());
@@ -97,7 +103,7 @@ Result<SmoothReport> Optimizer::FullRepartitionStep(
   report.target_attr = join_attr;
   report.fraction = 1.0;
   if (!donors.empty()) {
-    auto target_tree = trees->Tree(join_attr);
+    auto target_tree = std::as_const(*trees).Tree(join_attr);
     if (!target_tree.ok()) return target_tree.status();
     auto moved =
         RepartitionBlocks(store, donors, *target_tree.ValueOrDie(), cluster);

@@ -1,6 +1,7 @@
 #include "adapt/smooth_repartitioner.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "exec/repartition.h"
 #include "tree/two_phase_partitioner.h"
@@ -110,7 +111,8 @@ Result<SmoothReport> SmoothRepartitioner::Step(
     if (attr == join_attr) continue;
     for (BlockId b : trees->LiveLeaves(attr, *store)) {
       auto count = store->RecordCount(b);
-      if (count.ok() && count.ValueOrDie() > 0) donors.push_back(b);
+      if (!count.ok()) return count.status();
+      if (count.ValueOrDie() > 0) donors.push_back(b);
     }
   }
   if (donors.empty()) return report;
@@ -131,7 +133,7 @@ Result<SmoothReport> SmoothRepartitioner::Step(
   }
   if (chosen.empty()) return report;
 
-  auto target_tree = trees->Tree(join_attr);
+  auto target_tree = std::as_const(*trees).Tree(join_attr);
   if (!target_tree.ok()) return target_tree.status();
   auto moved =
       RepartitionBlocks(store, chosen, *target_tree.ValueOrDie(), cluster);

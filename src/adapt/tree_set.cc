@@ -1,70 +1,53 @@
 #include "adapt/tree_set.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace adaptdb {
 
-void TreeSet::Add(AttrId attr, PartitionTree tree) {
-  trees_.insert_or_assign(attr, std::move(tree));
-}
-
-Status TreeSet::Remove(AttrId attr) {
-  if (trees_.erase(attr) == 0) {
-    return Status::NotFound("no tree for attr " + std::to_string(attr));
-  }
-  return Status::OK();
-}
-
-Result<PartitionTree*> TreeSet::Tree(AttrId attr) {
+Result<const PartitionTree*> TreeSetSnapshot::Tree(AttrId attr) const {
   auto it = trees_.find(attr);
   if (it == trees_.end()) {
     return Status::NotFound("no tree for attr " + std::to_string(attr));
   }
-  return &it->second;
+  return static_cast<const PartitionTree*>(it->second.get());
 }
 
-Result<const PartitionTree*> TreeSet::Tree(AttrId attr) const {
-  auto it = trees_.find(attr);
-  if (it == trees_.end()) {
-    return Status::NotFound("no tree for attr " + std::to_string(attr));
-  }
-  return static_cast<const PartitionTree*>(&it->second);
-}
-
-std::vector<AttrId> TreeSet::Attrs() const {
+std::vector<AttrId> TreeSetSnapshot::Attrs() const {
   std::vector<AttrId> out;
   out.reserve(trees_.size());
   for (const auto& [attr, _] : trees_) out.push_back(attr);
   return out;
 }
 
-std::vector<BlockId> TreeSet::LiveLeaves(AttrId attr,
-                                         const BlockStore& store) const {
+std::vector<BlockId> TreeSetSnapshot::LiveLeaves(
+    AttrId attr, const BlockStore& store) const {
   std::vector<BlockId> out;
   auto it = trees_.find(attr);
   if (it == trees_.end()) return out;
-  for (BlockId b : it->second.Leaves()) {
+  for (BlockId b : it->second->Leaves()) {
     if (store.Contains(b)) out.push_back(b);
   }
   return out;
 }
 
-std::vector<BlockId> TreeSet::Lookup(AttrId attr, const PredicateSet& preds,
-                                     const BlockStore& store) const {
+std::vector<BlockId> TreeSetSnapshot::Lookup(AttrId attr,
+                                             const PredicateSet& preds,
+                                             const BlockStore& store) const {
   std::vector<BlockId> out;
   auto it = trees_.find(attr);
   if (it == trees_.end()) return out;
-  for (BlockId b : it->second.Lookup(preds)) {
+  for (BlockId b : it->second->Lookup(preds)) {
     if (store.Contains(b)) out.push_back(b);
   }
   return out;
 }
 
-std::vector<BlockId> TreeSet::LookupAll(const PredicateSet& preds,
-                                        const BlockStore& store) const {
+std::vector<BlockId> TreeSetSnapshot::LookupAll(const PredicateSet& preds,
+                                                const BlockStore& store) const {
   std::vector<BlockId> out;
   for (const auto& [attr, tree] : trees_) {
-    for (BlockId b : tree.Lookup(preds)) {
+    for (BlockId b : tree->Lookup(preds)) {
       if (store.Contains(b)) out.push_back(b);
     }
   }
@@ -73,7 +56,8 @@ std::vector<BlockId> TreeSet::LookupAll(const PredicateSet& preds,
   return out;
 }
 
-int64_t TreeSet::RecordsUnder(AttrId attr, const BlockStore& store) const {
+int64_t TreeSetSnapshot::RecordsUnder(AttrId attr,
+                                      const BlockStore& store) const {
   int64_t n = 0;
   for (BlockId b : LiveLeaves(attr, store)) {
     // Metadata-only: never incurs a physical read on buffered stores.
@@ -83,21 +67,73 @@ int64_t TreeSet::RecordsUnder(AttrId attr, const BlockStore& store) const {
   return n;
 }
 
+TreeSet::TreeSet() : snap_(std::make_shared<TreeSetSnapshot>()) {}
+
+TreeSnapshotRef TreeSet::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snap_;
+}
+
+void TreeSet::Publish(std::shared_ptr<TreeSetSnapshot> next) {
+  std::lock_guard<std::mutex> lock(mu_);
+  next->epoch_ = snap_->epoch_ + 1;
+  snap_ = std::move(next);
+}
+
+void TreeSet::Add(AttrId attr, PartitionTree tree) {
+  auto next = std::make_shared<TreeSetSnapshot>(*Snapshot());
+  next->trees_.insert_or_assign(
+      attr, std::make_shared<PartitionTree>(std::move(tree)));
+  Publish(std::move(next));
+}
+
+Status TreeSet::Remove(AttrId attr) {
+  auto next = std::make_shared<TreeSetSnapshot>(*Snapshot());
+  if (next->trees_.erase(attr) == 0) {
+    return Status::NotFound("no tree for attr " + std::to_string(attr));
+  }
+  Publish(std::move(next));
+  return Status::OK();
+}
+
+Result<PartitionTree*> TreeSet::Tree(AttrId attr) {
+  auto next = std::make_shared<TreeSetSnapshot>(*Snapshot());
+  auto it = next->trees_.find(attr);
+  if (it == next->trees_.end()) {
+    return Status::NotFound("no tree for attr " + std::to_string(attr));
+  }
+  // Detach-for-write: older snapshots (and concurrent Snapshot() holders)
+  // may still point at this tree, so it is deep-copied unconditionally
+  // before the caller mutates through it.
+  it->second = std::make_shared<PartitionTree>(it->second->Clone());
+  PartitionTree* tree = it->second.get();
+  Publish(std::move(next));
+  return tree;
+}
+
+Result<const PartitionTree*> TreeSet::Tree(AttrId attr) const {
+  // Note: the pointer is only as stable as the snapshot it comes from; the
+  // engine's per-table locks keep the snapshot current for the caller.
+  return Snapshot()->Tree(attr);
+}
+
 std::vector<AttrId> TreeSet::PruneEmpty(BlockStore* store, ClusterSim* cluster,
                                         AttrId keep) {
+  auto next = std::make_shared<TreeSetSnapshot>(*Snapshot());
   std::vector<AttrId> removed;
-  for (auto it = trees_.begin(); it != trees_.end();) {
-    if (it->first != keep && RecordsUnder(it->first, *store) == 0) {
-      for (BlockId b : LiveLeaves(it->first, *store)) {
+  for (auto it = next->trees_.begin(); it != next->trees_.end();) {
+    if (it->first != keep && next->RecordsUnder(it->first, *store) == 0) {
+      for (BlockId b : next->LiveLeaves(it->first, *store)) {
         (void)store->Delete(b);
         if (cluster != nullptr) cluster->Evict(b);
       }
       removed.push_back(it->first);
-      it = trees_.erase(it);
+      it = next->trees_.erase(it);
     } else {
       ++it;
     }
   }
+  if (!removed.empty()) Publish(std::move(next));
   return removed;
 }
 

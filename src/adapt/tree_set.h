@@ -6,11 +6,28 @@
 /// upfront tree (keyed as kUpfrontTree). Every block belongs to exactly one
 /// tree; lookups union over trees, filtering out leaves whose blocks have
 /// already migrated away.
+///
+/// The set is epoch-versioned for concurrent serving: the trees live in an
+/// immutable snapshot published through a shared_ptr, and every mutation
+/// (Add/Remove/PruneEmpty, or detaching a tree for in-place refinement)
+/// copies the map, modifies the copy off to the side, and installs it
+/// atomically with a bumped epoch. Queries capture one snapshot and plan
+/// against it for their whole lifetime; a snapshot captured before an
+/// install keeps seeing the old trees (paper Fig. 2's "Update index" step
+/// swaps metadata the same way). Reads never block behind adaptation.
+///
+/// Thread safety: every const method and Snapshot() may be called from any
+/// thread at any time. The mutating methods (and mutations through the
+/// pointer returned by the non-const Tree()) require external exclusion
+/// from each other — in the engine that is the Database's per-table writer
+/// lock, which adaptation and ingest hold.
 
 #ifndef ADAPTDB_ADAPT_TREE_SET_H_
 #define ADAPTDB_ADAPT_TREE_SET_H_
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/result.h"
@@ -23,22 +40,21 @@ namespace adaptdb {
 /// Key of the initial workload-oblivious tree in a TreeSet.
 inline constexpr AttrId kUpfrontTree = -1;
 
-/// \brief All partitioning trees of one table, keyed by join attribute.
-class TreeSet {
+/// \brief One immutable version of a table's trees, tagged with its epoch.
+///
+/// Snapshots are created only by TreeSet; holders may read them freely from
+/// any thread. A snapshot pins its trees alive (they are shared with newer
+/// snapshots until replaced), so pointers obtained through Tree() stay
+/// valid for the snapshot's lifetime.
+class TreeSetSnapshot {
  public:
-  TreeSet() = default;
-
-  /// Adds (or replaces) the tree for `attr`.
-  void Add(AttrId attr, PartitionTree tree);
-
-  /// Removes the tree for `attr`.
-  Status Remove(AttrId attr);
+  /// Monotonic version: bumped by every TreeSet mutation.
+  uint64_t epoch() const { return epoch_; }
 
   /// True iff a tree exists for `attr`.
   bool Has(AttrId attr) const { return trees_.count(attr) > 0; }
 
-  /// The tree for `attr`, or an error.
-  Result<PartitionTree*> Tree(AttrId attr);
+  /// The tree for `attr`, or an error. Valid while the snapshot lives.
   Result<const PartitionTree*> Tree(AttrId attr) const;
 
   /// Join attributes with trees, ascending (kUpfrontTree first if present).
@@ -63,6 +79,77 @@ class TreeSet {
   /// Records currently stored under the tree for `attr`.
   int64_t RecordsUnder(AttrId attr, const BlockStore& store) const;
 
+ private:
+  friend class TreeSet;
+
+  uint64_t epoch_ = 0;
+  /// Values are only ever mutated through TreeSet's detach-for-write path,
+  /// which clones any tree shared with an older snapshot first.
+  std::map<AttrId, std::shared_ptr<PartitionTree>> trees_;
+};
+
+/// A pinned, immutable view of a table's trees.
+using TreeSnapshotRef = std::shared_ptr<const TreeSetSnapshot>;
+
+/// \brief All partitioning trees of one table, keyed by join attribute.
+class TreeSet {
+ public:
+  TreeSet();
+
+  /// The current snapshot. Cheap (one shared_ptr copy under a mutex).
+  TreeSnapshotRef Snapshot() const;
+
+  /// Current version; bumped by every mutation.
+  uint64_t epoch() const { return Snapshot()->epoch(); }
+
+  /// Adds (or replaces) the tree for `attr`, atomically installing a new
+  /// snapshot. Readers of older snapshots keep the previous tree.
+  void Add(AttrId attr, PartitionTree tree);
+
+  /// Removes the tree for `attr`.
+  Status Remove(AttrId attr);
+
+  /// True iff a tree exists for `attr`.
+  bool Has(AttrId attr) const { return Snapshot()->Has(attr); }
+
+  /// Detaches the tree for `attr` for in-place refinement: the tree is
+  /// deep-copied and a fresh snapshot installed whose entry is exclusively
+  /// owned by the caller. Mutations through the returned pointer are
+  /// invisible to snapshots captured before this call.
+  /// Requires the table's writer lock; the pointer is valid until the next
+  /// TreeSet mutation for the same attr.
+  Result<PartitionTree*> Tree(AttrId attr);
+  /// The tree for `attr` in the current snapshot (no detach).
+  Result<const PartitionTree*> Tree(AttrId attr) const;
+
+  /// Join attributes with trees, ascending (kUpfrontTree first if present).
+  std::vector<AttrId> Attrs() const { return Snapshot()->Attrs(); }
+
+  /// Number of trees.
+  size_t size() const { return Snapshot()->size(); }
+
+  /// See TreeSetSnapshot::LiveLeaves.
+  std::vector<BlockId> LiveLeaves(AttrId attr, const BlockStore& store) const {
+    return Snapshot()->LiveLeaves(attr, store);
+  }
+
+  /// See TreeSetSnapshot::Lookup.
+  std::vector<BlockId> Lookup(AttrId attr, const PredicateSet& preds,
+                              const BlockStore& store) const {
+    return Snapshot()->Lookup(attr, preds, store);
+  }
+
+  /// See TreeSetSnapshot::LookupAll.
+  std::vector<BlockId> LookupAll(const PredicateSet& preds,
+                                 const BlockStore& store) const {
+    return Snapshot()->LookupAll(preds, store);
+  }
+
+  /// See TreeSetSnapshot::RecordsUnder.
+  int64_t RecordsUnder(AttrId attr, const BlockStore& store) const {
+    return Snapshot()->RecordsUnder(attr, store);
+  }
+
   /// Drops trees holding no records (completed migrations, §5.2), never
   /// dropping `keep` (the migration target, which may still be filling).
   /// The pruned trees' empty leaf blocks are deleted from `store` (and
@@ -71,7 +158,11 @@ class TreeSet {
                                  AttrId keep);
 
  private:
-  std::map<AttrId, PartitionTree> trees_;
+  /// Publishes `next` as the current snapshot with a bumped epoch.
+  void Publish(std::shared_ptr<TreeSetSnapshot> next);
+
+  mutable std::mutex mu_;  ///< Guards snap_ (the pointer, not the contents).
+  TreeSnapshotRef snap_;
 };
 
 }  // namespace adaptdb

@@ -1,22 +1,75 @@
 #include "core/database.h"
 
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
 #include "io/disk_block_store.h"
 #include "parallel/task_pool.h"
 
 namespace adaptdb {
 
+namespace {
+
+/// Latency samples retained for the p50/p99 estimate.
+constexpr size_t kLatencyRingCapacity = 4096;
+
+double Percentile(std::vector<double>* samples, double q) {
+  if (samples->empty()) return 0;
+  const size_t idx = std::min(
+      samples->size() - 1,
+      static_cast<size_t>(q * static_cast<double>(samples->size())));
+  std::nth_element(samples->begin(),
+                   samples->begin() + static_cast<ptrdiff_t>(idx),
+                   samples->end());
+  return (*samples)[idx];
+}
+
+}  // namespace
+
+std::string DatabaseStats::ToString() const {
+  return "DatabaseStats{started=" + std::to_string(queries_started) +
+         ", finished=" + std::to_string(queries_finished) +
+         ", failed=" + std::to_string(queries_failed) +
+         ", in_flight=" + std::to_string(queries_in_flight) +
+         ", queued=" + std::to_string(queue_depth) +
+         ", p50_s=" + std::to_string(latency_p50_seconds) +
+         ", p99_s=" + std::to_string(latency_p99_seconds) +
+         ", buffer_hit_rate=" + std::to_string(buffer_hit_rate) +
+         ", pool_threads=" + std::to_string(pool_threads) +
+         ", tree_epochs=" + std::to_string(tree_epoch_sum) +
+         ", maint_pending=" + std::to_string(maintenance_pending) +
+         ", maint_runs=" + std::to_string(maintenance_runs) +
+         ", maint_failures=" + std::to_string(maintenance_failures) + "}";
+}
+
 Database::Database(DatabaseOptions options)
     : options_(options),
       cluster_(options.cluster),
       window_(options.adapt.window_size),
-      planner_(options.planner) {}
+      planner_(options.planner),
+      adapt_enabled_(options.adapt_enabled),
+      scheduler_(options.max_concurrent_queries) {
+  if (options_.background_adapt) {
+    maint_thread_ = std::thread([this] { MaintenanceLoop(); });
+  }
+}
 
-Database::~Database() = default;
+Database::~Database() {
+  if (maint_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(maint_mu_);
+      maint_stop_ = true;
+    }
+    maint_cv_.notify_all();
+    maint_thread_.join();
+  }
+}
 
 Status Database::CreateTable(const std::string& name, Schema schema,
                              const std::vector<Record>& records,
                              TableOptions table_options) {
-  if (tables_.count(name) > 0) {
+  if (FindEntry(name) != nullptr) {
     return Status::AlreadyExists("table '" + name + "'");
   }
   auto store =
@@ -28,25 +81,40 @@ Status Database::CreateTable(const std::string& name, Schema schema,
   // The ingest boundary is durable: dirty blocks flush to storage here, so
   // load-time I/O errors surface now instead of at some later eviction.
   ADB_RETURN_NOT_OK(table->store()->Flush());
-  optimizers_[name] =
+  auto entry = std::make_unique<TableEntry>();
+  entry->optimizer =
       std::make_unique<Optimizer>(table->schema(), options_.adapt);
-  tables_[name] = std::move(table);
+  entry->table = std::move(table);
+  {
+    std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+    if (tables_.count(name) > 0) {
+      return Status::AlreadyExists("table '" + name + "'");
+    }
+    tables_[name] = std::move(entry);
+  }
   return Status::OK();
 }
 
-Result<Table*> Database::GetTable(const std::string& name) {
+Database::TableEntry* Database::FindEntry(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
   auto it = tables_.find(name);
-  if (it == tables_.end()) {
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Result<Table*> Database::GetTable(const std::string& name) {
+  TableEntry* entry = FindEntry(name);
+  if (entry == nullptr) {
     return Status::NotFound("table '" + name + "'");
   }
-  return it->second.get();
+  return entry->table.get();
 }
 
 StorageCounters Database::TotalStorageCounters() const {
   StorageCounters total;
-  for (const auto& [_, table] : tables_) {
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  for (const auto& [_, entry] : tables_) {
     const StorageCounters c =
-        static_cast<const Table&>(*table).store().counters();
+        static_cast<const Table&>(*entry->table).store().counters();
     total.buffer_hits += c.buffer_hits;
     total.buffer_misses += c.buffer_misses;
     total.physical_block_writes += c.physical_block_writes;
@@ -54,58 +122,138 @@ StorageCounters Database::TotalStorageCounters() const {
   return total;
 }
 
+PlannerConfig Database::planner_config() const {
+  std::lock_guard<std::mutex> lock(config_mu_);
+  return planner_.config();
+}
+
+void Database::SetPlannerConfig(const PlannerConfig& config) {
+  std::lock_guard<std::mutex> lock(config_mu_);
+  *planner_.mutable_config() = config;
+}
+
+TaskPool* Database::EnsurePool(int32_t threads) {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<TaskPool>(threads);
+  } else if (pool_->num_threads() != threads && scheduler_.InFlight() <= 1) {
+    // Resize only while we are the sole admitted query: nobody else can
+    // hold the old pool pointer, so tearing it down is safe. With peers in
+    // flight the old size keeps serving this query.
+    pool_ = std::make_unique<TaskPool>(threads);
+  }
+  return pool_.get();
+}
+
+Status Database::AdaptTable(const std::string& name, const Query& q,
+                            const QueryWindow& window, AdaptTotals* totals) {
+  TableEntry* entry = FindEntry(name);
+  if (entry == nullptr) {
+    return Status::NotFound("table '" + name + "'");
+  }
+  // Writer lock: repartitioning rewrites block contents, which must never
+  // happen under a concurrent scan.
+  std::unique_lock<std::shared_mutex> lock(entry->mu);
+  Table* t = entry->table.get();
+  auto report = entry->optimizer->OnQuery(name, q, window, t->sample(),
+                                          t->trees(), t->store(), &cluster_);
+  if (!report.ok()) return report.status();
+  totals->io.Merge(report.ValueOrDie().io);
+  totals->records_moved += report.ValueOrDie().smooth.records_moved;
+  totals->created_tree |= report.ValueOrDie().smooth.created_tree;
+  // Repartitioning rewrites blocks durably in the cost model; flush so
+  // the disk backend matches and write errors surface per query.
+  return t->store()->Flush();
+}
+
 Result<QueryRunResult> Database::RunQuery(const Query& q) {
-  window_.Add(q);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++started_;
+  }
+  QueryScheduler::Admission admission = scheduler_.Admit();
+  const auto wall_start = std::chrono::steady_clock::now();
+  auto result = RunQueryAdmitted(q);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  RecordLatency(wall, result.ok());
+  return result;
+}
+
+Result<QueryRunResult> Database::RunQueryAdmitted(const Query& q) {
+  QueryWindow window_copy = [&] {
+    std::lock_guard<std::mutex> lock(window_mu_);
+    window_.Add(q);
+    return window_;
+  }();
   const StorageCounters storage_before = TotalStorageCounters();
 
-  // Shared worker pool (lazily created, reused across queries): spinning up
-  // a pool per operator call wastes thread churn on short queries.
-  PlannerConfig* planner_config = planner_.mutable_config();
-  if (planner_config->exec.num_threads > 1) {
-    if (pool_ == nullptr ||
-        pool_->num_threads() != planner_config->exec.num_threads) {
-      pool_ = std::make_unique<TaskPool>(planner_config->exec.num_threads);
+  // Per-query config copy: concurrent SetPlannerConfig/set_adapt_enabled
+  // callers never mutate a config a running query reads. The shared worker
+  // pool is created once and multiplexed (TaskGroups isolate each query's
+  // tasks); it is never torn down while peers are in flight.
+  PlannerConfig config;
+  {
+    std::lock_guard<std::mutex> lock(config_mu_);
+    config = planner_.config();
+  }
+  config.exec.pool = config.exec.num_threads > 1
+                         ? EnsurePool(config.exec.num_threads)
+                         : nullptr;
+
+  AdaptTotals adapt;
+  if (adapt_enabled_.load(std::memory_order_relaxed)) {
+    if (options_.background_adapt) {
+      // Off the query path: the maintenance thread picks the step up and
+      // runs it under the tables' writer locks (Fig. 2's "Update index").
+      {
+        std::lock_guard<std::mutex> lock(maint_mu_);
+        maint_queue_.push_back(q);
+      }
+      maint_cv_.notify_one();
+    } else {
+      for (const TableRef& ref : q.tables) {
+        ADB_RETURN_NOT_OK(AdaptTable(ref.table, q, window_copy, &adapt));
+      }
     }
-    planner_config->exec.pool = pool_.get();
-  } else {
-    planner_config->exec.pool = nullptr;
   }
 
-  IoStats adapt_io;
-  int64_t records_repartitioned = 0;
-  bool created_tree = false;
-  if (options_.adapt_enabled) {
-    for (const TableRef& ref : q.tables) {
-      auto table = GetTable(ref.table);
-      if (!table.ok()) return table.status();
-      Table* t = table.ValueOrDie();
-      auto report = optimizers_[ref.table]->OnQuery(
-          ref.table, q, window_, t->sample(), t->trees(), t->store(),
-          &cluster_);
-      if (!report.ok()) return report.status();
-      adapt_io.Merge(report.ValueOrDie().io);
-      records_repartitioned += report.ValueOrDie().smooth.records_moved;
-      created_tree |= report.ValueOrDie().smooth.created_tree;
-      // Repartitioning rewrites blocks durably in the cost model; flush so
-      // the disk backend matches and write errors surface per query.
-      ADB_RETURN_NOT_OK(t->store()->Flush());
+  // Reader locks in sorted-name order (deadlock-free against multi-table
+  // peers), held through plan + execute: the plan's tree snapshot and the
+  // blocks it names stay consistent for the whole query.
+  std::vector<std::string> names;
+  names.reserve(q.tables.size());
+  for (const TableRef& ref : q.tables) names.push_back(ref.table);
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+
+  std::vector<TableEntry*> entries;
+  entries.reserve(names.size());
+  for (const std::string& name : names) {
+    TableEntry* entry = FindEntry(name);
+    if (entry == nullptr) {
+      return Status::NotFound("table '" + name + "'");
     }
+    entries.push_back(entry);
   }
+  std::vector<std::shared_lock<std::shared_mutex>> read_locks;
+  read_locks.reserve(entries.size());
+  for (TableEntry* entry : entries) read_locks.emplace_back(entry->mu);
 
   std::vector<TableContext> contexts;
-  contexts.reserve(q.tables.size());
-  for (const TableRef& ref : q.tables) {
-    auto table = GetTable(ref.table);
-    if (!table.ok()) return table.status();
-    contexts.push_back(table.ValueOrDie()->Context());
+  contexts.reserve(entries.size());
+  for (TableEntry* entry : entries) {
+    contexts.push_back(entry->table->Context());
   }
-  auto result = planner_.Execute(q, contexts, cluster_);
+  auto result = planner_.Execute(q, contexts, cluster_, config);
   if (!result.ok()) return result.status();
   QueryRunResult out = std::move(result).ValueOrDie();
-  out.adapt_io = adapt_io;
-  out.records_repartitioned = records_repartitioned;
-  out.created_tree = created_tree;
-  out.io.Merge(adapt_io);
+  out.adapt_io = adapt.io;
+  out.records_repartitioned = adapt.records_moved;
+  out.created_tree = adapt.created_tree;
+  out.io.Merge(adapt.io);
   // Fold this query's buffer-pool activity into its IoStats. The logical
   // read counters above are backend-independent; these physical counters
   // are zero on the in-memory store.
@@ -119,25 +267,138 @@ Result<QueryRunResult> Database::RunQuery(const Query& q) {
   return out;
 }
 
+void Database::RecordLatency(double seconds, bool ok) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (latency_ring_.size() < kLatencyRingCapacity) {
+    latency_ring_.push_back(seconds);
+  } else {
+    latency_ring_[latency_next_] = seconds;
+  }
+  latency_next_ = (latency_next_ + 1) % kLatencyRingCapacity;
+  ++latency_count_;
+  ++finished_;
+  if (!ok) ++failed_;
+}
+
+DatabaseStats Database::Stats() const {
+  DatabaseStats stats;
+  std::vector<double> samples;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats.queries_started = started_;
+    stats.queries_finished = finished_;
+    stats.queries_failed = failed_;
+    stats.latency_samples = latency_count_;
+    samples = latency_ring_;
+  }
+  stats.latency_p50_seconds = Percentile(&samples, 0.50);
+  stats.latency_p99_seconds = Percentile(&samples, 0.99);
+  stats.queries_in_flight = scheduler_.InFlight();
+  stats.queue_depth = scheduler_.QueueDepth();
+  const StorageCounters counters = TotalStorageCounters();
+  stats.buffer_hits = counters.buffer_hits;
+  stats.buffer_misses = counters.buffer_misses;
+  const int64_t accesses = counters.buffer_hits + counters.buffer_misses;
+  stats.buffer_hit_rate =
+      accesses > 0 ? static_cast<double>(counters.buffer_hits) /
+                         static_cast<double>(accesses)
+                   : 0;
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    stats.pool_threads = pool_ != nullptr ? pool_->num_threads() : 0;
+  }
+  {
+    std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+    for (const auto& [_, entry] : tables_) {
+      stats.tree_epoch_sum += entry->table->trees()->epoch();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(maint_mu_);
+    stats.maintenance_pending =
+        static_cast<int64_t>(maint_queue_.size()) + maint_active_;
+    stats.maintenance_runs = maint_runs_;
+    stats.maintenance_failures = maint_failures_;
+    stats.maintenance_records_moved = maint_records_moved_;
+  }
+  return stats;
+}
+
+void Database::MaintenanceLoop() {
+  for (;;) {
+    Query q;
+    {
+      std::unique_lock<std::mutex> lock(maint_mu_);
+      maint_cv_.wait(lock,
+                     [&] { return maint_stop_ || !maint_queue_.empty(); });
+      if (maint_queue_.empty()) return;  // Stopping, queue drained.
+      q = std::move(maint_queue_.front());
+      maint_queue_.pop_front();
+      ++maint_active_;
+    }
+    QueryWindow window_copy = [&] {
+      std::lock_guard<std::mutex> lock(window_mu_);
+      return window_;
+    }();
+    AdaptTotals totals;
+    Status status = Status::OK();
+    for (const TableRef& ref : q.tables) {
+      Status s = AdaptTable(ref.table, q, window_copy, &totals);
+      if (!s.ok() && status.ok()) status = s;
+    }
+    {
+      std::lock_guard<std::mutex> lock(maint_mu_);
+      --maint_active_;
+      ++maint_runs_;
+      maint_records_moved_ += totals.records_moved;
+      if (!status.ok()) {
+        ++maint_failures_;
+        if (maint_error_.ok()) maint_error_ = status;
+      }
+    }
+    maint_cv_.notify_all();
+  }
+}
+
+Status Database::WaitForMaintenance() {
+  std::unique_lock<std::mutex> lock(maint_mu_);
+  maint_cv_.wait(lock,
+                 [&] { return maint_queue_.empty() && maint_active_ == 0; });
+  return maint_error_;
+}
+
 Status Database::AppendRows(const std::string& table,
                             const std::vector<Record>& records) {
-  auto t = GetTable(table);
-  if (!t.ok()) return t.status();
+  TableEntry* entry = FindEntry(table);
+  if (entry == nullptr) {
+    return Status::NotFound("table '" + table + "'");
+  }
+  // Writer lock: the batch becomes visible atomically to queries.
+  std::unique_lock<std::shared_mutex> lock(entry->mu);
   IoStats io;
-  return t.ValueOrDie()->Append(records, &cluster_, &io);
+  return entry->table->Append(records, &cluster_, &io);
 }
 
 std::vector<std::string> Database::TableNames() const {
   std::vector<std::string> names;
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
   names.reserve(tables_.size());
   for (const auto& [name, _] : tables_) names.push_back(name);
   return names;
 }
 
 std::string Database::DumpCatalog() const {
+  std::vector<TableEntry*> entries;
+  {
+    std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+    entries.reserve(tables_.size());
+    for (const auto& [_, entry] : tables_) entries.push_back(entry.get());
+  }
   std::string out;
-  for (const auto& [name, table] : tables_) {
-    out += table->DescribeLayout();
+  for (TableEntry* entry : entries) {
+    // Reader lock per table: a consistent layout line even mid-adaptation.
+    std::shared_lock<std::shared_mutex> lock(entry->mu);
+    out += entry->table->DescribeLayout();
   }
   return out;
 }

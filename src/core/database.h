@@ -7,22 +7,52 @@
 ///   1. append the query to the window,
 ///   2. adapt each referenced table (smooth repartitioning between join
 ///      trees + Amoeba refinement of selection levels), folding the
-///      repartitioning I/O into this query's latency, and
+///      repartitioning I/O into this query's latency — or, with
+///      background_adapt, hand the step to the maintenance thread so
+///      repartitioning leaves the query path (the paper's background
+///      "Update index" loop), and
 ///   3. plan and execute the query (hyper-join vs shuffle join by cost).
 ///
 /// Baselines are expressed as configuration: disable adaptation for static
 /// layouts, force shuffle joins, ignore partitioning for full scans, or
 /// enable full (non-smooth) repartitioning.
+///
+/// ## Thread-safety contract
+///
+/// RunQuery, AppendRows, Stats, TableNames, DumpCatalog, set_adapt_enabled,
+/// adapt_enabled, planner_config, SetPlannerConfig and WaitForMaintenance
+/// are safe to call from any number of threads concurrently; CreateTable
+/// may run concurrently with queries on other tables. Everything else —
+/// mutable_planner_config(), window(), cluster()'s mutators, and mutation
+/// through GetTable() — is setup/inspection API: call it only while no
+/// queries are in flight (benches and tests do this between runs).
+///
+/// Concurrency design: each table pairs with a reader-writer lock — queries
+/// hold it shared across planning and execution (block contents cannot
+/// change under a scan), while adaptation and ingest hold it exclusive.
+/// Partition trees are epoch-versioned copy-on-write snapshots (see
+/// adapt/tree_set.h), so metadata readers never block and every query plans
+/// against one immutable tree version. A single work-stealing TaskPool is
+/// created once and multiplexed across in-flight queries (TaskGroups keep
+/// per-query work separate); queries are admitted FIFO by a QueryScheduler.
 
 #ifndef ADAPTDB_CORE_DATABASE_H_
 #define ADAPTDB_CORE_DATABASE_H_
 
+#include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "adapt/optimizer.h"
 #include "adapt/query_window.h"
+#include "core/query_scheduler.h"
 #include "core/table.h"
 #include "planner/join_planner.h"
 
@@ -37,6 +67,49 @@ struct DatabaseOptions {
   PlannerConfig planner;
   /// Master switch for the adaptive loop (step 2 above).
   bool adapt_enabled = true;
+  /// Maximum queries executing at once; further callers queue FIFO inside
+  /// RunQuery. <= 0 means unlimited.
+  int32_t max_concurrent_queries = 0;
+  /// Move adaptation off the query path: RunQuery enqueues the adaptation
+  /// step for a background maintenance thread (which takes the table's
+  /// writer lock per step) instead of running it inline. Queries then never
+  /// pay repartitioning I/O in their own latency. Default off: inline
+  /// adaptation matches the paper's Type-2 accounting and keeps per-query
+  /// adapt_io meaningful.
+  bool background_adapt = false;
+};
+
+/// \brief A point-in-time snapshot of serving health, from Database::Stats.
+struct DatabaseStats {
+  /// Queries that entered RunQuery / finished it / finished with an error.
+  int64_t queries_started = 0;
+  int64_t queries_finished = 0;
+  int64_t queries_failed = 0;
+  /// Currently admitted and executing.
+  int64_t queries_in_flight = 0;
+  /// Waiting for FIFO admission.
+  int64_t queue_depth = 0;
+  /// Wall-clock latency percentiles over the last (up to) 4096 queries.
+  int64_t latency_samples = 0;
+  double latency_p50_seconds = 0;
+  double latency_p99_seconds = 0;
+  /// Buffer-pool totals across all tables (zero on the in-memory backend).
+  int64_t buffer_hits = 0;
+  int64_t buffer_misses = 0;
+  double buffer_hit_rate = 0;
+  /// Workers in the shared pool (0 until a multi-threaded query runs).
+  int32_t pool_threads = 0;
+  /// Sum of every table's tree epoch; advances whenever adaptation installs
+  /// a new tree version.
+  uint64_t tree_epoch_sum = 0;
+  /// Background maintenance: queued + running steps, completed steps,
+  /// failed steps, and records moved off the query path.
+  int64_t maintenance_pending = 0;
+  int64_t maintenance_runs = 0;
+  int64_t maintenance_failures = 0;
+  int64_t maintenance_records_moved = 0;
+
+  std::string ToString() const;
 };
 
 /// \brief The top-level AdaptDB object.
@@ -50,30 +123,55 @@ class Database {
                      const std::vector<Record>& records,
                      TableOptions table_options = {});
 
-  /// Fetches a table by name.
+  /// Fetches a table by name. Reading through the pointer is safe while
+  /// serving; mutating requires quiescing queries first.
   Result<Table*> GetTable(const std::string& name);
 
   /// Runs one query through the adapt → plan → execute loop, returning row
-  /// counts, I/O and the simulated latency (including adaptation overhead).
+  /// counts, I/O and the simulated latency (including adaptation overhead
+  /// when adaptation runs inline). Safe from any number of threads.
   Result<QueryRunResult> RunQuery(const Query& q);
 
   /// Appends new rows to a loaded table (online ingestion, §8): records
   /// route through the table's primary partitioning tree and become visible
-  /// to subsequent queries.
+  /// to subsequent queries. Takes the table's writer lock, so concurrent
+  /// queries see either none or all of the batch.
   Status AppendRows(const std::string& table,
                     const std::vector<Record>& records);
 
+  /// Serving-health snapshot: latency percentiles, queue depth, buffer hit
+  /// rate, in-flight count, tree epochs, maintenance progress.
+  DatabaseStats Stats() const;
+
+  /// Blocks until the background maintenance queue is drained (no-op when
+  /// background_adapt is off). Returns the first error any step hit.
+  Status WaitForMaintenance();
+
   /// The simulated cluster (placement, cost accounting).
   ClusterSim* cluster() { return &cluster_; }
-  /// The recent query window.
+  /// The recent query window. Setup/inspection only: not synchronized with
+  /// concurrent RunQuery callers.
   QueryWindow* window() { return &window_; }
-  /// Planner configuration (mutable for baselines/ablations).
+  /// Planner configuration (mutable for baselines/ablations). Only valid
+  /// while no queries are in flight; concurrent togglers must use
+  /// SetPlannerConfig.
   PlannerConfig* mutable_planner_config() {
     return planner_.mutable_config();
   }
+  /// A copy of the current planner config (safe while serving).
+  PlannerConfig planner_config() const;
+  /// Replaces the planner config (safe while serving; running queries keep
+  /// the config they started with).
+  void SetPlannerConfig(const PlannerConfig& config);
   const DatabaseOptions& options() const { return options_; }
-  /// Enables/disables the adaptive loop at runtime.
-  void set_adapt_enabled(bool on) { options_.adapt_enabled = on; }
+  /// Enables/disables the adaptive loop at runtime (safe while serving;
+  /// running queries keep the value they observed at admission).
+  void set_adapt_enabled(bool on) {
+    adapt_enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool adapt_enabled() const {
+    return adapt_enabled_.load(std::memory_order_relaxed);
+  }
 
   /// Names of all tables.
   std::vector<std::string> TableNames() const;
@@ -85,19 +183,95 @@ class Database {
   std::string DumpCatalog() const;
 
  private:
+  /// A table plus its optimizer and serving lock: queries hold `mu` shared
+  /// through plan+execute, adaptation and ingest hold it exclusive.
+  struct TableEntry {
+    std::unique_ptr<Table> table;
+    std::unique_ptr<Optimizer> optimizer;
+    mutable std::shared_mutex mu;
+  };
+
+  /// Accumulated effect of the adaptation steps one query triggered.
+  struct AdaptTotals {
+    IoStats io;
+    int64_t records_moved = 0;
+    bool created_tree = false;
+  };
+
+  /// The query body, run after FIFO admission.
+  Result<QueryRunResult> RunQueryAdmitted(const Query& q);
+
+  /// Runs the adaptation step for one table under its writer lock.
+  Status AdaptTable(const std::string& name, const Query& q,
+                    const QueryWindow& window, AdaptTotals* totals);
+
+  /// Looks up a table entry (nullptr when missing). Entries are never
+  /// removed, so the pointer stays valid without holding catalog_mu_.
+  TableEntry* FindEntry(const std::string& name) const;
+
+  /// Returns the shared pool sized for `threads`, creating it on first use.
+  /// The pool is never destroyed while queries are in flight: a resize
+  /// request is honored only when this query is the sole one admitted, and
+  /// deferred (the old size keeps serving) otherwise.
+  TaskPool* EnsurePool(int32_t threads);
+
+  /// Folds a finished query into the latency ring and counters.
+  void RecordLatency(double seconds, bool ok);
+
+  /// Background maintenance: drains queued adaptation steps.
+  void MaintenanceLoop();
+
   /// Sums the storage-backend counters across all tables (buffer-pool hits,
   /// misses, physical writes); per-query deltas fold into QueryRunResult.
+  /// Under concurrency the deltas attribute other in-flight queries'
+  /// activity too — totals stay exact, per-query splits are approximate.
   StorageCounters TotalStorageCounters() const;
 
   DatabaseOptions options_;
   ClusterSim cluster_;
+
+  /// Guards window_ against concurrent RunQuery callers; adaptation works
+  /// on a copy taken under the lock.
+  mutable std::mutex window_mu_;
   QueryWindow window_;
+
+  /// Guards planner_'s config for SetPlannerConfig / per-query copies.
+  mutable std::mutex config_mu_;
   JoinPlanner planner_;
-  std::map<std::string, std::unique_ptr<Table>> tables_;
-  std::map<std::string, std::unique_ptr<Optimizer>> optimizers_;
-  /// Lazily created shared worker pool, reused across queries (sized by
-  /// the planner's ExecConfig::num_threads; recreated when that changes).
+
+  std::atomic<bool> adapt_enabled_;
+
+  /// Guards the tables_ map itself; individual entries have their own lock.
+  mutable std::shared_mutex catalog_mu_;
+  std::map<std::string, std::unique_ptr<TableEntry>> tables_;
+
+  /// Shared worker pool: created once under pool_mu_, multiplexed across
+  /// concurrent queries, resized only when a single query is admitted.
+  mutable std::mutex pool_mu_;
   std::unique_ptr<TaskPool> pool_;
+
+  QueryScheduler scheduler_;
+
+  /// Latency ring + lifetime counters.
+  mutable std::mutex stats_mu_;
+  std::vector<double> latency_ring_;
+  size_t latency_next_ = 0;
+  int64_t latency_count_ = 0;
+  int64_t started_ = 0;
+  int64_t finished_ = 0;
+  int64_t failed_ = 0;
+
+  /// Background maintenance queue + worker (background_adapt only).
+  mutable std::mutex maint_mu_;
+  std::condition_variable maint_cv_;
+  std::deque<Query> maint_queue_;
+  bool maint_stop_ = false;
+  int64_t maint_active_ = 0;
+  int64_t maint_runs_ = 0;
+  int64_t maint_failures_ = 0;
+  int64_t maint_records_moved_ = 0;
+  Status maint_error_;
+  std::thread maint_thread_;
 };
 
 }  // namespace adaptdb

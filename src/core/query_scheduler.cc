@@ -1,0 +1,43 @@
+#include "core/query_scheduler.h"
+
+namespace adaptdb {
+
+QueryScheduler::Admission QueryScheduler::Admit() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const int64_t ticket = next_ticket_++;
+  cv_.wait(lock, [&] {
+    return front_ticket_ == ticket && (limit_ <= 0 || in_flight_ < limit_);
+  });
+  ++front_ticket_;
+  ++in_flight_;
+  ++total_admitted_;
+  // Wake the next ticket: with free slots it can be admitted immediately
+  // (FIFO order is preserved by the front_ticket_ check).
+  cv_.notify_all();
+  return Admission(this);
+}
+
+void QueryScheduler::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --in_flight_;
+  }
+  cv_.notify_all();
+}
+
+int64_t QueryScheduler::InFlight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+int64_t QueryScheduler::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_ticket_ - front_ticket_;
+}
+
+int64_t QueryScheduler::TotalAdmitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_admitted_;
+}
+
+}  // namespace adaptdb

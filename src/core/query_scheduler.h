@@ -1,0 +1,87 @@
+/// \file query_scheduler.h
+/// \brief FIFO admission control for concurrent query serving.
+///
+/// The scheduler multiplexes the engine across in-flight queries: callers
+/// take a ticket, are admitted strictly in arrival order, and optionally
+/// wait when a maximum number of queries is already in flight. Admission is
+/// RAII — dropping the Admission releases the slot and wakes the next
+/// ticket — so a query that fails mid-execution can never leak a slot.
+/// Queue depth and in-flight counts feed Database::Stats().
+
+#ifndef ADAPTDB_CORE_QUERY_SCHEDULER_H_
+#define ADAPTDB_CORE_QUERY_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace adaptdb {
+
+/// \brief FIFO ticket lock with an optional concurrency cap.
+///
+/// Thread safety: all methods may be called from any thread.
+class QueryScheduler {
+ public:
+  /// `max_in_flight` <= 0 means unlimited (admission still FIFO, so a
+  /// burst of arrivals starts executing in arrival order).
+  explicit QueryScheduler(int32_t max_in_flight = 0)
+      : limit_(max_in_flight) {}
+
+  QueryScheduler(const QueryScheduler&) = delete;
+  QueryScheduler& operator=(const QueryScheduler&) = delete;
+
+  /// \brief An admitted slot; releases on destruction.
+  class Admission {
+   public:
+    Admission() = default;
+    explicit Admission(QueryScheduler* owner) : owner_(owner) {}
+    Admission(Admission&& other) noexcept : owner_(other.owner_) {
+      other.owner_ = nullptr;
+    }
+    Admission& operator=(Admission&& other) noexcept {
+      if (this != &other) {
+        Release();
+        owner_ = other.owner_;
+        other.owner_ = nullptr;
+      }
+      return *this;
+    }
+    ~Admission() { Release(); }
+
+   private:
+    void Release() {
+      if (owner_ != nullptr) owner_->Release();
+      owner_ = nullptr;
+    }
+    QueryScheduler* owner_ = nullptr;
+  };
+
+  /// Blocks until this caller's ticket reaches the head of the queue and a
+  /// slot is free, then admits it.
+  Admission Admit();
+
+  /// Queries currently admitted and not yet released.
+  int64_t InFlight() const;
+
+  /// Callers waiting for admission.
+  int64_t QueueDepth() const;
+
+  /// Total queries ever admitted.
+  int64_t TotalAdmitted() const;
+
+ private:
+  friend class Admission;
+  void Release();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  const int64_t limit_;
+  int64_t next_ticket_ = 0;   ///< Next ticket to hand out.
+  int64_t front_ticket_ = 0;  ///< Ticket currently eligible for admission.
+  int64_t in_flight_ = 0;
+  int64_t total_admitted_ = 0;
+};
+
+}  // namespace adaptdb
+
+#endif  // ADAPTDB_CORE_QUERY_SCHEDULER_H_

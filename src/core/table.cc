@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <utility>
 
 namespace adaptdb {
 
@@ -16,12 +17,15 @@ Table::Table(std::string name, Schema schema, TableOptions options,
       sample_(options.sample_capacity, options.seed) {}
 
 std::string Table::DescribeLayout() const {
+  // One snapshot for the whole description, so the reported trees are a
+  // consistent version even if adaptation installs a new one mid-dump.
+  const TreeSnapshotRef snap = trees_.Snapshot();
   std::string out = "table " + name_ + " (" + schema_.ToString() + ")\n";
-  for (AttrId attr : trees_.Attrs()) {
-    auto tree = trees_.Tree(attr);
+  for (AttrId attr : snap->Attrs()) {
+    auto tree = snap->Tree(attr);
     if (!tree.ok()) continue;
     const PartitionTree* t = tree.ValueOrDie();
-    const auto live = trees_.LiveLeaves(attr, *store_);
+    const auto live = snap->LiveLeaves(attr, *store_);
     out += "  tree ";
     if (attr == kUpfrontTree) {
       out += "upfront";
@@ -31,7 +35,7 @@ std::string Table::DescribeLayout() const {
     out += ": depth " + std::to_string(t->Depth()) + ", join_levels " +
            std::to_string(t->join_levels()) + ", " +
            std::to_string(live.size()) + " live blocks, " +
-           std::to_string(trees_.RecordsUnder(attr, *store_)) + " records\n";
+           std::to_string(snap->RecordsUnder(attr, *store_)) + " records\n";
     out += "    " + t->Serialize() + "\n";
   }
   return out;
@@ -56,7 +60,7 @@ Status Table::Append(const std::vector<Record>& records, ClusterSim* cluster,
       target = a;
     }
   }
-  auto tree = trees_.Tree(target);
+  auto tree = std::as_const(trees_).Tree(target);
   if (!tree.ok()) return tree.status();
   // Route first, append with one mutable pin per leaf (per-record pins
   // thrash a small buffer pool); the sample sees records in input order.

@@ -64,9 +64,12 @@ class Table {
     return static_cast<int64_t>(store_->TotalRecords());
   }
 
-  /// The planner-facing view of this table.
+  /// The planner-facing view of this table. Captures the current tree
+  /// snapshot, so the plan built from it reads one consistent tree version
+  /// no matter what adaptation installs afterwards.
   TableContext Context() {
-    return TableContext{name_, &schema_, store_.get(), &trees_};
+    return TableContext{name_, &schema_, store_.get(), &trees_,
+                        trees_.Snapshot()};
   }
 
   /// Human-readable layout summary: one line per partitioning tree with its

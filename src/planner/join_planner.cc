@@ -1,6 +1,7 @@
 #include "planner/join_planner.h"
 
 #include <unordered_map>
+#include <utility>
 
 #include "exec/hash_join.h"
 #include "exec/hyper_join.h"
@@ -30,26 +31,35 @@ const TableContext* JoinPlanner::Find(const std::vector<TableContext>& tables,
   return nullptr;
 }
 
-std::vector<BlockId> JoinPlanner::RelevantBlocks(
-    const TableContext& ctx, const PredicateSet& preds) const {
-  std::vector<BlockId> candidates = config_.ignore_partitioning
-                                        ? ctx.store->BlockIds()
-                                        : ctx.trees->LookupAll(preds, *ctx.store);
+Result<std::vector<BlockId>> JoinPlanner::RelevantBlocks(
+    const TableContext& ctx, const PredicateSet& preds,
+    const PlannerConfig& config) const {
+  std::vector<BlockId> candidates;
+  if (config.ignore_partitioning) {
+    candidates = ctx.store->BlockIds();
+  } else if (ctx.snapshot != nullptr) {
+    // Plan against the tree version pinned when the query started.
+    candidates = ctx.snapshot->LookupAll(preds, *ctx.store);
+  } else {
+    candidates = ctx.trees->LookupAll(preds, *ctx.store);
+  }
   // Drained leaves are empty HDFS files awaiting re-fill; reading them is
   // free, so they never enter a plan. RecordCount is directory metadata —
-  // pruning never physically reads a block.
+  // pruning never physically reads a block. A metadata *error* propagates:
+  // silently dropping the block would return wrong results.
   std::vector<BlockId> out;
   out.reserve(candidates.size());
   for (BlockId b : candidates) {
     auto count = ctx.store->RecordCount(b);
-    if (count.ok() && count.ValueOrDie() > 0) out.push_back(b);
+    if (!count.ok()) return count.status();
+    if (count.ValueOrDie() > 0) out.push_back(b);
   }
   return out;
 }
 
 Result<QueryRunResult> JoinPlanner::Execute(
     const Query& q, const std::vector<TableContext>& tables,
-    const ClusterSim& cluster) const {
+    const ClusterSim& cluster, const PlannerConfig& config) const {
   QueryRunResult result;
   for (const TableRef& ref : q.tables) {
     if (Find(tables, ref.table) == nullptr) {
@@ -61,9 +71,10 @@ Result<QueryRunResult> JoinPlanner::Execute(
   if (q.joins.empty()) {
     for (const TableRef& ref : q.tables) {
       const TableContext* ctx = Find(tables, ref.table);
-      const std::vector<BlockId> blocks = RelevantBlocks(*ctx, ref.preds);
-      auto scan = ScanBlocks(*ctx->store, blocks, ref.preds, cluster,
-                             config_.exec, !config_.ignore_partitioning);
+      auto blocks = RelevantBlocks(*ctx, ref.preds, config);
+      if (!blocks.ok()) return blocks.status();
+      auto scan = ScanBlocks(*ctx->store, blocks.ValueOrDie(), ref.preds,
+                             cluster, config.exec, !config.ignore_partitioning);
       if (!scan.ok()) return scan.status();
       result.output_rows += scan.ValueOrDie().rows_matched;
       result.blocks_scanned += scan.ValueOrDie().blocks_read;
@@ -116,8 +127,12 @@ Result<QueryRunResult> JoinPlanner::Execute(
       const TableContext* s_ctx = Find(tables, spec.right_table);
       const PredicateSet& r_preds = q.PredsFor(spec.left_table);
       const PredicateSet& s_preds = q.PredsFor(spec.right_table);
-      const std::vector<BlockId> r_blocks = RelevantBlocks(*r_ctx, r_preds);
-      const std::vector<BlockId> s_blocks = RelevantBlocks(*s_ctx, s_preds);
+      auto r_result = RelevantBlocks(*r_ctx, r_preds, config);
+      if (!r_result.ok()) return r_result.status();
+      auto s_result = RelevantBlocks(*s_ctx, s_preds, config);
+      if (!s_result.ok()) return s_result.status();
+      const std::vector<BlockId> r_blocks = std::move(r_result).ValueOrDie();
+      const std::vector<BlockId> s_blocks = std::move(s_result).ValueOrDie();
       auto overlap = ComputeOverlap(*r_ctx->store, r_blocks, spec.left_attr,
                                     *s_ctx->store, s_blocks, spec.right_attr);
       if (!overlap.ok()) return overlap.status();
@@ -128,9 +143,9 @@ Result<QueryRunResult> JoinPlanner::Execute(
       edge.r_blocks = static_cast<int64_t>(r_blocks.size());
       edge.s_blocks = static_cast<int64_t>(s_blocks.size());
       edge.choice = ChooseJoin(overlap.ValueOrDie(),
-                               config_.memory_budget_blocks,
-                               config_.cost_model);
-      switch (config_.strategy) {
+                               config.memory_budget_blocks,
+                               config.cost_model);
+      switch (config.strategy) {
         case PlannerConfig::Strategy::kAuto:
           break;
         case PlannerConfig::Strategy::kForceShuffle:
@@ -146,12 +161,12 @@ Result<QueryRunResult> JoinPlanner::Execute(
       JoinExecResult exec;
       if (edge.choice.use_hyper_join) {
         auto grouping = BottomUpGrouping(overlap.ValueOrDie(),
-                                         config_.memory_budget_blocks);
+                                         config.memory_budget_blocks);
         if (!grouping.ok()) return grouping.status();
         auto run = HyperJoin(*r_ctx->store, spec.left_attr, r_preds,
                              *s_ctx->store, spec.right_attr, s_preds,
                              overlap.ValueOrDie(), grouping.ValueOrDie(),
-                             cluster, config_.exec, out);
+                             cluster, config.exec, out);
         if (!run.ok()) return run.status();
         exec = std::move(run).ValueOrDie();
         edge.used_hyper = true;
@@ -159,7 +174,7 @@ Result<QueryRunResult> JoinPlanner::Execute(
         auto run = ShuffleJoin(*r_ctx->store, r_blocks, spec.left_attr,
                                r_preds, *s_ctx->store, s_blocks,
                                spec.right_attr, s_preds, cluster,
-                               config_.exec, out);
+                               config.exec, out);
         if (!run.ok()) return run.status();
         exec = std::move(run).ValueOrDie();
       }
@@ -240,7 +255,9 @@ Result<QueryRunResult> JoinPlanner::Execute(
       return Status::NotFound("no table context for '" + build_table + "'");
     }
     const PredicateSet& d_preds = q.PredsFor(build_table);
-    const std::vector<BlockId> d_blocks = RelevantBlocks(*d_ctx, d_preds);
+    auto d_result = RelevantBlocks(*d_ctx, d_preds, config);
+    if (!d_result.ok()) return d_result.status();
+    const std::vector<BlockId> d_blocks = std::move(d_result).ValueOrDie();
 
     EdgeReport edge;
     edge.left_table = probe_table;

@@ -49,6 +49,10 @@ struct TableContext {
   const Schema* schema = nullptr;
   BlockStore* store = nullptr;
   TreeSet* trees = nullptr;
+  /// Pinned tree version this query plans against (Table::Context fills
+  /// it). When null — contexts assembled by hand in tests — the planner
+  /// falls back to capturing the current snapshot per lookup.
+  TreeSnapshotRef snapshot;
 };
 
 /// \brief Per-join-edge planning/execution record.
@@ -92,18 +96,34 @@ class JoinPlanner {
   PlannerConfig* mutable_config() { return &config_; }
 
   /// Executes `q` against `tables` (which must include every referenced
-  /// table), accounting all I/O against `cluster`.
+  /// table), accounting all I/O against `cluster`, under the planner's own
+  /// stored config. Not safe concurrently with mutable_config() writes;
+  /// concurrent callers should use the explicit-config overload below.
   Result<QueryRunResult> Execute(const Query& q,
                                  const std::vector<TableContext>& tables,
-                                 const ClusterSim& cluster) const;
+                                 const ClusterSim& cluster) const {
+    return Execute(q, tables, cluster, config_);
+  }
+
+  /// Executes `q` under an explicit per-query `config` copy. Touches no
+  /// planner state, so any number of threads may run queries through one
+  /// JoinPlanner concurrently (Database snapshots its config per query and
+  /// calls this).
+  Result<QueryRunResult> Execute(const Query& q,
+                                 const std::vector<TableContext>& tables,
+                                 const ClusterSim& cluster,
+                                 const PlannerConfig& config) const;
 
  private:
   const TableContext* Find(const std::vector<TableContext>& tables,
                            const std::string& name) const;
 
-  /// Relevant blocks for a table reference under the current config.
-  std::vector<BlockId> RelevantBlocks(const TableContext& ctx,
-                                      const PredicateSet& preds) const;
+  /// Relevant blocks for a table reference under `config`. An unreadable
+  /// block's metadata is an error, not a reason to prune it from the plan.
+  Result<std::vector<BlockId>> RelevantBlocks(const TableContext& ctx,
+                                              const PredicateSet& preds,
+                                              const PlannerConfig& config)
+      const;
 
   PlannerConfig config_;
 };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <mutex>
+#include <shared_mutex>
 #include <thread>
 
 namespace adaptdb {
@@ -31,18 +33,24 @@ std::string IoStats::ToString() const {
 ClusterSim::ClusterSim(ClusterConfig config) : config_(config) {}
 
 NodeId ClusterSim::PlaceBlock(BlockId block, IoStats* stats) {
-  const NodeId node = next_node_;
-  next_node_ = (next_node_ + 1) % config_.num_nodes;
-  placement_[block] = node;
+  NodeId node;
+  {
+    std::unique_lock<std::shared_mutex> lock(*mu_);
+    node = next_node_;
+    next_node_ = (next_node_ + 1) % config_.num_nodes;
+    placement_[block] = node;
+  }
   if (stats != nullptr) ++stats->block_writes;
   return node;
 }
 
 void ClusterSim::PlaceBlockAt(BlockId block, NodeId node) {
+  std::unique_lock<std::shared_mutex> lock(*mu_);
   placement_[block] = node % config_.num_nodes;
 }
 
 Result<NodeId> ClusterSim::Locate(BlockId block) const {
+  std::shared_lock<std::shared_mutex> lock(*mu_);
   auto it = placement_.find(block);
   if (it == placement_.end()) {
     return Status::NotFound("block " + std::to_string(block) + " not placed");
@@ -50,9 +58,13 @@ Result<NodeId> ClusterSim::Locate(BlockId block) const {
   return it->second;
 }
 
-void ClusterSim::Evict(BlockId block) { placement_.erase(block); }
+void ClusterSim::Evict(BlockId block) {
+  std::unique_lock<std::shared_mutex> lock(*mu_);
+  placement_.erase(block);
+}
 
 NodeId ClusterSim::ScheduleTask(const std::vector<BlockId>& blocks) const {
+  std::shared_lock<std::shared_mutex> lock(*mu_);
   std::vector<int32_t> votes(static_cast<size_t>(config_.num_nodes), 0);
   bool any = false;
   for (BlockId b : blocks) {
@@ -69,13 +81,18 @@ NodeId ClusterSim::ScheduleTask(const std::vector<BlockId>& blocks) const {
 
 void ClusterSim::ReadBlock(BlockId block, NodeId reader,
                            IoStats* stats) const {
-  auto it = placement_.find(block);
-  const bool local = it != placement_.end() && it->second == reader;
-  if (local) {
-    ++stats->local_block_reads;
-  } else {
-    ++stats->remote_block_reads;
+  {
+    std::shared_lock<std::shared_mutex> lock(*mu_);
+    auto it = placement_.find(block);
+    const bool local = it != placement_.end() && it->second == reader;
+    if (local) {
+      ++stats->local_block_reads;
+    } else {
+      ++stats->remote_block_reads;
+    }
   }
+  // The emulated I/O wait happens outside the lock so concurrent readers
+  // overlap their latencies instead of serializing on the placement map.
   if (config_.emulate_read_latency_micros > 0) {
     std::this_thread::sleep_for(
         std::chrono::microseconds(config_.emulate_read_latency_micros));
@@ -111,6 +128,7 @@ double ClusterSim::SimulatedSeconds(const IoStats& stats) const {
 double ClusterSim::LocalityFraction(const std::vector<BlockId>& blocks,
                                     NodeId node) const {
   if (blocks.empty()) return 1.0;
+  std::shared_lock<std::shared_mutex> lock(*mu_);
   int64_t local = 0, placed = 0;
   for (BlockId b : blocks) {
     auto it = placement_.find(b);

@@ -13,6 +13,8 @@
 #define ADAPTDB_STORAGE_CLUSTER_H_
 
 #include <cstdint>
+#include <memory>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -106,14 +108,16 @@ struct ClusterConfig {
 /// blocks uniformly). Tasks are scheduled on the node owning the majority
 /// of their input; reads of co-located blocks are local, the rest remote.
 ///
-/// Thread safety: the const methods (Locate, ScheduleTask, ReadBlock,
-/// WriteBlocks, ShuffleBlocks, SimulatedSeconds, LocalityFraction) only
-/// read the placement map and accumulate into caller-owned IoStats, so they
-/// are safe to call concurrently as long as no thread mutates placement
-/// (PlaceBlock/PlaceBlockAt/Evict) — the invariant during query execution.
-/// Each parallel task accumulates into its own IoStats and the driver
-/// merges them deterministically; stats pointers are never shared between
-/// concurrent tasks.
+/// Thread safety: fully synchronized internally. The placement map is
+/// guarded by a reader-writer lock — const methods (Locate, ScheduleTask,
+/// ReadBlock, WriteBlocks, ShuffleBlocks, SimulatedSeconds,
+/// LocalityFraction) take it shared, the mutators (PlaceBlock,
+/// PlaceBlockAt, Evict) exclusive — so one ClusterSim can serve many
+/// concurrent queries while adaptation or ingest re-places blocks. The
+/// emulated read latency sleeps outside the lock. IoStats accumulation
+/// stays caller-owned: each parallel task accumulates into its own IoStats
+/// and the driver merges them deterministically; stats pointers are never
+/// shared between concurrent tasks.
 class ClusterSim {
  public:
   explicit ClusterSim(ClusterConfig config = {});
@@ -159,6 +163,11 @@ class ClusterSim {
 
  private:
   ClusterConfig config_;
+  /// Guards next_node_ and placement_ (shared for reads, exclusive for
+  /// writes). Heap-allocated so ClusterSim stays movable for test fixtures
+  /// (moving is setup-only, never concurrent with serving).
+  std::unique_ptr<std::shared_mutex> mu_ =
+      std::make_unique<std::shared_mutex>();
   NodeId next_node_ = 0;
   std::unordered_map<BlockId, NodeId> placement_;
 };

@@ -1,0 +1,449 @@
+// Concurrent query serving: N client threads against one Database must
+// produce exactly the results of a serial replay (JoinCounts checksums are
+// order-independent, so results are layout- and schedule-invariant), with
+// adaptation, ingest and config toggles running underneath. These tests are
+// the TSan regression suite for the epoch-versioned tree snapshots, the
+// shared worker pool and the per-table reader-writer locks.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/database.h"
+#include "core/query_scheduler.h"
+#include "testing_util.h"
+#include "workload/cmt.h"
+
+namespace adaptdb {
+namespace {
+
+Schema TwoColSchema() {
+  return Schema({{"key", DataType::kInt64, 8}, {"val", DataType::kInt64, 8}});
+}
+
+std::vector<Record> TwoColRecords(size_t n, int64_t key_range, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Record> out;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back({Value(rng.UniformRange(0, key_range - 1)),
+                   Value(rng.UniformRange(0, 999))});
+  }
+  return out;
+}
+
+/// Loads the small CMT dataset into `db` the way the fig18 harness does.
+void LoadCmt(Database* db, const cmt::CmtData& data) {
+  TableOptions trips;
+  trips.upfront_levels = 4;
+  ASSERT_TRUE(
+      db->CreateTable("trips", data.trips_schema, data.trips, trips).ok());
+  TableOptions hist;
+  hist.upfront_levels = 4;
+  ASSERT_TRUE(
+      db->CreateTable("history", data.history_schema, data.history, hist)
+          .ok());
+  TableOptions latest;
+  latest.upfront_levels = 3;
+  ASSERT_TRUE(
+      db->CreateTable("latest", data.latest_schema, data.latest, latest).ok());
+}
+
+struct QueryOutcome {
+  int64_t output_rows = 0;
+  uint64_t checksum = 0;
+  bool ok = false;
+};
+
+/// Runs `trace` with `clients` threads claiming queries by atomic index;
+/// outcome i always lands in slot i regardless of which thread ran it.
+std::vector<QueryOutcome> RunConcurrently(Database* db,
+                                          const std::vector<Query>& trace,
+                                          int clients) {
+  std::vector<QueryOutcome> outcomes(trace.size());
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      for (;;) {
+        const size_t i = next.fetch_add(1);
+        if (i >= trace.size()) return;
+        auto run = db->RunQuery(trace[i]);
+        if (run.ok()) {
+          outcomes[i].output_rows = run.ValueOrDie().output_rows;
+          outcomes[i].checksum = run.ValueOrDie().checksum;
+          outcomes[i].ok = true;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  return outcomes;
+}
+
+// The tentpole acceptance check at test scale: 8 client threads over the
+// CMT trace with adaptation enabled produce, query for query, the same row
+// counts and checksums as a serial replay on an identically built Database
+// — even though the two runs adapt in different orders and end up with
+// different physical layouts.
+TEST(ConcurrentServingTest, MatchesSerialReplay) {
+  cmt::CmtConfig cfg;
+  cfg.num_trips = 1500;
+  const cmt::CmtData data = cmt::GenerateCmt(cfg);
+  std::vector<Query> trace = cmt::MakeTrace(data, 18);
+  trace.resize(std::min<size_t>(trace.size(), 48));
+
+  DatabaseOptions options;
+  options.planner.exec.num_threads = 2;  // Exercise the shared pool.
+  Database serial_db(options);
+  LoadCmt(&serial_db, data);
+  std::vector<QueryOutcome> serial;
+  for (const Query& q : trace) {
+    auto run = serial_db.RunQuery(q);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    serial.push_back({run.ValueOrDie().output_rows,
+                      run.ValueOrDie().checksum, true});
+  }
+
+  Database db(options);
+  LoadCmt(&db, data);
+  const std::vector<QueryOutcome> concurrent = RunConcurrently(&db, trace, 8);
+
+  for (size_t i = 0; i < trace.size(); ++i) {
+    ASSERT_TRUE(concurrent[i].ok) << "query " << i << " failed";
+    EXPECT_EQ(concurrent[i].output_rows, serial[i].output_rows)
+        << "query " << i << " (" << trace[i].name << ")";
+    EXPECT_EQ(concurrent[i].checksum, serial[i].checksum)
+        << "query " << i << " (" << trace[i].name << ")";
+  }
+
+  const DatabaseStats stats = db.Stats();
+  EXPECT_EQ(stats.queries_started, static_cast<int64_t>(trace.size()));
+  EXPECT_EQ(stats.queries_finished, static_cast<int64_t>(trace.size()));
+  EXPECT_EQ(stats.queries_failed, 0);
+  EXPECT_EQ(stats.queries_in_flight, 0);
+  EXPECT_EQ(stats.queue_depth, 0);
+  EXPECT_EQ(stats.latency_samples, static_cast<int64_t>(trace.size()));
+  EXPECT_GT(stats.tree_epoch_sum, 0u);  // Adaptation installed new versions.
+}
+
+// Ingest runs concurrently with queries: each append takes the table's
+// writer lock, so a full-count query observes none or all of a batch —
+// per-thread counts are non-decreasing — and after quiescing the count is
+// exactly base + appended.
+TEST(ConcurrentServingTest, IngestDuringQueries) {
+  constexpr int64_t kBase = 2000;
+  constexpr int kBatches = 20;
+  constexpr int64_t kBatchRows = 50;
+
+  Database db;
+  TableOptions opts;
+  opts.upfront_levels = 3;
+  ASSERT_TRUE(
+      db.CreateTable("t", TwoColSchema(), TwoColRecords(kBase, 100, 21), opts)
+          .ok());
+
+  Query count_all;
+  count_all.name = "count";
+  count_all.tables = {{"t", {Predicate(0, CompareOp::kGe, 0)}}};
+
+  std::atomic<bool> failed{false};
+  std::thread ingester([&] {
+    for (int b = 0; b < kBatches; ++b) {
+      auto batch = TwoColRecords(kBatchRows, 100, 100 + static_cast<uint64_t>(b));
+      if (!db.AppendRows("t", batch).ok()) failed = true;
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      int64_t last = 0;
+      for (int i = 0; i < 30; ++i) {
+        auto run = db.RunQuery(count_all);
+        if (!run.ok()) {
+          failed = true;
+          return;
+        }
+        const int64_t rows = run.ValueOrDie().output_rows;
+        // Batch atomicity: counts only grow, by whole batches.
+        if (rows < last || (rows - kBase) % kBatchRows != 0) failed = true;
+        last = rows;
+      }
+    });
+  }
+  ingester.join();
+  for (auto& t : readers) t.join();
+  EXPECT_FALSE(failed);
+
+  auto final_run = db.RunQuery(count_all);
+  ASSERT_TRUE(final_run.ok());
+  EXPECT_EQ(final_run.ValueOrDie().output_rows,
+            kBase + kBatches * kBatchRows);
+}
+
+// Regression for the pool-rewiring race: multi-threaded execution config
+// plus concurrent clients used to recreate the TaskPool mid-flight while
+// peers held the old pointer. The pool is now created once and multiplexed;
+// under TSan this test fails on the old code.
+TEST(ConcurrentServingTest, SharedPoolManyClients) {
+  DatabaseOptions options;
+  options.planner.exec.num_threads = 3;
+  Database db(options);
+  TableOptions opts;
+  opts.upfront_levels = 4;
+  ASSERT_TRUE(
+      db.CreateTable("r", TwoColSchema(), TwoColRecords(3000, 1000, 31), opts)
+          .ok());
+  ASSERT_TRUE(
+      db.CreateTable("s", TwoColSchema(), TwoColRecords(1500, 1000, 32), opts)
+          .ok());
+
+  Query join;
+  join.name = "join";
+  join.tables = {{"r", {Predicate(1, CompareOp::kLt, 700)}}, {"s", {}}};
+  join.joins = {{"r", 0, "s", 0}};
+  std::vector<Query> trace(24, join);
+
+  const auto outcomes = RunConcurrently(&db, trace, 6);
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    ASSERT_TRUE(outcomes[i].ok) << "query " << i;
+    EXPECT_EQ(outcomes[i].output_rows, outcomes[0].output_rows);
+    EXPECT_EQ(outcomes[i].checksum, outcomes[0].checksum);
+  }
+  EXPECT_EQ(db.Stats().pool_threads, 3);
+}
+
+// set_adapt_enabled and SetPlannerConfig are documented safe while serving:
+// togglers flip them mid-run and every query still returns the right
+// answer (each query works on the config copy it took at admission).
+TEST(ConcurrentServingTest, ConfigTogglesDuringServing) {
+  Database db;
+  TableOptions opts;
+  opts.upfront_levels = 4;
+  ASSERT_TRUE(
+      db.CreateTable("t", TwoColSchema(), TwoColRecords(4000, 1000, 41), opts)
+          .ok());
+
+  Query sel;
+  sel.name = "sel";
+  sel.tables = {{"t", {Predicate(0, CompareOp::kLt, 400)}}};
+  std::vector<Query> trace(40, sel);
+
+  std::atomic<bool> done{false};
+  std::thread toggler([&] {
+    PlannerConfig scan_config = db.planner_config();
+    scan_config.ignore_partitioning = true;
+    const PlannerConfig pruned_config = db.planner_config();
+    bool flip = false;
+    while (!done.load()) {
+      db.set_adapt_enabled(flip);
+      db.SetPlannerConfig(flip ? scan_config : pruned_config);
+      flip = !flip;
+      std::this_thread::yield();
+    }
+  });
+  const auto outcomes = RunConcurrently(&db, trace, 4);
+  done = true;
+  toggler.join();
+
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    ASSERT_TRUE(outcomes[i].ok) << "query " << i;
+    // Full scans and pruned scans agree on the answer.
+    EXPECT_EQ(outcomes[i].output_rows, outcomes[0].output_rows);
+    EXPECT_EQ(outcomes[i].checksum, outcomes[0].checksum);
+  }
+}
+
+// The FIFO scheduler never exceeds its cap and admits everyone.
+TEST(QuerySchedulerTest, CapsInFlight) {
+  QueryScheduler scheduler(2);
+  std::atomic<int> in_flight{0};
+  std::atomic<int> max_seen{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&] {
+      QueryScheduler::Admission slot = scheduler.Admit();
+      const int now = ++in_flight;
+      int prev = max_seen.load();
+      while (now > prev && !max_seen.compare_exchange_weak(prev, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      --in_flight;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_LE(max_seen.load(), 2);
+  EXPECT_EQ(scheduler.TotalAdmitted(), 8);
+  EXPECT_EQ(scheduler.InFlight(), 0);
+  EXPECT_EQ(scheduler.QueueDepth(), 0);
+}
+
+// An Admission releases its slot on destruction even when moved around.
+TEST(QuerySchedulerTest, AdmissionIsRaii) {
+  QueryScheduler scheduler(1);
+  {
+    QueryScheduler::Admission a = scheduler.Admit();
+    EXPECT_EQ(scheduler.InFlight(), 1);
+    QueryScheduler::Admission b = std::move(a);
+    EXPECT_EQ(scheduler.InFlight(), 1);
+  }
+  EXPECT_EQ(scheduler.InFlight(), 0);
+  // The slot is reusable after release.
+  QueryScheduler::Admission c = scheduler.Admit();
+  EXPECT_EQ(scheduler.InFlight(), 1);
+}
+
+// Database-level cap: queries queue FIFO inside RunQuery instead of
+// overcommitting the engine.
+TEST(ConcurrentServingTest, MaxConcurrentQueriesHonored) {
+  DatabaseOptions options;
+  options.max_concurrent_queries = 1;
+  Database db(options);
+  TableOptions opts;
+  opts.upfront_levels = 3;
+  ASSERT_TRUE(
+      db.CreateTable("t", TwoColSchema(), TwoColRecords(1000, 100, 51), opts)
+          .ok());
+  Query sel;
+  sel.name = "sel";
+  sel.tables = {{"t", {Predicate(0, CompareOp::kLt, 50)}}};
+  const auto outcomes = RunConcurrently(&db, std::vector<Query>(12, sel), 4);
+  for (const auto& o : outcomes) ASSERT_TRUE(o.ok);
+  const DatabaseStats stats = db.Stats();
+  EXPECT_EQ(stats.queries_finished, 12);
+  EXPECT_EQ(stats.queries_in_flight, 0);
+}
+
+// Background maintenance: with background_adapt the query path never pays
+// repartitioning I/O (adapt_io stays empty), the maintenance thread still
+// converges the layout, and WaitForMaintenance quiesces cleanly.
+TEST(ConcurrentServingTest, BackgroundAdaptationOffQueryPath) {
+  DatabaseOptions options;
+  options.background_adapt = true;
+  Database db(options);
+  TableOptions opts;
+  opts.upfront_levels = 4;
+  ASSERT_TRUE(
+      db.CreateTable("r", TwoColSchema(), TwoColRecords(3000, 1000, 61), opts)
+          .ok());
+  ASSERT_TRUE(
+      db.CreateTable("s", TwoColSchema(), TwoColRecords(1500, 1000, 62), opts)
+          .ok());
+  Query join;
+  join.name = "join";
+  join.tables = {{"r", {}}, {"s", {}}};
+  join.joins = {{"r", 0, "s", 0}};
+  for (int i = 0; i < 6; ++i) {
+    auto run = db.RunQuery(join);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_EQ(run.ValueOrDie().adapt_io.TotalReads(), 0);
+    EXPECT_EQ(run.ValueOrDie().records_repartitioned, 0);
+  }
+  ASSERT_TRUE(db.WaitForMaintenance().ok());
+  const DatabaseStats stats = db.Stats();
+  EXPECT_EQ(stats.maintenance_pending, 0);
+  EXPECT_GT(stats.maintenance_runs, 0);
+  EXPECT_EQ(stats.maintenance_failures, 0);
+}
+
+/// Forwards to an inner store but fails selected operations: the planner
+/// and executor must propagate these errors instead of returning a wrong
+/// (silently truncated) answer.
+class FaultyStore : public BlockStore {
+ public:
+  explicit FaultyStore(BlockStore* inner)
+      : BlockStore(inner->num_attrs()), inner_(inner) {}
+
+  bool fail_record_count = false;
+  bool fail_get = false;
+
+  BlockId CreateBlock() override { return inner_->CreateBlock(); }
+  Result<BlockRef> Get(BlockId id) const override {
+    if (fail_get) return Status::Internal("injected Get fault");
+    return inner_->Get(id);
+  }
+  Result<MutableBlockRef> GetMutable(BlockId id) override {
+    return inner_->GetMutable(id);
+  }
+  bool Contains(BlockId id) const override { return inner_->Contains(id); }
+  Result<size_t> RecordCount(BlockId id) const override {
+    if (fail_record_count) return Status::Internal("injected metadata fault");
+    return inner_->RecordCount(id);
+  }
+  bool MayMatchMeta(BlockId id, const PredicateSet& preds) const override {
+    return inner_->MayMatchMeta(id, preds);
+  }
+  Status Delete(BlockId id) override { return inner_->Delete(id); }
+  std::vector<BlockId> BlockIds() const override { return inner_->BlockIds(); }
+  size_t num_blocks() const override { return inner_->num_blocks(); }
+  size_t TotalRecords() const override { return inner_->TotalRecords(); }
+
+ private:
+  BlockStore* inner_;
+};
+
+// Satellite regression: a failing block-metadata or block-read call turns
+// into a query error, never into a silently wrong result.
+TEST(ErrorPropagationTest, StoreFaultsFailTheQuery) {
+  auto fx = testing::MakeUniformBlockStore(4, 2, 71);
+  FaultyStore faulty(&fx.store);
+  TreeSet trees;
+  Schema schema = TwoColSchema();
+  std::vector<TableContext> contexts = {
+      TableContext{"t", &schema, &faulty, &trees, trees.Snapshot()}};
+
+  PlannerConfig config;
+  config.ignore_partitioning = true;  // Visit every block via the store.
+  JoinPlanner planner(config);
+
+  Query sel;
+  sel.name = "sel";
+  sel.tables = {{"t", {Predicate(0, CompareOp::kLt, 500)}}};
+
+  auto ok_run = planner.Execute(sel, contexts, fx.cluster);
+  ASSERT_TRUE(ok_run.ok());
+  ASSERT_GT(ok_run.ValueOrDie().output_rows, 0);
+
+  faulty.fail_record_count = true;
+  auto metadata_fault = planner.Execute(sel, contexts, fx.cluster);
+  EXPECT_FALSE(metadata_fault.ok());
+
+  faulty.fail_record_count = false;
+  faulty.fail_get = true;
+  auto read_fault = planner.Execute(sel, contexts, fx.cluster);
+  EXPECT_FALSE(read_fault.ok());
+}
+
+// Tree snapshots are immutable versions: a snapshot taken before an
+// adaptation step keeps answering lookups against the old tree while the
+// set's current epoch moves on.
+TEST(TreeSnapshotTest, OldSnapshotSurvivesDetachForWrite) {
+  auto fx = testing::MakeUniformBlockStore(4, 2, 81);
+  TreeSet trees;
+  PartitionTree tree(0);
+  trees.Add(0, std::move(tree));
+
+  TreeSnapshotRef before = trees.Snapshot();
+  const uint64_t epoch_before = before->epoch();
+
+  // Detach-for-write: the mutable tree is a private copy; `before` still
+  // points at the old version.
+  auto mutable_tree = trees.Tree(0);
+  ASSERT_TRUE(mutable_tree.ok());
+  ASSERT_TRUE(before->Has(0));
+  EXPECT_EQ(before->epoch(), epoch_before);
+  EXPECT_GT(trees.epoch(), epoch_before);
+  auto old_tree = before->Tree(0);
+  ASSERT_TRUE(old_tree.ok());
+  EXPECT_NE(old_tree.ValueOrDie(),
+            static_cast<const PartitionTree*>(mutable_tree.ValueOrDie()));
+
+  trees.Remove(0);
+  EXPECT_FALSE(trees.Has(0));
+  EXPECT_TRUE(before->Has(0));  // The old version is unaffected.
+}
+
+}  // namespace
+}  // namespace adaptdb

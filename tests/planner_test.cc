@@ -71,9 +71,9 @@ struct PlannerFixture {
   }
 
   std::vector<TableContext> Contexts() {
-    return {TableContext{"r", &schema2, &r_store, &r_trees},
-            TableContext{"s", &schema2, &s_store, &s_trees},
-            TableContext{"d", &schema2, &d_store, &d_trees}};
+    return {TableContext{"r", &schema2, &r_store, &r_trees, r_trees.Snapshot()},
+            TableContext{"s", &schema2, &s_store, &s_trees, s_trees.Snapshot()},
+            TableContext{"d", &schema2, &d_store, &d_trees, d_trees.Snapshot()}};
   }
 
   int64_t OracleJoinCount() const {
@@ -241,7 +241,7 @@ TEST(PlannerTest, BushyPlanMatchesLeftDeepPlan) {
     e_trees.Add(kUpfrontTree, std::move(tree));
   }
   auto contexts = f.Contexts();
-  contexts.push_back(TableContext{"e", &e_schema, &e_store, &e_trees});
+  contexts.push_back(TableContext{"e", &e_schema, &e_store, &e_trees, e_trees.Snapshot()});
 
   Query bushy;
   bushy.name = "bushy";
