@@ -1,18 +1,23 @@
 /// \file bench_util.h
 /// \brief Shared helpers for the figure-reproduction harnesses: fixed-width
-/// table printing and common dataset/loading shortcuts.
+/// table printing, machine-readable telemetry (BenchReport), and common
+/// dataset/loading shortcuts.
 
 #ifndef ADAPTDB_BENCH_BENCH_UTIL_H_
 #define ADAPTDB_BENCH_BENCH_UTIL_H_
 
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/database.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 #include "workload/drivers.h"
 #include "workload/tpch.h"
 
@@ -27,13 +32,185 @@ inline bool g_smoke = false;
 /// published figure numbers stay comparable to the serial engine).
 inline int32_t g_threads = 1;
 
-/// Scans argv for harness-level flags (--smoke, --threads N/--threads=N).
-/// Leaves benchmark-specific flags alone, so it composes with per-figure
-/// parsing.
+/// True when launched with --stats: dump the engine's process-global
+/// counter registry at exit. Set by ParseBenchArgs.
+inline bool g_stats = false;
+
+/// Wall-clock origin for the harness-level bench_wall_seconds metric.
+inline std::chrono::steady_clock::time_point g_bench_start{};
+
+/// \brief Machine-readable telemetry every bench binary emits at exit.
+///
+/// One flat JSON document per run, written to `BENCH_<name>.json` in the
+/// working directory (the schema CI's validator checks):
+///
+///   {
+///     "name": "<binary basename>",
+///     "threads": N,              // --threads
+///     "backend": "mem"|"disk",   // ADAPTDB_STORAGE env, default "mem"
+///     "smoke": true|false,       // --smoke
+///     "metrics": { "<key>": {"value": 1.5, "unit": "ms"}, ... },
+///     "meta":    { "<key>": <string|int|bool>, ... }
+///   }
+///
+/// PrintRow() records every table row it prints as a metric (label
+/// sanitized to a snake_case key), so existing benches get telemetry for
+/// free; benches add headline numbers explicitly via Metric(). The
+/// harness always appends `bench_wall_seconds`, so the file is schema-
+/// valid (>= 1 numeric metric) even for a bench that prints no rows.
+class BenchReport {
+ public:
+  static BenchReport& Instance() {
+    static BenchReport report;
+    return report;
+  }
+
+  void SetName(std::string name) { name_ = std::move(name); }
+  const std::string& name() const { return name_; }
+
+  /// Records (or overwrites) one named scalar.
+  void Metric(const std::string& key, double value, std::string unit = "") {
+    for (auto& m : metrics_) {
+      if (m.key == key) {
+        m.value = value;
+        m.unit = std::move(unit);
+        return;
+      }
+    }
+    metrics_.push_back({key, value, std::move(unit)});
+  }
+
+  /// Free-form metadata (strings, flags, sizes) for humans and trend
+  /// tooling; not required by the schema.
+  void Meta(const std::string& key, std::string value) {
+    meta_.push_back({key, MetaEntry::kString, std::move(value), 0, false});
+  }
+  void Meta(const std::string& key, const char* value) {
+    Meta(key, std::string(value));
+  }
+  void Meta(const std::string& key, int64_t value) {
+    meta_.push_back({key, MetaEntry::kInt, "", value, false});
+  }
+  void Meta(const std::string& key, bool value) {
+    meta_.push_back({key, MetaEntry::kBool, "", 0, value});
+  }
+
+  /// Lowercases and snake_cases a table label into a metric key:
+  /// "hyper-join  2 thread(s) [ok]" -> "hyper_join_2_thread_s_ok".
+  static std::string SanitizeKey(const std::string& label) {
+    std::string key;
+    key.reserve(label.size());
+    for (const char ch : label) {
+      const auto c = static_cast<unsigned char>(ch);
+      if (std::isalnum(c)) {
+        key += static_cast<char>(std::tolower(c));
+      } else if (!key.empty() && key.back() != '_') {
+        key += '_';
+      }
+    }
+    while (!key.empty() && key.back() == '_') key.pop_back();
+    return key.empty() ? "metric" : key;
+  }
+
+  std::string ToJson() const {
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Field("name", name_);
+    w.Field("threads", static_cast<int64_t>(g_threads));
+    const char* backend = std::getenv("ADAPTDB_STORAGE");
+    w.Field("backend",
+            backend != nullptr && *backend != '\0' ? backend : "mem");
+    w.Field("smoke", g_smoke);
+    w.Key("metrics").BeginObject();
+    for (const auto& m : metrics_) {
+      w.Key(m.key).BeginObject();
+      w.Field("value", m.value);
+      w.Field("unit", m.unit);
+      w.EndObject();
+    }
+    w.EndObject();
+    w.Key("meta").BeginObject();
+    for (const auto& e : meta_) {
+      switch (e.kind) {
+        case MetaEntry::kString: w.Field(e.key, e.str); break;
+        case MetaEntry::kInt: w.Field(e.key, e.num); break;
+        case MetaEntry::kBool: w.Field(e.key, e.flag); break;
+      }
+    }
+    w.EndObject();
+    w.EndObject();
+    return w.str();
+  }
+
+  /// Writes BENCH_<name>.json next to the binary's working directory.
+  void WriteFile() const {
+    if (name_.empty()) return;
+    const std::string path = "BENCH_" + name_ + ".json";
+    if (FILE* f = std::fopen(path.c_str(), "w")) {
+      const std::string json = ToJson();
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+    }
+  }
+
+ private:
+  struct MetricEntry {
+    std::string key;
+    double value;
+    std::string unit;
+  };
+  struct MetaEntry {
+    std::string key;
+    enum Kind { kString, kInt, kBool } kind;
+    std::string str;
+    int64_t num;
+    bool flag;
+  };
+
+  std::string name_;
+  std::vector<MetricEntry> metrics_;
+  std::vector<MetaEntry> meta_;
+};
+
+/// Shorthand for BenchReport::Instance().Metric(...).
+inline void ReportMetric(const std::string& key, double value,
+                         std::string unit = "") {
+  BenchReport::Instance().Metric(key, value, std::move(unit));
+}
+
+/// atexit hook: stamp the harness wall clock, emit BENCH_<name>.json, and
+/// honor --stats with a registry dump.
+inline void WriteBenchReportAtExit() {
+  BenchReport::Instance().Metric(
+      "bench_wall_seconds",
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    g_bench_start)
+          .count(),
+      "s");
+  BenchReport::Instance().WriteFile();
+  if (g_stats) {
+    const obs::MetricsSnapshot m = obs::MetricsRegistry::Instance().Aggregate();
+    std::printf("\n--- engine counters (process-global; see obs/metrics.h) "
+                "---\n");
+    for (int32_t i = 0; i < obs::kNumCounters; ++i) {
+      const auto c = static_cast<obs::Counter>(i);
+      std::printf("%-24s %lld\n", std::string(obs::CounterName(c)).c_str(),
+                  static_cast<long long>(m[c]));
+    }
+  }
+}
+
+/// Scans argv for harness-level flags (--smoke, --stats, --threads
+/// N/--threads=N). Leaves benchmark-specific flags alone, so it composes
+/// with per-figure parsing. Also names the BenchReport after the binary
+/// and registers the at-exit telemetry writer.
 inline void ParseBenchArgs(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       g_smoke = true;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      g_stats = true;
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc &&
                std::isdigit(static_cast<unsigned char>(argv[i + 1][0]))) {
       // The digit check keeps `--threads --smoke` from eating the next flag.
@@ -43,6 +220,14 @@ inline void ParseBenchArgs(int argc, char** argv) {
     }
   }
   if (g_threads < 1) g_threads = 1;
+  if (argc >= 1 && argv[0] != nullptr) {
+    std::string name = argv[0];
+    const size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos) name = name.substr(slash + 1);
+    BenchReport::Instance().SetName(name);
+  }
+  g_bench_start = std::chrono::steady_clock::now();
+  std::atexit(&WriteBenchReportAtExit);
 }
 
 /// True in smoke mode (see g_smoke).
@@ -79,6 +264,8 @@ inline void PrintHeader(const std::string& figure, const std::string& what) {
 inline void PrintRow(const std::string& label, double value,
                      const char* unit) {
   std::printf("%-34s %12.1f %s\n", label.c_str(), value, unit);
+  // Every printed row doubles as a telemetry metric (see BenchReport).
+  ReportMetric(BenchReport::SanitizeKey(label), value, unit);
 }
 
 /// Builds two-phase co-partitioned lineitem/orders Tables inside a Database

@@ -68,6 +68,7 @@ int main(int argc, char** argv) {
   const double r = (n * sxy - sx * sy) /
                    std::sqrt((n * sxx - sx * sx) * (n * syy - sy * sy));
   std::printf("linearity R^2 = %.4f (paper: visually linear)\n", r * r);
+  bench::ReportMetric("linearity_r2", r * r, "r2");
 
   // Thread-count sweep: same join, smallest scale, I/O-bound in real time
   // via emulated block-read latency so wall-clock reflects overlap.
@@ -99,6 +100,8 @@ int main(int argc, char** argv) {
     char label[48];
     std::snprintf(label, sizeof(label), "%d thread(s)", threads);
     bench::PrintRow(label, ms, "wall-ms");
+    bench::ReportMetric("join_wall_ms_" + std::to_string(threads) + "t", ms,
+                        "ms");
   }
   return 0;
 }

@@ -157,6 +157,12 @@ int main(int argc, char** argv) {
                 cluster.SimulatedSeconds(run.ValueOrDie().io),
                 static_cast<long long>(run.ValueOrDie().s_blocks_read),
                 100.0 * hit_rate, wall_ms);
+    const std::string suffix = "_b" + std::to_string(budget);
+    bench::ReportMetric("orders_reads" + suffix,
+                        static_cast<double>(run.ValueOrDie().s_blocks_read),
+                        "blocks");
+    bench::ReportMetric("hit_rate" + suffix, 100.0 * hit_rate, "%");
+    bench::ReportMetric("wall_ms" + suffix, wall_ms, "ms");
   }
   std::printf(
       "shape check: reads and misses flatten once the buffer covers the "

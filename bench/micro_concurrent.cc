@@ -224,29 +224,21 @@ int main(int argc, char** argv) {
                     "rows");
   }
 
-  // Machine-readable artifact for CI trend tracking.
-  if (FILE* f = std::fopen("BENCH_micro_concurrent.json", "w")) {
-    std::fprintf(f, "{\n  \"queries\": %zu,\n  \"serial_ms\": %.1f,\n",
-                 trace.size(), serial_ms);
-    std::fprintf(f, "  \"clients\": [");
-    for (size_t i = 0; i < sweep.size(); ++i) {
-      std::fprintf(f, "%s%d", i ? ", " : "", sweep[i]);
-    }
-    std::fprintf(f, "],\n  \"wall_ms\": [");
-    for (size_t i = 0; i < sweep_ms.size(); ++i) {
-      std::fprintf(f, "%s%.1f", i ? ", " : "", sweep_ms[i]);
-    }
-    std::fprintf(f, "],\n  \"p99_seconds\": [");
-    for (size_t i = 0; i < sweep_p99.size(); ++i) {
-      std::fprintf(f, "%s%.4f", i ? ", " : "", sweep_p99[i]);
-    }
-    std::fprintf(f,
-                 "],\n  \"speedup_at_max_clients\": %.2f,\n"
-                 "  \"results_match_serial\": %s,\n  \"ingest_exact\": %s\n}\n",
-                 serial_ms / sweep_ms.back(), all_match ? "true" : "false",
-                 ingest_ok ? "true" : "false");
-    std::fclose(f);
+  // Machine-readable artifact for CI trend tracking, on the shared
+  // BenchReport schema (per-client points are individual metrics; the
+  // serial row and per-client rows were already recorded by PrintRow).
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const std::string suffix = "_" + std::to_string(sweep[i]) + "_clients";
+    bench::ReportMetric("wall_ms" + suffix, sweep_ms[i], "ms");
+    bench::ReportMetric("p99_seconds" + suffix, sweep_p99[i], "s");
   }
+  bench::ReportMetric("serial_ms", serial_ms, "ms");
+  bench::ReportMetric("speedup_at_max_clients", serial_ms / sweep_ms.back(),
+                      "x");
+  bench::BenchReport::Instance().Meta("queries",
+                                      static_cast<int64_t>(trace.size()));
+  bench::BenchReport::Instance().Meta("results_match_serial", all_match);
+  bench::BenchReport::Instance().Meta("ingest_exact", ingest_ok);
 
   if (!all_match || !ingest_ok) {
     std::printf("FAILED: concurrent serving diverged from serial replay\n");

@@ -139,6 +139,7 @@ int main(int argc, char** argv) {
     std::snprintf(label, sizeof(label), "scan         %2d thread(s) [%s]",
                   threads, match ? "ok" : "MISMATCH");
     std::printf("%-42s %9.1f wall-ms  %5.2fx\n", label, ms, scan_t1 / ms);
+    bench::ReportMetric("scan_ms_" + std::to_string(threads) + "t", ms, "ms");
   }
 
   // --- Hyper-join -------------------------------------------------------
@@ -173,6 +174,8 @@ int main(int argc, char** argv) {
     std::snprintf(label, sizeof(label), "hyper-join   %2d thread(s) [%s]",
                   threads, match ? "ok" : "MISMATCH");
     std::printf("%-42s %9.1f wall-ms  %5.2fx\n", label, ms, hyper_t1 / ms);
+    bench::ReportMetric("hyper_ms_" + std::to_string(threads) + "t", ms,
+                        "ms");
   }
 
   // --- Shuffle join -----------------------------------------------------
@@ -204,6 +207,8 @@ int main(int argc, char** argv) {
     std::snprintf(label, sizeof(label), "shuffle-join %2d thread(s) [%s]",
                   threads, match ? "ok" : "MISMATCH");
     std::printf("%-42s %9.1f wall-ms  %5.2fx\n", label, ms, shuffle_t1 / ms);
+    bench::ReportMetric("shuffle_ms_" + std::to_string(threads) + "t", ms,
+                        "ms");
   }
 
   std::printf("\nhyper-join speedup at 8 threads: %.2fx (target >= 2x)\n",
@@ -211,5 +216,9 @@ int main(int argc, char** argv) {
   std::printf("determinism across thread counts: %s\n",
               all_match ? "ok (outputs, counts and IoStats identical)"
                         : "FAILED");
+  bench::ReportMetric("hyper_speedup_8t", hyper_speedup_at_8, "x");
+  bench::BenchReport::Instance().Meta("determinism_ok", all_match);
+  bench::BenchReport::Instance().Meta("metrics_enabled",
+                                      obs::kMetricsEnabled);
   return all_match ? 0 : 1;
 }

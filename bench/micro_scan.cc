@@ -185,12 +185,15 @@ int main(int argc, char** argv) {
     const PredicateSet preds = {Predicate(0, CompareOp::kLt, Value(cut))};
     for (const int32_t proj : projections) {
       const auto cell = RunCell(encoded, preds, proj);
+      const double ratio = 100.0 * static_cast<double>(cell.pruned_bytes) /
+                           static_cast<double>(cell.full_bytes);
       std::printf("%-12s %-10d %14lld %14lld %7.2f%% %10.1f %10.1f\n",
                   sel_name, proj, static_cast<long long>(cell.pruned_bytes),
-                  static_cast<long long>(cell.full_bytes),
-                  100.0 * static_cast<double>(cell.pruned_bytes) /
-                      static_cast<double>(cell.full_bytes),
+                  static_cast<long long>(cell.full_bytes), ratio,
                   cell.pruned_ms, cell.full_ms);
+      bench::ReportMetric("bytes_ratio_sel" + std::to_string(cut) + "_proj" +
+                              std::to_string(proj),
+                          ratio, "%");
       // Acceptance gate: at <= 2 projected columns a pruned scan must read
       // strictly fewer payload bytes than the full-row scan.
       if (proj <= 2 && cell.pruned_bytes >= cell.full_bytes) {
@@ -218,11 +221,13 @@ int main(int argc, char** argv) {
                    scan.status().ToString().c_str());
       return 1;
     }
+    const double scan_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
     std::printf("%-12s %10lld %12.1f\n", sel_name,
                 static_cast<long long>(scan.ValueOrDie().rows_matched),
-                std::chrono::duration<double, std::milli>(
-                    std::chrono::steady_clock::now() - start)
-                    .count());
+                scan_ms);
+    bench::ReportMetric("scan_ms_sel" + std::to_string(cut), scan_ms, "ms");
   }
 
   if (!ok) return 1;

@@ -6,6 +6,7 @@
 //   ./build/examples/exploratory_analytics
 
 #include <cstdio>
+#include <cstring>
 
 #include "core/database.h"
 #include "workload/cmt.h"
@@ -13,7 +14,7 @@
 
 using namespace adaptdb;
 
-int main() {
+int main(int argc, char** argv) {
   cmt::CmtConfig cfg;
   cfg.num_trips = 12000;
   const cmt::CmtData data = cmt::GenerateCmt(cfg);
@@ -57,5 +58,10 @@ int main() {
       first10 / 10, last10 / 10);
   std::printf("the gap is the adaptation win: no workload was provided "
               "upfront.\n");
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats") == 0) {
+      std::printf("\n%s\n", db.Stats().ToString().c_str());
+    }
+  }
   return 0;
 }

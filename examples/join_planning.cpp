@@ -7,6 +7,7 @@
 //   ./build/examples/join_planning
 
 #include <cstdio>
+#include <cstring>
 
 #include "core/database.h"
 #include "workload/drivers.h"
@@ -38,7 +39,7 @@ void Explain(const char* when, const QueryRunResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   tpch::TpchConfig cfg;
   cfg.num_orders = 10000;
   const tpch::TpchData data = tpch::GenerateTpch(cfg);
@@ -69,5 +70,10 @@ int main() {
   std::printf("result invariant: %lld rows before == %lld rows after\n",
               static_cast<long long>(before.ValueOrDie().output_rows),
               static_cast<long long>(after.ValueOrDie().output_rows));
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats") == 0) {
+      std::printf("\n%s\n", db.Stats().ToString().c_str());
+    }
+  }
   return 0;
 }

@@ -5,12 +5,20 @@
 //   ./build/examples/quickstart
 
 #include <cstdio>
+#include <cstring>
 
 #include "core/database.h"
 
 using namespace adaptdb;
 
-int main() {
+static bool WantStats(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats") == 0) return true;
+  }
+  return false;
+}
+
+int main(int argc, char** argv) {
   // 1. A database over a simulated 10-node cluster with default adaptation.
   Database db;
 
@@ -76,5 +84,18 @@ int main() {
   Table* t = db.GetTable("users").ValueOrDie();
   std::printf("users now has %zu partitioning tree(s); join tree on attr 0: %s\n",
               t->trees()->size(), t->trees()->Has(0) ? "yes" : "no");
+
+  // 7. Observability (run with --stats): engine-wide counters plus an
+  //    EXPLAIN ANALYZE-style profile of one more join.
+  if (WantStats(argc, argv)) {
+    PlannerConfig config = db.planner_config();
+    config.collect_profile = true;
+    db.SetPlannerConfig(config);
+    ADB_CHECK_OK(db.RunQuery(join).status());
+    std::printf("\n%s\n", db.Stats().ToString().c_str());
+    if (auto profile = db.ProfileLastQuery()) {
+      std::printf("%s", profile->ToString().c_str());
+    }
+  }
   return 0;
 }

@@ -7,6 +7,7 @@
 //   ./build/examples/workload_shift
 
 #include <cstdio>
+#include <cstring>
 
 #include "core/database.h"
 #include "workload/drivers.h"
@@ -15,7 +16,7 @@
 
 using namespace adaptdb;
 
-int main() {
+int main(int argc, char** argv) {
   tpch::TpchConfig cfg;
   cfg.num_orders = 6000;
   const tpch::TpchData data = tpch::GenerateTpch(cfg);
@@ -67,6 +68,11 @@ int main() {
     std::printf("  tree %s: %lld records\n", label.c_str(),
                 static_cast<long long>(
                     li->trees()->RecordsUnder(a, *li->store())));
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats") == 0) {
+      std::printf("\n%s\n", db.Stats().ToString().c_str());
+    }
   }
   return 0;
 }

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "io/disk_block_store.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 #include "parallel/task_pool.h"
 
 namespace adaptdb {
@@ -40,7 +42,59 @@ std::string DatabaseStats::ToString() const {
          ", tree_epochs=" + std::to_string(tree_epoch_sum) +
          ", maint_pending=" + std::to_string(maintenance_pending) +
          ", maint_runs=" + std::to_string(maintenance_runs) +
-         ", maint_failures=" + std::to_string(maintenance_failures) + "}";
+         ", maint_failures=" + std::to_string(maintenance_failures) +
+         ", tasks=" + std::to_string(tasks_executed) +
+         ", steals=" + std::to_string(tasks_stolen) +
+         ", busy_s=" + std::to_string(task_busy_seconds) +
+         ", idle_s=" + std::to_string(worker_idle_seconds) +
+         ", admitted=" + std::to_string(queries_admitted) +
+         ", admission_wait_s=" + std::to_string(admission_wait_seconds) +
+         ", adapt_steps=" + std::to_string(adapt_steps) +
+         ", adapt_records=" + std::to_string(adapt_records_moved) +
+         ", adapt_trees=" + std::to_string(adapt_trees_created) +
+         ", blocks_skipped=" + std::to_string(blocks_skipped_meta) +
+         ", evictions=" + std::to_string(buffer_evictions) +
+         ", writebacks=" + std::to_string(buffer_writebacks) +
+         ", prefetched=" + std::to_string(buffer_prefetched) +
+         ", shards=" + std::to_string(metric_shards) + "}";
+}
+
+std::string DatabaseStats::ToJson() const {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Field("queries_started", queries_started);
+  w.Field("queries_finished", queries_finished);
+  w.Field("queries_failed", queries_failed);
+  w.Field("queries_in_flight", queries_in_flight);
+  w.Field("queue_depth", queue_depth);
+  w.Field("latency_samples", latency_samples);
+  w.Field("latency_p50_seconds", latency_p50_seconds);
+  w.Field("latency_p99_seconds", latency_p99_seconds);
+  w.Field("buffer_hits", buffer_hits);
+  w.Field("buffer_misses", buffer_misses);
+  w.Field("buffer_hit_rate", buffer_hit_rate);
+  w.Field("pool_threads", pool_threads);
+  w.Field("tree_epoch_sum", static_cast<uint64_t>(tree_epoch_sum));
+  w.Field("maintenance_pending", maintenance_pending);
+  w.Field("maintenance_runs", maintenance_runs);
+  w.Field("maintenance_failures", maintenance_failures);
+  w.Field("maintenance_records_moved", maintenance_records_moved);
+  w.Field("tasks_executed", tasks_executed);
+  w.Field("tasks_stolen", tasks_stolen);
+  w.Field("task_busy_seconds", task_busy_seconds);
+  w.Field("worker_idle_seconds", worker_idle_seconds);
+  w.Field("queries_admitted", queries_admitted);
+  w.Field("admission_wait_seconds", admission_wait_seconds);
+  w.Field("adapt_steps", adapt_steps);
+  w.Field("adapt_records_moved", adapt_records_moved);
+  w.Field("adapt_trees_created", adapt_trees_created);
+  w.Field("blocks_skipped_meta", blocks_skipped_meta);
+  w.Field("buffer_evictions", buffer_evictions);
+  w.Field("buffer_writebacks", buffer_writebacks);
+  w.Field("buffer_prefetched", buffer_prefetched);
+  w.Field("metric_shards", metric_shards);
+  w.EndObject();
+  return w.str();
 }
 
 Database::Database(DatabaseOptions options)
@@ -158,9 +212,17 @@ Status Database::AdaptTable(const std::string& name, const Query& q,
   auto report = entry->optimizer->OnQuery(name, q, window, t->sample(),
                                           t->trees(), t->store(), &cluster_);
   if (!report.ok()) return report.status();
-  totals->io.Merge(report.ValueOrDie().io);
-  totals->records_moved += report.ValueOrDie().smooth.records_moved;
-  totals->created_tree |= report.ValueOrDie().smooth.created_tree;
+  const AdaptReport& rep = report.ValueOrDie();
+  totals->io.Merge(rep.io);
+  totals->records_moved += rep.smooth.records_moved;
+  totals->created_tree |= rep.smooth.created_tree;
+  if (rep.smooth.records_moved > 0) {
+    obs::Count(obs::Counter::kAdaptSteps);
+    obs::Count(obs::Counter::kAdaptRecordsMoved, rep.smooth.records_moved);
+  }
+  if (rep.smooth.created_tree) {
+    obs::Count(obs::Counter::kAdaptTreesCreated);
+  }
   // Repartitioning rewrites blocks durably in the cost model; flush so
   // the disk backend matches and write errors surface per query.
   return t->store()->Flush();
@@ -171,18 +233,42 @@ Result<QueryRunResult> Database::RunQuery(const Query& q) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++started_;
   }
-  QueryScheduler::Admission admission = scheduler_.Admit();
+  const PlannerConfig config_snapshot = planner_config();
+  // The profile is recorded entirely on this thread (builder methods are
+  // not thread-safe); worker-side effects surface through IoStats merged
+  // at barriers and through registry counter deltas.
+  obs::ProfileBuilder profile(config_snapshot.collect_profile);
+  profile.Begin("query");
+  QueryScheduler::Admission admission = [&] {
+    obs::ProfileBuilder::Span span(&profile, "admission_wait");
+    return scheduler_.Admit();
+  }();
   const auto wall_start = std::chrono::steady_clock::now();
-  auto result = RunQueryAdmitted(q);
+  auto result = RunQueryAdmitted(q, &profile);
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
   RecordLatency(wall, result.ok());
-  return result;
+  if (!profile.enabled()) return result;
+  auto finished = profile.Finish(q.name, config_snapshot.exec.num_threads);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    last_profile_ = finished;
+  }
+  if (!result.ok()) return result.status();
+  QueryRunResult out = std::move(result).ValueOrDie();
+  out.profile = std::move(finished);
+  return out;
 }
 
-Result<QueryRunResult> Database::RunQueryAdmitted(const Query& q) {
+std::shared_ptr<const obs::QueryProfile> Database::ProfileLastQuery() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return last_profile_;
+}
+
+Result<QueryRunResult> Database::RunQueryAdmitted(
+    const Query& q, obs::ProfileBuilder* profile) {
   QueryWindow window_copy = [&] {
     std::lock_guard<std::mutex> lock(window_mu_);
     window_.Add(q);
@@ -205,6 +291,7 @@ Result<QueryRunResult> Database::RunQueryAdmitted(const Query& q) {
 
   AdaptTotals adapt;
   if (adapt_enabled_.load(std::memory_order_relaxed)) {
+    obs::ProfileBuilder::Span adapt_span(profile, "adapt");
     if (options_.background_adapt) {
       // Off the query path: the maintenance thread picks the step up and
       // runs it under the tables' writer locks (Fig. 2's "Update index").
@@ -213,9 +300,19 @@ Result<QueryRunResult> Database::RunQueryAdmitted(const Query& q) {
         maint_queue_.push_back(q);
       }
       maint_cv_.notify_one();
+      if (profile != nullptr) profile->AddAttr("queued", 1);
     } else {
       for (const TableRef& ref : q.tables) {
-        ADB_RETURN_NOT_OK(AdaptTable(ref.table, q, window_copy, &adapt));
+        obs::ProfileBuilder::Span table_span(profile, "adapt:" + ref.table);
+        AdaptTotals per;
+        ADB_RETURN_NOT_OK(AdaptTable(ref.table, q, window_copy, &per));
+        if (profile != nullptr) {
+          profile->AddIo(per.io);
+          profile->AddAttr("records_moved", per.records_moved);
+        }
+        adapt.io.Merge(per.io);
+        adapt.records_moved += per.records_moved;
+        adapt.created_tree |= per.created_tree;
       }
     }
   }
@@ -240,14 +337,19 @@ Result<QueryRunResult> Database::RunQueryAdmitted(const Query& q) {
   }
   std::vector<std::shared_lock<std::shared_mutex>> read_locks;
   read_locks.reserve(entries.size());
-  for (TableEntry* entry : entries) read_locks.emplace_back(entry->mu);
+  {
+    obs::ProfileBuilder::Span lock_span(profile, "lock_wait");
+    for (TableEntry* entry : entries) read_locks.emplace_back(entry->mu);
+  }
 
   std::vector<TableContext> contexts;
   contexts.reserve(entries.size());
   for (TableEntry* entry : entries) {
     contexts.push_back(entry->table->Context());
   }
-  auto result = planner_.Execute(q, contexts, cluster_, config);
+  obs::ProfileBuilder::Span exec_span(profile, "execute");
+  auto result = planner_.Execute(q, contexts, cluster_, config, profile);
+  exec_span.Close();
   if (!result.ok()) return result.status();
   QueryRunResult out = std::move(result).ValueOrDie();
   out.adapt_io = adapt.io;
@@ -321,6 +423,25 @@ DatabaseStats Database::Stats() const {
     stats.maintenance_failures = maint_failures_;
     stats.maintenance_records_moved = maint_records_moved_;
   }
+  const obs::MetricsSnapshot m = obs::MetricsRegistry::Instance().Aggregate();
+  stats.tasks_executed = m[obs::Counter::kTasksExecuted];
+  stats.tasks_stolen = m[obs::Counter::kTasksStolen];
+  stats.task_busy_seconds =
+      static_cast<double>(m[obs::Counter::kTaskBusyNanos]) / 1e9;
+  stats.worker_idle_seconds =
+      static_cast<double>(m[obs::Counter::kWorkerIdleNanos]) / 1e9;
+  stats.queries_admitted = m[obs::Counter::kQueriesAdmitted];
+  stats.admission_wait_seconds =
+      static_cast<double>(m[obs::Counter::kAdmissionWaitNanos]) / 1e9;
+  stats.adapt_steps = m[obs::Counter::kAdaptSteps];
+  stats.adapt_records_moved = m[obs::Counter::kAdaptRecordsMoved];
+  stats.adapt_trees_created = m[obs::Counter::kAdaptTreesCreated];
+  stats.blocks_skipped_meta = m[obs::Counter::kBlocksSkippedMeta];
+  stats.buffer_evictions = m[obs::Counter::kBufferEvictions];
+  stats.buffer_writebacks = m[obs::Counter::kBufferWritebacks];
+  stats.buffer_prefetched = m[obs::Counter::kBufferPrefetched];
+  stats.metric_shards =
+      static_cast<int64_t>(obs::MetricsRegistry::Instance().num_shards());
   return stats;
 }
 

@@ -109,7 +109,29 @@ struct DatabaseStats {
   int64_t maintenance_failures = 0;
   int64_t maintenance_records_moved = 0;
 
+  /// Registry-derived counters (see obs/metrics.h for exact semantics).
+  /// The registry is process-global: these accumulate across *every*
+  /// Database in the process, unlike the per-Database fields above. Zero
+  /// when compiled with ADAPTDB_DISABLE_METRICS.
+  int64_t tasks_executed = 0;
+  int64_t tasks_stolen = 0;
+  double task_busy_seconds = 0;
+  double worker_idle_seconds = 0;
+  int64_t queries_admitted = 0;
+  double admission_wait_seconds = 0;
+  int64_t adapt_steps = 0;
+  int64_t adapt_records_moved = 0;
+  int64_t adapt_trees_created = 0;
+  int64_t blocks_skipped_meta = 0;
+  int64_t buffer_evictions = 0;
+  int64_t buffer_writebacks = 0;
+  int64_t buffer_prefetched = 0;
+  /// Counter shards ever leased (== peak concurrent counting threads).
+  int64_t metric_shards = 0;
+
   std::string ToString() const;
+  /// JSON object with every field above (obs::JsonWriter schema).
+  std::string ToJson() const;
 };
 
 /// \brief The top-level AdaptDB object.
@@ -140,8 +162,14 @@ class Database {
                     const std::vector<Record>& records);
 
   /// Serving-health snapshot: latency percentiles, queue depth, buffer hit
-  /// rate, in-flight count, tree epochs, maintenance progress.
+  /// rate, in-flight count, tree epochs, maintenance progress, plus the
+  /// process-global registry counters.
   DatabaseStats Stats() const;
+
+  /// The trace-span profile of the most recent query that ran with
+  /// PlannerConfig.collect_profile set (null if none has). Under
+  /// concurrency "last" means last to finish.
+  std::shared_ptr<const obs::QueryProfile> ProfileLastQuery() const;
 
   /// Blocks until the background maintenance queue is drained (no-op when
   /// background_adapt is off). Returns the first error any step hit.
@@ -198,8 +226,10 @@ class Database {
     bool created_tree = false;
   };
 
-  /// The query body, run after FIFO admission.
-  Result<QueryRunResult> RunQueryAdmitted(const Query& q);
+  /// The query body, run after FIFO admission. `profile` (never null; may
+  /// be disabled) collects this query's trace spans on the calling thread.
+  Result<QueryRunResult> RunQueryAdmitted(const Query& q,
+                                          obs::ProfileBuilder* profile);
 
   /// Runs the adaptation step for one table under its writer lock.
   Status AdaptTable(const std::string& name, const Query& q,
@@ -252,7 +282,7 @@ class Database {
 
   QueryScheduler scheduler_;
 
-  /// Latency ring + lifetime counters.
+  /// Latency ring + lifetime counters + the last collected query profile.
   mutable std::mutex stats_mu_;
   std::vector<double> latency_ring_;
   size_t latency_next_ = 0;
@@ -260,6 +290,7 @@ class Database {
   int64_t started_ = 0;
   int64_t finished_ = 0;
   int64_t failed_ = 0;
+  std::shared_ptr<const obs::QueryProfile> last_profile_;
 
   /// Background maintenance queue + worker (background_adapt only).
   mutable std::mutex maint_mu_;

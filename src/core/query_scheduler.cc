@@ -1,13 +1,19 @@
 #include "core/query_scheduler.h"
 
+#include "obs/metrics.h"
+
 namespace adaptdb {
 
 QueryScheduler::Admission QueryScheduler::Admit() {
   std::unique_lock<std::mutex> lock(mu_);
   const int64_t ticket = next_ticket_++;
-  cv_.wait(lock, [&] {
-    return front_ticket_ == ticket && (limit_ <= 0 || in_flight_ < limit_);
-  });
+  {
+    obs::ScopedNanos wait(obs::Counter::kAdmissionWaitNanos);
+    cv_.wait(lock, [&] {
+      return front_ticket_ == ticket && (limit_ <= 0 || in_flight_ < limit_);
+    });
+  }
+  obs::Count(obs::Counter::kQueriesAdmitted);
   ++front_ticket_;
   ++in_flight_;
   ++total_admitted_;

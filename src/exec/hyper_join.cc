@@ -1,5 +1,8 @@
 #include "exec/hyper_join.h"
 
+#include <chrono>
+
+#include "obs/metrics.h"
 #include "parallel/parallel_hyper_join.h"
 
 namespace adaptdb {
@@ -13,6 +16,7 @@ Result<JoinExecResult> HyperJoin(const BlockStore& r_store, AttrId r_attr,
                                  const ClusterSim& cluster,
                                  std::vector<Record>* output) {
   JoinExecResult out;
+  const auto phase_start = std::chrono::steady_clock::now();
   for (const auto& group : grouping.groups) {
     if (group.empty()) continue;
     // Build side: the group's R blocks, hashed on the join attribute.
@@ -51,6 +55,7 @@ Result<JoinExecResult> HyperJoin(const BlockStore& r_store, AttrId r_attr,
       const BlockId sb = overlap.s_blocks[j];
       if (!s_preds.empty() && !s_store.MayMatchMeta(sb, s_preds)) {
         ++out.s_blocks_skipped;
+        obs::Count(obs::Counter::kBlocksSkippedMeta);
         continue;
       }
       auto blk = s_store.Get(sb);
@@ -60,6 +65,15 @@ Result<JoinExecResult> HyperJoin(const BlockStore& r_store, AttrId r_attr,
       index.Probe(*blk.ValueOrDie(), s_attr, s_preds, &out.counts, output);
     }
   }
+  // One phase: groups have no barrier between build and probe (build-side
+  // residency ends only when the group's probes finish), so a finer split
+  // would not be sequential on one thread at higher thread counts.
+  out.phases.push_back(
+      {"build_probe",
+       std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                     phase_start)
+           .count(),
+       out.io, static_cast<int64_t>(grouping.groups.size())});
   return out;
 }
 

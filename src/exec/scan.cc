@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "parallel/parallel_scan.h"
 
 namespace adaptdb {
@@ -59,6 +60,7 @@ Result<AggregateResult> ScanAggregate(const BlockStore& store,
     // Metadata-only skip: no pin, no I/O for excluded blocks.
     if (skip_by_ranges && !store.MayMatchMeta(id, preds)) {
       ++out.scan.blocks_skipped;
+      obs::Count(obs::Counter::kBlocksSkippedMeta);
       continue;
     }
     auto blk = store.Get(id);
@@ -153,6 +155,7 @@ Result<ScanResult> ScanBlocks(const BlockStore& store,
     // Metadata-only skip: no pin, no I/O for excluded blocks.
     if (skip_by_ranges && !store.MayMatchMeta(id, preds)) {
       ++out.blocks_skipped;
+      obs::Count(obs::Counter::kBlocksSkippedMeta);
       continue;
     }
     auto blk = store.Get(id);

@@ -1,9 +1,20 @@
 #include "exec/shuffle_join.h"
 
+#include <chrono>
+
 #include "exec/shuffle_kernels.h"
 #include "parallel/parallel_shuffle_join.h"
 
 namespace adaptdb {
+
+namespace {
+
+double SecondsSince(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
 
 Result<JoinExecResult> ShuffleJoin(
     const BlockStore& r_store, const std::vector<BlockId>& r_blocks,
@@ -25,6 +36,7 @@ Result<JoinExecResult> ShuffleJoin(
   std::vector<BlockRef> pins;
   pins.reserve(r_blocks.size() + s_blocks.size());
 
+  const auto map_start = std::chrono::steady_clock::now();
   for (BlockId id : r_blocks) {
     ADB_RETURN_NOT_OK(shuffle_internal::MapBlock(
         r_store, id, r_attr, r_preds, cluster, &r_parts, &pins, &out.io));
@@ -38,12 +50,19 @@ Result<JoinExecResult> ShuffleJoin(
   // Every input block's data crosses the shuffle (spill write + remote read).
   cluster.ShuffleBlocks(
       static_cast<int64_t>(r_blocks.size() + s_blocks.size()), &out.io);
+  out.phases.push_back({"map", SecondsSince(map_start), out.io,
+                        out.r_blocks_read + out.s_blocks_read});
 
   // Phase 2: per-partition hash join (build on R, probe with S).
+  const auto reduce_start = std::chrono::steady_clock::now();
+  const IoStats io_after_map = out.io;
   for (size_t p = 0; p < num_partitions; ++p) {
     shuffle_internal::BuildProbePartition(r_parts[p], r_attr, s_parts[p],
                                           s_attr, &out.counts, output);
   }
+  out.phases.push_back({"reduce", SecondsSince(reduce_start),
+                        out.io.Minus(io_after_map),
+                        static_cast<int64_t>(num_partitions)});
   return out;
 }
 

@@ -9,6 +9,7 @@
 #ifndef ADAPTDB_EXEC_SHUFFLE_JOIN_H_
 #define ADAPTDB_EXEC_SHUFFLE_JOIN_H_
 
+#include <string>
 #include <vector>
 
 #include "common/result.h"
@@ -18,6 +19,22 @@
 #include "storage/cluster.h"
 
 namespace adaptdb {
+
+/// \brief One barrier-delimited phase of a join execution.
+///
+/// Measured on the *calling* thread around the phase's barrier, so phases
+/// are sequential and their wall times sum to at most the executor's total
+/// even when the work inside ran on many workers. `io` is the delta of the
+/// result's IoStats accumulated during the phase; summed over all phases
+/// it equals the executor's total exactly. The query profiler turns these
+/// into child spans of the "execute" span.
+struct ExecPhase {
+  std::string name;        ///< "map" / "reduce" (shuffle), "build_probe"
+                           ///< (hyper).
+  double wall_seconds = 0;
+  IoStats io;
+  int64_t items = 0;  ///< Blocks mapped, partitions reduced, groups joined.
+};
 
 /// \brief Result of a distributed join execution.
 struct JoinExecResult {
@@ -30,6 +47,8 @@ struct JoinExecResult {
   /// for the shuffle join (its map phase must read every block anyway).
   int64_t s_blocks_skipped = 0;
   IoStats io;
+  /// Phase breakdown, in execution order (see ExecPhase).
+  std::vector<ExecPhase> phases;
 };
 
 /// Executes R ⋈ S with a full shuffle. Predicates are applied before the

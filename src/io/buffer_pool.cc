@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace adaptdb::io {
 
 BufferPool::BufferPool(int64_t capacity_blocks, BlockSource* source)
@@ -76,6 +78,7 @@ Result<MutableBlockRef> BufferPool::PinInternal(BlockId id, bool mark_dirty) {
         continue;
       }
       ++s->stats.hits;
+      obs::Count(obs::Counter::kBufferHits);
       if (mark_dirty) it->second.dirty = true;
       return MakeHandle(state_, id, &it->second, mark_dirty);
     }
@@ -88,6 +91,7 @@ Result<MutableBlockRef> BufferPool::PinInternal(BlockId id, bool mark_dirty) {
     frame.list_it = s->pinned.begin();
     s->frames.emplace(id, std::move(frame));
     ++s->stats.misses;
+    obs::Count(obs::Counter::kBufferMisses);
     BlockSource* source = s->source;
     lock.unlock();
     auto loaded = source->LoadBlock(id);
@@ -166,8 +170,10 @@ void BufferPool::EvictToCapacity(State* s) {
         return;
       }
       ++s->stats.writebacks;
+      obs::Count(obs::Counter::kBufferWritebacks);
     }
     ++s->stats.evictions;
+    obs::Count(obs::Counter::kBufferEvictions);
     s->lru.pop_back();
     s->frames.erase(fit);
   }
@@ -187,6 +193,7 @@ Status BufferPool::FlushAll() {
     // eviction discard those later writes. Read pins are harmless.
     if (frame.mutable_pins == 0) frame.dirty = false;
     ++s->stats.writebacks;
+    obs::Count(obs::Counter::kBufferWritebacks);
   }
   return Status::OK();
 }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "io/format.h"
+#include "obs/metrics.h"
 
 namespace adaptdb {
 
@@ -153,6 +154,7 @@ int64_t DiskBlockStore::Prefetch(const std::vector<BlockId>& ids) const {
     ++loaded;
     --budget;
   }
+  obs::Count(obs::Counter::kBufferPrefetched, loaded);
   return loaded;
 }
 

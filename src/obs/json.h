@@ -1,0 +1,214 @@
+/// \file json.h
+/// \brief A minimal streaming JSON writer (no external dependency).
+///
+/// Every machine-readable surface of the engine — `QueryProfile::ToJson`,
+/// `DatabaseStats::ToJson`, the bench `BenchReport` files — serializes
+/// through this one writer, so escaping and number formatting cannot drift
+/// between them. The writer is strictly streaming: values append to an
+/// internal string, commas and nesting are tracked by a small stack, and
+/// misuse (closing an object that is not open) trips an assert in debug
+/// builds while degrading to well-formed-but-wrong output in release.
+///
+/// Formatting rules: strings are escaped per RFC 8259 (control characters
+/// as \u00XX); doubles print with %.17g (round-trip exact) unless they are
+/// integral and small, which print without an exponent; NaN/Inf — which
+/// JSON cannot represent — serialize as null.
+
+#ifndef ADAPTDB_OBS_JSON_H_
+#define ADAPTDB_OBS_JSON_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adaptdb::obs {
+
+/// \brief Streaming JSON serializer. See file comment.
+class JsonWriter {
+ public:
+  JsonWriter() { stack_.push_back(Frame::kTop); }
+
+  /// The serialized document so far. Valid JSON once every container
+  /// opened has been closed.
+  const std::string& str() const { return out_; }
+
+  JsonWriter& BeginObject() {
+    Prefix();
+    out_ += '{';
+    stack_.push_back(Frame::kObjectFirst);
+    return *this;
+  }
+
+  JsonWriter& EndObject() {
+    assert(Current() == Frame::kObjectFirst || Current() == Frame::kObject);
+    stack_.pop_back();
+    out_ += '}';
+    return *this;
+  }
+
+  JsonWriter& BeginArray() {
+    Prefix();
+    out_ += '[';
+    stack_.push_back(Frame::kArrayFirst);
+    return *this;
+  }
+
+  JsonWriter& EndArray() {
+    assert(Current() == Frame::kArrayFirst || Current() == Frame::kArray);
+    stack_.pop_back();
+    out_ += ']';
+    return *this;
+  }
+
+  /// Emits an object key; the next value call supplies its value.
+  JsonWriter& Key(std::string_view key) {
+    assert(Current() == Frame::kObjectFirst || Current() == Frame::kObject);
+    if (Current() == Frame::kObject) out_ += ',';
+    stack_.back() = Frame::kObject;
+    AppendEscaped(key);
+    out_ += ':';
+    pending_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& String(std::string_view v) {
+    Prefix();
+    AppendEscaped(v);
+    return *this;
+  }
+
+  JsonWriter& Int(int64_t v) {
+    Prefix();
+    out_ += std::to_string(v);
+    return *this;
+  }
+
+  JsonWriter& Uint(uint64_t v) {
+    Prefix();
+    out_ += std::to_string(v);
+    return *this;
+  }
+
+  JsonWriter& Bool(bool v) {
+    Prefix();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+
+  JsonWriter& Null() {
+    Prefix();
+    out_ += "null";
+    return *this;
+  }
+
+  JsonWriter& Double(double v) {
+    Prefix();
+    if (!std::isfinite(v)) {
+      out_ += "null";  // JSON has no NaN/Inf.
+      return *this;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    // Trim to the shortest representation that still round-trips.
+    for (int prec = 1; prec < 17; ++prec) {
+      char shorter[32];
+      std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+      double back = 0;
+      std::sscanf(shorter, "%lf", &back);
+      if (back == v) {
+        std::snprintf(buf, sizeof(buf), "%s", shorter);
+        break;
+      }
+    }
+    out_ += buf;
+    return *this;
+  }
+
+  /// Shorthand: Key(k) + the matching value.
+  JsonWriter& Field(std::string_view k, std::string_view v) {
+    return Key(k).String(v);
+  }
+  JsonWriter& Field(std::string_view k, const char* v) {
+    return Key(k).String(v);
+  }
+  JsonWriter& Field(std::string_view k, int64_t v) { return Key(k).Int(v); }
+  JsonWriter& Field(std::string_view k, uint64_t v) { return Key(k).Uint(v); }
+  JsonWriter& Field(std::string_view k, int32_t v) { return Key(k).Int(v); }
+  JsonWriter& Field(std::string_view k, double v) { return Key(k).Double(v); }
+  JsonWriter& Field(std::string_view k, bool v) { return Key(k).Bool(v); }
+
+ private:
+  enum class Frame : uint8_t {
+    kTop,
+    kObjectFirst,  ///< Object open, no member emitted yet.
+    kObject,
+    kArrayFirst,  ///< Array open, no element emitted yet.
+    kArray,
+  };
+
+  Frame Current() const { return stack_.back(); }
+
+  /// Emits the separator a value needs in the current context.
+  void Prefix() {
+    if (pending_key_) {
+      pending_key_ = false;  // Key() already wrote "key":
+      return;
+    }
+    if (Current() == Frame::kArray) out_ += ',';
+    if (Current() == Frame::kArrayFirst) stack_.back() = Frame::kArray;
+    // A bare value inside an object without Key() is a misuse; tolerated in
+    // release (the output is still parseable, keys just go missing).
+    assert(Current() != Frame::kObject && Current() != Frame::kObjectFirst);
+  }
+
+  void AppendEscaped(std::string_view s) {
+    out_ += '"';
+    for (const char raw : s) {
+      const unsigned char c = static_cast<unsigned char>(raw);
+      switch (c) {
+        case '"':
+          out_ += "\\\"";
+          break;
+        case '\\':
+          out_ += "\\\\";
+          break;
+        case '\b':
+          out_ += "\\b";
+          break;
+        case '\f':
+          out_ += "\\f";
+          break;
+        case '\n':
+          out_ += "\\n";
+          break;
+        case '\r':
+          out_ += "\\r";
+          break;
+        case '\t':
+          out_ += "\\t";
+          break;
+        default:
+          if (c < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += raw;  // UTF-8 passes through byte-wise.
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool pending_key_ = false;
+};
+
+}  // namespace adaptdb::obs
+
+#endif  // ADAPTDB_OBS_JSON_H_

@@ -1,0 +1,176 @@
+#include "obs/metrics.h"
+
+#include <chrono>
+
+namespace adaptdb::obs {
+
+std::string_view CounterName(Counter c) {
+  switch (c) {
+    case Counter::kTasksExecuted:
+      return "tasks_executed";
+    case Counter::kTasksStolen:
+      return "tasks_stolen";
+    case Counter::kTaskBusyNanos:
+      return "task_busy_nanos";
+    case Counter::kWorkerIdleNanos:
+      return "worker_idle_nanos";
+    case Counter::kBufferHits:
+      return "buffer_hits";
+    case Counter::kBufferMisses:
+      return "buffer_misses";
+    case Counter::kBufferEvictions:
+      return "buffer_evictions";
+    case Counter::kBufferWritebacks:
+      return "buffer_writebacks";
+    case Counter::kBufferPrefetched:
+      return "buffer_prefetched";
+    case Counter::kQueriesAdmitted:
+      return "queries_admitted";
+    case Counter::kAdmissionWaitNanos:
+      return "admission_wait_nanos";
+    case Counter::kAdaptSteps:
+      return "adapt_steps";
+    case Counter::kAdaptRecordsMoved:
+      return "adapt_records_moved";
+    case Counter::kAdaptTreesCreated:
+      return "adapt_trees_created";
+    case Counter::kBlocksSkippedMeta:
+      return "blocks_skipped_meta";
+    case Counter::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+#ifndef ADAPTDB_DISABLE_METRICS
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  // Intentionally leaked: instrumented code may run during static
+  // destruction, after a normal singleton would already be gone.
+  static MetricsRegistry* r = new MetricsRegistry();
+  return *r;
+}
+
+MetricsRegistry::Shard* MetricsRegistry::LocalShard() {
+  thread_local Lease lease{Instance().AcquireShard()};
+  return lease.shard;
+}
+
+MetricsRegistry::Lease::~Lease() {
+  if (shard != nullptr) Instance().ReleaseShard(shard);
+}
+
+MetricsRegistry::Shard* MetricsRegistry::AcquireShard() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!free_.empty()) {
+    Shard* s = free_.back();
+    free_.pop_back();
+    return s;
+  }
+  return &shards_.emplace_back();
+}
+
+void MetricsRegistry::ReleaseShard(Shard* shard) {
+  // Counts stay in the shard: a future thread reusing it keeps adding to
+  // the same monotone totals, so Aggregate() never goes backwards.
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(shard);
+}
+
+MetricsSnapshot MetricsRegistry::Aggregate() const {
+  MetricsSnapshot out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Shard& s : shards_) {
+    for (int32_t i = 0; i < kNumCounters; ++i) {
+      out.values[static_cast<size_t>(i)] +=
+          s.slots[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+std::vector<MetricsSnapshot> MetricsRegistry::PerShard() const {
+  std::vector<MetricsSnapshot> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(shards_.size());
+  for (const Shard& s : shards_) {
+    MetricsSnapshot snap;
+    for (int32_t i = 0; i < kNumCounters; ++i) {
+      snap.values[static_cast<size_t>(i)] =
+          s.slots[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+    }
+    out.push_back(snap);
+  }
+  return out;
+}
+
+int64_t MetricsRegistry::num_shards() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(shards_.size());
+}
+
+#endif  // ADAPTDB_DISABLE_METRICS
+
+MetricsSampler::MetricsSampler(int64_t interval_millis, size_t capacity)
+    : interval_millis_(interval_millis < 1 ? 1 : interval_millis),
+      capacity_(capacity < 2 ? 2 : capacity) {}
+
+MetricsSampler::~MetricsSampler() { Stop(); }
+
+void MetricsSampler::Start() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (running_) return;
+  running_ = true;
+  stop_requested_ = false;
+  ring_.clear();
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void MetricsSampler::Stop() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::unique_lock<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+void MetricsSampler::Loop() {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    // Sample outside the wait but under mu_ so Samples() sees a
+    // consistent ring; Aggregate() takes only the registry's own lock.
+    lock.unlock();
+    Sample s;
+    s.snapshot = MetricsRegistry::Instance().Aggregate();
+    s.elapsed_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    lock.lock();
+    ring_.push_back(std::move(s));
+    while (ring_.size() > capacity_) ring_.pop_front();
+    cv_.wait_for(lock, std::chrono::milliseconds(interval_millis_),
+                 [this] { return stop_requested_; });
+  }
+}
+
+std::vector<MetricsSampler::Sample> MetricsSampler::Samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+double MetricsSampler::RatePerSecond(Counter c) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < 2) return 0;
+  const Sample& a = ring_[ring_.size() - 2];
+  const Sample& b = ring_.back();
+  const double dt = b.elapsed_seconds - a.elapsed_seconds;
+  if (dt <= 0) return 0;
+  return static_cast<double>(b.snapshot[c] - a.snapshot[c]) / dt;
+}
+
+}  // namespace adaptdb::obs

@@ -1,0 +1,272 @@
+/// \file metrics.h
+/// \brief Engine-wide sharded counter registry + optional sampling thread.
+///
+/// Design (after ScaleStore's per-worker counter pages): writers never
+/// share a cache line. Each thread that counts anything leases a `Shard` —
+/// a cache-line-padded array of relaxed atomics — from the process-global
+/// registry the first time it calls `Count()`. Increments are a single
+/// thread-local load plus a relaxed `fetch_add` on memory no other writer
+/// touches; readers aggregate across all shards on demand. When a thread
+/// exits, its lease returns the shard to a freelist so counts are never
+/// lost and shard memory is bounded by peak thread concurrency, not by
+/// total threads ever created.
+///
+/// The registry is process-global and monotone: counters only ever
+/// increase, and they accumulate across every Database instance in the
+/// process. Consumers that want per-query or per-phase numbers must take
+/// *deltas* of `Aggregate()` snapshots (this is what `QueryProfile` does).
+///
+/// Compile-time removal: configure with -DADAPTDB_DISABLE_METRICS=ON and
+/// `Count()` compiles to nothing — no TLS access, no atomics — so the
+/// instrumented call sites cost zero in builds that want it. In normal
+/// builds the enabled path is branch-free.
+///
+/// ## Counter semantics
+///
+/// Parallel runtime (task_pool.cc):
+///  - kTasksExecuted     tasks run to completion by any worker or helper.
+///  - kTasksStolen       subset of kTasksExecuted taken from another
+///                       worker's deque (FIFO steal side).
+///  - kTaskBusyNanos     wall nanoseconds spent inside task bodies.
+///  - kWorkerIdleNanos   wall nanoseconds workers spent blocked on the
+///                       work-available condition variable.
+///
+/// Buffer pool / disk I/O (io/):
+///  - kBufferHits        frame lookups served from memory.
+///  - kBufferMisses      lookups that had to read a segment from disk.
+///  - kBufferEvictions   clean/flushed frames dropped to make room.
+///  - kBufferWritebacks  dirty frames flushed to disk.
+///  - kBufferPrefetched  frames loaded ahead of use by Prefetch().
+///
+/// Scheduler (core/query_scheduler.cc):
+///  - kQueriesAdmitted      queries that passed FIFO admission.
+///  - kAdmissionWaitNanos   wall nanoseconds queries waited for admission
+///                          (queue order and/or the in-flight limit).
+///
+/// Adaptation (core/database.cc):
+///  - kAdaptSteps         repartitioning passes that moved ≥1 record.
+///  - kAdaptRecordsMoved  records rewritten during repartitioning.
+///  - kAdaptTreesCreated  partition trees (re)built by the amoeba split.
+///
+/// Pruning (exec/scan.cc, exec/hyper_join.cc):
+///  - kBlocksSkippedMeta  blocks skipped wholesale because min/max block
+///                        metadata proved no row could match.
+
+#ifndef ADAPTDB_OBS_METRICS_H_
+#define ADAPTDB_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace adaptdb::obs {
+
+enum class Counter : int32_t {
+  kTasksExecuted = 0,
+  kTasksStolen,
+  kTaskBusyNanos,
+  kWorkerIdleNanos,
+  kBufferHits,
+  kBufferMisses,
+  kBufferEvictions,
+  kBufferWritebacks,
+  kBufferPrefetched,
+  kQueriesAdmitted,
+  kAdmissionWaitNanos,
+  kAdaptSteps,
+  kAdaptRecordsMoved,
+  kAdaptTreesCreated,
+  kBlocksSkippedMeta,
+  kCount,  // sentinel
+};
+
+inline constexpr int32_t kNumCounters = static_cast<int32_t>(Counter::kCount);
+
+/// Stable snake_case name, used for JSON keys and text dumps.
+std::string_view CounterName(Counter c);
+
+/// One aggregated reading of every counter.
+struct MetricsSnapshot {
+  std::array<int64_t, kNumCounters> values{};
+
+  int64_t operator[](Counter c) const {
+    return values[static_cast<size_t>(c)];
+  }
+
+  /// this - other, element-wise. Meaningful because counters are monotone.
+  MetricsSnapshot Delta(const MetricsSnapshot& other) const {
+    MetricsSnapshot d;
+    for (int32_t i = 0; i < kNumCounters; ++i) {
+      d.values[static_cast<size_t>(i)] =
+          values[static_cast<size_t>(i)] - other.values[static_cast<size_t>(i)];
+    }
+    return d;
+  }
+};
+
+#ifndef ADAPTDB_DISABLE_METRICS
+
+/// \brief Process-global registry of per-thread counter shards.
+///
+/// Not tied to any Database: the engine has exactly one of these per
+/// process (see Instance()), intentionally leaked so instrumented code in
+/// static destructors can still count.
+class MetricsRegistry {
+ public:
+  /// Cache-line-padded block of counters owned by one thread at a time.
+  struct alignas(64) Shard {
+    std::array<std::atomic<int64_t>, kNumCounters> slots{};
+    // Pad to a cache-line multiple so adjacent shards in the deque never
+    // share a line even if the allocator packs them.
+    char pad[64 - (sizeof(slots) % 64 == 0 ? 64 : sizeof(slots) % 64)];
+  };
+
+  static MetricsRegistry& Instance();
+
+  /// Branch-free fast path: one TLS load + one relaxed fetch_add.
+  static void Count(Counter c, int64_t delta = 1) {
+    LocalShard()->slots[static_cast<size_t>(c)].fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  /// Sum across every shard ever leased (freelisted shards keep counts).
+  MetricsSnapshot Aggregate() const;
+
+  /// Per-shard readout, for per-worker breakdowns. Index order is shard
+  /// creation order and stable for the life of the process.
+  std::vector<MetricsSnapshot> PerShard() const;
+
+  /// Shards ever created (== peak concurrent counting threads).
+  int64_t num_shards() const;
+
+  /// Testing only: the shard the calling thread would write to.
+  Shard* TestingLocalShard() { return LocalShard(); }
+
+ private:
+  MetricsRegistry() = default;
+
+  static Shard* LocalShard();
+
+  Shard* AcquireShard();
+  void ReleaseShard(Shard* shard);
+
+  /// RAII holder making thread exit return the shard to the freelist.
+  struct Lease {
+    Shard* shard = nullptr;
+    ~Lease();
+  };
+
+  mutable std::mutex mu_;
+  // deque: stable addresses under growth (threads hold raw Shard*).
+  std::deque<Shard> shards_;
+  std::vector<Shard*> free_;
+};
+
+#else  // ADAPTDB_DISABLE_METRICS
+
+/// No-op registry: Count() vanishes; readers see zeros.
+class MetricsRegistry {
+ public:
+  struct Shard {};
+
+  static MetricsRegistry& Instance() {
+    static MetricsRegistry r;
+    return r;
+  }
+  static void Count(Counter, int64_t = 1) {}
+  MetricsSnapshot Aggregate() const { return {}; }
+  std::vector<MetricsSnapshot> PerShard() const { return {}; }
+  int64_t num_shards() const { return 0; }
+};
+
+#endif  // ADAPTDB_DISABLE_METRICS
+
+/// Shorthand used at instrumentation sites.
+inline void Count(Counter c, int64_t delta = 1) {
+  MetricsRegistry::Count(c, delta);
+}
+
+#ifndef ADAPTDB_DISABLE_METRICS
+inline constexpr bool kMetricsEnabled = true;
+#else
+inline constexpr bool kMetricsEnabled = false;
+#endif
+
+/// Timing helper for duration counters: at construction remembers the
+/// clock, at destruction adds elapsed nanoseconds to `c`. Compiles to an
+/// empty struct when metrics are disabled — no clock reads remain.
+class ScopedNanos {
+ public:
+  explicit ScopedNanos(Counter c) : c_(c) {
+    if constexpr (kMetricsEnabled) {
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~ScopedNanos() {
+    if constexpr (kMetricsEnabled) {
+      Count(c_, std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count());
+    }
+  }
+  ScopedNanos(const ScopedNanos&) = delete;
+  ScopedNanos& operator=(const ScopedNanos&) = delete;
+
+ private:
+  [[maybe_unused]] Counter c_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// \brief Background thread snapshotting the registry into a ring.
+///
+/// Start() spawns a thread that records `Aggregate()` every `interval`
+/// until Stop() (or destruction). The ring keeps the most recent
+/// `capacity` samples; RatePerSecond() differentiates the two newest.
+class MetricsSampler {
+ public:
+  struct Sample {
+    double elapsed_seconds = 0;  ///< Since Start().
+    MetricsSnapshot snapshot;
+  };
+
+  explicit MetricsSampler(int64_t interval_millis = 100,
+                          size_t capacity = 600);
+  ~MetricsSampler();
+
+  MetricsSampler(const MetricsSampler&) = delete;
+  MetricsSampler& operator=(const MetricsSampler&) = delete;
+
+  void Start();
+  void Stop();
+  bool running() const { return running_; }
+
+  /// Oldest→newest copy of the ring.
+  std::vector<Sample> Samples() const;
+
+  /// (newest - previous) / dt for one counter; 0 with <2 samples.
+  double RatePerSecond(Counter c) const;
+
+ private:
+  void Loop();
+
+  const int64_t interval_millis_;
+  const size_t capacity_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Sample> ring_;
+  std::thread thread_;
+  bool running_ = false;
+  bool stop_requested_ = false;
+};
+
+}  // namespace adaptdb::obs
+
+#endif  // ADAPTDB_OBS_METRICS_H_

@@ -1,0 +1,169 @@
+#include "obs/query_profile.h"
+
+#include <cassert>
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace adaptdb::obs {
+
+namespace {
+
+void AppendSpanText(const ProfileSpan& span, int depth, std::string* out) {
+  char line[160];
+  std::snprintf(line, sizeof(line), "%*s%s  %.3f ms", depth * 2, "",
+                span.name.c_str(), span.wall_seconds * 1e3);
+  *out += line;
+  if (span.io.TotalReads() != 0 || span.io.block_writes != 0 ||
+      span.io.shuffled_blocks != 0) {
+    std::snprintf(line, sizeof(line),
+                  "  [reads=%lld (%lld remote) writes=%lld shuffled=%lld]",
+                  static_cast<long long>(span.io.TotalReads()),
+                  static_cast<long long>(span.io.remote_block_reads),
+                  static_cast<long long>(span.io.block_writes),
+                  static_cast<long long>(span.io.shuffled_blocks));
+    *out += line;
+  }
+  for (const auto& [k, v] : span.attrs) {
+    std::snprintf(line, sizeof(line), "  %s=%lld", k.c_str(),
+                  static_cast<long long>(v));
+    *out += line;
+  }
+  *out += '\n';
+  for (const ProfileSpan& child : span.children) {
+    AppendSpanText(child, depth + 1, out);
+  }
+}
+
+void SpanToJson(const ProfileSpan& span, JsonWriter* w) {
+  w->BeginObject();
+  w->Field("name", span.name);
+  w->Field("wall_seconds", span.wall_seconds);
+  w->Key("io").BeginObject();
+  w->Field("local_block_reads", span.io.local_block_reads);
+  w->Field("remote_block_reads", span.io.remote_block_reads);
+  w->Field("block_writes", span.io.block_writes);
+  w->Field("shuffled_blocks", span.io.shuffled_blocks);
+  w->Field("buffer_hits", span.io.buffer_hits);
+  w->Field("buffer_misses", span.io.buffer_misses);
+  w->Field("physical_block_writes", span.io.physical_block_writes);
+  w->Field("prefetched", span.io.prefetched);
+  w->EndObject();
+  if (!span.attrs.empty()) {
+    w->Key("attrs").BeginObject();
+    for (const auto& [k, v] : span.attrs) w->Field(k, v);
+    w->EndObject();
+  }
+  if (!span.metrics.empty()) {
+    w->Key("counter_deltas").BeginObject();
+    for (const auto& [k, v] : span.metrics) w->Field(k, v);
+    w->EndObject();
+  }
+  if (!span.children.empty()) {
+    w->Key("children").BeginArray();
+    for (const ProfileSpan& child : span.children) SpanToJson(child, w);
+    w->EndArray();
+  }
+  w->EndObject();
+}
+
+}  // namespace
+
+int64_t ProfileSpan::Attr(std::string_view key, int64_t missing) const {
+  for (const auto& [k, v] : attrs) {
+    if (k == key) return v;
+  }
+  return missing;
+}
+
+std::string QueryProfile::ToString() const {
+  std::string out = "QueryProfile: " + query_name + " (threads=" +
+                    std::to_string(threads) + ")\n";
+  AppendSpanText(root, 1, &out);
+  return out;
+}
+
+std::string QueryProfile::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("query", query_name);
+  w.Field("threads", static_cast<int64_t>(threads));
+  w.Key("root");
+  SpanToJson(root, &w);
+  w.EndObject();
+  return w.str();
+}
+
+void ProfileBuilder::Begin(std::string name) {
+  if (!enabled_) return;
+  Open open;
+  open.span.name = std::move(name);
+  open.counters_at_start = MetricsRegistry::Instance().Aggregate();
+  open.start = std::chrono::steady_clock::now();
+  stack_.push_back(std::move(open));
+}
+
+void ProfileBuilder::End() {
+  if (!enabled_) return;
+  assert(!stack_.empty());
+  if (stack_.empty()) return;
+  Open open = std::move(stack_.back());
+  stack_.pop_back();
+  open.span.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    open.start)
+          .count();
+  const MetricsSnapshot delta =
+      MetricsRegistry::Instance().Aggregate().Delta(open.counters_at_start);
+  for (int32_t i = 0; i < kNumCounters; ++i) {
+    const int64_t v = delta.values[static_cast<size_t>(i)];
+    if (v != 0) {
+      open.span.metrics.emplace_back(
+          std::string(CounterName(static_cast<Counter>(i))), v);
+    }
+  }
+  if (stack_.empty()) {
+    // Root span: parked until Finish().
+    finished_root_ = std::move(open.span);
+    have_root_ = true;
+    return;
+  }
+  // Interior-IoStats invariant: the parent accumulates exactly the sum of
+  // its children, so "children io == parent io" holds at every level that
+  // has children (leaves keep whatever AddIo() gave them).
+  stack_.back().span.io.Merge(open.span.io);
+  stack_.back().span.children.push_back(std::move(open.span));
+}
+
+void ProfileBuilder::AddIo(const IoStats& io) {
+  if (!enabled_ || stack_.empty()) return;
+  assert(stack_.back().span.children.empty() &&
+         "AddIo is leaf-only; interior spans derive io from children");
+  stack_.back().span.io.Merge(io);
+}
+
+void ProfileBuilder::AddAttr(std::string key, int64_t value) {
+  if (!enabled_ || stack_.empty()) return;
+  stack_.back().span.attrs.emplace_back(std::move(key), value);
+}
+
+void ProfileBuilder::AddChildSpan(ProfileSpan span) {
+  if (!enabled_ || stack_.empty()) return;
+  stack_.back().span.io.Merge(span.io);
+  stack_.back().span.children.push_back(std::move(span));
+}
+
+std::shared_ptr<const QueryProfile> ProfileBuilder::Finish(
+    std::string query_name, int32_t threads) {
+  if (!enabled_) return nullptr;
+  // Close any spans left open (exception paths).
+  while (!stack_.empty()) End();
+  auto profile = std::make_shared<QueryProfile>();
+  profile->query_name = std::move(query_name);
+  profile->threads = threads;
+  if (have_root_) profile->root = std::move(finished_root_);
+  enabled_ = false;  // Spent.
+  return profile;
+}
+
+}  // namespace adaptdb::obs

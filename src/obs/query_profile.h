@@ -1,0 +1,154 @@
+/// \file query_profile.h
+/// \brief Per-query trace spans: an EXPLAIN ANALYZE-style profile tree.
+///
+/// A `QueryProfile` records what one `Database::RunQuery` call spent its
+/// time on: admission wait → adaptation → lock wait → planning/pruning →
+/// execution (with per-join-phase children) — each span carrying wall
+/// time, the logical IoStats attributed to it, and the registry counter
+/// deltas that elapsed while it was the innermost open span.
+///
+/// Consistency by construction (this is what the tests assert):
+///  - Spans are recorded only on the query's orchestration thread, so
+///    they are strictly nested and sequential: the sum of children's wall
+///    times never exceeds the parent's.
+///  - IoStats are attributed at *leaf* spans only; `End()` merges a
+///    closed child's stats into its parent, so every interior span's
+///    IoStats are exactly the sum of its children and the root equals the
+///    query total. Because logical IoStats are thread-count- and
+///    backend-invariant (the engine's determinism contract), the tree's
+///    structure and its logical IoStats are identical at 1 and 8 threads.
+///  - Counter deltas come from `MetricsRegistry::Aggregate()` snapshots
+///    taken at Begin/End. The registry is process-global, so concurrent
+///    queries bleed into each other's deltas — they are attribution
+///    hints, not exact accounting, and only the nonzero ones are kept.
+///
+/// `ProfileBuilder` is the recording side: Begin/End push and pop spans
+/// on a stack; the RAII `Span` wrapper makes instrumented code exception-
+/// safe. A disabled (or null) builder costs one branch per call site.
+
+#ifndef ADAPTDB_OBS_QUERY_PROFILE_H_
+#define ADAPTDB_OBS_QUERY_PROFILE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "storage/cluster.h"
+
+namespace adaptdb::obs {
+
+/// One node of the profile tree.
+struct ProfileSpan {
+  std::string name;
+  double wall_seconds = 0;
+  /// Logical + physical I/O attributed to this span (interior spans hold
+  /// exactly the sum of their children; see file comment).
+  IoStats io;
+  /// Small named scalars (rows, blocks, groups, ...) set by the recorder.
+  std::vector<std::pair<std::string, int64_t>> attrs;
+  /// Nonzero registry counter deltas observed while this span was the
+  /// innermost open one. Pairs of (counter name, delta).
+  std::vector<std::pair<std::string, int64_t>> metrics;
+  std::vector<ProfileSpan> children;
+
+  int64_t Attr(std::string_view key, int64_t missing = 0) const;
+};
+
+/// Completed profile of one query.
+struct QueryProfile {
+  std::string query_name;
+  int32_t threads = 1;  ///< ExecConfig.num_threads the query ran with.
+  ProfileSpan root;     ///< Named "query"; wall == end-to-end RunQuery.
+
+  /// EXPLAIN ANALYZE-style indented text tree.
+  std::string ToString() const;
+
+  /// JSON document (schema documented in README "Observability").
+  std::string ToJson() const;
+};
+
+/// \brief Stack-based recorder used inside RunQuery and the planner.
+///
+/// Single-threaded by design: only the query's orchestration thread may
+/// call it (worker-thread effects surface via IoStats merged at barriers
+/// and via registry counter deltas). A default-constructed or disabled
+/// builder turns every method into a cheap no-op; call sites that hold a
+/// possibly-null pointer go through the `Span` RAII type, which
+/// null-checks before touching the builder.
+class ProfileBuilder {
+ public:
+  ProfileBuilder() = default;
+  explicit ProfileBuilder(bool enabled) : enabled_(enabled) {}
+
+  bool enabled() const { return enabled_; }
+
+  /// Opens a child span of the innermost open span.
+  void Begin(std::string name);
+
+  /// Closes the innermost open span: fixes its wall time, captures the
+  /// counter delta, and merges its IoStats into the parent.
+  void End();
+
+  /// Attributes I/O to the innermost open span. Call only on spans with
+  /// no children ("leaves") — interior totals are derived by End().
+  void AddIo(const IoStats& io);
+
+  /// Attaches a named scalar to the innermost open span.
+  void AddAttr(std::string key, int64_t value);
+
+  /// Attaches a pre-built child (e.g. an executor's ExecPhase, whose wall
+  /// time was measured inside the executor) to the innermost open span and
+  /// merges its IoStats into it, like End() does for recorded children.
+  void AddChildSpan(ProfileSpan span);
+
+  /// Closes the root span and returns the finished profile. The builder
+  /// is spent afterwards. Returns nullptr when disabled.
+  std::shared_ptr<const QueryProfile> Finish(std::string query_name,
+                                             int32_t threads);
+
+  /// RAII span: no-op on a null or disabled builder.
+  class Span {
+   public:
+    Span(ProfileBuilder* b, std::string name) : b_(b) {
+      if (b_ != nullptr && b_->enabled()) {
+        b_->Begin(std::move(name));
+        open_ = true;
+      }
+    }
+    ~Span() { Close(); }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+    /// Early close (e.g. before a return value is computed).
+    void Close() {
+      if (open_) {
+        b_->End();
+        open_ = false;
+      }
+    }
+
+   private:
+    ProfileBuilder* b_;
+    bool open_ = false;
+  };
+
+ private:
+  struct Open {
+    ProfileSpan span;
+    std::chrono::steady_clock::time_point start;
+    MetricsSnapshot counters_at_start;
+  };
+
+  bool enabled_ = false;
+  std::vector<Open> stack_;
+  ProfileSpan finished_root_;  ///< Root span parked between End and Finish.
+  bool have_root_ = false;
+};
+
+}  // namespace adaptdb::obs
+
+#endif  // ADAPTDB_OBS_QUERY_PROFILE_H_

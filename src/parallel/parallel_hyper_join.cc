@@ -1,5 +1,6 @@
 #include "parallel/parallel_hyper_join.h"
 
+#include <chrono>
 #include <iterator>
 #include <utility>
 
@@ -30,6 +31,7 @@ Result<JoinExecResult> ParallelHyperJoin(
   };
   std::vector<Partial> partials(static_cast<size_t>(num_groups));
   const bool materialize = output != nullptr;
+  const auto phase_start = std::chrono::steady_clock::now();
   FirstFailure failed;
   PoolLease pool(config.pool, config.num_threads);
   pool->ParallelFor(0, num_groups, [&](int64_t g) {
@@ -63,6 +65,15 @@ Result<JoinExecResult> ParallelHyperJoin(
                      std::make_move_iterator(p.rows.end()));
     }
   }
+  // The per-group partials each carry a serial "build_probe" phase whose
+  // walls overlap across workers; replace them with one orchestrator-
+  // measured phase so phase walls stay sequential on the calling thread.
+  out.phases.push_back(
+      {"build_probe",
+       std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                     phase_start)
+           .count(),
+       out.io, static_cast<int64_t>(grouping.groups.size())});
   return out;
 }
 

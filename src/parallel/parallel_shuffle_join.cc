@@ -1,6 +1,7 @@
 #include "parallel/parallel_shuffle_join.h"
 
 #include <algorithm>
+#include <chrono>
 #include <iterator>
 #include <utility>
 
@@ -10,6 +11,11 @@
 namespace adaptdb {
 
 namespace {
+
+double SecondsSince(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
 
 /// One map morsel's output: filtered row references bucketed by
 /// destination partition, plus the I/O the morsel incurred.
@@ -82,6 +88,7 @@ Result<JoinExecResult> ParallelShuffleJoin(
       (static_cast<int64_t>(s_blocks.size()) + morsel - 1) / morsel;
   std::vector<MapPartial> r_map(static_cast<size_t>(r_morsels));
   std::vector<MapPartial> s_map(static_cast<size_t>(s_morsels));
+  const auto map_start = std::chrono::steady_clock::now();
   FirstFailure failed;
   pool->ParallelFor(0, r_morsels + s_morsels, [&](int64_t m) {
     if (!failed.ShouldRun(m)) return;  // Serial would have aborted by here.
@@ -112,8 +119,14 @@ Result<JoinExecResult> ParallelShuffleJoin(
   // read), exactly as in the serial executor.
   cluster.ShuffleBlocks(
       static_cast<int64_t>(r_blocks.size() + s_blocks.size()), &out.io);
+  // Phase record, measured on the calling thread around the barrier: same
+  // name, items and (deterministic) IoStats as the serial executor's.
+  out.phases.push_back({"map", SecondsSince(map_start), out.io,
+                        out.r_blocks_read + out.s_blocks_read});
 
   // Phase 2: one build/probe task per destination partition.
+  const auto reduce_start = std::chrono::steady_clock::now();
+  const IoStats io_after_map = out.io;
   struct ReducePartial {
     JoinCounts counts;
     std::vector<Record> rows;
@@ -139,6 +152,9 @@ Result<JoinExecResult> ParallelShuffleJoin(
                      std::make_move_iterator(p.rows.end()));
     }
   }
+  out.phases.push_back({"reduce", SecondsSince(reduce_start),
+                        out.io.Minus(io_after_map),
+                        static_cast<int64_t>(num_partitions)});
   return out;
 }
 

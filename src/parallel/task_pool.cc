@@ -1,6 +1,9 @@
 #include "parallel/task_pool.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.h"
 
 namespace adaptdb {
 
@@ -75,10 +78,13 @@ void TaskPool::WorkerLoop(size_t self) {
   for (;;) {
     if (RunOneTask()) continue;
     std::unique_lock<std::mutex> lk(sleep_mu_);
-    work_cv_.wait(lk, [this] {
-      return queued_.load(std::memory_order_relaxed) > 0 ||
-             stop_.load(std::memory_order_relaxed);
-    });
+    {
+      obs::ScopedNanos idle(obs::Counter::kWorkerIdleNanos);
+      work_cv_.wait(lk, [this] {
+        return queued_.load(std::memory_order_relaxed) > 0 ||
+               stop_.load(std::memory_order_relaxed);
+      });
+    }
     if (stop_.load(std::memory_order_relaxed) &&
         queued_.load(std::memory_order_relaxed) == 0) {
       return;
@@ -128,7 +134,16 @@ bool TaskPool::RunOneTask() {
       }
     }
     queued_.fetch_sub(1, std::memory_order_relaxed);
-    Execute(&task);
+    // A pop from any deque other than the runner's own is a steal — that
+    // covers worker-to-worker steals and helping by Wait()-blocked threads.
+    if (!is_worker || q != tls_index) {
+      obs::Count(obs::Counter::kTasksStolen);
+    }
+    {
+      obs::ScopedNanos busy(obs::Counter::kTaskBusyNanos);
+      Execute(&task);
+    }
+    obs::Count(obs::Counter::kTasksExecuted);
     return true;
   }
   return false;

@@ -21,6 +21,22 @@ struct Fragment {
   bool Has(const std::string& table) const { return offsets.count(table) > 0; }
 };
 
+/// Turns an executor's phase breakdown into child spans of the open
+/// "execute" span. Phase walls were measured inside the executor on this
+/// same thread, so they stay sequential; summed phase IoStats equal the
+/// executor's total, keeping the interior-equals-sum-of-children invariant.
+void AttachPhases(obs::ProfileBuilder* profile, const JoinExecResult& exec) {
+  if (profile == nullptr) return;
+  for (const ExecPhase& phase : exec.phases) {
+    obs::ProfileSpan child;
+    child.name = phase.name;
+    child.wall_seconds = phase.wall_seconds;
+    child.io = phase.io;
+    child.attrs.emplace_back("items", phase.items);
+    profile->AddChildSpan(std::move(child));
+  }
+}
+
 }  // namespace
 
 const TableContext* JoinPlanner::Find(const std::vector<TableContext>& tables,
@@ -59,7 +75,8 @@ Result<std::vector<BlockId>> JoinPlanner::RelevantBlocks(
 
 Result<QueryRunResult> JoinPlanner::Execute(
     const Query& q, const std::vector<TableContext>& tables,
-    const ClusterSim& cluster, const PlannerConfig& config) const {
+    const ClusterSim& cluster, const PlannerConfig& config,
+    obs::ProfileBuilder* profile) const {
   QueryRunResult result;
   for (const TableRef& ref : q.tables) {
     if (Find(tables, ref.table) == nullptr) {
@@ -71,14 +88,28 @@ Result<QueryRunResult> JoinPlanner::Execute(
   if (q.joins.empty()) {
     for (const TableRef& ref : q.tables) {
       const TableContext* ctx = Find(tables, ref.table);
+      obs::ProfileBuilder::Span prune_span(profile, "prune:" + ref.table);
       auto blocks = RelevantBlocks(*ctx, ref.preds, config);
       if (!blocks.ok()) return blocks.status();
+      if (profile != nullptr) {
+        profile->AddAttr("blocks",
+                         static_cast<int64_t>(blocks.ValueOrDie().size()));
+      }
+      prune_span.Close();
+      obs::ProfileBuilder::Span scan_span(profile, "scan:" + ref.table);
       auto scan = ScanBlocks(*ctx->store, blocks.ValueOrDie(), ref.preds,
                              cluster, config.exec, !config.ignore_partitioning);
       if (!scan.ok()) return scan.status();
-      result.output_rows += scan.ValueOrDie().rows_matched;
-      result.blocks_scanned += scan.ValueOrDie().blocks_read;
-      result.io.Merge(scan.ValueOrDie().io);
+      const ScanResult& sr = scan.ValueOrDie();
+      result.output_rows += sr.rows_matched;
+      result.blocks_scanned += sr.blocks_read;
+      result.io.Merge(sr.io);
+      if (profile != nullptr) {
+        profile->AddIo(sr.io);
+        profile->AddAttr("rows", sr.rows_matched);
+        profile->AddAttr("blocks_read", sr.blocks_read);
+        profile->AddAttr("blocks_skipped", sr.blocks_skipped);
+      }
     }
     return result;
   }
@@ -123,19 +154,35 @@ Result<QueryRunResult> JoinPlanner::Execute(
 
     if (lf < 0 && rf < 0) {
       // Base-table x base-table: the hyper-join vs shuffle-join decision.
+      obs::ProfileBuilder::Span edge_span(
+          profile, "join:" + spec.left_table + "-" + spec.right_table);
       const TableContext* r_ctx = Find(tables, spec.left_table);
       const TableContext* s_ctx = Find(tables, spec.right_table);
       const PredicateSet& r_preds = q.PredsFor(spec.left_table);
       const PredicateSet& s_preds = q.PredsFor(spec.right_table);
+      obs::ProfileBuilder::Span prune_l(profile, "prune:" + spec.left_table);
       auto r_result = RelevantBlocks(*r_ctx, r_preds, config);
       if (!r_result.ok()) return r_result.status();
+      if (profile != nullptr) {
+        profile->AddAttr("blocks",
+                         static_cast<int64_t>(r_result.ValueOrDie().size()));
+      }
+      prune_l.Close();
+      obs::ProfileBuilder::Span prune_r(profile, "prune:" + spec.right_table);
       auto s_result = RelevantBlocks(*s_ctx, s_preds, config);
       if (!s_result.ok()) return s_result.status();
+      if (profile != nullptr) {
+        profile->AddAttr("blocks",
+                         static_cast<int64_t>(s_result.ValueOrDie().size()));
+      }
+      prune_r.Close();
       const std::vector<BlockId> r_blocks = std::move(r_result).ValueOrDie();
       const std::vector<BlockId> s_blocks = std::move(s_result).ValueOrDie();
+      obs::ProfileBuilder::Span overlap_span(profile, "overlap");
       auto overlap = ComputeOverlap(*r_ctx->store, r_blocks, spec.left_attr,
                                     *s_ctx->store, s_blocks, spec.right_attr);
       if (!overlap.ok()) return overlap.status();
+      overlap_span.Close();
 
       EdgeReport edge;
       edge.left_table = spec.left_table;
@@ -160,9 +207,17 @@ Result<QueryRunResult> JoinPlanner::Execute(
       std::vector<Record>* out = single_edge && last ? nullptr : &frag.rows;
       JoinExecResult exec;
       if (edge.choice.use_hyper_join) {
+        obs::ProfileBuilder::Span grouping_span(profile, "grouping");
         auto grouping = BottomUpGrouping(overlap.ValueOrDie(),
                                          config.memory_budget_blocks);
         if (!grouping.ok()) return grouping.status();
+        if (profile != nullptr) {
+          profile->AddAttr(
+              "groups",
+              static_cast<int64_t>(grouping.ValueOrDie().groups.size()));
+        }
+        grouping_span.Close();
+        obs::ProfileBuilder::Span exec_span(profile, "execute");
         auto run = HyperJoin(*r_ctx->store, spec.left_attr, r_preds,
                              *s_ctx->store, spec.right_attr, s_preds,
                              overlap.ValueOrDie(), grouping.ValueOrDie(),
@@ -170,13 +225,18 @@ Result<QueryRunResult> JoinPlanner::Execute(
         if (!run.ok()) return run.status();
         exec = std::move(run).ValueOrDie();
         edge.used_hyper = true;
+        AttachPhases(profile, exec);
+        exec_span.Close();
       } else {
+        obs::ProfileBuilder::Span exec_span(profile, "execute");
         auto run = ShuffleJoin(*r_ctx->store, r_blocks, spec.left_attr,
                                r_preds, *s_ctx->store, s_blocks,
                                spec.right_attr, s_preds, cluster,
                                config.exec, out);
         if (!run.ok()) return run.status();
         exec = std::move(run).ValueOrDie();
+        AttachPhases(profile, exec);
+        exec_span.Close();
       }
       edge.r_blocks_read = exec.r_blocks_read;
       edge.s_blocks_read = exec.s_blocks_read;
@@ -199,6 +259,9 @@ Result<QueryRunResult> JoinPlanner::Execute(
       }
       // Fragment x fragment: the bushy merge of §4.3 — both intermediates
       // are shuffled on the join attribute, then hash-joined.
+      obs::ProfileBuilder::Span merge_span(
+          profile,
+          "merge_fragments:" + spec.left_table + "-" + spec.right_table);
       Fragment& left = fragments[static_cast<size_t>(lf)];
       Fragment& right = fragments[static_cast<size_t>(rf)];
       const int32_t l_key = left.offsets.at(spec.left_table) + spec.left_attr;
@@ -210,9 +273,17 @@ Result<QueryRunResult> JoinPlanner::Execute(
       edge.right_table = spec.right_table;
       edge.r_blocks = block_equivalents(left.rows.size());
       edge.s_blocks = block_equivalents(right.rows.size());
-      cluster.ShuffleBlocks(edge.r_blocks + edge.s_blocks, &result.io);
+      IoStats edge_io;
+      cluster.ShuffleBlocks(edge.r_blocks + edge.s_blocks, &edge_io);
+      result.io.Merge(edge_io);
       edge.r_blocks_read = edge.r_blocks;
       edge.s_blocks_read = edge.s_blocks;
+      if (profile != nullptr) {
+        profile->AddIo(edge_io);
+        profile->AddAttr("left_rows", static_cast<int64_t>(left.rows.size()));
+        profile->AddAttr("right_rows",
+                         static_cast<int64_t>(right.rows.size()));
+      }
 
       HashIndex index(r_key);
       index.AddRecords(right.rows, {});
@@ -250,6 +321,8 @@ Result<QueryRunResult> JoinPlanner::Execute(
       return Status::InvalidArgument("table '" + build_table +
                                      "' joined twice");
     }
+    obs::ProfileBuilder::Span probe_span(profile,
+                                         "probe_dimension:" + build_table);
     const TableContext* d_ctx = Find(tables, build_table);
     if (d_ctx == nullptr) {
       return Status::NotFound("no table context for '" + build_table + "'");
@@ -265,6 +338,7 @@ Result<QueryRunResult> JoinPlanner::Execute(
     edge.r_blocks = block_equivalents(frag.rows.size());
     edge.s_blocks = static_cast<int64_t>(d_blocks.size());
 
+    IoStats edge_io;
     HashIndex index(build_attr);
     std::vector<BlockRef> build_pins;  // Index references the blocks' rows.
     build_pins.reserve(d_blocks.size());
@@ -273,12 +347,18 @@ Result<QueryRunResult> JoinPlanner::Execute(
       if (!blk.ok()) return blk.status();
       build_pins.push_back(blk.ValueOrDie());
       auto node = cluster.Locate(b);
-      cluster.ReadBlock(b, node.ok() ? node.ValueOrDie() : 0, &result.io);
+      cluster.ReadBlock(b, node.ok() ? node.ValueOrDie() : 0, &edge_io);
       ++edge.s_blocks_read;
       index.AddBlock(*build_pins.back(), d_preds);
     }
-    cluster.ShuffleBlocks(edge.r_blocks, &result.io);
+    cluster.ShuffleBlocks(edge.r_blocks, &edge_io);
+    result.io.Merge(edge_io);
     edge.r_blocks_read = edge.r_blocks;
+    if (profile != nullptr) {
+      profile->AddIo(edge_io);
+      profile->AddAttr("dimension_blocks", edge.s_blocks_read);
+      profile->AddAttr("probe_rows", static_cast<int64_t>(frag.rows.size()));
+    }
 
     const int32_t key_idx = frag.offsets.at(probe_table) + probe_attr;
     counts = JoinCounts{};

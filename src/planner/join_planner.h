@@ -24,6 +24,7 @@
 #include "exec/exec_config.h"
 #include "exec/shuffle_join.h"
 #include "join/cost_model.h"
+#include "obs/query_profile.h"
 #include "storage/cluster.h"
 
 namespace adaptdb {
@@ -41,6 +42,11 @@ struct PlannerConfig {
   Strategy strategy = Strategy::kAuto;
   /// Full-scan baseline: ignore partitioning trees and read every block.
   bool ignore_partitioning = false;
+  /// Record a per-query trace-span tree (obs::QueryProfile): Database
+  /// attaches it to QueryRunResult::profile and keeps the last one for
+  /// ProfileLastQuery(). Off by default — recording costs two registry
+  /// aggregations per span.
+  bool collect_profile = false;
 };
 
 /// \brief Everything the planner needs to know about one table.
@@ -85,6 +91,9 @@ struct QueryRunResult {
   IoStats adapt_io;
   int64_t records_repartitioned = 0;
   bool created_tree = false;
+  /// The query's trace-span tree; null unless PlannerConfig.collect_profile
+  /// was set (filled by Database, not by the planner).
+  std::shared_ptr<const obs::QueryProfile> profile;
 };
 
 /// \brief Plans and executes queries over simulated distributed storage.
@@ -112,7 +121,18 @@ class JoinPlanner {
   Result<QueryRunResult> Execute(const Query& q,
                                  const std::vector<TableContext>& tables,
                                  const ClusterSim& cluster,
-                                 const PlannerConfig& config) const;
+                                 const PlannerConfig& config) const {
+    return Execute(q, tables, cluster, config, nullptr);
+  }
+
+  /// As above, recording prune/scan/join spans into `profile` (may be null
+  /// or disabled; the planner's spans become children of whatever span the
+  /// caller has open). Only the calling thread touches `profile`.
+  Result<QueryRunResult> Execute(const Query& q,
+                                 const std::vector<TableContext>& tables,
+                                 const ClusterSim& cluster,
+                                 const PlannerConfig& config,
+                                 obs::ProfileBuilder* profile) const;
 
  private:
   const TableContext* Find(const std::vector<TableContext>& tables,

@@ -19,6 +19,19 @@ void IoStats::Merge(const IoStats& other) {
   prefetched += other.prefetched;
 }
 
+IoStats IoStats::Minus(const IoStats& other) const {
+  IoStats d;
+  d.local_block_reads = local_block_reads - other.local_block_reads;
+  d.remote_block_reads = remote_block_reads - other.remote_block_reads;
+  d.block_writes = block_writes - other.block_writes;
+  d.shuffled_blocks = shuffled_blocks - other.shuffled_blocks;
+  d.buffer_hits = buffer_hits - other.buffer_hits;
+  d.buffer_misses = buffer_misses - other.buffer_misses;
+  d.physical_block_writes = physical_block_writes - other.physical_block_writes;
+  d.prefetched = prefetched - other.prefetched;
+  return d;
+}
+
 std::string IoStats::ToString() const {
   return "IoStats{local=" + std::to_string(local_block_reads) +
          ", remote=" + std::to_string(remote_block_reads) +

@@ -60,6 +60,10 @@ struct IoStats {
   /// Adds another stats record into this one.
   void Merge(const IoStats& other);
 
+  /// Field-wise difference (this - other), for snapshot deltas: phase and
+  /// span attribution subtracts a "before" copy from the running total.
+  IoStats Minus(const IoStats& other) const;
+
   /// Resets all counters to zero.
   void Reset() { *this = IoStats{}; }
 

@@ -1,0 +1,361 @@
+/// \file obs_test.cc
+/// \brief Observability subsystem tests: JSON writer, sharded metrics
+/// registry, sampler, and end-to-end QueryProfile consistency.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/database.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/query_profile.h"
+#include "testing_util.h"
+#include "workload/drivers.h"
+#include "workload/tpch.h"
+
+namespace adaptdb {
+namespace {
+
+using adaptdb::testing::TinyTpch;
+
+// --- JsonWriter ----------------------------------------------------------
+
+TEST(JsonWriterTest, ObjectsArraysAndScalars) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Field("name", "adaptdb");
+  w.Field("count", int64_t{42});
+  w.Field("ratio", 0.5);
+  w.Field("flag", true);
+  w.Key("list").BeginArray();
+  w.Int(1).Int(2).Int(3);
+  w.EndArray();
+  w.Key("nested").BeginObject();
+  w.Field("inner", int64_t{-7});
+  w.EndObject();
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"adaptdb\",\"count\":42,\"ratio\":0.5,\"flag\":true,"
+            "\"list\":[1,2,3],\"nested\":{\"inner\":-7}}");
+}
+
+TEST(JsonWriterTest, EscapesControlAndQuoteCharacters) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Field("k", std::string("a\"b\\c\n\t\x01z"));
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"k\":\"a\\\"b\\\\c\\n\\t\\u0001z\"}");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  obs::JsonWriter w;
+  w.BeginArray();
+  w.Double(std::nan(""));
+  w.Double(1.0 / 0.0);
+  w.Double(1.5);
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[null,null,1.5]");
+}
+
+// --- MetricsRegistry -----------------------------------------------------
+
+// Shard aggregation must be exact under concurrent writers: the registry is
+// process-global, so the test asserts on the *delta* across its own work.
+TEST(MetricsRegistryTest, AggregationExactUnderConcurrentWriters) {
+  auto& reg = obs::MetricsRegistry::Instance();
+  const obs::MetricsSnapshot before = reg.Aggregate();
+
+  constexpr int kThreads = 8;
+  constexpr int64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int64_t i = 0; i < kPerThread; ++i) {
+        obs::Count(obs::Counter::kTasksExecuted);
+        if (i % 2 == 0) obs::Count(obs::Counter::kBufferHits, 3);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const obs::MetricsSnapshot delta = reg.Aggregate().Delta(before);
+  if (obs::kMetricsEnabled) {
+    EXPECT_EQ(delta[obs::Counter::kTasksExecuted], kThreads * kPerThread);
+    EXPECT_EQ(delta[obs::Counter::kBufferHits],
+              kThreads * (kPerThread / 2) * 3);
+    EXPECT_GE(reg.num_shards(), 1);
+  } else {
+    EXPECT_EQ(delta[obs::Counter::kTasksExecuted], 0);
+  }
+}
+
+// Counts survive thread exit: increments made on a short-lived thread stay
+// visible in Aggregate() after the thread (and its shard lease) is gone.
+TEST(MetricsRegistryTest, CountsSurviveThreadExit) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  auto& reg = obs::MetricsRegistry::Instance();
+  const obs::MetricsSnapshot before = reg.Aggregate();
+  std::thread([] { obs::Count(obs::Counter::kAdaptSteps, 17); }).join();
+  EXPECT_EQ(reg.Aggregate().Delta(before)[obs::Counter::kAdaptSteps], 17);
+}
+
+TEST(MetricsRegistryTest, ScopedNanosRecordsElapsedTime) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  auto& reg = obs::MetricsRegistry::Instance();
+  const obs::MetricsSnapshot before = reg.Aggregate();
+  {
+    obs::ScopedNanos timer(obs::Counter::kWorkerIdleNanos);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(reg.Aggregate().Delta(before)[obs::Counter::kWorkerIdleNanos],
+            1'000'000);
+}
+
+TEST(MetricsSamplerTest, CollectsMonotoneSamples) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  obs::MetricsSampler sampler(/*interval_millis=*/1, /*capacity=*/16);
+  sampler.Start();
+  for (int i = 0; i < 50; ++i) {
+    obs::Count(obs::Counter::kBlocksSkippedMeta);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    if (sampler.Samples().size() >= 3) break;
+  }
+  sampler.Stop();
+  const std::vector<obs::MetricsSampler::Sample> samples = sampler.Samples();
+  ASSERT_GE(samples.size(), 2u);
+  for (size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GE(samples[i].elapsed_seconds, samples[i - 1].elapsed_seconds);
+    EXPECT_GE(samples[i].snapshot[obs::Counter::kBlocksSkippedMeta],
+              samples[i - 1].snapshot[obs::Counter::kBlocksSkippedMeta]);
+  }
+}
+
+// --- QueryProfile --------------------------------------------------------
+
+bool SameLogicalIo(const IoStats& a, const IoStats& b) {
+  return a.local_block_reads == b.local_block_reads &&
+         a.remote_block_reads == b.remote_block_reads &&
+         a.block_writes == b.block_writes &&
+         a.shuffled_blocks == b.shuffled_blocks;
+}
+
+// Recursively checks the by-construction invariants: children's wall times
+// sum to at most the parent's, and every interior span's IoStats equal the
+// exact field-wise sum of its children's.
+void CheckSpanConsistency(const obs::ProfileSpan& span) {
+  if (span.children.empty()) return;
+  double child_wall = 0;
+  IoStats sum;
+  for (const obs::ProfileSpan& child : span.children) {
+    child_wall += child.wall_seconds;
+    sum.Merge(child.io);
+    CheckSpanConsistency(child);
+  }
+  EXPECT_LE(child_wall, span.wall_seconds + 2e-3)
+      << "children of '" << span.name << "' outlast their parent";
+  EXPECT_EQ(sum.local_block_reads, span.io.local_block_reads) << span.name;
+  EXPECT_EQ(sum.remote_block_reads, span.io.remote_block_reads) << span.name;
+  EXPECT_EQ(sum.block_writes, span.io.block_writes) << span.name;
+  EXPECT_EQ(sum.shuffled_blocks, span.io.shuffled_blocks) << span.name;
+  EXPECT_EQ(sum.buffer_hits, span.io.buffer_hits) << span.name;
+  EXPECT_EQ(sum.buffer_misses, span.io.buffer_misses) << span.name;
+  EXPECT_EQ(sum.physical_block_writes, span.io.physical_block_writes)
+      << span.name;
+  EXPECT_EQ(sum.prefetched, span.io.prefetched) << span.name;
+}
+
+// Flattened (depth, name, logical io) signature used to compare profile
+// trees across thread counts: structure and logical IoStats are part of the
+// engine's determinism contract; wall times and physical counters are not.
+std::vector<std::string> LogicalSignature(const obs::ProfileSpan& span,
+                                          int depth = 0) {
+  std::vector<std::string> out;
+  out.push_back(std::to_string(depth) + ":" + span.name + ":" +
+                std::to_string(span.io.local_block_reads) + "," +
+                std::to_string(span.io.remote_block_reads) + "," +
+                std::to_string(span.io.block_writes) + "," +
+                std::to_string(span.io.shuffled_blocks));
+  for (const obs::ProfileSpan& child : span.children) {
+    const std::vector<std::string> sub = LogicalSignature(child, depth + 1);
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+std::unique_ptr<Database> MakeTpchDb(int32_t threads, bool disk,
+                                     PlannerConfig::Strategy strategy,
+                                     bool adapt = false) {
+  DatabaseOptions opts;
+  opts.adapt_enabled = adapt;
+  opts.planner.collect_profile = true;
+  opts.planner.exec.num_threads = threads;
+  opts.planner.strategy = strategy;
+  opts.planner.memory_budget_blocks = 4;
+  if (disk) {
+    opts.cluster.storage.backend = StorageConfig::Backend::kDisk;
+    opts.cluster.storage.buffer_blocks = 8;
+  }
+  auto db = std::make_unique<Database>(opts);
+  EXPECT_TRUE(LoadTpch(db.get(), TinyTpch(), 4, 3, 2).ok());
+  return db;
+}
+
+Query ScanQuery() {
+  Query q;
+  q.name = "li_scan";
+  q.tables = {{"lineitem",
+               {Predicate(tpch::kLOrderKey, CompareOp::kLt, Value(100))}}};
+  return q;
+}
+
+Query JoinQuery() {
+  Query q;
+  q.name = "lo_join";
+  q.tables = {{"lineitem", {}}, {"orders", {}}};
+  q.joins = {{"lineitem", tpch::kLOrderKey, "orders", tpch::kOOrderKey}};
+  return q;
+}
+
+struct ProfileCase {
+  const char* label;
+  PlannerConfig::Strategy strategy;
+  bool join;
+};
+
+const ProfileCase kProfileCases[] = {
+    {"scan", PlannerConfig::Strategy::kAuto, false},
+    {"hyper", PlannerConfig::Strategy::kForceHyper, true},
+    {"shuffle", PlannerConfig::Strategy::kForceShuffle, true},
+};
+
+// collect_profile=true yields an internally consistent profile whose root
+// logical IoStats equal the query's reported totals, for scan, hyper-join
+// and shuffle-join, on both backends, at 1 and 8 threads.
+TEST(QueryProfileTest, ConsistentAcrossOperatorsBackendsAndThreads) {
+  for (const bool disk : {false, true}) {
+    for (const ProfileCase& pc : kProfileCases) {
+      for (const int32_t threads : {1, 8}) {
+        SCOPED_TRACE(std::string(pc.label) + (disk ? "/disk" : "/mem") + "/" +
+                     std::to_string(threads) + "t");
+        auto db = MakeTpchDb(threads, disk, pc.strategy);
+        const Query q = pc.join ? JoinQuery() : ScanQuery();
+        auto run = db->RunQuery(q);
+        ASSERT_TRUE(run.ok()) << run.status().ToString();
+        const QueryRunResult& r = run.ValueOrDie();
+        ASSERT_NE(r.profile, nullptr);
+        const obs::QueryProfile& profile = *r.profile;
+        EXPECT_EQ(profile.query_name, q.name);
+        EXPECT_EQ(profile.threads, threads);
+        EXPECT_EQ(profile.root.name, "query");
+        EXPECT_GT(r.output_rows, 0);
+        CheckSpanConsistency(profile.root);
+        EXPECT_TRUE(SameLogicalIo(profile.root.io, r.io))
+            << profile.ToString();
+        // The rendered forms exist and carry the tree.
+        EXPECT_NE(profile.ToString().find("query"), std::string::npos);
+        EXPECT_NE(profile.ToJson().find("\"wall_seconds\""),
+                  std::string::npos);
+      }
+    }
+  }
+}
+
+// Thread-count invariance: the span tree's structure and logical IoStats
+// are identical at 1 and 8 threads (wall times and physical counters may
+// differ, and are excluded from the signature).
+TEST(QueryProfileTest, TreeDeterministicAcrossThreadCounts) {
+  for (const ProfileCase& pc : kProfileCases) {
+    SCOPED_TRACE(pc.label);
+    const Query q = pc.join ? JoinQuery() : ScanQuery();
+    auto db1 = MakeTpchDb(1, /*disk=*/false, pc.strategy);
+    auto db8 = MakeTpchDb(8, /*disk=*/false, pc.strategy);
+    auto run1 = db1->RunQuery(q);
+    auto run8 = db8->RunQuery(q);
+    ASSERT_TRUE(run1.ok() && run8.ok());
+    ASSERT_NE(run1.ValueOrDie().profile, nullptr);
+    ASSERT_NE(run8.ValueOrDie().profile, nullptr);
+    EXPECT_EQ(LogicalSignature(run1.ValueOrDie().profile->root),
+              LogicalSignature(run8.ValueOrDie().profile->root));
+    EXPECT_EQ(run1.ValueOrDie().output_rows, run8.ValueOrDie().output_rows);
+    EXPECT_EQ(run1.ValueOrDie().checksum, run8.ValueOrDie().checksum);
+  }
+}
+
+// With adaptation on, per-table adapt spans attribute exactly the
+// repartitioning io/records the query reports.
+TEST(QueryProfileTest, AdaptSpansMatchQueryTotals) {
+  auto db = MakeTpchDb(1, /*disk=*/false, PlannerConfig::Strategy::kAuto,
+                       /*adapt=*/true);
+  const Query q = JoinQuery();
+  std::shared_ptr<const obs::QueryProfile> with_adapt;
+  int64_t reported_moved = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto run = db->RunQuery(q);
+    ASSERT_TRUE(run.ok());
+    if (run.ValueOrDie().records_repartitioned > 0) {
+      with_adapt = run.ValueOrDie().profile;
+      reported_moved = run.ValueOrDie().records_repartitioned;
+      break;
+    }
+  }
+  ASSERT_NE(with_adapt, nullptr) << "no query triggered repartitioning";
+  const obs::ProfileSpan* adapt_span = nullptr;
+  for (const obs::ProfileSpan& child : with_adapt->root.children) {
+    if (child.name == "adapt") adapt_span = &child;
+  }
+  ASSERT_NE(adapt_span, nullptr);
+  int64_t span_moved = 0;
+  for (const obs::ProfileSpan& table : adapt_span->children) {
+    span_moved += table.Attr("records_moved");
+  }
+  EXPECT_EQ(span_moved, reported_moved);
+  CheckSpanConsistency(with_adapt->root);
+}
+
+TEST(QueryProfileTest, ProfileLastQueryNullWhenDisabled) {
+  DatabaseOptions opts;
+  opts.adapt_enabled = false;
+  Database db(opts);
+  ASSERT_TRUE(LoadTpch(&db, TinyTpch(), 4, 3, 2).ok());
+  ASSERT_TRUE(db.RunQuery(ScanQuery()).ok());
+  EXPECT_EQ(db.ProfileLastQuery(), nullptr);
+
+  PlannerConfig config = db.planner_config();
+  config.collect_profile = true;
+  db.SetPlannerConfig(config);
+  auto run = db.RunQuery(ScanQuery());
+  ASSERT_TRUE(run.ok());
+  auto last = db.ProfileLastQuery();
+  ASSERT_NE(last, nullptr);
+  EXPECT_EQ(last.get(), run.ValueOrDie().profile.get());
+}
+
+// --- DatabaseStats export surfaces ---------------------------------------
+
+TEST(DatabaseStatsTest, RegistryFieldsAndJson) {
+  auto db = MakeTpchDb(2, /*disk=*/false, PlannerConfig::Strategy::kAuto);
+  ASSERT_TRUE(db->RunQuery(ScanQuery()).ok());
+  const DatabaseStats stats = db->Stats();
+  EXPECT_EQ(stats.queries_started, 1);
+  EXPECT_EQ(stats.queries_finished, 1);
+  if (obs::kMetricsEnabled) {
+    EXPECT_GE(stats.queries_admitted, 1);
+    EXPECT_GE(stats.metric_shards, 1);
+  }
+  const std::string text = stats.ToString();
+  EXPECT_NE(text.find("admitted="), std::string::npos);
+  const std::string json = stats.ToJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"queries_admitted\""), std::string::npos);
+  EXPECT_NE(json.find("\"blocks_skipped_meta\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adaptdb

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Validates BENCH_*.json telemetry files against the BenchReport schema.
+
+Schema (emitted by bench/bench_util.h):
+  {
+    "name": "<bench binary name>",        # required, non-empty string
+    "threads": N,                         # required, int >= 1
+    "backend": "mem"|"disk"|...,          # required, non-empty string
+    "smoke": true|false,                  # required, bool
+    "metrics": {"key": {"value": x, "unit": "..."}, ...},  # >= 1 entry,
+                                          # every value a finite number
+    "meta": {...}                         # optional free-form object
+  }
+
+Usage: validate_bench_json.py FILE [FILE...]
+Exits non-zero and prints one line per problem if any file fails.
+"""
+
+import json
+import math
+import sys
+
+
+def validate(path):
+    problems = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: unreadable or invalid JSON: {e}"]
+
+    if not isinstance(doc, dict):
+        return [f"{path}: top-level value must be an object"]
+
+    name = doc.get("name")
+    if not isinstance(name, str) or not name:
+        problems.append(f"{path}: 'name' must be a non-empty string")
+    elif f"BENCH_{name}.json" not in path:
+        problems.append(
+            f"{path}: 'name' ({name!r}) does not match the file name")
+
+    threads = doc.get("threads")
+    if not isinstance(threads, int) or isinstance(threads, bool) or threads < 1:
+        problems.append(f"{path}: 'threads' must be an integer >= 1")
+
+    backend = doc.get("backend")
+    if not isinstance(backend, str) or not backend:
+        problems.append(f"{path}: 'backend' must be a non-empty string")
+
+    if not isinstance(doc.get("smoke"), bool):
+        problems.append(f"{path}: 'smoke' must be a boolean")
+
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        problems.append(f"{path}: 'metrics' must be a non-empty object")
+    else:
+        for key, entry in metrics.items():
+            if not isinstance(entry, dict):
+                problems.append(f"{path}: metric {key!r} must be an object")
+                continue
+            value = entry.get("value")
+            if (not isinstance(value, (int, float)) or isinstance(value, bool)
+                    or not math.isfinite(value)):
+                problems.append(
+                    f"{path}: metric {key!r} needs a finite numeric 'value'")
+            if not isinstance(entry.get("unit", ""), str):
+                problems.append(f"{path}: metric {key!r} 'unit' must be a "
+                                "string")
+
+    if "meta" in doc and not isinstance(doc["meta"], dict):
+        problems.append(f"{path}: 'meta' must be an object when present")
+
+    return problems
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    all_problems = []
+    for path in argv[1:]:
+        all_problems.extend(validate(path))
+    for problem in all_problems:
+        print(problem, file=sys.stderr)
+    if not all_problems:
+        print(f"OK: {len(argv) - 1} telemetry file(s) schema-valid")
+    return 1 if all_problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
