@@ -18,6 +18,7 @@
 #include "core/database.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "workload/drivers.h"
 #include "workload/tpch.h"
 
@@ -35,6 +36,11 @@ inline int32_t g_threads = 1;
 /// True when launched with --stats: dump the engine's process-global
 /// counter registry at exit. Set by ParseBenchArgs.
 inline bool g_stats = false;
+
+/// True when launched with --trace: enable the event tracer for the run
+/// and write TRACE_<name>.json (Chrome trace_event format, loadable in
+/// chrome://tracing / Perfetto) at exit. Set by ParseBenchArgs.
+inline bool g_trace = false;
 
 /// Wall-clock origin for the harness-level bench_wall_seconds metric.
 inline std::chrono::steady_clock::time_point g_bench_start{};
@@ -189,6 +195,21 @@ inline void WriteBenchReportAtExit() {
           .count(),
       "s");
   BenchReport::Instance().WriteFile();
+  if (g_trace && !BenchReport::Instance().name().empty()) {
+    const std::string path = "TRACE_" + BenchReport::Instance().name() +
+                             ".json";
+    if (FILE* f = std::fopen(path.c_str(), "w")) {
+      const std::string json = obs::Tracer::Instance().ToChromeJson();
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      std::printf("trace written to %s (%lld events buffered, %lld total)\n",
+                  path.c_str(),
+                  static_cast<long long>(
+                      obs::Tracer::Instance().BufferedEvents()),
+                  static_cast<long long>(obs::Tracer::Instance().TotalEvents()));
+    }
+  }
   if (g_stats) {
     const obs::MetricsSnapshot m = obs::MetricsRegistry::Instance().Aggregate();
     std::printf("\n--- engine counters (process-global; see obs/metrics.h) "
@@ -201,8 +222,8 @@ inline void WriteBenchReportAtExit() {
   }
 }
 
-/// Scans argv for harness-level flags (--smoke, --stats, --threads
-/// N/--threads=N). Leaves benchmark-specific flags alone, so it composes
+/// Scans argv for harness-level flags (--smoke, --stats, --trace,
+/// --threads N/--threads=N). Leaves benchmark-specific flags alone, so it composes
 /// with per-figure parsing. Also names the BenchReport after the binary
 /// and registers the at-exit telemetry writer.
 inline void ParseBenchArgs(int argc, char** argv) {
@@ -211,6 +232,9 @@ inline void ParseBenchArgs(int argc, char** argv) {
       g_smoke = true;
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       g_stats = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      g_trace = true;
+      obs::Tracer::Instance().SetEnabled(true);
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc &&
                std::isdigit(static_cast<unsigned char>(argv[i + 1][0]))) {
       // The digit check keeps `--threads --smoke` from eating the next flag.

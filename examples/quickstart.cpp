@@ -4,8 +4,11 @@
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "core/database.h"
 
@@ -16,6 +19,14 @@ static bool WantStats(int argc, char** argv) {
     if (std::strcmp(argv[i], "--stats") == 0) return true;
   }
   return false;
+}
+
+// ADAPTDB_SERVE_SECONDS=N keeps the process (and so the introspection HTTP
+// server enabled via ADAPTDB_HTTP_PORT) alive for N seconds after the demo
+// queries finish, so a script can curl /metrics and /stats. CI does this.
+static int ServeSeconds() {
+  const char* v = std::getenv("ADAPTDB_SERVE_SECONDS");
+  return v != nullptr ? std::atoi(v) : 0;
 }
 
 int main(int argc, char** argv) {
@@ -96,6 +107,15 @@ int main(int argc, char** argv) {
     if (auto profile = db.ProfileLastQuery()) {
       std::printf("%s", profile->ToString().c_str());
     }
+  }
+
+  // 8. Live introspection: with ADAPTDB_HTTP_PORT set the Database serves
+  //    GET /metrics, /stats, /profile and /trace on 127.0.0.1.
+  if (const int serve = ServeSeconds(); serve > 0) {
+    std::printf("introspection server on port %d; serving for %d s\n",
+                db.introspection_port(), serve);
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::seconds(serve));
   }
   return 0;
 }

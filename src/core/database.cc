@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
 #include <utility>
 
 #include "io/disk_block_store.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/task_pool.h"
 
 namespace adaptdb {
@@ -15,6 +19,45 @@ namespace {
 
 /// Latency samples retained for the p50/p99 estimate.
 constexpr size_t kLatencyRingCapacity = 4096;
+
+/// Strict integer parse for port-like environment variables; returns
+/// `missing` when unset, empty or not a plain decimal number (a typo'd
+/// ADAPTDB_HTTP_PORT must not silently bind an ephemeral port).
+int32_t EnvPort(const char* name, int32_t missing) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return missing;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == nullptr || *end != '\0' || v < 0 || v > 65535) return missing;
+  return static_cast<int32_t>(v);
+}
+
+/// Shortest %g representation that still round-trips, for Prometheus
+/// sample values (same trimming as obs::JsonWriter::Double).
+std::string FormatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  for (int prec = 1; prec < 17; ++prec) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+    double back = 0;
+    std::sscanf(shorter, "%lf", &back);
+    if (back == v) {
+      std::snprintf(buf, sizeof(buf), "%s", shorter);
+      break;
+    }
+  }
+  return buf;
+}
+
+/// Appends one Prometheus metric family: HELP + TYPE + a single sample.
+void PromFamily(std::string* out, const std::string& name, const char* type,
+                const std::string& help, double value,
+                const std::string& labels = "") {
+  *out += "# HELP " + name + " " + help + "\n";
+  *out += "# TYPE " + name + " " + std::string(type) + "\n";
+  *out += name + labels + " " + FormatDouble(value) + "\n";
+}
 
 double Percentile(std::vector<double>* samples, double q) {
   if (samples->empty()) return 0;
@@ -56,7 +99,8 @@ std::string DatabaseStats::ToString() const {
          ", evictions=" + std::to_string(buffer_evictions) +
          ", writebacks=" + std::to_string(buffer_writebacks) +
          ", prefetched=" + std::to_string(buffer_prefetched) +
-         ", shards=" + std::to_string(metric_shards) + "}";
+         ", shards=" + std::to_string(metric_shards) +
+         ", sampler=" + (sampler_running ? "on" : "off") + "}";
 }
 
 std::string DatabaseStats::ToJson() const {
@@ -93,8 +137,116 @@ std::string DatabaseStats::ToJson() const {
   w.Field("buffer_writebacks", buffer_writebacks);
   w.Field("buffer_prefetched", buffer_prefetched);
   w.Field("metric_shards", metric_shards);
+  w.Field("sampler_running", sampler_running);
+  w.Key("rates_per_second").BeginObject();
+  for (const auto& [name, rate] : counter_rates) w.Field(name, rate);
+  w.EndObject();
   w.EndObject();
   return w.str();
+}
+
+std::string DatabaseStats::ToPrometheus() const {
+  std::string out;
+  out.reserve(4096);
+  PromFamily(&out, "adaptdb_build_info", "gauge",
+             "Constant 1; labels carry build facts.", 1,
+             std::string("{version=\"0.1.0\",metrics=\"") +
+                 (obs::kMetricsEnabled ? "on" : "off") + "\"}");
+
+  // Per-Database serving health (gauges: they move both ways).
+  PromFamily(&out, "adaptdb_queries_started_total", "counter",
+             "Queries that entered RunQuery.",
+             static_cast<double>(queries_started));
+  PromFamily(&out, "adaptdb_queries_finished_total", "counter",
+             "Queries that finished RunQuery.",
+             static_cast<double>(queries_finished));
+  PromFamily(&out, "adaptdb_queries_failed_total", "counter",
+             "Queries that finished with an error.",
+             static_cast<double>(queries_failed));
+  PromFamily(&out, "adaptdb_queries_in_flight", "gauge",
+             "Queries currently admitted and executing.",
+             static_cast<double>(queries_in_flight));
+  PromFamily(&out, "adaptdb_queue_depth", "gauge",
+             "Queries waiting for FIFO admission.",
+             static_cast<double>(queue_depth));
+  PromFamily(&out, "adaptdb_latency_p50_seconds", "gauge",
+             "Median wall latency over the last 4096 queries.",
+             latency_p50_seconds);
+  PromFamily(&out, "adaptdb_latency_p99_seconds", "gauge",
+             "p99 wall latency over the last 4096 queries.",
+             latency_p99_seconds);
+  PromFamily(&out, "adaptdb_buffer_hit_rate", "gauge",
+             "Buffer-pool hit rate across all tables (0 on mem backend).",
+             buffer_hit_rate);
+  PromFamily(&out, "adaptdb_pool_threads", "gauge",
+             "Workers in the shared task pool.",
+             static_cast<double>(pool_threads));
+  PromFamily(&out, "adaptdb_tree_epoch_sum", "gauge",
+             "Sum of every table's partition-tree epoch.",
+             static_cast<double>(tree_epoch_sum));
+  PromFamily(&out, "adaptdb_maintenance_pending", "gauge",
+             "Queued plus running background adaptation steps.",
+             static_cast<double>(maintenance_pending));
+
+  // Process-global registry counters (monotone; see obs/metrics.h). The
+  // duration counters export in seconds, Prometheus' base unit.
+  const struct {
+    const char* name;
+    double value;
+    const char* help;
+  } counters[] = {
+      {"adaptdb_tasks_executed_total", static_cast<double>(tasks_executed),
+       "Tasks run to completion by any worker or helper."},
+      {"adaptdb_tasks_stolen_total", static_cast<double>(tasks_stolen),
+       "Tasks taken from another worker's deque."},
+      {"adaptdb_task_busy_seconds_total", task_busy_seconds,
+       "Wall seconds spent inside task bodies."},
+      {"adaptdb_worker_idle_seconds_total", worker_idle_seconds,
+       "Wall seconds workers spent blocked waiting for work."},
+      {"adaptdb_queries_admitted_total",
+       static_cast<double>(queries_admitted),
+       "Queries that passed FIFO admission (process-wide)."},
+      {"adaptdb_admission_wait_seconds_total", admission_wait_seconds,
+       "Wall seconds queries waited for admission."},
+      {"adaptdb_adapt_steps_total", static_cast<double>(adapt_steps),
+       "Repartitioning passes that moved at least one record."},
+      {"adaptdb_adapt_records_moved_total",
+       static_cast<double>(adapt_records_moved),
+       "Records rewritten during repartitioning."},
+      {"adaptdb_adapt_trees_created_total",
+       static_cast<double>(adapt_trees_created),
+       "Partition trees (re)built by adaptation."},
+      {"adaptdb_blocks_skipped_meta_total",
+       static_cast<double>(blocks_skipped_meta),
+       "Blocks skipped via min/max metadata."},
+      {"adaptdb_buffer_hits_total", static_cast<double>(buffer_hits),
+       "Buffer-pool lookups served from memory."},
+      {"adaptdb_buffer_misses_total", static_cast<double>(buffer_misses),
+       "Buffer-pool lookups that read from disk."},
+      {"adaptdb_buffer_evictions_total",
+       static_cast<double>(buffer_evictions), "Frames evicted."},
+      {"adaptdb_buffer_writebacks_total",
+       static_cast<double>(buffer_writebacks),
+       "Dirty frames written back to disk."},
+      {"adaptdb_buffer_prefetched_total",
+       static_cast<double>(buffer_prefetched),
+       "Frames loaded ahead of use by Prefetch()."},
+      {"adaptdb_metric_shards", static_cast<double>(metric_shards),
+       "Counter shards ever leased (peak concurrent counting threads)."},
+  };
+  for (const auto& c : counters) {
+    const bool is_counter =
+        std::string_view(c.name).find("_total") != std::string_view::npos;
+    PromFamily(&out, c.name, is_counter ? "counter" : "gauge", c.help,
+               c.value);
+  }
+
+  // Sampler-derived rate gauges, one per registry counter.
+  for (const auto& [name, rate] : counter_rates) {
+    PromFamily(&out, "adaptdb_" + name + "_rate", "gauge",
+               "Events per second over the newest sampling interval.", rate);
+  }
+  return out;
 }
 
 Database::Database(DatabaseOptions options)
@@ -107,9 +259,66 @@ Database::Database(DatabaseOptions options)
   if (options_.background_adapt) {
     maint_thread_ = std::thread([this] { MaintenanceLoop(); });
   }
+
+  // Live introspection. The env overrides make both opt-ins reachable
+  // without code changes: ADAPTDB_HTTP_PORT enables the endpoint,
+  // ADAPTDB_TRACE=1 turns the process-global tracer on.
+  int32_t http_port = options_.http_port;
+  if (http_port < 0) http_port = EnvPort("ADAPTDB_HTTP_PORT", -1);
+  if (const char* env = std::getenv("ADAPTDB_TRACE")) {
+    if (*env == '1') obs::Tracer::Instance().SetEnabled(true);
+  }
+  int32_t sampler_interval = options_.sampler_interval_millis;
+  if (sampler_interval <= 0 && http_port >= 0) sampler_interval = 250;
+  if (sampler_interval > 0) {
+    sampler_ = std::make_unique<obs::MetricsSampler>(sampler_interval);
+    sampler_->Start();
+  }
+  if (http_port >= 0) {
+    server_ = std::make_unique<obs::IntrospectionServer>();
+    server_->Handle("/stats", [this](const std::string&) {
+      obs::IntrospectionServer::Response r;
+      r.body = Stats().ToJson() + "\n";
+      return r;
+    });
+    server_->Handle("/metrics", [this](const std::string&) {
+      obs::IntrospectionServer::Response r;
+      r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      r.body = Stats().ToPrometheus();
+      return r;
+    });
+    server_->Handle("/profile", [this](const std::string&) {
+      obs::IntrospectionServer::Response r;
+      if (auto profile = ProfileLastQuery()) {
+        r.body = profile->ToJson() + "\n";
+      } else {
+        r.status = 404;
+        r.body =
+            "{\"error\":\"no profile collected; set "
+            "PlannerConfig.collect_profile\"}\n";
+      }
+      return r;
+    });
+    server_->Handle("/trace", [](const std::string& query) {
+      obs::IntrospectionServer::Response r;
+      const bool drain = query.find("drain=1") != std::string::npos;
+      r.body = obs::Tracer::Instance().ToChromeJson(drain) + "\n";
+      return r;
+    });
+    const Status started = server_->Start(http_port);
+    if (!started.ok()) {
+      std::fprintf(stderr, "adaptdb: introspection server disabled: %s\n",
+                   started.ToString().c_str());
+      server_.reset();
+    }
+  }
 }
 
 Database::~Database() {
+  // Stop serving introspection before tearing anything else down: handlers
+  // read Stats() (scheduler, tables, maintenance counters) and sampler_.
+  server_.reset();
+  sampler_.reset();
   if (maint_thread_.joinable()) {
     {
       std::lock_guard<std::mutex> lock(maint_mu_);
@@ -207,12 +416,17 @@ Status Database::AdaptTable(const std::string& name, const Query& q,
   }
   // Writer lock: repartitioning rewrites block contents, which must never
   // happen under a concurrent scan.
-  std::unique_lock<std::shared_mutex> lock(entry->mu);
+  std::unique_lock<std::shared_mutex> lock = [&] {
+    obs::TraceSpan span("scheduler", "table_write_lock");
+    return std::unique_lock<std::shared_mutex>(entry->mu);
+  }();
+  obs::TraceSpan adapt_span("adapt", "adapt_table");
   Table* t = entry->table.get();
   auto report = entry->optimizer->OnQuery(name, q, window, t->sample(),
                                           t->trees(), t->store(), &cluster_);
   if (!report.ok()) return report.status();
   const AdaptReport& rep = report.ValueOrDie();
+  adapt_span.SetArg("records_moved", rep.smooth.records_moved);
   totals->io.Merge(rep.io);
   totals->records_moved += rep.smooth.records_moved;
   totals->created_tree |= rep.smooth.created_tree;
@@ -234,6 +448,7 @@ Result<QueryRunResult> Database::RunQuery(const Query& q) {
     ++started_;
   }
   const PlannerConfig config_snapshot = planner_config();
+  obs::TraceSpan query_span("query", "run_query");
   // The profile is recorded entirely on this thread (builder methods are
   // not thread-safe); worker-side effects surface through IoStats merged
   // at barriers and through registry counter deltas.
@@ -339,7 +554,10 @@ Result<QueryRunResult> Database::RunQueryAdmitted(
   read_locks.reserve(entries.size());
   {
     obs::ProfileBuilder::Span lock_span(profile, "lock_wait");
-    for (TableEntry* entry : entries) read_locks.emplace_back(entry->mu);
+    for (TableEntry* entry : entries) {
+      obs::TraceSpan lock_trace("scheduler", "table_read_lock");
+      read_locks.emplace_back(entry->mu);
+    }
   }
 
   std::vector<TableContext> contexts;
@@ -442,6 +660,15 @@ DatabaseStats Database::Stats() const {
   stats.buffer_prefetched = m[obs::Counter::kBufferPrefetched];
   stats.metric_shards =
       static_cast<int64_t>(obs::MetricsRegistry::Instance().num_shards());
+  if (sampler_ != nullptr) {
+    stats.sampler_running = sampler_->running();
+    stats.counter_rates.reserve(static_cast<size_t>(obs::kNumCounters));
+    for (int32_t i = 0; i < obs::kNumCounters; ++i) {
+      const auto c = static_cast<obs::Counter>(i);
+      stats.counter_rates.emplace_back(std::string(obs::CounterName(c)),
+                                       sampler_->RatePerSecond(c));
+    }
+  }
   return stats;
 }
 

@@ -48,12 +48,15 @@
 #include <shared_mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "adapt/optimizer.h"
 #include "adapt/query_window.h"
 #include "core/query_scheduler.h"
 #include "core/table.h"
+#include "obs/introspection_server.h"
+#include "obs/metrics.h"
 #include "planner/join_planner.h"
 
 namespace adaptdb {
@@ -77,6 +80,20 @@ struct DatabaseOptions {
   /// adaptation matches the paper's Type-2 accounting and keeps per-query
   /// adapt_io meaningful.
   bool background_adapt = false;
+  /// Embedded introspection HTTP server (obs/introspection_server.h),
+  /// bound to 127.0.0.1: serves GET /metrics (Prometheus text), /stats
+  /// (DatabaseStats JSON), /profile (last query profile) and /trace
+  /// (Chrome trace JSON, ?drain=1 clears). -1 disables (the default);
+  /// 0 binds an ephemeral port, reported by Database::introspection_port().
+  /// When left at -1, the ADAPTDB_HTTP_PORT environment variable (an
+  /// integer port) enables it without code changes. A failed bind logs to
+  /// stderr and leaves the Database serving without the endpoint.
+  int32_t http_port = -1;
+  /// Cadence of the background MetricsSampler feeding rate gauges in
+  /// Stats() (counter_rates) and /metrics. <= 0 leaves the sampler off —
+  /// unless the HTTP server is enabled, which defaults it to 250 ms so
+  /// the rate gauges on /metrics are live.
+  int32_t sampler_interval_millis = 0;
 };
 
 /// \brief A point-in-time snapshot of serving health, from Database::Stats.
@@ -129,9 +146,20 @@ struct DatabaseStats {
   /// Counter shards ever leased (== peak concurrent counting threads).
   int64_t metric_shards = 0;
 
+  /// Sampler-derived rates, (counter name, events/second) over the newest
+  /// sampling interval, one entry per registry counter. Empty unless the
+  /// Database owns a running MetricsSampler (see
+  /// DatabaseOptions::sampler_interval_millis).
+  std::vector<std::pair<std::string, double>> counter_rates;
+  bool sampler_running = false;
+
   std::string ToString() const;
   /// JSON object with every field above (obs::JsonWriter schema).
   std::string ToJson() const;
+  /// Prometheus text exposition (version 0.0.4): registry counters as
+  /// `adaptdb_<name>_total`, serving-health fields and sampler rates as
+  /// gauges. This is what GET /metrics serves.
+  std::string ToPrometheus() const;
 };
 
 /// \brief The top-level AdaptDB object.
@@ -174,6 +202,12 @@ class Database {
   /// Blocks until the background maintenance queue is drained (no-op when
   /// background_adapt is off). Returns the first error any step hit.
   Status WaitForMaintenance();
+
+  /// Port the introspection HTTP server is listening on (127.0.0.1), or
+  /// -1 when disabled / failed to bind. Stable while the Database lives.
+  int32_t introspection_port() const {
+    return server_ != nullptr ? server_->port() : -1;
+  }
 
   /// The simulated cluster (placement, cost accounting).
   ClusterSim* cluster() { return &cluster_; }
@@ -303,6 +337,12 @@ class Database {
   int64_t maint_records_moved_ = 0;
   Status maint_error_;
   std::thread maint_thread_;
+
+  /// Live introspection: optional sampler (rate gauges) + HTTP endpoint.
+  /// The server is stopped first in ~Database — its handlers read the
+  /// sampler and every stats surface above.
+  std::unique_ptr<obs::MetricsSampler> sampler_;
+  std::unique_ptr<obs::IntrospectionServer> server_;
 };
 
 }  // namespace adaptdb

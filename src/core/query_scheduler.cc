@@ -1,6 +1,7 @@
 #include "core/query_scheduler.h"
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace adaptdb {
 
@@ -9,6 +10,7 @@ QueryScheduler::Admission QueryScheduler::Admit() {
   const int64_t ticket = next_ticket_++;
   {
     obs::ScopedNanos wait(obs::Counter::kAdmissionWaitNanos);
+    obs::TraceSpan wait_span("scheduler", "admission_wait", "ticket", ticket);
     cv_.wait(lock, [&] {
       return front_ticket_ == ticket && (limit_ <= 0 || in_flight_ < limit_);
     });

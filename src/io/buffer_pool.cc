@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace adaptdb::io {
 
@@ -94,7 +95,10 @@ Result<MutableBlockRef> BufferPool::PinInternal(BlockId id, bool mark_dirty) {
     obs::Count(obs::Counter::kBufferMisses);
     BlockSource* source = s->source;
     lock.unlock();
-    auto loaded = source->LoadBlock(id);
+    Result<Block> loaded = [&] {
+      obs::TraceSpan load_span("buffer", "miss_load", "block_id", id);
+      return source->LoadBlock(id);
+    }();
     lock.lock();
     // Only the loader fills the frame — but Drop() may have erased it
     // (block deleted) while the read was in flight.
@@ -161,6 +165,7 @@ void BufferPool::EvictToCapacity(State* s) {
     const BlockId victim = s->lru.back();
     auto fit = s->frames.find(victim);
     if (fit->second.dirty) {
+      obs::TraceSpan wb_span("buffer", "evict_writeback", "block_id", victim);
       if (s->source == nullptr ||
           !s->source->WriteBack(*fit->second.block).ok()) {
         // Keep the data; rotate the frame to MRU so the clean frames
@@ -174,6 +179,7 @@ void BufferPool::EvictToCapacity(State* s) {
     }
     ++s->stats.evictions;
     obs::Count(obs::Counter::kBufferEvictions);
+    obs::Tracer::Instant("buffer", "evict", "block_id", victim);
     s->lru.pop_back();
     s->frames.erase(fit);
   }
@@ -187,7 +193,10 @@ Status BufferPool::FlushAll() {
   }
   for (auto& [id, frame] : s->frames) {
     if (frame.loading || !frame.dirty) continue;
-    ADB_RETURN_NOT_OK(s->source->WriteBack(*frame.block));
+    {
+      obs::TraceSpan wb_span("buffer", "flush_writeback", "block_id", id);
+      ADB_RETURN_NOT_OK(s->source->WriteBack(*frame.block));
+    }
     // A frame with outstanding *mutable* pins stays dirty: the holder may
     // mutate it after this snapshot, and clearing the flag here would let
     // eviction discard those later writes. Read pins are harmless.

@@ -1,0 +1,173 @@
+#include "obs/introspection_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace adaptdb::obs {
+
+namespace {
+
+/// Blocking-write the whole buffer (short writes restart).
+void WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // Peer went away; nothing useful to do.
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+
+std::string StatusLine(int32_t status) {
+  switch (status) {
+    case 200:
+      return "HTTP/1.1 200 OK\r\n";
+    case 400:
+      return "HTTP/1.1 400 Bad Request\r\n";
+    case 404:
+      return "HTTP/1.1 404 Not Found\r\n";
+    case 405:
+      return "HTTP/1.1 405 Method Not Allowed\r\n";
+    default:
+      return "HTTP/1.1 500 Internal Server Error\r\n";
+  }
+}
+
+}  // namespace
+
+IntrospectionServer::~IntrospectionServer() { Stop(); }
+
+void IntrospectionServer::Handle(std::string path, Handler handler) {
+  handlers_[std::move(path)] = std::move(handler);
+}
+
+Status IntrospectionServer::Start(int32_t port) {
+  if (listen_fd_ >= 0) {
+    return Status::InvalidArgument("introspection server already started");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket(): ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // Diagnostics: local only.
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("bind(127.0.0.1:" + std::to_string(port) +
+                            "): " + err);
+  }
+  if (::listen(fd, /*backlog=*/16) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("listen(): " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("getsockname(): " + err);
+  }
+  listen_fd_ = fd;
+  port_ = static_cast<int32_t>(ntohs(bound.sin_port));
+  stop_.store(false, std::memory_order_relaxed);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void IntrospectionServer::Stop() {
+  if (listen_fd_ < 0) return;
+  stop_.store(true, std::memory_order_relaxed);
+  if (acceptor_.joinable()) acceptor_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  port_ = -1;
+}
+
+void IntrospectionServer::AcceptLoop() {
+  for (;;) {
+    // Poll with a timeout instead of blocking in accept(): Stop() only has
+    // to flip the flag and join — no self-pipe or socket shutdown races.
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
+    if (stop_.load(std::memory_order_relaxed)) return;
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    ServeConnection(fd);
+    ::close(fd);
+  }
+}
+
+void IntrospectionServer::ServeConnection(int fd) {
+  // Read until the header terminator (requests are header-only GETs), with
+  // a poll timeout so a stalled client cannot wedge the acceptor.
+  std::string request;
+  char buf[2048];
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.size() < 16 * 1024) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, /*timeout_ms=*/1000) <= 0) return;
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    request.append(buf, static_cast<size_t>(n));
+  }
+
+  Response resp;
+  const size_t line_end = request.find("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  // Request line: METHOD SP TARGET SP VERSION.
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = line.find(' ', sp1 == std::string::npos ? 0 : sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    resp = {400, "text/plain; charset=utf-8", "malformed request line\n"};
+  } else if (line.substr(0, sp1) != "GET") {
+    resp = {405, "text/plain; charset=utf-8", "only GET is supported\n"};
+  } else {
+    const std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const size_t qmark = target.find('?');
+    const std::string path =
+        qmark == std::string::npos ? target : target.substr(0, qmark);
+    const std::string query =
+        qmark == std::string::npos ? "" : target.substr(qmark + 1);
+    auto it = handlers_.find(path);
+    if (it == handlers_.end()) {
+      std::string known = "not found; endpoints:";
+      for (const auto& [p, _] : handlers_) known += " " + p;
+      resp = {404, "text/plain; charset=utf-8", known + "\n"};
+    } else {
+      resp = it->second(query);
+    }
+  }
+
+  std::string out = StatusLine(resp.status);
+  out += "Content-Type: " + resp.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += resp.body;
+  WriteAll(fd, out);
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace adaptdb::obs

@@ -1,0 +1,94 @@
+/// \file introspection_server.h
+/// \brief Opt-in embedded HTTP server for live engine introspection.
+///
+/// A minimal, dependency-free HTTP/1.1 endpoint (plain POSIX sockets, one
+/// acceptor thread, one request per connection) that lets an operator —
+/// or a curl in CI — look inside a serving process:
+///
+///   GET /metrics   Prometheus text exposition (counters + gauges)
+///   GET /stats     DatabaseStats::ToJson()
+///   GET /profile   last collected query profile as JSON
+///   GET /trace     trace rings as Chrome trace JSON (?drain=1 clears)
+///
+/// The server itself is generic: it owns the socket plumbing and a
+/// path→handler table; `Database` registers the four handlers above when
+/// `DatabaseOptions::http_port` (or the `ADAPTDB_HTTP_PORT` environment
+/// variable) enables it. Binding is loopback-only (127.0.0.1) — this is a
+/// diagnostics port, not a public API — and port 0 asks the kernel for an
+/// ephemeral port, reported by `port()` (how tests avoid collisions).
+///
+/// Scope limits, deliberately: GET only, no keep-alive, no TLS, requests
+/// served sequentially on the acceptor thread. Handlers run on that
+/// thread, so they must be safe against concurrent engine activity —
+/// everything Database registers calls thread-safe surfaces (Stats(),
+/// ProfileLastQuery(), Tracer::ToChromeJson()).
+
+#ifndef ADAPTDB_OBS_INTROSPECTION_SERVER_H_
+#define ADAPTDB_OBS_INTROSPECTION_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "common/result.h"
+
+namespace adaptdb::obs {
+
+/// \brief One-thread HTTP server with a fixed handler table.
+class IntrospectionServer {
+ public:
+  /// What a handler returns; serialized as an HTTP/1.1 response with
+  /// Content-Length and Connection: close.
+  struct Response {
+    int32_t status = 200;
+    std::string content_type = "application/json";
+    std::string body;
+  };
+
+  /// Called with the raw query string (text after '?', possibly empty).
+  using Handler = std::function<Response(const std::string& query)>;
+
+  IntrospectionServer() = default;
+  ~IntrospectionServer();
+
+  IntrospectionServer(const IntrospectionServer&) = delete;
+  IntrospectionServer& operator=(const IntrospectionServer&) = delete;
+
+  /// Registers the handler for an exact path (e.g. "/metrics"). Call
+  /// before Start(); not synchronized with the acceptor thread.
+  void Handle(std::string path, Handler handler);
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and spawns the acceptor
+  /// thread. Fails with InvalidArgument if already started, Internal on
+  /// socket errors (port in use, ...).
+  Status Start(int32_t port);
+
+  /// Stops the acceptor and joins it. Idempotent; also run by the dtor.
+  void Stop();
+
+  /// The bound port, or -1 before Start()/after a failed Start().
+  int32_t port() const { return port_; }
+
+  bool running() const { return listen_fd_ >= 0; }
+
+  /// Requests served since Start() (diagnostics/testing).
+  int64_t requests_served() const { return requests_served_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  std::map<std::string, Handler> handlers_;
+  int listen_fd_ = -1;
+  int32_t port_ = -1;
+  std::thread acceptor_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int64_t> requests_served_{0};
+};
+
+}  // namespace adaptdb::obs
+
+#endif  // ADAPTDB_OBS_INTROSPECTION_SERVER_H_

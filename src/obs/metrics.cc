@@ -127,15 +127,20 @@ void MetricsSampler::Start() {
 }
 
 void MetricsSampler::Stop() {
+  // Claim the thread under the lock so a second concurrent Stop() (or the
+  // destructor racing an explicit Stop during shutdown) returns instead of
+  // joining the same std::thread twice — which is undefined behavior and
+  // terminated the process before this was moved out.
+  std::thread to_join;
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (!running_) return;
+    running_ = false;
     stop_requested_ = true;
+    to_join = std::move(thread_);
   }
   cv_.notify_all();
-  thread_.join();
-  std::unique_lock<std::mutex> lock(mu_);
-  running_ = false;
+  to_join.join();
 }
 
 void MetricsSampler::Loop() {

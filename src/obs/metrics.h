@@ -243,9 +243,16 @@ class MetricsSampler {
   MetricsSampler(const MetricsSampler&) = delete;
   MetricsSampler& operator=(const MetricsSampler&) = delete;
 
+  /// Start/Stop may be called from any thread; Stop is idempotent and
+  /// safe against a concurrent Stop (it claims the sampling thread under
+  /// the lock before joining). Start-while-Stop-is-joining is the one
+  /// unsupported interleaving: serialize restart cycles in the owner.
   void Start();
   void Stop();
-  bool running() const { return running_; }
+  bool running() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return running_;
+  }
 
   /// Oldest→newest copy of the ring.
   std::vector<Sample> Samples() const;

@@ -1,0 +1,166 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+
+#ifndef ADAPTDB_DISABLE_TRACING
+
+namespace adaptdb::obs {
+
+Tracer& Tracer::Instance() {
+  // Intentionally leaked (like MetricsRegistry): instrumented code may run
+  // during static destruction, after a normal singleton would be gone.
+  static Tracer* t = [] {
+    auto* tracer = new Tracer();
+    tracer->epoch_ = std::chrono::steady_clock::now();
+    return tracer;
+  }();
+  return *t;
+}
+
+int64_t Tracer::NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - Instance().epoch_)
+      .count();
+}
+
+Tracer::Buffer* Tracer::LocalBuffer() {
+  thread_local Lease lease{Instance().AcquireBuffer()};
+  return lease.buffer;
+}
+
+Tracer::Lease::~Lease() {
+  if (buffer != nullptr) Instance().ReleaseBuffer(buffer);
+}
+
+Tracer::Buffer* Tracer::AcquireBuffer() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Buffer* b;
+  if (!free_.empty()) {
+    b = free_.back();
+    free_.pop_back();
+  } else {
+    b = &buffers_.emplace_back();
+    b->tid = static_cast<int32_t>(buffers_.size() - 1);
+  }
+  // Apply the current capacity on every (re)lease: a reused buffer whose
+  // ring predates a SetBufferCapacity call resets to the new size, so
+  // capacity changes are deterministic for fresh threads.
+  std::lock_guard<std::mutex> buf_lock(b->mu);
+  if (b->ring.size() != capacity_) {
+    b->ring.assign(capacity_, TraceEvent{});
+    b->count = 0;
+  }
+  return b;
+}
+
+void Tracer::ReleaseBuffer(Buffer* buffer) {
+  // Events stay in the ring: a thread that exits mid-run keeps its trace
+  // visible until the next drain.
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(buffer);
+}
+
+void Tracer::SetBufferCapacity(size_t events) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = std::max<size_t>(events, 1);
+}
+
+void Tracer::Record(const char* category, const char* name, int64_t ts_nanos,
+                    int64_t dur_nanos, const char* arg_name,
+                    int64_t arg_value) {
+  Buffer* b = LocalBuffer();
+  std::lock_guard<std::mutex> lock(b->mu);
+  if (b->ring.empty()) return;  // Capacity 0 race; nothing to keep.
+  TraceEvent& e = b->ring[static_cast<size_t>(b->count % b->ring.size())];
+  e.category = category;
+  e.name = name;
+  e.ts_nanos = ts_nanos;
+  e.dur_nanos = dur_nanos;
+  e.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  e.tid = b->tid;
+  e.arg_name = arg_name;
+  e.arg_value = arg_value;
+  ++b->count;
+  total_events_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> Tracer::Snapshot(bool drain) {
+  std::vector<TraceEvent> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Buffer& b : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(b.mu);
+    const size_t cap = b.ring.size();
+    const size_t n = static_cast<size_t>(
+        std::min<uint64_t>(b.count, static_cast<uint64_t>(cap)));
+    // Oldest-first: when the ring has wrapped, the oldest surviving event
+    // sits at the write cursor.
+    const size_t start =
+        b.count > cap ? static_cast<size_t>(b.count % cap) : 0;
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(b.ring[(start + i) % cap]);
+    }
+    if (drain) {
+      b.count = 0;
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+int64_t Tracer::BufferedEvents() {
+  int64_t total = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Buffer& b : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(b.mu);
+    total += static_cast<int64_t>(
+        std::min<uint64_t>(b.count, static_cast<uint64_t>(b.ring.size())));
+  }
+  return total;
+}
+
+int64_t Tracer::TotalEvents() {
+  return total_events_.load(std::memory_order_relaxed);
+}
+
+std::string Tracer::ToChromeJson(bool drain) {
+  const std::vector<TraceEvent> events = Snapshot(drain);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents").BeginArray();
+  for (const TraceEvent& e : events) {
+    w.BeginObject();
+    w.Field("name", e.name != nullptr ? e.name : "");
+    w.Field("cat", e.category != nullptr ? e.category : "");
+    w.Field("ph", e.dur_nanos >= 0 ? "X" : "i");
+    // Chrome's ts/dur unit is microseconds; fractional values are allowed
+    // and keep nanosecond resolution.
+    w.Key("ts").Double(static_cast<double>(e.ts_nanos) / 1e3);
+    if (e.dur_nanos >= 0) {
+      w.Key("dur").Double(static_cast<double>(e.dur_nanos) / 1e3);
+    } else {
+      w.Field("s", "t");  // Instant scope: thread.
+    }
+    w.Field("pid", int64_t{1});
+    w.Field("tid", static_cast<int64_t>(e.tid));
+    w.Key("args").BeginObject();
+    w.Field("seq", static_cast<uint64_t>(e.seq));
+    if (e.arg_name != nullptr) {
+      w.Field(e.arg_name, e.arg_value);
+    }
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Field("displayTimeUnit", "ms");
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace adaptdb::obs
+
+#endif  // ADAPTDB_DISABLE_TRACING

@@ -1,0 +1,253 @@
+/// \file trace.h
+/// \brief Low-overhead per-thread ring-buffer event tracer.
+///
+/// The second observability layer (the first is the counter registry in
+/// obs/metrics.h): where counters answer "how many", the tracer answers
+/// "when, on which thread, for how long". Instrumented sites record timed
+/// spans (task execution, morsel runs, buffer-pool loads, admission and
+/// lock waits, adaptation steps) or instants (evictions) into a ring
+/// buffer owned by the calling thread; the rings export as Chrome
+/// `trace_event` JSON that loads directly in chrome://tracing or Perfetto.
+///
+/// Design, mirroring MetricsRegistry:
+///  - Each tracing thread leases a cache-line-aligned `Buffer` from the
+///    process-global `Tracer`; the lease returns the buffer to a freelist
+///    on thread exit, so memory is bounded by peak thread concurrency
+///    times the per-buffer capacity (a fixed-size ring that overwrites its
+///    oldest events — a long run keeps the most recent window, never
+///    grows).
+///  - Events carry a global sequence number taken from one relaxed atomic
+///    `fetch_add`; exports sort by it, which reconstructs a stable
+///    cross-thread order without any heavier synchronization.
+///  - Recording is guarded by one relaxed atomic `enabled` load, so the
+///    tracer costs a branch per site while disabled. Event append takes
+///    the buffer's own mutex — uncontended except while an export is
+///    reading that buffer — keeping concurrent export/drain race-free
+///    (and TSan-clean) without atomics on every event field.
+///  - Category and name are `const char*` and must point at string
+///    literals (or strings outliving the tracer): events store the
+///    pointer, never copy. The optional argument is one (literal name,
+///    int64) pair.
+///
+/// Compile-time removal: configure with -DADAPTDB_DISABLE_TRACING=ON and
+/// every recording call — including the `TraceSpan` clock reads — compiles
+/// to nothing; exports return an empty (but well-formed) document. The
+/// runtime toggle is off by default, so normal builds pay one predictable
+/// branch per instrumented site until someone turns tracing on.
+
+#ifndef ADAPTDB_OBS_TRACE_H_
+#define ADAPTDB_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace adaptdb::obs {
+
+/// One recorded event. `dur_nanos < 0` marks an instant event; otherwise
+/// this is a complete span ("ph":"X" in the Chrome format).
+struct TraceEvent {
+  const char* category = nullptr;
+  const char* name = nullptr;
+  int64_t ts_nanos = 0;   ///< Start time, relative to the tracer epoch.
+  int64_t dur_nanos = -1; ///< Span duration; -1 for instants.
+  uint64_t seq = 0;       ///< Global relaxed-atomic sequence number.
+  int32_t tid = 0;        ///< Stable per-buffer id (reused across leases).
+  const char* arg_name = nullptr;  ///< Optional argument key (literal).
+  int64_t arg_value = 0;
+};
+
+#ifndef ADAPTDB_DISABLE_TRACING
+
+/// \brief Process-global tracer: per-thread ring buffers + runtime toggle.
+///
+/// Like MetricsRegistry, exactly one exists per process (Instance()) and
+/// it is intentionally leaked so instrumented code in static destructors
+/// can still record.
+class Tracer {
+ public:
+  /// Default events retained per thread (~64 B each, so ~512 KiB/thread).
+  static constexpr size_t kDefaultBufferCapacity = 8192;
+
+  static Tracer& Instance();
+
+  /// The per-site guard. Relaxed: a site racing a toggle may record (or
+  /// skip) one event — harmless for a diagnostic stream.
+  static bool Enabled() {
+    return Instance().enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Turns recording on/off. Events already buffered are kept.
+  void SetEnabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Capacity (events) for buffers leased *after* this call; existing
+  /// leases keep their ring. Freelisted buffers are resized on reuse.
+  void SetBufferCapacity(size_t events);
+
+  /// Records an instant event on the calling thread's buffer.
+  static void Instant(const char* category, const char* name,
+                      const char* arg_name = nullptr, int64_t arg_value = 0) {
+    if (!Enabled()) return;
+    Instance().Record(category, name, NowNanos(), /*dur_nanos=*/-1, arg_name,
+                      arg_value);
+  }
+
+  /// Records a complete span whose start/duration the caller measured
+  /// (used by TraceSpan; callable directly for spans timed elsewhere).
+  static void Complete(const char* category, const char* name,
+                       int64_t ts_nanos, int64_t dur_nanos,
+                       const char* arg_name = nullptr, int64_t arg_value = 0) {
+    if (!Enabled()) return;
+    Instance().Record(category, name, ts_nanos, dur_nanos, arg_name,
+                      arg_value);
+  }
+
+  /// Nanoseconds since the tracer epoch (first Instance() call).
+  static int64_t NowNanos();
+
+  /// All buffered events, oldest-first per thread, in one flat vector
+  /// sorted by sequence number (stable global order). `drain` clears
+  /// every ring after the copy.
+  std::vector<TraceEvent> Snapshot(bool drain = false);
+
+  /// Chrome `trace_event` JSON ("traceEvents" array of "X"/"i" phase
+  /// events, ts/dur in microseconds), loadable in chrome://tracing and
+  /// Perfetto. `drain` clears the rings after export.
+  std::string ToChromeJson(bool drain = false);
+
+  /// Buffered event count across all rings (testing/inspection).
+  int64_t BufferedEvents();
+
+  /// Total events ever recorded, including ones overwritten in the rings.
+  int64_t TotalEvents();
+
+ private:
+  /// One thread's ring. The mutex serializes the owning writer against
+  /// Snapshot/drain readers; writes are uncontended otherwise.
+  struct alignas(64) Buffer {
+    std::mutex mu;
+    std::vector<TraceEvent> ring;   ///< Fixed capacity, set at (re)lease.
+    uint64_t count = 0;             ///< Events ever written to this ring.
+    int32_t tid = 0;                ///< Buffer index; stable per buffer.
+  };
+
+  /// RAII lease returning the buffer to the freelist on thread exit.
+  struct Lease {
+    Buffer* buffer = nullptr;
+    ~Lease();
+  };
+
+  Tracer() = default;
+
+  static Buffer* LocalBuffer();
+  Buffer* AcquireBuffer();
+  void ReleaseBuffer(Buffer* buffer);
+  void Record(const char* category, const char* name, int64_t ts_nanos,
+              int64_t dur_nanos, const char* arg_name, int64_t arg_value);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_seq_{0};
+  std::atomic<int64_t> total_events_{0};
+
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mu_;
+  // deque: stable addresses under growth (threads hold raw Buffer*).
+  std::deque<Buffer> buffers_;
+  std::vector<Buffer*> free_;
+  size_t capacity_ = kDefaultBufferCapacity;
+};
+
+inline constexpr bool kTracingCompiled = true;
+
+/// \brief RAII span: stamps the clock at construction, records one
+/// complete event at destruction. The argument may be set (or updated)
+/// any time before the scope closes — useful when the interesting number
+/// (records moved, rows matched) is only known at the end.
+class TraceSpan {
+ public:
+  TraceSpan(const char* category, const char* name,
+            const char* arg_name = nullptr, int64_t arg_value = 0)
+      : category_(category),
+        name_(name),
+        arg_name_(arg_name),
+        arg_value_(arg_value),
+        active_(Tracer::Enabled()) {
+    if (active_) start_nanos_ = Tracer::NowNanos();
+  }
+
+  ~TraceSpan() {
+    if (active_) {
+      const int64_t now = Tracer::NowNanos();
+      Tracer::Complete(category_, name_, start_nanos_, now - start_nanos_,
+                       arg_name_, arg_value_);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches/overwrites the span's argument before it closes.
+  void SetArg(const char* arg_name, int64_t arg_value) {
+    arg_name_ = arg_name;
+    arg_value_ = arg_value;
+  }
+
+ private:
+  const char* category_;
+  const char* name_;
+  const char* arg_name_;
+  int64_t arg_value_;
+  const bool active_;
+  int64_t start_nanos_ = 0;
+};
+
+#else  // ADAPTDB_DISABLE_TRACING
+
+/// No-op tracer: recording vanishes; exports are empty but well-formed.
+class Tracer {
+ public:
+  static constexpr size_t kDefaultBufferCapacity = 0;
+
+  static Tracer& Instance() {
+    static Tracer t;
+    return t;
+  }
+  static bool Enabled() { return false; }
+  void SetEnabled(bool) {}
+  void SetBufferCapacity(size_t) {}
+  static void Instant(const char*, const char*, const char* = nullptr,
+                      int64_t = 0) {}
+  static void Complete(const char*, const char*, int64_t, int64_t,
+                       const char* = nullptr, int64_t = 0) {}
+  static int64_t NowNanos() { return 0; }
+  std::vector<TraceEvent> Snapshot(bool = false) { return {}; }
+  std::string ToChromeJson(bool = false) {
+    return "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}";
+  }
+  int64_t BufferedEvents() { return 0; }
+  int64_t TotalEvents() { return 0; }
+};
+
+inline constexpr bool kTracingCompiled = false;
+
+/// Empty span: no clock reads remain in the kill-switch build.
+class TraceSpan {
+ public:
+  TraceSpan(const char*, const char*, const char* = nullptr, int64_t = 0) {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  void SetArg(const char*, int64_t) {}
+};
+
+#endif  // ADAPTDB_DISABLE_TRACING
+
+}  // namespace adaptdb::obs
+
+#endif  // ADAPTDB_OBS_TRACE_H_

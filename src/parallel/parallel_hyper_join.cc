@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "exec/hyper_join.h"
+#include "obs/trace.h"
 #include "parallel/task_pool.h"
 
 namespace adaptdb {
@@ -36,6 +37,7 @@ Result<JoinExecResult> ParallelHyperJoin(
   PoolLease pool(config.pool, config.num_threads);
   pool->ParallelFor(0, num_groups, [&](int64_t g) {
     if (!failed.ShouldRun(g)) return;  // Serial would have aborted by here.
+    obs::TraceSpan group_span("exec", "hyper_group", "group", g);
     Partial& p = partials[static_cast<size_t>(g)];
     Grouping one;
     one.groups.push_back(grouping.groups[static_cast<size_t>(g)]);

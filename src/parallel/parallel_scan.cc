@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "parallel/task_pool.h"
 
 namespace adaptdb {
@@ -39,6 +40,7 @@ Result<ScanResult> ParallelScan(const BlockStore& store,
   PoolLease pool(config.pool, config.num_threads);
   pool->ParallelFor(0, num_morsels, [&](int64_t i) {
     if (!failed.ShouldRun(i)) return;  // Serial would have aborted by here.
+    obs::TraceSpan morsel_span("exec", "scan_morsel", "morsel", i);
     const int64_t lo = i * morsel;
     const int64_t hi = std::min<int64_t>(n, lo + morsel);
     const std::vector<BlockId> chunk(blocks.begin() + lo, blocks.begin() + hi);
@@ -89,6 +91,7 @@ Result<AggregateResult> ParallelScanAggregate(
   FirstFailure failed;
   auto run_morsel = [&](int64_t i) {
     if (!failed.ShouldRun(i)) return;  // Serial would have aborted by here.
+    obs::TraceSpan morsel_span("exec", "agg_morsel", "morsel", i);
     const int64_t lo = i * morsel;
     const int64_t hi = std::min<int64_t>(n, lo + morsel);
     const std::vector<BlockId> chunk(blocks.begin() + lo, blocks.begin() + hi);

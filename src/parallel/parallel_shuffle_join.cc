@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "exec/shuffle_kernels.h"
+#include "obs/trace.h"
 #include "parallel/task_pool.h"
 
 namespace adaptdb {
@@ -92,6 +93,7 @@ Result<JoinExecResult> ParallelShuffleJoin(
   FirstFailure failed;
   pool->ParallelFor(0, r_morsels + s_morsels, [&](int64_t m) {
     if (!failed.ShouldRun(m)) return;  // Serial would have aborted by here.
+    obs::TraceSpan morsel_span("exec", "shuffle_map_morsel", "morsel", m);
     const MapPartial* p;
     if (m < r_morsels) {
       p = &r_map[static_cast<size_t>(m)];
@@ -134,6 +136,8 @@ Result<JoinExecResult> ParallelShuffleJoin(
   std::vector<ReducePartial> reduced(static_cast<size_t>(num_partitions));
   const bool materialize = output != nullptr;
   pool->ParallelFor(0, num_partitions, [&](int64_t part) {
+    obs::TraceSpan part_span("exec", "shuffle_reduce_partition", "partition",
+                             part);
     ReducePartial& p = reduced[static_cast<size_t>(part)];
     const std::vector<RowRef> r_part =
         GatherPartition(r_map, static_cast<size_t>(part));

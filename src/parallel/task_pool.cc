@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace adaptdb {
 
@@ -80,6 +81,7 @@ void TaskPool::WorkerLoop(size_t self) {
     std::unique_lock<std::mutex> lk(sleep_mu_);
     {
       obs::ScopedNanos idle(obs::Counter::kWorkerIdleNanos);
+      obs::TraceSpan idle_span("task", "worker_idle");
       work_cv_.wait(lk, [this] {
         return queued_.load(std::memory_order_relaxed) > 0 ||
                stop_.load(std::memory_order_relaxed);
@@ -136,11 +138,13 @@ bool TaskPool::RunOneTask() {
     queued_.fetch_sub(1, std::memory_order_relaxed);
     // A pop from any deque other than the runner's own is a steal — that
     // covers worker-to-worker steals and helping by Wait()-blocked threads.
-    if (!is_worker || q != tls_index) {
+    const bool stolen = !is_worker || q != tls_index;
+    if (stolen) {
       obs::Count(obs::Counter::kTasksStolen);
     }
     {
       obs::ScopedNanos busy(obs::Counter::kTaskBusyNanos);
+      obs::TraceSpan run_span("task", "task_run", "stolen", stolen ? 1 : 0);
       Execute(&task);
     }
     obs::Count(obs::Counter::kTasksExecuted);

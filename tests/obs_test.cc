@@ -137,6 +137,22 @@ TEST(MetricsSamplerTest, CollectsMonotoneSamples) {
   }
 }
 
+// Stop() must be safe to race against itself (and against the destructor's
+// implicit Stop): only one caller may join the sampling thread. Before the
+// thread was claimed under the lock, this test aborted on a double join.
+TEST(MetricsSamplerTest, ConcurrentStopIsSafe) {
+  obs::MetricsSampler sampler(/*interval_millis=*/1, /*capacity=*/8);
+  sampler.Start();
+  std::vector<std::thread> stoppers;
+  stoppers.reserve(4);
+  for (int i = 0; i < 4; ++i) {
+    stoppers.emplace_back([&sampler] { sampler.Stop(); });
+  }
+  for (std::thread& t : stoppers) t.join();
+  EXPECT_FALSE(sampler.running());
+  sampler.Stop();  // Idempotent after the race too.
+}
+
 // --- QueryProfile --------------------------------------------------------
 
 bool SameLogicalIo(const IoStats& a, const IoStats& b) {

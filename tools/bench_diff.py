@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Compares BENCH_*.json telemetry against committed baseline snapshots.
+
+Baselines live in bench/baselines/ (one BENCH_<name>.json per bench binary,
+recorded in --smoke mode; see bench/README.md for the refresh procedure).
+This tool pairs each current file with its baseline by bench name and flags
+metrics that moved beyond tolerance in the *bad* direction:
+
+  - Timing metrics (unit "ms" or "s") regress when they grow. Smoke-mode
+    numbers on shared CI hardware are noisy, so the default timing
+    tolerance is generous (a metric must grow by more than
+    --timing-tolerance, default 3.0 = 4x, to fail).
+  - Higher-is-better metrics (keys ending in "_speedup" or "_hit_rate")
+    regress when they shrink by more than --tolerance.
+  - Everything else (counts, ratios, sizes — deterministic in smoke mode)
+    regresses when it moves in either direction by more than --tolerance
+    (default 0.25).
+
+Relative change uses max(|baseline|, epsilon) as the denominator so zero
+baselines do not divide by zero. Metrics present only on one side are
+reported as informational, never failures (benches gain and lose rows).
+
+Usage:
+  bench_diff.py [--baselines DIR] [--tolerance R] [--timing-tolerance R]
+                [--strict] FILE [FILE...]
+
+Exit status: 0 when no metric regressed, 1 otherwise; 2 on usage errors.
+With --strict, missing baselines for a given file are also failures.
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+
+TIMING_UNITS = {"ms", "s"}
+HIGHER_BETTER_SUFFIXES = ("_speedup", "_hit_rate")
+# Harness wall time measures the whole binary (including load), is the
+# noisiest number in the file, and is already covered by per-phase timings.
+SKIP_KEYS = {"bench_wall_seconds"}
+EPSILON = 1e-9
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def metric_values(doc):
+    out = {}
+    for key, entry in doc.get("metrics", {}).items():
+        if not isinstance(entry, dict):
+            continue
+        value = entry.get("value")
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        if not math.isfinite(value):
+            continue
+        out[key] = (float(value), str(entry.get("unit", "")))
+    return out
+
+
+def classify(key, unit):
+    """'timing' (lower is better, noisy), 'higher' or 'exact'."""
+    if key.endswith(HIGHER_BETTER_SUFFIXES):
+        return "higher"
+    if unit in TIMING_UNITS:
+        return "timing"
+    return "exact"
+
+
+def compare(current_path, baseline_path, args):
+    """Returns (regressions, notes) for one current/baseline pair."""
+    current = load(current_path)
+    baseline = load(baseline_path)
+    regressions = []
+    notes = []
+
+    if current.get("smoke") != baseline.get("smoke") or \
+            current.get("threads") != baseline.get("threads") or \
+            current.get("backend") != baseline.get("backend"):
+        notes.append(
+            f"{current_path}: run shape differs from baseline "
+            f"(smoke/threads/backend); comparison may not be meaningful")
+
+    cur = metric_values(current)
+    base = metric_values(baseline)
+    for key in sorted(base):
+        if key in SKIP_KEYS:
+            continue
+        if key not in cur:
+            notes.append(f"{current_path}: metric {key!r} dropped "
+                         f"(present only in baseline)")
+            continue
+        cur_v, cur_unit = cur[key]
+        base_v, _ = base[key]
+        kind = classify(key, cur_unit)
+        denom = max(abs(base_v), EPSILON)
+        delta = (cur_v - base_v) / denom
+        if kind == "timing":
+            if delta > args.timing_tolerance:
+                regressions.append(
+                    f"{current_path}: {key} = {cur_v:g}{cur_unit} vs "
+                    f"baseline {base_v:g} (+{delta * 100:.0f}%, timing "
+                    f"tolerance {args.timing_tolerance * 100:.0f}%)")
+        elif kind == "higher":
+            if -delta > args.tolerance:
+                regressions.append(
+                    f"{current_path}: {key} = {cur_v:g} vs baseline "
+                    f"{base_v:g} ({delta * 100:.0f}%, tolerance "
+                    f"{args.tolerance * 100:.0f}%)")
+        else:
+            if abs(delta) > args.tolerance:
+                regressions.append(
+                    f"{current_path}: {key} = {cur_v:g} vs baseline "
+                    f"{base_v:g} ({delta * 100:+.0f}%, tolerance "
+                    f"{args.tolerance * 100:.0f}%)")
+    for key in sorted(set(cur) - set(base)):
+        notes.append(f"{current_path}: new metric {key!r} (no baseline)")
+    return regressions, notes
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("files", nargs="+", help="current BENCH_*.json files")
+    parser.add_argument("--baselines", default="bench/baselines",
+                        help="directory of baseline BENCH_*.json snapshots")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="relative tolerance for deterministic metrics")
+    parser.add_argument("--timing-tolerance", type=float, default=3.0,
+                        help="relative growth tolerance for timing metrics")
+    parser.add_argument("--strict", action="store_true",
+                        help="treat a missing baseline as a failure")
+    args = parser.parse_args(argv[1:])
+
+    failures = []
+    compared = 0
+    for path in args.files:
+        baseline_path = os.path.join(args.baselines, os.path.basename(path))
+        if not os.path.exists(baseline_path):
+            msg = f"{path}: no baseline at {baseline_path}"
+            if args.strict:
+                failures.append(msg)
+            else:
+                print(f"note: {msg}")
+            continue
+        try:
+            regressions, notes = compare(path, baseline_path, args)
+        except (OSError, json.JSONDecodeError) as e:
+            failures.append(f"{path}: unreadable: {e}")
+            continue
+        compared += 1
+        for note in notes:
+            print(f"note: {note}")
+        failures.extend(regressions)
+
+    for failure in failures:
+        print(f"REGRESSION: {failure}" if "no baseline" not in failure
+              and "unreadable" not in failure else f"ERROR: {failure}",
+              file=sys.stderr)
+    if not failures:
+        print(f"OK: {compared} bench file(s) within tolerance")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

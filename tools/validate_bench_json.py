@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
-"""Validates BENCH_*.json telemetry files against the BenchReport schema.
+"""Validates observability artifacts the engine emits.
 
-Schema (emitted by bench/bench_util.h):
+Default mode checks BENCH_*.json telemetry files against the BenchReport
+schema (emitted by bench/bench_util.h):
   {
     "name": "<bench binary name>",        # required, non-empty string
     "threads": N,                         # required, int >= 1
@@ -12,12 +13,21 @@ Schema (emitted by bench/bench_util.h):
     "meta": {...}                         # optional free-form object
   }
 
-Usage: validate_bench_json.py FILE [FILE...]
+--trace checks Chrome trace_event JSON (obs::Tracer::ToChromeJson and the
+TRACE_*.json files benches write under --trace): a "traceEvents" array of
+"X"/"i" phase events with name/cat/ts/pid/tid, "dur" on complete spans.
+
+--prom checks Prometheus text exposition 0.0.4 (what GET /metrics serves):
+legal metric/label names, parseable sample values, HELP/TYPE comments
+naming the sample family they precede.
+
+Usage: validate_bench_json.py [--trace|--prom] FILE [FILE...]
 Exits non-zero and prints one line per problem if any file fails.
 """
 
 import json
 import math
+import re
 import sys
 
 
@@ -73,17 +83,131 @@ def validate(path):
     return problems
 
 
+def validate_trace(path):
+    """Chrome trace_event JSON: what chrome://tracing / Perfetto load."""
+    problems = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: unreadable or invalid JSON: {e}"]
+
+    if not isinstance(doc, dict):
+        return [f"{path}: top-level value must be an object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return [f"{path}: 'traceEvents' must be an array"]
+    for i, e in enumerate(events):
+        where = f"{path}: traceEvents[{i}]"
+        if not isinstance(e, dict):
+            problems.append(f"{where}: must be an object")
+            continue
+        ph = e.get("ph")
+        if ph not in ("X", "i", "B", "E", "M"):
+            problems.append(f"{where}: unsupported phase {ph!r}")
+        if not isinstance(e.get("name"), str) or not e.get("name"):
+            problems.append(f"{where}: 'name' must be a non-empty string")
+        if not isinstance(e.get("cat", ""), str):
+            problems.append(f"{where}: 'cat' must be a string")
+        for key in ("ts", "pid", "tid"):
+            v = e.get(key)
+            if not isinstance(v, (int, float)) or isinstance(v, bool) \
+                    or not math.isfinite(v):
+                problems.append(f"{where}: {key!r} must be a finite number")
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or isinstance(dur, bool) \
+                    or not math.isfinite(dur) or dur < 0:
+                problems.append(
+                    f"{where}: complete event needs a non-negative 'dur'")
+    return problems
+
+
+_PROM_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_PROM_LABEL = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# metric_name{labels} value  — labels optional; value then end of line.
+_PROM_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$")
+_PROM_LABEL_PAIR = re.compile(
+    r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$')
+
+
+def validate_prom(path):
+    """Prometheus text exposition 0.0.4: what GET /metrics serves."""
+    problems = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        return [f"{path}: unreadable: {e}"]
+
+    samples = 0
+    pending_family = None  # Family named by the last HELP/TYPE comment.
+    for n, line in enumerate(lines, start=1):
+        where = f"{path}:{n}"
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                if len(parts) < 3 or not _PROM_NAME.match(parts[2]):
+                    problems.append(f"{where}: malformed {parts[1]} comment")
+                else:
+                    pending_family = parts[2]
+                if parts[1] == "TYPE" and (
+                        len(parts) < 4 or parts[3] not in (
+                            "counter", "gauge", "histogram", "summary",
+                            "untyped")):
+                    problems.append(f"{where}: unknown metric type")
+            continue
+        m = _PROM_SAMPLE.match(line)
+        if not m:
+            problems.append(f"{where}: unparseable sample line: {line!r}")
+            continue
+        samples += 1
+        if pending_family is not None and m.group("name") != pending_family:
+            problems.append(
+                f"{where}: sample {m.group('name')!r} does not match the "
+                f"preceding HELP/TYPE family {pending_family!r}")
+        pending_family = None
+        value = m.group("value")
+        if value not in ("+Inf", "-Inf", "NaN"):
+            try:
+                float(value)
+            except ValueError:
+                problems.append(f"{where}: unparseable value {value!r}")
+        labels = m.group("labels")
+        if labels:
+            for pair in re.split(r",(?=[a-zA-Z_])", labels):
+                lm = _PROM_LABEL_PAIR.match(pair)
+                if not lm:
+                    problems.append(f"{where}: malformed label pair {pair!r}")
+                elif not _PROM_LABEL.match(lm.group("key")):
+                    problems.append(
+                        f"{where}: illegal label name {lm.group('key')!r}")
+    if samples == 0:
+        problems.append(f"{path}: no samples found")
+    return problems
+
+
 def main(argv):
+    mode = validate
+    kind = "telemetry"
+    if len(argv) > 1 and argv[1] in ("--trace", "--prom"):
+        mode = validate_trace if argv[1] == "--trace" else validate_prom
+        kind = "trace" if argv[1] == "--trace" else "prometheus"
+        argv = argv[:1] + argv[2:]
     if len(argv) < 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     all_problems = []
     for path in argv[1:]:
-        all_problems.extend(validate(path))
+        all_problems.extend(mode(path))
     for problem in all_problems:
         print(problem, file=sys.stderr)
     if not all_problems:
-        print(f"OK: {len(argv) - 1} telemetry file(s) schema-valid")
+        print(f"OK: {len(argv) - 1} {kind} file(s) schema-valid")
     return 1 if all_problems else 0
 
 
