@@ -99,6 +99,11 @@ std::string DatabaseStats::ToString() const {
          ", evictions=" + std::to_string(buffer_evictions) +
          ", writebacks=" + std::to_string(buffer_writebacks) +
          ", prefetched=" + std::to_string(buffer_prefetched) +
+         ", spilled_parts=" + std::to_string(spilled_partitions) +
+         ", spill_written=" + std::to_string(spill_bytes_written) +
+         ", spill_read=" + std::to_string(spill_bytes_read) +
+         ", async_reads=" + std::to_string(async_reads) +
+         ", async_inflight_peak=" + std::to_string(async_reads_inflight_peak) +
          ", shards=" + std::to_string(metric_shards) +
          ", sampler=" + (sampler_running ? "on" : "off") + "}";
 }
@@ -136,6 +141,11 @@ std::string DatabaseStats::ToJson() const {
   w.Field("buffer_evictions", buffer_evictions);
   w.Field("buffer_writebacks", buffer_writebacks);
   w.Field("buffer_prefetched", buffer_prefetched);
+  w.Field("spilled_partitions", spilled_partitions);
+  w.Field("spill_bytes_written", spill_bytes_written);
+  w.Field("spill_bytes_read", spill_bytes_read);
+  w.Field("async_reads", async_reads);
+  w.Field("async_reads_inflight_peak", async_reads_inflight_peak);
   w.Field("metric_shards", metric_shards);
   w.Field("sampler_running", sampler_running);
   w.Key("rates_per_second").BeginObject();
@@ -231,6 +241,20 @@ std::string DatabaseStats::ToPrometheus() const {
       {"adaptdb_buffer_prefetched_total",
        static_cast<double>(buffer_prefetched),
        "Frames loaded ahead of use by Prefetch()."},
+      {"adaptdb_spilled_partitions_total",
+       static_cast<double>(spilled_partitions),
+       "Join partitions routed through spill files."},
+      {"adaptdb_spill_bytes_written_total",
+       static_cast<double>(spill_bytes_written),
+       "Encoded bytes written to spill files."},
+      {"adaptdb_spill_bytes_read_total",
+       static_cast<double>(spill_bytes_read),
+       "Encoded bytes read back from spill files."},
+      {"adaptdb_async_reads_total", static_cast<double>(async_reads),
+       "Read ops submitted to AsyncIo backends."},
+      {"adaptdb_async_reads_inflight_peak",
+       static_cast<double>(async_reads_inflight_peak),
+       "High-water mark of concurrently in-flight async reads."},
       {"adaptdb_metric_shards", static_cast<double>(metric_shards),
        "Counter shards ever leased (peak concurrent counting threads)."},
   };
@@ -381,6 +405,9 @@ StorageCounters Database::TotalStorageCounters() const {
     total.buffer_hits += c.buffer_hits;
     total.buffer_misses += c.buffer_misses;
     total.physical_block_writes += c.physical_block_writes;
+    total.async_reads += c.async_reads;
+    total.async_inflight_peak =
+        std::max(total.async_inflight_peak, c.async_inflight_peak);
   }
   return total;
 }
@@ -658,6 +685,11 @@ DatabaseStats Database::Stats() const {
   stats.buffer_evictions = m[obs::Counter::kBufferEvictions];
   stats.buffer_writebacks = m[obs::Counter::kBufferWritebacks];
   stats.buffer_prefetched = m[obs::Counter::kBufferPrefetched];
+  stats.spilled_partitions = m[obs::Counter::kSpilledPartitions];
+  stats.spill_bytes_written = m[obs::Counter::kSpillBytesWritten];
+  stats.spill_bytes_read = m[obs::Counter::kSpillBytesRead];
+  stats.async_reads = counters.async_reads;
+  stats.async_reads_inflight_peak = counters.async_inflight_peak;
   stats.metric_shards =
       static_cast<int64_t>(obs::MetricsRegistry::Instance().num_shards());
   if (sampler_ != nullptr) {

@@ -143,6 +143,16 @@ struct DatabaseStats {
   int64_t buffer_evictions = 0;
   int64_t buffer_writebacks = 0;
   int64_t buffer_prefetched = 0;
+  /// Out-of-core execution: join partitions routed through spill files,
+  /// and the encoded bytes written to / read back from them (registry
+  /// counters, cumulative across all queries).
+  int64_t spilled_partitions = 0;
+  int64_t spill_bytes_written = 0;
+  int64_t spill_bytes_read = 0;
+  /// Async I/O: read ops submitted to the stores' AsyncIo backends and the
+  /// high-water mark of concurrently in-flight reads (max across stores).
+  int64_t async_reads = 0;
+  int64_t async_reads_inflight_peak = 0;
   /// Counter shards ever leased (== peak concurrent counting threads).
   int64_t metric_shards = 0;
 

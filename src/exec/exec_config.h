@@ -5,10 +5,49 @@
 #define ADAPTDB_EXEC_EXEC_CONFIG_H_
 
 #include <cstdint>
+#include <string>
 
 namespace adaptdb {
 
 class TaskPool;
+
+namespace io {
+class AsyncIo;
+}  // namespace io
+
+/// \brief Out-of-core (spilling) execution knobs.
+///
+/// When enabled, the shuffle join's map phase writes each destination
+/// partition's rows to a checksummed spill file and the reduce phase
+/// streams them back one partition at a time, so peak block residency is
+/// bounded by one morsel's pins plus one partition's build+probe instead
+/// of the whole input. The hyper join uses the same machinery as a
+/// grace-hash fallback for groups whose build side exceeds
+/// `max_build_blocks`. Results (rows, JoinCounts, logical IoStats) stay
+/// bitwise identical to the in-memory path at any thread count.
+struct SpillConfig {
+  /// Master switch; off keeps the pin-everything in-memory join.
+  bool enabled = false;
+  /// Directory for spill files. Empty: the system temp directory. Files
+  /// are unlinked at creation, so nothing survives a crash either way.
+  std::string dir;
+  /// Rows buffered per partition before a chunk is encoded and appended
+  /// to the spill file. Fixed independently of num_threads (chunks are
+  /// per-morsel, so the chunk sequence is decomposition-derived).
+  int64_t chunk_rows = 4096;
+  /// Hyper-join grace-hash threshold: groups whose build side has more
+  /// blocks than this spill instead of building in memory. 0 disables the
+  /// fallback (the default — plain `ADAPTDB_SPILL=1` affects only the
+  /// shuffle join).
+  int64_t max_build_blocks = 0;
+  /// I/O threads for the join-owned AsyncIo doing spill writes and
+  /// read-ahead. 0 makes all spill I/O synchronous.
+  int32_t io_threads = 1;
+  /// Test injection: when non-null, spill I/O uses this backend instead
+  /// of creating one (not owned). Lets fault-injection tests fail or
+  /// corrupt spill traffic deterministically.
+  io::AsyncIo* async_io = nullptr;
+};
 
 /// \brief Knobs of the (optionally parallel) execution engine.
 ///
@@ -40,7 +79,28 @@ struct ExecConfig {
   /// thread count takes precedence over num_threads for scheduling (the
   /// work decomposition stays num_threads-independent either way).
   TaskPool* pool = nullptr;
+
+  /// Scan/aggregate morsel size target in *bytes* (adaptive morsel
+  /// sizing). 0 (the default) keeps the fixed morsel_blocks decomposition.
+  /// When > 0 and every block's SizeBytesHint is known, morsel boundaries
+  /// are chosen so each morsel covers ≥1 block and at most ~morsel_bytes
+  /// of payload — a pure function of block metadata, so the decomposition
+  /// (and fp aggregation order) is still thread-count-independent. Falls
+  /// back to morsel_blocks when any hint is unavailable.
+  int64_t morsel_bytes = 0;
+
+  /// Out-of-core execution knobs (see SpillConfig).
+  SpillConfig spill;
 };
+
+/// Applies environment overrides to `spill` (used by CI to run suites with
+/// spilling on without code changes):
+///   ADAPTDB_SPILL=1|0              sets enabled
+///   ADAPTDB_SPILL_ROWS=N           sets chunk_rows (N >= 1)
+///   ADAPTDB_SPILL_BUILD_BLOCKS=N   sets max_build_blocks (N >= 0)
+///   ADAPTDB_SPILL_IO_THREADS=N     sets io_threads (N >= 0)
+///   ADAPTDB_SPILL_DIR=path         sets dir
+SpillConfig ApplySpillEnv(SpillConfig spill);
 
 }  // namespace adaptdb
 

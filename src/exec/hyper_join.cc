@@ -1,11 +1,39 @@
 #include "exec/hyper_join.h"
 
+#include <algorithm>
 #include <chrono>
+#include <vector>
 
+#include "exec/spill.h"
 #include "obs/metrics.h"
 #include "parallel/parallel_hyper_join.h"
 
 namespace adaptdb {
+
+namespace {
+
+/// Probe-set read-ahead window: while a group probes one window of S
+/// blocks, the next window loads into the buffer pool through the store's
+/// async backend (the scan path's idiom, extended to the join's probe
+/// stream). Serial-path feature like scan read-ahead — parallel groups
+/// already overlap their probe loads across threads.
+constexpr size_t kProbePrefetchWindow = 8;
+
+int64_t PrefetchProbeWindow(const BlockStore& store,
+                            const std::vector<BlockId>& probe_ids, size_t lo,
+                            size_t hi, const PredicateSet& preds) {
+  if (lo >= hi) return 0;
+  std::vector<BlockId> ahead;
+  ahead.reserve(hi - lo);
+  for (size_t j = lo; j < hi; ++j) {
+    if (preds.empty() || store.MayMatchMeta(probe_ids[j], preds)) {
+      ahead.push_back(probe_ids[j]);
+    }
+  }
+  return store.Prefetch(ahead);
+}
+
+}  // namespace
 
 Result<JoinExecResult> HyperJoin(const BlockStore& r_store, AttrId r_attr,
                                  const PredicateSet& r_preds,
@@ -14,8 +42,10 @@ Result<JoinExecResult> HyperJoin(const BlockStore& r_store, AttrId r_attr,
                                  const OverlapMatrix& overlap,
                                  const Grouping& grouping,
                                  const ClusterSim& cluster,
+                                 const SpillConfig& spill,
                                  std::vector<Record>* output) {
   JoinExecResult out;
+  const bool read_ahead = s_store.CanPrefetch();
   const auto phase_start = std::chrono::steady_clock::now();
   for (const auto& group : grouping.groups) {
     if (group.empty()) continue;
@@ -24,6 +54,25 @@ Result<JoinExecResult> HyperJoin(const BlockStore& r_store, AttrId r_attr,
     group_blocks.reserve(group.size());
     for (size_t i : group) group_blocks.push_back(overlap.r_blocks[i]);
     const NodeId worker = cluster.ScheduleTask(group_blocks);
+
+    const bool grace =
+        spill.enabled && spill.max_build_blocks > 0 &&
+        static_cast<int64_t>(group_blocks.size()) > spill.max_build_blocks;
+    if (grace) {
+      // Oversized build side: don't pin it — hash-partition both sides to
+      // spill files and join one partition at a time. The needed-S set is
+      // computed from the overlap vectors alone (no block access).
+      BitVector needed(overlap.NumS());
+      for (size_t i : group) needed.OrWith(overlap.vectors[i]);
+      std::vector<BlockId> probe_ids;
+      for (size_t j : needed.SetBits()) {
+        probe_ids.push_back(overlap.s_blocks[j]);
+      }
+      ADB_RETURN_NOT_OK(exec::GraceHashJoinGroup(
+          r_store, r_attr, r_preds, s_store, s_attr, s_preds, group_blocks,
+          probe_ids, cluster, worker, spill, &out, output));
+      continue;
+    }
 
     HashIndex index(r_attr);
     BitVector needed(overlap.NumS());
@@ -51,8 +100,18 @@ Result<JoinExecResult> HyperJoin(const BlockStore& r_store, AttrId r_attr,
     // scan path applies, extended to the join; MayMatchMeta never does
     // I/O). Probing a pruned block would find nothing: its selection
     // vector is provably empty.
+    std::vector<BlockId> probe_ids;
     for (size_t j : needed.SetBits()) {
-      const BlockId sb = overlap.s_blocks[j];
+      probe_ids.push_back(overlap.s_blocks[j]);
+    }
+    const size_t n = probe_ids.size();
+    for (size_t j = 0; j < n; ++j) {
+      const BlockId sb = probe_ids[j];
+      if (read_ahead && j % kProbePrefetchWindow == 0) {
+        out.io.prefetched += PrefetchProbeWindow(
+            s_store, probe_ids, j + kProbePrefetchWindow,
+            std::min(n, j + 2 * kProbePrefetchWindow), s_preds);
+      }
       if (!s_preds.empty() && !s_store.MayMatchMeta(sb, s_preds)) {
         ++out.s_blocks_skipped;
         obs::Count(obs::Counter::kBlocksSkippedMeta);
@@ -84,14 +143,33 @@ Result<JoinExecResult> HyperJoin(const BlockStore& r_store, AttrId r_attr,
                                  const OverlapMatrix& overlap,
                                  const Grouping& grouping,
                                  const ClusterSim& cluster,
+                                 std::vector<Record>* output) {
+  // Env-driven spilling applies here too: every entry point must take the
+  // same grace-vs-in-memory decision per group, or serial and parallel
+  // runs would emit group rows in different orders under ADAPTDB_SPILL.
+  return HyperJoin(r_store, r_attr, r_preds, s_store, s_attr, s_preds,
+                   overlap, grouping, cluster, ApplySpillEnv(SpillConfig{}),
+                   output);
+}
+
+Result<JoinExecResult> HyperJoin(const BlockStore& r_store, AttrId r_attr,
+                                 const PredicateSet& r_preds,
+                                 const BlockStore& s_store, AttrId s_attr,
+                                 const PredicateSet& s_preds,
+                                 const OverlapMatrix& overlap,
+                                 const Grouping& grouping,
+                                 const ClusterSim& cluster,
                                  const ExecConfig& config,
                                  std::vector<Record>* output) {
+  const SpillConfig spill = ApplySpillEnv(config.spill);
   if (config.num_threads <= 1) {
     return HyperJoin(r_store, r_attr, r_preds, s_store, s_attr, s_preds,
-                     overlap, grouping, cluster, output);
+                     overlap, grouping, cluster, spill, output);
   }
+  ExecConfig resolved = config;
+  resolved.spill = spill;
   return ParallelHyperJoin(r_store, r_attr, r_preds, s_store, s_attr, s_preds,
-                           overlap, grouping, cluster, config, output);
+                           overlap, grouping, cluster, resolved, output);
 }
 
 }  // namespace adaptdb

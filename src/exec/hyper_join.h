@@ -33,9 +33,27 @@ Result<JoinExecResult> HyperJoin(const BlockStore& r_store, AttrId r_attr,
                                  const ClusterSim& cluster,
                                  std::vector<Record>* output = nullptr);
 
+/// Serial executor with out-of-core support: groups whose build side
+/// exceeds spill.max_build_blocks grace-hash-partition both sides to spill
+/// files and join one hash partition at a time (exec/spill.h) instead of
+/// pinning the whole build side. Logical IoStats and JoinCounts are
+/// identical to the in-memory path; materialized output row *order* within
+/// a grace group differs (partitioned). The parallel driver runs this per
+/// group, so the fallback behaves identically at any thread count.
+Result<JoinExecResult> HyperJoin(const BlockStore& r_store, AttrId r_attr,
+                                 const PredicateSet& r_preds,
+                                 const BlockStore& s_store, AttrId s_attr,
+                                 const PredicateSet& s_preds,
+                                 const OverlapMatrix& overlap,
+                                 const Grouping& grouping,
+                                 const ClusterSim& cluster,
+                                 const SpillConfig& spill,
+                                 std::vector<Record>* output);
+
 /// ExecConfig entry point: serial at num_threads <= 1, one task per group
 /// on a work-stealing pool otherwise (src/parallel/parallel_hyper_join.h).
-/// Output sequence and IoStats are identical at any thread count.
+/// Output sequence and IoStats are identical at any thread count. Applies
+/// ApplySpillEnv to config.spill before dispatching.
 Result<JoinExecResult> HyperJoin(const BlockStore& r_store, AttrId r_attr,
                                  const PredicateSet& r_preds,
                                  const BlockStore& s_store, AttrId s_attr,

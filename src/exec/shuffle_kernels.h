@@ -51,18 +51,27 @@ inline Status MapBlock(const BlockStore& store, BlockId id, AttrId attr,
   return Status::OK();
 }
 
-/// Reduce-side kernel for one partition: build a hash index on the R rows,
-/// probe with the S rows in order, accumulate counts and (when `output` is
-/// non-null) late-materialize build ++ probe rows.
-inline void BuildProbePartition(const std::vector<RowRef>& r_part,
-                                AttrId r_attr,
-                                const std::vector<RowRef>& s_part,
-                                AttrId s_attr, JoinCounts* counts,
-                                std::vector<Record>* output) {
-  std::unordered_map<Value, std::vector<RowRef>, ValueHash, ValueEq> index;
+/// Hash index over one partition's build rows — the reduce phase's
+/// per-partition structure, shared between the in-memory reduce and the
+/// spilling reduce (which feeds it decoded chunk rows instead).
+using PartitionIndex =
+    std::unordered_map<Value, std::vector<RowRef>, ValueHash, ValueEq>;
+
+/// Adds build-side rows to the partition index (insertion order preserved
+/// within a bucket, so probe output order is feed-order-deterministic).
+inline void AddToPartitionIndex(const std::vector<RowRef>& r_part,
+                                AttrId r_attr, PartitionIndex* index) {
   for (const RowRef& ref : r_part) {
-    index[ref.KeyAt(r_attr)].push_back(ref);
+    (*index)[ref.KeyAt(r_attr)].push_back(ref);
   }
+}
+
+/// Probes the partition index with S rows in order, accumulating counts and
+/// (when `output` is non-null) late-materializing build ++ probe rows.
+inline void ProbePartitionRows(const PartitionIndex& index,
+                               const std::vector<RowRef>& s_part,
+                               AttrId s_attr, JoinCounts* counts,
+                               std::vector<Record>* output) {
   for (const RowRef& ref : s_part) {
     // Probe keys read in place: a heterogeneous ColumnKey lookup for
     // block rows, the record's own Value by reference otherwise — no key
@@ -89,6 +98,18 @@ inline void BuildProbePartition(const std::vector<RowRef>& r_part,
       }
     }
   }
+}
+
+/// Reduce-side kernel for one partition: build a hash index on the R rows,
+/// probe with the S rows in order (see the two halves above).
+inline void BuildProbePartition(const std::vector<RowRef>& r_part,
+                                AttrId r_attr,
+                                const std::vector<RowRef>& s_part,
+                                AttrId s_attr, JoinCounts* counts,
+                                std::vector<Record>* output) {
+  PartitionIndex index;
+  AddToPartitionIndex(r_part, r_attr, &index);
+  ProbePartitionRows(index, s_part, s_attr, counts, output);
 }
 
 }  // namespace adaptdb::shuffle_internal

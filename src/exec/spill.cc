@@ -1,0 +1,677 @@
+#include "exec/spill.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <utility>
+
+#include "exec/shuffle_kernels.h"
+#include "io/format.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "parallel/task_pool.h"
+
+namespace adaptdb {
+
+SpillConfig ApplySpillEnv(SpillConfig spill) {
+  if (const char* enabled = std::getenv("ADAPTDB_SPILL")) {
+    spill.enabled = enabled[0] == '1';
+  }
+  if (const char* rows = std::getenv("ADAPTDB_SPILL_ROWS")) {
+    const long long n = std::atoll(rows);
+    if (n >= 1) spill.chunk_rows = static_cast<int64_t>(n);
+  }
+  if (const char* blocks = std::getenv("ADAPTDB_SPILL_BUILD_BLOCKS")) {
+    const long long n = std::atoll(blocks);
+    if (n >= 0) spill.max_build_blocks = static_cast<int64_t>(n);
+  }
+  if (const char* threads = std::getenv("ADAPTDB_SPILL_IO_THREADS")) {
+    const long long n = std::atoll(threads);
+    if (n >= 0) spill.io_threads = static_cast<int32_t>(n);
+  }
+  if (const char* dir = std::getenv("ADAPTDB_SPILL_DIR")) {
+    spill.dir = dir;
+  }
+  return spill;
+}
+
+namespace exec {
+
+namespace {
+
+double SecondsSince(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+Status WriteAllAt(int fd, const std::string& bytes, uint64_t offset) {
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n = ::pwrite(fd, bytes.data() + written,
+                               bytes.size() - written,
+                               static_cast<off_t>(offset + written));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("spill pwrite failed: ") +
+                              std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Deterministic chunk block id: the writer's global morsel index in the
+/// high bits, the morsel-local creation sequence in the low.
+BlockId ChunkId(int64_t morsel, int64_t seq) {
+  return (morsel << 32) | seq;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SpillFile>> SpillFile::Create(const std::string& dir,
+                                                     io::AsyncIo* async) {
+  std::string base = dir;
+  if (base.empty()) {
+    const char* tmp = std::getenv("TMPDIR");
+    base = (tmp != nullptr && tmp[0] != '\0') ? tmp : "/tmp";
+  }
+  std::string tmpl = base + "/adaptdb-spill-XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  const int fd = ::mkstemp(buf.data());
+  if (fd < 0) {
+    return Status::Internal("mkstemp('" + tmpl +
+                            "') failed: " + std::strerror(errno));
+  }
+  // Unlink immediately: the fd is the only reference, so the file vanishes
+  // on close — including after a crash. Nothing to clean up, ever.
+  ::unlink(buf.data());
+  return std::unique_ptr<SpillFile>(new SpillFile(fd, async));
+}
+
+SpillFile::~SpillFile() {
+  // In-flight async writes reference both the fd and this object's error
+  // slot; wait for them before closing either (error paths may destroy the
+  // file without calling Finish()).
+  if (async_ != nullptr) async_->Drain();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<SpillChunk> SpillFile::AppendBlock(const Block& block) {
+  auto bytes = std::make_shared<std::string>(io::EncodeBlock(block));
+  SpillChunk chunk;
+  chunk.chunk_id = block.id();
+  chunk.rows = static_cast<int64_t>(block.num_records());
+  chunk.length = bytes->size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!first_error_.ok()) return first_error_;
+    chunk.offset = size_;
+    size_ += bytes->size();
+  }
+  obs::Count(obs::Counter::kSpillBytesWritten,
+             static_cast<int64_t>(bytes->size()));
+  if (async_ == nullptr) {
+    const Status st = WriteAllAt(fd_, *bytes, chunk.offset);
+    if (!st.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (first_error_.ok()) first_error_ = st;
+      return st;
+    }
+    return chunk;
+  }
+  io::AsyncIo::Op op;
+  op.kind = io::AsyncIo::Op::Kind::kWrite;
+  op.fd = fd_;
+  op.offset = chunk.offset;
+  op.buf = bytes.get();
+  op.done = [this, bytes](Status st) {
+    if (!st.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (first_error_.ok()) first_error_ = std::move(st);
+    }
+  };
+  std::vector<io::AsyncIo::Op> ops;
+  ops.push_back(std::move(op));
+  async_->Submit(std::move(ops));
+  return chunk;
+}
+
+Status SpillFile::Finish() {
+  if (async_ != nullptr) async_->Drain();
+  std::lock_guard<std::mutex> lock(mu_);
+  return first_error_;
+}
+
+Status SpillFile::ReadChunkRaw(const SpillChunk& chunk,
+                               std::string* out) const {
+  out->resize(chunk.length);
+  size_t done = 0;
+  while (done < chunk.length) {
+    const ssize_t n = ::pread(fd_, out->data() + done, chunk.length - done,
+                              static_cast<off_t>(chunk.offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("spill pread failed: ") +
+                              std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::Corruption(
+          "short read in spill file: " + std::to_string(done) + " of " +
+          std::to_string(chunk.length) + " bytes at offset " +
+          std::to_string(chunk.offset) + " (truncated file?)");
+    }
+    done += static_cast<size_t>(n);
+  }
+  obs::Count(obs::Counter::kSpillBytesRead,
+             static_cast<int64_t>(chunk.length));
+  return Status::OK();
+}
+
+Result<Block> SpillFile::DecodeChunk(const SpillChunk& chunk,
+                                     const std::string& bytes,
+                                     int32_t expected_attrs) {
+  auto block = io::DecodeBlock(bytes, expected_attrs);
+  if (!block.ok()) return block.status();
+  if (block.ValueOrDie().id() != chunk.chunk_id) {
+    return Status::Corruption(
+        "spill chunk at offset " + std::to_string(chunk.offset) +
+        " holds chunk " + std::to_string(block.ValueOrDie().id()) +
+        ", expected " + std::to_string(chunk.chunk_id));
+  }
+  return block;
+}
+
+Result<Block> SpillFile::ReadChunk(const SpillChunk& chunk,
+                                   int32_t expected_attrs) const {
+  std::string bytes;
+  ADB_RETURN_NOT_OK(ReadChunkRaw(chunk, &bytes));
+  return DecodeChunk(chunk, bytes, expected_attrs);
+}
+
+int64_t SpillFile::bytes_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(size_);
+}
+
+namespace {
+
+/// One in-flight asynchronous chunk read: buffer + completion latch.
+struct PendingRead {
+  std::string buf;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Status status;
+};
+
+/// Streams a partition's chunks in order with one-chunk read-ahead on the
+/// AsyncIo backend (synchronous reads when no backend is available). The
+/// overlap target: while the consumer decodes+probes chunk i, chunk i+1's
+/// pread is in flight on an I/O thread.
+class ChunkStream {
+ public:
+  ChunkStream(const SpillFile& file, const std::vector<SpillChunk>& chunks,
+              io::AsyncIo* async)
+      : file_(file), chunks_(chunks), async_(async) {
+    if (async_ != nullptr && !chunks_.empty()) StartRead(0);
+  }
+
+  /// Reads (or collects) chunk `next_` and decodes it.
+  Result<Block> Next(int32_t expected_attrs) {
+    const size_t i = next_++;
+    const SpillChunk& chunk = chunks_[i];
+    if (async_ == nullptr) {
+      return file_.ReadChunk(chunk, expected_attrs);
+    }
+    std::shared_ptr<PendingRead> pending = std::move(inflight_);
+    if (i + 1 < chunks_.size()) StartRead(i + 1);
+    std::unique_lock<std::mutex> lock(pending->mu);
+    pending->cv.wait(lock, [&] { return pending->done; });
+    if (!pending->status.ok()) return pending->status;
+    obs::Count(obs::Counter::kSpillBytesRead,
+               static_cast<int64_t>(chunk.length));
+    return SpillFile::DecodeChunk(chunk, pending->buf, expected_attrs);
+  }
+
+ private:
+  void StartRead(size_t i) {
+    auto pending = std::make_shared<PendingRead>();
+    pending->buf.resize(chunks_[i].length);
+    io::AsyncIo::Op op;
+    op.kind = io::AsyncIo::Op::Kind::kRead;
+    op.fd = file_.fd_for_testing();
+    op.offset = chunks_[i].offset;
+    op.buf = &pending->buf;
+    op.done = [pending](Status st) {
+      std::lock_guard<std::mutex> lock(pending->mu);
+      pending->status = std::move(st);
+      pending->done = true;
+      pending->cv.notify_all();
+    };
+    inflight_ = pending;
+    std::vector<io::AsyncIo::Op> ops;
+    ops.push_back(std::move(op));
+    async_->Submit(std::move(ops));
+  }
+
+  const SpillFile& file_;
+  const std::vector<SpillChunk>& chunks_;
+  io::AsyncIo* async_;
+  std::shared_ptr<PendingRead> inflight_;
+  size_t next_ = 0;
+};
+
+/// One spill-map morsel's output: per-partition chunk descriptor lists (in
+/// creation order) plus the morsel's I/O accounting.
+struct SpillMapPartial {
+  Status status;
+  std::vector<std::vector<SpillChunk>> chunks;
+  IoStats io;
+  int64_t blocks_read = 0;
+};
+
+/// Per-partition chunk buffers of one morsel: rows accumulate into a Block
+/// until chunk_rows, then encode+append to the spill file. Buffer creation
+/// order assigns chunk ids, so ids are a pure function of the (fixed)
+/// decomposition and the row data.
+class PartitionBuffers {
+ public:
+  PartitionBuffers(size_t num_partitions, int32_t num_attrs,
+                   int64_t chunk_rows, int64_t global_morsel, SpillFile* file,
+                   SpillMapPartial* partial)
+      : num_attrs_(num_attrs),
+        chunk_rows_(std::max<int64_t>(1, chunk_rows)),
+        global_morsel_(global_morsel),
+        file_(file),
+        partial_(partial),
+        bufs_(num_partitions) {}
+
+  Status AddRow(size_t partition, const Record& rec) {
+    auto& buf = bufs_[partition];
+    if (!buf.has_value()) {
+      buf.emplace(ChunkId(global_morsel_, next_seq_++), num_attrs_);
+    }
+    buf->Add(rec);
+    if (static_cast<int64_t>(buf->num_records()) >= chunk_rows_) {
+      return Flush(partition);
+    }
+    return Status::OK();
+  }
+
+  /// End-of-morsel: flush every residual buffer in partition order.
+  Status FlushAll() {
+    for (size_t p = 0; p < bufs_.size(); ++p) {
+      if (bufs_[p].has_value()) ADB_RETURN_NOT_OK(Flush(p));
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status Flush(size_t partition) {
+    auto chunk = file_->AppendBlock(*bufs_[partition]);
+    if (!chunk.ok()) return chunk.status();
+    partial_->chunks[partition].push_back(chunk.ValueOrDie());
+    partial_->io.spill_bytes_written +=
+        static_cast<int64_t>(chunk.ValueOrDie().length);
+    bufs_[partition].reset();
+    return Status::OK();
+  }
+
+  int32_t num_attrs_;
+  int64_t chunk_rows_;
+  int64_t global_morsel_;
+  SpillFile* file_;
+  SpillMapPartial* partial_;
+  std::vector<std::optional<Block>> bufs_;
+  int64_t next_seq_ = 0;
+};
+
+/// Spilling map kernel for one morsel: read + account + filter +
+/// hash-partition *materialized rows* into spill chunks. Unlike the
+/// in-memory MapBlock, each block's pin drops at the end of its iteration —
+/// residency stays bounded by one block regardless of input size.
+void MapMorselSpill(const BlockStore& store, const std::vector<BlockId>& blocks,
+                    AttrId attr, const PredicateSet& preds,
+                    const ClusterSim& cluster, size_t num_partitions,
+                    int64_t chunk_rows, int64_t morsel, int64_t m,
+                    int64_t global_morsel, SpillFile* file,
+                    SpillMapPartial* p) {
+  p->chunks.resize(num_partitions);
+  PartitionBuffers bufs(num_partitions, store.num_attrs(), chunk_rows,
+                        global_morsel, file, p);
+  const int64_t n = static_cast<int64_t>(blocks.size());
+  const int64_t lo = m * morsel;
+  const int64_t hi = std::min<int64_t>(n, lo + morsel);
+  Record scratch;
+  for (int64_t i = lo; i < hi; ++i) {
+    const BlockId id = blocks[static_cast<size_t>(i)];
+    auto blk = store.Get(id);
+    if (!blk.ok()) {
+      p->status = blk.status();
+      return;
+    }
+    const BlockRef pin = std::move(blk).ValueOrDie();
+    auto node = cluster.Locate(id);
+    cluster.ReadBlock(id, node.ok() ? node.ValueOrDie() : 0, &p->io);
+    const SelectionVector sel = pin->FilterRows(preds);
+    const Column& key_col = pin->column(attr);
+    for (const uint32_t row : sel) {
+      const size_t part = key_col.HashAt(row) % num_partitions;
+      pin->GatherRecord(row, &scratch);
+      p->status = bufs.AddRow(part, scratch);
+      if (!p->status.ok()) return;
+    }
+    ++p->blocks_read;
+  }
+  p->status = bufs.FlushAll();
+}
+
+/// Concatenates per-morsel chunk lists for `partition` in morsel order —
+/// the serial row sequence.
+std::vector<SpillChunk> GatherChunks(
+    const std::vector<SpillMapPartial>& partials, size_t partition) {
+  std::vector<SpillChunk> out;
+  for (const SpillMapPartial& p : partials) {
+    out.insert(out.end(), p.chunks[partition].begin(),
+               p.chunks[partition].end());
+  }
+  return out;
+}
+
+/// Reduce kernel for one spilled partition: decode all build chunks (kept
+/// alive for the index's row references), then stream probe chunks in
+/// order through the shared probe kernel.
+Status ReduceSpilledPartition(const SpillFile& r_file,
+                              const std::vector<SpillChunk>& r_chunks,
+                              AttrId r_attr, int32_t r_attrs,
+                              const SpillFile& s_file,
+                              const std::vector<SpillChunk>& s_chunks,
+                              AttrId s_attr, int32_t s_attrs,
+                              io::AsyncIo* async, JoinCounts* counts,
+                              std::vector<Record>* output, IoStats* io) {
+  if (r_chunks.empty() || s_chunks.empty()) return Status::OK();
+  std::vector<std::unique_ptr<Block>> build_blocks;
+  build_blocks.reserve(r_chunks.size());
+  shuffle_internal::PartitionIndex index;
+  for (const SpillChunk& c : r_chunks) {
+    auto blk = r_file.ReadChunk(c, r_attrs);
+    if (!blk.ok()) return blk.status();
+    io->spill_bytes_read += static_cast<int64_t>(c.length);
+    build_blocks.push_back(
+        std::make_unique<Block>(std::move(blk).ValueOrDie()));
+    const Block& b = *build_blocks.back();
+    std::vector<RowRef> refs;
+    refs.reserve(b.num_records());
+    for (uint32_t row = 0; row < b.num_records(); ++row) {
+      refs.push_back(RowRef::OfBlock(&b, row));
+    }
+    shuffle_internal::AddToPartitionIndex(refs, r_attr, &index);
+  }
+  ChunkStream stream(s_file, s_chunks, async);
+  for (const SpillChunk& c : s_chunks) {
+    auto blk = stream.Next(s_attrs);
+    if (!blk.ok()) return blk.status();
+    io->spill_bytes_read += static_cast<int64_t>(c.length);
+    const Block b = std::move(blk).ValueOrDie();
+    std::vector<RowRef> refs;
+    refs.reserve(b.num_records());
+    for (uint32_t row = 0; row < b.num_records(); ++row) {
+      refs.push_back(RowRef::OfBlock(&b, row));
+    }
+    shuffle_internal::ProbePartitionRows(index, refs, s_attr, counts, output);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<JoinExecResult> SpillingShuffleJoin(
+    const BlockStore& r_store, const std::vector<BlockId>& r_blocks,
+    AttrId r_attr, const PredicateSet& r_preds, const BlockStore& s_store,
+    const std::vector<BlockId>& s_blocks, AttrId s_attr,
+    const PredicateSet& s_preds, const ClusterSim& cluster,
+    const ExecConfig& config, std::vector<Record>* output) {
+  JoinExecResult out;
+  const size_t num_partitions = static_cast<size_t>(cluster.num_nodes());
+  const SpillConfig& spill = config.spill;
+
+  std::unique_ptr<io::AsyncIo> owned_async;
+  io::AsyncIo* async = spill.async_io;
+  if (async == nullptr && spill.io_threads > 0) {
+    owned_async = io::MakeThreadPoolAsyncIo(spill.io_threads);
+    async = owned_async.get();
+  }
+  auto r_file = SpillFile::Create(spill.dir, async);
+  if (!r_file.ok()) return r_file.status();
+  auto s_file = SpillFile::Create(spill.dir, async);
+  if (!s_file.ok()) return s_file.status();
+  SpillFile* r_spill = r_file.ValueOrDie().get();
+  SpillFile* s_spill = s_file.ValueOrDie().get();
+
+  // Phase 1: morsel-decomposed map — read, filter, hash-partition, spill.
+  // Same fixed decomposition as the in-memory parallel driver; at
+  // num_threads <= 1 the morsels run inline in index order.
+  const int64_t morsel = std::max<int64_t>(1, config.morsel_blocks);
+  const int64_t r_morsels =
+      (static_cast<int64_t>(r_blocks.size()) + morsel - 1) / morsel;
+  const int64_t s_morsels =
+      (static_cast<int64_t>(s_blocks.size()) + morsel - 1) / morsel;
+  std::vector<SpillMapPartial> r_map(static_cast<size_t>(r_morsels));
+  std::vector<SpillMapPartial> s_map(static_cast<size_t>(s_morsels));
+  const auto map_start = std::chrono::steady_clock::now();
+  FirstFailure failed;
+  const auto run_map_morsel = [&](int64_t m) {
+    if (!failed.ShouldRun(m)) return;
+    obs::TraceSpan morsel_span("exec", "spill_map_morsel", "morsel", m);
+    SpillMapPartial* p;
+    if (m < r_morsels) {
+      p = &r_map[static_cast<size_t>(m)];
+      MapMorselSpill(r_store, r_blocks, r_attr, r_preds, cluster,
+                     num_partitions, spill.chunk_rows, morsel, m, m, r_spill,
+                     p);
+    } else {
+      p = &s_map[static_cast<size_t>(m - r_morsels)];
+      MapMorselSpill(s_store, s_blocks, s_attr, s_preds, cluster,
+                     num_partitions, spill.chunk_rows, morsel, m - r_morsels,
+                     m, s_spill, p);
+    }
+    if (!p->status.ok()) failed.Record(m);
+  };
+  if (config.num_threads <= 1) {
+    for (int64_t m = 0; m < r_morsels + s_morsels; ++m) run_map_morsel(m);
+  } else {
+    PoolLease pool(config.pool, config.num_threads);
+    pool->ParallelFor(0, r_morsels + s_morsels, run_map_morsel);
+  }
+  for (const SpillMapPartial& p : r_map) {
+    if (!p.status.ok()) return p.status;
+    out.io.Merge(p.io);
+    out.r_blocks_read += p.blocks_read;
+  }
+  for (const SpillMapPartial& p : s_map) {
+    if (!p.status.ok()) return p.status;
+    out.io.Merge(p.io);
+    out.s_blocks_read += p.blocks_read;
+  }
+  // Barrier: async chunk writes must be durable-in-page-cache (and their
+  // errors surfaced) before any reduce task reads them back.
+  ADB_RETURN_NOT_OK(r_spill->Finish());
+  ADB_RETURN_NOT_OK(s_spill->Finish());
+  // Every input block's data crosses the shuffle — identical logical
+  // accounting to the in-memory executor; here the "local spill write"
+  // leg of the modeled cost physically happened.
+  cluster.ShuffleBlocks(
+      static_cast<int64_t>(r_blocks.size() + s_blocks.size()), &out.io);
+
+  // Gather per-partition chunk lists in morsel order and count partitions
+  // that actually spilled (deterministic: a pure function of the data).
+  std::vector<std::vector<SpillChunk>> r_chunks(num_partitions);
+  std::vector<std::vector<SpillChunk>> s_chunks(num_partitions);
+  for (size_t p = 0; p < num_partitions; ++p) {
+    r_chunks[p] = GatherChunks(r_map, p);
+    s_chunks[p] = GatherChunks(s_map, p);
+    if (!r_chunks[p].empty() || !s_chunks[p].empty()) {
+      ++out.io.spilled_partitions;
+    }
+  }
+  obs::Count(obs::Counter::kSpilledPartitions, out.io.spilled_partitions);
+  out.phases.push_back({"map", SecondsSince(map_start), out.io,
+                        out.r_blocks_read + out.s_blocks_read});
+
+  // Phase 2: per-partition build/probe, streaming chunks back. Partitions
+  // run inline in order at num_threads <= 1, on the pool otherwise; slots
+  // merge in partition order either way.
+  const auto reduce_start = std::chrono::steady_clock::now();
+  const IoStats io_after_map = out.io;
+  struct ReduceSlot {
+    Status status;
+    JoinCounts counts;
+    std::vector<Record> rows;
+    IoStats io;
+  };
+  std::vector<ReduceSlot> reduced(num_partitions);
+  const bool materialize = output != nullptr;
+  FirstFailure reduce_failed;
+  const auto run_reduce = [&](int64_t part) {
+    if (!reduce_failed.ShouldRun(part)) return;
+    obs::TraceSpan part_span("exec", "spill_reduce_partition", "partition",
+                             part);
+    ReduceSlot& slot = reduced[static_cast<size_t>(part)];
+    slot.status = ReduceSpilledPartition(
+        *r_spill, r_chunks[static_cast<size_t>(part)], r_attr,
+        r_store.num_attrs(), *s_spill, s_chunks[static_cast<size_t>(part)],
+        s_attr, s_store.num_attrs(), async, &slot.counts,
+        materialize ? &slot.rows : nullptr, &slot.io);
+    if (!slot.status.ok()) reduce_failed.Record(part);
+  };
+  if (config.num_threads <= 1) {
+    for (int64_t part = 0; part < static_cast<int64_t>(num_partitions);
+         ++part) {
+      run_reduce(part);
+    }
+  } else {
+    PoolLease pool(config.pool, config.num_threads);
+    pool->ParallelFor(0, static_cast<int64_t>(num_partitions), run_reduce);
+  }
+  for (ReduceSlot& slot : reduced) {
+    if (!slot.status.ok()) return slot.status;
+    out.counts.Merge(slot.counts);
+    out.io.Merge(slot.io);
+    if (materialize) {
+      output->insert(output->end(),
+                     std::make_move_iterator(slot.rows.begin()),
+                     std::make_move_iterator(slot.rows.end()));
+    }
+  }
+  if (async != nullptr) {
+    out.io.async_reads_inflight_peak = async->stats().inflight_peak;
+  }
+  out.phases.push_back({"reduce", SecondsSince(reduce_start),
+                        out.io.Minus(io_after_map),
+                        static_cast<int64_t>(num_partitions)});
+  return out;
+}
+
+Status GraceHashJoinGroup(const BlockStore& r_store, AttrId r_attr,
+                          const PredicateSet& r_preds,
+                          const BlockStore& s_store, AttrId s_attr,
+                          const PredicateSet& s_preds,
+                          const std::vector<BlockId>& group_blocks,
+                          const std::vector<BlockId>& probe_ids,
+                          const ClusterSim& cluster, NodeId worker,
+                          const SpillConfig& spill, JoinExecResult* out,
+                          std::vector<Record>* output) {
+  obs::TraceSpan grace_span("exec", "grace_hash_group", "build_blocks",
+                            static_cast<int64_t>(group_blocks.size()));
+  // Fanout so each sub-partition's build side fits the threshold.
+  const int64_t max_build = std::max<int64_t>(1, spill.max_build_blocks);
+  const size_t fanout = static_cast<size_t>(
+      std::max<int64_t>(2, (static_cast<int64_t>(group_blocks.size()) +
+                            max_build - 1) /
+                               max_build));
+  // Grace groups run one at a time inside a (possibly parallel) per-group
+  // task; spill I/O stays synchronous here unless a backend was injected.
+  io::AsyncIo* async = spill.async_io;
+  auto r_file = SpillFile::Create(spill.dir, async);
+  if (!r_file.ok()) return r_file.status();
+  auto s_file = SpillFile::Create(spill.dir, async);
+  if (!s_file.ok()) return s_file.status();
+
+  SpillMapPartial r_partial;
+  SpillMapPartial s_partial;
+  r_partial.chunks.resize(fanout);
+  s_partial.chunks.resize(fanout);
+
+  // Map one side into `fanout` hash partitions, one transient pin at a
+  // time. Rows are pre-filtered by the side's predicates — equivalent to
+  // the in-memory path, where HashIndex::AddBlock/Probe apply them.
+  const auto map_side = [&](const BlockStore& store,
+                            const std::vector<BlockId>& blocks, AttrId attr,
+                            const PredicateSet& preds, SpillFile* file,
+                            SpillMapPartial* partial,
+                            bool meta_skip) -> Status {
+    PartitionBuffers bufs(fanout, store.num_attrs(), spill.chunk_rows,
+                          /*global_morsel=*/0, file, partial);
+    Record scratch;
+    for (BlockId id : blocks) {
+      if (meta_skip && !s_preds.empty() &&
+          !store.MayMatchMeta(id, s_preds)) {
+        ++out->s_blocks_skipped;
+        obs::Count(obs::Counter::kBlocksSkippedMeta);
+        continue;
+      }
+      auto blk = store.Get(id);
+      if (!blk.ok()) return blk.status();
+      const BlockRef pin = std::move(blk).ValueOrDie();
+      cluster.ReadBlock(id, worker, &partial->io);
+      ++partial->blocks_read;
+      const SelectionVector sel = pin->FilterRows(preds);
+      const Column& key_col = pin->column(attr);
+      for (const uint32_t row : sel) {
+        const size_t part = key_col.HashAt(row) % fanout;
+        pin->GatherRecord(row, &scratch);
+        ADB_RETURN_NOT_OK(bufs.AddRow(part, scratch));
+      }
+    }
+    return bufs.FlushAll();
+  };
+  ADB_RETURN_NOT_OK(map_side(r_store, group_blocks, r_attr, r_preds,
+                             r_file.ValueOrDie().get(), &r_partial,
+                             /*meta_skip=*/false));
+  ADB_RETURN_NOT_OK(map_side(s_store, probe_ids, s_attr, s_preds,
+                             s_file.ValueOrDie().get(), &s_partial,
+                             /*meta_skip=*/true));
+  ADB_RETURN_NOT_OK(r_file.ValueOrDie()->Finish());
+  ADB_RETURN_NOT_OK(s_file.ValueOrDie()->Finish());
+  out->r_blocks_read += r_partial.blocks_read;
+  out->s_blocks_read += s_partial.blocks_read;
+  out->io.Merge(r_partial.io);
+  out->io.Merge(s_partial.io);
+
+  // Reduce: build+probe one hash partition at a time — peak residency is
+  // one partition's decoded chunks, never the whole group.
+  int64_t spilled = 0;
+  for (size_t f = 0; f < fanout; ++f) {
+    if (!r_partial.chunks[f].empty() || !s_partial.chunks[f].empty()) {
+      ++spilled;
+    }
+    ADB_RETURN_NOT_OK(ReduceSpilledPartition(
+        *r_file.ValueOrDie(), r_partial.chunks[f], r_attr,
+        r_store.num_attrs(), *s_file.ValueOrDie(), s_partial.chunks[f],
+        s_attr, s_store.num_attrs(), async, &out->counts, output, &out->io));
+  }
+  out->io.spilled_partitions += spilled;
+  obs::Count(obs::Counter::kSpilledPartitions, spilled);
+  return Status::OK();
+}
+
+}  // namespace exec
+}  // namespace adaptdb

@@ -1,0 +1,145 @@
+/// \file spill.h
+/// \brief Out-of-core join execution: spill files + the spilling shuffle
+/// join and the hyper join's grace-hash fallback.
+///
+/// The in-memory shuffle join pins its entire input for the join's duration
+/// (map-side row references point into pinned blocks), which defeats the
+/// buffer budget on datasets larger than RAM. This module implements the
+/// paper's actual shuffle: the map phase writes each destination
+/// partition's filtered rows to a spill file as checksummed format-v2
+/// chunks, and the reduce phase streams them back one partition at a time —
+/// peak block residency is bounded by one morsel's pins plus one
+/// partition's decoded build+probe chunks, independent of input size.
+///
+/// Determinism: the map decomposition is the same fixed morsel split as the
+/// in-memory parallel driver, chunks are identified by (morsel, sequence)
+/// and merged in morsel order, and the reduce probes partitions in order —
+/// so rows, JoinCounts and the logical IoStats (including the new spill
+/// counters) are bitwise identical at any thread count, on either storage
+/// backend, and identical to the in-memory join.
+///
+/// Durability is explicitly *not* a goal: spill files are unlinked at
+/// creation (the fd is the only reference), so a crash leaks nothing.
+
+#ifndef ADAPTDB_EXEC_SPILL_H_
+#define ADAPTDB_EXEC_SPILL_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/exec_config.h"
+#include "exec/shuffle_join.h"
+#include "io/async_io.h"
+#include "storage/block.h"
+#include "storage/block_store.h"
+#include "storage/cluster.h"
+
+namespace adaptdb::exec {
+
+/// \brief Address of one encoded chunk within a SpillFile.
+struct SpillChunk {
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  /// The chunk block's embedded id — (morsel << 32 | sequence), assigned
+  /// deterministically by the writer and validated on read-back.
+  BlockId chunk_id = 0;
+  int64_t rows = 0;
+};
+
+/// \brief One anonymous temp file of encoded (format v2, checksummed) row
+/// chunks.
+///
+/// Thread safety: AppendBlock may be called concurrently (offsets are
+/// reserved under a mutex; the writes themselves proceed in parallel).
+/// Finish() must be called — once, after all appends — before any
+/// ReadChunk; it drains asynchronous writes and surfaces the first write
+/// error. Reads are safe concurrently after Finish.
+class SpillFile {
+ public:
+  /// Creates an unlinked temp file under `dir` (empty: the system temp
+  /// directory, honoring $TMPDIR). `async` is an optional, non-owned
+  /// backend for the writes; null makes appends synchronous.
+  static Result<std::unique_ptr<SpillFile>> Create(const std::string& dir,
+                                                   io::AsyncIo* async);
+
+  ~SpillFile();
+
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+
+  /// Encodes `block` and appends it, returning its chunk descriptor. With
+  /// an async backend the write may still be in flight on return (the
+  /// buffer is kept alive internally until completion).
+  Result<SpillChunk> AppendBlock(const Block& block);
+
+  /// Barrier: waits for outstanding writes, returns the first write error.
+  Status Finish();
+
+  /// Reads and decodes one chunk, validating the embedded checksum and the
+  /// expected chunk id. Truncation and bit flips surface as Corruption.
+  Result<Block> ReadChunk(const SpillChunk& chunk,
+                          int32_t expected_attrs) const;
+
+  /// Reads a chunk's raw encoded bytes (the async read-ahead path; decode
+  /// with DecodeChunk).
+  Status ReadChunkRaw(const SpillChunk& chunk, std::string* out) const;
+
+  /// Decodes previously read chunk bytes, validating id + checksum.
+  static Result<Block> DecodeChunk(const SpillChunk& chunk,
+                                   const std::string& bytes,
+                                   int32_t expected_attrs);
+
+  /// Total encoded bytes appended so far.
+  int64_t bytes_written() const;
+
+  /// The underlying fd — fault-injection tests truncate or flip bytes
+  /// through it.
+  int fd_for_testing() const { return fd_; }
+
+ private:
+  SpillFile(int fd, io::AsyncIo* async) : fd_(fd), async_(async) {}
+
+  int fd_ = -1;
+  io::AsyncIo* async_ = nullptr;  ///< Not owned; null = synchronous writes.
+
+  mutable std::mutex mu_;
+  uint64_t size_ = 0;        ///< Append offset (reservations included).
+  Status first_error_;       ///< First failed write, surfaced by Finish().
+};
+
+/// Shuffle join with map-side spilling (see file comment). Serves every
+/// thread count itself: the morsel decomposition is fixed, morsels run
+/// inline at num_threads <= 1 and on a TaskPool otherwise, and partials
+/// merge in morsel/partition order either way. Invoked by the ShuffleJoin
+/// ExecConfig overload when config.spill.enabled (after ApplySpillEnv).
+Result<JoinExecResult> SpillingShuffleJoin(
+    const BlockStore& r_store, const std::vector<BlockId>& r_blocks,
+    AttrId r_attr, const PredicateSet& r_preds, const BlockStore& s_store,
+    const std::vector<BlockId>& s_blocks, AttrId s_attr,
+    const PredicateSet& s_preds, const ClusterSim& cluster,
+    const ExecConfig& config, std::vector<Record>* output = nullptr);
+
+/// Grace-hash fallback for one hyper-join group whose build side exceeds
+/// the spill threshold: hash-partitions both sides into `fanout` spill
+/// partitions, then builds+probes one partition at a time. Logical IoStats
+/// (each R block and each probed S block read once) and JoinCounts are
+/// identical to the in-memory group join; the *order* of materialized
+/// output rows differs (partitioned), which the order-independent checksum
+/// absorbs. Called by the serial HyperJoin per-group loop, so the parallel
+/// driver inherits it unchanged.
+Status GraceHashJoinGroup(const BlockStore& r_store, AttrId r_attr,
+                          const PredicateSet& r_preds,
+                          const BlockStore& s_store, AttrId s_attr,
+                          const PredicateSet& s_preds,
+                          const std::vector<BlockId>& group_blocks,
+                          const std::vector<BlockId>& probe_ids,
+                          const ClusterSim& cluster, NodeId worker,
+                          const SpillConfig& spill, JoinExecResult* out,
+                          std::vector<Record>* output);
+
+}  // namespace adaptdb::exec
+
+#endif  // ADAPTDB_EXEC_SPILL_H_

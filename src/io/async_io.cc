@@ -1,0 +1,339 @@
+#include "io/async_io.h"
+
+#include <unistd.h>
+
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.h"
+
+#if defined(ADAPTDB_HAVE_IO_URING) && __has_include(<liburing.h>)
+#include <liburing.h>
+#define ADAPTDB_IO_URING_ENABLED 1
+#else
+#define ADAPTDB_IO_URING_ENABLED 0
+#endif
+
+namespace adaptdb::io {
+
+namespace {
+
+/// Executes one op synchronously on the calling thread. Shared by the
+/// thread-pool backend's workers and the io_uring backend's fallback path.
+Status RunOpBlocking(const AsyncIo::Op& op) {
+  if (op.fd < 0 || op.buf == nullptr) {
+    return Status::InvalidArgument("async op without fd or buffer");
+  }
+  char* data = op.buf->data();
+  size_t remaining = op.buf->size();
+  uint64_t off = op.offset;
+  while (remaining > 0) {
+    ssize_t n =
+        op.kind == AsyncIo::Op::Kind::kRead
+            ? ::pread(op.fd, data, remaining, static_cast<off_t>(off))
+            : ::pwrite(op.fd, data, remaining, static_cast<off_t>(off));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("async ") +
+                              (op.kind == AsyncIo::Op::Kind::kRead ? "pread"
+                                                                   : "pwrite") +
+                              " failed: " + std::strerror(errno));
+    }
+    if (n == 0) {
+      // pwrite never legitimately returns 0 for nonzero counts; for reads
+      // this is EOF before the requested extent — a truncated file.
+      return Status::Corruption("async read truncated: wanted " +
+                                std::to_string(op.buf->size()) + " bytes at " +
+                                std::to_string(op.offset));
+    }
+    data += n;
+    remaining -= static_cast<size_t>(n);
+    off += static_cast<uint64_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Stats bookkeeping shared by both backends: submission/completion counts,
+/// byte totals and the in-flight high-water mark, all under one mutex that
+/// also serves Drain().
+class StatsTracker {
+ public:
+  void OnSubmit(const std::vector<AsyncIo::Op>& ops) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& op : ops) {
+      if (op.kind == AsyncIo::Op::Kind::kRead) {
+        ++stats_.reads_submitted;
+      } else {
+        ++stats_.writes_submitted;
+      }
+    }
+    inflight_ += static_cast<int64_t>(ops.size());
+    if (inflight_ > stats_.inflight_peak) stats_.inflight_peak = inflight_;
+  }
+
+  void OnComplete(const AsyncIo::Op& op, const Status& st) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (op.kind == AsyncIo::Op::Kind::kRead) {
+      ++stats_.reads_completed;
+      if (st.ok() && op.buf != nullptr) {
+        stats_.read_bytes += static_cast<int64_t>(op.buf->size());
+      }
+    } else {
+      ++stats_.writes_completed;
+      if (st.ok() && op.buf != nullptr) {
+        stats_.write_bytes += static_cast<int64_t>(op.buf->size());
+      }
+    }
+    if (!st.ok()) ++stats_.failures;
+    --inflight_;
+    if (inflight_ == 0) idle_cv_.notify_all();
+  }
+
+  void WaitIdle() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return inflight_ == 0; });
+  }
+
+  AsyncIoStats Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  AsyncIoStats stats_;
+  int64_t inflight_ = 0;
+};
+
+/// Portable backend: N dedicated I/O threads draining a FIFO of ops with
+/// blocking pread/pwrite. Completion callbacks run on the worker threads.
+class ThreadPoolAsyncIo final : public AsyncIo {
+ public:
+  explicit ThreadPoolAsyncIo(int32_t num_threads) {
+    if (num_threads < 1) num_threads = 1;
+    workers_.reserve(static_cast<size_t>(num_threads));
+    for (int32_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPoolAsyncIo() override {
+    Drain();
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      stopping_ = true;
+    }
+    queue_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  void Submit(std::vector<Op> ops) override {
+    if (ops.empty()) return;
+    int64_t reads = 0, writes = 0;
+    for (const auto& op : ops) {
+      (op.kind == Op::Kind::kRead ? reads : writes)++;
+    }
+    if (reads > 0) obs::Count(obs::Counter::kAsyncReads, reads);
+    if (writes > 0) obs::Count(obs::Counter::kAsyncWrites, writes);
+    tracker_.OnSubmit(ops);
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      for (auto& op : ops) queue_.push_back(std::move(op));
+    }
+    queue_cv_.notify_all();
+  }
+
+  void Drain() override { tracker_.WaitIdle(); }
+
+  AsyncIoStats stats() const override { return tracker_.Snapshot(); }
+
+  const char* name() const override { return "threads"; }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      Op op;
+      {
+        std::unique_lock<std::mutex> lock(queue_mu_);
+        queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ and drained
+        op = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      Status st = RunOpBlocking(op);
+      if (op.done) op.done(st);
+      // OnComplete signals Drain() only after the callback has returned,
+      // so draining guarantees every completion has fully run.
+      tracker_.OnComplete(op, st);
+    }
+  }
+
+  StatsTracker tracker_;
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Op> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+#if ADAPTDB_IO_URING_ENABLED
+
+/// io_uring backend: a submitter-side ring plus one reaper thread harvesting
+/// completions. Ops beyond the ring depth fall back to blocking execution on
+/// the reaper (correct, just not overlapped).
+class IoUringAsyncIo final : public AsyncIo {
+ public:
+  explicit IoUringAsyncIo(int32_t queue_depth) {
+    if (queue_depth < 4) queue_depth = 4;
+    ok_ = io_uring_queue_init(static_cast<unsigned>(queue_depth), &ring_, 0) ==
+          0;
+    if (ok_) reaper_ = std::thread([this] { ReapLoop(); });
+  }
+
+  ~IoUringAsyncIo() override {
+    if (!ok_) return;
+    Drain();
+    {
+      std::lock_guard<std::mutex> lock(ring_mu_);
+      stopping_ = true;
+      // Wake the reaper with a no-op: a timeout-less nop completes at once.
+      struct io_uring_sqe* sqe = io_uring_get_sqe(&ring_);
+      if (sqe != nullptr) {
+        io_uring_prep_nop(sqe);
+        io_uring_sqe_set_data(sqe, nullptr);
+        io_uring_submit(&ring_);
+      }
+    }
+    reaper_.join();
+    io_uring_queue_exit(&ring_);
+  }
+
+  bool ok() const { return ok_; }
+
+  void Submit(std::vector<Op> ops) override {
+    if (ops.empty()) return;
+    int64_t reads = 0, writes = 0;
+    for (const auto& op : ops) {
+      (op.kind == Op::Kind::kRead ? reads : writes)++;
+    }
+    if (reads > 0) obs::Count(obs::Counter::kAsyncReads, reads);
+    if (writes > 0) obs::Count(obs::Counter::kAsyncWrites, writes);
+    tracker_.OnSubmit(ops);
+    std::lock_guard<std::mutex> lock(ring_mu_);
+    for (auto& op : ops) {
+      auto* pending = new Op(std::move(op));
+      struct io_uring_sqe* sqe = io_uring_get_sqe(&ring_);
+      if (sqe == nullptr) {
+        // Ring full: run inline rather than dropping the op.
+        Status st = RunOpBlocking(*pending);
+        if (pending->done) pending->done(st);
+        tracker_.OnComplete(*pending, st);
+        delete pending;
+        continue;
+      }
+      if (pending->kind == Op::Kind::kRead) {
+        io_uring_prep_read(sqe, pending->fd, pending->buf->data(),
+                           static_cast<unsigned>(pending->buf->size()),
+                           pending->offset);
+      } else {
+        io_uring_prep_write(sqe, pending->fd, pending->buf->data(),
+                            static_cast<unsigned>(pending->buf->size()),
+                            pending->offset);
+      }
+      io_uring_sqe_set_data(sqe, pending);
+    }
+    io_uring_submit(&ring_);
+  }
+
+  void Drain() override { tracker_.WaitIdle(); }
+
+  AsyncIoStats stats() const override { return tracker_.Snapshot(); }
+
+  const char* name() const override { return "io_uring"; }
+
+ private:
+  void ReapLoop() {
+    for (;;) {
+      struct io_uring_cqe* cqe = nullptr;
+      if (io_uring_wait_cqe(&ring_, &cqe) != 0) continue;
+      auto* pending = static_cast<Op*>(io_uring_cqe_get_data(cqe));
+      int res = cqe->res;
+      io_uring_cqe_seen(&ring_, cqe);
+      if (pending == nullptr) {
+        std::lock_guard<std::mutex> lock(ring_mu_);
+        if (stopping_) return;
+        continue;
+      }
+      Status st;
+      if (res < 0) {
+        st = Status::Internal(std::string("io_uring op failed: ") +
+                              std::strerror(-res));
+      } else if (static_cast<size_t>(res) < pending->buf->size()) {
+        // Partial transfer: finish the remainder synchronously; a zero-byte
+        // tail read means the file is truncated.
+        Op rest = *pending;
+        rest.offset += static_cast<uint64_t>(res);
+        std::string tail(pending->buf->size() - static_cast<size_t>(res), 0);
+        rest.buf = &tail;
+        st = RunOpBlocking(rest);
+        if (st.ok() && rest.kind == Op::Kind::kRead) {
+          pending->buf->replace(static_cast<size_t>(res), tail.size(), tail);
+        }
+      }
+      if (pending->done) pending->done(st);
+      tracker_.OnComplete(*pending, st);
+      delete pending;
+    }
+  }
+
+  StatsTracker tracker_;
+  std::mutex ring_mu_;
+  struct io_uring ring_;
+  bool ok_ = false;
+  bool stopping_ = false;
+  std::thread reaper_;
+};
+
+#endif  // ADAPTDB_IO_URING_ENABLED
+
+}  // namespace
+
+std::unique_ptr<AsyncIo> MakeThreadPoolAsyncIo(int32_t num_threads) {
+  return std::make_unique<ThreadPoolAsyncIo>(num_threads);
+}
+
+std::unique_ptr<AsyncIo> MakeIoUringAsyncIo(int32_t queue_depth) {
+#if ADAPTDB_IO_URING_ENABLED
+  auto ring = std::make_unique<IoUringAsyncIo>(queue_depth);
+  if (!ring->ok()) return nullptr;
+  return ring;
+#else
+  (void)queue_depth;
+  return nullptr;
+#endif
+}
+
+bool IoUringAvailable() {
+#if ADAPTDB_IO_URING_ENABLED
+  auto probe = std::make_unique<IoUringAsyncIo>(4);
+  return probe->ok();
+#else
+  return false;
+#endif
+}
+
+std::unique_ptr<AsyncIo> MakeAsyncIo(int32_t threads,
+                                     const std::string& hint) {
+  if (hint == "uring") {
+    auto ring = MakeIoUringAsyncIo(threads > 0 ? threads * 8 : 32);
+    if (ring != nullptr) return ring;
+  }
+  return MakeThreadPoolAsyncIo(threads);
+}
+
+}  // namespace adaptdb::io

@@ -1,0 +1,102 @@
+/// \file async_io.h
+/// \brief Pluggable asynchronous I/O: batched reads/writes with completions.
+///
+/// The out-of-core execution paths (prefetch read-ahead, spill-file chunk
+/// writes, partition read-back) must overlap disk latency with compute
+/// instead of blocking TaskPool workers on preads. AsyncIo is the seam: a
+/// caller submits a batch of positioned read/write operations against open
+/// file descriptors and gets a completion callback per operation, invoked
+/// from whatever thread the backend completes on.
+///
+/// Two backends exist:
+///   - MakeThreadPoolAsyncIo: a portable pool of dedicated I/O threads
+///     doing pread/pwrite. Always available; the default.
+///   - MakeIoUringAsyncIo: a Linux io_uring submission/completion ring,
+///     compiled only when CMake finds liburing (ADAPTDB_WITH_IO_URING);
+///     returns null where unsupported so callers fall back cleanly.
+///
+/// Completion contract: every submitted op's `done` callback runs exactly
+/// once — with OK on full transfer, Corruption on a short read (truncated
+/// file), or an Internal error for OS failures. Callbacks must not block on
+/// the AsyncIo itself (no Submit-and-Drain from inside a callback). Drain()
+/// returns only after every outstanding callback has finished, which is
+/// what makes teardown safe: owners drain before closing the fds the
+/// in-flight ops read from.
+
+#ifndef ADAPTDB_IO_ASYNC_IO_H_
+#define ADAPTDB_IO_ASYNC_IO_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace adaptdb::io {
+
+/// \brief Cumulative counters of one AsyncIo instance.
+struct AsyncIoStats {
+  int64_t reads_submitted = 0;
+  int64_t reads_completed = 0;
+  int64_t writes_submitted = 0;
+  int64_t writes_completed = 0;
+  int64_t read_bytes = 0;
+  int64_t write_bytes = 0;
+  int64_t failures = 0;
+  /// High-water mark of simultaneously in-flight operations.
+  int64_t inflight_peak = 0;
+};
+
+/// \brief Asynchronous positioned-I/O backend. Thread-safe.
+class AsyncIo {
+ public:
+  /// One positioned read or write against an open fd.
+  struct Op {
+    enum class Kind { kRead, kWrite };
+    Kind kind = Kind::kRead;
+    int fd = -1;
+    uint64_t offset = 0;
+    /// Read destination (pre-sized to the transfer length) or write
+    /// source. Must stay alive until `done` runs — completions own no
+    /// memory.
+    std::string* buf = nullptr;
+    /// Completion callback; runs exactly once, on a backend thread.
+    std::function<void(Status)> done;
+  };
+
+  virtual ~AsyncIo() = default;
+
+  /// Enqueues a batch. Never blocks on the I/O itself.
+  virtual void Submit(std::vector<Op> ops) = 0;
+
+  /// Blocks until every op submitted so far has completed and its callback
+  /// has returned.
+  virtual void Drain() = 0;
+
+  virtual AsyncIoStats stats() const = 0;
+  virtual const char* name() const = 0;
+};
+
+/// Portable backend: `num_threads` dedicated I/O threads (clamped >= 1)
+/// consuming a shared queue with pread/pwrite.
+std::unique_ptr<AsyncIo> MakeThreadPoolAsyncIo(int32_t num_threads);
+
+/// io_uring backend with the given submission-queue depth. Null when the
+/// build has no liburing (see file comment) — callers must fall back.
+std::unique_ptr<AsyncIo> MakeIoUringAsyncIo(int32_t queue_depth);
+
+/// True iff MakeIoUringAsyncIo can return a backend in this build.
+bool IoUringAvailable();
+
+/// Backend selected by `hint` ("uring" tries io_uring first, anything else
+/// — including empty and "threads" — uses the thread pool), falling back to
+/// the thread pool when io_uring is unavailable. `threads` sizes the
+/// thread-pool backend and the ring depth.
+std::unique_ptr<AsyncIo> MakeAsyncIo(int32_t threads,
+                                     const std::string& hint = "");
+
+}  // namespace adaptdb::io
+
+#endif  // ADAPTDB_IO_ASYNC_IO_H_

@@ -8,6 +8,15 @@
 
 namespace adaptdb::io {
 
+namespace {
+/// Requires the state mutex held; call after any growth of the frame table.
+template <typename State>
+void NotePeakResident(State* s) {
+  const auto resident = static_cast<int64_t>(s->frames.size());
+  if (resident > s->stats.peak_resident) s->stats.peak_resident = resident;
+}
+}  // namespace
+
 BufferPool::BufferPool(int64_t capacity_blocks, BlockSource* source)
     : state_(std::make_shared<State>()) {
   state_->capacity = std::max<int64_t>(capacity_blocks, 1);
@@ -91,6 +100,7 @@ Result<MutableBlockRef> BufferPool::PinInternal(BlockId id, bool mark_dirty) {
     s->pinned.push_front(id);  // Loading frames are never eviction victims.
     frame.list_it = s->pinned.begin();
     s->frames.emplace(id, std::move(frame));
+    NotePeakResident(s);
     ++s->stats.misses;
     obs::Count(obs::Counter::kBufferMisses);
     BlockSource* source = s->source;
@@ -136,6 +146,50 @@ void BufferPool::Insert(BlockId id, Block block) {
   s->lru.push_front(id);
   frame.list_it = s->lru.begin();
   s->frames.insert_or_assign(id, std::move(frame));
+  NotePeakResident(s);
+  EvictToCapacity(s);
+}
+
+bool BufferPool::BeginLoad(BlockId id) {
+  State* s = state_.get();
+  std::lock_guard<std::mutex> lock(s->mu);
+  if (s->frames.count(id) != 0) return false;
+  // Same claim as PinInternal's miss path: a loading frame on the pinned
+  // list, counted as a miss, so a concurrent Pin waits on the cv instead
+  // of issuing its own read.
+  Frame frame;
+  frame.loading = true;
+  s->pinned.push_front(id);
+  frame.list_it = s->pinned.begin();
+  s->frames.emplace(id, std::move(frame));
+  NotePeakResident(s);
+  ++s->stats.misses;
+  obs::Count(obs::Counter::kBufferMisses);
+  return true;
+}
+
+void BufferPool::FinishLoad(BlockId id, Result<Block> loaded) {
+  State* s = state_.get();
+  std::lock_guard<std::mutex> lock(s->mu);
+  auto it = s->frames.find(id);
+  // Drop() may have erased the claim (block deleted mid-flight); any Pin
+  // waiting on it was already woken by Drop's caller path retrying.
+  if (it == s->frames.end() || !it->second.loading) {
+    s->cv.notify_all();
+    return;
+  }
+  if (!loaded.ok()) {
+    // Erase the claim: the next Pin of this id retries as a synchronous
+    // miss and surfaces the (possibly transient) error itself.
+    s->pinned.erase(it->second.list_it);
+    s->frames.erase(it);
+    s->cv.notify_all();
+    return;
+  }
+  it->second.block = std::make_shared<Block>(std::move(loaded).ValueOrDie());
+  it->second.loading = false;
+  s->lru.splice(s->lru.begin(), s->pinned, it->second.list_it);
+  s->cv.notify_all();
   EvictToCapacity(s);
 }
 

@@ -46,6 +46,10 @@ struct BufferPoolStats {
   int64_t misses = 0;      ///< Pins that loaded from the source (real reads).
   int64_t evictions = 0;   ///< Frames dropped to respect the budget.
   int64_t writebacks = 0;  ///< Dirty frames written through the source.
+  /// High-water mark of resident frames (including loading claims). The
+  /// out-of-core acceptance tests assert this stays bounded by the budget
+  /// plus concurrent pin pressure.
+  int64_t peak_resident = 0;
 };
 
 /// \brief The physical layer beneath a BufferPool.
@@ -88,6 +92,19 @@ class BufferPool {
   /// resident. Outstanding handles keep the block's memory alive but it is
   /// no longer reachable through the pool.
   void Drop(BlockId id);
+
+  /// Claims a loading frame for an asynchronous fill (Prefetch path).
+  /// Returns true and counts a miss when `id` had no frame — the caller
+  /// now owns completing the load via FinishLoad (on success OR failure).
+  /// Returns false when a frame already exists (resident or loading): the
+  /// caller must not issue a read.
+  bool BeginLoad(BlockId id);
+
+  /// Completes a BeginLoad claim: fills the frame and moves it to the LRU,
+  /// or on error erases the claim so the next Pin retries synchronously.
+  /// Safe to call after Drop() removed the frame (no-op). Wakes any Pin
+  /// waiting on the loading frame.
+  void FinishLoad(BlockId id, Result<Block> loaded);
 
   /// The resident block, or null — never loads, never pins, never touches
   /// the LRU. The returned ref shares the block's lifetime, not a pin:

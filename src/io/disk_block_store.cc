@@ -39,7 +39,11 @@ DiskBlockStore::DiskBlockStore(int32_t num_attrs, StorageConfig config,
       config_(std::move(config)),
       segments_(std::move(segments)),
       owns_temp_dir_(owns_temp_dir),
-      pool_(config_.buffer_blocks, this) {}
+      pool_(config_.buffer_blocks, this) {
+  if (config_.io_threads > 0) {
+    async_ = io::MakeAsyncIo(config_.io_threads, config_.async_backend);
+  }
+}
 
 Result<std::unique_ptr<DiskBlockStore>> DiskBlockStore::Open(
     int32_t num_attrs, StorageConfig config) {
@@ -59,6 +63,8 @@ Result<std::unique_ptr<DiskBlockStore>> DiskBlockStore::Open(
 }
 
 DiskBlockStore::~DiskBlockStore() {
+  // Completions touch the pool, directory and segments: drain them first.
+  async_.reset();
   if (owns_temp_dir_) {
     const std::string dir = segments_->dir();
     segments_.reset();  // Close fds before removing the files.
@@ -142,18 +148,64 @@ int64_t DiskBlockStore::Prefetch(const std::vector<BlockId>& ids) const {
   int64_t budget =
       pool_.capacity() - static_cast<int64_t>(ids.size()) - 1;
   int64_t loaded = 0;
+  std::vector<io::AsyncIo::Op> ops;
   for (BlockId id : ids) {
     if (budget <= 0) break;
+    io::BlockLocation loc;
     {
       std::lock_guard<std::mutex> lock(dir_mu_);
-      if (directory_.find(id) == directory_.end()) continue;
+      auto it = directory_.find(id);
+      if (it == directory_.end()) continue;
+      if (async_ != nullptr) {
+        // A non-resident block always has a persisted extent (its creation
+        // frame was dirty until written back); no extent means it is still
+        // resident, which BeginLoad rejects below anyway.
+        if (!it->second.loc.has_value()) continue;
+        loc = *it->second.loc;
+      }
     }
-    if (pool_.Peek(id) != nullptr) continue;  // Already resident.
-    auto pinned = pool_.Pin(id);  // Load; the handle drops right away, so
-    if (!pinned.ok()) continue;   // the frame lands unpinned at MRU.
+    if (async_ == nullptr) {
+      // Synchronous fallback (io_threads == 0): load on this thread.
+      if (pool_.Peek(id) != nullptr) continue;  // Already resident.
+      auto pinned = pool_.Pin(id);  // Load; the handle drops right away, so
+      if (!pinned.ok()) continue;   // the frame lands unpinned at MRU.
+      ++loaded;
+      --budget;
+      continue;
+    }
+    // Claim the frame before issuing the read so a consumer that reaches
+    // this block early waits on the in-flight load (a hit) instead of
+    // reading it a second time. False = resident or already loading.
+    if (!pool_.BeginLoad(id)) continue;
+    auto fd = segments_->FdForRead(loc);
+    if (!fd.ok()) {
+      pool_.FinishLoad(id, fd.status());
+      continue;
+    }
+    auto buf = std::make_shared<std::string>();
+    buf->resize(loc.length);
+    io::AsyncIo::Op op;
+    op.kind = io::AsyncIo::Op::Kind::kRead;
+    op.fd = fd.ValueOrDie();
+    op.offset = loc.offset;
+    op.buf = buf.get();
+    // `this` outlives every completion: the destructor drains async_
+    // before touching any other member. Cast away the accessor's const —
+    // the completion refreshes directory metadata like a pool-miss load
+    // (guarded by dir_mu_), exactly what LoadBlock would have done.
+    auto* self = const_cast<DiskBlockStore*>(this);
+    op.done = [self, id, buf](Status st) {
+      if (!st.ok()) {
+        self->pool_.FinishLoad(id, std::move(st));
+        return;
+      }
+      self->pool_.FinishLoad(id, self->DecodeLoaded(id, *buf));
+    };
+    ops.push_back(std::move(op));
     ++loaded;
     --budget;
   }
+  if (!ops.empty()) async_->Submit(std::move(ops));
   obs::Count(obs::Counter::kBufferPrefetched, loaded);
   return loaded;
 }
@@ -221,7 +273,22 @@ StorageCounters DiskBlockStore::counters() const {
   out.buffer_hits = s.hits;
   out.buffer_misses = s.misses;
   out.physical_block_writes = s.writebacks;
+  if (async_ != nullptr) {
+    const io::AsyncIoStats a = async_->stats();
+    out.async_reads = a.reads_submitted;
+    out.async_inflight_peak = a.inflight_peak;
+  }
   return out;
+}
+
+int64_t DiskBlockStore::SizeBytesHint(BlockId id) const {
+  if (auto resident = pool_.Peek(id)) {
+    return static_cast<int64_t>(resident->SizeBytes());
+  }
+  std::lock_guard<std::mutex> lock(dir_mu_);
+  auto it = directory_.find(id);
+  if (it == directory_.end() || !it->second.loc.has_value()) return -1;
+  return static_cast<int64_t>(it->second.loc->length);
 }
 
 Result<Block> DiskBlockStore::LoadBlock(BlockId id) {
@@ -242,6 +309,11 @@ Result<Block> DiskBlockStore::LoadBlock(BlockId id) {
   }
   std::string bytes;
   ADB_RETURN_NOT_OK(segments_->ReadAt(loc, &bytes));
+  return DecodeLoaded(id, bytes);
+}
+
+Result<Block> DiskBlockStore::DecodeLoaded(BlockId id,
+                                           const std::string& bytes) {
   auto block = io::DecodeBlock(bytes, num_attrs());
   if (!block.ok()) return block.status();
   if (block.ValueOrDie().id() != id) {

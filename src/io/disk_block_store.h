@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "io/async_io.h"
 #include "io/buffer_pool.h"
 #include "io/segment_file.h"
 #include "io/storage_config.h"
@@ -55,11 +56,18 @@ class DiskBlockStore final : public BlockStore, private io::BlockSource {
   bool MayMatchMeta(BlockId id, const PredicateSet& preds) const override;
 
   /// Loads non-resident `ids` into the pool ahead of consumption and
-  /// returns how many were physically read. The batch is capped at
+  /// returns how many reads were issued. The batch is capped at
   /// capacity - ids.size() - 1 frames: the consumer will load up to a
   /// window of its own blocks (plus hold one pin) before reaching this
   /// batch, and read-ahead that a small pool would evict before first use
   /// is strictly wasted I/O — on such pools the cap degrades to zero.
+  ///
+  /// With io_threads > 0 (the default) the reads are submitted to the
+  /// store's AsyncIo backend and overlap the caller's compute: each id
+  /// claims a loading frame (BufferPool::BeginLoad) so a consumer pinning
+  /// it early waits on the in-flight read — still a hit — instead of
+  /// issuing a duplicate pread. With io_threads == 0 the loads happen
+  /// synchronously on the calling thread (the pre-async behavior).
   int64_t Prefetch(const std::vector<BlockId>& ids) const override;
 
   bool CanPrefetch() const override { return true; }
@@ -70,6 +78,10 @@ class DiskBlockStore final : public BlockStore, private io::BlockSource {
   size_t TotalRecords() const override;
   Status Flush() override;
   StorageCounters counters() const override;
+
+  /// Metadata-only size estimate: the resident copy's in-memory footprint,
+  /// else the persisted extent length. Never performs I/O.
+  int64_t SizeBytesHint(BlockId id) const override;
 
   /// Pool introspection for benchmarks and tests.
   io::BufferPoolStats pool_stats() const { return pool_.stats(); }
@@ -82,6 +94,10 @@ class DiskBlockStore final : public BlockStore, private io::BlockSource {
 
   const std::string& dir() const { return segments_->dir(); }
 
+  /// The store's AsyncIo backend, or null when io_threads == 0. Spilling
+  /// joins borrow it so spill traffic shares the store's I/O threads.
+  io::AsyncIo* async_io() const { return async_.get(); }
+
  private:
   DiskBlockStore(int32_t num_attrs, StorageConfig config,
                  std::unique_ptr<io::SegmentManager> segments,
@@ -91,6 +107,11 @@ class DiskBlockStore final : public BlockStore, private io::BlockSource {
   Result<Block> LoadBlock(BlockId id) override;
   /// io::BlockSource: physical append of one block + directory repoint.
   Status WriteBack(const Block& block) override;
+
+  /// Shared tail of LoadBlock and the async prefetch completion: decodes
+  /// `bytes` into block `id`, validates the embedded id, and refreshes the
+  /// directory's record count + range metadata.
+  Result<Block> DecodeLoaded(BlockId id, const std::string& bytes);
 
   struct DirEntry {
     /// Physical address of the latest persisted version; nullopt while the
@@ -117,6 +138,11 @@ class DiskBlockStore final : public BlockStore, private io::BlockSource {
   BlockId next_id_ = 0;
 
   mutable io::BufferPool pool_;
+
+  /// Declared last — destroyed first — so in-flight prefetch completions
+  /// (which touch pool_, segments_ and directory_) finish before any of
+  /// them is torn down. Null when config_.io_threads == 0.
+  std::unique_ptr<io::AsyncIo> async_;
 };
 
 /// Creates the BlockStore selected by `config`, after applying the

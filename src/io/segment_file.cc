@@ -140,6 +140,15 @@ Status SegmentManager::ReadAt(const BlockLocation& loc,
   return Status::OK();
 }
 
+Result<int> SegmentManager::FdForRead(const BlockLocation& loc) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (loc.segment_id >= segments_.size()) {
+    return Status::Corruption("read of unknown segment " +
+                              std::to_string(loc.segment_id));
+  }
+  return segments_[loc.segment_id].fd;
+}
+
 Status SegmentManager::Sync() {
   std::lock_guard<std::mutex> lock(mu_);
   for (const Segment& seg : segments_) {

@@ -53,6 +53,12 @@ class SegmentManager {
   /// truncated file) is a Corruption error, not a crash.
   Status ReadAt(const BlockLocation& loc, std::string* out) const;
 
+  /// Resolves `loc` to (fd, offset) for an asynchronous positioned read of
+  /// `loc.length` bytes — the AsyncIo caller sizes its own buffer. Valid as
+  /// long as this manager is alive (segments are never closed or truncated
+  /// before destruction). Corruption on an unknown segment id.
+  Result<int> FdForRead(const BlockLocation& loc) const;
+
   /// fsyncs every segment file.
   Status Sync();
 

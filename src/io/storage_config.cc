@@ -17,6 +17,13 @@ StorageConfig ApplyStorageEnv(StorageConfig config) {
     const long long n = std::atoll(blocks);
     if (n >= 1) config.buffer_blocks = static_cast<int64_t>(n);
   }
+  if (const char* threads = std::getenv("ADAPTDB_IO_THREADS")) {
+    const long long n = std::atoll(threads);
+    if (n >= 0) config.io_threads = static_cast<int32_t>(n);
+  }
+  if (const char* backend = std::getenv("ADAPTDB_ASYNC_BACKEND")) {
+    config.async_backend = backend;
+  }
   return config;
 }
 

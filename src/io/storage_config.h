@@ -40,12 +40,24 @@ struct StorageConfig {
 
   /// fsync segment files on Flush().
   bool sync_on_flush = false;
+
+  /// Dedicated async I/O threads for Prefetch read-ahead (disk backend).
+  /// 0 disables async I/O entirely: Prefetch falls back to synchronous
+  /// pins on the calling thread (the pre-async behavior).
+  int32_t io_threads = 2;
+
+  /// AsyncIo backend hint: "" / "threads" = portable thread pool,
+  /// "uring" = io_uring where the build supports it (falls back to the
+  /// thread pool otherwise).
+  std::string async_backend;
 };
 
 /// Applies environment overrides (used by CI to run the whole test suite on
 /// the disk backend without code changes):
 ///   ADAPTDB_STORAGE=disk|memory   selects the backend
 ///   ADAPTDB_BUFFER_BLOCKS=N       overrides buffer_blocks (N >= 1)
+///   ADAPTDB_IO_THREADS=N          overrides io_threads (N >= 0; 0 = sync)
+///   ADAPTDB_ASYNC_BACKEND=threads|uring   overrides async_backend
 StorageConfig ApplyStorageEnv(StorageConfig config);
 
 }  // namespace adaptdb

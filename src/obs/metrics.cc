@@ -36,6 +36,16 @@ std::string_view CounterName(Counter c) {
       return "adapt_trees_created";
     case Counter::kBlocksSkippedMeta:
       return "blocks_skipped_meta";
+    case Counter::kAsyncReads:
+      return "async_reads";
+    case Counter::kAsyncWrites:
+      return "async_writes";
+    case Counter::kSpilledPartitions:
+      return "spilled_partitions";
+    case Counter::kSpillBytesWritten:
+      return "spill_bytes_written";
+    case Counter::kSpillBytesRead:
+      return "spill_bytes_read";
     case Counter::kCount:
       break;
   }

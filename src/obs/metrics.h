@@ -51,6 +51,14 @@
 /// Pruning (exec/scan.cc, exec/hyper_join.cc):
 ///  - kBlocksSkippedMeta  blocks skipped wholesale because min/max block
 ///                        metadata proved no row could match.
+///
+/// Out-of-core execution (io/async_io.cc, exec/spill.cc):
+///  - kAsyncReads          read ops submitted to any AsyncIo backend.
+///  - kAsyncWrites         write ops submitted to any AsyncIo backend.
+///  - kSpilledPartitions   join partitions whose rows went through a spill
+///                         file instead of staying pinned in memory.
+///  - kSpillBytesWritten   encoded bytes appended to spill files.
+///  - kSpillBytesRead      encoded bytes read back from spill files.
 
 #ifndef ADAPTDB_OBS_METRICS_H_
 #define ADAPTDB_OBS_METRICS_H_
@@ -84,6 +92,11 @@ enum class Counter : int32_t {
   kAdaptRecordsMoved,
   kAdaptTreesCreated,
   kBlocksSkippedMeta,
+  kAsyncReads,
+  kAsyncWrites,
+  kSpilledPartitions,
+  kSpillBytesWritten,
+  kSpillBytesRead,
   kCount,  // sentinel
 };
 

@@ -17,9 +17,10 @@ Result<JoinExecResult> ParallelHyperJoin(
     const ClusterSim& cluster, const ExecConfig& config,
     std::vector<Record>* output) {
   const int64_t num_groups = static_cast<int64_t>(grouping.groups.size());
+  const SpillConfig spill = ApplySpillEnv(config.spill);
   if (config.num_threads <= 1 || num_groups <= 1) {
     return HyperJoin(r_store, r_attr, r_preds, s_store, s_attr, s_preds,
-                     overlap, grouping, cluster, output);
+                     overlap, grouping, cluster, spill, output);
   }
 
   // One task per group: each runs the serial executor over a single-group
@@ -42,7 +43,7 @@ Result<JoinExecResult> ParallelHyperJoin(
     Grouping one;
     one.groups.push_back(grouping.groups[static_cast<size_t>(g)]);
     auto run = HyperJoin(r_store, r_attr, r_preds, s_store, s_attr, s_preds,
-                         overlap, one, cluster,
+                         overlap, one, cluster, spill,
                          materialize ? &p.rows : nullptr);
     if (run.ok()) {
       p.result = std::move(run).ValueOrDie();

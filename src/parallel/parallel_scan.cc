@@ -7,14 +7,47 @@
 
 namespace adaptdb {
 
-namespace {
-
-/// Number of fixed-size morsels covering `n` blocks.
-int64_t NumMorsels(int64_t n, int64_t morsel) {
-  return (n + morsel - 1) / morsel;
+std::vector<std::pair<int64_t, int64_t>> ComputeMorselRanges(
+    const BlockStore& store, const std::vector<BlockId>& blocks,
+    const ExecConfig& config) {
+  const int64_t n = static_cast<int64_t>(blocks.size());
+  std::vector<std::pair<int64_t, int64_t>> ranges;
+  if (n == 0) return ranges;
+  if (config.morsel_bytes > 0) {
+    // Adaptive split: close a morsel once it has accumulated morsel_bytes
+    // of payload (always taking at least one block). Bail out to the fixed
+    // split on the first unknown hint — a mixed scheme would make the
+    // decomposition backend-dependent.
+    ranges.reserve(static_cast<size_t>(n));
+    int64_t lo = 0;
+    int64_t acc = 0;
+    bool hints_ok = true;
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t hint =
+          store.SizeBytesHint(blocks[static_cast<size_t>(i)]);
+      if (hint < 0) {
+        hints_ok = false;
+        break;
+      }
+      acc += hint;
+      if (acc >= config.morsel_bytes) {
+        ranges.emplace_back(lo, i + 1);
+        lo = i + 1;
+        acc = 0;
+      }
+    }
+    if (hints_ok) {
+      if (lo < n) ranges.emplace_back(lo, n);
+      return ranges;
+    }
+    ranges.clear();
+  }
+  const int64_t morsel = std::max<int64_t>(1, config.morsel_blocks);
+  for (int64_t lo = 0; lo < n; lo += morsel) {
+    ranges.emplace_back(lo, std::min<int64_t>(n, lo + morsel));
+  }
+  return ranges;
 }
-
-}  // namespace
 
 Result<ScanResult> ParallelScan(const BlockStore& store,
                                 const std::vector<BlockId>& blocks,
@@ -22,9 +55,8 @@ Result<ScanResult> ParallelScan(const BlockStore& store,
                                 const ClusterSim& cluster,
                                 const ExecConfig& config,
                                 bool skip_by_ranges) {
-  const int64_t n = static_cast<int64_t>(blocks.size());
-  const int64_t morsel = std::max<int64_t>(1, config.morsel_blocks);
-  const int64_t num_morsels = NumMorsels(n, morsel);
+  const auto ranges = ComputeMorselRanges(store, blocks, config);
+  const int64_t num_morsels = static_cast<int64_t>(ranges.size());
   if (config.num_threads <= 1 || num_morsels <= 1) {
     return ScanBlocks(store, blocks, preds, cluster, skip_by_ranges);
   }
@@ -41,8 +73,7 @@ Result<ScanResult> ParallelScan(const BlockStore& store,
   pool->ParallelFor(0, num_morsels, [&](int64_t i) {
     if (!failed.ShouldRun(i)) return;  // Serial would have aborted by here.
     obs::TraceSpan morsel_span("exec", "scan_morsel", "morsel", i);
-    const int64_t lo = i * morsel;
-    const int64_t hi = std::min<int64_t>(n, lo + morsel);
+    const auto [lo, hi] = ranges[static_cast<size_t>(i)];
     const std::vector<BlockId> chunk(blocks.begin() + lo, blocks.begin() + hi);
     auto run = ScanBlocks(store, chunk, preds, cluster, skip_by_ranges);
     Partial& p = partials[static_cast<size_t>(i)];
@@ -69,9 +100,8 @@ Result<AggregateResult> ParallelScanAggregate(
     const BlockStore& store, const std::vector<BlockId>& blocks,
     const PredicateSet& preds, const ClusterSim& cluster, AttrId attr,
     AggFn fn, const ExecConfig& config, bool skip_by_ranges) {
-  const int64_t n = static_cast<int64_t>(blocks.size());
-  const int64_t morsel = std::max<int64_t>(1, config.morsel_blocks);
-  const int64_t num_morsels = NumMorsels(n, morsel);
+  const auto ranges = ComputeMorselRanges(store, blocks, config);
+  const int64_t num_morsels = static_cast<int64_t>(ranges.size());
   if (num_morsels <= 1) {
     return ScanAggregate(store, blocks, preds, cluster, attr, fn,
                          skip_by_ranges);
@@ -92,8 +122,7 @@ Result<AggregateResult> ParallelScanAggregate(
   auto run_morsel = [&](int64_t i) {
     if (!failed.ShouldRun(i)) return;  // Serial would have aborted by here.
     obs::TraceSpan morsel_span("exec", "agg_morsel", "morsel", i);
-    const int64_t lo = i * morsel;
-    const int64_t hi = std::min<int64_t>(n, lo + morsel);
+    const auto [lo, hi] = ranges[static_cast<size_t>(i)];
     const std::vector<BlockId> chunk(blocks.begin() + lo, blocks.begin() + hi);
     auto run = ScanAggregate(store, chunk, preds, cluster, attr, morsel_fn,
                              skip_by_ranges);

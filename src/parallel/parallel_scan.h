@@ -14,6 +14,8 @@
 #ifndef ADAPTDB_PARALLEL_PARALLEL_SCAN_H_
 #define ADAPTDB_PARALLEL_PARALLEL_SCAN_H_
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -21,6 +23,23 @@
 #include "exec/scan.h"
 
 namespace adaptdb {
+
+/// \brief Morsel decomposition of `blocks` as [lo, hi) index ranges.
+///
+/// With config.morsel_bytes <= 0 this is the legacy fixed split of
+/// morsel_blocks blocks per morsel. With morsel_bytes > 0 *and* a size
+/// hint available for every block (BlockStore::SizeBytesHint >= 0),
+/// boundaries adapt to block payload instead: each morsel covers at least
+/// one block and closes once its accumulated bytes reach morsel_bytes —
+/// so skewed block sizes yield balanced work per task. Any unknown hint
+/// falls the whole decomposition back to the fixed split (never a mixed
+/// scheme), keeping mem-vs-disk parity independent of backend estimates.
+/// Either way the result is a pure function of config and block metadata —
+/// never of num_threads — so per-morsel floating-point grouping (and hence
+/// aggregate results) cannot vary with parallelism.
+std::vector<std::pair<int64_t, int64_t>> ComputeMorselRanges(
+    const BlockStore& store, const std::vector<BlockId>& blocks,
+    const ExecConfig& config);
 
 /// Parallel ScanBlocks: same contract and results as the serial overload.
 Result<ScanResult> ParallelScan(const BlockStore& store,

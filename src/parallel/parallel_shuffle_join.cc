@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "exec/shuffle_kernels.h"
+#include "exec/spill.h"
 #include "obs/trace.h"
 #include "parallel/task_pool.h"
 
@@ -71,6 +72,14 @@ Result<JoinExecResult> ParallelShuffleJoin(
     const std::vector<BlockId>& s_blocks, AttrId s_attr,
     const PredicateSet& s_preds, const ClusterSim& cluster,
     const ExecConfig& config, std::vector<Record>* output) {
+  const SpillConfig spill = ApplySpillEnv(config.spill);
+  if (spill.enabled) {
+    ExecConfig spilling = config;
+    spilling.spill = spill;
+    return exec::SpillingShuffleJoin(r_store, r_blocks, r_attr, r_preds,
+                                     s_store, s_blocks, s_attr, s_preds,
+                                     cluster, spilling, output);
+  }
   if (config.num_threads <= 1) {
     return ShuffleJoin(r_store, r_blocks, r_attr, r_preds, s_store, s_blocks,
                        s_attr, s_preds, cluster, output);

@@ -44,6 +44,10 @@ struct StorageCounters {
   int64_t buffer_misses = 0;
   /// Blocks physically written back to storage.
   int64_t physical_block_writes = 0;
+  /// Read ops submitted through the store's AsyncIo backend (prefetch).
+  int64_t async_reads = 0;
+  /// High-water mark of in-flight async reads on the store's backend.
+  int64_t async_inflight_peak = 0;
 };
 
 /// \brief Owns the blocks of one table. Blocks are created, looked up and
@@ -116,6 +120,16 @@ class BlockStore {
   /// read-ahead batches (and their metadata filtering) entirely when not.
   virtual bool CanPrefetch() const { return false; }
 
+  /// Approximate in-memory size of block `id` in bytes, answered from
+  /// metadata only (never performs I/O). -1 when the backend cannot say
+  /// without reading the block. Used by adaptive morsel sizing; callers
+  /// must fall back to count-based decomposition on -1 so mem-vs-disk
+  /// parity never depends on backend-specific size estimates.
+  virtual int64_t SizeBytesHint(BlockId id) const {
+    (void)id;
+    return -1;
+  }
+
   /// Deletes a block (after migration to another tree). Buffered stores
   /// drop the block without writing it back.
   virtual Status Delete(BlockId id) = 0;
@@ -168,6 +182,12 @@ class MemBlockStore final : public BlockStore {
   bool MayMatchMeta(BlockId id, const PredicateSet& preds) const override {
     auto it = blocks_.find(id);
     return it == blocks_.end() || it->second->MayMatch(preds);
+  }
+
+  int64_t SizeBytesHint(BlockId id) const override {
+    auto it = blocks_.find(id);
+    return it == blocks_.end() ? -1
+                               : static_cast<int64_t>(it->second->SizeBytes());
   }
 
   Status Delete(BlockId id) override;

@@ -13,10 +13,15 @@ void IoStats::Merge(const IoStats& other) {
   remote_block_reads += other.remote_block_reads;
   block_writes += other.block_writes;
   shuffled_blocks += other.shuffled_blocks;
+  spilled_partitions += other.spilled_partitions;
+  spill_bytes_written += other.spill_bytes_written;
+  spill_bytes_read += other.spill_bytes_read;
   buffer_hits += other.buffer_hits;
   buffer_misses += other.buffer_misses;
   physical_block_writes += other.physical_block_writes;
   prefetched += other.prefetched;
+  async_reads_inflight_peak =
+      std::max(async_reads_inflight_peak, other.async_reads_inflight_peak);
 }
 
 IoStats IoStats::Minus(const IoStats& other) const {
@@ -25,10 +30,15 @@ IoStats IoStats::Minus(const IoStats& other) const {
   d.remote_block_reads = remote_block_reads - other.remote_block_reads;
   d.block_writes = block_writes - other.block_writes;
   d.shuffled_blocks = shuffled_blocks - other.shuffled_blocks;
+  d.spilled_partitions = spilled_partitions - other.spilled_partitions;
+  d.spill_bytes_written = spill_bytes_written - other.spill_bytes_written;
+  d.spill_bytes_read = spill_bytes_read - other.spill_bytes_read;
   d.buffer_hits = buffer_hits - other.buffer_hits;
   d.buffer_misses = buffer_misses - other.buffer_misses;
   d.physical_block_writes = physical_block_writes - other.physical_block_writes;
   d.prefetched = prefetched - other.prefetched;
+  // A high-water mark has no meaningful delta; keep the minuend's value.
+  d.async_reads_inflight_peak = async_reads_inflight_peak;
   return d;
 }
 
@@ -37,10 +47,15 @@ std::string IoStats::ToString() const {
          ", remote=" + std::to_string(remote_block_reads) +
          ", writes=" + std::to_string(block_writes) +
          ", shuffled=" + std::to_string(shuffled_blocks) +
+         ", spilled_parts=" + std::to_string(spilled_partitions) +
+         ", spill_written=" + std::to_string(spill_bytes_written) +
+         ", spill_read=" + std::to_string(spill_bytes_read) +
          ", pool_hits=" + std::to_string(buffer_hits) +
          ", pool_misses=" + std::to_string(buffer_misses) +
          ", phys_writes=" + std::to_string(physical_block_writes) +
-         ", prefetched=" + std::to_string(prefetched) + "}";
+         ", prefetched=" + std::to_string(prefetched) +
+         ", async_inflight_peak=" +
+         std::to_string(async_reads_inflight_peak) + "}";
 }
 
 ClusterSim::ClusterSim(ClusterConfig config) : config_(config) {}

@@ -40,6 +40,16 @@ struct IoStats {
   /// Block-equivalents of data moved through a shuffle.
   int64_t shuffled_blocks = 0;
 
+  /// Join partitions that went through a spill file instead of staying
+  /// pinned in memory (out-of-core shuffle join / grace-hash fallback).
+  /// Logical like the read counters above: determined by the morsel
+  /// decomposition, hence identical at any thread count.
+  int64_t spilled_partitions = 0;
+  /// Encoded bytes written to spill files. Logical (decomposition-derived).
+  int64_t spill_bytes_written = 0;
+  /// Encoded bytes read back from spill files. Logical.
+  int64_t spill_bytes_read = 0;
+
   /// Buffer-pool hits during the operation (disk-backed stores only; the
   /// logical read counters above are backend-independent).
   int64_t buffer_hits = 0;
@@ -53,6 +63,10 @@ struct IoStats {
   /// residency at issue time — not guaranteed invariant across thread
   /// counts. The logical read counters above are unaffected.
   int64_t prefetched = 0;
+  /// High-water mark of concurrently in-flight async reads (physical, like
+  /// prefetched). Merge takes the max of the two sides; Minus keeps the
+  /// minuend's value — a peak has no meaningful delta.
+  int64_t async_reads_inflight_peak = 0;
 
   /// Total blocks read, local + remote.
   int64_t TotalReads() const { return local_block_reads + remote_block_reads; }

@@ -1,0 +1,689 @@
+// Tests for the out-of-core execution subsystem: the AsyncIo backends, the
+// SpillFile chunk format (including corruption fault injection), the
+// spilling shuffle join's bitwise parity with the in-memory executor across
+// thread counts and storage backends, the hyper join's grace-hash fallback,
+// bounded buffer residency on a dataset several times the pool budget, and
+// adaptive (byte-target) morsel sizing.
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/hyper_join.h"
+#include "exec/scan.h"
+#include "exec/shuffle_join.h"
+#include "exec/spill.h"
+#include "io/async_io.h"
+#include "io/disk_block_store.h"
+#include "join/grouping.h"
+#include "join/overlap.h"
+#include "parallel/parallel_scan.h"
+#include "testing_util.h"
+
+namespace adaptdb {
+namespace {
+
+using adaptdb::testing::MakeUniformBlockStore;
+using adaptdb::testing::StoreFixture;
+
+void ExpectSameLogicalIo(const IoStats& a, const IoStats& b) {
+  EXPECT_EQ(a.local_block_reads, b.local_block_reads);
+  EXPECT_EQ(a.remote_block_reads, b.remote_block_reads);
+  EXPECT_EQ(a.block_writes, b.block_writes);
+  EXPECT_EQ(a.shuffled_blocks, b.shuffled_blocks);
+}
+
+/// Spill accounting is logical too: chunk boundaries derive from the fixed
+/// morsel decomposition, so byte counts must match at any thread count.
+void ExpectSameSpillIo(const IoStats& a, const IoStats& b) {
+  EXPECT_EQ(a.spilled_partitions, b.spilled_partitions);
+  EXPECT_EQ(a.spill_bytes_written, b.spill_bytes_written);
+  EXPECT_EQ(a.spill_bytes_read, b.spill_bytes_read);
+}
+
+/// An unlinked temp file pre-filled with `contents`; closes on destruction.
+struct TempFd {
+  explicit TempFd(const std::string& contents = "") {
+    char tmpl[] = "/tmp/adaptdb-asyncio-test-XXXXXX";
+    fd = ::mkstemp(tmpl);
+    EXPECT_GE(fd, 0);
+    ::unlink(tmpl);
+    if (!contents.empty()) {
+      EXPECT_EQ(::pwrite(fd, contents.data(), contents.size(), 0),
+                static_cast<ssize_t>(contents.size()));
+    }
+  }
+  ~TempFd() {
+    if (fd >= 0) ::close(fd);
+  }
+  int fd = -1;
+};
+
+// ---------------------------------------------------------------------------
+// AsyncIo backends
+
+TEST(AsyncIoTest, ThreadPoolReadWriteRoundTrip) {
+  TempFd file;
+  auto async = io::MakeThreadPoolAsyncIo(2);
+  ASSERT_NE(async, nullptr);
+
+  std::string payload = "spilled-bytes-0123456789";
+  std::atomic<int32_t> completions{0};
+  {
+    io::AsyncIo::Op write;
+    write.kind = io::AsyncIo::Op::Kind::kWrite;
+    write.fd = file.fd;
+    write.offset = 7;
+    write.buf = &payload;
+    write.done = [&](Status st) {
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      completions.fetch_add(1);
+    };
+    std::vector<io::AsyncIo::Op> ops;
+    ops.push_back(std::move(write));
+    async->Submit(std::move(ops));
+  }
+  async->Drain();
+  ASSERT_EQ(completions.load(), 1);
+
+  std::string read_back;
+  read_back.resize(payload.size());
+  {
+    io::AsyncIo::Op read;
+    read.kind = io::AsyncIo::Op::Kind::kRead;
+    read.fd = file.fd;
+    read.offset = 7;
+    read.buf = &read_back;
+    read.done = [&](Status st) {
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      completions.fetch_add(1);
+    };
+    std::vector<io::AsyncIo::Op> ops;
+    ops.push_back(std::move(read));
+    async->Submit(std::move(ops));
+  }
+  async->Drain();
+  EXPECT_EQ(completions.load(), 2);
+  EXPECT_EQ(read_back, payload);
+
+  const io::AsyncIoStats stats = async->stats();
+  EXPECT_EQ(stats.reads_submitted, 1);
+  EXPECT_EQ(stats.reads_completed, 1);
+  EXPECT_EQ(stats.writes_submitted, 1);
+  EXPECT_EQ(stats.writes_completed, 1);
+  EXPECT_EQ(stats.read_bytes, static_cast<int64_t>(payload.size()));
+  EXPECT_EQ(stats.write_bytes, static_cast<int64_t>(payload.size()));
+  EXPECT_EQ(stats.failures, 0);
+  EXPECT_GE(stats.inflight_peak, 1);
+}
+
+TEST(AsyncIoTest, ShortReadSurfacesCorruption) {
+  TempFd file("tiny");
+  auto async = io::MakeThreadPoolAsyncIo(1);
+  std::string buf;
+  buf.resize(64);  // Far past EOF.
+  Status seen;
+  io::AsyncIo::Op read;
+  read.kind = io::AsyncIo::Op::Kind::kRead;
+  read.fd = file.fd;
+  read.offset = 0;
+  read.buf = &buf;
+  read.done = [&](Status st) { seen = std::move(st); };
+  std::vector<io::AsyncIo::Op> ops;
+  ops.push_back(std::move(read));
+  async->Submit(std::move(ops));
+  async->Drain();
+  EXPECT_TRUE(seen.code() == StatusCode::kCorruption) << seen.ToString();
+  EXPECT_EQ(async->stats().failures, 1);
+}
+
+TEST(AsyncIoTest, BadFdSurfacesInternal) {
+  // A closed (but non-negative) fd: the pread itself fails with EBADF.
+  int dead_fd;
+  {
+    TempFd file;
+    dead_fd = file.fd;
+  }
+  auto async = io::MakeThreadPoolAsyncIo(1);
+  std::string buf;
+  buf.resize(8);
+  Status seen;
+  io::AsyncIo::Op read;
+  read.kind = io::AsyncIo::Op::Kind::kRead;
+  read.fd = dead_fd;
+  read.buf = &buf;
+  read.done = [&](Status st) { seen = std::move(st); };
+  std::vector<io::AsyncIo::Op> ops;
+  ops.push_back(std::move(read));
+  async->Submit(std::move(ops));
+  async->Drain();
+  EXPECT_TRUE(seen.code() == StatusCode::kInternal) << seen.ToString();
+}
+
+TEST(AsyncIoTest, FactoryAlwaysReturnsABackend) {
+  // "uring" must fall back to the thread pool when liburing is absent from
+  // the build (the container default) instead of returning null.
+  auto async = io::MakeAsyncIo(2, "uring");
+  ASSERT_NE(async, nullptr);
+  if (!io::IoUringAvailable()) {
+    EXPECT_STREQ(async->name(), "threads");
+    EXPECT_EQ(io::MakeIoUringAsyncIo(8), nullptr);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SpillFile
+
+Block MakeBlock(BlockId id, int64_t rows, int64_t salt) {
+  Block b(id, 3);
+  for (int64_t i = 0; i < rows; ++i) {
+    b.Add({Value(i), Value(salt * 1000 + i), Value(i % 7)});
+  }
+  return b;
+}
+
+TEST(SpillFileTest, RoundTripSyncAndAsync) {
+  for (const bool use_async : {false, true}) {
+    auto async = use_async ? io::MakeThreadPoolAsyncIo(2) : nullptr;
+    auto file = exec::SpillFile::Create("", async.get());
+    ASSERT_TRUE(file.ok()) << file.status().ToString();
+    exec::SpillFile& spill = *file.ValueOrDie();
+
+    std::vector<exec::SpillChunk> chunks;
+    for (int64_t c = 0; c < 5; ++c) {
+      auto chunk = spill.AppendBlock(MakeBlock(c, 16 + c, c));
+      ASSERT_TRUE(chunk.ok()) << chunk.status().ToString();
+      chunks.push_back(chunk.ValueOrDie());
+      EXPECT_EQ(chunks.back().rows, 16 + c);
+    }
+    ASSERT_TRUE(spill.Finish().ok());
+    EXPECT_GT(spill.bytes_written(), 0);
+
+    // Read back out of order: chunks are independently addressable.
+    for (int64_t c = 4; c >= 0; --c) {
+      auto blk = spill.ReadChunk(chunks[static_cast<size_t>(c)], 3);
+      ASSERT_TRUE(blk.ok()) << blk.status().ToString();
+      const Block& b = blk.ValueOrDie();
+      ASSERT_EQ(static_cast<int64_t>(b.num_records()), 16 + c);
+      EXPECT_EQ(b.ValueAt(3, 1), Value(c * 1000 + 3));
+    }
+  }
+}
+
+TEST(SpillFileTest, TruncatedChunkIsCorruption) {
+  auto file = exec::SpillFile::Create("", nullptr);
+  ASSERT_TRUE(file.ok());
+  exec::SpillFile& spill = *file.ValueOrDie();
+  const exec::SpillChunk chunk =
+      spill.AppendBlock(MakeBlock(0, 64, 1)).ValueOrDie();
+  ASSERT_TRUE(spill.Finish().ok());
+
+  // Chop the file mid-chunk: the read must fail cleanly, not fabricate rows.
+  ASSERT_EQ(::ftruncate(spill.fd_for_testing(),
+                        static_cast<off_t>(chunk.length / 2)),
+            0);
+  auto blk = spill.ReadChunk(chunk, 3);
+  ASSERT_FALSE(blk.ok());
+  EXPECT_TRUE(blk.status().code() == StatusCode::kCorruption) << blk.status().ToString();
+}
+
+TEST(SpillFileTest, BitFlipIsCorruption) {
+  auto file = exec::SpillFile::Create("", nullptr);
+  ASSERT_TRUE(file.ok());
+  exec::SpillFile& spill = *file.ValueOrDie();
+  const exec::SpillChunk chunk =
+      spill.AppendBlock(MakeBlock(0, 64, 2)).ValueOrDie();
+  ASSERT_TRUE(spill.Finish().ok());
+
+  // Flip one byte in the middle of the encoded payload.
+  const int fd = spill.fd_for_testing();
+  const off_t victim = static_cast<off_t>(chunk.offset + chunk.length / 2);
+  char byte = 0;
+  ASSERT_EQ(::pread(fd, &byte, 1, victim), 1);
+  byte = static_cast<char>(byte ^ 0x40);
+  ASSERT_EQ(::pwrite(fd, &byte, 1, victim), 1);
+
+  auto blk = spill.ReadChunk(chunk, 3);
+  ASSERT_FALSE(blk.ok());
+  EXPECT_TRUE(blk.status().code() == StatusCode::kCorruption) << blk.status().ToString();
+}
+
+/// AsyncIo wrapper that fails every write (or corrupts every read) while
+/// delegating real I/O to a thread-pool backend — the spill path's
+/// equivalent of concurrent_test's FaultyStore.
+class FaultyAsyncIo : public io::AsyncIo {
+ public:
+  enum class Mode { kFailWrites, kCorruptReads };
+  explicit FaultyAsyncIo(Mode mode)
+      : inner_(io::MakeThreadPoolAsyncIo(1)), mode_(mode) {}
+
+  void Submit(std::vector<Op> ops) override {
+    std::vector<Op> pass;
+    for (Op& op : ops) {
+      if (mode_ == Mode::kFailWrites && op.kind == Op::Kind::kWrite) {
+        op.done(Status::Internal("injected spill-write fault"));
+        continue;
+      }
+      if (mode_ == Mode::kCorruptReads && op.kind == Op::Kind::kRead) {
+        std::string* buf = op.buf;
+        auto done = std::move(op.done);
+        op.done = [buf, done = std::move(done)](Status st) {
+          if (st.ok() && !buf->empty()) {
+            (*buf)[buf->size() / 2] =
+                static_cast<char>((*buf)[buf->size() / 2] ^ 0x20);
+          }
+          done(std::move(st));
+        };
+      }
+      pass.push_back(std::move(op));
+    }
+    if (!pass.empty()) inner_->Submit(std::move(pass));
+  }
+  void Drain() override { inner_->Drain(); }
+  io::AsyncIoStats stats() const override { return inner_->stats(); }
+  const char* name() const override { return "faulty"; }
+
+ private:
+  std::unique_ptr<io::AsyncIo> inner_;
+  Mode mode_;
+};
+
+TEST(SpillFileTest, FailingAsyncWriteSurfacesInFinish) {
+  FaultyAsyncIo faulty(FaultyAsyncIo::Mode::kFailWrites);
+  auto file = exec::SpillFile::Create("", &faulty);
+  ASSERT_TRUE(file.ok());
+  exec::SpillFile& spill = *file.ValueOrDie();
+  // The append itself may succeed (the write is in flight); the barrier
+  // must surface the failure.
+  (void)spill.AppendBlock(MakeBlock(0, 8, 3));
+  const Status finish = spill.Finish();
+  EXPECT_FALSE(finish.ok());
+  EXPECT_TRUE(finish.code() == StatusCode::kInternal) << finish.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Spilling shuffle join: fault injection through the executor
+
+class SpillJoinTest : public ::testing::Test {
+ protected:
+  SpillJoinTest()
+      : r_(MakeUniformBlockStore(12, 3, /*seed=*/11)),
+        s_(MakeUniformBlockStore(12, 3, /*seed=*/22)) {}
+
+  ExecConfig SpillingConfig(int32_t threads) const {
+    ExecConfig config;
+    config.num_threads = threads;
+    config.spill.enabled = true;
+    config.spill.chunk_rows = 16;  // Several chunks per morsel+partition.
+    return config;
+  }
+
+  StoreFixture r_;
+  StoreFixture s_;
+};
+
+TEST_F(SpillJoinTest, FailingAsyncIoFailsJoinCleanly) {
+  FaultyAsyncIo faulty(FaultyAsyncIo::Mode::kFailWrites);
+  ExecConfig config = SpillingConfig(2);
+  config.spill.async_io = &faulty;
+  std::vector<Record> rows;
+  auto run = exec::SpillingShuffleJoin(r_.store, r_.blocks, 0, {}, s_.store,
+                                       s_.blocks, 0, {}, r_.cluster, config,
+                                       &rows);
+  ASSERT_FALSE(run.ok());
+  EXPECT_TRUE(run.status().code() == StatusCode::kInternal) << run.status().ToString();
+}
+
+TEST_F(SpillJoinTest, CorruptedSpillReadFailsJoinCleanly) {
+  FaultyAsyncIo faulty(FaultyAsyncIo::Mode::kCorruptReads);
+  ExecConfig config = SpillingConfig(1);
+  config.spill.async_io = &faulty;
+  auto run = exec::SpillingShuffleJoin(r_.store, r_.blocks, 0, {}, s_.store,
+                                       s_.blocks, 0, {}, r_.cluster, config);
+  ASSERT_FALSE(run.ok());
+  EXPECT_TRUE(run.status().code() == StatusCode::kCorruption) << run.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Parity: spilling vs in-memory, across thread counts and backends
+
+TEST_F(SpillJoinTest, MatchesInMemoryAcrossThreadCountsAndBackends) {
+  const PredicateSet r_preds = {Predicate(1, CompareOp::kLt, int64_t{700})};
+  const PredicateSet s_preds = {Predicate(2, CompareOp::kGe, int64_t{100})};
+
+  std::vector<Record> baseline_rows;
+  const JoinExecResult baseline =
+      ShuffleJoin(r_.store, r_.blocks, 0, r_preds, s_.store, s_.blocks, 0,
+                  s_preds, r_.cluster, &baseline_rows)
+          .ValueOrDie();
+  ASSERT_GT(baseline.counts.output_rows, 0);
+
+  StorageConfig disk;
+  disk.backend = StorageConfig::Backend::kDisk;
+  disk.buffer_blocks = 3;
+  StoreFixture r_disk = MakeUniformBlockStore(12, 3, 11, 32, disk);
+  StoreFixture s_disk = MakeUniformBlockStore(12, 3, 22, 32, disk);
+  ASSERT_TRUE(r_disk.store.Flush().ok());
+  ASSERT_TRUE(s_disk.store.Flush().ok());
+
+  IoStats first_spill_io;
+  for (const bool on_disk : {false, true}) {
+    StoreFixture& r = on_disk ? r_disk : r_;
+    StoreFixture& s = on_disk ? s_disk : s_;
+    for (int32_t threads : {1, 2, 8}) {
+      std::vector<Record> rows;
+      const JoinExecResult run =
+          exec::SpillingShuffleJoin(r.store, r.blocks, 0, r_preds, s.store,
+                                    s.blocks, 0, s_preds, r.cluster,
+                                    SpillingConfig(threads), &rows)
+              .ValueOrDie();
+      SCOPED_TRACE((on_disk ? "disk" : "mem") + std::string(" threads=") +
+                   std::to_string(threads));
+      EXPECT_EQ(run.counts.output_rows, baseline.counts.output_rows);
+      EXPECT_EQ(run.counts.checksum, baseline.counts.checksum);
+      EXPECT_EQ(run.r_blocks_read, baseline.r_blocks_read);
+      EXPECT_EQ(run.s_blocks_read, baseline.s_blocks_read);
+      ExpectSameLogicalIo(run.io, baseline.io);
+      // Bitwise: the spilling reduce replays the exact serial row order.
+      EXPECT_EQ(rows, baseline_rows);
+      EXPECT_GT(run.io.spilled_partitions, 0);
+      EXPECT_GT(run.io.spill_bytes_written, 0);
+      EXPECT_GE(run.io.spill_bytes_read, run.io.spill_bytes_written);
+      // Chunking is decomposition-derived, so spill accounting is identical
+      // at every thread count on every backend.
+      if (first_spill_io.spill_bytes_written == 0) {
+        first_spill_io = run.io;
+      } else {
+        ExpectSameSpillIo(run.io, first_spill_io);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: dataset >= 4x the buffer budget, residency stays bounded
+
+TEST(OutOfCoreAcceptanceTest, ShuffleJoinBoundedResidencyOnTinyBuffer) {
+  constexpr int64_t kBudget = 4;
+  constexpr int32_t kBlocksPerSide = 16;  // 32 total, 8x the budget.
+
+  // In-memory baseline for correctness.
+  StoreFixture r_mem = MakeUniformBlockStore(kBlocksPerSide, 3, 31);
+  StoreFixture s_mem = MakeUniformBlockStore(kBlocksPerSide, 3, 41);
+  std::vector<Record> expected_rows;
+  const JoinExecResult expected =
+      ShuffleJoin(r_mem.store, r_mem.blocks, 0, {}, s_mem.store, s_mem.blocks,
+                  0, {}, r_mem.cluster, &expected_rows)
+          .ValueOrDie();
+  ASSERT_GT(expected.counts.output_rows, 0);
+
+  for (int32_t threads : {1, 8}) {
+    StorageConfig disk;
+    disk.backend = StorageConfig::Backend::kDisk;
+    disk.buffer_blocks = kBudget;
+    StoreFixture r = MakeUniformBlockStore(kBlocksPerSide, 3, 31, 32, disk);
+    StoreFixture s = MakeUniformBlockStore(kBlocksPerSide, 3, 41, 32, disk);
+    ASSERT_TRUE(r.store.Flush().ok());
+    ASSERT_TRUE(s.store.Flush().ok());
+
+    ExecConfig config;
+    config.num_threads = threads;
+    config.spill.enabled = true;
+    config.spill.chunk_rows = 64;
+    std::vector<Record> rows;
+    const JoinExecResult run =
+        exec::SpillingShuffleJoin(r.store, r.blocks, 0, {}, s.store, s.blocks,
+                                  0, {}, r.cluster, config, &rows)
+            .ValueOrDie();
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_EQ(run.counts.output_rows, expected.counts.output_rows);
+    EXPECT_EQ(run.counts.checksum, expected.counts.checksum);
+    EXPECT_EQ(rows, expected_rows);
+
+    // The whole point: peak residency is bounded by the pool budget plus
+    // one transient pin per concurrent map task — never the input size.
+    for (const auto* fx : {&r, &s}) {
+      const auto* store = dynamic_cast<const DiskBlockStore*>(&fx->store);
+      ASSERT_NE(store, nullptr);
+      const int64_t peak = store->pool_stats().peak_resident;
+      EXPECT_LE(peak, kBudget + threads)
+          << "peak " << peak << " vs budget " << kBudget;
+      EXPECT_LT(peak, kBlocksPerSide);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Grace-hash fallback in the hyper join
+
+class GraceHashJoinTest : public ::testing::Test {
+ protected:
+  GraceHashJoinTest()
+      : r_(MakeUniformBlockStore(12, 3, /*seed=*/11)),
+        s_(MakeUniformBlockStore(12, 3, /*seed=*/22)),
+        overlap_(ComputeOverlap(r_.store, r_.blocks, 0, s_.store, s_.blocks, 0)
+                     .ValueOrDie()),
+        grouping_(BottomUpGrouping(overlap_, 6).ValueOrDie()) {}
+
+  ExecConfig GraceConfig(int32_t threads) const {
+    ExecConfig config;
+    config.num_threads = threads;
+    config.spill.enabled = true;
+    config.spill.max_build_blocks = 2;  // Groups of up to 6 blocks: grace.
+    config.spill.chunk_rows = 16;
+    return config;
+  }
+
+  StoreFixture r_;
+  StoreFixture s_;
+  OverlapMatrix overlap_;
+  Grouping grouping_;
+};
+
+TEST_F(GraceHashJoinTest, MatchesInMemoryHyperJoin) {
+  std::vector<Record> mem_rows;
+  const JoinExecResult mem =
+      HyperJoin(r_.store, 0, {}, s_.store, 0, {}, overlap_, grouping_,
+                r_.cluster, &mem_rows)
+          .ValueOrDie();
+  ASSERT_GT(mem.counts.output_rows, 0);
+
+  std::vector<Record> serial_grace_rows;
+  for (int32_t threads : {1, 2, 8}) {
+    std::vector<Record> rows;
+    const JoinExecResult run =
+        HyperJoin(r_.store, 0, {}, s_.store, 0, {}, overlap_, grouping_,
+                  r_.cluster, GraceConfig(threads), &rows)
+            .ValueOrDie();
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    // Counts, checksum and logical I/O match the in-memory path exactly;
+    // the checksum is order-independent, which absorbs the partitioned
+    // output order.
+    EXPECT_EQ(run.counts.output_rows, mem.counts.output_rows);
+    EXPECT_EQ(run.counts.checksum, mem.counts.checksum);
+    EXPECT_EQ(run.r_blocks_read, mem.r_blocks_read);
+    EXPECT_EQ(run.s_blocks_read, mem.s_blocks_read);
+    EXPECT_EQ(run.s_blocks_skipped, mem.s_blocks_skipped);
+    ExpectSameLogicalIo(run.io, mem.io);
+    EXPECT_GT(run.io.spilled_partitions, 0);
+    EXPECT_GT(run.io.spill_bytes_written, 0);
+
+    // Same multiset of rows as in-memory.
+    std::vector<Record> sorted = rows;
+    std::vector<Record> mem_sorted = mem_rows;
+    std::sort(sorted.begin(), sorted.end());
+    std::sort(mem_sorted.begin(), mem_sorted.end());
+    EXPECT_EQ(sorted, mem_sorted);
+
+    // And bitwise-deterministic across thread counts.
+    if (threads == 1) {
+      serial_grace_rows = std::move(rows);
+    } else {
+      EXPECT_EQ(rows, serial_grace_rows);
+    }
+  }
+}
+
+TEST_F(GraceHashJoinTest, PredicatesAndMetaSkipMatchInMemory) {
+  const PredicateSet r_preds = {Predicate(1, CompareOp::kLt, int64_t{700})};
+  const PredicateSet s_preds = {Predicate(0, CompareOp::kLt, int64_t{300})};
+  const JoinExecResult mem =
+      HyperJoin(r_.store, 0, r_preds, s_.store, 0, s_preds, overlap_,
+                grouping_, r_.cluster, nullptr)
+          .ValueOrDie();
+  const JoinExecResult grace =
+      HyperJoin(r_.store, 0, r_preds, s_.store, 0, s_preds, overlap_,
+                grouping_, r_.cluster, GraceConfig(1), nullptr)
+          .ValueOrDie();
+  EXPECT_EQ(grace.counts.output_rows, mem.counts.output_rows);
+  EXPECT_EQ(grace.counts.checksum, mem.counts.checksum);
+  EXPECT_EQ(grace.s_blocks_skipped, mem.s_blocks_skipped);
+  EXPECT_EQ(grace.s_blocks_read, mem.s_blocks_read);
+  ExpectSameLogicalIo(grace.io, mem.io);
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive morsel sizing
+
+TEST(AdaptiveMorselTest, ByteTargetAdaptsBoundaries) {
+  MemBlockStore store(2);
+  std::vector<BlockId> blocks;
+  // Alternating fat (96 rows) and thin (4 rows) blocks.
+  for (int32_t b = 0; b < 8; ++b) {
+    const BlockId id = store.CreateBlock();
+    auto blk = store.GetMutable(id).ValueOrDie();
+    const int32_t rows = (b % 2 == 0) ? 96 : 4;
+    for (int32_t i = 0; i < rows; ++i) blk->Add({Value(i), Value(b)});
+    blocks.push_back(id);
+  }
+  const int64_t fat = store.SizeBytesHint(blocks[0]);
+  ASSERT_GT(fat, 0);
+
+  ExecConfig config;
+  config.morsel_blocks = 8;
+  config.morsel_bytes = fat;  // One fat block fills a morsel.
+  const auto ranges = ComputeMorselRanges(store, blocks, config);
+
+  // Coverage: contiguous, complete, every morsel non-empty.
+  ASSERT_FALSE(ranges.empty());
+  int64_t expect_lo = 0;
+  for (const auto& [lo, hi] : ranges) {
+    EXPECT_EQ(lo, expect_lo);
+    EXPECT_GT(hi, lo);
+    expect_lo = hi;
+  }
+  EXPECT_EQ(expect_lo, static_cast<int64_t>(blocks.size()));
+  // Adapted: more morsels than the single fixed-split morsel, and each fat
+  // block closes one (4 fat blocks => at least 4 morsels).
+  EXPECT_GE(ranges.size(), 4u);
+
+  // morsel_bytes == 0 keeps the legacy fixed split.
+  config.morsel_bytes = 0;
+  const auto fixed = ComputeMorselRanges(store, blocks, config);
+  ASSERT_EQ(fixed.size(), 1u);
+  EXPECT_EQ(fixed[0], std::make_pair(int64_t{0}, int64_t{8}));
+}
+
+/// Store wrapper with no size hints — must force the fixed fallback.
+class HintlessStore : public BlockStore {
+ public:
+  explicit HintlessStore(BlockStore* inner)
+      : BlockStore(inner->num_attrs()), inner_(inner) {}
+  BlockId CreateBlock() override { return inner_->CreateBlock(); }
+  Result<BlockRef> Get(BlockId id) const override { return inner_->Get(id); }
+  Result<MutableBlockRef> GetMutable(BlockId id) override {
+    return inner_->GetMutable(id);
+  }
+  bool Contains(BlockId id) const override { return inner_->Contains(id); }
+  Result<size_t> RecordCount(BlockId id) const override {
+    return inner_->RecordCount(id);
+  }
+  bool MayMatchMeta(BlockId id, const PredicateSet& preds) const override {
+    return inner_->MayMatchMeta(id, preds);
+  }
+  int64_t SizeBytesHint(BlockId) const override { return -1; }
+  Status Delete(BlockId id) override { return inner_->Delete(id); }
+  std::vector<BlockId> BlockIds() const override { return inner_->BlockIds(); }
+  size_t num_blocks() const override { return inner_->num_blocks(); }
+  size_t TotalRecords() const override { return inner_->TotalRecords(); }
+
+ private:
+  BlockStore* inner_;
+};
+
+TEST(AdaptiveMorselTest, MissingHintsFallBackToFixedSplit) {
+  auto fx = MakeUniformBlockStore(10, 2, 51);
+  HintlessStore hintless(&fx.store);
+  ExecConfig config;
+  config.morsel_blocks = 4;
+  config.morsel_bytes = 1024;
+  const auto ranges = ComputeMorselRanges(hintless, fx.blocks, config);
+  ASSERT_EQ(ranges.size(), 3u);
+  EXPECT_EQ(ranges[0], std::make_pair(int64_t{0}, int64_t{4}));
+  EXPECT_EQ(ranges[2], std::make_pair(int64_t{8}, int64_t{10}));
+}
+
+TEST(AdaptiveMorselTest, AggregateInvariantAcrossThreadCounts) {
+  auto fx = MakeUniformBlockStore(16, 3, 61);
+  const PredicateSet preds = {Predicate(2, CompareOp::kGe, int64_t{50})};
+  AggregateResult baseline;
+  for (int32_t threads : {1, 2, 8}) {
+    ExecConfig config;
+    config.num_threads = threads;
+    config.morsel_bytes = 2048;  // Adaptive decomposition on all runs.
+    const AggregateResult run =
+        ParallelScanAggregate(fx.store, fx.blocks, preds, fx.cluster, 1,
+                              AggFn::kAvg, config)
+            .ValueOrDie();
+    if (threads == 1) {
+      baseline = run;
+      EXPECT_GT(run.rows_aggregated, 0);
+    } else {
+      // Bitwise: same decomposition => same fp grouping => same double.
+      EXPECT_EQ(run.value, baseline.value) << threads;
+      EXPECT_EQ(run.rows_aggregated, baseline.rows_aggregated);
+      EXPECT_EQ(run.scan.rows_matched, baseline.scan.rows_matched);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Environment overrides
+
+TEST(SpillEnvTest, ParsesOverrides) {
+  ::setenv("ADAPTDB_SPILL", "1", 1);
+  ::setenv("ADAPTDB_SPILL_ROWS", "123", 1);
+  ::setenv("ADAPTDB_SPILL_BUILD_BLOCKS", "9", 1);
+  ::setenv("ADAPTDB_SPILL_IO_THREADS", "0", 1);
+  ::setenv("ADAPTDB_SPILL_DIR", "/tmp", 1);
+  const SpillConfig spill = ApplySpillEnv(SpillConfig{});
+  ::unsetenv("ADAPTDB_SPILL");
+  ::unsetenv("ADAPTDB_SPILL_ROWS");
+  ::unsetenv("ADAPTDB_SPILL_BUILD_BLOCKS");
+  ::unsetenv("ADAPTDB_SPILL_IO_THREADS");
+  ::unsetenv("ADAPTDB_SPILL_DIR");
+  EXPECT_TRUE(spill.enabled);
+  EXPECT_EQ(spill.chunk_rows, 123);
+  EXPECT_EQ(spill.max_build_blocks, 9);
+  EXPECT_EQ(spill.io_threads, 0);
+  EXPECT_EQ(spill.dir, "/tmp");
+
+  ::setenv("ADAPTDB_SPILL", "0", 1);
+  SpillConfig on;
+  on.enabled = true;
+  const SpillConfig off = ApplySpillEnv(on);
+  ::unsetenv("ADAPTDB_SPILL");
+  EXPECT_FALSE(off.enabled);
+}
+
+}  // namespace
+}  // namespace adaptdb
