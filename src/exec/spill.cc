@@ -622,8 +622,7 @@ Status GraceHashJoinGroup(const BlockStore& r_store, AttrId r_attr,
                           /*global_morsel=*/0, file, partial);
     Record scratch;
     for (BlockId id : blocks) {
-      if (meta_skip && !s_preds.empty() &&
-          !store.MayMatchMeta(id, s_preds)) {
+      if (meta_skip && !preds.empty() && !store.MayMatchMeta(id, preds)) {
         ++out->s_blocks_skipped;
         obs::Count(obs::Counter::kBlocksSkippedMeta);
         continue;

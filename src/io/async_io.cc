@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
@@ -202,12 +203,17 @@ class IoUringAsyncIo final : public AsyncIo {
       std::lock_guard<std::mutex> lock(ring_mu_);
       stopping_ = true;
       // Wake the reaper with a no-op: a timeout-less nop completes at once.
-      struct io_uring_sqe* sqe = io_uring_get_sqe(&ring_);
-      if (sqe != nullptr) {
-        io_uring_prep_nop(sqe);
-        io_uring_sqe_set_data(sqe, nullptr);
+      // Joining without the nop would deadlock on io_uring_wait_cqe, so
+      // insist on an SQE slot: flushing pending submissions frees slots,
+      // and after Drain() the ring quiesces within a few iterations.
+      struct io_uring_sqe* sqe;
+      while ((sqe = io_uring_get_sqe(&ring_)) == nullptr) {
         io_uring_submit(&ring_);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
       }
+      io_uring_prep_nop(sqe);
+      io_uring_sqe_set_data(sqe, nullptr);
+      io_uring_submit(&ring_);
     }
     reaper_.join();
     io_uring_queue_exit(&ring_);
@@ -274,11 +280,18 @@ class IoUringAsyncIo final : public AsyncIo {
         st = Status::Internal(std::string("io_uring op failed: ") +
                               std::strerror(-res));
       } else if (static_cast<size_t>(res) < pending->buf->size()) {
-        // Partial transfer: finish the remainder synchronously; a zero-byte
-        // tail read means the file is truncated.
+        // Partial transfer: finish the remainder synchronously. Reads land
+        // in a scratch tail copied back on success (a zero-byte tail read
+        // means the file is truncated); writes must retry with the
+        // remaining SOURCE bytes — a zeroed scratch buffer here would
+        // silently zero-pad the file past the partial write.
         Op rest = *pending;
         rest.offset += static_cast<uint64_t>(res);
-        std::string tail(pending->buf->size() - static_cast<size_t>(res), 0);
+        std::string tail =
+            pending->kind == Op::Kind::kRead
+                ? std::string(pending->buf->size() - static_cast<size_t>(res),
+                              '\0')
+                : pending->buf->substr(static_cast<size_t>(res));
         rest.buf = &tail;
         st = RunOpBlocking(rest);
         if (st.ok() && rest.kind == Op::Kind::kRead) {

@@ -151,18 +151,14 @@ int64_t DiskBlockStore::Prefetch(const std::vector<BlockId>& ids) const {
   std::vector<io::AsyncIo::Op> ops;
   for (BlockId id : ids) {
     if (budget <= 0) break;
-    io::BlockLocation loc;
     {
       std::lock_guard<std::mutex> lock(dir_mu_);
       auto it = directory_.find(id);
       if (it == directory_.end()) continue;
-      if (async_ != nullptr) {
-        // A non-resident block always has a persisted extent (its creation
-        // frame was dirty until written back); no extent means it is still
-        // resident, which BeginLoad rejects below anyway.
-        if (!it->second.loc.has_value()) continue;
-        loc = *it->second.loc;
-      }
+      // A non-resident block always has a persisted extent (its creation
+      // frame was dirty until written back); no extent means it is still
+      // resident, which BeginLoad rejects below anyway.
+      if (async_ != nullptr && !it->second.loc.has_value()) continue;
     }
     if (async_ == nullptr) {
       // Synchronous fallback (io_threads == 0): load on this thread.
@@ -177,6 +173,24 @@ int64_t DiskBlockStore::Prefetch(const std::vector<BlockId>& ids) const {
     // this block early waits on the in-flight load (a hit) instead of
     // reading it a second time. False = resident or already loading.
     if (!pool_.BeginLoad(id)) continue;
+    // Read the extent only AFTER the claim succeeds: the claim guarantees
+    // non-residency, so no eviction can write back a dirty copy and move
+    // the extent from under us. An extent snapshotted before the claim
+    // could be the pre-writeback version of a block that was resident and
+    // dirty at snapshot time — loading it would silently serve stale data.
+    io::BlockLocation loc;
+    {
+      std::lock_guard<std::mutex> lock(dir_mu_);
+      auto it = directory_.find(id);
+      if (it == directory_.end() || !it->second.loc.has_value()) {
+        // Deleted between the claim and here; release the claim so a
+        // waiting Pin retries (and surfaces NotFound) synchronously.
+        pool_.FinishLoad(id, Status::NotFound("block " + std::to_string(id) +
+                                              " vanished during prefetch"));
+        continue;
+      }
+      loc = *it->second.loc;
+    }
     auto fd = segments_->FdForRead(loc);
     if (!fd.ok()) {
       pool_.FinishLoad(id, fd.status());
@@ -282,9 +296,12 @@ StorageCounters DiskBlockStore::counters() const {
 }
 
 int64_t DiskBlockStore::SizeBytesHint(BlockId id) const {
-  if (auto resident = pool_.Peek(id)) {
-    return static_cast<int64_t>(resident->SizeBytes());
-  }
+  // Always the persisted extent length, never the resident copy's
+  // in-memory footprint: those are different measures, and preferring
+  // whichever happens to be available would make the hint — and the
+  // adaptive morsel decomposition built on it — depend on buffer-pool
+  // residency at call time (including async prefetch completion timing),
+  // breaking ComputeMorselRanges' pure-function-of-metadata invariant.
   std::lock_guard<std::mutex> lock(dir_mu_);
   auto it = directory_.find(id);
   if (it == directory_.end() || !it->second.loc.has_value()) return -1;

@@ -79,8 +79,9 @@ class DiskBlockStore final : public BlockStore, private io::BlockSource {
   Status Flush() override;
   StorageCounters counters() const override;
 
-  /// Metadata-only size estimate: the resident copy's in-memory footprint,
-  /// else the persisted extent length. Never performs I/O.
+  /// Metadata-only size estimate: the persisted extent length regardless
+  /// of residency (-1 for a block never written back), so adaptive morsel
+  /// decomposition never varies with buffer-pool state. Never performs I/O.
   int64_t SizeBytesHint(BlockId id) const override;
 
   /// Pool introspection for benchmarks and tests.

@@ -397,6 +397,33 @@ TEST(DiskBlockStoreTest, RecordCountIsExactWithoutPhysicalReads) {
   EXPECT_EQ(store->RecordCount(99).status().code(), StatusCode::kNotFound);
 }
 
+TEST(DiskBlockStoreTest, SizeBytesHintIsResidencyIndependent) {
+  StorageConfig config;
+  config.buffer_blocks = 2;
+  auto store = std::move(DiskBlockStore::Open(1, config)).ValueOrDie();
+  for (BlockId id = 0; id < 4; ++id) {
+    store->CreateBlock();
+    auto blk = store->GetMutable(id);
+    for (int64_t i = 0; i <= id * 3; ++i) blk.ValueOrDie()->Add({Value(i)});
+  }
+  ASSERT_TRUE(store->Flush().ok());  // Every block now has an extent.
+  std::vector<int64_t> cold;
+  for (BlockId id = 0; id < 4; ++id) cold.push_back(store->SizeBytesHint(id));
+  for (BlockId id = 0; id < 4; ++id) {
+    EXPECT_GT(cold[static_cast<size_t>(id)], 0);
+    auto pin = store->Get(id);  // Make the block resident.
+    ASSERT_TRUE(pin.ok());
+    // Residency must not change the hint: ComputeMorselRanges' adaptive
+    // decomposition is a pure function of persisted metadata, so the hint
+    // cannot vary with buffer-pool state at call time.
+    EXPECT_EQ(store->SizeBytesHint(id), cold[static_cast<size_t>(id)]) << id;
+  }
+  // A freshly created block has no persisted extent: unknown, not a guess
+  // from the dirty resident copy.
+  const BlockId fresh = store->CreateBlock();
+  EXPECT_EQ(store->SizeBytesHint(fresh), -1);
+}
+
 TEST(DiskBlockStoreTest, HandleMaySafelyOutliveTheStore) {
   BlockRef survivor;
   {
