@@ -13,6 +13,7 @@
 ///
 /// Usage: micro_scan [--smoke] [--threads N]
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -20,6 +21,7 @@
 
 #include "bench_util.h"
 #include "common/rng.h"
+#include "exec/kernels.h"
 #include "exec/scan.h"
 #include "io/format.h"
 #include "storage/block_store.h"
@@ -143,6 +145,91 @@ Sweep RunCell(const std::vector<std::string>& encoded,
   return out;
 }
 
+struct KernelsAB {
+  double on_ms = 0;   // Per-sweep with vectorized kernels.
+  double off_ms = 0;  // Per-sweep on the per-row MatchesAt fallback.
+  int64_t rows = 0;   // Matching rows per sweep (identical both ways).
+};
+
+/// A/B of one predicate set over `blocks`: first a parity gate (the kernel
+/// and fallback paths must produce identical selection vectors row for
+/// row — any divergence exits non-zero), then a timed CountMatches sweep
+/// per path. Each measurement repeats full sweeps until the window is at
+/// least 20ms wide so the speedup ratio is meaningful in smoke mode too.
+KernelsAB TimeKernelsAB(const std::vector<Block>& blocks,
+                        const PredicateSet& preds) {
+  KernelsAB out;
+  const bool ambient = kernels::Enabled();
+  for (const Block& b : blocks) {
+    kernels::SetEnabled(true);
+    const SelectionVector on = b.FilterRows(preds);
+    kernels::SetEnabled(false);
+    const SelectionVector off = b.FilterRows(preds);
+    if (on != off) {
+      std::fprintf(stderr,
+                   "FAIL: kernel/fallback selection divergence on block "
+                   "%lld (%zu vs %zu rows)\n",
+                   static_cast<long long>(b.id()), on.size(), off.size());
+      std::exit(1);
+    }
+    out.rows += static_cast<int64_t>(on.size());
+  }
+  for (const bool on : {true, false}) {
+    kernels::SetEnabled(on);
+    // Best of 3 windows, each at least 10ms wide: the minimum per-sweep
+    // time is robust against transient load on shared CI runners.
+    double best = 1e300;
+    for (int pass = 0; pass < 3; ++pass) {
+      int64_t reps = 0;
+      int64_t counted = 0;
+      const auto start = Clock::now();
+      double ms = 0;
+      do {
+        for (const Block& b : blocks) {
+          counted += static_cast<int64_t>(b.CountMatches(preds));
+        }
+        ++reps;
+        ms = MillisSince(start);
+      } while (ms < 10.0);
+      if (counted != out.rows * reps) {
+        std::fprintf(stderr, "FAIL: CountMatches diverged from FilterRows "
+                             "(kernels=%d)\n", on ? 1 : 0);
+        std::exit(1);
+      }
+      best = std::min(best, ms / static_cast<double>(reps));
+    }
+    (on ? out.on_ms : out.off_ms) = best;
+  }
+  kernels::SetEnabled(ambient);
+  return out;
+}
+
+/// Builds, encodes and re-decodes single-attribute string blocks whose
+/// values cycle through `cardinality` distinct strings — decoded columns
+/// are dictionary-resident whenever the cardinality fits a byte of code
+/// space (<= 256).
+std::vector<Block> MakeDictBlocks(int32_t n_blocks, int32_t rows_per_block,
+                                  int32_t cardinality) {
+  std::vector<Block> out;
+  Rng rng(7);
+  for (int32_t bi = 0; bi < n_blocks; ++bi) {
+    Block b(bi, 1);
+    for (int32_t i = 0; i < rows_per_block; ++i) {
+      b.Add({Value("entry-" +
+                   std::to_string(rng.Uniform(
+                       static_cast<uint64_t>(cardinality))))});
+    }
+    auto decoded = io::DecodeBlock(io::EncodeBlock(b), 1);
+    if (!decoded.ok()) {
+      std::fprintf(stderr, "dict decode failed: %s\n",
+                   decoded.status().ToString().c_str());
+      std::exit(1);
+    }
+    out.push_back(std::move(decoded).ValueOrDie());
+  }
+  return out;
+}
+
 }  // namespace
 }  // namespace adaptdb
 
@@ -228,6 +315,85 @@ int main(int argc, char** argv) {
                 static_cast<long long>(scan.ValueOrDie().rows_matched),
                 scan_ms);
     bench::ReportMetric("scan_ms_sel" + std::to_string(cut), scan_ms, "ms");
+  }
+
+  // Vectorized kernels vs the per-row fallback, over decoded blocks (so
+  // string columns are dictionary-resident, as they are after any disk
+  // read). Every cell is parity-gated: the two paths must select exactly
+  // the same rows or the bench exits non-zero.
+  std::vector<Block> decoded;
+  for (const std::string& bytes : encoded) {
+    auto block = io::DecodeBlock(bytes, kNumAttrs);
+    if (!block.ok()) {
+      std::fprintf(stderr, "decode failed: %s\n",
+                   block.status().ToString().c_str());
+      return 1;
+    }
+    decoded.push_back(std::move(block).ValueOrDie());
+  }
+
+  std::printf("\n%-26s %10s %12s %12s %9s\n", "kernel cell", "rows",
+              "kernel_ms", "perrow_ms", "speedup");
+  const auto report_cell = [&](const char* label, const std::string& key,
+                               const KernelsAB& ab) {
+    const double speedup = ab.off_ms / ab.on_ms;
+    std::printf("%-26s %10lld %12.3f %12.3f %8.2fx\n", label,
+                static_cast<long long>(ab.rows), ab.on_ms, ab.off_ms,
+                speedup);
+    bench::ReportMetric(key, speedup, "x");
+    return speedup;
+  };
+
+  // Int64 selectivity sweep — the headline kernel_speedup_sel<s> metrics.
+  double worst_selective_int64 = 1e300;
+  for (const auto& [sel_name, cut] : selectivities) {
+    const PredicateSet preds = {Predicate(0, CompareOp::kLt, Value(cut))};
+    const auto ab = TimeKernelsAB(decoded, preds);
+    const std::string label = std::string("int64 ") + sel_name;
+    const double speedup = report_cell(
+        label.c_str(), "kernel_speedup_sel" + std::to_string(cut), ab);
+    if (cut <= 100) {
+      worst_selective_int64 = std::min(worst_selective_int64, speedup);
+    }
+  }
+
+  // Double column, 10% selectivity.
+  report_cell("double 10%", "kernel_speedup_double",
+              TimeKernelsAB(decoded, {Predicate(3, CompareOp::kLt,
+                                                Value(100.0))}));
+
+  // Dictionary-resident string equality on the 3-value flag column
+  // (decoded a4), then an equality + range sweep across dictionary
+  // cardinalities on dedicated single-attribute datasets.
+  report_cell("dict eq card3",
+              "kernel_speedup_dict_eq_card3",
+              TimeKernelsAB(decoded, {Predicate(4, CompareOp::kEq,
+                                                Value("A"))}));
+  for (const int32_t card : {8, 64, 256}) {
+    const std::vector<Block> dict_blocks =
+        MakeDictBlocks(bench::SmokeScale(64, 8), records_per_block, card);
+    const std::string label = "dict eq card" + std::to_string(card);
+    report_cell(label.c_str(),
+                "kernel_speedup_dict_eq_card" + std::to_string(card),
+                TimeKernelsAB(dict_blocks, {Predicate(0, CompareOp::kEq,
+                                                      Value("entry-0"))}));
+    if (card == 256) {
+      report_cell("dict range card256",
+                  "kernel_speedup_dict_range_card256",
+                  TimeKernelsAB(dict_blocks,
+                                {Predicate(0, CompareOp::kLe,
+                                           Value("entry-3"))}));
+    }
+  }
+
+  // Acceptance gate (full mode only — smoke datasets are too small for a
+  // stable ratio): selective int64 scans must be at least 1.5x faster
+  // through the kernels than row at a time.
+  if (!bench::Smoke() && worst_selective_int64 < 1.5) {
+    std::fprintf(stderr,
+                 "FAIL: selective int64 kernel speedup %.2fx < 1.5x\n",
+                 worst_selective_int64);
+    ok = false;
   }
 
   if (!ok) return 1;

@@ -102,6 +102,8 @@ std::string DatabaseStats::ToString() const {
          ", spilled_parts=" + std::to_string(spilled_partitions) +
          ", spill_written=" + std::to_string(spill_bytes_written) +
          ", spill_read=" + std::to_string(spill_bytes_read) +
+         ", kernel_filters=" + std::to_string(kernel_filters) +
+         ", filter_fallbacks=" + std::to_string(filter_fallbacks) +
          ", async_reads=" + std::to_string(async_reads) +
          ", async_inflight_peak=" + std::to_string(async_reads_inflight_peak) +
          ", shards=" + std::to_string(metric_shards) +
@@ -144,6 +146,8 @@ std::string DatabaseStats::ToJson() const {
   w.Field("spilled_partitions", spilled_partitions);
   w.Field("spill_bytes_written", spill_bytes_written);
   w.Field("spill_bytes_read", spill_bytes_read);
+  w.Field("kernel_filters", kernel_filters);
+  w.Field("filter_fallbacks", filter_fallbacks);
   w.Field("async_reads", async_reads);
   w.Field("async_reads_inflight_peak", async_reads_inflight_peak);
   w.Field("metric_shards", metric_shards);
@@ -250,6 +254,11 @@ std::string DatabaseStats::ToPrometheus() const {
       {"adaptdb_spill_bytes_read_total",
        static_cast<double>(spill_bytes_read),
        "Encoded bytes read back from spill files."},
+      {"adaptdb_kernel_filters_total", static_cast<double>(kernel_filters),
+       "Predicate passes served by the vectorized kernels."},
+      {"adaptdb_filter_fallbacks_total",
+       static_cast<double>(filter_fallbacks),
+       "Predicate passes on the row-at-a-time fallback."},
       {"adaptdb_async_reads_total", static_cast<double>(async_reads),
        "Read ops submitted to AsyncIo backends."},
       {"adaptdb_async_reads_inflight_peak",
@@ -688,6 +697,8 @@ DatabaseStats Database::Stats() const {
   stats.spilled_partitions = m[obs::Counter::kSpilledPartitions];
   stats.spill_bytes_written = m[obs::Counter::kSpillBytesWritten];
   stats.spill_bytes_read = m[obs::Counter::kSpillBytesRead];
+  stats.kernel_filters = m[obs::Counter::kKernelFilters];
+  stats.filter_fallbacks = m[obs::Counter::kFilterFallbacks];
   stats.async_reads = counters.async_reads;
   stats.async_reads_inflight_peak = counters.async_inflight_peak;
   stats.metric_shards =

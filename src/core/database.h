@@ -149,6 +149,11 @@ struct DatabaseStats {
   int64_t spilled_partitions = 0;
   int64_t spill_bytes_written = 0;
   int64_t spill_bytes_read = 0;
+  /// Vectorized execution: per-predicate evaluation passes served by the
+  /// dispatch-once kernels vs the row-at-a-time MatchesAt fallback
+  /// (registry counters, cumulative across all queries).
+  int64_t kernel_filters = 0;
+  int64_t filter_fallbacks = 0;
   /// Async I/O: read ops submitted to the stores' AsyncIo backends and the
   /// high-water mark of concurrently in-flight reads (max across stores).
   int64_t async_reads = 0;

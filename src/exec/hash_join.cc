@@ -21,7 +21,16 @@ void HashIndex::AddBlock(const Block& block, const PredicateSet& preds) {
   if (sel.empty()) return;
   const Column& key_col = block.column(attr_);
   for (const uint32_t row : sel) {
-    buckets_[key_col.ValueAt(row)].push_back(RowRef::OfBlock(&block, row));
+    // Heterogeneous find-before-emplace: a Value (string copy on string
+    // keys) materializes only when the key is first seen, not per build
+    // row — on dictionary columns the lookup hashes/compares through the
+    // dictionary without touching a string at all.
+    auto it = buckets_.find(ColumnKey{&key_col, row});
+    if (it == buckets_.end()) {
+      it = buckets_.emplace(key_col.ValueAt(row), std::vector<RowRef>{})
+               .first;
+    }
+    it->second.push_back(RowRef::OfBlock(&block, row));
     ++build_rows_;
   }
 }

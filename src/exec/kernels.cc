@@ -1,0 +1,240 @@
+#include "exec/kernels.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace adaptdb {
+namespace kernels {
+
+namespace {
+
+/// Same ApplyOp as the MatchesAt path (storage/column.cc): native <, ==
+/// on an already-ordered same-type pair.
+template <typename T>
+bool ApplyOp(CompareOp op, const T& lhs, const T& rhs) {
+  switch (op) {
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return lhs <= rhs;
+    case CompareOp::kGt:
+      return lhs > rhs;
+    case CompareOp::kGe:
+      return lhs >= rhs;
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNeq:
+      return lhs != rhs;
+  }
+  return false;
+}
+
+/// Resolves `op` against a same-type constant once, then hands the data
+/// pointer and a bound comparison lambda to `shape` (one of the loop
+/// shells below). One instantiation per (T, op) — the dispatch the
+/// per-row path re-ran every iteration happens exactly once here.
+template <typename T, typename F>
+void SameType(CompareOp op, const T* data, const T& c, F&& shape) {
+  switch (op) {
+    case CompareOp::kLt:
+      shape(data, [&c](const T& v) { return v < c; });
+      break;
+    case CompareOp::kLe:
+      shape(data, [&c](const T& v) { return v <= c; });
+      break;
+    case CompareOp::kGt:
+      shape(data, [&c](const T& v) { return v > c; });
+      break;
+    case CompareOp::kGe:
+      shape(data, [&c](const T& v) { return v >= c; });
+      break;
+    case CompareOp::kEq:
+      shape(data, [&c](const T& v) { return v == c; });
+      break;
+    case CompareOp::kNeq:
+      shape(data, [&c](const T& v) { return v != c; });
+      break;
+  }
+}
+
+/// Mixed int64/double: replicates ApplyOpMixedNumeric (storage/column.cc)
+/// — ordering widens to double, <= collapses to < and >= to > because
+/// cross-type equality is always false, kEq matches nothing, kNeq
+/// everything (including against a NaN constant).
+template <typename SrcT, typename F>
+void MixedNumeric(CompareOp op, const SrcT* data, double c, F&& shape) {
+  switch (op) {
+    case CompareOp::kLt:
+    case CompareOp::kLe:
+      shape(data, [c](SrcT v) { return static_cast<double>(v) < c; });
+      break;
+    case CompareOp::kGt:
+    case CompareOp::kGe:
+      shape(data, [c](SrcT v) { return static_cast<double>(v) > c; });
+      break;
+    case CompareOp::kEq:
+      shape(data, [](SrcT) { return false; });
+      break;
+    case CompareOp::kNeq:
+      shape(data, [](SrcT) { return true; });
+      break;
+  }
+}
+
+/// Dictionary-resident strings: equality resolves the constant to a code
+/// once and compares uint32 codes; ordered operators evaluate each
+/// dictionary entry once into a match bitmap indexed by code. Either way
+/// the loop never touches a string.
+template <typename F>
+void DictStrings(const Predicate& pred, const Column& col, F&& shape) {
+  const uint32_t* codes = col.codes().data();
+  if (pred.op == CompareOp::kEq || pred.op == CompareOp::kNeq) {
+    const int64_t code = col.FindCode(pred.value.AsString());
+    const bool want = pred.op == CompareOp::kEq;
+    if (code < 0) {
+      // Constant absent from the dictionary: kEq matches no row, kNeq
+      // every row.
+      shape(codes, [want](uint32_t) { return !want; });
+    } else {
+      const uint32_t c = static_cast<uint32_t>(code);
+      shape(codes, [c, want](uint32_t v) { return (v == c) == want; });
+    }
+    return;
+  }
+  const std::vector<std::string>& dict = col.dict();
+  std::vector<uint8_t> bitmap(dict.size());
+  for (size_t i = 0; i < dict.size(); ++i) {
+    bitmap[i] = ApplyOp(pred.op, dict[i], pred.value.AsString()) ? 1 : 0;
+  }
+  const uint8_t* bm = bitmap.data();
+  shape(codes, [bm](uint32_t v) { return bm[v] != 0; });
+}
+
+/// Resolves (column representation × constant type × op) once and invokes
+/// `shape(data, match)` with the concrete typed pointer and bound
+/// comparison. Precondition: Supported(col, pred).
+template <typename F>
+void Dispatch(const Predicate& pred, const Column& col, F&& shape) {
+  const DataType pt = pred.value.type();
+  if (col.dict_coded()) {
+    DictStrings(pred, col, shape);
+    return;
+  }
+  switch (col.type()) {
+    case DataType::kInt64:
+      if (pt == DataType::kInt64) {
+        SameType(pred.op, col.ints().data(), pred.value.AsInt64(), shape);
+      } else {
+        MixedNumeric(pred.op, col.ints().data(), pred.value.AsDouble(),
+                     shape);
+      }
+      return;
+    case DataType::kDouble:
+      if (pt == DataType::kDouble) {
+        SameType(pred.op, col.doubles().data(), pred.value.AsDouble(),
+                 shape);
+      } else {
+        MixedNumeric(pred.op, col.doubles().data(),
+                     static_cast<double>(pred.value.AsInt64()), shape);
+      }
+      return;
+    case DataType::kString:
+      SameType(pred.op, col.strings().data(), pred.value.AsString(), shape);
+      return;
+  }
+  assert(false && "Dispatch on an unsupported (column, predicate) pair");
+}
+
+}  // namespace
+
+namespace {
+
+/// -1 = not resolved yet; 0 = disabled; 1 = enabled.
+std::atomic<int> g_enabled{-1};
+
+}  // namespace
+
+bool Enabled() {
+  int v = g_enabled.load(std::memory_order_relaxed);
+  if (v < 0) {
+    const char* e = std::getenv("ADAPTDB_NO_KERNELS");
+    const bool off = e != nullptr && e[0] != '\0' &&
+                     !(e[0] == '0' && e[1] == '\0');
+    v = off ? 0 : 1;
+    g_enabled.store(v, std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
+void SetEnabled(bool on) {
+  g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+bool Supported(const Column& col, const Predicate& pred) {
+  if (!col.typed() || col.mixed()) return false;
+  const DataType ct = col.type();
+  const DataType pt = pred.value.type();
+  if (ct == DataType::kString || pt == DataType::kString) {
+    // Cross string/numeric keeps the fallback's Value semantics
+    // (debug-build assert included).
+    return ct == pt;
+  }
+  return true;  // Same-type numeric or mixed int64/double.
+}
+
+void FilterFull(const Predicate& pred, const Column& col,
+                SelectionVector* sel) {
+  const uint32_t n = static_cast<uint32_t>(col.size());
+  sel->resize(n);
+  uint32_t* out = sel->data();
+  size_t k = 0;
+  Dispatch(pred, col, [&](const auto* data, auto match) {
+    // Branch-light: always write the candidate index, advance the write
+    // cursor only on a match.
+    for (uint32_t i = 0; i < n; ++i) {
+      out[k] = i;
+      k += match(data[i]) ? 1 : 0;
+    }
+  });
+  sel->resize(k);
+}
+
+void FilterRefine(const Predicate& pred, const Column& col,
+                  SelectionVector* sel) {
+  uint32_t* s = sel->data();
+  const size_t n = sel->size();
+  size_t k = 0;
+  Dispatch(pred, col, [&](const auto* data, auto match) {
+    for (size_t j = 0; j < n; ++j) {
+      const uint32_t row = s[j];
+      s[k] = row;
+      k += match(data[row]) ? 1 : 0;
+    }
+  });
+  sel->resize(k);
+}
+
+size_t CountFull(const Predicate& pred, const Column& col) {
+  const size_t n = col.size();
+  size_t count = 0;
+  Dispatch(pred, col, [&](const auto* data, auto match) {
+    for (size_t i = 0; i < n; ++i) count += match(data[i]) ? 1 : 0;
+  });
+  return count;
+}
+
+size_t CountRefine(const Predicate& pred, const Column& col,
+                   const SelectionVector& sel) {
+  size_t count = 0;
+  Dispatch(pred, col, [&](const auto* data, auto match) {
+    for (const uint32_t row : sel) count += match(data[row]) ? 1 : 0;
+  });
+  return count;
+}
+
+}  // namespace kernels
+}  // namespace adaptdb

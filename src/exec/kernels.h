@@ -1,0 +1,81 @@
+/// \file kernels.h
+/// \brief Dispatch-once predicate kernels over contiguous typed columns.
+///
+/// Column::MatchesAt re-runs the (op × type) dispatch switch for every row
+/// of a scan. These kernels hoist that dispatch out of the loop: each
+/// public entry point resolves the (comparison op × column type ×
+/// constant type) combination exactly once, binds the constant into a
+/// tiny comparison lambda, and runs one of four branch-light loop shells
+/// over the raw typed vector — a shape the compiler auto-vectorizes.
+///
+/// Semantics are bitwise identical to the row-at-a-time path. That
+/// contract has three load-bearing pieces:
+///   - Mixed int64/double predicates replicate ApplyOpMixedNumeric:
+///     ordering widens both sides to double, `<=` behaves as `<` and `>=`
+///     as `>` (cross-type equality is always false), kEq matches nothing,
+///     kNeq everything.
+///   - Dictionary-resident string columns never materialize or compare
+///     strings per row: equality predicates resolve the constant to a
+///     code once (absent → match none / all), ordered predicates
+///     precompute a per-dictionary-entry match bitmap, and the loop
+///     compares uint32 codes / indexes the bitmap.
+///   - Supported() rejects every combination the kernels do not model —
+///     mixed/untyped columns and cross string/numeric comparisons — so
+///     callers keep the exact MatchesAt fallback behavior there
+///     (including its debug-build asserts).
+///
+/// `ADAPTDB_NO_KERNELS=1` disables the layer process-wide (read once,
+/// cached); SetEnabled() overrides it for in-process A/B parity tests.
+/// Callers are responsible for consulting Enabled() — the kernels
+/// themselves always run when invoked.
+
+#ifndef ADAPTDB_EXEC_KERNELS_H_
+#define ADAPTDB_EXEC_KERNELS_H_
+
+#include <cstddef>
+
+#include "schema/predicate.h"
+#include "storage/block.h"
+#include "storage/column.h"
+
+namespace adaptdb {
+namespace kernels {
+
+/// True unless the layer is disabled (ADAPTDB_NO_KERNELS=1 in the
+/// environment, read once at first call, or SetEnabled(false)).
+bool Enabled();
+
+/// Overrides the kill switch for this process (A/B parity testing).
+void SetEnabled(bool on);
+
+/// True iff the kernels model (`col`, `pred`) exactly: a typed,
+/// non-mixed column compared against a constant of a compatible type
+/// (same type, or int64/double in either order). Everything else must
+/// take the MatchesAt fallback.
+bool Supported(const Column& col, const Predicate& pred);
+
+/// Full-column sweep: fills `*sel` with every row of `col` satisfying
+/// `pred`, ascending. `*sel`'s previous contents are discarded.
+/// Precondition: Supported(col, pred).
+void FilterFull(const Predicate& pred, const Column& col,
+                SelectionVector* sel);
+
+/// Gather-refine: narrows `*sel` (ascending row indices into `col`) to
+/// the rows satisfying `pred`, in place, preserving order.
+/// Precondition: Supported(col, pred).
+void FilterRefine(const Predicate& pred, const Column& col,
+                  SelectionVector* sel);
+
+/// Count-only full sweep: the number of rows of `col` satisfying `pred`.
+/// Precondition: Supported(col, pred).
+size_t CountFull(const Predicate& pred, const Column& col);
+
+/// Count-only refine: how many rows listed in `sel` satisfy `pred`.
+/// Precondition: Supported(col, pred).
+size_t CountRefine(const Predicate& pred, const Column& col,
+                   const SelectionVector& sel);
+
+}  // namespace kernels
+}  // namespace adaptdb
+
+#endif  // ADAPTDB_EXEC_KERNELS_H_

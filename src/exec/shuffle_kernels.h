@@ -62,7 +62,17 @@ using PartitionIndex =
 inline void AddToPartitionIndex(const std::vector<RowRef>& r_part,
                                 AttrId r_attr, PartitionIndex* index) {
   for (const RowRef& ref : r_part) {
-    (*index)[ref.KeyAt(r_attr)].push_back(ref);
+    // Find-before-emplace with the key read in place (mirroring the
+    // probe side): the build key materializes a Value only on first
+    // sight, so repeated keys — and every row of a dictionary-resident
+    // column — add no string copies or hashes.
+    auto it = ref.block != nullptr
+                  ? index->find(ColumnKey{&ref.block->column(r_attr), ref.row})
+                  : index->find((*ref.rec)[static_cast<size_t>(r_attr)]);
+    if (it == index->end()) {
+      it = index->emplace(ref.KeyAt(r_attr), std::vector<RowRef>{}).first;
+    }
+    it->second.push_back(ref);
   }
 }
 

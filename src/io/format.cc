@@ -249,6 +249,55 @@ EncodedColumn EncodeStringColumn(const std::vector<std::string>& vals) {
   return out;
 }
 
+/// Re-encodes a dictionary-resident column. When the in-memory form is
+/// exactly what EncodeStringColumn would rebuild from the materialized
+/// values — every entry referenced, in first-appearance order, ≤256
+/// entries, fewer entries than rows — the codes and dictionary are
+/// emitted directly (byte-identical output, no string materialization).
+/// Otherwise (e.g. appends grew the dictionary past 256) the values are
+/// materialized and re-encoded from scratch.
+EncodedColumn EncodeDictColumn(const Column& col) {
+  const std::vector<uint32_t>& codes = col.codes();
+  const std::vector<std::string>& dict = col.dict();
+  bool direct = !codes.empty() && dict.size() <= 256 &&
+                dict.size() < codes.size();
+  if (direct) {
+    // Verify first-appearance order with no unused entries, the invariant
+    // the decoder's input satisfied and Append preserves.
+    std::vector<uint8_t> seen(dict.size(), 0);
+    uint32_t next = 0;
+    for (const uint32_t code : codes) {
+      if (!seen[code]) {
+        if (code != next) {
+          direct = false;
+          break;
+        }
+        seen[code] = 1;
+        ++next;
+      }
+    }
+    if (next != dict.size()) direct = false;
+  }
+  if (!direct) {
+    std::vector<std::string> vals;
+    vals.reserve(codes.size());
+    for (const uint32_t code : codes) vals.push_back(dict[code]);
+    return EncodeStringColumn(vals);
+  }
+  EncodedColumn out;
+  out.type = kTypeString;
+  out.encoding = kEncDict;
+  PutU32(&out.bytes, static_cast<uint32_t>(dict.size()));
+  for (const std::string& s : dict) {
+    PutU32(&out.bytes, static_cast<uint32_t>(s.size()));
+    out.bytes.append(s);
+  }
+  for (const uint32_t code : codes) {
+    out.bytes.push_back(static_cast<char>(code & 0xff));
+  }
+  return out;
+}
+
 EncodedColumn EncodeColumn(const Column& col) {
   if (!col.typed()) return EncodedColumn{};  // Empty block: untyped.
   if (col.mixed()) {
@@ -258,6 +307,7 @@ EncodedColumn EncodeColumn(const Column& col) {
     for (const Value& v : col.values()) EncodeTaggedValue(&out.bytes, v);
     return out;
   }
+  if (col.dict_coded()) return EncodeDictColumn(col);
   switch (col.type()) {
     case DataType::kInt64:
       return EncodeInt64Column(col.ints());
@@ -335,8 +385,8 @@ Result<Column> DecodeColumn(uint8_t type, uint8_t encoding,
     }
     case kTypeString: {
       std::vector<std::string> vals;
-      vals.reserve(n);
       if (encoding == kEncPlain) {
+        vals.reserve(n);
         for (uint32_t i = 0; i < n; ++i) {
           uint32_t len;
           const unsigned char* bytes;
@@ -361,6 +411,11 @@ Result<Column> DecodeColumn(uint8_t type, uint8_t encoding,
           }
           dict.emplace_back(reinterpret_cast<const char*>(bytes), len);
         }
+        // Keep the codes resident instead of materializing a string per
+        // row: execution compares/hashes through the dictionary and
+        // late-materializes only at output (see Column::DictStrings).
+        std::vector<uint32_t> codes;
+        codes.reserve(n);
         for (uint32_t i = 0; i < n; ++i) {
           uint8_t code;
           if (!r.U8(&code)) return corrupt("dictionary codes truncated");
@@ -368,8 +423,10 @@ Result<Column> DecodeColumn(uint8_t type, uint8_t encoding,
             return corrupt("dictionary code " + std::to_string(code) +
                            " out of range");
           }
-          vals.push_back(dict[code]);
+          codes.push_back(code);
         }
+        if (r.left != 0) return corrupt("trailing bytes in string segment");
+        return Column::OfDictStrings(std::move(codes), std::move(dict));
       } else {
         return corrupt("bad string encoding " + std::to_string(encoding));
       }

@@ -46,6 +46,10 @@ std::string_view CounterName(Counter c) {
       return "spill_bytes_written";
     case Counter::kSpillBytesRead:
       return "spill_bytes_read";
+    case Counter::kKernelFilters:
+      return "kernel_filters";
+    case Counter::kFilterFallbacks:
+      return "filter_fallbacks";
     case Counter::kCount:
       break;
   }

@@ -59,6 +59,13 @@
 ///                         file instead of staying pinned in memory.
 ///  - kSpillBytesWritten   encoded bytes appended to spill files.
 ///  - kSpillBytesRead      encoded bytes read back from spill files.
+///
+/// Vectorized execution (storage/block.cc):
+///  - kKernelFilters    per-predicate evaluation passes served by the
+///                      dispatch-once kernels (exec/kernels.h).
+///  - kFilterFallbacks  passes that took the row-at-a-time MatchesAt
+///                      fallback (mixed columns, cross-type predicates,
+///                      or ADAPTDB_NO_KERNELS=1).
 
 #ifndef ADAPTDB_OBS_METRICS_H_
 #define ADAPTDB_OBS_METRICS_H_
@@ -97,6 +104,8 @@ enum class Counter : int32_t {
   kSpilledPartitions,
   kSpillBytesWritten,
   kSpillBytesRead,
+  kKernelFilters,
+  kFilterFallbacks,
   kCount,  // sentinel
 };
 

@@ -1,10 +1,40 @@
 #include "storage/block.h"
 
+#include <algorithm>
 #include <cassert>
 #include <numeric>
 #include <utility>
 
+#include "exec/kernels.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace adaptdb {
+
+namespace {
+
+/// Relative cost of evaluating one predicate against a column, by
+/// representation: int64 compares (0) beat double compares (1) beat
+/// dictionary code compares (2) beat per-row string compares (3) beat
+/// the mixed per-Value fallback (4). Used to pick which predicate seeds
+/// the selection vector — the seed pays a full-column sweep, so it
+/// should be the cheapest and every later predicate only touches its
+/// survivors.
+int PredicateCostRank(const Column& col) {
+  if (!col.typed() || col.mixed()) return 4;
+  if (col.dict_coded()) return 2;
+  switch (col.type()) {
+    case DataType::kInt64:
+      return 0;
+    case DataType::kDouble:
+      return 1;
+    case DataType::kString:
+      return 3;
+  }
+  return 4;
+}
+
+}  // namespace
 
 Block::Block(BlockId id, int32_t num_attrs)
     : id_(id),
@@ -57,6 +87,26 @@ std::vector<Record> Block::MaterializeRecords() const {
   return out;
 }
 
+std::vector<uint32_t> Block::OrderPredicates(const PredicateSet& preds) const {
+  // Evaluation order of a conjunction never changes the result set, and
+  // the output stays row-ascending regardless of order: the seed sweep
+  // emits rows in ascending order and every refine preserves the relative
+  // order of its survivors. So we are free to let the cheapest column
+  // representation (int64 < double < dict-string < plain-string < mixed)
+  // pay the full-column seed sweep and give the pricier predicates the
+  // already-narrowed selection.
+  std::vector<uint32_t> order(preds.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     return PredicateCostRank(
+                                cols_[static_cast<size_t>(preds[a].attr)]) <
+                            PredicateCostRank(
+                                cols_[static_cast<size_t>(preds[b].attr)]);
+                   });
+  return order;
+}
+
 SelectionVector Block::FilterRows(const PredicateSet& preds) const {
   SelectionVector sel;
   if (num_rows_ == 0) return sel;
@@ -65,34 +115,114 @@ SelectionVector Block::FilterRows(const PredicateSet& preds) const {
     std::iota(sel.begin(), sel.end(), 0u);
     return sel;
   }
-  // First predicate seeds the selection from its column alone; the rest
-  // narrow it, so each further predicate touches only surviving rows.
-  {
-    const Predicate& p = preds.front();
+  const bool tracing = obs::Tracer::Enabled();
+  const int64_t t0 = tracing ? obs::Tracer::NowNanos() : 0;
+  const bool use_kernels = kernels::Enabled();
+  const std::vector<uint32_t> order = OrderPredicates(preds);
+  int64_t kernel_preds = 0;
+  int64_t fallback_preds = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    const Predicate& p = preds[order[i]];
     const Column& c = cols_[static_cast<size_t>(p.attr)];
-    sel.reserve(num_rows_);
-    for (size_t row = 0; row < num_rows_; ++row) {
-      if (c.MatchesAt(p, row)) sel.push_back(static_cast<uint32_t>(row));
+    if (i > 0 && sel.empty()) break;
+    const bool kernel = use_kernels && kernels::Supported(c, p);
+    kernel_preds += kernel ? 1 : 0;
+    fallback_preds += kernel ? 0 : 1;
+    if (i == 0) {
+      if (kernel) {
+        kernels::FilterFull(p, c, &sel);
+      } else {
+        sel.reserve(num_rows_);
+        for (size_t row = 0; row < num_rows_; ++row) {
+          if (c.MatchesAt(p, row)) sel.push_back(static_cast<uint32_t>(row));
+        }
+      }
+    } else if (kernel) {
+      kernels::FilterRefine(p, c, &sel);
+    } else {
+      FilterColumn(p, c, &sel);
     }
   }
-  for (size_t i = 1; i < preds.size() && !sel.empty(); ++i) {
-    FilterColumn(preds[i], cols_[static_cast<size_t>(preds[i].attr)], &sel);
+  obs::Count(obs::Counter::kKernelFilters, kernel_preds);
+  obs::Count(obs::Counter::kFilterFallbacks, fallback_preds);
+  if (tracing) {
+    const int64_t t1 = obs::Tracer::NowNanos();
+    obs::Tracer::Complete(
+        "exec", fallback_preds == 0 ? "filter_kernel" : "filter_fallback",
+        t0, t1 - t0, "kernel_preds", kernel_preds);
   }
   return sel;
 }
 
 size_t Block::CountMatches(const PredicateSet& preds) const {
   if (preds.empty()) return num_rows_;
+  if (num_rows_ == 0) return 0;
+  const bool use_kernels = kernels::Enabled();
+  // Single predicate: count directly, no selection vector at all.
   if (preds.size() == 1) {
     const Predicate& p = preds.front();
     const Column& c = cols_[static_cast<size_t>(p.attr)];
+    if (use_kernels && kernels::Supported(c, p)) {
+      obs::Count(obs::Counter::kKernelFilters);
+      return kernels::CountFull(p, c);
+    }
+    obs::Count(obs::Counter::kFilterFallbacks);
     size_t n = 0;
     for (size_t row = 0; row < num_rows_; ++row) {
       if (c.MatchesAt(p, row)) ++n;
     }
     return n;
   }
-  return FilterRows(preds).size();
+  // Conjunction: the cheapest predicate seeds a selection, the middle
+  // ones refine it, and the last one is counted over the surviving rows
+  // without materializing the final narrowing.
+  const std::vector<uint32_t> order = OrderPredicates(preds);
+  SelectionVector sel;
+  int64_t kernel_preds = 0;
+  int64_t fallback_preds = 0;
+  size_t count = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    const Predicate& p = preds[order[i]];
+    const Column& c = cols_[static_cast<size_t>(p.attr)];
+    if (i > 0 && sel.empty()) {
+      count = 0;
+      break;
+    }
+    const bool kernel = use_kernels && kernels::Supported(c, p);
+    kernel_preds += kernel ? 1 : 0;
+    fallback_preds += kernel ? 0 : 1;
+    const bool last = i + 1 == order.size();
+    if (i == 0) {
+      if (kernel) {
+        kernels::FilterFull(p, c, &sel);
+      } else {
+        sel.reserve(num_rows_);
+        for (size_t row = 0; row < num_rows_; ++row) {
+          if (c.MatchesAt(p, row)) sel.push_back(static_cast<uint32_t>(row));
+        }
+      }
+      count = sel.size();
+    } else if (!last) {
+      if (kernel) {
+        kernels::FilterRefine(p, c, &sel);
+      } else {
+        FilterColumn(p, c, &sel);
+      }
+      count = sel.size();
+    } else {
+      if (kernel) {
+        count = kernels::CountRefine(p, c, sel);
+      } else {
+        count = 0;
+        for (const uint32_t row : sel) {
+          if (c.MatchesAt(p, row)) ++count;
+        }
+      }
+    }
+  }
+  obs::Count(obs::Counter::kKernelFilters, kernel_preds);
+  obs::Count(obs::Counter::kFilterFallbacks, fallback_preds);
+  return count;
 }
 
 int64_t Block::SizeBytes() const {
@@ -126,16 +256,12 @@ Result<Block> Block::FromColumns(BlockId id, std::vector<Column> cols,
   }
   block.cols_ = std::move(cols);
   block.num_rows_ = num_records;
-  // Ranges are a pure function of each column's values; rebuilding them
-  // from the columns reproduces the incrementally-extended originals.
+  // Ranges are a pure function of each column's values; MinMaxInto
+  // reproduces the incrementally-extended originals bitwise without
+  // materializing a Value per row.
   if (num_records > 0) {
     for (size_t a = 0; a < block.cols_.size(); ++a) {
-      const Column& c = block.cols_[a];
-      ValueRange r{c.ValueAt(0), c.ValueAt(0)};
-      for (size_t row = 1; row < num_records; ++row) {
-        r.Extend(c.ValueAt(row));
-      }
-      block.ranges_[a] = std::move(r);
+      block.cols_[a].MinMaxInto(&block.ranges_[a]);
     }
     block.ranges_initialized_ = true;
   }

@@ -119,6 +119,12 @@ class Block {
                                    size_t num_records);
 
  private:
+  /// Evaluation order for a conjunction: predicate indices sorted stably
+  /// by their column's representation cost, cheapest first (the seed pays
+  /// a full-column sweep). Pure reordering — the result set and its
+  /// row-ascending output order are unaffected.
+  std::vector<uint32_t> OrderPredicates(const PredicateSet& preds) const;
+
   BlockId id_ = -1;
   int32_t num_attrs_ = 0;
   size_t num_rows_ = 0;

@@ -1,5 +1,6 @@
 #include "storage/column.h"
 
+#include <algorithm>
 #include <cassert>
 #include <functional>
 #include <utility>
@@ -50,6 +51,18 @@ bool ApplyOpMixedNumeric(CompareOp op, double lhs, double rhs) {
   return false;
 }
 
+/// Min/max of a typed vector into `*r`. min_element/max_element both keep
+/// the FIRST extremum on ties (they update only on a strict comparison),
+/// exactly like the incremental ValueRange::Extend loop — which is what
+/// makes the rebuilt range bitwise identical, including -0.0/0.0 ties and
+/// a leading NaN (NaN sticks as both bounds when first, is ignored later,
+/// in both formulations).
+template <typename T>
+void MinMaxTyped(const std::vector<T>& v, ValueRange* r) {
+  r->lo = Value(*std::min_element(v.begin(), v.end()));
+  r->hi = Value(*std::max_element(v.begin(), v.end()));
+}
+
 }  // namespace
 
 DataType Column::type() const {
@@ -59,7 +72,7 @@ DataType Column::type() const {
     case 2:
       return DataType::kDouble;
     default:
-      assert(data_.index() == 3);
+      assert(data_.index() == 3 || data_.index() == 5);
       return DataType::kString;
   }
 }
@@ -67,9 +80,11 @@ DataType Column::type() const {
 size_t Column::size() const {
   return std::visit(
       [](const auto& v) -> size_t {
-        if constexpr (std::is_same_v<std::decay_t<decltype(v)>,
-                                     std::monostate>) {
+        using V = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<V, std::monostate>) {
           return 0;
+        } else if constexpr (std::is_same_v<V, DictStrings>) {
+          return v.codes.size();
         } else {
           return v.size();
         }
@@ -93,6 +108,19 @@ void Column::Append(const Value& v) {
   }
   if (mixed()) {
     std::get<std::vector<Value>>(data_).push_back(v);
+    return;
+  }
+  if (dict_coded() && v.type() == DataType::kString) {
+    // Stay code-resident: reuse the entry's code or extend the dictionary
+    // (first-appearance order, same as the on-disk encoder assigns).
+    DictStrings& d = std::get<DictStrings>(data_);
+    int64_t code = FindCode(v.AsString());
+    if (code < 0) {
+      code = static_cast<int64_t>(d.dict.size());
+      d.dict.push_back(v.AsString());
+      d.hashes.push_back(std::hash<std::string>{}(v.AsString()));
+    }
+    d.codes.push_back(static_cast<uint32_t>(code));
     return;
   }
   if (v.type() != type()) {
@@ -127,6 +155,10 @@ Value Column::ValueAt(size_t row) const {
       return Value(std::get<std::vector<std::string>>(data_)[row]);
     case 4:
       return std::get<std::vector<Value>>(data_)[row];
+    case 5: {
+      const DictStrings& d = std::get<DictStrings>(data_);
+      return Value(d.dict[d.codes[row]]);
+    }
     default:
       assert(false && "ValueAt on an untyped column");
       return Value();
@@ -157,6 +189,11 @@ size_t Column::HashAt(size_t row) const {
           return std::hash<std::string>{}(v.AsString());
       }
       return 0;
+    }
+    case 5: {
+      // One lookup instead of re-hashing the string per row.
+      const DictStrings& d = std::get<DictStrings>(data_);
+      return d.hashes[d.codes[row]];
     }
     default:
       assert(false && "HashAt on an untyped column");
@@ -196,6 +233,13 @@ bool Column::MatchesAt(const Predicate& pred, size_t row) const {
     }
     case 4:
       return pred.Matches(std::get<std::vector<Value>>(data_)[row]);
+    case 5: {
+      if (pt == DataType::kString) {
+        const DictStrings& d = std::get<DictStrings>(data_);
+        return ApplyOp(pred.op, d.dict[d.codes[row]], pred.value.AsString());
+      }
+      break;
+    }
     default:
       assert(false && "MatchesAt on an untyped column");
       return false;
@@ -220,6 +264,11 @@ bool Column::EqualsValueAt(size_t row, const Value& v) const {
              std::get<std::vector<std::string>>(data_)[row] == v.AsString();
     case 4:
       return std::get<std::vector<Value>>(data_)[row] == v;
+    case 5: {
+      const DictStrings& d = std::get<DictStrings>(data_);
+      return v.type() == DataType::kString &&
+             d.dict[d.codes[row]] == v.AsString();
+    }
     default:
       assert(false && "EqualsValueAt on an untyped column");
       return false;
@@ -249,9 +298,68 @@ int64_t Column::SizeBytes() const {
       }
       return bytes;
     }
+    case 5: {
+      // Charge the plain-string-equivalent bytes so the cost model (and
+      // logical IoStats derived from it) can't tell the representations
+      // apart: mem-built blocks stay plain, decoded blocks are dict.
+      const DictStrings& d = std::get<DictStrings>(data_);
+      std::vector<int64_t> per_entry(d.dict.size());
+      for (size_t i = 0; i < d.dict.size(); ++i) {
+        per_entry[i] = 4 + static_cast<int64_t>(d.dict[i].size());
+      }
+      int64_t bytes = 0;
+      for (const uint32_t code : d.codes) bytes += per_entry[code];
+      return bytes;
+    }
     default:
       return 0;
   }
+}
+
+bool Column::MinMaxInto(ValueRange* r) const {
+  if (size() == 0) return false;
+  switch (data_.index()) {
+    case 1:
+      MinMaxTyped(std::get<std::vector<int64_t>>(data_), r);
+      return true;
+    case 2:
+      MinMaxTyped(std::get<std::vector<double>>(data_), r);
+      return true;
+    case 3:
+      MinMaxTyped(std::get<std::vector<std::string>>(data_), r);
+      return true;
+    case 5: {
+      // Distinct dictionary entries can't tie, so comparing only the
+      // referenced entries gives the same bounds as the row-order sweep.
+      const DictStrings& d = std::get<DictStrings>(data_);
+      std::vector<uint8_t> used(d.dict.size(), 0);
+      for (const uint32_t code : d.codes) used[code] = 1;
+      const std::string* lo = nullptr;
+      const std::string* hi = nullptr;
+      for (size_t i = 0; i < d.dict.size(); ++i) {
+        if (!used[i]) continue;
+        if (lo == nullptr || d.dict[i] < *lo) lo = &d.dict[i];
+        if (hi == nullptr || *hi < d.dict[i]) hi = &d.dict[i];
+      }
+      r->lo = Value(*lo);
+      r->hi = Value(*hi);
+      return true;
+    }
+    default: {
+      // Mixed storage: replicate the incremental Extend loop exactly.
+      *r = ValueRange{ValueAt(0), ValueAt(0)};
+      for (size_t row = 1; row < size(); ++row) r->Extend(ValueAt(row));
+      return true;
+    }
+  }
+}
+
+int64_t Column::FindCode(const std::string& s) const {
+  const DictStrings& d = std::get<DictStrings>(data_);
+  for (size_t i = 0; i < d.dict.size(); ++i) {
+    if (d.dict[i] == s) return static_cast<int64_t>(i);
+  }
+  return -1;
 }
 
 Column Column::OfInts(std::vector<int64_t> v) {
@@ -275,6 +383,23 @@ Column Column::OfStrings(std::vector<std::string> v) {
 Column Column::OfValues(std::vector<Value> v) {
   Column c;
   c.data_ = std::move(v);
+  return c;
+}
+
+Column Column::OfDictStrings(std::vector<uint32_t> codes,
+                             std::vector<std::string> dict) {
+  DictStrings d;
+  d.hashes.reserve(dict.size());
+  for (const std::string& s : dict) {
+    d.hashes.push_back(std::hash<std::string>{}(s));
+  }
+  d.codes = std::move(codes);
+  d.dict = std::move(dict);
+#ifndef NDEBUG
+  for (const uint32_t code : d.codes) assert(code < d.dict.size());
+#endif
+  Column c;
+  c.data_ = std::move(d);
   return c;
 }
 

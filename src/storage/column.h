@@ -8,6 +8,16 @@
 /// the column to a row-major-style vector<Value> fallback ("mixed"), which
 /// preserves the old Block semantics for heterogeneous inputs at the cost
 /// of the columnar fast paths.
+///
+/// String columns additionally support a dictionary-resident form: one
+/// uint32 code per row plus a dictionary of distinct strings (with their
+/// hashes precomputed). The I/O layer decodes kEncDict segments straight
+/// into this form, so predicates compare codes, join build/probe hashes
+/// through the dictionary, and strings materialize only at output
+/// (ValueAt/AppendTo). Logically a dict column is indistinguishable from a
+/// plain string column: type() is kString and every accessor returns the
+/// same values — only the physical representation (and the speed of
+/// MatchesAt/HashAt/EqualsValueAt) differs.
 
 #ifndef ADAPTDB_STORAGE_COLUMN_H_
 #define ADAPTDB_STORAGE_COLUMN_H_
@@ -25,6 +35,17 @@ namespace adaptdb {
 /// \brief One attribute's values across a block, stored contiguously.
 class Column {
  public:
+  /// Dictionary-resident string storage: per-row codes into a dictionary
+  /// of distinct entries, kept in first-appearance order (the same order
+  /// the on-disk kEncDict encoding assigns, so decode + re-encode is
+  /// byte-identical). `hashes[i]` caches HashValue(Value(dict[i])) so
+  /// HashAt is one table lookup instead of a string hash per row.
+  struct DictStrings {
+    std::vector<uint32_t> codes;
+    std::vector<std::string> dict;
+    std::vector<size_t> hashes;
+  };
+
   Column() = default;
 
   /// True once at least one value has been appended (the type is known).
@@ -35,14 +56,22 @@ class Column {
     return std::holds_alternative<std::vector<Value>>(data_);
   }
 
+  /// True iff the column holds dictionary-resident strings.
+  bool dict_coded() const {
+    return std::holds_alternative<DictStrings>(data_);
+  }
+
   /// The column's element type. Precondition: typed() and !mixed().
+  /// Dictionary-resident columns report kString.
   DataType type() const;
 
   /// Number of stored values.
   size_t size() const;
 
   /// Appends one value, fixing the type on the first append and demoting
-  /// to mixed storage if `v`'s type disagrees with the column's.
+  /// to mixed storage if `v`'s type disagrees with the column's. A string
+  /// appended to a dictionary-resident column extends the dictionary on
+  /// first appearance and stays code-resident.
   void Append(const Value& v);
 
   /// Materializes the value at `row` (copies strings).
@@ -52,25 +81,39 @@ class Column {
   void AppendTo(Record* out, size_t row) const;
 
   /// Hash of the value at `row`, identical to HashValue(ValueAt(row)) but
-  /// without materializing a Value.
+  /// without materializing a Value. Dictionary columns return the
+  /// precomputed per-entry hash (one array lookup).
   size_t HashAt(size_t row) const;
 
   /// True iff the value at `row` satisfies `pred` — exactly
   /// pred.Matches(ValueAt(row)), with typed fast paths that avoid Value
-  /// construction for same-type and numeric comparisons.
+  /// construction for same-type and numeric comparisons. This is the
+  /// row-at-a-time path; the vectorized equivalents live in
+  /// exec/kernels.h.
   bool MatchesAt(const Predicate& pred, size_t row) const;
 
   /// True iff ValueAt(row) == v, without materializing the value (Value
   /// equality: same type and equal scalar; join-probe key comparisons).
+  /// Dictionary columns compare through the dictionary entry in place.
   bool EqualsValueAt(size_t row, const Value& v) const;
 
   /// Exact in-memory payload footprint: 8 bytes per numeric value; string
   /// columns charge each string's length plus a 4-byte length prefix
   /// (mirroring the serialized plain encoding); mixed columns charge each
-  /// value as above plus a 1-byte type tag.
+  /// value as above plus a 1-byte type tag. Dictionary columns charge the
+  /// same as their plain-string equivalent, so cost-model accounting is
+  /// representation- (and backend-) invariant.
   int64_t SizeBytes() const;
 
-  /// Typed accessors. Precondition: the column holds that representation.
+  /// Computes the min/max over all values into `*r` without materializing
+  /// a Value per row (dictionary columns compare only the referenced
+  /// dictionary entries). Returns false on an empty column. Matches the
+  /// incremental ValueRange::Extend result bitwise, including NaN and
+  /// signed-zero tie-breaking (first extremum wins).
+  bool MinMaxInto(ValueRange* r) const;
+
+  /// Typed accessors. Precondition: the column holds that representation
+  /// (strings() requires plain — not dictionary-resident — storage).
   const std::vector<int64_t>& ints() const {
     return std::get<std::vector<int64_t>>(data_);
   }
@@ -83,6 +126,21 @@ class Column {
   const std::vector<Value>& values() const {
     return std::get<std::vector<Value>>(data_);
   }
+  /// Dictionary accessors. Precondition: dict_coded().
+  const std::vector<uint32_t>& codes() const {
+    return std::get<DictStrings>(data_).codes;
+  }
+  const std::vector<std::string>& dict() const {
+    return std::get<DictStrings>(data_).dict;
+  }
+  const std::vector<size_t>& dict_hashes() const {
+    return std::get<DictStrings>(data_).hashes;
+  }
+
+  /// The code of `s` in the dictionary, or -1 if absent. Precondition:
+  /// dict_coded(). Linear scan — dictionaries are small (≤256 from disk)
+  /// and this runs once per predicate, not once per row.
+  int64_t FindCode(const std::string& s) const;
 
   /// Removes all values and forgets the type.
   void Clear() { data_ = std::monostate{}; }
@@ -92,15 +150,20 @@ class Column {
   static Column OfDoubles(std::vector<double> v);
   static Column OfStrings(std::vector<std::string> v);
   static Column OfValues(std::vector<Value> v);
+  /// Dictionary-resident strings. Precondition: every code < dict.size().
+  static Column OfDictStrings(std::vector<uint32_t> codes,
+                              std::vector<std::string> dict);
 
  private:
   std::variant<std::monostate, std::vector<int64_t>, std::vector<double>,
-               std::vector<std::string>, std::vector<Value>>
+               std::vector<std::string>, std::vector<Value>, DictStrings>
       data_;
 };
 
 /// Narrows `sel` (row indices into `col`) to the rows satisfying `pred`,
-/// in place. The column-at-a-time kernel of the scan path.
+/// in place, row at a time. The fallback refine step of the scan path;
+/// the dispatch-once kernels in exec/kernels.h replace it on typed
+/// columns.
 void FilterColumn(const Predicate& pred, const Column& col,
                   std::vector<uint32_t>* sel);
 

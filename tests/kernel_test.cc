@@ -1,0 +1,542 @@
+// Tests for the vectorized predicate kernels (exec/kernels.h) and
+// dictionary-resident string execution: kernel-vs-MatchesAt bitwise parity
+// across every (comparison op × column type) pair including edge values
+// (NaN, ±0.0, INT64_MIN/MAX, empty strings, the 256-entry dictionary
+// boundary), dictionary columns behaving exactly like their plain-string
+// equivalents (filters, hashes, joins, appends, re-encoding), the
+// cost-based predicate ordering, and ADAPTDB_NO_KERNELS kill-switch parity
+// over full scan/join pipelines.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "exec/hyper_join.h"
+#include "exec/kernels.h"
+#include "exec/scan.h"
+#include "exec/shuffle_join.h"
+#include "io/disk_block_store.h"
+#include "io/format.h"
+#include "join/grouping.h"
+#include "join/overlap.h"
+#include "storage/block_store.h"
+#include "storage/cluster.h"
+
+namespace adaptdb {
+namespace {
+
+constexpr CompareOp kAllOps[] = {CompareOp::kLt, CompareOp::kLe,
+                                 CompareOp::kGt, CompareOp::kGe,
+                                 CompareOp::kEq, CompareOp::kNeq};
+
+/// Restores the kernel kill switch to its ambient state on scope exit, so
+/// tests that flip it (and the CI run with ADAPTDB_NO_KERNELS=1) stay
+/// independent.
+struct KernelSwitchGuard {
+  bool ambient = kernels::Enabled();
+  ~KernelSwitchGuard() { kernels::SetEnabled(ambient); }
+};
+
+/// Asserts every kernel entry point agrees bitwise with the row-at-a-time
+/// MatchesAt path for (col, pred): full sweep, count, and a refine over an
+/// every-other-row subset.
+void ExpectKernelParity(const Column& col, const Predicate& pred) {
+  ASSERT_TRUE(kernels::Supported(col, pred)) << pred.ToString();
+  SelectionVector expect;
+  for (size_t row = 0; row < col.size(); ++row) {
+    if (col.MatchesAt(pred, row)) {
+      expect.push_back(static_cast<uint32_t>(row));
+    }
+  }
+  SelectionVector full;
+  kernels::FilterFull(pred, col, &full);
+  EXPECT_EQ(full, expect) << pred.ToString();
+  EXPECT_EQ(kernels::CountFull(pred, col), expect.size()) << pred.ToString();
+
+  SelectionVector subset;
+  for (size_t row = 0; row < col.size(); row += 2) {
+    subset.push_back(static_cast<uint32_t>(row));
+  }
+  SelectionVector expect_subset;
+  for (const uint32_t row : subset) {
+    if (col.MatchesAt(pred, row)) expect_subset.push_back(row);
+  }
+  SelectionVector refined = subset;
+  kernels::FilterRefine(pred, col, &refined);
+  EXPECT_EQ(refined, expect_subset) << pred.ToString();
+  EXPECT_EQ(kernels::CountRefine(pred, col, subset), expect_subset.size())
+      << pred.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Kernel-vs-MatchesAt parity, per (op × type), on edge values.
+
+TEST(KernelParityTest, Int64AllOpsIncludingExtremes) {
+  const Column col = Column::OfInts(
+      {INT64_MIN, INT64_MIN + 1, -1, 0, 1, 42, 42, INT64_MAX - 1, INT64_MAX,
+       0, -7});
+  for (const CompareOp op : kAllOps) {
+    for (const int64_t c : {INT64_MIN, int64_t{-1}, int64_t{0}, int64_t{42},
+                            INT64_MAX}) {
+      ExpectKernelParity(col, Predicate(0, op, Value(c)));
+    }
+  }
+}
+
+TEST(KernelParityTest, DoubleAllOpsIncludingNaNAndSignedZero) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const Column col =
+      Column::OfDoubles({nan, -0.0, 0.0, -inf, inf, 1.5, -2.25, 1.5, 1e308});
+  for (const CompareOp op : kAllOps) {
+    for (const double c : {nan, -0.0, 0.0, inf, -inf, 1.5}) {
+      ExpectKernelParity(col, Predicate(0, op, Value(c)));
+    }
+  }
+}
+
+TEST(KernelParityTest, MixedNumericAllOpsBothDirections) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const Column ints = Column::OfInts({INT64_MIN, -2, -1, 0, 1, 2, INT64_MAX});
+  const Column doubles =
+      Column::OfDoubles({nan, -0.5, -0.0, 0.0, 0.5, 1.0, 2.0});
+  for (const CompareOp op : kAllOps) {
+    // int64 column vs double constant: kLe acts as kLt, kGe as kGt, kEq
+    // matches nothing, kNeq everything — including a NaN constant.
+    for (const double c : {0.5, 0.0, -0.0, 1.0, nan}) {
+      ExpectKernelParity(ints, Predicate(0, op, Value(c)));
+    }
+    // double column vs int64 constant.
+    for (const int64_t c : {int64_t{0}, int64_t{1}, int64_t{-1}}) {
+      ExpectKernelParity(doubles, Predicate(0, op, Value(c)));
+    }
+  }
+}
+
+TEST(KernelParityTest, PlainStringsAllOpsIncludingEmpty) {
+  const Column col = Column::OfStrings(
+      {"", "a", "abc", "abd", "zzz", "", "a", std::string(1, '\0')});
+  for (const CompareOp op : kAllOps) {
+    for (const char* c : {"", "a", "abc", "nope", "zzzz"}) {
+      ExpectKernelParity(col, Predicate(0, op, Value(c)));
+    }
+  }
+}
+
+TEST(KernelParityTest, UnsupportedCombinationsFallBack) {
+  Column mixed;
+  mixed.Append(Value(int64_t{1}));
+  mixed.Append(Value("demoted"));
+  ASSERT_TRUE(mixed.mixed());
+  EXPECT_FALSE(kernels::Supported(mixed, Predicate(0, CompareOp::kEq,
+                                                   Value(int64_t{1}))));
+  // Cross string/numeric keeps the fallback's Value semantics.
+  const Column ints = Column::OfInts({1, 2, 3});
+  EXPECT_FALSE(kernels::Supported(ints, Predicate(0, CompareOp::kEq,
+                                                  Value("one"))));
+  const Column strs = Column::OfStrings({"a", "b"});
+  EXPECT_FALSE(kernels::Supported(strs, Predicate(0, CompareOp::kLt,
+                                                  Value(int64_t{5}))));
+  EXPECT_TRUE(kernels::Supported(strs, Predicate(0, CompareOp::kLt,
+                                                 Value("b"))));
+  Column untyped;
+  EXPECT_FALSE(kernels::Supported(untyped, Predicate(0, CompareOp::kEq,
+                                                     Value(int64_t{0}))));
+}
+
+// ---------------------------------------------------------------------------
+// Dictionary-resident strings.
+
+/// Encodes `vals` as one string column through format v2 and decodes it
+/// back; asserts the round trip produced the expected representation.
+Column RoundTripStringColumn(const std::vector<std::string>& vals,
+                             bool expect_dict) {
+  Block block(1, 1);
+  for (const std::string& s : vals) block.Add({Value(s)});
+  auto decoded = io::DecodeBlock(io::EncodeBlock(block), 1);
+  EXPECT_TRUE(decoded.ok()) << decoded.status().ToString();
+  Column col = decoded.ValueOrDie().column(0);
+  EXPECT_EQ(col.dict_coded(), expect_dict);
+  EXPECT_EQ(col.size(), vals.size());
+  return col;
+}
+
+TEST(DictColumnTest, DecodeKeepsCodesResidentAndValuesExact) {
+  std::vector<std::string> vals;
+  for (int i = 0; i < 100; ++i) vals.push_back(i % 2 ? "hot" : "cold");
+  const Column col = RoundTripStringColumn(vals, true);
+  ASSERT_EQ(col.dict().size(), 2u);  // First-appearance order.
+  EXPECT_EQ(col.dict()[0], "cold");
+  EXPECT_EQ(col.dict()[1], "hot");
+  EXPECT_EQ(col.type(), DataType::kString);
+  for (size_t i = 0; i < vals.size(); ++i) {
+    EXPECT_EQ(col.ValueAt(i), Value(vals[i]));
+  }
+  EXPECT_EQ(col.FindCode("hot"), 1);
+  EXPECT_EQ(col.FindCode("absent"), -1);
+}
+
+TEST(DictColumnTest, MatchesHashesAndEqualityAgreeWithPlainStrings) {
+  Rng rng(11);
+  const char* pool[] = {"", "alpha", "beta", "gamma", "delta-delta"};
+  std::vector<std::string> vals;
+  for (int i = 0; i < 200; ++i) vals.push_back(pool[rng.Uniform(5)]);
+  const Column dict = RoundTripStringColumn(vals, true);
+  const Column plain = Column::OfStrings(vals);
+  for (size_t row = 0; row < vals.size(); ++row) {
+    EXPECT_EQ(dict.HashAt(row), plain.HashAt(row));
+    EXPECT_EQ(dict.SizeBytes(), plain.SizeBytes());
+    EXPECT_TRUE(dict.EqualsValueAt(row, Value(vals[row])));
+    EXPECT_FALSE(dict.EqualsValueAt(row, Value(vals[row] + "x")));
+    EXPECT_FALSE(dict.EqualsValueAt(row, Value(int64_t{0})));
+  }
+  for (const CompareOp op : kAllOps) {
+    for (const char* c : {"", "alpha", "gamma", "absent", "zzz"}) {
+      const Predicate pred(0, op, Value(c));
+      ExpectKernelParity(dict, pred);
+      // Dict and plain agree row by row (MatchesAt path)...
+      for (size_t row = 0; row < vals.size(); ++row) {
+        EXPECT_EQ(dict.MatchesAt(pred, row), plain.MatchesAt(pred, row));
+      }
+      // ...and kernel to kernel.
+      SelectionVector dict_sel, plain_sel;
+      kernels::FilterFull(pred, dict, &dict_sel);
+      kernels::FilterFull(pred, plain, &plain_sel);
+      EXPECT_EQ(dict_sel, plain_sel) << pred.ToString();
+    }
+  }
+}
+
+TEST(DictColumnTest, BoundaryAt256DistinctEntries) {
+  // Exactly 256 distinct values over more rows: still dictionary-coded.
+  std::vector<std::string> at;
+  for (int i = 0; i < 512; ++i) at.push_back("k" + std::to_string(i % 256));
+  const Column dict = RoundTripStringColumn(at, true);
+  EXPECT_EQ(dict.dict().size(), 256u);
+  for (const CompareOp op : kAllOps) {
+    ExpectKernelParity(dict, Predicate(0, op, Value("k128")));
+    ExpectKernelParity(dict, Predicate(0, op, Value("missing")));
+  }
+  // 257 distinct: past the one-byte code space, stays plain.
+  std::vector<std::string> over;
+  for (int i = 0; i < 514; ++i) over.push_back("k" + std::to_string(i % 257));
+  RoundTripStringColumn(over, false);
+}
+
+TEST(DictColumnTest, AppendExtendsDictionaryOrDemotesToMixed) {
+  const Column base = RoundTripStringColumn({"x", "y", "x", "y"}, true);
+  Column col = base;
+  col.Append(Value("x"));  // Existing entry: code reused.
+  col.Append(Value("z"));  // New entry: dictionary grows.
+  ASSERT_TRUE(col.dict_coded());
+  EXPECT_EQ(col.dict().size(), 3u);
+  EXPECT_EQ(col.size(), 6u);
+  EXPECT_EQ(col.ValueAt(4), Value("x"));
+  EXPECT_EQ(col.ValueAt(5), Value("z"));
+  EXPECT_EQ(col.HashAt(5), std::hash<std::string>{}(std::string("z")));
+  // A non-string append demotes to mixed storage, values preserved.
+  Column demoted = base;
+  demoted.Append(Value(int64_t{7}));
+  ASSERT_TRUE(demoted.mixed());
+  EXPECT_EQ(demoted.ValueAt(0), Value("x"));
+  EXPECT_EQ(demoted.ValueAt(4), Value(int64_t{7}));
+}
+
+TEST(DictColumnTest, ReencodeIsByteIdentical) {
+  std::vector<std::string> vals;
+  for (int i = 0; i < 64; ++i) vals.push_back("v" + std::to_string(i % 5));
+  Block block(3, 2);
+  for (size_t i = 0; i < vals.size(); ++i) {
+    block.Add({Value(vals[i]), Value(static_cast<int64_t>(i))});
+  }
+  const std::string bytes = io::EncodeBlock(block);
+  auto decoded = io::DecodeBlock(bytes, 2);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_TRUE(decoded.ValueOrDie().column(0).dict_coded());
+  // Dirty write-back path: the decoded (dict-resident) block re-encodes
+  // to exactly the bytes it came from.
+  EXPECT_EQ(io::EncodeBlock(decoded.ValueOrDie()), bytes);
+  // Ranges rebuilt from the dictionary match the incremental originals.
+  EXPECT_EQ(decoded.ValueOrDie().ranges(), block.ranges());
+}
+
+TEST(DictColumnTest, GrowingPastCodeSpaceFallsBackToPlainEncoding) {
+  std::vector<std::string> vals;
+  for (int i = 0; i < 300; ++i) vals.push_back("s" + std::to_string(i % 4));
+  Block block(4, 1);
+  for (const std::string& s : vals) block.Add({Value(s)});
+  auto decoded = io::DecodeBlock(io::EncodeBlock(block), 1);
+  ASSERT_TRUE(decoded.ok());
+  Block grown = decoded.ValueOrDie();
+  ASSERT_TRUE(grown.column(0).dict_coded());
+  // Appends push the dictionary past 256 entries; the encoder must
+  // materialize and emit a valid plain segment.
+  for (int i = 0; i < 300; ++i) {
+    grown.Add({Value("grown-" + std::to_string(i))});
+  }
+  ASSERT_TRUE(grown.column(0).dict_coded());
+  EXPECT_GT(grown.column(0).dict().size(), 256u);
+  auto round = io::DecodeBlock(io::EncodeBlock(grown), 1);
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  EXPECT_FALSE(round.ValueOrDie().column(0).dict_coded());
+  EXPECT_EQ(round.ValueOrDie().MaterializeRecords(),
+            grown.MaterializeRecords());
+}
+
+// ---------------------------------------------------------------------------
+// Block-level routing: kill switch, predicate ordering, CountMatches.
+
+Block MakeMixedTypeBlock(uint64_t seed, int32_t rows) {
+  Rng rng(seed);
+  const char* flags[] = {"A", "B", "C"};
+  Block b(7, 3);
+  for (int32_t i = 0; i < rows; ++i) {
+    b.Add({Value(rng.UniformRange(0, 999)),
+           Value(static_cast<double>(rng.UniformRange(0, 10000)) / 100.0),
+           Value(std::string(flags[rng.Uniform(3)]))});
+  }
+  return b;
+}
+
+TEST(BlockFilterTest, KillSwitchParityOnMultiPredicateConjunctions) {
+  KernelSwitchGuard guard;
+  const Block block = MakeMixedTypeBlock(21, 500);
+  const std::vector<PredicateSet> cases = {
+      {Predicate(0, CompareOp::kLt, Value(int64_t{500}))},
+      {Predicate(2, CompareOp::kEq, Value("B"))},
+      {Predicate(2, CompareOp::kNeq, Value("C")),
+       Predicate(0, CompareOp::kGe, Value(int64_t{250}))},
+      {Predicate(1, CompareOp::kGt, Value(42.5)),
+       Predicate(2, CompareOp::kEq, Value("A")),
+       Predicate(0, CompareOp::kLe, Value(int64_t{800}))},
+      // Mixed numeric: double constant against the int64 column.
+      {Predicate(0, CompareOp::kLe, Value(499.5)),
+       Predicate(1, CompareOp::kLt, Value(int64_t{80}))},
+      // Contradiction: empty result, early-exit path.
+      {Predicate(0, CompareOp::kLt, Value(int64_t{0})),
+       Predicate(2, CompareOp::kEq, Value("A"))},
+  };
+  for (const PredicateSet& preds : cases) {
+    kernels::SetEnabled(true);
+    const SelectionVector on = block.FilterRows(preds);
+    const size_t count_on = block.CountMatches(preds);
+    kernels::SetEnabled(false);
+    const SelectionVector off = block.FilterRows(preds);
+    const size_t count_off = block.CountMatches(preds);
+    EXPECT_EQ(on, off) << PredicateSetToString(preds);
+    EXPECT_EQ(count_on, count_off);
+    EXPECT_EQ(count_on, on.size());
+    // Output is row-ascending regardless of evaluation order.
+    EXPECT_TRUE(std::is_sorted(on.begin(), on.end()));
+  }
+}
+
+TEST(BlockFilterTest, CostOrderingSeedsFromCheapestColumn) {
+  // String predicate listed first, int64 predicate second: the result must
+  // be identical to the naive order (ordering is pure evaluation policy).
+  const Block block = MakeMixedTypeBlock(33, 300);
+  const PredicateSet string_first = {
+      Predicate(2, CompareOp::kEq, Value("B")),
+      Predicate(0, CompareOp::kLt, Value(int64_t{700}))};
+  const PredicateSet int_first = {
+      Predicate(0, CompareOp::kLt, Value(int64_t{700})),
+      Predicate(2, CompareOp::kEq, Value("B"))};
+  EXPECT_EQ(block.FilterRows(string_first), block.FilterRows(int_first));
+  EXPECT_EQ(block.CountMatches(string_first),
+            block.CountMatches(int_first));
+  SelectionVector expect;
+  for (size_t row = 0; row < block.num_records(); ++row) {
+    if (block.column(2).MatchesAt(string_first[0], row) &&
+        block.column(0).MatchesAt(string_first[1], row)) {
+      expect.push_back(static_cast<uint32_t>(row));
+    }
+  }
+  EXPECT_EQ(block.FilterRows(string_first), expect);
+}
+
+TEST(BlockFilterTest, MixedColumnConjunctionsStayExact) {
+  KernelSwitchGuard guard;
+  // One attribute demotes to mixed numeric storage: its predicate takes
+  // the fallback while the other attribute's still kernels.
+  Block b(8, 2);
+  for (int i = 0; i < 50; ++i) {
+    b.Add({Value(static_cast<int64_t>(i)), Value(static_cast<int64_t>(i))});
+  }
+  b.Add({Value(int64_t{50}), Value(99.5)});
+  ASSERT_TRUE(b.column(1).mixed());
+  const PredicateSet preds = {
+      Predicate(1, CompareOp::kLt, Value(int64_t{10})),
+      Predicate(0, CompareOp::kGe, Value(int64_t{3}))};
+  kernels::SetEnabled(true);
+  const SelectionVector on = b.FilterRows(preds);
+  const size_t count_on = b.CountMatches(preds);
+  kernels::SetEnabled(false);
+  EXPECT_EQ(on, b.FilterRows(preds));
+  EXPECT_EQ(count_on, b.CountMatches(preds));
+  EXPECT_EQ(on.size(), 7u);  // Rows 3..9.
+}
+
+// ---------------------------------------------------------------------------
+// Dictionary-resident join parity: hyper + shuffle, mem + disk, 1/2/8
+// threads, with the string attribute as the join key (dict-coded on the
+// disk side, plain in memory — results must be bitwise identical).
+
+struct DictJoinFixture {
+  std::unique_ptr<MemBlockStore> r_mem, s_mem;
+  std::unique_ptr<DiskBlockStore> r_disk, s_disk;
+  std::vector<BlockId> r_blocks, s_blocks;
+  ClusterSim cluster;
+};
+
+DictJoinFixture MakeDictJoinFixture() {
+  DictJoinFixture fx;
+  fx.r_mem = std::make_unique<MemBlockStore>(2);
+  fx.s_mem = std::make_unique<MemBlockStore>(2);
+  StorageConfig config;
+  config.buffer_blocks = 2;  // Constant eviction: dict decodes are real.
+  fx.r_disk = std::move(DiskBlockStore::Open(2, config)).ValueOrDie();
+  fx.s_disk = std::move(DiskBlockStore::Open(2, config)).ValueOrDie();
+  const char* keys[] = {"ash", "birch", "cedar", "fir", "oak", "pine"};
+  for (const bool r_side : {true, false}) {
+    BlockStore* stores[] = {
+        r_side ? static_cast<BlockStore*>(fx.r_mem.get())
+               : static_cast<BlockStore*>(fx.s_mem.get()),
+        r_side ? static_cast<BlockStore*>(fx.r_disk.get())
+               : static_cast<BlockStore*>(fx.s_disk.get())};
+    for (BlockStore* store : stores) {
+      Rng rng(r_side ? 5 : 6);
+      for (int b = 0; b < (r_side ? 8 : 6); ++b) {
+        const BlockId id = store->CreateBlock();
+        auto blk = store->GetMutable(id);
+        for (int i = 0; i < 24; ++i) {
+          blk.ValueOrDie()->Add({Value(std::string(keys[rng.Uniform(6)])),
+                                 Value(rng.UniformRange(0, 99))});
+        }
+      }
+    }
+  }
+  fx.r_blocks = fx.r_mem->BlockIds();
+  fx.s_blocks = fx.s_mem->BlockIds();
+  EXPECT_EQ(fx.r_blocks, fx.r_disk->BlockIds());
+  EXPECT_EQ(fx.s_blocks, fx.s_disk->BlockIds());
+  for (BlockId b : fx.r_blocks) fx.cluster.PlaceBlock(b);
+  for (BlockId b : fx.s_blocks) fx.cluster.PlaceBlock(b);
+  return fx;
+}
+
+TEST(DictJoinParityTest, StringKeyJoinsAcrossBackendsThreadsAndKernels) {
+  KernelSwitchGuard guard;
+  DictJoinFixture fx = MakeDictJoinFixture();
+  // The disk side must actually be running on dictionary columns.
+  ASSERT_TRUE(
+      fx.r_disk->Get(fx.r_blocks[0]).ValueOrDie()->column(0).dict_coded());
+  const PredicateSet s_preds = {Predicate(0, CompareOp::kNeq, Value("oak"))};
+  const OverlapMatrix overlap_mem =
+      ComputeOverlap(*fx.r_mem, fx.r_blocks, 0, *fx.s_mem, fx.s_blocks, 0)
+          .ValueOrDie();
+  const OverlapMatrix overlap_disk =
+      ComputeOverlap(*fx.r_disk, fx.r_blocks, 0, *fx.s_disk, fx.s_blocks, 0)
+          .ValueOrDie();
+  const Grouping grouping = BottomUpGrouping(overlap_mem, 3).ValueOrDie();
+  ASSERT_EQ(BottomUpGrouping(overlap_disk, 3).ValueOrDie().groups,
+            grouping.groups);
+
+  std::vector<Record> reference_rows;
+  uint64_t reference_checksum = 0;
+  bool have_reference = false;
+  for (const bool kernels_on : {true, false}) {
+    kernels::SetEnabled(kernels_on);
+    for (const int32_t threads : {1, 2, 8}) {
+      ExecConfig config;
+      config.num_threads = threads;
+      std::vector<Record> hyper_mem_rows, hyper_disk_rows;
+      const JoinExecResult hyper_mem =
+          HyperJoin(*fx.r_mem, 0, {}, *fx.s_mem, 0, s_preds, overlap_mem,
+                    grouping, fx.cluster, config, &hyper_mem_rows)
+              .ValueOrDie();
+      const JoinExecResult hyper_disk =
+          HyperJoin(*fx.r_disk, 0, {}, *fx.s_disk, 0, s_preds, overlap_disk,
+                    grouping, fx.cluster, config, &hyper_disk_rows)
+              .ValueOrDie();
+      EXPECT_EQ(hyper_mem_rows, hyper_disk_rows)
+          << "kernels=" << kernels_on << " threads=" << threads;
+      EXPECT_EQ(hyper_mem.counts.checksum, hyper_disk.counts.checksum);
+      EXPECT_EQ(hyper_mem.io.TotalReads(), hyper_disk.io.TotalReads());
+
+      std::vector<Record> shuffle_mem_rows, shuffle_disk_rows;
+      const JoinExecResult shuffle_mem =
+          ShuffleJoin(*fx.r_mem, fx.r_blocks, 0, {}, *fx.s_mem, fx.s_blocks,
+                      0, s_preds, fx.cluster, config, &shuffle_mem_rows)
+              .ValueOrDie();
+      const JoinExecResult shuffle_disk =
+          ShuffleJoin(*fx.r_disk, fx.r_blocks, 0, {}, *fx.s_disk,
+                      fx.s_blocks, 0, s_preds, fx.cluster, config,
+                      &shuffle_disk_rows)
+              .ValueOrDie();
+      EXPECT_EQ(shuffle_mem_rows, shuffle_disk_rows)
+          << "kernels=" << kernels_on << " threads=" << threads;
+      EXPECT_EQ(shuffle_mem.counts.checksum, shuffle_disk.counts.checksum);
+      EXPECT_EQ(hyper_disk.counts.output_rows,
+                shuffle_disk.counts.output_rows);
+      EXPECT_EQ(hyper_disk.counts.checksum, shuffle_disk.counts.checksum);
+
+      // Every (kernel switch × thread count × backend × algorithm) cell
+      // produces the same rows and checksum as the first.
+      if (!have_reference) {
+        reference_rows = hyper_mem_rows;
+        reference_checksum = hyper_mem.counts.checksum;
+        have_reference = true;
+        EXPECT_GT(reference_rows.size(), 0u);
+      }
+      EXPECT_EQ(hyper_mem_rows, reference_rows)
+          << "kernels=" << kernels_on << " threads=" << threads;
+      EXPECT_EQ(hyper_mem.counts.checksum, reference_checksum);
+    }
+  }
+}
+
+TEST(DictJoinParityTest, ScanAggregateParityWithKernelsOnAndOff) {
+  KernelSwitchGuard guard;
+  DictJoinFixture fx = MakeDictJoinFixture();
+  const PredicateSet preds = {Predicate(0, CompareOp::kGe, Value("cedar")),
+                              Predicate(1, CompareOp::kLt, Value(int64_t{80}))};
+  int64_t reference_rows = -1;
+  for (const bool kernels_on : {true, false}) {
+    kernels::SetEnabled(kernels_on);
+    for (const int32_t threads : {1, 2, 8}) {
+      ExecConfig config;
+      config.num_threads = threads;
+      const ScanResult mem =
+          ScanBlocks(*fx.r_mem, fx.r_blocks, preds, fx.cluster, config)
+              .ValueOrDie();
+      const ScanResult disk =
+          ScanBlocks(*fx.r_disk, fx.r_blocks, preds, fx.cluster, config)
+              .ValueOrDie();
+      EXPECT_EQ(mem.rows_matched, disk.rows_matched);
+      EXPECT_EQ(mem.blocks_read, disk.blocks_read);
+      EXPECT_EQ(mem.io.local_block_reads, disk.io.local_block_reads);
+      if (reference_rows < 0) reference_rows = mem.rows_matched;
+      EXPECT_EQ(mem.rows_matched, reference_rows)
+          << "kernels=" << kernels_on << " threads=" << threads;
+      const AggregateResult agg_mem =
+          ScanAggregate(*fx.r_mem, fx.r_blocks, preds, fx.cluster, 1,
+                        AggFn::kSum, config)
+              .ValueOrDie();
+      const AggregateResult agg_disk =
+          ScanAggregate(*fx.r_disk, fx.r_blocks, preds, fx.cluster, 1,
+                        AggFn::kSum, config)
+              .ValueOrDie();
+      EXPECT_EQ(agg_mem.value, agg_disk.value);
+    }
+  }
+  EXPECT_GT(reference_rows, 0);
+}
+
+}  // namespace
+}  // namespace adaptdb

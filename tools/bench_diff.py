@@ -10,8 +10,9 @@ metrics that moved beyond tolerance in the *bad* direction:
     numbers on shared CI hardware are noisy, so the default timing
     tolerance is generous (a metric must grow by more than
     --timing-tolerance, default 3.0 = 4x, to fail).
-  - Higher-is-better metrics (keys ending in "_speedup" or "_hit_rate")
-    regress when they shrink by more than --tolerance.
+  - Higher-is-better metrics (keys ending in "_speedup" or "_hit_rate",
+    or starting with "kernel_speedup") regress when they shrink by more
+    than --tolerance.
   - Everything else (counts, ratios, sizes — deterministic in smoke mode)
     regresses when it moves in either direction by more than --tolerance
     (default 0.25).
@@ -36,6 +37,7 @@ import sys
 
 TIMING_UNITS = {"ms", "s"}
 HIGHER_BETTER_SUFFIXES = ("_speedup", "_hit_rate")
+HIGHER_BETTER_PREFIXES = ("kernel_speedup",)
 # Harness wall time measures the whole binary (including load), is the
 # noisiest number in the file, and is already covered by per-phase timings.
 SKIP_KEYS = {"bench_wall_seconds"}
@@ -63,7 +65,8 @@ def metric_values(doc):
 
 def classify(key, unit):
     """'timing' (lower is better, noisy), 'higher' or 'exact'."""
-    if key.endswith(HIGHER_BETTER_SUFFIXES):
+    if key.endswith(HIGHER_BETTER_SUFFIXES) or \
+            key.startswith(HIGHER_BETTER_PREFIXES):
         return "higher"
     if unit in TIMING_UNITS:
         return "timing"
